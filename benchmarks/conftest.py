@@ -1,0 +1,73 @@
+"""Shared infrastructure for the figure-regeneration benchmarks.
+
+Each ``test_figXX_*`` module regenerates one of the paper's Figures 8-19:
+it computes the figure's result rows (real compression ratios over the
+synthetic corpus + modeled throughputs), prints the table, asserts the
+paper's qualitative shape, and times the corresponding paper codec with
+pytest-benchmark on a representative file (the *measured* wall-clock
+numbers of this Python implementation).
+
+Suite ratios are cached process-wide, so the twelve figures share four
+corpus passes.  ``REPRO_BENCH_SCALE`` overrides the corpus scale
+(default 1.0 = 256 KiB per file, the scale the shape targets are
+calibrated at).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.harness import FigureResult, format_figure, run_figure
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+_FIGURE_CACHE: dict[str, FigureResult] = {}
+
+
+def figure_result(figure_id: str) -> FigureResult:
+    if figure_id not in _FIGURE_CACHE:
+        _FIGURE_CACHE[figure_id] = run_figure(figure_id, scale=BENCH_SCALE)
+    return _FIGURE_CACHE[figure_id]
+
+
+#: Figure tables produced during the run, replayed in the terminal summary
+#: (pytest captures per-test output; the regenerated figures ARE the
+#: benchmark's product and belong in the run log).
+_RENDERED_TABLES: dict[str, str] = {}
+
+
+def show(result: FigureResult) -> None:
+    text = format_figure(result)
+    print("\n" + text)
+    _RENDERED_TABLES[result.figure_id] = text
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _RENDERED_TABLES:
+        return
+    terminalreporter.section("regenerated paper figures")
+    for figure_id in sorted(_RENDERED_TABLES):
+        terminalreporter.write_line("")
+        for line in _RENDERED_TABLES[figure_id].splitlines():
+            terminalreporter.write_line(line)
+
+
+def top_ratio_name(result: FigureResult) -> str:
+    return max(result.rows, key=lambda r: r.ratio).name
+
+
+@pytest.fixture
+def representative_sp() -> np.ndarray:
+    from repro.datasets import sp_suite
+
+    return sp_suite()[0].files[0].load(BENCH_SCALE)
+
+
+@pytest.fixture
+def representative_dp() -> np.ndarray:
+    from repro.datasets import dp_suite
+
+    return dp_suite()[0].files[0].load(BENCH_SCALE)

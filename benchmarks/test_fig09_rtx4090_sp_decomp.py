@@ -1,0 +1,33 @@
+"""Regenerate the paper's FIG09 (RTX 4090, float32, decompress throughput).
+
+Shape targets from the paper:
+* SPratio and SPspeed stay on the decompression Pareto front
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from conftest import figure_result, show, top_ratio_name
+
+
+def test_fig09_shape(benchmark):
+    result = benchmark(figure_result, "fig09")
+    show(result)
+    assert top_ratio_name(result) == "SPratio"
+    front = set(result.front_names())
+    assert {"SPratio", "SPspeed"} <= front
+    assert "Bitcomp-i0" in front
+
+
+def test_fig09_spspeed_decompress_wallclock(benchmark, representative_sp):
+    """Measured (Python) decompress throughput of spspeed on one file."""
+    data = representative_sp
+    blob = repro.compress(data, "spspeed")
+    if "decompress" == "compress":
+        result = benchmark(repro.compress, data, "spspeed")
+        assert repro.inspect(result).original_len == data.nbytes
+    else:
+        restored = benchmark(repro.decompress, blob)
+        assert np.array_equal(restored, data)

@@ -1,0 +1,40 @@
+"""Regenerate the paper's FIG10 (A100, float32, compress throughput).
+
+Shape targets from the paper:
+* SPratio is on the A100 compression front (paper 5.1)
+* every non-Bitcomp codec is slower on the A100 than the RTX 4090
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from conftest import figure_result, show, top_ratio_name
+
+
+def test_fig10_shape(benchmark):
+    result = benchmark(figure_result, "fig10")
+    show(result)
+    assert "SPratio" in result.front_names()
+    assert top_ratio_name(result) == "SPratio"
+    rtx = figure_result("fig08")
+    # Paper 5.1: only Bitcomp-b1's compressor runs faster on the A100;
+    # every other compressor is faster on the RTX 4090.
+    for row in result.rows:
+        if row.name == "Bitcomp-b1":
+            assert row.throughput > rtx.row(row.name).throughput
+        else:
+            assert row.throughput <= rtx.row(row.name).throughput
+
+
+def test_fig10_spratio_compress_wallclock(benchmark, representative_sp):
+    """Measured (Python) compress throughput of spratio on one file."""
+    data = representative_sp
+    blob = repro.compress(data, "spratio")
+    if "compress" == "compress":
+        result = benchmark(repro.compress, data, "spratio")
+        assert repro.inspect(result).original_len == data.nbytes
+    else:
+        restored = benchmark(repro.decompress, blob)
+        assert np.array_equal(restored, data)

@@ -1,0 +1,36 @@
+"""Regenerate the paper's FIG11 (A100, float32, decompress throughput).
+
+Shape targets from the paper:
+* SPspeed and SPratio are both on the A100 decompression front
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from conftest import figure_result, show, top_ratio_name
+
+
+def test_fig11_shape(benchmark):
+    result = benchmark(figure_result, "fig11")
+    show(result)
+    front = set(result.front_names())
+    assert {"SPspeed", "SPratio"} <= front
+    # Paper 5.1: Bitcomp-b0's and b1's decompressors run faster on the
+    # A100 than on the RTX 4090.
+    rtx = figure_result("fig09")
+    for name in ("Bitcomp-b0", "Bitcomp-b1"):
+        assert result.row(name).throughput > rtx.row(name).throughput
+
+
+def test_fig11_spratio_decompress_wallclock(benchmark, representative_sp):
+    """Measured (Python) decompress throughput of spratio on one file."""
+    data = representative_sp
+    blob = repro.compress(data, "spratio")
+    if "decompress" == "compress":
+        result = benchmark(repro.compress, data, "spratio")
+        assert repro.inspect(result).original_len == data.nbytes
+    else:
+        restored = benchmark(repro.decompress, blob)
+        assert np.array_equal(restored, data)

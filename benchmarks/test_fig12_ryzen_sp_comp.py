@@ -1,0 +1,34 @@
+"""Regenerate the paper's FIG12 (Ryzen 2950X, float32, compress throughput).
+
+Shape targets from the paper:
+* only FPzip, SPspeed, and SPratio lie on the CPU front (paper 5.1)
+* FPzip compresses best; SPspeed compresses ~75x faster than FPzip
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from conftest import figure_result, show, top_ratio_name
+
+
+def test_fig12_shape(benchmark):
+    result = benchmark(figure_result, "fig12")
+    show(result)
+    assert set(result.front_names()) == {"FPzip", "SPspeed", "SPratio"}
+    assert top_ratio_name(result) == "FPzip"
+    speedup = result.row("SPspeed").throughput / result.row("FPzip").throughput
+    assert 40 < speedup < 120  # paper: 75x
+
+
+def test_fig12_spspeed_compress_wallclock(benchmark, representative_sp):
+    """Measured (Python) compress throughput of spspeed on one file."""
+    data = representative_sp
+    blob = repro.compress(data, "spspeed")
+    if "compress" == "compress":
+        result = benchmark(repro.compress, data, "spspeed")
+        assert repro.inspect(result).original_len == data.nbytes
+    else:
+        restored = benchmark(repro.decompress, blob)
+        assert np.array_equal(restored, data)

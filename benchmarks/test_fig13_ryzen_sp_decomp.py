@@ -1,0 +1,33 @@
+"""Regenerate the paper's FIG13 (Ryzen 2950X, float32, decompress throughput).
+
+Shape targets from the paper:
+* only FPzip, SPspeed, and SPratio lie on the CPU front
+* SPspeed decompresses ~55x faster than FPzip
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from conftest import figure_result, show, top_ratio_name
+
+
+def test_fig13_shape(benchmark):
+    result = benchmark(figure_result, "fig13")
+    show(result)
+    assert set(result.front_names()) == {"FPzip", "SPspeed", "SPratio"}
+    speedup = result.row("SPspeed").throughput / result.row("FPzip").throughput
+    assert 30 < speedup < 110  # paper: 55x
+
+
+def test_fig13_spspeed_decompress_wallclock(benchmark, representative_sp):
+    """Measured (Python) decompress throughput of spspeed on one file."""
+    data = representative_sp
+    blob = repro.compress(data, "spspeed")
+    if "decompress" == "compress":
+        result = benchmark(repro.compress, data, "spspeed")
+        assert repro.inspect(result).original_len == data.nbytes
+    else:
+        restored = benchmark(repro.decompress, blob)
+        assert np.array_equal(restored, data)

@@ -1,0 +1,36 @@
+"""Regenerate the paper's FIG14 (RTX 4090, float64, compress throughput).
+
+Shape targets from the paper:
+* DPratio stands out with much higher ratio than the other GPU codes
+* DPratio shares the front with DPspeed; Bitcomp is also on it
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from conftest import figure_result, show, top_ratio_name
+
+
+def test_fig14_shape(benchmark):
+    result = benchmark(figure_result, "fig14")
+    show(result)
+    assert top_ratio_name(result) == "DPratio"
+    front = set(result.front_names())
+    assert {"DPratio", "DPspeed"} <= front
+    assert any(name.startswith("Bitcomp") for name in front)
+    # Bitcomp compresses at high speed but a near-useless ratio (paper: 1.04).
+    assert result.row("Bitcomp-i0").ratio < 1.1
+
+
+def test_fig14_dpspeed_compress_wallclock(benchmark, representative_dp):
+    """Measured (Python) compress throughput of dpspeed on one file."""
+    data = representative_dp
+    blob = repro.compress(data, "dpspeed")
+    if "compress" == "compress":
+        result = benchmark(repro.compress, data, "dpspeed")
+        assert repro.inspect(result).original_len == data.nbytes
+    else:
+        restored = benchmark(repro.decompress, blob)
+        assert np.array_equal(restored, data)

@@ -1,0 +1,33 @@
+"""Regenerate the paper's FIG15 (RTX 4090, float64, decompress throughput).
+
+Shape targets from the paper:
+* only DPratio and DPspeed are on the decompression front (paper 5.2)
+* DPratio decompresses much faster than it compresses (no sort)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from conftest import figure_result, show, top_ratio_name
+
+
+def test_fig15_shape(benchmark):
+    result = benchmark(figure_result, "fig15")
+    show(result)
+    assert set(result.front_names()) == {"DPratio", "DPspeed"}
+    comp = figure_result("fig14").row("DPratio").throughput
+    assert result.row("DPratio").throughput > 8 * comp
+
+
+def test_fig15_dpspeed_decompress_wallclock(benchmark, representative_dp):
+    """Measured (Python) decompress throughput of dpspeed on one file."""
+    data = representative_dp
+    blob = repro.compress(data, "dpspeed")
+    if "decompress" == "compress":
+        result = benchmark(repro.compress, data, "dpspeed")
+        assert repro.inspect(result).original_len == data.nbytes
+    else:
+        restored = benchmark(repro.decompress, blob)
+        assert np.array_equal(restored, data)

@@ -1,0 +1,33 @@
+"""Regenerate the paper's FIG16 (A100, float64, compress throughput).
+
+Shape targets from the paper:
+* DPspeed and DPratio are on the A100 front alongside Bitcomp
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from conftest import figure_result, show, top_ratio_name
+
+
+def test_fig16_shape(benchmark):
+    result = benchmark(figure_result, "fig16")
+    show(result)
+    front = set(result.front_names())
+    assert {"DPspeed", "DPratio"} <= front
+    assert any(name.startswith("Bitcomp") for name in front)
+    assert top_ratio_name(result) == "DPratio"
+
+
+def test_fig16_dpratio_compress_wallclock(benchmark, representative_dp):
+    """Measured (Python) compress throughput of dpratio on one file."""
+    data = representative_dp
+    blob = repro.compress(data, "dpratio")
+    if "compress" == "compress":
+        result = benchmark(repro.compress, data, "dpratio")
+        assert repro.inspect(result).original_len == data.nbytes
+    else:
+        restored = benchmark(repro.decompress, blob)
+        assert np.array_equal(restored, data)

@@ -1,0 +1,34 @@
+"""Regenerate the paper's FIG17 (A100, float64, decompress throughput).
+
+Shape targets from the paper:
+* DPspeed and DPratio are on the A100 decompression front
+* DPratio decompression far outruns its compression (no sort)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from conftest import figure_result, show, top_ratio_name
+
+
+def test_fig17_shape(benchmark):
+    result = benchmark(figure_result, "fig17")
+    show(result)
+    front = set(result.front_names())
+    assert {"DPspeed", "DPratio"} <= front
+    comp = figure_result("fig16").row("DPratio").throughput
+    assert result.row("DPratio").throughput > 8 * comp
+
+
+def test_fig17_dpratio_decompress_wallclock(benchmark, representative_dp):
+    """Measured (Python) decompress throughput of dpratio on one file."""
+    data = representative_dp
+    blob = repro.compress(data, "dpratio")
+    if "decompress" == "compress":
+        result = benchmark(repro.compress, data, "dpratio")
+        assert repro.inspect(result).original_len == data.nbytes
+    else:
+        restored = benchmark(repro.decompress, blob)
+        assert np.array_equal(restored, data)

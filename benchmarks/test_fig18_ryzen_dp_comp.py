@@ -1,0 +1,37 @@
+"""Regenerate the paper's FIG18 (Ryzen 2950X, float64, compress throughput).
+
+Shape targets from the paper:
+* DPspeed is ~10x faster than pFPC at a similar ratio (paper 5.2)
+* Zstandard-best reaches a higher ratio than DPratio, at lower speed
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from conftest import figure_result, show, top_ratio_name
+
+
+def test_fig18_shape(benchmark):
+    result = benchmark(figure_result, "fig18")
+    show(result)
+    speedup = result.row("DPspeed").throughput / result.row("pFPC").throughput
+    assert 5 < speedup < 20  # paper: roughly 10x
+    zstd = result.row("ZSTD-CPU-best")
+    dpratio = result.row("DPratio")
+    assert zstd.ratio > dpratio.ratio
+    assert zstd.throughput < dpratio.throughput
+    assert {"DPspeed", "DPratio"} <= set(result.front_names())
+
+
+def test_fig18_dpspeed_compress_wallclock(benchmark, representative_dp):
+    """Measured (Python) compress throughput of dpspeed on one file."""
+    data = representative_dp
+    blob = repro.compress(data, "dpspeed")
+    if "compress" == "compress":
+        result = benchmark(repro.compress, data, "dpspeed")
+        assert repro.inspect(result).original_len == data.nbytes
+    else:
+        restored = benchmark(repro.decompress, blob)
+        assert np.array_equal(restored, data)

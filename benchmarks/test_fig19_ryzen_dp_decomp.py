@@ -1,0 +1,35 @@
+"""Regenerate the paper's FIG19 (Ryzen 2950X, float64, decompress throughput).
+
+Shape targets from the paper:
+* DPratio is the second-fastest CPU decompressor after DPspeed
+* highlighting the speed of the union-find decode (paper 5.2)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from conftest import figure_result, show, top_ratio_name
+
+
+def test_fig19_shape(benchmark):
+    result = benchmark(figure_result, "fig19")
+    show(result)
+    ordered = sorted(result.rows, key=lambda r: -r.throughput)
+    cpu_only = [r for r in ordered if r.name != "Ndzip"]  # ndzip is CPU+GPU
+    assert cpu_only[0].name == "DPspeed"
+    assert cpu_only[1].name == "DPratio"
+    assert {"DPspeed", "DPratio"} <= set(result.front_names())
+
+
+def test_fig19_dpspeed_decompress_wallclock(benchmark, representative_dp):
+    """Measured (Python) decompress throughput of dpspeed on one file."""
+    data = representative_dp
+    blob = repro.compress(data, "dpspeed")
+    if "decompress" == "compress":
+        result = benchmark(repro.compress, data, "dpspeed")
+        assert repro.inspect(result).original_len == data.nbytes
+    else:
+        restored = benchmark(repro.decompress, blob)
+        assert np.array_equal(restored, data)

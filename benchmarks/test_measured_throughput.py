@@ -1,0 +1,59 @@
+"""Measured wall-clock throughput of this Python implementation.
+
+These are the honest numbers for the reproduction itself, reported
+separately from the device-model throughputs used in the figure
+regenerations (see DESIGN.md §2).  pytest-benchmark's stats give the
+median of repeated runs, mirroring the paper's median-of-five timing
+(§4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from conftest import BENCH_SCALE
+
+
+def _sample(dtype) -> np.ndarray:
+    from repro.datasets import dp_suite, sp_suite
+
+    suite = sp_suite() if dtype == np.float32 else dp_suite()
+    return suite[0].files[0].load(BENCH_SCALE)
+
+
+@pytest.mark.parametrize("codec,dtype", [
+    ("spspeed", np.float32),
+    ("spratio", np.float32),
+    ("dpspeed", np.float64),
+    ("dpratio", np.float64),
+])
+class TestCodecWallclock:
+    def test_compress(self, benchmark, codec, dtype):
+        data = _sample(dtype)
+        blob = benchmark(repro.compress, data, codec)
+        benchmark.extra_info["MB_per_s"] = round(
+            data.nbytes / 1e6 / benchmark.stats.stats.median, 1
+        )
+        benchmark.extra_info["ratio"] = round(data.nbytes / len(blob), 3)
+
+    def test_decompress(self, benchmark, codec, dtype):
+        data = _sample(dtype)
+        blob = repro.compress(data, codec)
+        restored = benchmark(repro.decompress, blob)
+        assert np.array_equal(restored, data)
+        benchmark.extra_info["MB_per_s"] = round(
+            data.nbytes / 1e6 / benchmark.stats.stats.median, 1
+        )
+
+
+@pytest.mark.parametrize("name", ["FPC", "GFC", "ANS", "Ndzip", "FPzip"])
+def test_baseline_wallclock(benchmark, name):
+    from repro.baselines import competitors_for
+
+    data = _sample(np.float64).tobytes()
+    comp = next(c for c in competitors_for(np.float64, "gpu")
+                + competitors_for(np.float64, "cpu") if c.name == name)
+    blob = benchmark(comp.compress, data)
+    assert comp.decompress(blob) == data

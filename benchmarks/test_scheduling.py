@@ -1,0 +1,58 @@
+"""Scheduling ablation: the paper's dynamic chunk worklist vs static blocks.
+
+§3.1: "On the CPU, we dynamically assign the chunks to the threads to
+maximize the load balance."  This benchmark replays real per-chunk work
+distributions from the corpus through the schedule simulator and shows
+dynamic assignment's utilisation edge, plus the decoupled look-back
+write chain's negligible overhead when chunks finish roughly in order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import BENCH_SCALE
+from repro.core.codecs import get_codec
+from repro.device.execution import (
+    WorklistSimulator,
+    chunk_work_estimates,
+    lookback_write_completion,
+)
+
+
+def _mixed_corpus_work() -> np.ndarray:
+    """Chunk work from a climate field with fill masks: naturally skewed."""
+    from repro.datasets import sp_suite
+
+    cesm = next(d for d in sp_suite() if d.name == "CESM-ATM")
+    icefrac = next(f for f in cesm.files if "ICEFRAC" in f.name)
+    data = icefrac.load(max(BENCH_SCALE, 0.5)).tobytes()
+    return chunk_work_estimates(data, get_codec("spratio"))
+
+
+def test_dynamic_vs_static_utilisation(benchmark):
+    work = _mixed_corpus_work()
+    simulator = WorklistSimulator(16)
+    dynamic = benchmark(simulator.simulate, work, "dynamic")
+    static = simulator.simulate(work, "static")
+    print()
+    print(f"  chunks: {len(work)}, work skew (max/mean): "
+          f"{work.max() / work.mean():.2f}x")
+    print(f"  dynamic: makespan {dynamic.makespan:12.0f}, "
+          f"utilisation {dynamic.utilization:.3f}")
+    print(f"  static:  makespan {static.makespan:12.0f}, "
+          f"utilisation {static.utilization:.3f}")
+    assert dynamic.makespan <= static.makespan + 1e-9
+    assert dynamic.utilization >= 0.9  # the paper's "maximize load balance"
+
+
+def test_lookback_overhead_is_negligible():
+    work = _mixed_corpus_work()
+    schedule = WorklistSimulator(16).simulate(work, "dynamic")
+    writes = lookback_write_completion(schedule)
+    end_to_end = float(writes[-1])
+    overhead = (end_to_end - schedule.makespan) / schedule.makespan
+    print(f"\n  look-back write-chain overhead: {overhead:.2%}")
+    # Chunks finish roughly in pop order, so the position chain costs
+    # almost nothing — why the single-pass scheme works (§3.1).
+    assert overhead < 0.05

@@ -1,0 +1,63 @@
+"""Regenerate the paper's Table 1: the compressor inventory.
+
+Checks the registry against the published rows (device, datatype) and
+benchmarks the registry's instantiation cost (trivial, but it keeps the
+table printed under ``--benchmark-only`` runs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import baseline_registry, competitors_for
+
+#: (name, device, datatype) triples exactly as printed in Table 1.
+TABLE1 = {
+    ("Ndzip", "CPU+GPU", "FP32 & FP64"),
+    ("ZSTD", "CPU+GPU", "General"),
+    ("ANS", "GPU", "FP32 & FP64"),
+    ("Bitcomp", "GPU", "FP32 & FP64"),
+    ("Cascaded", "GPU", "General"),
+    ("Deflate", "GPU", "General"),
+    ("Gdeflate", "GPU", "General"),
+    ("GFC", "GPU", "FP64"),
+    ("LZ4", "GPU", "General"),
+    ("MPC", "GPU", "FP32 & FP64"),
+    ("Snappy", "GPU", "General"),
+    ("Bzip2", "CPU", "General"),
+    ("FPC", "CPU", "FP64"),
+    ("FPzip", "CPU", "FP32 & FP64"),
+    ("Gzip", "CPU", "General"),
+    ("pFPC", "CPU", "FP64"),
+    ("SPDP", "CPU", "FP32 & FP64"),
+    ("ZFP", "CPU", "FP32 & FP64"),
+}
+
+
+def test_table1_rows_match_paper():
+    rows = {(s.name, s.device, s.datatype) for s in baseline_registry()}
+    assert rows == TABLE1
+
+
+def test_every_row_is_constructible_and_lossless():
+    data = np.linspace(0, 1, 4096, dtype=np.float64).tobytes()
+    for spec in baseline_registry():
+        dtype = np.float64 if "FP64" in spec.datatype or spec.datatype == "General" else np.float32
+        comp = spec.build(np.dtype(dtype))
+        assert comp.decompress(comp.compress(data)) == data, spec.name
+
+
+def test_table1_bench(benchmark):
+    def build_all():
+        total = 0
+        for dtype in (np.float32, np.float64):
+            for kind in ("cpu", "gpu"):
+                total += len(competitors_for(dtype, kind))
+        return total
+
+    assert benchmark(build_all) >= 40
+    print()
+    print(f"{'Device':<8} {'Compressor':<12} {'Datatype':<12} {'Version':<8} Source")
+    for spec in sorted(baseline_registry(), key=lambda s: (s.device, s.name)):
+        print(f"{spec.device:<8} {spec.name:<12} {spec.datatype:<12} "
+              f"{spec.version:<8} {spec.source}")

@@ -1,0 +1,52 @@
+"""The paper's Xeon claim: results mirror the Ryzen's, only faster.
+
+"We repeated the CPU experiments on a second system ... based on an
+Intel Xeon.  The results are not shown as they are qualitatively very
+similar ... The main difference is that the throughputs are generally
+higher since the Xeon system contains two sockets" (paper §5.1/§5.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from conftest import BENCH_SCALE
+from repro.device import RYZEN_2950X, XEON_6226R
+from repro.harness.figures import XEON_CONFIGS
+from repro.harness.runner import run_suite
+
+
+def _pairs():
+    for spec in XEON_CONFIGS:
+        ryzen = run_suite(spec.dtype, RYZEN_2950X, spec.direction, scale=BENCH_SCALE)
+        xeon = run_suite(spec.dtype, XEON_6226R, spec.direction, scale=BENCH_SCALE)
+        yield spec, {r.name: r for r in ryzen}, {r.name: r for r in xeon}
+
+
+def test_xeon_fronts_match_ryzen():
+    for spec, ryzen, xeon in _pairs():
+        ryzen_front = {n for n, r in ryzen.items() if r.on_front}
+        xeon_front = {n for n, r in xeon.items() if r.on_front}
+        assert ryzen_front == xeon_front, spec.figure_id
+
+
+def test_xeon_is_uniformly_faster():
+    for spec, ryzen, xeon in _pairs():
+        for name in ryzen:
+            assert xeon[name].throughput > ryzen[name].throughput, (spec.figure_id, name)
+
+
+def test_ratios_are_device_independent():
+    for spec, ryzen, xeon in _pairs():
+        for name in ryzen:
+            assert ryzen[name].ratio == xeon[name].ratio
+
+
+def test_xeon_wallclock(benchmark):
+    # Wall-clock anchor: one representative compression on the Xeon config.
+    from repro.datasets import dp_suite
+
+    data = dp_suite()[0].files[0].load(BENCH_SCALE)
+    blob = benchmark(repro.compress, data, "dpspeed")
+    assert np.array_equal(repro.decompress(blob), data)

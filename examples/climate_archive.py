@@ -1,0 +1,57 @@
+"""Archive a climate-model output losslessly and audit the result.
+
+Scenario from the paper's introduction: climate simulations produce data
+that must be preserved *exactly* — "lossy compression could introduce
+errors that affect the validity of the scientific findings" — yet storage
+budgets demand compression.  This example archives the synthetic
+CESM-ATM dataset with SPratio, verifies every field bit-for-bit, and
+compares the archive size against gzip.
+
+Run with:  python examples/climate_archive.py
+"""
+
+import time
+import zlib
+
+import numpy as np
+
+import repro
+from repro.datasets import sp_suite
+
+
+def main() -> None:
+    cesm = next(d for d in sp_suite() if d.name == "CESM-ATM")
+    print(f"archiving {len(cesm.files)} CESM-ATM fields with SPratio\n")
+
+    total_raw = total_fprz = total_gzip = 0
+    start = time.perf_counter()
+    archive: dict[str, bytes] = {}
+    for file in cesm.files[:12]:  # a dozen fields keeps the demo quick
+        field = file.load(scale=0.5)
+        blob = repro.compress(field, "spratio")
+        archive[file.name] = blob
+
+        restored = repro.decompress(blob)
+        assert restored.tobytes() == field.tobytes(), f"{file.name}: not lossless!"
+
+        gz = zlib.compress(field.tobytes(), 6)
+        total_raw += field.nbytes
+        total_fprz += len(blob)
+        total_gzip += len(gz)
+        print(f"  {file.name:<24} {field.nbytes:>8} B  "
+              f"SPratio {field.nbytes / len(blob):5.2f}x   "
+              f"gzip {field.nbytes / len(gz):5.2f}x")
+
+    elapsed = time.perf_counter() - start
+    print(f"\narchive: {total_raw} -> {total_fprz} bytes "
+          f"({total_raw / total_fprz:.2f}x; gzip reaches {total_raw / total_gzip:.2f}x)")
+    print(f"every field verified bit-exact in {elapsed:.2f}s")
+
+    # Random access: each container is independent; decode one field only.
+    name, blob = next(iter(archive.items()))
+    field = repro.decompress(blob)
+    print(f"random access: {name} restored alone, shape {field.shape}")
+
+
+if __name__ == "__main__":
+    main()

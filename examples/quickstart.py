@@ -1,0 +1,48 @@
+"""Quickstart: compress and decompress scientific floating-point arrays.
+
+Run with:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+import repro
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+
+    # A smooth single-precision field, the kind the codecs target.
+    field = np.cumsum(rng.normal(scale=0.01, size=(256, 512)), axis=1).astype(np.float32)
+
+    # Default mode is "ratio" (SPratio for float32)...
+    blob = repro.compress(field)
+    restored = repro.decompress(blob)
+    assert np.array_equal(restored, field) and restored.shape == field.shape
+    print(f"SPratio: {field.nbytes} -> {len(blob)} bytes "
+          f"(ratio {field.nbytes / len(blob):.2f})")
+
+    # ... and mode="speed" trades some ratio for throughput (SPspeed).
+    fast = repro.compress(field, mode="speed")
+    assert np.array_equal(repro.decompress(fast), field)
+    print(f"SPspeed: ratio {field.nbytes / len(fast):.2f}")
+
+    # Double precision picks the DP codecs automatically.
+    doubles = np.cumsum(rng.normal(size=100_000)).astype(np.float64)
+    for codec in ("dpspeed", "dpratio"):
+        blob = repro.compress(doubles, codec)
+        assert np.array_equal(repro.decompress(blob), doubles)
+        print(f"{codec}: ratio {doubles.nbytes / len(blob):.2f}")
+
+    # Lossless means bit-exact — NaN payloads, infinities, -0.0 included.
+    awkward = np.array([0.0, -0.0, np.inf, -np.inf, np.nan], dtype=np.float32)
+    assert repro.decompress(repro.compress(awkward)).tobytes() == awkward.tobytes()
+    print("special values round-trip bit-exactly")
+
+    # Containers are self-describing.
+    info = repro.inspect(repro.compress(field))
+    print(f"container: codec id {info.codec_id}, {info.n_chunks} chunks of "
+          f"{info.chunk_size} B, shape {info.shape}, ratio {info.ratio:.2f}")
+
+
+if __name__ == "__main__":
+    main()

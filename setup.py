@@ -1,0 +1,11 @@
+"""Legacy setuptools shim.
+
+The offline evaluation environment has no ``wheel`` package, so the
+PEP 660 editable path is unavailable; this shim lets
+``pip install -e .`` fall back to the classic ``setup.py develop``
+route.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,49 @@
+"""repro — lossless compression of scientific floating-point data.
+
+A from-scratch Python reproduction of
+
+    Azami, Fallin, Burtscher: "Efficient Lossless Compression of
+    Scientific Floating-Point Data on CPUs and GPUs", ASPLOS 2025.
+
+The package provides the paper's four codecs (SPspeed, SPratio, DPspeed,
+DPratio) behind a two-function API (:func:`compress` /
+:func:`decompress`), faithful reimplementations of the 18 baseline
+compressors it evaluates against (:mod:`repro.baselines`), synthetic
+SDRBench-like datasets (:mod:`repro.datasets`), the CPU/GPU execution
+model used to reproduce the paper's throughput figures
+(:mod:`repro.device`), and the benchmark harness regenerating
+Figures 8-19 (:mod:`repro.harness`).
+"""
+
+from repro.api import available_codecs, compress, decompress, inspect
+from repro.archive import Archive, write_archive
+from repro.core import CODECS, Codec, ContainerInfo, codec_for, get_codec
+from repro.errors import (
+    CorruptDataError,
+    FormatError,
+    ReproError,
+    UnknownCodecError,
+    UnsupportedDtypeError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CODECS",
+    "Codec",
+    "ContainerInfo",
+    "CorruptDataError",
+    "FormatError",
+    "ReproError",
+    "UnknownCodecError",
+    "UnsupportedDtypeError",
+    "Archive",
+    "available_codecs",
+    "codec_for",
+    "compress",
+    "decompress",
+    "get_codec",
+    "inspect",
+    "write_archive",
+    "__version__",
+]

@@ -1,0 +1,38 @@
+"""Compressibility diagnostics: why (and how well) data will compress.
+
+The paper's algorithms exploit specific bit-level statistics — clustered
+exponents, leading-zero runs after differencing, repeated values, random
+low mantissas.  This subpackage measures those statistics directly and
+explains a codec's behaviour stage by stage:
+
+* :func:`repro.analysis.diagnostics.smoothness` — difference-magnitude
+  statistics (DIFFMS's food);
+* :func:`repro.analysis.diagnostics.leading_zero_profile` — the per-value
+  leading-zero histogram RAZE's adaptive split is computed from;
+* :func:`repro.analysis.diagnostics.byte_plane_entropy` — per-byte-position
+  entropy (what BIT+RZE and byte shuffles can harvest);
+* :func:`repro.analysis.diagnostics.repeat_profile` — exact-repeat and
+  repeat-distance statistics (FCM/FPC's food);
+* :func:`repro.analysis.explain.explain` — per-stage size waterfall for a
+  codec on given data;
+* :func:`repro.analysis.explain.recommend` — codec recommendation from the
+  measured statistics.
+"""
+
+from repro.analysis.diagnostics import (
+    byte_plane_entropy,
+    leading_zero_profile,
+    repeat_profile,
+    smoothness,
+)
+from repro.analysis.explain import StageBreakdown, explain, recommend
+
+__all__ = [
+    "StageBreakdown",
+    "byte_plane_entropy",
+    "explain",
+    "leading_zero_profile",
+    "recommend",
+    "repeat_profile",
+    "smoothness",
+]

@@ -1,0 +1,130 @@
+"""Bit-level statistics behind floating-point compressibility."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bitpack import count_leading_zeros
+from repro.bitpack.zigzag import zigzag_encode
+from repro.errors import UnsupportedDtypeError
+
+
+def _words_of(data: np.ndarray) -> tuple[np.ndarray, int]:
+    data = np.asarray(data)
+    if data.dtype == np.float32:
+        return data.reshape(-1).view(np.uint32), 32
+    if data.dtype == np.float64:
+        return data.reshape(-1).view(np.uint64), 64
+    raise UnsupportedDtypeError(f"diagnostics need float32/float64, got {data.dtype}")
+
+
+@dataclass(frozen=True)
+class Smoothness:
+    """Difference statistics of the integer word stream."""
+
+    word_bits: int
+    mean_diff_bits: float     # average significant bits in the DIFFMS output
+    zero_diff_fraction: float # consecutive exact repeats
+    #: differences whose codes keep at least 3/8 of the word as leading
+    #: zeros — the bits DIFFMS-based codecs harvest
+    small_diff_fraction: float
+
+    @property
+    def is_smooth(self) -> bool:
+        return self.small_diff_fraction > 0.5
+
+
+def smoothness(data: np.ndarray) -> Smoothness:
+    """How DIFFMS-friendly the data is (paper §3: 'relatively smooth')."""
+    words, wb = _words_of(data)
+    if len(words) == 0:
+        return Smoothness(wb, 0.0, 0.0, 0.0)
+    prev = np.zeros_like(words)
+    prev[1:] = words[:-1]
+    coded = zigzag_encode(words - prev, wb)
+    bits = wb - count_leading_zeros(coded, wb).astype(np.int64)
+    return Smoothness(
+        word_bits=wb,
+        mean_diff_bits=float(bits.mean()),
+        zero_diff_fraction=float((coded == 0).mean()),
+        small_diff_fraction=float((bits <= (5 * wb) // 8).mean()),
+    )
+
+
+def leading_zero_profile(data: np.ndarray, *, after_diff: bool = True) -> np.ndarray:
+    """Histogram of per-value leading-zero counts (length word_bits + 1).
+
+    With ``after_diff`` the profile describes the DIFFMS output — exactly
+    the histogram RAZE's adaptive split is computed from (§3.2, Fig. 7).
+    """
+    words, wb = _words_of(data)
+    if after_diff and len(words):
+        prev = np.zeros_like(words)
+        prev[1:] = words[:-1]
+        words = zigzag_encode(words - prev, wb)
+    clz = count_leading_zeros(words, wb)
+    return np.bincount(clz.astype(np.int64), minlength=wb + 1)
+
+
+def byte_plane_entropy(data: np.ndarray) -> np.ndarray:
+    """Shannon entropy (bits/byte) of each byte position, MSB first.
+
+    Scientific data typically shows near-zero entropy in the exponent
+    bytes and near-8-bit entropy in the low mantissa bytes — the gradient
+    BIT/RZE and byte shuffles exploit, and the reason DPratio keeps the
+    bottom ``64-k`` bits verbatim.
+    """
+    words, wb = _words_of(data)
+    word_bytes = wb // 8
+    if len(words) == 0:
+        return np.zeros(word_bytes)
+    rows = words.astype(words.dtype.newbyteorder(">"), copy=False).view(np.uint8)
+    rows = rows.reshape(len(words), word_bytes)
+    entropies = np.empty(word_bytes)
+    for plane in range(word_bytes):
+        counts = np.bincount(rows[:, plane], minlength=256)
+        probs = counts[counts > 0] / len(words)
+        entropies[plane] = float(-(probs * np.log2(probs)).sum())
+    return entropies
+
+
+@dataclass(frozen=True)
+class RepeatProfile:
+    """Exact value-repeat statistics (FCM/FPC's food)."""
+
+    unique_fraction: float
+    repeat_fraction: float          # values seen earlier anywhere
+    near_repeat_fraction: float     # previous occurrence within the LZ window
+    far_repeat_fraction: float      # previous occurrence beyond it
+
+    @property
+    def favors_fcm(self) -> bool:
+        """Far repeats are invisible to sliding-window LZ but not to FCM."""
+        return self.far_repeat_fraction > 0.05
+
+
+#: A 32 KiB LZ window, in values, for the near/far split.
+def repeat_profile(data: np.ndarray, *, window_bytes: int = 32768) -> RepeatProfile:
+    words, wb = _words_of(data)
+    n = len(words)
+    if n == 0:
+        return RepeatProfile(0.0, 0.0, 0.0, 0.0)
+    window = max(1, window_bytes // (wb // 8))
+    order = np.argsort(words, kind="stable")
+    sorted_words = words[order]
+    same_as_prev = np.zeros(n, dtype=bool)
+    same_as_prev[1:] = sorted_words[1:] == sorted_words[:-1]
+    # Distance to the nearest previous occurrence (within equal runs the
+    # stable sort keeps original order, so neighbours are closest pairs).
+    distances = np.zeros(n, dtype=np.int64)
+    distances[1:] = order[1:] - order[:-1]
+    repeats = same_as_prev
+    near = repeats & (distances <= window)
+    return RepeatProfile(
+        unique_fraction=float(len(np.unique(words)) / n),
+        repeat_fraction=float(repeats.mean()),
+        near_repeat_fraction=float(near.mean()),
+        far_repeat_fraction=float((repeats & ~near).mean()),
+    )

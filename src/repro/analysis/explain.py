@@ -1,0 +1,101 @@
+"""Per-stage size waterfalls and codec recommendation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.chunking import CHUNK_SIZE, iter_chunks
+from repro.core.codecs import Codec, get_codec
+from repro.errors import UnsupportedDtypeError
+
+
+@dataclass(frozen=True)
+class StageBreakdown:
+    """How many bytes each stage of a codec leaves behind on given data."""
+
+    codec: str
+    original: int
+    #: (stage name, bytes after the stage), in pipeline order; the global
+    #: stage (FCM) appears first when the codec has one.
+    waterfall: tuple[tuple[str, int], ...]
+    compressed: int
+
+    @property
+    def ratio(self) -> float:
+        return self.original / self.compressed if self.compressed else 0.0
+
+    def render(self) -> str:
+        lines = [f"{self.codec}: {self.original} B original"]
+        for name, size in self.waterfall:
+            pct = 100.0 * size / self.original if self.original else 0.0
+            lines.append(f"  after {name:<8} {size:>10} B  ({pct:6.1f}%)")
+        lines.append(f"  container   {self.compressed:>10} B  "
+                     f"(ratio {self.ratio:.3f})")
+        return "\n".join(lines)
+
+
+def explain(data: np.ndarray | bytes, codec: str) -> StageBreakdown:
+    """Run ``codec``'s pipeline stage by stage and record the sizes.
+
+    The waterfall shows where a codec earns (or wastes) its bytes: e.g.
+    DPratio's FCM stage *doubles* the data before the later stages win it
+    back — exactly the behaviour paper §3.2 describes.
+    """
+    chosen: Codec = get_codec(codec)
+    if isinstance(data, np.ndarray):
+        raw = np.ascontiguousarray(data).tobytes()
+    else:
+        raw = bytes(data)
+    waterfall: list[tuple[str, int]] = []
+    intermediate = raw
+    global_stage = chosen.make_global_stage()
+    if global_stage is not None:
+        intermediate = global_stage.encode(raw)
+        waterfall.append((global_stage.name, len(intermediate)))
+    stages = chosen.make_pipeline().stages
+    chunks = list(iter_chunks(intermediate, CHUNK_SIZE))
+    running = chunks
+    for stage in stages:
+        running = [stage.encode(chunk) for chunk in running]
+        waterfall.append((stage.name, sum(len(c) for c in running)))
+    import repro
+
+    compressed = len(repro.compress(raw, codec))
+    return StageBreakdown(
+        codec=chosen.name,
+        original=len(raw),
+        waterfall=tuple(waterfall),
+        compressed=compressed,
+    )
+
+
+def recommend(data: np.ndarray) -> tuple[str, str]:
+    """Suggest a codec and explain why, from measured statistics."""
+    from repro.analysis.diagnostics import repeat_profile, smoothness
+
+    data = np.asarray(data)
+    if data.dtype == np.float32:
+        speed, ratio = "spspeed", "spratio"
+    elif data.dtype == np.float64:
+        speed, ratio = "dpspeed", "dpratio"
+    else:
+        raise UnsupportedDtypeError(f"no codec family for dtype {data.dtype}")
+    repeats = repeat_profile(data)
+    smooth = smoothness(data)
+    if data.dtype == np.float64 and repeats.favors_fcm:
+        return ratio, (
+            f"{repeats.far_repeat_fraction:.0%} of values repeat beyond the "
+            "LZ window — DPratio's FCM stage is built for exactly this."
+        )
+    if smooth.is_smooth:
+        return ratio, (
+            f"{smooth.small_diff_fraction:.0%} of differences are small — "
+            "the ratio-mode pipeline will compress well."
+        )
+    return speed, (
+        "differences are large (mean "
+        f"{smooth.mean_diff_bits:.1f} significant bits): extra ratio-mode "
+        "stages would buy little, take the fast path."
+    )

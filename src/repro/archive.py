@@ -1,0 +1,143 @@
+"""Multi-member archives: many named arrays in one random-access blob.
+
+Scientific campaigns store hundreds of fields per snapshot (the CESM-ATM
+dataset alone has 33).  An :class:`Archive` packs one FPRZ container per
+member behind a central index, so any member decodes alone — the chunked
+container gives parallel decode *within* a member, the archive gives
+random access *across* members.
+
+Layout::
+
+    magic "FPRA" | version u8 | reserved u8 | n_members u16
+    index: per member -> u16 name length, name (utf-8), u64 offset, u64 size
+    member containers, concatenated
+
+Offsets are relative to the start of the member section, so index size
+changes never invalidate them.
+
+Example::
+
+    blob = write_archive({"T": temperature, "P": pressure}, mode="ratio")
+    archive = Archive.from_bytes(blob)
+    pressure = archive.read("P")
+"""
+
+from __future__ import annotations
+
+import struct
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.api import compress, decompress, inspect
+from repro.errors import FormatError
+
+MAGIC = b"FPRA"
+VERSION = 1
+
+_HEADER = struct.Struct("<4sBBH")
+
+
+def write_archive(
+    members: Mapping[str, np.ndarray | bytes],
+    *,
+    codec: str | None = None,
+    mode: str = "ratio",
+    checksum: bool = False,
+    workers: int = 1,
+) -> bytes:
+    """Compress ``members`` into one archive blob (iteration order kept)."""
+    if len(members) > 0xFFFF:
+        raise ValueError("archives hold at most 65535 members")
+    blobs: list[tuple[str, bytes]] = []
+    for name, data in members.items():
+        encoded_name = name.encode("utf-8")
+        if not 0 < len(encoded_name) <= 0xFFFF:
+            raise ValueError(f"member name {name!r} must encode to 1..65535 bytes")
+        blobs.append(
+            (name, compress(data, codec, mode=mode, checksum=checksum, workers=workers))
+        )
+    index = bytearray()
+    offset = 0
+    for name, blob in blobs:
+        encoded_name = name.encode("utf-8")
+        index += struct.pack("<H", len(encoded_name))
+        index += encoded_name
+        index += struct.pack("<QQ", offset, len(blob))
+        offset += len(blob)
+    header = _HEADER.pack(MAGIC, VERSION, 0, len(blobs))
+    return header + bytes(index) + b"".join(blob for _, blob in blobs)
+
+
+class Archive:
+    """Read-only view over an archive blob with lazy member decoding."""
+
+    def __init__(self, blob: bytes, index: dict[str, tuple[int, int]], base: int) -> None:
+        self._blob = blob
+        self._index = index
+        self._base = base
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "Archive":
+        if len(blob) < _HEADER.size:
+            raise FormatError("archive shorter than its header")
+        magic, version, _, n_members = _HEADER.unpack_from(blob, 0)
+        if magic != MAGIC:
+            raise FormatError(f"bad magic {magic!r}; not an FPRA archive")
+        if version != VERSION:
+            raise FormatError(f"unsupported archive version {version}")
+        pos = _HEADER.size
+        index: dict[str, tuple[int, int]] = {}
+        for _ in range(n_members):
+            if pos + 2 > len(blob):
+                raise FormatError("truncated archive index")
+            (name_len,) = struct.unpack_from("<H", blob, pos)
+            pos += 2
+            if pos + name_len + 16 > len(blob):
+                raise FormatError("truncated archive index entry")
+            name = blob[pos : pos + name_len].decode("utf-8")
+            pos += name_len
+            offset, size = struct.unpack_from("<QQ", blob, pos)
+            pos += 16
+            if name in index:
+                raise FormatError(f"duplicate archive member {name!r}")
+            index[name] = (offset, size)
+        base = pos
+        expected_end = base + sum(size for _, size in index.values())
+        if expected_end != len(blob):
+            raise FormatError(
+                f"archive payload length mismatch: index implies {expected_end}, "
+                f"blob has {len(blob)}"
+            )
+        return cls(blob, index, base)
+
+    def members(self) -> list[str]:
+        """Member names, in archive order."""
+        return sorted(self._index, key=lambda n: self._index[n][0])
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def _member_blob(self, name: str) -> bytes:
+        if name not in self._index:
+            raise KeyError(f"no archive member {name!r}")
+        offset, size = self._index[name]
+        start = self._base + offset
+        return self._blob[start : start + size]
+
+    def read(self, name: str, *, workers: int = 1) -> np.ndarray | bytes:
+        """Decode one member (nothing else is touched)."""
+        return decompress(self._member_blob(name), workers=workers)
+
+    def info(self, name: str):
+        """Container metadata for one member without decoding it."""
+        return inspect(self._member_blob(name))
+
+    def total_ratio(self) -> float:
+        """Aggregate compression ratio across all members."""
+        original = sum(self.info(name).original_len for name in self._index)
+        compressed = sum(size for _, size in self._index.values())
+        return original / compressed if compressed else 0.0

@@ -1,0 +1,114 @@
+"""The 18 comparison compressors of the paper's Table 1, reimplemented.
+
+Every baseline implements :class:`BaselineCompressor`: a lossless
+``compress(bytes) -> bytes`` / ``decompress(bytes) -> bytes`` pair plus
+the Table 1 metadata (device, datatype, version, source).  Floating-point
+baselines take the element dtype at construction; general-purpose ones
+ignore it.
+
+Faithfulness levels (details in each module's docstring and DESIGN.md):
+
+* *algorithmic reimplementations* — FPC, pFPC, GFC, MPC, ndzip, Bitcomp,
+  Cascaded, ANS (rANS), LZ4/Snappy: the published algorithm, from scratch.
+* *structural approximations* — SPDP, FPzip, ZFP: the published transform
+  chain with a simplified final entropy stage.
+* *stdlib-backed* — Gzip, Deflate, Gdeflate, Bzip2 (zlib/bz2 are the
+  reference implementations of those formats); Zstandard is emulated
+  (no zstd offline), with the CPU and GPU variants deliberately
+  incompatible, as the paper notes about the real pair.
+
+:func:`baseline_registry` returns the Table 1 inventory;
+:func:`competitors_for` selects the per-figure comparison sets.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class BaselineCompressor(ABC):
+    """A lossless byte-level compressor with Table 1 metadata."""
+
+    #: display name, e.g. ``"FPC"`` or ``"Bitcomp-i0"``
+    name: str = "baseline"
+    #: ``"CPU"``, ``"GPU"``, or ``"CPU+GPU"``
+    device: str = "CPU"
+    #: Table 1 datatype column: ``"FP32 & FP64"``, ``"FP64"``, ``"General"``
+    datatype: str = "General"
+
+    @abstractmethod
+    def compress(self, data: bytes) -> bytes:
+        """Compress ``data``; must be invertible by :meth:`decompress`."""
+
+    @abstractmethod
+    def decompress(self, blob: bytes) -> bytes:
+        """Exact inverse of :meth:`compress`."""
+
+    def set_dimensions(self, shape: tuple[int, ...]) -> None:
+        """Receive the input's grid shape before compression.
+
+        The paper supplies the true dimensionality to the baselines that
+        require it ("MPC requires the tuple size of the input, and FPzip,
+        ZFP, and Ndzip need the dimensions ... We provided this
+        information for all runs", §4).  Dimension-aware baselines
+        override this; everything else — including the paper's own four
+        codecs, which deliberately need no dimensions — ignores it.
+        """
+
+    def compress_array(self, array: np.ndarray) -> bytes:
+        return self.compress(np.ascontiguousarray(array).tobytes())
+
+    def roundtrip_ratio(self, data: bytes) -> float:
+        """Convenience: compression ratio on ``data`` (validates losslessness)."""
+        blob = self.compress(data)
+        if self.decompress(blob) != data:
+            raise AssertionError(f"{self.name}: lossy round trip")
+        return len(data) / len(blob) if blob else float("inf")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name}>"
+
+
+@dataclass(frozen=True)
+class BaselineSpec:
+    """One Table 1 row: metadata plus a constructor."""
+
+    name: str
+    device: str
+    datatype: str
+    version: str
+    source: str
+    factory: Callable[[np.dtype], BaselineCompressor]
+
+    def build(self, dtype: np.dtype) -> BaselineCompressor:
+        return self.factory(np.dtype(dtype))
+
+
+def baseline_registry() -> list[BaselineSpec]:
+    """The paper's Table 1 inventory (18 compressors + variants)."""
+    from repro.baselines.table1 import build_registry
+
+    return build_registry()
+
+
+def competitors_for(dtype: np.dtype, device_kind: str) -> list[BaselineCompressor]:
+    """Baselines that appear in a figure for ``dtype`` on ``device_kind``.
+
+    ``device_kind`` is ``"gpu"`` or ``"cpu"``; FP64-only codecs are
+    excluded from FP32 figures, exactly as in the paper.
+    """
+    from repro.baselines.table1 import build_competitors
+
+    return build_competitors(np.dtype(dtype), device_kind)
+
+
+__all__ = [
+    "BaselineCompressor",
+    "BaselineSpec",
+    "baseline_registry",
+    "competitors_for",
+]

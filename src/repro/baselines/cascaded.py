@@ -1,0 +1,104 @@
+"""nvCOMP Cascaded: RLE + delta encoding + bit packing.
+
+The Cascaded scheme (Table 1, "General") chains run-length encoding over
+equal words, delta encoding of the run values, and fixed-width bit
+packing of both the value and run-length streams.  It excels on highly
+repetitive numeric data and does little on smooth floating-point fields,
+matching its mid-to-low position in the paper's figures.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.baselines import BaselineCompressor
+from repro.bitpack import (
+    count_leading_zeros,
+    pack_words,
+    packed_size_bytes,
+    unpack_words,
+    words_from_bytes,
+    words_to_bytes,
+)
+from repro.bitpack.zigzag import zigzag_decode, zigzag_encode
+from repro.errors import CorruptDataError
+
+
+def _rle(words: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Run-length encode into (values, run lengths)."""
+    if len(words) == 0:
+        return words, np.zeros(0, dtype=np.uint64)
+    change = np.empty(len(words), dtype=bool)
+    change[0] = True
+    change[1:] = words[1:] != words[:-1]
+    starts = np.nonzero(change)[0]
+    lengths = np.diff(np.append(starts, len(words))).astype(np.uint64)
+    return words[starts], lengths
+
+
+def _pack_stream(values: np.ndarray, word_bits: int) -> bytes:
+    """Width byte + fixed-width packed words."""
+    if len(values) == 0:
+        return bytes([0])
+    leading = int(count_leading_zeros(values.max(keepdims=True), word_bits)[0])
+    width = word_bits - leading
+    return bytes([width]) + pack_words(values, width, word_bits)
+
+
+def _unpack_stream(blob: bytes, pos: int, count: int, word_bits: int) -> tuple[np.ndarray, int]:
+    if pos >= len(blob):
+        raise CorruptDataError("Cascaded truncated stream header")
+    width = blob[pos]
+    pos += 1
+    if width > word_bits:
+        raise CorruptDataError(f"Cascaded width {width} exceeds word size")
+    size = packed_size_bytes(count, width)
+    values = unpack_words(blob[pos : pos + size], count, width, word_bits)
+    return values, pos + size
+
+
+class Cascaded(BaselineCompressor):
+    """RLE -> delta -> bitpack, at the element word size."""
+
+    name = "Cascaded"
+    device = "GPU"
+    datatype = "General"
+
+    def __init__(self, dtype=np.float32) -> None:
+        dtype = np.dtype(dtype)
+        self.word_bits = 64 if dtype.itemsize == 8 else 32
+
+    def compress(self, data: bytes) -> bytes:
+        words, tail = words_from_bytes(data, self.word_bits)
+        values, lengths = _rle(words)
+        prev = np.zeros_like(values)
+        prev[1:] = values[:-1]
+        deltas = zigzag_encode(values - prev, self.word_bits)
+        lengths64 = lengths.astype(np.uint64)
+        return (
+            struct.pack("<IIB", len(words), len(values), len(tail))
+            + tail
+            + _pack_stream(deltas, self.word_bits)
+            + _pack_stream(lengths64, 64)
+        )
+
+    def decompress(self, blob: bytes) -> bytes:
+        if len(blob) < 9:
+            raise CorruptDataError("Cascaded payload shorter than its header")
+        n_words, n_runs, tail_len = struct.unpack_from("<IIB", blob, 0)
+        pos = 9
+        tail = blob[pos : pos + tail_len]
+        pos += tail_len
+        deltas, pos = _unpack_stream(blob, pos, n_runs, self.word_bits)
+        lengths, pos = _unpack_stream(blob, pos, n_runs, 64)
+        if pos != len(blob):
+            raise CorruptDataError("Cascaded trailing garbage")
+        diffs = zigzag_decode(deltas, self.word_bits)
+        values = np.cumsum(diffs, dtype=diffs.dtype)
+        total = int(lengths.sum())
+        if total != n_words:
+            raise CorruptDataError("Cascaded run lengths do not cover the data")
+        words = np.repeat(values, lengths.astype(np.int64))
+        return words_to_bytes(words, tail)

@@ -1,0 +1,115 @@
+"""GFC: GPU floating-point compression (O'Neil & Burtscher, GPGPU'11).
+
+GFC "computes the difference sequence, negates any negative differences,
+and encodes the sign bit together with a 3-bit count of the leading zero
+bytes in a nibble before removing those leading zero bytes"; for
+parallelism "the difference sequence is computed using values that
+appear at least 32 elements earlier in the input" (paper §2.1).
+
+This implementation is fully vectorised: lag-32 differences, per-value
+magnitude/sign split, nibble headers packed two per byte, and residual
+bytes gathered with a mask (the serial equivalent of the warp's prefix
+sum).  Counts above 7 are capped (a zero difference stores one zero
+byte), exactly like the 3-bit field forces in the original.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.baselines import BaselineCompressor
+from repro.errors import CorruptDataError
+
+LAG = 32
+
+
+def _leading_zero_byte_counts(mag: np.ndarray) -> np.ndarray:
+    """Per-value leading-zero-byte count, capped at 7 (3-bit field)."""
+    rows = mag.astype(">u8").view(np.uint8).reshape(len(mag), 8)
+    nonzero = rows != 0
+    first = np.argmax(nonzero, axis=1)
+    first[~nonzero.any(axis=1)] = 8
+    return np.minimum(first, 7).astype(np.uint8)
+
+
+class GFC(BaselineCompressor):
+    """Lag-32 difference + sign/leading-zero-byte nibble coding (FP64)."""
+
+    name = "GFC"
+    device = "GPU"
+    datatype = "FP64"
+
+    def __init__(self, dtype=np.float64) -> None:
+        if np.dtype(dtype) != np.float64:
+            raise ValueError("GFC compresses double-precision data only")
+
+    def compress(self, data: bytes) -> bytes:
+        n = len(data) // 8
+        words = np.frombuffer(data, dtype="<u8", count=n)
+        tail = data[n * 8 :]
+        prev = np.zeros(n, dtype=np.uint64)
+        prev[LAG:] = words[:-LAG]
+        forward = words - prev          # wraps mod 2^64
+        backward = prev - words
+        # Interpret the wrapped difference as signed: negative iff the
+        # forward difference's top bit is set.
+        negative = (forward >> np.uint64(63)).astype(bool)
+        mag = np.where(negative, backward, forward)
+        lzb = _leading_zero_byte_counts(mag)
+        kept = (8 - lzb).astype(np.int64)
+        nibbles = (negative.astype(np.uint8) << 3) | lzb
+        packed = np.zeros((n + 1) // 2, dtype=np.uint8)
+        packed |= np.left_shift(nibbles[0::2], 4, dtype=np.uint8)
+        packed[: n // 2] |= nibbles[1::2]
+        le_rows = mag.astype("<u8").view(np.uint8).reshape(n, 8)
+        col = np.arange(8)
+        keep_mask = col[None, :] < kept[:, None]
+        residuals = le_rows[keep_mask]  # row-major: value order, low bytes first
+        return (
+            struct.pack("<IB", n, len(tail))
+            + tail
+            + packed.tobytes()
+            + residuals.tobytes()
+        )
+
+    def decompress(self, blob: bytes) -> bytes:
+        if len(blob) < 5:
+            raise CorruptDataError("GFC payload shorter than its header")
+        n, tail_len = struct.unpack_from("<IB", blob, 0)
+        pos = 5
+        tail = blob[pos : pos + tail_len]
+        pos += tail_len
+        header_bytes = (n + 1) // 2
+        packed = np.frombuffer(blob, dtype=np.uint8, count=header_bytes, offset=pos)
+        pos += header_bytes
+        nibbles = np.empty(n, dtype=np.uint8)
+        nibbles[0::2] = packed[: (n + 1) // 2] >> 4
+        nibbles[1::2] = packed[: n // 2] & 0xF
+        negative = (nibbles >> 3).astype(bool)
+        kept = (8 - (nibbles & 0x7)).astype(np.int64)
+        total = int(kept.sum())
+        residuals = np.frombuffer(blob, dtype=np.uint8, count=total, offset=pos)
+        if pos + total != len(blob):
+            raise CorruptDataError("GFC residual stream length mismatch")
+        rows = np.zeros((n, 8), dtype=np.uint8)
+        col = np.arange(8)
+        keep_mask = col[None, :] < kept[:, None]
+        rows[keep_mask] = residuals
+        mag = rows.reshape(-1).view("<u8").astype(np.uint64)
+        # Lag-32 prefix reconstruction, 32 lanes at a time.
+        words = np.empty(n, dtype=np.uint64)
+        prev = np.zeros(min(LAG, n), dtype=np.uint64)
+        for start in range(0, n, LAG):
+            stop = min(start + LAG, n)
+            width = stop - start
+            base = prev[:width]
+            block = np.where(negative[start:stop], base - mag[start:stop],
+                             base + mag[start:stop])
+            words[start:stop] = block
+            if width == LAG:
+                prev = block
+            else:  # final partial block: keep untouched lanes
+                prev = np.concatenate([block, prev[width:]])
+        return words.astype("<u8").tobytes() + tail

@@ -1,0 +1,163 @@
+"""Mini byte-oriented LZ77 family: the LZ4 and Snappy table rows.
+
+A real greedy hash-chain LZ compressor with the LZ4 design points:
+4-byte minimum matches found through a prefix hash table, literal runs
+and matches interleaved as tokens, and an acceleration heuristic that
+skips faster through incompressible regions.  LZ4 and Snappy differ here
+only in parameters (window size, hash width, acceleration), which is
+also how they differ in spirit: both are byte LZ codecs tuned for speed
+over ratio, and both sit in the low-ratio/high-speed corner of the
+paper's figures on floating-point data.
+
+Token format (self-describing, little-endian):
+
+* literal run: ``0x00`` + varint length + bytes
+* match: ``0x01`` + varint length + u16 backward offset
+
+Varints are LEB128.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.baselines import BaselineCompressor
+from repro.errors import CorruptDataError
+
+MIN_MATCH = 4
+
+
+def _write_varint(out: bytearray, value: int) -> None:
+    while value >= 0x80:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+
+
+def _read_varint(blob: bytes, pos: int) -> tuple[int, int]:
+    value = 0
+    shift = 0
+    while True:
+        if pos >= len(blob):
+            raise CorruptDataError("LZ varint truncated")
+        byte = blob[pos]
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if byte < 0x80:
+            return value, pos
+        shift += 7
+        if shift > 35:
+            raise CorruptDataError("LZ varint too long")
+
+
+class LZ4Like(BaselineCompressor):
+    """Greedy hash-table LZ with LZ4-style acceleration."""
+
+    name = "LZ4"
+    device = "GPU"
+    datatype = "General"
+
+    def __init__(self, dtype=None, *, hash_log2: int = 16, window: int = 65535,
+                 search_effort: int = 1, name: str | None = None) -> None:
+        """``search_effort`` scales how long the scanner keeps probing
+        before accelerating through incompressible data: 0 skips soonest
+        (Snappy-like), large values effectively never skip."""
+        self.hash_log2 = hash_log2
+        self.window = window
+        self.search_effort = search_effort
+        self._skip_shift = min(30, 5 + search_effort)
+        if name:
+            self.name = name
+
+    def _hash(self, word: int) -> int:
+        return ((word * 2654435761) & 0xFFFFFFFF) >> (32 - self.hash_log2)
+
+    def compress(self, data: bytes) -> bytes:
+        n = len(data)
+        out = bytearray(struct.pack("<I", n))
+        if n == 0:
+            return bytes(out)
+        table: dict[int, int] = {}
+        pos = 0
+        literal_start = 0
+        misses = 0
+        while pos + MIN_MATCH <= n:
+            word = int.from_bytes(data[pos : pos + 4], "little")
+            slot = self._hash(word)
+            candidate = table.get(slot, -1)
+            table[slot] = pos
+            if (
+                candidate >= 0
+                and pos - candidate <= self.window
+                and data[candidate : candidate + 4] == data[pos : pos + 4]
+            ):
+                # Extend the match forward.
+                length = 4
+                while (
+                    pos + length < n
+                    and data[candidate + length] == data[pos + length]
+                ):
+                    length += 1
+                if literal_start < pos:
+                    out.append(0x00)
+                    _write_varint(out, pos - literal_start)
+                    out += data[literal_start:pos]
+                out.append(0x01)
+                _write_varint(out, length)
+                out += struct.pack("<H", pos - candidate)
+                pos += length
+                literal_start = pos
+                misses = 0
+            else:
+                misses += 1
+                pos += 1 + (misses >> self._skip_shift)
+        if literal_start < n:
+            out.append(0x00)
+            _write_varint(out, n - literal_start)
+            out += data[literal_start:]
+        return bytes(out)
+
+    def decompress(self, blob: bytes) -> bytes:
+        if len(blob) < 4:
+            raise CorruptDataError("LZ payload shorter than its header")
+        (n,) = struct.unpack_from("<I", blob, 0)
+        pos = 4
+        out = bytearray()
+        while pos < len(blob):
+            kind = blob[pos]
+            pos += 1
+            if kind == 0x00:
+                length, pos = _read_varint(blob, pos)
+                if pos + length > len(blob):
+                    raise CorruptDataError("LZ literal run truncated")
+                out += blob[pos : pos + length]
+                pos += length
+            elif kind == 0x01:
+                length, pos = _read_varint(blob, pos)
+                if pos + 2 > len(blob):
+                    raise CorruptDataError("LZ match token truncated")
+                (offset,) = struct.unpack_from("<H", blob, pos)
+                pos += 2
+                if offset == 0 or offset > len(out):
+                    raise CorruptDataError("LZ match offset out of range")
+                start = len(out) - offset
+                for i in range(length):  # may self-overlap, byte by byte
+                    out.append(out[start + i])
+            else:
+                raise CorruptDataError(f"LZ unknown token {kind}")
+        if len(out) != n:
+            raise CorruptDataError(
+                f"LZ decompressed to {len(out)} bytes, expected {n}"
+            )
+        return bytes(out)
+
+
+def lz4(dtype=None) -> LZ4Like:
+    return LZ4Like(dtype, hash_log2=16, window=65535, search_effort=1, name="LZ4")
+
+
+def snappy(dtype=None) -> LZ4Like:
+    return LZ4Like(dtype, hash_log2=14, window=32768, search_effort=0,
+                   name="Snappy")

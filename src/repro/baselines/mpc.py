@@ -1,0 +1,104 @@
+"""MPC: Massively Parallel Compression (Yang et al., Cluster'15).
+
+MPC chains parallelisable transformations: dimension-aware delta
+encoding, bit transposition across 32-value groups, and elimination of
+the resulting zero words, "which are recorded in a bitmap and then
+eliminated from the value sequence" (paper §2.1).  MPC requires the tuple
+size (dimensionality) of the input; we default to 1 like the paper's
+runs on flat arrays.
+
+Layout per block of 1024 words: a raw bitmap (one bit per transposed
+word) followed by the surviving nonzero words.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.baselines import BaselineCompressor
+from repro.bitpack import bit_transpose, bit_untranspose, words_from_bytes, words_to_bytes
+from repro.bitpack.zigzag import zigzag_decode, zigzag_encode
+from repro.errors import CorruptDataError
+
+BLOCK_WORDS = 1024
+
+
+class MPC(BaselineCompressor):
+    """Delta + bit transposition + zero-word bitmap elimination."""
+
+    name = "MPC"
+    device = "GPU"
+    datatype = "FP32 & FP64"
+
+    def __init__(self, dtype=np.float32, dimension: int = 1) -> None:
+        dtype = np.dtype(dtype)
+        if dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+            raise ValueError("MPC supports float32/float64")
+        self.word_bits = dtype.itemsize * 8
+        if dimension < 1:
+            raise ValueError("tuple size must be positive")
+        self.dimension = dimension
+
+    def _delta(self, words: np.ndarray) -> np.ndarray:
+        prev = np.zeros_like(words)
+        prev[self.dimension :] = words[: -self.dimension] if self.dimension <= len(words) else 0
+        return zigzag_encode(words - prev, self.word_bits)
+
+    def _undelta(self, deltas: np.ndarray) -> np.ndarray:
+        diffs = zigzag_decode(deltas, self.word_bits)
+        if self.dimension == 1:
+            return np.cumsum(diffs, dtype=diffs.dtype)
+        out = diffs.copy()
+        for lane in range(self.dimension):
+            out[lane :: self.dimension] = np.cumsum(diffs[lane :: self.dimension],
+                                                    dtype=diffs.dtype)
+        return out
+
+    def compress(self, data: bytes) -> bytes:
+        words, tail = words_from_bytes(data, self.word_bits)
+        deltas = self._delta(words)
+        parts = [struct.pack("<IB", len(words), len(tail)), tail]
+        dtype = words.dtype
+        for start in range(0, len(words), BLOCK_WORDS):
+            block = deltas[start : start + BLOCK_WORDS]
+            transposed = np.frombuffer(
+                bit_transpose(block, self.word_bits), dtype=np.uint8
+            ).view(dtype)
+            mask = transposed != 0
+            bitmap = np.packbits(mask)
+            parts.append(bitmap.tobytes())
+            parts.append(transposed[mask].tobytes())
+        return b"".join(parts)
+
+    def decompress(self, blob: bytes) -> bytes:
+        if len(blob) < 5:
+            raise CorruptDataError("MPC payload shorter than its header")
+        n, tail_len = struct.unpack_from("<IB", blob, 0)
+        pos = 5
+        tail = blob[pos : pos + tail_len]
+        pos += tail_len
+        word_bytes = self.word_bits // 8
+        dtype = np.dtype(f"<u{word_bytes}")
+        deltas = np.empty(n, dtype=dtype)
+        for start in range(0, n, BLOCK_WORDS):
+            count = min(BLOCK_WORDS, n - start)
+            # The transposed stream holds word_bits rows of ceil(count/8) bytes.
+            t_bytes = self.word_bits * ((count + 7) // 8)
+            t_words = t_bytes // word_bytes
+            bitmap_bytes = (t_words + 7) // 8
+            bitmap = np.frombuffer(blob, dtype=np.uint8, count=bitmap_bytes, offset=pos)
+            pos += bitmap_bytes
+            mask = np.unpackbits(bitmap)[:t_words].astype(bool)
+            kept = int(mask.sum())
+            nonzero = np.frombuffer(blob, dtype=dtype, count=kept, offset=pos)
+            pos += kept * word_bytes
+            transposed = np.zeros(t_words, dtype=dtype)
+            transposed[mask] = nonzero
+            deltas[start : start + count] = bit_untranspose(
+                transposed.tobytes(), count, self.word_bits
+            )
+        if pos != len(blob):
+            raise CorruptDataError("MPC trailing garbage")
+        return words_to_bytes(self._undelta(deltas), tail)

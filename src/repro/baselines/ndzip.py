@@ -1,0 +1,109 @@
+"""ndzip: high-throughput block compressor (Knorr et al., DCC'21).
+
+ndzip partitions the input into hypercubes (4096 values in 1-D), applies
+the integer Lorenzo transform (for 1-D: the difference to the previous
+value, computed as an XOR-free residual on the two's-complement mapping),
+bit-transposes each 32/64-value group of residuals, and stores each
+group as a head word whose bits flag the nonzero transposed words,
+followed by those words ("zero-word compaction").
+
+ndzip is the only other CPU+GPU-compatible compressor the paper tests
+and requires the input's dimensionality; ours runs in its 1-D mode.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.baselines import BaselineCompressor
+from repro.bitpack import bit_transpose, bit_untranspose, words_from_bytes, words_to_bytes
+from repro.errors import CorruptDataError
+
+BLOCK_WORDS = 4096
+
+
+class Ndzip(BaselineCompressor):
+    """Lorenzo transform + per-group transposed zero-word compaction."""
+
+    name = "Ndzip"
+    device = "CPU+GPU"
+    datatype = "FP32 & FP64"
+
+    def __init__(self, dtype=np.float32) -> None:
+        dtype = np.dtype(dtype)
+        if dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+            raise ValueError("ndzip supports float32/float64")
+        self.word_bits = dtype.itemsize * 8
+
+    def _forward(self, words: np.ndarray) -> np.ndarray:
+        # 1-D integer Lorenzo: residual = value XOR predecessor.  ndzip
+        # uses the XOR residual because it never overflows and transposes
+        # well (shared high bits cancel to zero planes).
+        prev = np.zeros_like(words)
+        prev[1:] = words[:-1]
+        return words ^ prev
+
+    def _inverse(self, residuals: np.ndarray) -> np.ndarray:
+        # Prefix XOR scan (log-depth on the GPU; numpy does it bytewise).
+        out = residuals.copy()
+        shift = 1
+        n = len(out)
+        while shift < n:
+            out[shift:] ^= out[:-shift].copy()
+            shift *= 2
+        return out
+
+    def compress(self, data: bytes) -> bytes:
+        words, tail = words_from_bytes(data, self.word_bits)
+        residuals = self._forward(words)
+        wb = self.word_bits
+        word_bytes = wb // 8
+        dtype = words.dtype
+        parts = [struct.pack("<IB", len(words), len(tail)), tail]
+        for start in range(0, len(words), BLOCK_WORDS):
+            block = residuals[start : start + BLOCK_WORDS]
+            # Transpose per group of `wb` values so each group yields `wb`
+            # transposed words and a wb-bit head mask.
+            for gstart in range(0, len(block), wb):
+                group = block[gstart : gstart + wb]
+                transposed = np.frombuffer(
+                    bit_transpose(group, wb), dtype=np.uint8
+                ).view(dtype)
+                mask = transposed != 0
+                head = np.packbits(mask)
+                parts.append(head.tobytes())
+                parts.append(transposed[mask].tobytes())
+        return b"".join(parts)
+
+    def decompress(self, blob: bytes) -> bytes:
+        if len(blob) < 5:
+            raise CorruptDataError("ndzip payload shorter than its header")
+        n, tail_len = struct.unpack_from("<IB", blob, 0)
+        pos = 5
+        tail = blob[pos : pos + tail_len]
+        pos += tail_len
+        wb = self.word_bits
+        word_bytes = wb // 8
+        dtype = np.dtype(f"<u{word_bytes}")
+        residuals = np.empty(n, dtype=dtype)
+        for start in range(0, n, wb):
+            count = min(wb, n - start)
+            t_bytes = wb * ((count + 7) // 8)
+            t_words = t_bytes // word_bytes
+            head_bytes = (t_words + 7) // 8
+            head = np.frombuffer(blob, dtype=np.uint8, count=head_bytes, offset=pos)
+            pos += head_bytes
+            mask = np.unpackbits(head)[:t_words].astype(bool)
+            kept = int(mask.sum())
+            nonzero = np.frombuffer(blob, dtype=dtype, count=kept, offset=pos)
+            pos += kept * word_bytes
+            transposed = np.zeros(t_words, dtype=dtype)
+            transposed[mask] = nonzero
+            residuals[start : start + count] = bit_untranspose(
+                transposed.tobytes(), count, wb
+            )
+        if pos != len(blob):
+            raise CorruptDataError("ndzip trailing garbage")
+        return words_to_bytes(self._inverse(residuals), tail)

@@ -1,0 +1,196 @@
+"""rANS: range asymmetric numeral system entropy coder (nvCOMP's "ANS").
+
+A real, from-scratch implementation of byte-oriented rANS [Duda, DCC'14]
+in the 64-bit-state / 32-bit-renormalisation formulation.  To mirror the
+GPU implementation's parallelism (and to be fast in numpy), the input is
+interleaved across ``n_lanes`` independent encoder states: lane ``l``
+codes bytes ``l, l+NL, l+2NL, ...``  Every lane emits its own word
+stream; encoding walks the lanes' symbols in reverse, vectorised across
+lanes, with at most one 32-bit renormalisation per symbol (the rans64
+invariant).
+
+The symbol model is order-0: a 256-entry frequency table normalised to
+``2^PROB_BITS``, stored in the header; every occurring byte keeps a
+frequency of at least 1 so coding is always possible.
+
+Entropy coding alone cannot exploit floating-point smoothness, which is
+why ANS sits at low ratios in the paper's figures despite high GPU
+throughput.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.baselines import BaselineCompressor
+from repro.errors import CorruptDataError
+
+PROB_BITS = 12
+PROB_SCALE = 1 << PROB_BITS
+RANS_L = np.uint64(1 << 31)  # lower bound of the normalised state interval
+DEFAULT_LANES = 64
+
+
+def normalized_frequencies(data: np.ndarray) -> np.ndarray:
+    """256-entry frequency table summing to ``PROB_SCALE``; present symbols >= 1."""
+    counts = np.bincount(data, minlength=256).astype(np.float64)
+    total = counts.sum()
+    if total == 0:
+        freqs = np.zeros(256, dtype=np.int64)
+        freqs[0] = PROB_SCALE
+        return freqs
+    freqs = np.floor(counts * (PROB_SCALE / total)).astype(np.int64)
+    freqs[(counts > 0) & (freqs == 0)] = 1
+    # Repair the sum by adjusting frequent symbols (never below 1 for
+    # symbols that occur, never below 0 for absent ones).
+    diff = PROB_SCALE - int(freqs.sum())
+    order = np.argsort(-counts)
+    i = 0
+    while diff != 0:
+        sym = int(order[i % 256])
+        if diff > 0:
+            if counts[sym] > 0:
+                freqs[sym] += 1
+                diff -= 1
+        else:
+            floor = 1 if counts[sym] > 0 else 0
+            if freqs[sym] > floor:
+                freqs[sym] -= 1
+                diff += 1
+        i += 1
+        if i > 1 << 20:  # pragma: no cover - defensive
+            raise AssertionError("frequency normalisation failed to converge")
+    return freqs
+
+
+class ANS(BaselineCompressor):
+    """Order-0 interleaved rANS over raw bytes."""
+
+    name = "ANS"
+    device = "GPU"
+    datatype = "FP32 & FP64"
+
+    def __init__(self, dtype=None, n_lanes: int = DEFAULT_LANES) -> None:
+        if n_lanes < 1 or n_lanes > 1024:
+            raise ValueError("lane count out of range")
+        self.n_lanes = n_lanes
+
+    # -- encoding ---------------------------------------------------------
+
+    def compress(self, data: bytes) -> bytes:
+        symbols = np.frombuffer(data, dtype=np.uint8)
+        n = len(symbols)
+        lanes = 1 if n < 4 * DEFAULT_LANES else self.n_lanes
+        freqs = normalized_frequencies(symbols)
+        cum = np.zeros(257, dtype=np.int64)
+        np.cumsum(freqs, out=cum[1:])
+        streams, states = self._encode_lanes(symbols, lanes, freqs, cum)
+        header = struct.pack("<IH", n, lanes)
+        header += freqs.astype("<u2").tobytes()
+        header += states.astype("<u8").tobytes()
+        header += np.array([len(s) for s in streams], dtype="<u4").tobytes()
+        return header + b"".join(s.tobytes() for s in streams)
+
+    def _encode_lanes(
+        self, symbols: np.ndarray, lanes: int, freqs: np.ndarray, cum: np.ndarray
+    ) -> tuple[list[np.ndarray], np.ndarray]:
+        n = len(symbols)
+        steps = (n + lanes - 1) // lanes
+        counts = np.full(lanes, n // lanes, dtype=np.int64)
+        counts[: n % lanes] += 1
+        # sym_matrix[l, j] = symbols[j * lanes + l] (padded with 0).
+        padded = np.zeros(steps * lanes, dtype=np.uint8)
+        padded[:n] = symbols
+        sym_matrix = padded.reshape(steps, lanes).T
+        x = np.full(lanes, RANS_L, dtype=np.uint64)
+        emitted_words = np.zeros((steps, lanes), dtype=np.uint32)
+        emitted_mask = np.zeros((steps, lanes), dtype=bool)
+        freq64 = freqs.astype(np.uint64)
+        cum64 = cum.astype(np.uint64)
+        shift32 = np.uint64(32)
+        kbits = np.uint64(PROB_BITS)
+        # x_max threshold per frequency: ((L >> k) << 32) * f
+        thresholds = ((RANS_L >> kbits) << shift32) * freq64
+        mask32 = np.uint64(0xFFFFFFFF)
+        for j in range(steps - 1, -1, -1):
+            active = counts > j
+            s = sym_matrix[:, j]
+            f = freq64[s]
+            renorm = active & (x >= thresholds[s])
+            emitted_words[j, renorm] = (x[renorm] & mask32).astype(np.uint32)
+            emitted_mask[j] = renorm
+            x[renorm] >>= shift32
+            # x = ((x // f) << k) + (x % f) + cum[s], only for active lanes
+            q = x // np.where(f == 0, 1, f)
+            r = x - q * f
+            new_x = (q << kbits) + r + cum64[s]
+            x = np.where(active, new_x, x)
+        # Lane streams: words must be CONSUMED by the decoder in forward
+        # symbol order, i.e. in the same j order the decoder renormalises.
+        streams = [emitted_words[emitted_mask[:, lane], lane] for lane in range(lanes)]
+        return streams, x
+
+    # -- decoding ---------------------------------------------------------
+
+    def decompress(self, blob: bytes) -> bytes:
+        if len(blob) < 6:
+            raise CorruptDataError("ANS payload shorter than its header")
+        n, lanes = struct.unpack_from("<IH", blob, 0)
+        pos = 6
+        if lanes < 1:
+            raise CorruptDataError("ANS lane count must be positive")
+        freqs = np.frombuffer(blob, dtype="<u2", count=256, offset=pos).astype(np.int64)
+        pos += 512
+        if freqs.sum() != PROB_SCALE:
+            raise CorruptDataError("ANS frequency table does not normalise")
+        states = np.frombuffer(blob, dtype="<u8", count=lanes, offset=pos).astype(np.uint64)
+        pos += 8 * lanes
+        lengths = np.frombuffer(blob, dtype="<u4", count=lanes, offset=pos).astype(np.int64)
+        pos += 4 * lanes
+        total_words = int(lengths.sum())
+        words = np.frombuffer(blob, dtype="<u4", count=total_words, offset=pos)
+        if pos + 4 * total_words != len(blob):
+            raise CorruptDataError("ANS stream length mismatch")
+        # Pad lane streams into a matrix for vectorised cursor gathering.
+        max_len = int(lengths.max()) if lanes else 0
+        stream_matrix = np.zeros((lanes, max_len + 1), dtype=np.uint64)
+        offsets = np.zeros(lanes + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        for lane in range(lanes):
+            stream_matrix[lane, : lengths[lane]] = words[offsets[lane] : offsets[lane + 1]]
+        cum = np.zeros(257, dtype=np.int64)
+        np.cumsum(freqs, out=cum[1:])
+        slot_to_symbol = np.repeat(
+            np.arange(256, dtype=np.uint8), freqs.clip(min=0)
+        )
+        if len(slot_to_symbol) != PROB_SCALE:
+            raise CorruptDataError("ANS frequency table is inconsistent")
+        counts = np.full(lanes, n // lanes, dtype=np.int64)
+        counts[: n % lanes] += 1
+        steps = (n + lanes - 1) // lanes
+        out = np.zeros((steps, lanes), dtype=np.uint8)
+        x = states.copy()
+        cursor = np.zeros(lanes, dtype=np.int64)
+        lane_idx = np.arange(lanes)
+        freq64 = freqs.astype(np.uint64)
+        cum64 = cum.astype(np.uint64)
+        kmask = np.uint64(PROB_SCALE - 1)
+        kbits = np.uint64(PROB_BITS)
+        shift32 = np.uint64(32)
+        for j in range(steps):
+            active = counts > j
+            slot = x & kmask
+            s = slot_to_symbol[slot.astype(np.int64)]
+            out[j, active] = s[active]
+            new_x = freq64[s] * (x >> kbits) + slot - cum64[s]
+            x = np.where(active, new_x, x)
+            renorm = active & (x < RANS_L)
+            if renorm.any():
+                take = stream_matrix[lane_idx[renorm], cursor[renorm]]
+                x[renorm] = (x[renorm] << shift32) | take
+                cursor[renorm] += 1
+        if np.any(cursor > lengths):
+            raise CorruptDataError("ANS lane stream overrun")
+        return out.reshape(-1)[:n].tobytes() if n else b""

@@ -1,0 +1,176 @@
+"""Stdlib-backed general-purpose baselines: Gzip, Deflate, Gdeflate, Bzip2, Zstd.
+
+``zlib`` *is* the reference DEFLATE implementation, and Gzip is DEFLATE
+with a different wrapper, so these rows are the real algorithms.
+nvCOMP's Gdeflate is "a novel algorithm based on Deflate with more
+efficient GPU decompression" (paper §2.2) — format-compatible output
+with a GPU-friendly framing; we model it as DEFLATE over independent
+64 KiB pages (the framing that enables parallel decompression).
+
+Zstandard has no offline implementation available, so it is emulated:
+the fast mode by low-level DEFLATE and the best mode by LZMA (the
+closest available match to zstd-19's LZ77+entropy design point and
+ratio regime).  The paper notes the CPU and GPU Zstandard codes
+"originate from separate sources and are incompatible"; our two
+variants deliberately use different container magics to preserve that
+property.
+"""
+
+from __future__ import annotations
+
+import bz2
+import lzma
+import struct
+import zlib
+
+from repro.baselines import BaselineCompressor
+from repro.errors import CorruptDataError
+
+
+class _Zlib(BaselineCompressor):
+    datatype = "General"
+
+    def __init__(self, dtype=None, *, level: int = 6, name: str = "Deflate",
+                 device: str = "GPU") -> None:
+        self.level = level
+        self.name = name
+        self.device = device
+
+    def compress(self, data: bytes) -> bytes:
+        return zlib.compress(data, self.level)
+
+    def decompress(self, blob: bytes) -> bytes:
+        try:
+            return zlib.decompress(blob)
+        except zlib.error as exc:
+            raise CorruptDataError(f"{self.name}: {exc}") from exc
+
+
+class Gdeflate(BaselineCompressor):
+    """DEFLATE over independent 64 KiB pages (GPU-parallel framing)."""
+
+    name = "Gdeflate"
+    device = "GPU"
+    datatype = "General"
+
+    PAGE = 65536
+
+    def __init__(self, dtype=None, *, level: int = 6) -> None:
+        self.level = level
+
+    def compress(self, data: bytes) -> bytes:
+        pages = [
+            zlib.compress(data[start : start + self.PAGE], self.level)
+            for start in range(0, len(data), self.PAGE)
+        ] or []
+        header = struct.pack("<I", len(pages)) + b"".join(
+            struct.pack("<I", len(p)) for p in pages
+        )
+        return header + b"".join(pages)
+
+    def decompress(self, blob: bytes) -> bytes:
+        if len(blob) < 4:
+            raise CorruptDataError("Gdeflate payload shorter than its header")
+        (n_pages,) = struct.unpack_from("<I", blob, 0)
+        pos = 4
+        sizes = []
+        for _ in range(n_pages):
+            if pos + 4 > len(blob):
+                raise CorruptDataError("Gdeflate truncated page table")
+            (size,) = struct.unpack_from("<I", blob, pos)
+            sizes.append(size)
+            pos += 4
+        out = []
+        for size in sizes:
+            try:
+                out.append(zlib.decompress(blob[pos : pos + size]))
+            except zlib.error as exc:
+                raise CorruptDataError(f"Gdeflate: {exc}") from exc
+            pos += size
+        if pos != len(blob):
+            raise CorruptDataError("Gdeflate trailing garbage")
+        return b"".join(out)
+
+
+class Bzip2(BaselineCompressor):
+    datatype = "General"
+    device = "CPU"
+
+    def __init__(self, dtype=None, *, level: int = 9) -> None:
+        self.level = level
+        self.name = "Bzip2-best" if level >= 9 else "Bzip2-fast"
+
+    def compress(self, data: bytes) -> bytes:
+        return bz2.compress(data, self.level)
+
+    def decompress(self, blob: bytes) -> bytes:
+        try:
+            return bz2.decompress(blob)
+        except OSError as exc:
+            raise CorruptDataError(f"{self.name}: {exc}") from exc
+
+
+class ZstdCPU(BaselineCompressor):
+    """CPU Zstandard emulation (lzbench row): DEFLATE-fast / LZMA-best."""
+
+    device = "CPU"
+    datatype = "General"
+
+    _MAGIC = b"ZSc"
+
+    def __init__(self, dtype=None, *, best: bool = False) -> None:
+        self.best = best
+        self.name = "ZSTD-CPU-best" if best else "ZSTD-CPU-fast"
+
+    def compress(self, data: bytes) -> bytes:
+        if self.best:
+            body = lzma.compress(data, preset=4)
+        else:
+            body = zlib.compress(data, 1)
+        return self._MAGIC + body
+
+    def decompress(self, blob: bytes) -> bytes:
+        if blob[:3] != self._MAGIC:
+            raise CorruptDataError("not a ZSTD-CPU payload (incompatible source)")
+        try:
+            if self.best:
+                return lzma.decompress(blob[3:])
+            return zlib.decompress(blob[3:])
+        except (lzma.LZMAError, zlib.error) as exc:
+            raise CorruptDataError(f"{self.name}: {exc}") from exc
+
+
+class ZstdGPU(BaselineCompressor):
+    """nvCOMP Zstandard emulation — incompatible with the CPU variant."""
+
+    device = "GPU"
+    datatype = "General"
+    name = "ZSTD-GPU"
+
+    _MAGIC = b"ZSg"
+
+    def __init__(self, dtype=None) -> None:
+        pass
+
+    def compress(self, data: bytes) -> bytes:
+        return self._MAGIC + zlib.compress(data, 4)
+
+    def decompress(self, blob: bytes) -> bytes:
+        if blob[:3] != self._MAGIC:
+            raise CorruptDataError("not a ZSTD-GPU payload (incompatible source)")
+        try:
+            return zlib.decompress(blob[3:])
+        except zlib.error as exc:
+            raise CorruptDataError(f"{self.name}: {exc}") from exc
+
+
+def gzip_fast(dtype=None) -> _Zlib:
+    return _Zlib(level=1, name="Gzip-fast", device="CPU")
+
+
+def gzip_best(dtype=None) -> _Zlib:
+    return _Zlib(level=9, name="Gzip-best", device="CPU")
+
+
+def deflate(dtype=None) -> _Zlib:
+    return _Zlib(level=6, name="Deflate", device="GPU")

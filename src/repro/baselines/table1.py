@@ -1,0 +1,105 @@
+"""The paper's Table 1: every comparison compressor, with metadata.
+
+:func:`build_registry` returns the inventory rows (device, datatype,
+version, source) used by the Table 1 benchmark; :func:`build_competitors`
+instantiates the baselines that appear in a given figure — GPU figures
+take the nvCOMP family + GFC + MPC + Ndzip + ZSTD-GPU, CPU figures take
+Bzip2/FPC/FPzip/Gzip/pFPC/SPDP/ZFP + Ndzip + ZSTD-CPU, and FP64-only
+codecs (FPC, pFPC, GFC) are excluded from FP32 runs, exactly like the
+paper.  Multi-level codecs contribute their fastest and
+best-compressing modes (paper §4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import BaselineCompressor, BaselineSpec
+from repro.baselines.bitcomp import Bitcomp
+from repro.baselines.cascaded import Cascaded
+from repro.baselines.fpc import FPC, PFPC
+from repro.baselines.fpzip import FPzip
+from repro.baselines.gfc import GFC
+from repro.baselines.lz77 import lz4, snappy
+from repro.baselines.mpc import MPC
+from repro.baselines.ndzip import Ndzip
+from repro.baselines.rans import ANS
+from repro.baselines.spdp import SPDP
+from repro.baselines.stdlib_codecs import (
+    Bzip2,
+    Gdeflate,
+    ZstdCPU,
+    ZstdGPU,
+    deflate,
+    gzip_best,
+    gzip_fast,
+)
+from repro.baselines.zfp import ZFP
+
+F32 = np.dtype(np.float32)
+F64 = np.dtype(np.float64)
+
+
+def build_registry() -> list[BaselineSpec]:
+    """The 18 Table 1 rows (device / datatype / version / source)."""
+    return [
+        BaselineSpec("Ndzip", "CPU+GPU", "FP32 & FP64", "1.0", "[21] [22]", Ndzip),
+        BaselineSpec("ZSTD", "CPU+GPU", "General", "2.6", "[2] [20]", ZstdCPU),
+        BaselineSpec("ANS", "GPU", "FP32 & FP64", "2.6", "[2]", lambda d: ANS(d)),
+        BaselineSpec("Bitcomp", "GPU", "FP32 & FP64", "2.6", "[2]", Bitcomp),
+        BaselineSpec("Cascaded", "GPU", "General", "2.6", "[2]", Cascaded),
+        BaselineSpec("Deflate", "GPU", "General", "2.6", "[2]", deflate),
+        BaselineSpec("Gdeflate", "GPU", "General", "2.6", "[2]", Gdeflate),
+        BaselineSpec("GFC", "GPU", "FP64", "2.2", "[30]", GFC),
+        BaselineSpec("LZ4", "GPU", "General", "2.6", "[2]", lz4),
+        BaselineSpec("MPC", "GPU", "FP32 & FP64", "1.2", "[37]", MPC),
+        BaselineSpec("Snappy", "GPU", "General", "2.6", "[2]", snappy),
+        BaselineSpec("Bzip2", "CPU", "General", "1.0.8", "[32]", Bzip2),
+        BaselineSpec("FPC", "CPU", "FP64", "1.1", "[8]", FPC),
+        BaselineSpec("FPzip", "CPU", "FP32 & FP64", "1.3", "[26]", FPzip),
+        BaselineSpec("Gzip", "CPU", "General", "1.1", "[1]", gzip_fast),
+        BaselineSpec("pFPC", "CPU", "FP64", "1.0", "[9]", PFPC),
+        BaselineSpec("SPDP", "CPU", "FP32 & FP64", "1.1", "[11]", SPDP),
+        BaselineSpec("ZFP", "CPU", "FP32 & FP64", "1.0", "[25]", ZFP),
+    ]
+
+
+def build_competitors(dtype: np.dtype, device_kind: str) -> list[BaselineCompressor]:
+    """Instantiate the baselines of one figure's comparison set."""
+    if device_kind not in ("cpu", "gpu"):
+        raise ValueError("device_kind must be 'cpu' or 'gpu'")
+    fp64 = dtype == F64
+    if device_kind == "gpu":
+        comps: list[BaselineCompressor] = [
+            ANS(dtype),
+            Bitcomp(dtype, delta=True, block_words=4096),
+            Bitcomp(dtype, delta=True, block_words=1024),
+            Bitcomp(dtype, delta=False, block_words=4096),
+            Cascaded(dtype),
+            deflate(dtype),
+            Gdeflate(dtype),
+            lz4(dtype),
+            MPC(dtype),
+            snappy(dtype),
+            Ndzip(dtype),
+            ZstdGPU(dtype),
+        ]
+        if fp64:
+            comps.append(GFC(dtype))
+        return comps
+    comps = [
+        Bzip2(dtype, level=1),
+        Bzip2(dtype, level=9),
+        FPzip(dtype),
+        gzip_fast(dtype),
+        gzip_best(dtype),
+        SPDP(dtype, level=1),
+        SPDP(dtype, level=9),
+        ZFP(dtype),
+        Ndzip(dtype),
+        ZstdCPU(dtype, best=False),
+        ZstdCPU(dtype, best=True),
+    ]
+    if fp64:
+        comps.extend([FPC(dtype), PFPC(dtype)])
+    return comps

@@ -1,0 +1,44 @@
+"""Bit-level substrate used by every compression stage.
+
+This subpackage contains the vectorised primitives the paper's data
+transformations are built from:
+
+* :mod:`repro.bitpack.zigzag` — two's-complement <-> magnitude-sign maps,
+  the representation change inside DIFFMS and the enhanced MPLG stage.
+* :mod:`repro.bitpack.clz` — count-leading-zeros and leading-common-bits,
+  used by MPLG, RAZE, and RARE.
+* :mod:`repro.bitpack.packing` — fixed-width MSB-first bit packing of word
+  arrays, the payload encoding of MPLG/RAZE/RARE.
+* :mod:`repro.bitpack.transpose` — bit transposition (the BIT stage).
+* :mod:`repro.bitpack.bytes_util` — byte views, byte shuffles, safe casts.
+
+All functions operate on numpy arrays and are pure (no in-place mutation
+of caller data).
+"""
+
+from repro.bitpack.bytes_util import (
+    byte_shuffle,
+    byte_unshuffle,
+    words_from_bytes,
+    words_to_bytes,
+)
+from repro.bitpack.clz import count_leading_zeros, leading_common_bits
+from repro.bitpack.packing import pack_words, unpack_words, packed_size_bytes
+from repro.bitpack.transpose import bit_transpose, bit_untranspose
+from repro.bitpack.zigzag import zigzag_decode, zigzag_encode
+
+__all__ = [
+    "bit_transpose",
+    "bit_untranspose",
+    "byte_shuffle",
+    "byte_unshuffle",
+    "count_leading_zeros",
+    "leading_common_bits",
+    "pack_words",
+    "packed_size_bytes",
+    "unpack_words",
+    "words_from_bytes",
+    "words_to_bytes",
+    "zigzag_decode",
+    "zigzag_encode",
+]

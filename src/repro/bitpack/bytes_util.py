@@ -1,0 +1,63 @@
+"""Byte-level helpers: word views, byte shuffles, and safe conversions.
+
+Word order convention
+---------------------
+Throughout the library, byte streams are interpreted as **little-endian**
+words (the native order on every machine the paper evaluates).  The
+*bit*-level primitives in :mod:`repro.bitpack.packing` and
+:mod:`repro.bitpack.transpose` use MSB-first big-endian bit order
+internally, which is an implementation detail hidden behind their APIs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+WORD_DTYPES = {8: np.dtype("<u1"), 16: np.dtype("<u2"), 32: np.dtype("<u4"), 64: np.dtype("<u8")}
+
+
+def words_from_bytes(data: bytes | np.ndarray, word_bits: int) -> tuple[np.ndarray, bytes]:
+    """Split ``data`` into an array of little-endian words plus a tail.
+
+    Returns ``(words, tail)`` where ``tail`` holds the trailing bytes that
+    do not fill a whole word (empty for aligned inputs).  The words array
+    is a copy, safe to mutate.
+    """
+    dtype = WORD_DTYPES[word_bits]
+    buf = np.frombuffer(data, dtype=np.uint8) if isinstance(data, (bytes, bytearray, memoryview)) else np.asarray(data, dtype=np.uint8)
+    word_bytes = dtype.itemsize
+    n_words = len(buf) // word_bytes
+    body = buf[: n_words * word_bytes]
+    tail = buf[n_words * word_bytes :].tobytes()
+    words = body.view(dtype).astype(dtype, copy=True)
+    return words, tail
+
+
+def words_to_bytes(words: np.ndarray, tail: bytes = b"") -> bytes:
+    """Inverse of :func:`words_from_bytes`: serialise words and append tail."""
+    return words.astype(words.dtype.newbyteorder("<"), copy=False).tobytes() + tail
+
+
+def byte_shuffle(data: bytes | np.ndarray, word_bytes: int) -> bytes:
+    """Group byte 0 of every word together, then byte 1, and so on.
+
+    This is the classic "shuffle" filter (as in HDF5/Blosc and the SPDP
+    compressor).  Trailing bytes that do not fill a word are appended
+    unchanged.
+    """
+    buf = np.frombuffer(data, dtype=np.uint8) if isinstance(data, (bytes, bytearray)) else np.asarray(data, dtype=np.uint8)
+    n_words = len(buf) // word_bytes
+    body = buf[: n_words * word_bytes]
+    tail = buf[n_words * word_bytes :]
+    shuffled = body.reshape(n_words, word_bytes).T.reshape(-1)
+    return shuffled.tobytes() + tail.tobytes()
+
+
+def byte_unshuffle(data: bytes | np.ndarray, word_bytes: int) -> bytes:
+    """Inverse of :func:`byte_shuffle`."""
+    buf = np.frombuffer(data, dtype=np.uint8) if isinstance(data, (bytes, bytearray)) else np.asarray(data, dtype=np.uint8)
+    n_words = len(buf) // word_bytes
+    body = buf[: n_words * word_bytes]
+    tail = buf[n_words * word_bytes :]
+    unshuffled = body.reshape(word_bytes, n_words).T.reshape(-1)
+    return unshuffled.tobytes() + tail.tobytes()

@@ -1,0 +1,66 @@
+"""Vectorised count-leading-zeros and leading-common-bits.
+
+Used by:
+
+* enhanced MPLG — leading zeros of each subchunk maximum decide the packed
+  bit width;
+* RAZE — a histogram of per-value leading-zero counts drives the adaptive
+  top-``k`` split;
+* RARE — the analogous histogram of leading-*common*-bit counts (with the
+  previous value) drives its adaptive split.
+
+The implementation avoids float conversion (which misrounds near powers
+of two above 2^53) by scanning the big-endian byte view with an 8-bit
+lookup table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# _CLZ8[b] = number of leading zero bits in the 8-bit value b (clz(0) = 8).
+_CLZ8 = np.zeros(256, dtype=np.uint8)
+_CLZ8[0] = 8
+for _value in range(1, 256):
+    _CLZ8[_value] = 8 - _value.bit_length()
+
+
+def count_leading_zeros(words: np.ndarray, word_bits: int) -> np.ndarray:
+    """Per-element count of leading zero bits; ``clz(0) == word_bits``.
+
+    ``words`` must be an unsigned array whose itemsize matches
+    ``word_bits``.  Returns a ``uint8`` array of the same length.
+    """
+    if words.dtype.itemsize * 8 != word_bits:
+        raise ValueError(f"dtype {words.dtype} does not match word_bits={word_bits}")
+    n = len(words)
+    if n == 0:
+        return np.zeros(0, dtype=np.uint8)
+    word_bytes = word_bits // 8
+    # Big-endian byte view: byte 0 holds the most significant bits.
+    be = words.astype(words.dtype.newbyteorder(">"), copy=False)
+    rows = be.view(np.uint8).reshape(n, word_bytes)
+    nonzero = rows != 0
+    # Index of the first nonzero byte; argmax returns 0 for all-zero rows,
+    # which the `any` mask below corrects.
+    first = np.argmax(nonzero, axis=1)
+    has_nonzero = nonzero.any(axis=1)
+    first_byte = rows[np.arange(n), first]
+    clz = first.astype(np.uint16) * 8 + _CLZ8[first_byte]
+    clz[~has_nonzero] = word_bits
+    return clz.astype(np.uint8)
+
+
+def leading_common_bits(words: np.ndarray, word_bits: int, *, initial: int = 0) -> np.ndarray:
+    """Per-element count of leading bits shared with the previous element.
+
+    Element 0 is compared against ``initial`` (default 0, matching the
+    convention that the value preceding a chunk is zero).  Identical
+    neighbours share all ``word_bits`` bits.
+    """
+    if len(words) == 0:
+        return np.zeros(0, dtype=np.uint8)
+    prev = np.empty_like(words)
+    prev[0] = words.dtype.type(initial)
+    prev[1:] = words[:-1]
+    return count_leading_zeros(words ^ prev, word_bits)

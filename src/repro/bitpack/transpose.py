@@ -1,0 +1,48 @@
+"""Bit transposition — the BIT stage of SPratio (paper §3.2, Figure 4).
+
+Grouping the first bit of every value together, then all second bits, and
+so on, places the (mostly zero) sign/exponent bits of DIFFMS output next
+to each other, producing long zero runs that the following RZE stage
+removes.
+
+The transposition is performed over the whole word group at once: with
+``n`` words of ``w`` bits the bit matrix is ``n x w``; transposing gives
+``w`` rows of ``n`` bits each, serialised row by row (each row padded to
+a whole byte so the transform stays invertible for any ``n``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def bit_transpose(words: np.ndarray, word_bits: int) -> bytes:
+    """Transpose the bit matrix of ``words``; returns the row-major stream.
+
+    Output size is ``word_bits * ceil(n / 8)`` bytes.
+    """
+    n = len(words)
+    if n == 0:
+        return b""
+    word_bytes = word_bits // 8
+    be = words.astype(words.dtype.newbyteorder(">"), copy=False)
+    bits = np.unpackbits(be.view(np.uint8).reshape(n, word_bytes), axis=1)
+    # packbits pads each row (bit plane) independently to a byte boundary.
+    return np.packbits(bits.T, axis=1).tobytes()
+
+
+def bit_untranspose(buf: bytes | np.ndarray, count: int, word_bits: int) -> np.ndarray:
+    """Inverse of :func:`bit_transpose`; returns ``count`` unsigned words."""
+    dtype = np.dtype(f"u{word_bits // 8}")
+    if count == 0:
+        return np.zeros(0, dtype=dtype)
+    raw = np.frombuffer(buf, dtype=np.uint8) if isinstance(buf, (bytes, bytearray, memoryview)) else np.asarray(buf, dtype=np.uint8)
+    row_bytes = (count + 7) // 8
+    need = word_bits * row_bytes
+    if len(raw) < need:
+        raise ValueError(f"transposed buffer too short: have {len(raw)}, need {need}")
+    planes = np.unpackbits(raw[:need].reshape(word_bits, row_bytes), axis=1)[:, :count]
+    bits = planes.T  # back to (count, word_bits)
+    word_bytes = word_bits // 8
+    be_bytes = np.packbits(bits.reshape(-1)).reshape(count, word_bytes)
+    return be_bytes.view(np.dtype(f">u{word_bytes}")).reshape(count).astype(dtype)

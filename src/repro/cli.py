@@ -1,0 +1,236 @@
+"""Command-line interface: compress, decompress, inspect, and benchmark.
+
+Mirrors the original artifact's workflow scripts (compile/run_experiments/
+chart) in one binary::
+
+    fprz compress  input.f32 output.fprz --codec spratio --dtype float32
+    fprz decompress output.fprz restored.f32
+    fprz inspect   output.fprz
+    fprz bench --figure fig08 --scale 0.25
+    fprz table1
+
+``compress`` treats the input file as a flat array of the given dtype
+(SDRBench's own .f32/.d64 convention).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+import repro
+from repro.errors import ReproError
+
+
+def _cmd_compress(args: argparse.Namespace) -> int:
+    data = Path(args.input).read_bytes()
+    if args.dtype != "bytes":
+        array = np.frombuffer(data, dtype=np.dtype(args.dtype))
+        blob = repro.compress(array, args.codec)
+    else:
+        if args.codec is None:
+            raise ReproError("--codec is required for raw byte input")
+        blob = repro.compress(data, args.codec)
+    Path(args.output).write_bytes(blob)
+    ratio = len(data) / len(blob) if blob else 0.0
+    print(f"{args.input}: {len(data)} -> {len(blob)} bytes (ratio {ratio:.3f})")
+    return 0
+
+
+def _cmd_decompress(args: argparse.Namespace) -> int:
+    blob = Path(args.input).read_bytes()
+    out = repro.decompress(blob)
+    data = out.tobytes() if isinstance(out, np.ndarray) else out
+    Path(args.output).write_bytes(data)
+    print(f"{args.input}: restored {len(data)} bytes")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    info = repro.inspect(Path(args.input).read_bytes())
+    from repro.core import codec_by_id
+
+    print(f"codec:        {codec_by_id(info.codec_id).name}")
+    print(f"dtype code:   {info.dtype_code}")
+    print(f"original:     {info.original_len} bytes")
+    print(f"compressed:   {info.total_len} bytes")
+    print(f"ratio:        {info.ratio:.4f}")
+    print(f"chunks:       {info.n_chunks} x {info.chunk_size} bytes")
+    print(f"raw fallback: {info.raw_fallback}")
+    if info.shape is not None:
+        print(f"shape:        {tuple(info.shape)}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.harness import FIGURES, format_figure, run_figure
+
+    figure_ids = [args.figure] if args.figure else sorted(FIGURES)
+    for figure_id in figure_ids:
+        if figure_id not in FIGURES:
+            raise ReproError(
+                f"unknown figure {figure_id!r}; choose from {', '.join(sorted(FIGURES))}"
+            )
+        print(format_figure(run_figure(figure_id, scale=args.scale)))
+        print()
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.analysis import explain
+
+    data = Path(args.input).read_bytes()
+    array = np.frombuffer(data, dtype=np.dtype(args.dtype))
+    print(explain(array, args.codec).render())
+    return 0
+
+
+def _cmd_recommend(args: argparse.Namespace) -> int:
+    from repro.analysis import recommend
+
+    data = Path(args.input).read_bytes()
+    array = np.frombuffer(data, dtype=np.dtype(args.dtype))
+    codec, reason = recommend(array)
+    print(f"recommended codec: {codec}")
+    print(f"why: {reason}")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verify import verify_corpus
+
+    report = verify_corpus(scale=args.scale, include_baselines=args.baselines)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def _cmd_archive(args: argparse.Namespace) -> int:
+    from repro.archive import Archive, write_archive
+
+    if args.action == "create":
+        members = {}
+        for spec in args.members:
+            name, _, path = spec.partition("=")
+            if not path:
+                raise ReproError(f"member spec {spec!r} must be NAME=FILE")
+            array = np.frombuffer(Path(path).read_bytes(), dtype=np.dtype(args.dtype))
+            members[name] = array
+        Path(args.archive).write_bytes(write_archive(members, codec=args.codec))
+        print(f"wrote {args.archive} with {len(members)} members")
+        return 0
+    archive = Archive.from_bytes(Path(args.archive).read_bytes())
+    if args.action == "list":
+        for name in archive.members():
+            info = archive.info(name)
+            print(f"{name:<30} {info.original_len:>10} B  ratio {info.ratio:6.3f}")
+        print(f"total ratio {archive.total_ratio():.3f}")
+        return 0
+    if args.action == "extract":
+        for spec in args.members:
+            name, _, path = spec.partition("=")
+            out = archive.read(name)
+            data = out.tobytes() if isinstance(out, np.ndarray) else out
+            Path(path or name.replace("/", "_")).write_bytes(data)
+            print(f"extracted {name} ({len(data)} B)")
+        return 0
+    raise ReproError(f"unknown archive action {args.action!r}")
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.baselines import baseline_registry
+
+    print(f"{'Device':<8} {'Compressor':<12} {'Datatype':<12} {'Version':<8} Source")
+    print("-" * 56)
+    for spec in sorted(baseline_registry(), key=lambda s: (s.device, s.name)):
+        print(f"{spec.device:<8} {spec.name:<12} {spec.datatype:<12} "
+              f"{spec.version:<8} {spec.source}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="fprz",
+        description="Lossless scientific floating-point compression "
+        "(SPspeed/SPratio/DPspeed/DPratio, ASPLOS'25 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compress", help="compress a flat float file")
+    p.add_argument("input")
+    p.add_argument("output")
+    p.add_argument("--codec", default=None,
+                   help="spspeed | spratio | dpspeed | dpratio (default: by dtype)")
+    p.add_argument("--dtype", default="float32",
+                   choices=["float32", "float64", "bytes"])
+    p.set_defaults(func=_cmd_compress)
+
+    p = sub.add_parser("decompress", help="decompress an FPRZ container")
+    p.add_argument("input")
+    p.add_argument("output")
+    p.set_defaults(func=_cmd_decompress)
+
+    p = sub.add_parser("inspect", help="print container metadata")
+    p.add_argument("input")
+    p.set_defaults(func=_cmd_inspect)
+
+    p = sub.add_parser("bench", help="regenerate one or all paper figures")
+    p.add_argument("--figure", default=None, help="fig08 ... fig19 (default: all)")
+    p.add_argument("--scale", type=float, default=0.25,
+                   help="corpus scale factor (1.0 = 256 KiB files)")
+    p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser("table1", help="print the Table 1 compressor inventory")
+    p.set_defaults(func=_cmd_table1)
+
+    p = sub.add_parser("explain", help="per-stage size waterfall for a codec")
+    p.add_argument("input")
+    p.add_argument("--codec", required=True)
+    p.add_argument("--dtype", default="float32", choices=["float32", "float64"])
+    p.set_defaults(func=_cmd_explain)
+
+    p = sub.add_parser("recommend", help="suggest a codec from the data's statistics")
+    p.add_argument("input")
+    p.add_argument("--dtype", default="float32", choices=["float32", "float64"])
+    p.set_defaults(func=_cmd_recommend)
+
+    p = sub.add_parser("verify", help="round-trip every codec over the corpus")
+    p.add_argument("--scale", type=float, default=0.1)
+    p.add_argument("--baselines", action="store_true",
+                   help="also verify the 18 Table 1 baselines")
+    p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser("archive", help="create / list / extract member archives")
+    p.add_argument("action", choices=["create", "list", "extract"])
+    p.add_argument("archive")
+    p.add_argument("members", nargs="*",
+                   help="NAME=FILE pairs (create/extract)")
+    p.add_argument("--codec", default=None)
+    p.add_argument("--dtype", default="float32", choices=["float32", "float64"])
+    p.set_defaults(func=_cmd_archive)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Output piped into a consumer that closed early (e.g. `| head`):
+        # the POSIX-polite exit, not a crash.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

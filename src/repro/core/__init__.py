@@ -1,0 +1,33 @@
+"""The four codecs of the paper and the container format that frames them.
+
+* :mod:`repro.core.chunking` — 16 KiB chunk splitting and per-chunk
+  raw-fallback framing.
+* :mod:`repro.core.pipeline` — stage pipelines (encode forward, decode in
+  reverse order).
+* :mod:`repro.core.container` — the serialised ``FPRZ`` container.
+* :mod:`repro.core.codecs` — SPspeed / SPratio / DPspeed / DPratio
+  definitions and the codec registry.
+* :mod:`repro.core.compressor` — the engine tying the above together.
+"""
+
+from repro.core.codecs import (
+    CODECS,
+    Codec,
+    codec_by_id,
+    codec_for,
+    get_codec,
+)
+from repro.core.compressor import compress_bytes, decompress_bytes
+from repro.core.container import ContainerInfo, inspect_container
+
+__all__ = [
+    "CODECS",
+    "Codec",
+    "ContainerInfo",
+    "codec_by_id",
+    "codec_for",
+    "compress_bytes",
+    "decompress_bytes",
+    "get_codec",
+    "inspect_container",
+]

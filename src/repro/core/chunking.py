@@ -1,0 +1,47 @@
+"""Chunk framing: independent 16 KiB chunks with a raw-fallback flag.
+
+Paper §3: all stages except FCM "operate on chunks of 16 kilobytes",
+sized so two chunk buffers fit in GPU shared memory / the CPU L1 data
+cache.  Each chunk is independent, which is the source of all coarse
+parallelism; "to cap the worst-case expansion, the compressor emits the
+original data for any chunk that it cannot compress and marks it as
+such".
+
+Here a chunk payload is one flag byte followed by either the transformed
+body (``CHUNK_COMPRESSED``) or the untouched original bytes
+(``CHUNK_RAW``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+#: Chunk size used by every codec (paper §3).
+CHUNK_SIZE = 16384
+
+CHUNK_RAW = 0
+CHUNK_COMPRESSED = 1
+
+
+def iter_chunks(data: bytes, chunk_size: int = CHUNK_SIZE) -> Iterator[bytes]:
+    """Yield consecutive ``chunk_size`` slices of ``data`` (last may be short)."""
+    if chunk_size <= 0:
+        raise ValueError("chunk size must be positive")
+    for start in range(0, len(data), chunk_size):
+        yield data[start : start + chunk_size]
+
+
+def chunk_count(total_len: int, chunk_size: int = CHUNK_SIZE) -> int:
+    """Number of chunks covering ``total_len`` bytes."""
+    return (total_len + chunk_size - 1) // chunk_size
+
+
+def chunk_lengths(total_len: int, chunk_size: int = CHUNK_SIZE) -> list[int]:
+    """Original (pre-compression) length of every chunk."""
+    n = chunk_count(total_len, chunk_size)
+    if n == 0:
+        return []
+    lengths = [chunk_size] * n
+    last = total_len - (n - 1) * chunk_size
+    lengths[-1] = last
+    return lengths

@@ -1,0 +1,130 @@
+"""Codec definitions: SPspeed, SPratio, DPspeed, DPratio.
+
+Figure 1 of the paper defines the four algorithms as stage chains:
+
+* ``SPspeed``  (FP32, speed): DIFFMS -> MPLG
+* ``SPratio``  (FP32, ratio): DIFFMS -> BIT -> RZE
+* ``DPspeed``  (FP64, speed): DIFFMS -> MPLG
+* ``DPratio``  (FP64, ratio): FCM (global) -> DIFFMS -> RAZE -> RARE
+
+The "ratio" mode favours compression ratio, the "speed" mode favours
+throughput; all four beat most prior work on both axes (paper §1).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import UnknownCodecError, UnsupportedDtypeError
+from repro.core.pipeline import Pipeline
+from repro.stages import RARE, RAZE, RZE, BitTranspose, DiffMS, FCMStage, MPLG, Stage
+
+
+@dataclass(frozen=True)
+class Codec:
+    """A named compression algorithm: a chunk pipeline plus optional global stage."""
+
+    name: str
+    codec_id: int
+    dtype: np.dtype
+    word_bits: int
+    mode: str  # "speed" or "ratio"
+    description: str
+    stage_factory: Callable[[], list[Stage]] = field(repr=False)
+    global_stage_factory: Callable[[], Stage] | None = field(default=None, repr=False)
+
+    def make_pipeline(self) -> Pipeline:
+        return Pipeline(self.stage_factory())
+
+    def make_global_stage(self) -> Stage | None:
+        if self.global_stage_factory is None:
+            return None
+        return self.global_stage_factory()
+
+    @property
+    def stage_names(self) -> list[str]:
+        names = [stage.name for stage in self.stage_factory()]
+        if self.global_stage_factory is not None:
+            names.insert(0, self.global_stage_factory().name)
+        return names
+
+
+SPSPEED = Codec(
+    name="spspeed",
+    codec_id=1,
+    dtype=np.dtype(np.float32),
+    word_bits=32,
+    mode="speed",
+    description="FP32 throughput mode: DIFFMS -> enhanced MPLG",
+    stage_factory=lambda: [DiffMS(32), MPLG(32)],
+)
+
+SPRATIO = Codec(
+    name="spratio",
+    codec_id=2,
+    dtype=np.dtype(np.float32),
+    word_bits=32,
+    mode="ratio",
+    description="FP32 ratio mode: DIFFMS -> BIT -> RZE",
+    stage_factory=lambda: [DiffMS(32), BitTranspose(32), RZE()],
+)
+
+DPSPEED = Codec(
+    name="dpspeed",
+    codec_id=3,
+    dtype=np.dtype(np.float64),
+    word_bits=64,
+    mode="speed",
+    description="FP64 throughput mode: DIFFMS -> enhanced MPLG",
+    stage_factory=lambda: [DiffMS(64), MPLG(64)],
+)
+
+DPRATIO = Codec(
+    name="dpratio",
+    codec_id=4,
+    dtype=np.dtype(np.float64),
+    word_bits=64,
+    mode="ratio",
+    description="FP64 ratio mode: FCM (global) -> DIFFMS -> RAZE -> RARE",
+    stage_factory=lambda: [DiffMS(64), RAZE(64), RARE(64)],
+    global_stage_factory=FCMStage,
+)
+
+CODECS: dict[str, Codec] = {
+    codec.name: codec for codec in (SPSPEED, SPRATIO, DPSPEED, DPRATIO)
+}
+
+_BY_ID: dict[int, Codec] = {codec.codec_id: codec for codec in CODECS.values()}
+
+
+def get_codec(name: str) -> Codec:
+    """Look a codec up by name (case-insensitive)."""
+    key = name.lower()
+    if key not in CODECS:
+        raise UnknownCodecError(
+            f"unknown codec {name!r}; available: {', '.join(sorted(CODECS))}"
+        )
+    return CODECS[key]
+
+
+def codec_by_id(codec_id: int) -> Codec:
+    """Look a codec up by its container id."""
+    if codec_id not in _BY_ID:
+        raise UnknownCodecError(f"unknown codec id {codec_id}")
+    return _BY_ID[codec_id]
+
+
+def codec_for(dtype: np.dtype, mode: str = "ratio") -> Codec:
+    """Pick the paper's codec for a dtype and mode ('speed' or 'ratio')."""
+    if mode not in ("speed", "ratio"):
+        raise UnknownCodecError(f"unknown mode {mode!r}; use 'speed' or 'ratio'")
+    dtype = np.dtype(dtype)
+    for codec in CODECS.values():
+        if codec.dtype == dtype and codec.mode == mode:
+            return codec
+    raise UnsupportedDtypeError(
+        f"no codec for dtype {dtype}; float32 and float64 are supported"
+    )

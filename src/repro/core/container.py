@@ -1,0 +1,236 @@
+"""The ``FPRZ`` container: a contiguous, self-describing compressed block.
+
+Unlike the nvCOMP compressors the paper criticises for leaving chunks
+"separately stored ... not concatenated" (§5.1), our container always
+concatenates everything into one contiguous byte block, exactly like the
+paper's codes.  The layout is:
+
+===========  =====  =====================================================
+field        bytes  meaning
+===========  =====  =====================================================
+magic            4  ``b"FPRZ"``
+version          1  container format version (currently 1)
+codec_id         1  registry id of the codec that produced the block
+dtype_code       1  0 = raw bytes, 1 = float32, 2 = float64
+flags            1  bit 0: whole-input raw fallback; bit 1: shape present
+orig_len         8  length of the original data in bytes
+inter_len        8  length after the codec's global stage (== orig_len
+                    when the codec has no global stage)
+chunk_size       4  chunk size used (0 for raw fallback)
+n_chunks         4  number of chunk payloads
+shape block      v  present iff flags bit 1: u8 ndim, then ndim x u64
+chunk table   4*n   compressed payload size of each chunk
+payloads         v  the chunk payloads, concatenated (prefix sums of the
+                    chunk table give each payload's offset, mirroring the
+                    decoupled-look-back write positions of the GPU code)
+===========  =====  =====================================================
+
+For the raw fallback (an input the codec expands overall), the payload
+section holds the original bytes verbatim and ``n_chunks`` is 0.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+
+from repro.errors import FormatError
+
+MAGIC = b"FPRZ"
+VERSION = 1
+
+FLAG_RAW = 0x01
+FLAG_SHAPE = 0x02
+#: When set, a CRC32 of the original data follows the shape block; the
+#: decompressor verifies it after reconstruction.
+FLAG_CHECKSUM = 0x04
+
+DTYPE_BYTES = 0
+DTYPE_F32 = 1
+DTYPE_F64 = 2
+
+_HEADER = struct.Struct("<4sBBBBQQII")
+
+
+@dataclass(frozen=True)
+class ContainerInfo:
+    """Parsed container metadata (no payload decoding)."""
+
+    version: int
+    codec_id: int
+    dtype_code: int
+    raw_fallback: bool
+    original_len: int
+    intermediate_len: int
+    chunk_size: int
+    n_chunks: int
+    shape: tuple[int, ...] | None
+    chunk_sizes: tuple[int, ...]
+    payload_offset: int
+    total_len: int
+    checksum: int | None = None
+
+    @property
+    def compressed_len(self) -> int:
+        return self.total_len
+
+    @property
+    def ratio(self) -> float:
+        """Compression ratio (original / compressed), the paper's metric."""
+        if self.total_len == 0:
+            return 0.0
+        return self.original_len / self.total_len
+
+
+def checksum_of(data: bytes) -> int:
+    """The container's integrity checksum (CRC32 of the original bytes)."""
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+def _meta_blocks(
+    shape: tuple[int, ...] | None, checksum: int | None
+) -> tuple[int, bytes]:
+    flags = 0
+    block = b""
+    if shape is not None:
+        flags |= FLAG_SHAPE
+        block += struct.pack("<B", len(shape)) + b"".join(
+            struct.pack("<Q", dim) for dim in shape
+        )
+    if checksum is not None:
+        flags |= FLAG_CHECKSUM
+        block += struct.pack("<I", checksum)
+    return flags, block
+
+
+def build_container(
+    *,
+    codec_id: int,
+    dtype_code: int,
+    original_len: int,
+    intermediate_len: int,
+    chunk_size: int,
+    chunk_payloads: list[bytes],
+    shape: tuple[int, ...] | None = None,
+    checksum: int | None = None,
+) -> bytes:
+    """Assemble a compressed container from chunk payloads."""
+    flags, meta = _meta_blocks(shape, checksum)
+    header = _HEADER.pack(
+        MAGIC,
+        VERSION,
+        codec_id,
+        dtype_code,
+        flags,
+        original_len,
+        intermediate_len,
+        chunk_size,
+        len(chunk_payloads),
+    )
+    table = b"".join(struct.pack("<I", len(p)) for p in chunk_payloads)
+    return header + meta + table + b"".join(chunk_payloads)
+
+
+def build_raw_container(
+    *,
+    codec_id: int,
+    dtype_code: int,
+    data: bytes,
+    shape: tuple[int, ...] | None = None,
+    checksum: int | None = None,
+) -> bytes:
+    """Assemble the whole-input raw-fallback container."""
+    flags, meta = _meta_blocks(shape, checksum)
+    flags |= FLAG_RAW
+    header = _HEADER.pack(
+        MAGIC, VERSION, codec_id, dtype_code, flags, len(data), len(data), 0, 0
+    )
+    return header + meta + data
+
+
+def inspect_container(blob: bytes) -> ContainerInfo:
+    """Parse and validate a container's header and chunk table."""
+    if len(blob) < _HEADER.size:
+        raise FormatError("container shorter than its fixed header")
+    magic, version, codec_id, dtype_code, flags, orig_len, inter_len, chunk_size, n_chunks = (
+        _HEADER.unpack_from(blob, 0)
+    )
+    if magic != MAGIC:
+        raise FormatError(f"bad magic {magic!r}; not an FPRZ container")
+    if version != VERSION:
+        raise FormatError(f"unsupported container version {version}")
+    pos = _HEADER.size
+    shape: tuple[int, ...] | None = None
+    if flags & FLAG_SHAPE:
+        if pos + 1 > len(blob):
+            raise FormatError("truncated shape block")
+        (ndim,) = struct.unpack_from("<B", blob, pos)
+        pos += 1
+        need = ndim * 8
+        if pos + need > len(blob):
+            raise FormatError("truncated shape block")
+        shape = struct.unpack_from(f"<{ndim}Q", blob, pos)
+        pos += need
+    checksum: int | None = None
+    if flags & FLAG_CHECKSUM:
+        if pos + 4 > len(blob):
+            raise FormatError("truncated checksum block")
+        (checksum,) = struct.unpack_from("<I", blob, pos)
+        pos += 4
+    raw_fallback = bool(flags & FLAG_RAW)
+    if raw_fallback:
+        if n_chunks != 0:
+            raise FormatError("raw-fallback container must not carry chunks")
+        if len(blob) - pos != orig_len:
+            raise FormatError("raw-fallback payload length mismatch")
+        return ContainerInfo(
+            version=version,
+            codec_id=codec_id,
+            dtype_code=dtype_code,
+            raw_fallback=True,
+            original_len=orig_len,
+            intermediate_len=inter_len,
+            chunk_size=0,
+            n_chunks=0,
+            shape=shape,
+            chunk_sizes=(),
+            payload_offset=pos,
+            total_len=len(blob),
+            checksum=checksum,
+        )
+    table_bytes = n_chunks * 4
+    if pos + table_bytes > len(blob):
+        raise FormatError("truncated chunk table")
+    chunk_sizes = struct.unpack_from(f"<{n_chunks}I", blob, pos)
+    pos += table_bytes
+    if pos + sum(chunk_sizes) != len(blob):
+        raise FormatError(
+            f"payload length mismatch: table says {sum(chunk_sizes)}, "
+            f"container has {len(blob) - pos}"
+        )
+    return ContainerInfo(
+        version=version,
+        codec_id=codec_id,
+        dtype_code=dtype_code,
+        raw_fallback=False,
+        original_len=orig_len,
+        intermediate_len=inter_len,
+        chunk_size=chunk_size,
+        n_chunks=n_chunks,
+        shape=shape,
+        chunk_sizes=tuple(chunk_sizes),
+        payload_offset=pos,
+        total_len=len(blob),
+        checksum=checksum,
+    )
+
+
+def payload_offsets(info: ContainerInfo) -> list[int]:
+    """Absolute offset of each chunk payload (prefix sum over the table)."""
+    offsets = []
+    pos = info.payload_offset
+    for size in info.chunk_sizes:
+        offsets.append(pos)
+        pos += size
+    return offsets

@@ -1,0 +1,62 @@
+"""Stage pipelines: forward transformation chains with reverse decoding.
+
+A :class:`Pipeline` applies its stages in order during compression; for
+decompression "the inverses of the stages are invoked in reverse order"
+(paper §3, Figure 1).  The per-chunk raw fallback lives here: a chunk
+whose transformed body is not smaller than the original is emitted raw.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.chunking import CHUNK_COMPRESSED, CHUNK_RAW
+from repro.errors import CorruptDataError
+from repro.stages import Stage
+
+
+class Pipeline:
+    """An ordered chain of reversible stages."""
+
+    def __init__(self, stages: Sequence[Stage]) -> None:
+        if not stages:
+            raise ValueError("a pipeline needs at least one stage")
+        self.stages = list(stages)
+
+    def encode(self, data: bytes) -> bytes:
+        for stage in self.stages:
+            data = stage.encode(data)
+        return data
+
+    def decode(self, data: bytes) -> bytes:
+        for stage in reversed(self.stages):
+            data = stage.decode(data)
+        return data
+
+    def encode_chunk(self, chunk: bytes) -> bytes:
+        """Transform one chunk, falling back to raw storage on expansion."""
+        body = self.encode(chunk)
+        if len(body) >= len(chunk):
+            return bytes([CHUNK_RAW]) + chunk
+        return bytes([CHUNK_COMPRESSED]) + body
+
+    def decode_chunk(self, payload: bytes, original_len: int) -> bytes:
+        """Invert :meth:`encode_chunk`; validates the recovered length."""
+        if not payload:
+            raise CorruptDataError("empty chunk payload")
+        flag, body = payload[0], payload[1:]
+        if flag == CHUNK_RAW:
+            chunk = body
+        elif flag == CHUNK_COMPRESSED:
+            chunk = self.decode(body)
+        else:
+            raise CorruptDataError(f"unknown chunk flag {flag}")
+        if len(chunk) != original_len:
+            raise CorruptDataError(
+                f"chunk decoded to {len(chunk)} bytes, expected {original_len}"
+            )
+        return chunk
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        names = " -> ".join(stage.name for stage in self.stages)
+        return f"Pipeline({names})"

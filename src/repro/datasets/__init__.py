@@ -1,0 +1,23 @@
+"""Synthetic stand-ins for the paper's evaluation corpora.
+
+The paper evaluates on 90 single-precision files from the SDRBench suite
+(7 scientific domains) and 20 double-precision files (SDRBench plus the
+FPdouble collection; 5 domains).  Those corpora total ~100 GB and are
+downloaded by the original artifact; offline, we synthesise fields with
+the same statistical fingerprints instead — smooth, normal, zero-centred
+(the properties the paper's §3 explicitly targets, citing SDRBench's own
+characterisation [38]) with per-domain twists: constant ocean masks in
+climate data, exact value repeats in MPI message logs, quantised
+mantissas in instrument observations, near-random mantissas in
+long-running simulations.
+
+The public surface:
+
+* :func:`sp_suite` / :func:`dp_suite` — the two corpora, grouped by
+  domain exactly like the paper's geo-mean-of-geo-means aggregation.
+* :class:`DatasetFile` — a named, lazily generated file.
+"""
+
+from repro.datasets.registry import DatasetFile, Domain, dp_suite, sp_suite
+
+__all__ = ["DatasetFile", "Domain", "dp_suite", "sp_suite"]

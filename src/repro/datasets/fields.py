@@ -1,0 +1,310 @@
+"""Random-field generators with controllable compressibility fingerprints.
+
+Each generator produces a float array whose *bit-level* statistics mimic a
+class of scientific data:
+
+* :func:`random_walk` — 1-D Brownian signal: neighbouring values differ by
+  tiny amounts, so integer differences of their IEEE words are small
+  (DIFFMS's best case).
+* :func:`spectral_field` — n-D Gaussian field with a power-law spectrum
+  (FFT filtering); steeper slopes give smoother fields.  This is the shape
+  of climate / fluid / cosmology grids.
+* :func:`particle_positions` — space-filling-curve-ordered positions:
+  locally coherent but with high mantissa entropy (HACC/EXAALT style).
+* :func:`quantized` — limits mantissa precision, zeroing trailing bits the
+  way instrument pipelines do (obs_* style).
+* :func:`with_fill_regions` — overwrites patches with a constant fill
+  value (ocean masks and sensor dropouts in climate data).
+* :func:`repeating_messages` — draws from a small value vocabulary with
+  strong serial correlation (msg_* MPI traces; FCM's best case).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def random_walk(
+    rng: np.random.Generator,
+    n: int,
+    *,
+    scale: float = 1.0,
+    drift: float = 0.0,
+    dtype=np.float32,
+) -> np.ndarray:
+    """A 1-D Brownian path: the archetypal smooth signal."""
+    steps = rng.normal(loc=drift, scale=scale, size=n)
+    return np.cumsum(steps).astype(dtype)
+
+
+def spectral_field(
+    rng: np.random.Generator,
+    shape: tuple[int, ...],
+    *,
+    slope: float = 2.0,
+    amplitude: float = 1.0,
+    offset: float = 0.0,
+    dtype=np.float32,
+) -> np.ndarray:
+    """Gaussian random field with an isotropic power-law spectrum k^-slope.
+
+    ``slope`` ~1 is rough (turbulence-like), ~3 is very smooth
+    (large-scale climate fields).  Values are zero-centred unless
+    ``offset`` shifts them.
+    """
+    white = rng.normal(size=shape)
+    spectrum = np.fft.fftn(white)
+    grids = np.meshgrid(*[np.fft.fftfreq(dim) * dim for dim in shape], indexing="ij")
+    k2 = sum(g.astype(np.float64) ** 2 for g in grids)
+    k2[(0,) * len(shape)] = 1.0  # keep the DC mode finite
+    spectrum *= k2 ** (-slope / 2.0)
+    field = np.fft.ifftn(spectrum).real
+    std = field.std()
+    if std > 0:
+        field = field / std
+    return (field * amplitude + offset).astype(dtype)
+
+
+def particle_positions(
+    rng: np.random.Generator,
+    n: int,
+    *,
+    box: float = 256.0,
+    stride: float = 0.01,
+    dtype=np.float32,
+) -> np.ndarray:
+    """Particle coordinates visited in a locally coherent order.
+
+    Simulations store particles in cell/tree order, so consecutive
+    coordinates are near each other even though the global distribution
+    fills the box.  Modelled as a reflected random walk across the box.
+    """
+    steps = rng.normal(scale=box * stride, size=n)
+    path = np.cumsum(steps)
+    period = 2.0 * box
+    folded = np.mod(path, period)
+    positions = np.where(folded > box, period - folded, folded)
+    return positions.astype(dtype)
+
+
+def quantized(values: np.ndarray, mantissa_bits: int) -> np.ndarray:
+    """Zero out trailing mantissa bits, mimicking limited-precision sources.
+
+    FP32 keeps the top ``mantissa_bits`` of 23; FP64 of 52.  The result
+    stays in the input dtype and remains bit-exactly reproducible.
+    """
+    if values.dtype == np.float32:
+        total, itype = 23, np.uint32
+    elif values.dtype == np.float64:
+        total, itype = 52, np.uint64
+    else:
+        raise ValueError(f"unsupported dtype {values.dtype}")
+    drop = max(0, total - mantissa_bits)
+    if drop == 0:
+        return values.copy()
+    bits = values.view(itype)
+    mask = itype(~((1 << drop) - 1) & ((1 << (np.dtype(itype).itemsize * 8)) - 1))
+    return (bits & mask).view(values.dtype)
+
+
+def quantized_step(values: np.ndarray, step: float) -> np.ndarray:
+    """Round to a fixed value step, the way instrument ADCs report.
+
+    Unlike :func:`quantized` (which masks mantissa bits) this keeps full
+    mantissa entropy in each word while making *values* recur exactly
+    whenever the signal revisits a level — the repeat structure
+    hash-prediction compressors exploit on the obs_* files.
+    """
+    return (np.round(values / step) * step).astype(values.dtype)
+
+
+def with_fill_regions(
+    rng: np.random.Generator,
+    values: np.ndarray,
+    *,
+    fill_value: float,
+    fraction: float = 0.2,
+    patch: int = 64,
+) -> np.ndarray:
+    """Overwrite contiguous patches with a constant fill value.
+
+    Climate grids carry land/ocean masks and instrument grids carry
+    dropouts, stored as a repeated sentinel (1e35 in CESM).  Constant
+    runs are a major source of compressibility in SDRBench files.
+
+    On multi-dimensional grids the patches are axis-aligned *boxes* of
+    roughly ``patch`` cells, matching the spatial coherence of real
+    masks (a flattened stripe would put a region boundary on every y/z
+    neighbour pair, which no real dataset does).
+    """
+    out = values.copy()
+    n = out.size
+    target = int(n * fraction)
+    if out.ndim == 1:
+        covered = 0
+        while covered < target and n > patch:
+            start = int(rng.integers(0, n - patch))
+            out[start : start + patch] = fill_value
+            covered += patch
+        return out
+    side = max(2, int(round((patch * 8) ** (1.0 / out.ndim))))
+    box = tuple(min(side, dim) for dim in out.shape)
+    box_cells = 1
+    for extent in box:
+        box_cells *= extent
+    covered = 0
+    while covered < target:
+        corner = tuple(
+            int(rng.integers(0, dim - extent + 1))
+            for dim, extent in zip(out.shape, box)
+        )
+        region = tuple(slice(c, c + e) for c, e in zip(corner, box))
+        out[region] = fill_value
+        covered += box_cells
+    return out
+
+
+def with_noise_floor(
+    rng: np.random.Generator,
+    values: np.ndarray,
+    *,
+    relative: float = 1e-6,
+) -> np.ndarray:
+    """Multiply by (1 + eps) noise, randomising the low mantissa bits.
+
+    Real simulation outputs carry rounding noise in their least
+    significant mantissa bits (paper §3.2 cites [8] on this); perfectly
+    smooth synthetic fields would otherwise make byte-shuffle+LZ codecs
+    look unrealistically strong.
+    """
+    if relative <= 0:
+        return values.copy()
+    eps = rng.uniform(-relative, relative, size=values.shape)
+    return (values * (1.0 + eps)).astype(values.dtype)
+
+
+def with_recurrences(
+    rng: np.random.Generator,
+    values: np.ndarray,
+    *,
+    fraction: float = 0.2,
+    segment: int = 16,
+    min_distance: int = 8192,
+) -> np.ndarray:
+    """Copy earlier segments to far-away later positions.
+
+    Scientific streams re-visit earlier states: periodic boundary
+    snapshots, repeated message payloads, checkpoint echoes.  The copies
+    land at least ``min_distance`` values back, beyond the 32-64 KiB
+    windows of LZ4/DEFLATE but in reach of hash-table predictors (FPC)
+    and the sort-based FCM — the paper's stated motivation for FCM:
+    finding "repeating values ... even when they are far apart".
+    """
+    out = values.copy().reshape(-1)
+    n = out.size
+    if n <= min_distance + segment:
+        return out.reshape(values.shape)
+    target = int(n * fraction)
+    covered = 0
+    while covered < target:
+        dst = int(rng.integers(min_distance + segment, n - segment))
+        distance = int(rng.integers(min_distance, dst - segment + 1))
+        src = dst - distance
+        out[dst : dst + segment] = out[src : src + segment]
+        covered += segment
+    return out.reshape(values.shape)
+
+
+def with_plateaus(
+    rng: np.random.Generator,
+    values: np.ndarray,
+    *,
+    fraction: float = 0.3,
+    run: int = 32,
+) -> np.ndarray:
+    """Replace random runs with their first value repeated.
+
+    Simulation outputs hold large regions still at their exact initial or
+    ambient value (unburnt fuel in S3D, vacuum in plasma codes); these
+    produce the exact value repeats that hash-prediction compressors (FPC)
+    and FCM exploit.
+    """
+    out = values.copy().reshape(-1)
+    n = out.size
+    target = int(n * fraction)
+    covered = 0
+    while covered < target and n > run:
+        start = int(rng.integers(0, n - run))
+        out[start : start + run] = out[start]
+        covered += run
+    return out.reshape(values.shape)
+
+
+def repeating_messages(
+    rng: np.random.Generator,
+    n: int,
+    *,
+    period: int = 10_000,
+    fresh_fraction: float = 0.3,
+    dtype=np.float64,
+) -> np.ndarray:
+    """A long repeated cycle of distinct doubles with fresh insertions.
+
+    MPI message traces (the msg_* FPdouble files) re-send buffers whose
+    payloads recur with a long period — typically farther back than the
+    32-64 KiB windows of LZ-family codecs can see, but trivially found by
+    hash-table predictors (FPC) and DPratio's sort-based FCM.
+    ``fresh_fraction`` of positions carry never-repeated values (payload
+    fields that change every iteration).
+    """
+    period = min(period, max(1024, n // 2))  # keep repeats at every scale
+    base = (np.cumsum(rng.normal(size=period)) * 1e3).astype(dtype)
+    reps = n // period + 1
+    out = np.tile(base, reps)[:n].copy()
+    # Freshness is blocky — whole payload fields change per iteration, not
+    # isolated scalars — so repeated stretches keep clean match contexts.
+    block = 64
+    n_blocks = (n + block - 1) // block
+    fresh_blocks = rng.random(n_blocks) < fresh_fraction
+    fresh = np.repeat(fresh_blocks, block)[:n]
+    out[fresh] = (rng.normal(size=int(fresh.sum())) * 1e3).astype(dtype)
+    return out
+
+
+def oscillatory(
+    rng: np.random.Generator,
+    n: int,
+    *,
+    modes: int = 8,
+    noise: float = 1e-4,
+    dtype=np.float32,
+) -> np.ndarray:
+    """Superposed smooth oscillations (QMCPack spline-table style)."""
+    t = np.linspace(0.0, 1.0, n)
+    field = np.zeros(n)
+    for _ in range(modes):
+        freq = rng.uniform(0.5, 40.0)
+        phase = rng.uniform(0.0, 2 * np.pi)
+        amp = rng.uniform(0.1, 1.0)
+        field += amp * np.sin(2 * np.pi * freq * t + phase)
+    field += rng.normal(scale=noise, size=n)
+    return field.astype(dtype)
+
+
+def high_entropy_simulation(
+    rng: np.random.Generator,
+    n: int,
+    *,
+    smooth_scale: float = 1.0,
+    dtype=np.float64,
+) -> np.ndarray:
+    """Smooth trajectory whose mantissa bits are effectively random.
+
+    Long-running double-precision simulations accumulate rounding noise:
+    "as floating-point values undergo arithmetic operations ... their
+    bits tend to become more random" (paper §3.2).  The exponent stream
+    stays compressible; the low mantissa does not.
+    """
+    base = np.cumsum(rng.normal(scale=smooth_scale, size=n))
+    jitter = rng.uniform(1.0 - 1e-9, 1.0 + 1e-9, size=n)
+    return (base * jitter).astype(dtype)

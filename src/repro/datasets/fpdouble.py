@@ -1,0 +1,138 @@
+"""The synthetic double-precision corpus: 20 files in 5 domains.
+
+Modelled on the FPdouble collection (msg_*/num_*/obs_*) the paper adds to
+SDRBench's sparse double-precision offerings, plus S3D and Miranda:
+
+* **msg** — MPI message traces: a modest vocabulary of doubles with long
+  repeated stretches (DPratio/FCM's showcase).
+* **num** — numeric simulation states: smooth at the exponent level but
+  with effectively random low mantissa bits.
+* **obs** — instrument observations: quantised mantissas (trailing zero
+  bits) from fixed-precision acquisition pipelines.
+* **S3D** — combustion simulation fields: smooth 3-D spectra.
+* **Miranda** — hydrodynamics fields: very smooth large-scale structure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets import fields as gen
+from repro.datasets.registry import DatasetFile, Domain
+
+F64 = np.dtype(np.float64)
+
+#: Base grids (32 Ki values = 256 KiB at scale 1.0).
+DP_GRID_1D = (32_768,)
+DP_GRID_3D = (32, 32, 32)
+
+_MSG_FILES = [
+    # (name, cycle period in values, fraction of never-repeated payloads)
+    ("msg_bt", 9000, 0.35), ("msg_lu", 11000, 0.30), ("msg_sp", 8000, 0.40),
+    ("msg_sppm", 6000, 0.15), ("msg_sweep3d", 7000, 0.25),
+]
+
+_NUM_FILES = [
+    # (name, smooth scale, plateau fraction) — num_plasma is famously
+    # repetitive (FPC compresses it >10x), num_control barely at all.
+    ("num_brain", 1.0, 0.25), ("num_comet", 10.0, 0.35), ("num_control", 0.1, 0.05),
+    ("num_plasma", 100.0, 0.9),
+]
+
+_OBS_FILES = [
+    # (name, quantisation step relative to the field amplitude)
+    ("obs_error", 3e-5), ("obs_info", 1e-4), ("obs_spitzer", 1e-5),
+    ("obs_temp", 5e-5),
+]
+
+_S3D_FILES = [
+    ("s3d_pressure", 3.0, 1.0e5, 1.0e6), ("s3d_temperature", 2.8, 300.0, 1200.0),
+    ("s3d_velocity", 2.3, 40.0, 0.0), ("s3d_species", 2.1, 0.01, 0.05),
+]
+
+_MIRANDA_FILES = [
+    ("miranda_density", 3.2, 0.5, 1.0), ("miranda_pressure", 3.3, 0.2, 1.0),
+    ("miranda_viscosity", 3.0, 0.05, 0.1),
+]
+
+
+def _msg(period: int, fresh_fraction: float):
+    def build(rng: np.random.Generator, grid: tuple[int, ...]) -> np.ndarray:
+        n = grid[0]
+        # Re-sent buffers recur with a long period — beyond LZ windows,
+        # visible to FPC's hash tables and DPratio's FCM.
+        return gen.repeating_messages(rng, n, period=period,
+                                      fresh_fraction=fresh_fraction,
+                                      dtype=np.float64)
+
+    return build
+
+
+def _num(scale: float, plateaus: float):
+    def build(rng: np.random.Generator, grid: tuple[int, ...]) -> np.ndarray:
+        n = grid[0]
+        data = gen.high_entropy_simulation(rng, n, smooth_scale=scale, dtype=np.float64)
+        data = gen.with_plateaus(rng, data, fraction=plateaus * 0.3, run=8)
+        return gen.with_recurrences(rng, data, fraction=plateaus * 1.5,
+                                    segment=32, min_distance=4300)
+
+    return build
+
+
+def _obs(step_rel: float):
+    def build(rng: np.random.Generator, grid: tuple[int, ...]) -> np.ndarray:
+        n = grid[0]
+        # Real obs_* files are only mildly compressible (gzip 1.2-1.5,
+        # FPC 1.2-2.3): smooth-ish readings, mantissa noise, and a share
+        # of exactly repeated records.
+        amplitude = 50.0
+        raw = gen.spectral_field(rng, (n,), slope=2.0, amplitude=amplitude,
+                                 offset=250.0, dtype=np.float64)
+        raw = gen.with_noise_floor(rng, raw, relative=max(step_rel, 1e-6))
+        return gen.with_recurrences(rng, raw, fraction=0.3, segment=32,
+                                    min_distance=4300)
+
+    return build
+
+
+def _smooth(slope: float, amplitude: float, offset: float, plateaus: float = 0.25):
+    def build(rng: np.random.Generator, grid: tuple[int, ...]) -> np.ndarray:
+        data = gen.spectral_field(rng, grid, slope=slope, amplitude=amplitude,
+                                  offset=offset, dtype=np.float64)
+        data = gen.with_noise_floor(rng, data, relative=1e-5)
+        # Ambient regions at exactly repeated values, plus far-apart
+        # state echoes (checkpoint/boundary re-visits).
+        data = gen.with_plateaus(rng, data, fraction=plateaus * 0.25, run=8)
+        return gen.with_recurrences(rng, data, fraction=plateaus * 1.6,
+                                    segment=32, min_distance=4300)
+
+    return build
+
+
+def build_dp_domains() -> list[Domain]:
+    domains = [
+        Domain("msg", tuple(
+            DatasetFile(f"msg/{name}", "msg", F64, DP_GRID_1D, _msg(v, rb))
+            for name, v, rb in _MSG_FILES
+        )),
+        Domain("num", tuple(
+            DatasetFile(f"num/{name}", "num", F64, DP_GRID_1D, _num(s, p))
+            for name, s, p in _NUM_FILES
+        )),
+        Domain("obs", tuple(
+            DatasetFile(f"obs/{name}", "obs", F64, DP_GRID_1D, _obs(step))
+            for name, step in _OBS_FILES
+        )),
+        Domain("S3D", tuple(
+            DatasetFile(f"S3D/{name}", "S3D", F64, DP_GRID_3D, _smooth(sl, a, o))
+            for name, sl, a, o in _S3D_FILES
+        )),
+        Domain("Miranda", tuple(
+            DatasetFile(f"Miranda/{name}", "Miranda", F64, DP_GRID_3D,
+                        _smooth(sl, a, o))
+            for name, sl, a, o in _MIRANDA_FILES
+        )),
+    ]
+    total = sum(len(d.files) for d in domains)
+    assert total == 20, f"DP corpus must hold 20 files, found {total}"
+    return domains

@@ -1,0 +1,88 @@
+"""Dataset registry: named files, domains, and suite assembly.
+
+A :class:`DatasetFile` is a lazily generated, deterministically seeded
+array with a name and a domain.  Suites mirror the paper's corpora:
+:func:`sp_suite` yields 90 single-precision files in 7 domains,
+:func:`dp_suite` 20 double-precision files in 5 domains.  Generation is
+seeded by the file name, so every run (and every test) sees identical
+bytes.
+
+``scale`` multiplies each file's element count: tests run at small scale
+for speed, benchmarks at a larger one; the *relative* compressibility is
+scale-invariant by construction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def _seed_for(name: str) -> int:
+    digest = hashlib.sha256(name.encode()).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+@dataclass(frozen=True)
+class DatasetFile:
+    """One synthetic corpus file.
+
+    ``base_grid`` is the file's grid shape at scale 1.0; multi-dimensional
+    files exist because the paper supplies the true dimensionality to the
+    baselines that require it (FPzip, ZFP, Ndzip, MPC — §4), while its own
+    codecs deliberately need none.
+    """
+
+    name: str
+    domain: str
+    dtype: np.dtype
+    base_grid: tuple[int, ...]
+    generator: Callable[[np.random.Generator, tuple[int, ...]], np.ndarray] = field(repr=False)
+
+    def grid_at(self, scale: float = 1.0) -> tuple[int, ...]:
+        """The grid shape at ``scale`` (each axis scaled isotropically)."""
+        if scale == 1.0:
+            return self.base_grid
+        factor = scale ** (1.0 / len(self.base_grid))
+        return tuple(max(4, int(round(dim * factor))) for dim in self.base_grid)
+
+    def load(self, scale: float = 1.0) -> np.ndarray:
+        """Generate the file's array (deterministic for a given scale)."""
+        grid = self.grid_at(scale)
+        rng = np.random.default_rng(_seed_for(self.name))
+        data = self.generator(rng, grid)
+        assert data.dtype == self.dtype, f"{self.name}: generator dtype mismatch"
+        assert data.shape == grid, f"{self.name}: generator shape mismatch"
+        return data
+
+    @property
+    def base_elements(self) -> int:
+        out = 1
+        for dim in self.base_grid:
+            out *= dim
+        return out
+
+
+@dataclass(frozen=True)
+class Domain:
+    """A scientific domain grouping several files (geo-mean aggregation unit)."""
+
+    name: str
+    files: tuple[DatasetFile, ...]
+
+
+def sp_suite() -> list[Domain]:
+    """The 7-domain, 90-file single-precision corpus."""
+    from repro.datasets.sdrbench import build_sp_domains
+
+    return build_sp_domains()
+
+
+def dp_suite() -> list[Domain]:
+    """The 5-domain, 20-file double-precision corpus."""
+    from repro.datasets.fpdouble import build_dp_domains
+
+    return build_dp_domains()

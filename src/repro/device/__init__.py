@@ -1,0 +1,36 @@
+"""The CPU/GPU execution model replacing the paper's physical testbed.
+
+No CUDA GPU (or 32-core Xeon) exists in this environment, so throughput
+— the x-axis of Figures 8-19 — comes from an analytical model instead of
+wall-clock timing.  Two ingredients:
+
+* :mod:`repro.device.machines` — parameter sets for the paper's four
+  machines (RTX 4090, A100, Ryzen 2950X, dual Xeon 6226R): achievable
+  memory bandwidth, sustained simple-word-op throughput, and device sort
+  bandwidth.
+* :mod:`repro.device.cost` + :mod:`repro.device.model` — per-codec cost
+  profiles (bytes moved, ops executed, bytes sorted per input byte) for
+  our four algorithms, evaluated against a machine with a roofline rule
+  (time = max(memory time, compute time) + sort time); plus a
+  calibration table for the 18 third-party baselines anchored to the
+  throughputs published in the paper's figures and the baselines' own
+  papers.
+
+Compression *ratios* are never modeled — they come from running the real
+implementations.  Real wall-clock numbers for this Python code are
+measured separately by :mod:`repro.metrics.timing` and reported under a
+separate column.
+"""
+
+from repro.device.machines import A100, ALL_DEVICES, RTX4090, RYZEN_2950X, XEON_6226R, Device
+from repro.device.model import modeled_throughput
+
+__all__ = [
+    "A100",
+    "ALL_DEVICES",
+    "Device",
+    "RTX4090",
+    "RYZEN_2950X",
+    "XEON_6226R",
+    "modeled_throughput",
+]

@@ -1,0 +1,93 @@
+"""Cost profiles: how much work a codec does per input byte.
+
+A :class:`CostProfile` abstracts one direction (compress or decompress)
+of one codec as three intensities, each normalised per byte of
+*uncompressed* data:
+
+* ``mem_bytes`` — main-memory traffic (reads + writes); chunked codecs
+  keep intermediate stages in shared memory / L1 (paper §3.1), so this
+  is ~(1 read + 1 write) plus format overheads, not per-stage traffic;
+* ``ops`` — simple word operations (shifts, xors, adds, table lookups);
+* ``sort_bytes`` — bytes that pass through a device-wide sort (zero for
+  every stage except DPratio's FCM encoder — its decoder needs no sort,
+  which is exactly why the paper's DPratio decompresses an order of
+  magnitude faster than it compresses).
+
+Evaluation is a roofline: ``time/byte = max(mem, compute) + sort``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.device.machines import Device
+
+
+@dataclass(frozen=True)
+class CostProfile:
+    """Per-input-byte work of one codec direction."""
+
+    mem_bytes: float
+    ops: float
+    sort_bytes: float = 0.0
+
+    def throughput(self, device: Device, chunk_size: int | None = None) -> float:
+        """Modeled throughput in GB/s on ``device``.
+
+        ``chunk_size`` enables the chunk-granularity terms: a fixed
+        scheduling cost per chunk (hurts tiny chunks) and a memory-spill
+        penalty once two chunk buffers stop fitting the device's fast
+        local storage (hurts huge chunks) — the two forces behind the
+        paper's 16 KiB choice (§3).
+        """
+        mem_bytes = self.mem_bytes
+        overhead = 0.0
+        if chunk_size is not None:
+            if chunk_size <= 0:
+                raise ValueError("chunk size must be positive")
+            if 2 * chunk_size > device.fast_buffer_bytes:
+                mem_bytes *= device.spill_penalty
+            overhead = device.chunk_overhead_ns / chunk_size
+        mem_time = mem_bytes / device.mem_bw
+        compute_time = self.ops / device.compute
+        sort_time = self.sort_bytes / device.sort_bw
+        total = max(mem_time, compute_time) + sort_time + overhead
+        return 1.0 / total
+
+
+@dataclass(frozen=True)
+class CodecCost:
+    """Compress/decompress profile pair for one codec."""
+
+    compress: CostProfile
+    decompress: CostProfile
+
+
+#: Profiles for the paper's four codecs.  Stage accounting:
+#:   DIFFMS    ~3 ops/word  (subtract, shift, xor)
+#:   MPLG      ~6 ops/word  (max-reduce, clz, funnel shift, pack)
+#:   BIT       ~10 ops/word (log2(w) shuffle steps)
+#:   RZE       ~8 ops/word  (bitmap build, prefix sum, scatter)
+#:   RAZE/RARE ~10 ops/word (histogram, prefix sums, split, pack)
+#:   FCM enc   hash+sort over the whole input; dec: pointer chasing
+#: divided by the word size to get per-byte figures.
+OUR_CODECS: dict[str, CodecCost] = {
+    "spspeed": CodecCost(
+        compress=CostProfile(mem_bytes=1.95, ops=2.4),
+        decompress=CostProfile(mem_bytes=1.90, ops=2.2),
+    ),
+    "spratio": CodecCost(
+        compress=CostProfile(mem_bytes=2.0, ops=17.0),
+        decompress=CostProfile(mem_bytes=2.0, ops=19.0),
+    ),
+    "dpspeed": CodecCost(
+        compress=CostProfile(mem_bytes=2.05, ops=2.0),
+        decompress=CostProfile(mem_bytes=2.00, ops=1.9),
+    ),
+    "dpratio": CodecCost(
+        # FCM doubles the data (4 bytes moved per input byte) and sorts
+        # one (hash, index) pair stream the size of the input.
+        compress=CostProfile(mem_bytes=4.2, ops=26.0, sort_bytes=1.0),
+        decompress=CostProfile(mem_bytes=4.0, ops=9.0),
+    ),
+}

@@ -1,0 +1,32 @@
+"""Exception hierarchy for the repro compression library.
+
+All errors raised by the public API derive from :class:`ReproError`, so
+callers can catch a single base class.  Internal invariant violations use
+plain ``AssertionError`` and indicate bugs, not bad input.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class FormatError(ReproError):
+    """The byte stream is not a valid compressed container.
+
+    Raised when a magic number, version, codec id, or length field does not
+    match the container format described in ``core/container.py``.
+    """
+
+
+class UnsupportedDtypeError(ReproError):
+    """The input array dtype is not float32/float64 (or their bit-views)."""
+
+
+class UnknownCodecError(ReproError):
+    """The requested codec name or id is not registered."""
+
+
+class CorruptDataError(FormatError):
+    """The container parsed, but a payload failed internal consistency checks."""

@@ -1,0 +1,62 @@
+"""The twelve figure configurations of the paper's evaluation (§5).
+
+Each spec names the machine, precision, and throughput direction of one
+ratio-vs-throughput scatter plot.  Figures 8-13 cover the 90-file
+single-precision corpus, 14-19 the 20-file double-precision corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.device import A100, RTX4090, RYZEN_2950X, XEON_6226R, Device
+
+
+@dataclass(frozen=True)
+class FigureSpec:
+    figure_id: str
+    device: Device
+    dtype: np.dtype
+    direction: str  # "compress" or "decompress"
+
+    @property
+    def title(self) -> str:
+        what = "compression" if self.direction == "compress" else "decompression"
+        precision = "single" if self.dtype == np.dtype(np.float32) else "double"
+        return (
+            f"{self.device.name}: compression ratio vs. {what} throughput, "
+            f"{precision}-precision data"
+        )
+
+
+F32 = np.dtype(np.float32)
+F64 = np.dtype(np.float64)
+
+FIGURES: dict[str, FigureSpec] = {
+    spec.figure_id: spec
+    for spec in (
+        FigureSpec("fig08", RTX4090, F32, "compress"),
+        FigureSpec("fig09", RTX4090, F32, "decompress"),
+        FigureSpec("fig10", A100, F32, "compress"),
+        FigureSpec("fig11", A100, F32, "decompress"),
+        FigureSpec("fig12", RYZEN_2950X, F32, "compress"),
+        FigureSpec("fig13", RYZEN_2950X, F32, "decompress"),
+        FigureSpec("fig14", RTX4090, F64, "compress"),
+        FigureSpec("fig15", RTX4090, F64, "decompress"),
+        FigureSpec("fig16", A100, F64, "compress"),
+        FigureSpec("fig17", A100, F64, "decompress"),
+        FigureSpec("fig18", RYZEN_2950X, F64, "compress"),
+        FigureSpec("fig19", RYZEN_2950X, F64, "decompress"),
+    )
+}
+
+#: §5.1/§5.2: the Xeon results "are qualitatively very similar" to the
+#: Ryzen's; these extra configs back the parity benchmark.
+XEON_CONFIGS = (
+    FigureSpec("xeon_sp_comp", XEON_6226R, F32, "compress"),
+    FigureSpec("xeon_sp_decomp", XEON_6226R, F32, "decompress"),
+    FigureSpec("xeon_dp_comp", XEON_6226R, F64, "compress"),
+    FigureSpec("xeon_dp_decomp", XEON_6226R, F64, "decompress"),
+)

@@ -1,0 +1,47 @@
+"""Text rendering of figure results and the EXPERIMENTS.md writer."""
+
+from __future__ import annotations
+
+from repro.harness.runner import FigureResult
+
+
+def format_figure(result: FigureResult, *, markdown: bool = False) -> str:
+    """Render one figure as an aligned table, Pareto front annotated.
+
+    Rows are sorted by descending throughput so the table reads like the
+    paper's scatter plots read left-to-right mirrored.
+    """
+    lines = [f"{result.figure_id}: {result.title}"]
+    header = f"{'compressor':<16} {'ratio':>7} {'GB/s':>10}  {'Pareto':<6} {'ours':<4}"
+    rule = "-" * len(header)
+    if markdown:
+        lines.append("")
+        lines.append("| compressor | ratio | throughput (GB/s) | Pareto | ours |")
+        lines.append("|---|---:|---:|:---:|:---:|")
+        for row in result.rows:
+            lines.append(
+                f"| {row.name} | {row.ratio:.3f} | {row.throughput:.2f} "
+                f"| {'*' if row.on_front else ''} | {'*' if row.ours else ''} |"
+            )
+    else:
+        lines.append(header)
+        lines.append(rule)
+        for row in result.rows:
+            lines.append(
+                f"{row.name:<16} {row.ratio:>7.3f} {row.throughput:>10.2f}  "
+                f"{'front' if row.on_front else '':<6} {'ours' if row.ours else '':<4}"
+            )
+    return "\n".join(lines)
+
+
+def render_experiments(results: list[FigureResult], preamble: str = "") -> str:
+    """Assemble a full EXPERIMENTS.md body from figure results."""
+    parts = []
+    if preamble:
+        parts.append(preamble.rstrip())
+    for result in results:
+        parts.append(f"## {result.figure_id.upper()} — {result.title}")
+        parts.append(format_figure(result, markdown=True).split("\n", 1)[1])
+        front = ", ".join(result.front_names())
+        parts.append(f"\nPareto front: {front}\n")
+    return "\n\n".join(parts) + "\n"

@@ -1,0 +1,128 @@
+"""Streaming compression: frame-by-frame pipelines over file objects.
+
+Instruments do not hand you one array — they emit an unbounded sequence
+of acquisition frames at line rate (the paper's LCLS-II scenario, §1).
+:class:`StreamWriter` compresses each frame into an FPRZ container and
+frames them with a length prefix; :class:`StreamReader` yields the frames
+back, each one independently decodable (a dropped connection costs at
+most the trailing frame).
+
+Stream layout::
+
+    magic "FPRS" | version u8 | reserved 3 bytes
+    frame*:  u32 container length | FPRZ container
+    terminator: u32 0xFFFFFFFF (written by close(); absent after a crash,
+                which readers tolerate by stopping at EOF)
+
+Example::
+
+    with StreamWriter(fh, codec="spspeed") as writer:
+        for frame in acquisition:
+            writer.write(frame)
+
+    for frame in StreamReader(fh2):
+        process(frame)
+"""
+
+from __future__ import annotations
+
+import struct
+from collections.abc import Iterator
+from typing import BinaryIO
+
+import numpy as np
+
+from repro.api import compress, decompress
+from repro.errors import FormatError
+
+MAGIC = b"FPRS"
+VERSION = 1
+_TERMINATOR = 0xFFFFFFFF
+
+
+class StreamWriter:
+    """Compress a sequence of arrays into a framed stream."""
+
+    def __init__(
+        self,
+        sink: BinaryIO,
+        *,
+        codec: str | None = None,
+        mode: str = "ratio",
+        checksum: bool = True,
+        workers: int = 1,
+    ) -> None:
+        self._sink = sink
+        self._codec = codec
+        self._mode = mode
+        self._checksum = checksum
+        self._workers = workers
+        self._frames = 0
+        self._raw_bytes = 0
+        self._compressed_bytes = 0
+        self._closed = False
+        sink.write(MAGIC + struct.pack("<B3x", VERSION))
+
+    def write(self, frame: np.ndarray | bytes) -> int:
+        """Compress and emit one frame; returns the compressed size."""
+        if self._closed:
+            raise ValueError("stream writer is closed")
+        blob = compress(frame, self._codec, mode=self._mode,
+                        checksum=self._checksum, workers=self._workers)
+        if len(blob) >= _TERMINATOR:
+            raise ValueError("frame too large for the stream framing")
+        self._sink.write(struct.pack("<I", len(blob)))
+        self._sink.write(blob)
+        self._frames += 1
+        raw = frame.nbytes if isinstance(frame, np.ndarray) else len(frame)
+        self._raw_bytes += raw
+        self._compressed_bytes += len(blob) + 4
+        return len(blob)
+
+    @property
+    def frames_written(self) -> int:
+        return self._frames
+
+    @property
+    def ratio(self) -> float:
+        """Aggregate stream compression ratio so far."""
+        return self._raw_bytes / self._compressed_bytes if self._compressed_bytes else 0.0
+
+    def close(self) -> None:
+        if not self._closed:
+            self._sink.write(struct.pack("<I", _TERMINATOR))
+            self._closed = True
+
+    def __enter__(self) -> "StreamWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class StreamReader:
+    """Iterate the frames of a compressed stream."""
+
+    def __init__(self, source: BinaryIO, *, workers: int = 1) -> None:
+        header = source.read(8)
+        if len(header) < 8 or header[:4] != MAGIC:
+            raise FormatError("not an FPRS stream")
+        if header[4] != VERSION:
+            raise FormatError(f"unsupported stream version {header[4]}")
+        self._source = source
+        self._workers = workers
+
+    def __iter__(self) -> Iterator[np.ndarray | bytes]:
+        while True:
+            prefix = self._source.read(4)
+            if len(prefix) == 0:
+                return  # crashed writer: stop cleanly at EOF
+            if len(prefix) < 4:
+                raise FormatError("truncated stream frame prefix")
+            (length,) = struct.unpack("<I", prefix)
+            if length == _TERMINATOR:
+                return
+            blob = self._source.read(length)
+            if len(blob) < length:
+                raise FormatError("truncated stream frame")
+            yield decompress(blob, workers=self._workers)

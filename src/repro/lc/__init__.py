@@ -1,0 +1,23 @@
+"""A miniature LC framework: automatic compression-algorithm synthesis.
+
+The paper's four algorithms were designed "with the help of the LC
+framework [4], which can automatically synthesize data compressors.  We
+used it to generate over 100,000 algorithms, the best of which we then
+analyzed" (§3).  This subpackage reproduces that methodology at library
+scale: a catalogue of composable stage components
+(:mod:`repro.lc.components`) and an exhaustive pipeline search with
+scoring (:mod:`repro.lc.search`) that rediscovers the paper's stage
+chains on representative data.
+"""
+
+from repro.lc.components import COMPONENTS, component_names, make_stage
+from repro.lc.search import SearchResult, enumerate_pipelines, synthesize
+
+__all__ = [
+    "COMPONENTS",
+    "SearchResult",
+    "component_names",
+    "enumerate_pipelines",
+    "make_stage",
+    "synthesize",
+]

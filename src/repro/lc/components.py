@@ -1,0 +1,75 @@
+"""The stage-component catalogue for pipeline synthesis.
+
+Each component is a named, parameterised constructor for a
+:class:`~repro.stages.Stage`.  The catalogue covers every transformation
+in the paper (DIFFMS, MPLG, BIT, RZE, RAZE, RARE, FCM) at both word
+granularities, which is the search space the LC methodology explores:
+"we only considered transformations that we could efficiently implement
+on CPUs and GPUs" (§1).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.stages import (
+    RARE,
+    RAZE,
+    RZE,
+    BitTranspose,
+    ByteShuffle,
+    DiffMS,
+    FCMStage,
+    MPLG,
+    Stage,
+    XorDelta,
+)
+
+
+@dataclass(frozen=True)
+class Component:
+    """A named stage constructor with placement constraints."""
+
+    name: str
+    build: Callable[[], Stage]
+    #: terminal components (packers/eliminators) only make sense at the end
+    terminal: bool = False
+    #: global components run before chunking and may appear once, first
+    global_stage: bool = False
+
+
+def _catalogue() -> dict[str, Component]:
+    components = [
+        Component("diffms32", lambda: DiffMS(32)),
+        Component("diffms64", lambda: DiffMS(64)),
+        Component("bit32", lambda: BitTranspose(32)),
+        Component("bit64", lambda: BitTranspose(64)),
+        Component("mplg32", lambda: MPLG(32), terminal=True),
+        Component("mplg64", lambda: MPLG(64), terminal=True),
+        Component("rze", lambda: RZE(), terminal=True),
+        Component("raze32", lambda: RAZE(32), terminal=True),
+        Component("raze64", lambda: RAZE(64), terminal=True),
+        Component("rare32", lambda: RARE(32), terminal=True),
+        Component("rare64", lambda: RARE(64), terminal=True),
+        Component("xordelta32", lambda: XorDelta(32)),
+        Component("xordelta64", lambda: XorDelta(64)),
+        Component("shuf32", lambda: ByteShuffle(32)),
+        Component("shuf64", lambda: ByteShuffle(64)),
+        Component("fcm", lambda: FCMStage(), global_stage=True),
+    ]
+    return {c.name: c for c in components}
+
+
+COMPONENTS: dict[str, Component] = _catalogue()
+
+
+def component_names() -> list[str]:
+    return sorted(COMPONENTS)
+
+
+def make_stage(name: str) -> Stage:
+    """Instantiate a catalogue component by name."""
+    if name not in COMPONENTS:
+        raise KeyError(f"unknown component {name!r}; see component_names()")
+    return COMPONENTS[name].build()

@@ -1,0 +1,117 @@
+"""Exhaustive pipeline enumeration and scoring (the LC methodology).
+
+:func:`enumerate_pipelines` yields every stage chain up to a depth bound,
+respecting placement constraints (a global FCM may only lead; terminal
+packers may not be followed by word-level transforms at a different
+granularity is *not* enforced — LC explores freely and lets the scores
+speak).  :func:`synthesize` scores each candidate on sample data by
+compressed size (with a throughput penalty per stage, mirroring the
+paper's requirement that every stage stay implementable at speed) and
+returns the ranked results.
+
+At the default depth the space holds a few thousand candidates; the
+paper ran >100k via the full LC framework — same idea, smaller catalogue.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+from itertools import product
+
+from repro.core.chunking import CHUNK_SIZE, iter_chunks
+from repro.lc.components import COMPONENTS, Component
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """One scored pipeline candidate."""
+
+    stages: tuple[str, ...]
+    compressed_size: int
+    original_size: int
+    score: float
+
+    @property
+    def ratio(self) -> float:
+        return self.original_size / self.compressed_size if self.compressed_size else 0.0
+
+
+def enumerate_pipelines(
+    max_stages: int = 3,
+    *,
+    word_bits: int | None = None,
+    allow_global: bool = True,
+) -> Iterator[tuple[str, ...]]:
+    """Yield candidate stage-name chains up to ``max_stages`` long.
+
+    ``word_bits`` filters the catalogue to components of one granularity
+    (granularity-free components like RZE and FCM always qualify).
+    """
+    def admissible(component: Component) -> bool:
+        if word_bits is None:
+            return True
+        name = component.name
+        if name.endswith("32"):
+            return word_bits == 32
+        if name.endswith("64"):
+            return word_bits == 64
+        return True
+
+    chunk_components = [
+        c.name for c in COMPONENTS.values() if not c.global_stage and admissible(c)
+    ]
+    global_components = [
+        c.name for c in COMPONENTS.values() if c.global_stage and allow_global
+    ]
+    for depth in range(1, max_stages + 1):
+        for chain in product(chunk_components, repeat=depth):
+            # Terminal components may appear anywhere (LC explores freely)
+            # but a chain of only repeated identical stages is pointless.
+            if any(a == b for a, b in zip(chain, chain[1:])):
+                continue
+            yield chain
+            for head in global_components:
+                yield (head, *chain)
+
+
+def _run_pipeline(stage_names: Sequence[str], data: bytes) -> int:
+    """Compressed size of ``data`` under the chain (chunked, with fallback)."""
+    from repro.lc.components import make_stage
+
+    stages = [make_stage(name) for name in stage_names]
+    if stages and COMPONENTS[stage_names[0]].global_stage:
+        data = stages[0].encode(data)
+        stages = stages[1:]
+    total = 0
+    for chunk in iter_chunks(data, CHUNK_SIZE):
+        body = chunk
+        for stage in stages:
+            body = stage.encode(body)
+        total += 1 + min(len(body), len(chunk))  # chunk flag + raw fallback
+    return total
+
+
+def synthesize(
+    data: bytes,
+    *,
+    max_stages: int = 3,
+    word_bits: int | None = None,
+    allow_global: bool = True,
+    stage_penalty: float = 0.01,
+    top: int = 10,
+) -> list[SearchResult]:
+    """Rank pipeline candidates on ``data``; lower score is better.
+
+    ``stage_penalty`` charges each stage a fraction of the input size,
+    standing in for its throughput cost — LC's "ratio" objective under a
+    speed constraint.  Returns the ``top`` results, best first.
+    """
+    results = []
+    for chain in enumerate_pipelines(max_stages, word_bits=word_bits,
+                                     allow_global=allow_global):
+        size = _run_pipeline(chain, data)
+        score = size + stage_penalty * len(chain) * len(data)
+        results.append(SearchResult(chain, size, len(data), score))
+    results.sort(key=lambda r: r.score)
+    return results[:top]

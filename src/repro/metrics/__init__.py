@@ -1,0 +1,14 @@
+"""Evaluation metrics: ratios, geometric means, Pareto fronts, timing."""
+
+from repro.metrics.pareto import ParetoPoint, pareto_front
+from repro.metrics.ratios import compression_ratio, geo_of_geo, geomean
+from repro.metrics.timing import measure_throughput
+
+__all__ = [
+    "ParetoPoint",
+    "compression_ratio",
+    "geo_of_geo",
+    "geomean",
+    "measure_throughput",
+    "pareto_front",
+]

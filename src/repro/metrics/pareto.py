@@ -1,0 +1,36 @@
+"""Pareto-front extraction for the ratio-vs-throughput scatter plots.
+
+"All compressors that lie on this front are *optimal* in the sense that
+there is no other compressor that is both faster and compresses more"
+(paper §4, citing [29]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One compressor's position in a figure."""
+
+    name: str
+    throughput: float  # GB/s, x-axis
+    ratio: float       # compression ratio, y-axis
+
+    def dominates(self, other: "ParetoPoint") -> bool:
+        """True if this point is at least as good on both axes and strictly
+        better on one."""
+        at_least = self.throughput >= other.throughput and self.ratio >= other.ratio
+        strictly = self.throughput > other.throughput or self.ratio > other.ratio
+        return at_least and strictly
+
+
+def pareto_front(points: list[ParetoPoint]) -> list[ParetoPoint]:
+    """The non-dominated subset, sorted by descending throughput."""
+    front = [
+        p
+        for p in points
+        if not any(q.dominates(p) for q in points if q is not p)
+    ]
+    return sorted(front, key=lambda p: (-p.throughput, -p.ratio))

@@ -1,0 +1,36 @@
+"""Wall-clock throughput measurement (the *measured* numbers).
+
+The paper times the median of five identical runs and excludes I/O
+(§4).  These helpers do the same for the Python implementations; the
+resulting numbers quantify this reproduction's own speed and are
+reported alongside — never mixed with — the device-model throughputs.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from collections.abc import Callable
+
+#: Number of identical runs whose median is reported (paper §4: five).
+DEFAULT_RUNS = 5
+
+
+def measure_throughput(
+    fn: Callable[[], object],
+    data_len: int,
+    *,
+    runs: int = DEFAULT_RUNS,
+) -> float:
+    """Median-of-``runs`` throughput of ``fn`` in bytes per second."""
+    if runs < 1:
+        raise ValueError("need at least one run")
+    times = []
+    for _ in range(runs):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    median = statistics.median(times)
+    if median <= 0:
+        median = 1e-9
+    return data_len / median

@@ -1,0 +1,71 @@
+"""The paper's data transformations, as composable bytes->bytes stages.
+
+Each stage implements the :class:`Stage` interface: ``encode`` maps a
+chunk's bytes to transformed bytes and ``decode`` is its exact inverse.
+Codecs (``repro.core.codecs``) are pipelines of these stages; on
+decompression the inverses run in reverse order, exactly as Figure 1 of
+the paper prescribes.
+
+Stages declare a word granularity.  Input bytes that do not fill a whole
+word (only possible in the final chunk of an input) are carried through
+verbatim by every stage, so pipelines remain lossless for arbitrary byte
+lengths.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+
+class Stage(ABC):
+    """A reversible chunk-level data transformation.
+
+    Subclasses set :attr:`name` (stable identifier used by the mini LC
+    framework and in ablation benchmarks) and :attr:`word_bits` (the
+    granularity at which the transformation interprets its input).
+    """
+
+    name: str = "stage"
+    word_bits: int = 8
+
+    @abstractmethod
+    def encode(self, data: bytes) -> bytes:
+        """Transform ``data``; the result must round-trip via :meth:`decode`."""
+
+    @abstractmethod
+    def decode(self, data: bytes) -> bytes:
+        """Exact inverse of :meth:`encode`."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(word_bits={self.word_bits})"
+
+
+from repro.stages.bit_stage import BitTranspose
+from repro.stages.diffms import DiffMS
+from repro.stages.fcm import FCMStage
+from repro.stages.mplg import MPLG
+from repro.stages.rare import RARE
+from repro.stages.raze import RAZE
+from repro.stages.rze import RZE
+from repro.stages.shuffle import ByteShuffle
+from repro.stages.xor_delta import XorDelta
+
+STAGE_TYPES = {
+    cls.__name__: cls
+    for cls in (DiffMS, MPLG, BitTranspose, RZE, RAZE, RARE, FCMStage,
+                XorDelta, ByteShuffle)
+}
+
+__all__ = [
+    "BitTranspose",
+    "ByteShuffle",
+    "DiffMS",
+    "FCMStage",
+    "MPLG",
+    "RARE",
+    "RAZE",
+    "RZE",
+    "STAGE_TYPES",
+    "Stage",
+    "XorDelta",
+]

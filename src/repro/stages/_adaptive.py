@@ -1,0 +1,45 @@
+"""Adaptive top-``k`` selection shared by the RAZE and RARE stages.
+
+Paper §3.2, Figure 7: rather than trying all 64 splits by brute force,
+the stage builds a histogram of per-value leading-zero (RAZE) or
+leading-common-bit (RARE) counts.  A suffix sum over the bins yields, for
+every candidate ``k``, how many values have their entire top-``k`` piece
+eliminated — because every value with ``m`` qualifying leading bits also
+qualifies for ``m-1``, ``m-2``, ...  From those counts a closed-form
+compressed size is computed for each ``k`` and the minimum is selected.
+
+The size model matches the stage's actual output layout: one bitmap bit
+per value, ``k`` bits for every value whose top piece must be kept, and
+``word_bits - k`` bottom bits for every value.  ``k == 0`` disables the
+split (the stage stores plain words).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def eliminated_counts(leading: np.ndarray, word_bits: int) -> np.ndarray:
+    """``counts[k]`` = number of values whose top-``k`` piece is eliminated.
+
+    ``leading`` holds per-value leading-zero (RAZE) or leading-common-bit
+    (RARE) counts.  A value with ``m`` such bits is eliminated for every
+    ``k <= m``, so ``counts`` is the suffix sum of the histogram.
+    """
+    hist = np.bincount(np.asarray(leading, dtype=np.int64), minlength=word_bits + 1)
+    return np.cumsum(hist[::-1])[::-1]
+
+
+def choose_k(leading: np.ndarray, n: int, word_bits: int) -> int:
+    """The ``k`` minimising the modelled compressed size of the chunk."""
+    if n == 0:
+        return 0
+    counts = eliminated_counts(leading, word_bits)
+    ks = np.arange(1, word_bits + 1, dtype=np.int64)
+    # bitmap (n bits) + kept top pieces (k bits each) + all bottom pieces.
+    cost = n + (n - counts[1:]) * ks + n * (word_bits - ks)
+    cost_disabled = n * word_bits
+    best = int(np.argmin(cost))
+    if cost[best] >= cost_disabled:
+        return 0
+    return best + 1

@@ -1,0 +1,97 @@
+"""Recursive bitmap compression shared by the RZE, RAZE, and RARE stages.
+
+RZE's bitmap "typically starts with mostly '0' bits and ends with mostly
+'1' bits" (paper §3.2), so its packed byte form contains long runs of
+repeating bytes.  The paper compresses it by *repeated repeating-byte
+elimination*: build a second bitmap marking which bytes differ from their
+predecessor, keep only the differing bytes, and recurse on the second
+bitmap.  A 16384-bit bitmap shrinks 16384 -> 2048 -> 256 -> 32 bits over
+three levels; only the final 32 bits and the non-repeating bytes of each
+level are emitted.
+
+The functions here implement that scheme for bitmaps of any length (the
+final chunk of an input can be short).  Recursion stops after
+``max_levels`` rounds or once the bitmap fits in four bytes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CorruptDataError
+from repro.stages._frame import Reader, Writer
+
+MAX_LEVELS = 3
+
+
+def _repeat_mask(level_bytes: np.ndarray) -> np.ndarray:
+    """Boolean mask: True where a byte differs from its predecessor.
+
+    The byte before position 0 is defined to be 0, so a leading zero byte
+    counts as repeating and is dropped (and regenerated on decode).
+    """
+    prev = np.empty_like(level_bytes)
+    prev[0] = 0
+    prev[1:] = level_bytes[:-1]
+    return level_bytes != prev
+
+
+def _forward_fill(mask: np.ndarray, kept: np.ndarray) -> np.ndarray:
+    """Rebuild a byte level: positions with mask take the next kept byte,
+    other positions repeat the previous reconstructed byte (initially 0)."""
+    counts = np.cumsum(mask)
+    if counts.size and counts[-1] != len(kept):
+        raise CorruptDataError("bitmap level kept-byte count mismatch")
+    out = np.zeros(len(mask), dtype=np.uint8)
+    has_prior = counts > 0
+    out[has_prior] = kept[counts[has_prior] - 1]
+    return out
+
+
+def compress_bitmap(bits: np.ndarray, max_levels: int = MAX_LEVELS) -> bytes:
+    """Compress a boolean bit array via repeated repeating-byte elimination.
+
+    Returns a self-describing payload (the original bit count is *not*
+    stored and must be supplied to :func:`decompress_bitmap`).
+    """
+    level = np.packbits(np.asarray(bits, dtype=np.uint8))
+    kept_per_level: list[np.ndarray] = []
+    levels = 0
+    while levels < max_levels and len(level) > 4:
+        mask = _repeat_mask(level)
+        kept_per_level.append(level[mask])
+        level = np.packbits(mask)
+        levels += 1
+    writer = Writer()
+    writer.u8(levels)
+    writer.raw(level.tobytes())  # length is derivable from the bit count
+    for kept in reversed(kept_per_level):
+        writer.u32(len(kept))
+        writer.raw(kept.tobytes())
+    return writer.getvalue()
+
+
+def decompress_bitmap(reader: Reader, bit_count: int) -> np.ndarray:
+    """Inverse of :func:`compress_bitmap`; reads from ``reader`` in place.
+
+    Returns a boolean array of exactly ``bit_count`` elements.
+    """
+    levels = reader.u8()
+    if levels > 8:
+        raise CorruptDataError(f"implausible bitmap recursion depth {levels}")
+    # Sizes of the packed byte arrays at each level, outermost first.
+    sizes = [(bit_count + 7) // 8]
+    for _ in range(levels):
+        sizes.append((sizes[-1] + 7) // 8)
+    level = np.frombuffer(reader.raw(sizes[-1]), dtype=np.uint8)
+    for depth in range(levels - 1, -1, -1):
+        n_kept = reader.u32()
+        kept = np.frombuffer(reader.raw(n_kept), dtype=np.uint8)
+        mask = np.unpackbits(level)[: sizes[depth]].astype(bool)
+        level = _forward_fill(mask, kept)
+    return np.unpackbits(level)[:bit_count].astype(bool)
+
+
+def compressed_bitmap_size(bits: np.ndarray, max_levels: int = MAX_LEVELS) -> int:
+    """Exact encoded size in bytes without materialising the payload twice."""
+    return len(compress_bitmap(bits, max_levels))

@@ -1,0 +1,87 @@
+"""Tiny binary framing helpers shared by the variable-length stages.
+
+Stages whose output length depends on the data (MPLG, RZE, RAZE, RARE,
+FCM) embed small headers so that ``decode`` is self-describing.  These
+helpers keep those headers uniform: little-endian fixed-width integers
+read and written through a cursor.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import CorruptDataError
+
+
+class Writer:
+    """Accumulates header fields and payload slices into one bytes object."""
+
+    def __init__(self) -> None:
+        self._parts: list[bytes] = []
+
+    def u8(self, value: int) -> None:
+        self._parts.append(struct.pack("<B", value))
+
+    def u16(self, value: int) -> None:
+        self._parts.append(struct.pack("<H", value))
+
+    def u32(self, value: int) -> None:
+        self._parts.append(struct.pack("<I", value))
+
+    def u64(self, value: int) -> None:
+        self._parts.append(struct.pack("<Q", value))
+
+    def raw(self, data: bytes) -> None:
+        self._parts.append(bytes(data))
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._parts)
+
+
+class Reader:
+    """Cursor over a stage payload; raises :class:`CorruptDataError` on truncation."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    def _take(self, n: int) -> bytes:
+        end = self._pos + n
+        if end > len(self._data):
+            raise CorruptDataError(
+                f"truncated stage payload: wanted {n} bytes at offset {self._pos}, "
+                f"have {len(self._data) - self._pos}"
+            )
+        out = self._data[self._pos : end]
+        self._pos = end
+        return out
+
+    def u8(self) -> int:
+        return struct.unpack("<B", self._take(1))[0]
+
+    def u16(self) -> int:
+        return struct.unpack("<H", self._take(2))[0]
+
+    def u32(self) -> int:
+        return struct.unpack("<I", self._take(4))[0]
+
+    def u64(self) -> int:
+        return struct.unpack("<Q", self._take(8))[0]
+
+    def raw(self, n: int) -> bytes:
+        return self._take(n)
+
+    def rest(self) -> bytes:
+        out = self._data[self._pos :]
+        self._pos = len(self._data)
+        return out
+
+    @property
+    def remaining(self) -> int:
+        return len(self._data) - self._pos
+
+    def expect_exhausted(self) -> None:
+        if self._pos != len(self._data):
+            raise CorruptDataError(
+                f"{len(self._data) - self._pos} unexpected trailing bytes in stage payload"
+            )

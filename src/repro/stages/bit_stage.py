@@ -1,0 +1,41 @@
+"""BIT: bit transposition (shuffle) across a chunk's words.
+
+The second stage of SPratio (paper §3.2, Figure 4).  After DIFFMS, most
+words contain many leading zero bits; transposing the chunk's bit matrix
+groups all most-significant bits together, turning those zeros into long
+zero-byte runs that the following RZE stage eliminates.
+"""
+
+from __future__ import annotations
+
+from repro.bitpack import bit_transpose, bit_untranspose, words_to_bytes
+from repro.bitpack.bytes_util import words_from_bytes
+from repro.stages import Stage
+from repro.stages._frame import Reader, Writer
+
+
+class BitTranspose(Stage):
+    """Whole-chunk bit transposition at 32- or 64-bit word granularity."""
+
+    name = "bit"
+
+    def __init__(self, word_bits: int = 32) -> None:
+        if word_bits not in (32, 64):
+            raise ValueError("BIT operates at 32- or 64-bit granularity")
+        self.word_bits = word_bits
+
+    def encode(self, data: bytes) -> bytes:
+        words, tail = words_from_bytes(data, self.word_bits)
+        writer = Writer()
+        writer.u32(len(words))
+        writer.u8(len(tail))
+        writer.raw(tail)
+        writer.raw(bit_transpose(words, self.word_bits))
+        return writer.getvalue()
+
+    def decode(self, data: bytes) -> bytes:
+        reader = Reader(data)
+        n_words = reader.u32()
+        tail = reader.raw(reader.u8())
+        words = bit_untranspose(reader.rest(), n_words, self.word_bits)
+        return words_to_bytes(words, tail)

@@ -1,0 +1,47 @@
+"""DIFFMS: modular difference coding + magnitude-sign conversion.
+
+The first stage of SPspeed, SPratio, and DPspeed and the second stage of
+DPratio (paper §3.1, Figure 2).  Each IEEE-754 word is treated as an
+unsigned integer; the difference to the preceding word (modulo 2^w) turns
+clustered exponents into values near zero, and the magnitude-sign
+(zigzag) conversion folds negative differences into small positive words
+with many leading zero bits.
+
+The first word of each chunk is kept as-is (as if 0 preceded it), so
+chunks stay independently decodable.  The transformation is length
+preserving; trailing bytes that do not fill a word pass through.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bitpack import words_from_bytes, words_to_bytes, zigzag_decode, zigzag_encode
+from repro.stages import Stage
+
+
+class DiffMS(Stage):
+    """Difference coding with representation change, at 32- or 64-bit grain."""
+
+    name = "diffms"
+
+    def __init__(self, word_bits: int = 32) -> None:
+        if word_bits not in (32, 64):
+            raise ValueError("DIFFMS operates at 32- or 64-bit granularity")
+        self.word_bits = word_bits
+
+    def encode(self, data: bytes) -> bytes:
+        words, tail = words_from_bytes(data, self.word_bits)
+        prev = np.empty_like(words)
+        if len(words):
+            prev[0] = 0
+            prev[1:] = words[:-1]
+        diff = words - prev  # unsigned wraparound == difference mod 2^w
+        return words_to_bytes(zigzag_encode(diff, self.word_bits), tail)
+
+    def decode(self, data: bytes) -> bytes:
+        coded, tail = words_from_bytes(data, self.word_bits)
+        diff = zigzag_decode(coded, self.word_bits)
+        # The running sum inverts difference coding; uint cumsum wraps mod 2^w.
+        words = np.cumsum(diff, dtype=diff.dtype)
+        return words_to_bytes(words, tail)

@@ -1,0 +1,159 @@
+"""FCM: the Finite Context Method transformation (first stage of DPratio).
+
+Paper §3.2, Figure 6.  FPC-style hash-table prediction is untenable on a
+GPU (two tables per thread), so the paper replaces it with a sort-based
+equivalent: for every input word, form the pair ``(hash of the 3 prior
+words, index)`` and sort the pairs.  Pairs with equal hashes — i.e. equal
+recent contexts — become adjacent, with indices in increasing order.  A
+pair *matches* when one of the 4 preceding pairs in sorted order has the
+same hash **and** refers to the same word value.
+
+The output is two scalar arrays in original input order, concatenated:
+
+* the *value* array — the input word where no match was found, else 0;
+* the *distance* array — 0 where no match, else the (positive) distance
+  back to the matched occurrence.
+
+Together they double the data volume but are far more compressible: half
+the entries are zero and repeated doubles become small integer distances.
+
+Unlike every other stage, FCM is global — it runs over the whole input
+before chunking (paper §3: "Except for FCM, all stages ... operate on
+chunks of 16 kilobytes").
+
+Decoding follows match chains with pointer doubling — the parallel
+union-find "find" the paper describes: each element either holds its
+value or points ``distance`` positions back; repeatedly replacing every
+pointer by its target's pointer resolves all chains in O(log n) sweeps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bitpack import words_from_bytes, words_to_bytes
+from repro.errors import CorruptDataError
+from repro.stages import Stage
+from repro.stages._frame import Writer
+
+#: How many preceding sorted pairs are inspected for a match (paper: 4).
+MATCH_WINDOW = 4
+
+_MIX1 = np.uint64(0x9E3779B97F4A7C15)
+_MIX2 = np.uint64(0xC2B2AE3D27D4EB4F)
+_MIX3 = np.uint64(0x165667B19E3779F9)
+
+
+def _context_hash(words: np.ndarray) -> np.ndarray:
+    """64-bit hash of the three words preceding each position (0-padded)."""
+    n = len(words)
+    prior1 = np.zeros(n, dtype=np.uint64)
+    prior2 = np.zeros(n, dtype=np.uint64)
+    prior3 = np.zeros(n, dtype=np.uint64)
+    prior1[1:] = words[:-1]
+    prior2[2:] = words[:-2]
+    prior3[3:] = words[:-3]
+    h = prior1 * _MIX1 ^ prior2 * _MIX2 ^ prior3 * _MIX3
+    # Final avalanche so nearby contexts do not collide systematically.
+    h ^= h >> np.uint64(29)
+    h *= _MIX1
+    h ^= h >> np.uint64(32)
+    return h
+
+
+class FCMStage(Stage):
+    """Sort-based repeated-value detection for double-precision words."""
+
+    name = "fcm"
+    word_bits = 64
+
+    def __init__(self, match_window: int = MATCH_WINDOW, hash_fn=None) -> None:
+        """``hash_fn`` maps the word array to per-position context hashes;
+        injectable so the paper's Figure 6 worked example (which uses
+        simplified hashes) can be tested verbatim."""
+        if match_window < 1:
+            raise ValueError("match window must be at least 1")
+        self.match_window = match_window
+        self.hash_fn = hash_fn or _context_hash
+
+    def encode(self, data: bytes) -> bytes:
+        # The frame metadata lives in a TRAILER, not a header: the output
+        # feeds the chunked DIFFMS stage, and a leading header would shift
+        # every 64-bit word off its natural alignment inside the chunks.
+        words, tail = words_from_bytes(data, 64)
+        n = len(words)
+        values, distances = self._find_matches(words)
+        writer = Writer()
+        writer.raw(words_to_bytes(values))
+        writer.raw(words_to_bytes(distances))
+        writer.raw(tail)
+        writer.u8(len(tail))
+        writer.u64(n)
+        return writer.getvalue()
+
+    @staticmethod
+    def split_payload(payload: bytes) -> tuple[np.ndarray, np.ndarray, bytes]:
+        """Parse an encoded payload into (values, distances, tail).
+
+        Shared by the decoder and by white-box tests.
+        """
+        if len(payload) < 9:
+            raise CorruptDataError("FCM payload shorter than its trailer")
+        n = int.from_bytes(payload[-8:], "little")
+        tail_len = payload[-9]
+        expected = 16 * n + tail_len + 9
+        if len(payload) != expected:
+            raise CorruptDataError(
+                f"FCM payload length {len(payload)} does not match trailer "
+                f"(expected {expected})"
+            )
+        values = np.frombuffer(payload, dtype="<u8", count=n)
+        distances = np.frombuffer(payload, dtype="<u8", count=n, offset=8 * n)
+        tail = payload[16 * n : 16 * n + tail_len]
+        return values, distances, tail
+
+    def _find_matches(self, words: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        n = len(words)
+        values = words.copy()
+        distances = np.zeros(n, dtype=np.uint64)
+        if n == 0:
+            return values, distances
+        hashes = self.hash_fn(words)
+        order = np.argsort(hashes, kind="stable")  # ties keep index order
+        sorted_hashes = hashes[order]
+        sorted_words = words[order]
+        matched = np.zeros(n, dtype=bool)
+        match_source = np.zeros(n, dtype=np.int64)
+        for offset in range(1, self.match_window + 1):
+            same = (sorted_hashes[offset:] == sorted_hashes[:-offset]) & (
+                sorted_words[offset:] == sorted_words[:-offset]
+            )
+            fresh = same & ~matched[offset:]
+            matched[offset:] |= fresh
+            # Record the *input* index of the matched earlier occurrence.
+            idx = np.nonzero(fresh)[0] + offset
+            match_source[idx] = order[idx - offset]
+        matched_positions = order[matched]
+        sources = match_source[matched]
+        values[matched_positions] = 0
+        distances[matched_positions] = (matched_positions - sources).astype(np.uint64)
+        return values, distances
+
+    def decode(self, data: bytes) -> bytes:
+        values, distances, tail = self.split_payload(data)
+        n = len(values)
+        if n == 0:
+            return tail
+        dist = distances.astype(np.int64)
+        if np.any(dist < 0) or np.any(dist > np.arange(n)):
+            raise CorruptDataError("FCM distance points before the start of the data")
+        # Parallel union-find "find" via pointer doubling.
+        parent = np.arange(n, dtype=np.int64)
+        parent -= dist
+        while True:
+            grand = parent[parent]
+            if np.array_equal(grand, parent):
+                break
+            parent = grand
+        words = values[parent]
+        return words_to_bytes(np.ascontiguousarray(words, dtype="<u8"), tail)

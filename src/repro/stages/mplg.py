@@ -1,0 +1,100 @@
+"""Enhanced MPLG: per-subchunk elimination of common leading zero bits.
+
+The second (and final) stage of SPspeed and DPspeed (paper §3.1,
+Figure 3).  Each 16 KiB chunk is divided into 32 subchunks of 512 bytes;
+within a subchunk, the number of leading zero bits of the *maximum* value
+is eliminated from every value, and the truncated values are concatenated
+at a fixed width so that each value remains independently decodable.
+
+Enhancement from the paper: if the subchunk maximum has no leading zeros
+(MPLG would be ineffective), an extra two's-complement to magnitude-sign
+conversion is applied first.  The conversion is meaningless semantically
+but fast, reversible, and often produces a few leading zeros where there
+were none.  One flag bit per subchunk records whether it was applied.
+
+Subchunk payload layout: one header byte per subchunk — bit 7 is the
+magnitude-sign flag, bits 0-6 hold the kept bit width (0..word_bits) —
+followed by the packed values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bitpack import (
+    count_leading_zeros,
+    pack_words,
+    packed_size_bytes,
+    unpack_words,
+    words_from_bytes,
+    words_to_bytes,
+    zigzag_decode,
+    zigzag_encode,
+)
+from repro.errors import CorruptDataError
+from repro.stages import Stage
+from repro.stages._frame import Reader, Writer
+
+SUBCHUNK_BYTES = 512
+
+_FLAG_MS = 0x80
+_WIDTH_MASK = 0x7F
+
+
+class MPLG(Stage):
+    """Common-leading-zero-bit elimination with per-subchunk widths."""
+
+    name = "mplg"
+
+    def __init__(self, word_bits: int = 32, subchunk_bytes: int = SUBCHUNK_BYTES) -> None:
+        if word_bits not in (32, 64):
+            raise ValueError("MPLG operates at 32- or 64-bit granularity")
+        if subchunk_bytes % (word_bits // 8) != 0:
+            raise ValueError("subchunk size must be a whole number of words")
+        self.word_bits = word_bits
+        self.subchunk_bytes = subchunk_bytes
+        self._words_per_subchunk = subchunk_bytes // (word_bits // 8)
+
+    def encode(self, data: bytes) -> bytes:
+        words, tail = words_from_bytes(data, self.word_bits)
+        writer = Writer()
+        writer.u32(len(words))
+        writer.u8(len(tail))
+        writer.raw(tail)
+        step = self._words_per_subchunk
+        for start in range(0, len(words), step):
+            self._encode_subchunk(words[start : start + step], writer)
+        return writer.getvalue()
+
+    def _encode_subchunk(self, sub: np.ndarray, writer: Writer) -> None:
+        flag = 0
+        leading = int(count_leading_zeros(sub.max(keepdims=True), self.word_bits)[0])
+        if leading == 0:
+            converted = zigzag_encode(sub, self.word_bits)
+            leading = int(count_leading_zeros(converted.max(keepdims=True), self.word_bits)[0])
+            sub = converted
+            flag = _FLAG_MS
+        width = self.word_bits - leading
+        writer.u8(flag | width)
+        writer.raw(pack_words(sub, width, self.word_bits))
+
+    def decode(self, data: bytes) -> bytes:
+        reader = Reader(data)
+        n_words = reader.u32()
+        tail = reader.raw(reader.u8())
+        dtype = np.dtype(f"<u{self.word_bits // 8}")
+        out = np.empty(n_words, dtype=dtype)
+        step = self._words_per_subchunk
+        for start in range(0, n_words, step):
+            count = min(step, n_words - start)
+            header = reader.u8()
+            width = header & _WIDTH_MASK
+            if width > self.word_bits:
+                raise CorruptDataError(f"MPLG width {width} exceeds word size")
+            payload = reader.raw(packed_size_bytes(count, width))
+            sub = unpack_words(payload, count, width, self.word_bits)
+            if header & _FLAG_MS:
+                sub = zigzag_decode(sub, self.word_bits)
+            out[start : start + count] = sub
+        reader.expect_exhausted()
+        return words_to_bytes(out, tail)

@@ -1,0 +1,94 @@
+"""RARE: Repeated Adaptive Repetition Elimination (fourth stage of DPratio).
+
+Paper §3.2: identical mechanics to RAZE, except the predicate is not
+"the top-``k`` bits are all zero" but "the top-``k`` bits equal those of
+the *prior* value".  RAZE's output tends to contain runs of identical
+most-significant bit patterns, which this stage removes.  The adaptive
+``k`` comes from a histogram of leading-*common*-bit counts; the value
+preceding a chunk is taken to be 0.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bitpack import (
+    leading_common_bits,
+    pack_words,
+    packed_size_bytes,
+    unpack_words,
+    words_from_bytes,
+    words_to_bytes,
+)
+from repro.errors import CorruptDataError
+from repro.stages import Stage
+from repro.stages._adaptive import choose_k
+from repro.stages._bitmap import compress_bitmap, decompress_bitmap
+from repro.stages._frame import Reader, Writer
+
+
+class RARE(Stage):
+    """Adaptive top-``k`` repetition elimination at 32- or 64-bit grain."""
+
+    name = "rare"
+
+    def __init__(self, word_bits: int = 64) -> None:
+        if word_bits not in (32, 64):
+            raise ValueError("RARE operates at 32- or 64-bit granularity")
+        self.word_bits = word_bits
+
+    def encode(self, data: bytes) -> bytes:
+        words, tail = words_from_bytes(data, self.word_bits)
+        wb = self.word_bits
+        common = leading_common_bits(words, wb)
+        k = choose_k(common, len(words), wb)
+        writer = Writer()
+        writer.u32(len(words))
+        writer.u8(len(tail))
+        writer.raw(tail)
+        writer.u8(k)
+        if k == 0:
+            writer.raw(words_to_bytes(words))
+            return writer.getvalue()
+        # The top piece must be stored when it differs from the prior one.
+        kept_mask = common < k
+        tops = (words >> (wb - k))[kept_mask]
+        if k == wb:
+            bottoms = np.zeros_like(words)
+        else:
+            bottoms = words & words.dtype.type((1 << (wb - k)) - 1)
+        writer.u32(int(kept_mask.sum()))
+        writer.raw(compress_bitmap(kept_mask))
+        writer.raw(pack_words(tops, k, wb))
+        writer.raw(pack_words(bottoms, wb - k, wb))
+        return writer.getvalue()
+
+    def decode(self, data: bytes) -> bytes:
+        reader = Reader(data)
+        n = reader.u32()
+        tail = reader.raw(reader.u8())
+        k = reader.u8()
+        wb = self.word_bits
+        if k > wb:
+            raise CorruptDataError(f"RARE split {k} exceeds word size")
+        dtype = np.dtype(f"<u{wb // 8}")
+        if k == 0:
+            words = np.frombuffer(reader.raw(n * dtype.itemsize), dtype=dtype)
+            reader.expect_exhausted()
+            return words_to_bytes(words, tail)
+        n_kept = reader.u32()
+        kept_mask = decompress_bitmap(reader, n)
+        if int(kept_mask.sum()) != n_kept:
+            raise CorruptDataError("RARE bitmap population mismatch")
+        tops = unpack_words(reader.raw(packed_size_bytes(n_kept, k)), n_kept, k, wb)
+        bottoms = unpack_words(reader.raw(packed_size_bytes(n, wb - k)), n, wb - k, wb)
+        reader.expect_exhausted()
+        # Forward-fill: an unkept top piece repeats the previous value's top
+        # piece; the piece before the chunk is 0.
+        counts = np.cumsum(kept_mask)
+        tops_full = np.zeros(n, dtype=dtype)
+        has_prior = counts > 0
+        if n:
+            tops_full[has_prior] = tops[counts[has_prior] - 1]
+        words = (tops_full << (wb - k)) | bottoms
+        return words_to_bytes(words, tail)

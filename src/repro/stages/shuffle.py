@@ -1,0 +1,30 @@
+"""SHUF: byte shuffle — group equal byte positions of every word.
+
+The byte-granular cousin of the BIT stage, used by SPDP (paper §2.1) and
+classic HDF5/Blosc filters.  Groups byte 0 of every word, then byte 1,
+and so on, so the near-constant exponent bytes form long runs.  Part of
+the LC component catalogue ("we also make use of difference coding and
+byte shuffling", §2.1).
+"""
+
+from __future__ import annotations
+
+from repro.bitpack import byte_shuffle, byte_unshuffle
+from repro.stages import Stage
+
+
+class ByteShuffle(Stage):
+    """Byte transposition at the word granularity."""
+
+    name = "shuf"
+
+    def __init__(self, word_bits: int = 32) -> None:
+        if word_bits not in (16, 32, 64):
+            raise ValueError("SHUF operates at 16-, 32-, or 64-bit granularity")
+        self.word_bits = word_bits
+
+    def encode(self, data: bytes) -> bytes:
+        return byte_shuffle(data, self.word_bits // 8)
+
+    def decode(self, data: bytes) -> bytes:
+        return byte_unshuffle(data, self.word_bits // 8)

@@ -1,0 +1,45 @@
+"""XORDELTA: residual against the previous word by XOR.
+
+The alternative to DIFFMS's subtraction that ndzip's integer Lorenzo
+transform uses (paper §2.1): XOR never carries, so shared high bits of
+neighbouring values cancel to zero *bit planes* (ideal before BIT),
+whereas subtraction produces small *numbers* (ideal before MPLG/RAZE).
+Part of the LC component catalogue — the paper's search considered both
+and picked subtraction for the final designs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bitpack import words_from_bytes, words_to_bytes
+from repro.stages import Stage
+
+
+class XorDelta(Stage):
+    """XOR each word with its predecessor (first word kept as-is)."""
+
+    name = "xordelta"
+
+    def __init__(self, word_bits: int = 32) -> None:
+        if word_bits not in (32, 64):
+            raise ValueError("XORDELTA operates at 32- or 64-bit granularity")
+        self.word_bits = word_bits
+
+    def encode(self, data: bytes) -> bytes:
+        words, tail = words_from_bytes(data, self.word_bits)
+        prev = np.zeros_like(words)
+        if len(words):
+            prev[1:] = words[:-1]
+        return words_to_bytes(words ^ prev, tail)
+
+    def decode(self, data: bytes) -> bytes:
+        coded, tail = words_from_bytes(data, self.word_bits)
+        # Prefix-XOR scan (Hillis-Steele; log-depth on a GPU).
+        words = coded.copy()
+        shift = 1
+        n = len(words)
+        while shift < n:
+            words[shift:] ^= words[:-shift].copy()
+            shift *= 2
+        return words_to_bytes(words, tail)

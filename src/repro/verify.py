@@ -1,0 +1,92 @@
+"""Corpus-wide losslessness verification.
+
+Runs every paper codec (and optionally every baseline) over the synthetic
+corpus, confirming bit-exact round trips, and reports per-domain ratios.
+Used by ``fprz verify`` and the release checklist: a reproduction of a
+*lossless* compression paper should be able to prove the adjective on
+demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines import competitors_for
+from repro.datasets import dp_suite, sp_suite
+from repro.harness.runner import our_codecs_for
+from repro.metrics import geomean
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of a verification sweep."""
+
+    files_checked: int = 0
+    compressors_checked: int = 0
+    failures: list[str] = field(default_factory=list)
+    #: compressor name -> geo-mean ratio over everything verified
+    ratios: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def render(self) -> str:
+        lines = [
+            f"verified {self.compressors_checked} compressors over "
+            f"{self.files_checked} files: "
+            + ("ALL LOSSLESS" if self.ok else f"{len(self.failures)} FAILURES")
+        ]
+        for name in sorted(self.ratios, key=lambda n: -self.ratios[n]):
+            lines.append(f"  {name:<16} geo-mean ratio {self.ratios[name]:6.3f}")
+        lines.extend(f"  FAIL: {failure}" for failure in self.failures)
+        return "\n".join(lines)
+
+
+def verify_corpus(
+    *,
+    scale: float = 0.1,
+    include_baselines: bool = False,
+    dtypes: tuple = (np.float32, np.float64),
+) -> VerificationReport:
+    """Round-trip every compressor over every corpus file at ``scale``."""
+    report = VerificationReport()
+    for dtype in dtypes:
+        domains = sp_suite() if np.dtype(dtype) == np.float32 else dp_suite()
+        compressors = list(our_codecs_for(dtype))
+        if include_baselines:
+            seen = {c.name for c in compressors}
+            for kind in ("gpu", "cpu"):
+                for comp in competitors_for(dtype, kind):
+                    if comp.name not in seen:
+                        seen.add(comp.name)
+                        compressors.append(comp)
+        per_comp: dict[str, list[float]] = {c.name: [] for c in compressors}
+        files = 0
+        for domain in domains:
+            for file in domain.files:
+                array = file.load(scale)
+                data = array.tobytes()
+                files += 1
+                for comp in compressors:
+                    comp.set_dimensions(array.shape)
+                    try:
+                        blob = comp.compress(data)
+                        back = comp.decompress(blob)
+                    except Exception as exc:  # deliberate: report, don't abort
+                        report.failures.append(f"{comp.name} crashed on {file.name}: {exc}")
+                        continue
+                    if back != data:
+                        report.failures.append(f"{comp.name} corrupted {file.name}")
+                        continue
+                    per_comp[comp.name].append(len(data) / len(blob))
+        report.files_checked += files
+        for name, ratios in per_comp.items():
+            if ratios:
+                combined = report.ratios.get(name)
+                value = geomean(ratios)
+                report.ratios[name] = value if combined is None else geomean([combined, value])
+    report.compressors_checked = len(report.ratios)
+    return report

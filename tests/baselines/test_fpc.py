@@ -1,0 +1,79 @@
+"""Behavioural tests for FPC/pFPC semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.fpc import FPC, PFPC, _leading_zero_bytes
+from repro.errors import CorruptDataError
+
+
+class TestLeadingZeroBytes:
+    def test_boundaries(self):
+        assert _leading_zero_bytes(0) == 8
+        assert _leading_zero_bytes(1) == 7
+        assert _leading_zero_bytes(0xFF) == 7
+        assert _leading_zero_bytes(0x100) == 6
+        assert _leading_zero_bytes(1 << 63) == 0
+        assert _leading_zero_bytes((1 << 64) - 1) == 0
+
+
+class TestFPC:
+    def test_repetitive_data_compresses_hard(self, rng):
+        # Hash prediction turns exact repeats into zero residuals.
+        tile = rng.normal(size=64).astype(np.float64)
+        data = np.tile(tile, 100).tobytes()
+        ratio = FPC().roundtrip_ratio(data)
+        assert ratio > 5.0
+
+    def test_perfect_prediction_costs_half_byte(self, rng):
+        # A long constant run: header nibbles only (~16x).
+        data = np.full(8000, 1.5, dtype=np.float64).tobytes()
+        ratio = FPC().roundtrip_ratio(data)
+        assert ratio > 10.0
+
+    def test_four_zero_byte_downgrade_roundtrips(self):
+        # Craft residuals with exactly 4 leading zero bytes (the skipped
+        # count): value whose bits occupy the low 32 bits, following a 0.
+        words = np.array([0, 0xDEADBEEF, 0, 0x12345678], dtype=np.uint64)
+        data = words.tobytes()
+        fpc = FPC()
+        assert fpc.decompress(fpc.compress(data)) == data
+
+    def test_rejects_fp32(self):
+        with pytest.raises(ValueError):
+            FPC(np.float32)
+
+    def test_truncation_detected(self, rng):
+        data = rng.normal(size=100).astype(np.float64).tobytes()
+        blob = FPC().compress(data)
+        with pytest.raises(CorruptDataError):
+            FPC().decompress(blob[:-3])
+
+    def test_table_size_changes_format_compatible_streams(self, rng):
+        # Different table sizes are different codecs; same size round-trips.
+        data = np.cumsum(rng.normal(size=500)).astype(np.float64).tobytes()
+        small = FPC(table_log2=8)
+        assert small.decompress(small.compress(data)) == data
+
+
+class TestPFPC:
+    def test_matches_fpc_on_single_chunk(self, rng):
+        data = np.cumsum(rng.normal(size=1000)).astype(np.float64).tobytes()
+        pfpc = PFPC(chunk_values=4096, table_log2=14)
+        fpc = FPC(table_log2=14)
+        # One chunk: identical payload modulo the chunk table.
+        assert pfpc.compress(data)[8:] == fpc.compress(data)
+
+    def test_chunking_slightly_hurts_ratio(self, rng):
+        # Fresh predictor tables per chunk lose cross-chunk history, the
+        # classic pFPC trade-off.
+        tile = rng.normal(size=64).astype(np.float64)
+        data = np.tile(tile, 200).tobytes()
+        assert FPC().roundtrip_ratio(data) >= PFPC(chunk_values=1024).roundtrip_ratio(data)
+
+    def test_many_chunks_roundtrip(self, rng):
+        data = rng.normal(size=10_000).astype(np.float64).tobytes()
+        pfpc = PFPC(chunk_values=512)
+        assert pfpc.decompress(pfpc.compress(data)) == data

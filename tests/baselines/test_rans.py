@@ -1,0 +1,81 @@
+"""Tests for the rANS entropy coder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.rans import ANS, PROB_SCALE, normalized_frequencies
+from repro.errors import CorruptDataError
+
+
+class TestFrequencyModel:
+    def test_sums_to_scale(self, rng):
+        data = rng.integers(0, 256, size=10_000, dtype=np.uint8)
+        assert normalized_frequencies(data).sum() == PROB_SCALE
+
+    def test_present_symbols_never_zero(self, rng):
+        data = np.concatenate([
+            np.zeros(100_000, dtype=np.uint8),
+            np.array([255], dtype=np.uint8),  # one-in-100k symbol
+        ])
+        freqs = normalized_frequencies(data)
+        assert freqs[255] >= 1
+        assert freqs.sum() == PROB_SCALE
+
+    def test_single_symbol(self):
+        freqs = normalized_frequencies(np.full(50, 7, dtype=np.uint8))
+        assert freqs[7] == PROB_SCALE
+
+    def test_empty(self):
+        assert normalized_frequencies(np.zeros(0, dtype=np.uint8)).sum() == PROB_SCALE
+
+    def test_uniform(self):
+        data = np.arange(256, dtype=np.uint8).repeat(10)
+        freqs = normalized_frequencies(data)
+        assert freqs.min() >= 1
+        assert freqs.sum() == PROB_SCALE
+
+
+class TestANS:
+    @pytest.mark.parametrize("n", [0, 1, 2, 63, 64, 255, 256, 1000, 65_537])
+    def test_roundtrip_sizes(self, n, rng):
+        data = rng.integers(0, 256, size=n, dtype=np.uint8).tobytes()
+        ans = ANS()
+        assert ans.decompress(ans.compress(data)) == data
+
+    def test_skewed_data_approaches_entropy(self, rng):
+        # 90% zeros: H ~ 0.47 bits/byte; allow generous coder overhead.
+        data = (rng.random(100_000) < 0.1).astype(np.uint8).tobytes()
+        ans = ANS()
+        blob = ans.compress(data)
+        assert ans.decompress(blob) == data
+        bits_per_byte = 8 * len(blob) / len(data)
+        assert bits_per_byte < 0.75
+
+    def test_uniform_data_does_not_expand_much(self, rng):
+        data = rng.integers(0, 256, size=100_000, dtype=np.uint8).tobytes()
+        blob = ANS().compress(data)
+        assert len(blob) < len(data) * 1.05
+
+    def test_text_like_data(self):
+        data = (b"the quick brown fox jumps over the lazy dog " * 500)
+        ans = ANS()
+        blob = ans.compress(data)
+        assert ans.decompress(blob) == data
+        assert len(blob) < len(data) * 0.72  # ~4.3 bits/char entropy
+
+    def test_single_lane_path(self, rng):
+        data = rng.integers(0, 256, size=100, dtype=np.uint8).tobytes()
+        ans = ANS(n_lanes=1)
+        assert ans.decompress(ans.compress(data)) == data
+
+    def test_corrupt_frequency_table_rejected(self, rng):
+        blob = bytearray(ANS().compress(b"hello world" * 100))
+        blob[6] ^= 0xFF  # inside the frequency table
+        with pytest.raises(CorruptDataError):
+            ANS().decompress(bytes(blob))
+
+    def test_lane_count_validation(self):
+        with pytest.raises(ValueError):
+            ANS(n_lanes=0)

@@ -1,0 +1,98 @@
+"""Lossless round-trip tests for every baseline on adversarial inputs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import competitors_for
+
+
+def _cases(dtype, rng):
+    itemsize = np.dtype(dtype).itemsize
+    smooth = np.cumsum(rng.normal(scale=0.01, size=5000)).astype(dtype)
+    special = np.array(
+        [0.0, -0.0, np.inf, -np.inf, np.nan, 1.0, -1.0,
+         np.finfo(dtype).max, np.finfo(dtype).min, np.finfo(dtype).tiny],
+        dtype=dtype,
+    )
+    return {
+        "smooth": smooth.tobytes(),
+        "random": rng.integers(0, 256, size=4096 * itemsize + 3, dtype=np.uint8).tobytes(),
+        "constant": np.full(3000, 3.14159, dtype=dtype).tobytes(),
+        "zeros": bytes(3000 * itemsize),
+        "special": special.tobytes(),
+        "empty": b"",
+        "tiny": b"\x42",
+        "one_value": np.array([2.5], dtype=dtype).tobytes(),
+    }
+
+
+def _all_baselines():
+    out = []
+    for dtype in (np.float32, np.float64):
+        seen = set()
+        for kind in ("gpu", "cpu"):
+            for comp in competitors_for(dtype, kind):
+                if comp.name in seen:
+                    continue
+                seen.add(comp.name)
+                out.append(pytest.param(comp, np.dtype(dtype),
+                                        id=f"{comp.name}-{np.dtype(dtype).name}"))
+    return out
+
+
+@pytest.mark.parametrize("comp,dtype", _all_baselines())
+def test_lossless_roundtrip_everywhere(comp, dtype, rng):
+    for label, data in _cases(dtype, rng).items():
+        blob = comp.compress(data)
+        back = comp.decompress(blob)
+        assert back == data, f"{comp.name} corrupted the {label!r} case"
+
+
+@pytest.mark.parametrize("comp,dtype", _all_baselines())
+def test_expansion_is_bounded(comp, dtype, rng):
+    # No baseline may blow up adversarial input beyond a modest overhead.
+    data = rng.integers(0, 256, size=50_000, dtype=np.uint8).tobytes()
+    blob = comp.compress(data)
+    assert len(blob) < len(data) * 1.35 + 2048, comp.name
+
+
+class TestComparisonSets:
+    def test_fp64_only_codecs_excluded_from_fp32(self):
+        names32 = {c.name for c in competitors_for(np.float32, "cpu")}
+        assert "FPC" not in names32 and "pFPC" not in names32
+        names64 = {c.name for c in competitors_for(np.float64, "cpu")}
+        assert {"FPC", "pFPC"} <= names64
+
+    def test_gfc_only_on_gpu_fp64(self):
+        assert "GFC" not in {c.name for c in competitors_for(np.float32, "gpu")}
+        assert "GFC" in {c.name for c in competitors_for(np.float64, "gpu")}
+
+    def test_ndzip_and_zstd_appear_on_both_devices(self):
+        gpu = {c.name for c in competitors_for(np.float32, "gpu")}
+        cpu = {c.name for c in competitors_for(np.float32, "cpu")}
+        assert "Ndzip" in gpu and "Ndzip" in cpu
+        assert any(n.startswith("ZSTD") for n in gpu)
+        assert any(n.startswith("ZSTD") for n in cpu)
+
+    def test_multi_level_codecs_contribute_two_modes(self):
+        cpu = {c.name for c in competitors_for(np.float32, "cpu")}
+        for family in ("Bzip2", "Gzip", "SPDP", "ZSTD-CPU"):
+            assert f"{family}-fast" in cpu and f"{family}-best" in cpu
+
+    def test_zstd_cpu_and_gpu_are_incompatible(self):
+        from repro.baselines.stdlib_codecs import ZstdCPU, ZstdGPU
+        from repro.errors import CorruptDataError
+
+        data = b"incompatible sources" * 10
+        blob_gpu = ZstdGPU().compress(data)
+        with pytest.raises(CorruptDataError):
+            ZstdCPU().decompress(blob_gpu)
+
+    def test_registry_has_18_rows(self):
+        from repro.baselines import baseline_registry
+
+        rows = baseline_registry()
+        assert len(rows) == 18
+        assert len({r.name for r in rows}) == 18

@@ -1,0 +1,119 @@
+"""Behavioural tests for SPDP and the stdlib-backed general codecs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.spdp import SPDP
+from repro.baselines.stdlib_codecs import (
+    Bzip2,
+    Gdeflate,
+    ZstdCPU,
+    ZstdGPU,
+    deflate,
+    gzip_best,
+    gzip_fast,
+)
+from repro.errors import CorruptDataError
+
+
+class TestSPDP:
+    def test_level_names(self):
+        assert SPDP(np.float32, level=1).name == "SPDP-fast"
+        assert SPDP(np.float32, level=9).name == "SPDP-best"
+        assert SPDP(np.float32, level=5).name == "SPDP-5"
+
+    def test_best_compresses_at_least_as_well(self, smooth_f32):
+        data = smooth_f32.tobytes()
+        fast = len(SPDP(np.float32, level=1).compress(data))
+        best = len(SPDP(np.float32, level=9).compress(data))
+        # Greedy parses differ slightly between hash configurations; the
+        # thorough mode must never lose more than noise.
+        assert best <= fast * 1.01
+
+    def test_shuffle_plus_difference_beats_plain_lz(self, smooth_f64):
+        from repro.baselines.lz77 import LZ4Like
+
+        data = smooth_f64.tobytes()
+        spdp = len(SPDP(np.float64, level=9).compress(data))
+        plain = len(LZ4Like(search_effort=12, hash_log2=18).compress(data))
+        assert spdp < plain
+
+    def test_word_size_matters(self, smooth_f64):
+        # Treating doubles as float32 pairs misaligns the byte lanes.
+        data = smooth_f64.tobytes()
+        right = SPDP(np.float64, level=5)
+        wrong = SPDP(np.float32, level=5)
+        assert right.decompress(right.compress(data)) == data
+        assert wrong.decompress(wrong.compress(data)) == data  # still lossless
+        assert len(right.compress(data)) < len(wrong.compress(data)) * 1.2
+
+    def test_rejects_odd_dtype(self):
+        with pytest.raises(ValueError):
+            SPDP(np.int16)
+
+    def test_corrupt_stream_detected(self, smooth_f32):
+        blob = bytearray(SPDP(np.float32).compress(smooth_f32.tobytes()))
+        blob[2] ^= 0xFF  # length field
+        with pytest.raises(CorruptDataError):
+            SPDP(np.float32).decompress(bytes(blob))
+
+
+class TestStdlibCodecs:
+    def test_gzip_levels_tradeoff(self):
+        data = (b"scientific data " * 4000)
+        fast = len(gzip_fast().compress(data))
+        best = len(gzip_best().compress(data))
+        assert best <= fast
+
+    def test_bzip2_names(self):
+        assert Bzip2(level=1).name == "Bzip2-fast"
+        assert Bzip2(level=9).name == "Bzip2-best"
+
+    def test_gdeflate_pages_independent(self, rng):
+        # >1 page: each page decompresses alone (the GPU-parallel framing).
+        import zlib
+        data = rng.integers(0, 64, size=200_000, dtype=np.uint8).tobytes()
+        g = Gdeflate()
+        blob = g.compress(data)
+        assert g.decompress(blob) == data
+        import struct
+        (n_pages,) = struct.unpack_from("<I", blob, 0)
+        assert n_pages == 4  # ceil(200000 / 65536)
+        # First page decodes standalone:
+        sizes = struct.unpack_from(f"<{n_pages}I", blob, 4)
+        start = 4 + 4 * n_pages
+        first = zlib.decompress(blob[start : start + sizes[0]])
+        assert first == data[:65536]
+
+    def test_gdeflate_corruption_detected(self, rng):
+        data = rng.integers(0, 64, size=100_000, dtype=np.uint8).tobytes()
+        blob = bytearray(Gdeflate().compress(data))
+        blob[-10] ^= 0xFF
+        with pytest.raises(CorruptDataError):
+            Gdeflate().decompress(bytes(blob))
+
+    def test_zstd_best_beats_fast(self, smooth_f64):
+        data = smooth_f64.tobytes()
+        fast = len(ZstdCPU(best=False).compress(data))
+        best = len(ZstdCPU(best=True).compress(data))
+        assert best < fast
+
+    def test_zstd_gpu_roundtrip(self, smooth_f32):
+        data = smooth_f32.tobytes()
+        z = ZstdGPU()
+        assert z.decompress(z.compress(data)) == data
+
+    def test_cross_source_incompatibility_both_ways(self):
+        data = b"separate sources" * 100
+        cpu_blob = ZstdCPU().compress(data)
+        gpu_blob = ZstdGPU().compress(data)
+        with pytest.raises(CorruptDataError):
+            ZstdGPU().decompress(cpu_blob)
+        with pytest.raises(CorruptDataError):
+            ZstdCPU().decompress(gpu_blob)
+
+    def test_deflate_is_gpu_row(self):
+        assert deflate().device == "GPU"
+        assert gzip_fast().device == "CPU"

@@ -1,0 +1,155 @@
+"""Behavioural tests for GFC, MPC, ndzip, Bitcomp, Cascaded, ZFP, FPzip, LZ."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.bitcomp import Bitcomp
+from repro.baselines.cascaded import Cascaded, _rle
+from repro.baselines.fpzip import FPzip, _from_ordered, _to_ordered
+from repro.baselines.gfc import GFC
+from repro.baselines.lz77 import LZ4Like, lz4, snappy
+from repro.baselines.mpc import MPC
+from repro.baselines.ndzip import Ndzip
+from repro.baselines.zfp import ZFP
+from repro.errors import CorruptDataError
+
+
+class TestGFC:
+    def test_lag32_structure_helps_strided_data(self, rng):
+        # 32 interleaved smooth lanes: exactly GFC's parallel layout.
+        lanes = np.cumsum(rng.normal(scale=0.01, size=(500, 32)), axis=0)
+        data = lanes.astype(np.float64).reshape(-1).tobytes()
+        assert GFC().roundtrip_ratio(data) > 1.1
+
+    def test_short_input_below_lag(self, rng):
+        data = rng.normal(size=7).astype(np.float64).tobytes()
+        gfc = GFC()
+        assert gfc.decompress(gfc.compress(data)) == data
+
+    def test_rejects_fp32(self):
+        with pytest.raises(ValueError):
+            GFC(np.float32)
+
+
+class TestMPC:
+    def test_multidimensional_delta(self, rng):
+        # Tuples of 3 (x, y, z triples): dimension-aware delta wins.
+        base = np.cumsum(rng.normal(scale=0.01, size=(2000, 3)), axis=0)
+        data = base.astype(np.float32).reshape(-1).tobytes()
+        r1 = MPC(np.float32, dimension=1).roundtrip_ratio(data)
+        r3 = MPC(np.float32, dimension=3).roundtrip_ratio(data)
+        assert r3 > r1
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            MPC(np.float32, dimension=0)
+
+    def test_fp64_roundtrip(self, smooth_f64):
+        mpc = MPC(np.float64)
+        data = smooth_f64.tobytes()
+        assert mpc.decompress(mpc.compress(data)) == data
+
+
+class TestNdzip:
+    def test_xor_residuals_cancel_shared_prefixes(self, smooth_f32):
+        ratio = Ndzip(np.float32).roundtrip_ratio(smooth_f32.tobytes())
+        assert ratio > 1.2
+
+    def test_prefix_xor_inverse(self, rng):
+        from repro.baselines.ndzip import Ndzip
+
+        nd = Ndzip(np.float64)
+        words = rng.integers(0, 1 << 63, size=777, dtype=np.uint64)
+        assert np.array_equal(nd._inverse(nd._forward(words)), words)
+
+
+class TestBitcomp:
+    def test_variant_names(self):
+        assert Bitcomp(np.float32).name == "Bitcomp-b0"
+        assert Bitcomp(np.float32, block_words=1024).name == "Bitcomp-b1"
+        assert Bitcomp(np.float32, delta=False).name == "Bitcomp-i0"
+
+    def test_finer_blocks_compress_more(self, smooth_f32):
+        data = smooth_f32.tobytes()
+        b0 = Bitcomp(np.float32, block_words=4096).roundtrip_ratio(data)
+        b1 = Bitcomp(np.float32, block_words=1024).roundtrip_ratio(data)
+        assert b1 >= b0
+
+    def test_no_delta_weaker_on_smooth(self, smooth_f32):
+        data = smooth_f32.tobytes()
+        assert (
+            Bitcomp(np.float32, delta=True).roundtrip_ratio(data)
+            > Bitcomp(np.float32, delta=False).roundtrip_ratio(data)
+        )
+
+
+class TestCascaded:
+    def test_rle_runs(self):
+        words = np.array([5, 5, 5, 9, 9, 5], dtype=np.uint32)
+        values, lengths = _rle(words)
+        assert values.tolist() == [5, 9, 5]
+        assert lengths.tolist() == [3, 2, 1]
+
+    def test_shines_on_run_data(self):
+        data = np.repeat(np.arange(50, dtype=np.float32), 100).tobytes()
+        assert Cascaded(np.float32).roundtrip_ratio(data) > 20
+
+
+class TestFPzip:
+    def test_ordered_mapping_is_monotone_bijection(self, rng):
+        floats = np.sort(rng.normal(size=1000).astype(np.float32))
+        words = floats.view(np.uint32)
+        ordered = _to_ordered(words, 32)
+        assert np.all(np.diff(ordered.astype(np.int64)) >= 0)
+        assert np.array_equal(_from_ordered(ordered, 32), words)
+
+    def test_best_in_class_on_smooth_sp(self, smooth_f32):
+        # The paper: FPzip yields "by far the best compression ratio" on
+        # CPU single-precision data.
+        data = smooth_f32.tobytes()
+        fpz = FPzip(np.float32).roundtrip_ratio(data)
+        assert fpz > ZFP(np.float32).roundtrip_ratio(data)
+        assert fpz > Ndzip(np.float32).roundtrip_ratio(data)
+
+
+class TestZFP:
+    def test_roundtrip_block_edges(self, rng):
+        for n in (1, 2, 3, 4, 5, 7, 8, 4095, 4097):
+            data = rng.normal(size=n).astype(np.float32).tobytes()
+            z = ZFP(np.float32)
+            assert z.decompress(z.compress(data)) == data, n
+
+
+class TestLZFamily:
+    def test_finds_long_matches(self):
+        data = b"abcdefgh" * 2000
+        blob = lz4().compress(data)
+        assert lz4().decompress(blob) == data
+        assert len(blob) < len(data) / 20
+
+    def test_overlapping_match_copy(self):
+        # RLE-style self-overlap: match offset 1, long length.
+        data = b"a" * 5000
+        blob = lz4().compress(data)
+        assert lz4().decompress(blob) == data
+        assert len(blob) < 100
+
+    def test_incompressible_passthrough(self, rng):
+        data = rng.integers(0, 256, size=30_000, dtype=np.uint8).tobytes()
+        blob = lz4().compress(data)
+        assert lz4().decompress(blob) == data
+        assert len(blob) < len(data) * 1.05
+
+    def test_snappy_differs_from_lz4(self):
+        assert snappy().name == "Snappy"
+        data = b"xyz" * 10_000
+        assert snappy().decompress(snappy().compress(data)) == data
+
+    def test_corrupt_offset_rejected(self):
+        blob = bytearray(lz4().compress(b"mississippi" * 100))
+        # Find a match token and zero its offset.
+        comp = lz4()
+        with pytest.raises(CorruptDataError):
+            comp.decompress(blob[:4] + b"\x01\x05\x00\x00")

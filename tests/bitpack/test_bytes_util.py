@@ -1,0 +1,48 @@
+"""Unit tests for byte views and byte shuffles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bitpack import byte_shuffle, byte_unshuffle, words_from_bytes, words_to_bytes
+
+
+class TestWordViews:
+    @pytest.mark.parametrize("word_bits", [16, 32, 64])
+    def test_roundtrip_with_tail(self, word_bits, rng):
+        data = rng.integers(0, 256, size=1001, dtype=np.uint8).tobytes()
+        words, tail = words_from_bytes(data, word_bits)
+        assert len(tail) == 1001 % (word_bits // 8)
+        assert words_to_bytes(words, tail) == data
+
+    def test_empty(self):
+        words, tail = words_from_bytes(b"", 32)
+        assert len(words) == 0 and tail == b""
+        assert words_to_bytes(words, tail) == b""
+
+    def test_little_endian_interpretation(self):
+        words, _ = words_from_bytes(b"\x01\x00\x00\x00", 32)
+        assert words[0] == 1
+
+    def test_words_are_a_safe_copy(self):
+        data = b"\x01\x00\x00\x00"
+        words, _ = words_from_bytes(data, 32)
+        words[0] = 99  # must not raise (frombuffer views are read-only)
+
+
+class TestByteShuffle:
+    @pytest.mark.parametrize("word_bytes", [2, 4, 8])
+    def test_roundtrip(self, word_bytes, rng):
+        data = rng.integers(0, 256, size=333, dtype=np.uint8).tobytes()
+        assert byte_unshuffle(byte_shuffle(data, word_bytes), word_bytes) == data
+
+    def test_known_layout(self):
+        # Words AABB CCDD (little-endian bytes) shuffle to AA CC BB DD.
+        data = bytes([0xAA, 0xBB, 0xCC, 0xDD])
+        assert byte_shuffle(data, 2) == bytes([0xAA, 0xCC, 0xBB, 0xDD])
+
+    def test_tail_passes_through(self):
+        data = bytes(range(10))
+        shuffled = byte_shuffle(data, 4)
+        assert shuffled[-2:] == data[-2:]

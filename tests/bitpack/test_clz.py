@@ -1,0 +1,56 @@
+"""Unit tests for vectorised count-leading-zeros / leading-common-bits."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bitpack import count_leading_zeros, leading_common_bits
+
+
+@pytest.mark.parametrize("word_bits,dtype", [(32, np.uint32), (64, np.uint64)])
+class TestCLZ:
+    def test_powers_of_two(self, word_bits, dtype):
+        values = np.array([1 << b for b in range(word_bits)], dtype=dtype)
+        expected = [word_bits - 1 - b for b in range(word_bits)]
+        assert count_leading_zeros(values, word_bits).tolist() == expected
+
+    def test_zero_counts_full_width(self, word_bits, dtype):
+        assert count_leading_zeros(np.zeros(3, dtype=dtype), word_bits).tolist() == [word_bits] * 3
+
+    def test_all_ones(self, word_bits, dtype):
+        top = np.array([(1 << word_bits) - 1], dtype=dtype)
+        assert count_leading_zeros(top, word_bits).tolist() == [0]
+
+    def test_matches_python_bit_length(self, word_bits, dtype, rng):
+        values = rng.integers(0, 1 << 30, size=5_000, dtype=np.uint64).astype(dtype)
+        got = count_leading_zeros(values, word_bits)
+        expected = [word_bits - int(v).bit_length() for v in values]
+        assert got.tolist() == expected
+
+    def test_empty(self, word_bits, dtype):
+        assert len(count_leading_zeros(np.zeros(0, dtype=dtype), word_bits)) == 0
+
+    def test_dtype_mismatch_raises(self, word_bits, dtype):
+        with pytest.raises(ValueError):
+            count_leading_zeros(np.zeros(1, dtype=np.uint8), word_bits)
+
+
+class TestLeadingCommonBits:
+    def test_identical_neighbours_share_everything(self):
+        words = np.array([7, 7, 7], dtype=np.uint64)
+        common = leading_common_bits(words, 64)
+        # Element 0 vs initial 0: 7 ^ 0 = 7 -> 61 leading zeros.
+        assert common.tolist() == [61, 64, 64]
+
+    def test_first_element_against_custom_initial(self):
+        words = np.array([5], dtype=np.uint32)
+        assert leading_common_bits(words, 32, initial=5).tolist() == [32]
+
+    def test_high_bit_divergence(self):
+        a = np.uint64(1) << np.uint64(63)
+        words = np.array([0, a], dtype=np.uint64)
+        assert leading_common_bits(words, 64).tolist() == [64, 0]
+
+    def test_empty(self):
+        assert len(leading_common_bits(np.zeros(0, dtype=np.uint32), 32)) == 0

@@ -1,0 +1,56 @@
+"""Unit tests for fixed-width MSB-first bit packing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bitpack import pack_words, packed_size_bytes, unpack_words
+
+
+@pytest.mark.parametrize("word_bits,dtype", [(32, np.uint32), (64, np.uint64)])
+class TestPacking:
+    def test_roundtrip_every_width(self, word_bits, dtype, rng):
+        for width in range(0, word_bits + 1):
+            limit = 1 << width if width else 1
+            words = rng.integers(0, limit, size=37, dtype=np.uint64).astype(dtype)
+            packed = pack_words(words, width, word_bits)
+            assert len(packed) == packed_size_bytes(37, width)
+            back = unpack_words(packed, 37, width, word_bits)
+            assert np.array_equal(back, words), f"width={width}"
+
+    def test_zero_width_is_empty(self, word_bits, dtype):
+        assert pack_words(np.zeros(100, dtype=dtype), 0, word_bits) == b""
+        back = unpack_words(b"", 100, 0, word_bits)
+        assert np.array_equal(back, np.zeros(100, dtype=dtype))
+
+    def test_empty_input(self, word_bits, dtype):
+        assert pack_words(np.zeros(0, dtype=dtype), 5, word_bits) == b""
+        assert len(unpack_words(b"", 0, 5, word_bits)) == 0
+
+    def test_width_out_of_range(self, word_bits, dtype):
+        with pytest.raises(ValueError):
+            pack_words(np.zeros(1, dtype=dtype), word_bits + 1, word_bits)
+        with pytest.raises(ValueError):
+            unpack_words(b"\x00" * 32, 1, word_bits + 1, word_bits)
+
+    def test_truncated_buffer_raises(self, word_bits, dtype):
+        words = np.arange(8, dtype=dtype)
+        packed = pack_words(words, 7, word_bits)
+        with pytest.raises(ValueError):
+            unpack_words(packed[:-1], 8, 7, word_bits)
+
+
+def test_known_bit_layout():
+    # Two 3-bit values 0b101, 0b011 pack MSB-first into 0b101011xx.
+    words = np.array([0b101, 0b011], dtype=np.uint32)
+    packed = pack_words(words, 3, 32)
+    assert packed == bytes([0b10101100])
+
+
+def test_packed_size_formula():
+    assert packed_size_bytes(0, 13) == 0
+    assert packed_size_bytes(1, 1) == 1
+    assert packed_size_bytes(8, 1) == 1
+    assert packed_size_bytes(9, 1) == 2
+    assert packed_size_bytes(3, 20) == 8  # 60 bits -> 8 bytes

@@ -1,0 +1,45 @@
+"""Unit tests for the bit transposition primitive behind the BIT stage."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bitpack import bit_transpose, bit_untranspose
+
+
+@pytest.mark.parametrize("word_bits,dtype", [(32, np.uint32), (64, np.uint64)])
+class TestBitTranspose:
+    @pytest.mark.parametrize("n", [1, 7, 8, 31, 32, 100, 4096])
+    def test_roundtrip(self, word_bits, dtype, n, rng):
+        words = rng.integers(0, 1 << 32, size=n, dtype=np.uint64).astype(dtype)
+        stream = bit_transpose(words, word_bits)
+        assert len(stream) == word_bits * ((n + 7) // 8)
+        assert np.array_equal(bit_untranspose(stream, n, word_bits), words)
+
+    def test_empty(self, word_bits, dtype):
+        assert bit_transpose(np.zeros(0, dtype=dtype), word_bits) == b""
+        assert len(bit_untranspose(b"", 0, word_bits)) == 0
+
+    def test_truncated_raises(self, word_bits, dtype):
+        words = np.arange(16, dtype=dtype)
+        stream = bit_transpose(words, word_bits)
+        with pytest.raises(ValueError):
+            bit_untranspose(stream[:-1], 16, word_bits)
+
+
+def test_msb_plane_comes_first():
+    # A single value with only the MSB set: the first bit plane (row) is
+    # the one holding that bit.
+    words = np.array([1 << 31], dtype=np.uint32)
+    stream = bit_transpose(words, 32)
+    assert stream[0] == 0b10000000
+    assert set(stream[1:]) == {0}
+
+
+def test_groups_equal_bit_positions_together():
+    # Eight words each with bit 31 set: plane 0 is a full 0xFF byte.
+    words = np.full(8, 1 << 31, dtype=np.uint32)
+    stream = bit_transpose(words, 32)
+    assert stream[0] == 0xFF
+    assert set(stream[1:]) == {0}

@@ -1,0 +1,46 @@
+"""Unit tests for the magnitude-sign (zigzag) representation change."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bitpack import zigzag_decode, zigzag_encode
+
+
+@pytest.mark.parametrize("word_bits,dtype", [(32, np.uint32), (64, np.uint64)])
+class TestZigzag:
+    def test_small_values_map_to_small_codes(self, word_bits, dtype):
+        # 0 -> 0, -1 -> 1, 1 -> 2, -2 -> 3, 2 -> 4 ... (sign in the LSB).
+        signed = np.array([0, -1, 1, -2, 2, -3, 3], dtype=np.int64)
+        words = signed.astype(dtype)
+        coded = zigzag_encode(words, word_bits)
+        assert coded.tolist() == [0, 1, 2, 3, 4, 5, 6]
+
+    def test_roundtrip_exhaustive_boundaries(self, word_bits, dtype):
+        top = (1 << word_bits) - 1
+        half = 1 << (word_bits - 1)
+        words = np.array(
+            [0, 1, 2, half - 1, half, half + 1, top - 1, top], dtype=dtype
+        )
+        assert np.array_equal(zigzag_decode(zigzag_encode(words, word_bits), word_bits), words)
+
+    def test_roundtrip_random(self, word_bits, dtype, rng):
+        words = rng.integers(0, 1 << 32, size=10_000, dtype=np.uint64).astype(dtype)
+        assert np.array_equal(zigzag_decode(zigzag_encode(words, word_bits), word_bits), words)
+
+    def test_leading_ones_become_leading_zeros(self, word_bits, dtype):
+        # -1 in two's complement is all ones; its code (1) has w-1 leading zeros.
+        minus_one = np.array([-1], dtype=np.int64).astype(dtype)
+        coded = zigzag_encode(minus_one, word_bits)
+        assert int(coded[0]) == 1
+
+    def test_rejects_wrong_dtype(self, word_bits, dtype):
+        wrong = np.zeros(4, dtype=np.uint16)
+        with pytest.raises(ValueError):
+            zigzag_encode(wrong, word_bits)
+
+
+def test_rejects_unsupported_width():
+    with pytest.raises(ValueError):
+        zigzag_encode(np.zeros(1, dtype=np.uint32), 24)

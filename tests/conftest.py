@@ -1,0 +1,47 @@
+"""Shared fixtures: deterministic RNG and representative float arrays."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20250330)  # the conference's opening day
+
+
+def _smooth(rng: np.random.Generator, n: int, dtype) -> np.ndarray:
+    """A 1-D random walk: the smooth, zero-centred signal the codecs target."""
+    return np.cumsum(rng.normal(scale=0.01, size=n)).astype(dtype)
+
+
+@pytest.fixture
+def smooth_f32(rng) -> np.ndarray:
+    return _smooth(rng, 40_000, np.float32)
+
+
+@pytest.fixture
+def smooth_f64(rng) -> np.ndarray:
+    return _smooth(rng, 20_000, np.float64)
+
+
+@pytest.fixture
+def special_f32() -> np.ndarray:
+    """Every awkward IEEE-754 citizen in one array."""
+    return np.array(
+        [0.0, -0.0, np.inf, -np.inf, np.nan, np.float32(1e-45), -np.float32(1e-45),
+         np.finfo(np.float32).max, np.finfo(np.float32).min, np.finfo(np.float32).tiny,
+         1.0, -1.0, np.pi],
+        dtype=np.float32,
+    )
+
+
+@pytest.fixture
+def special_f64() -> np.ndarray:
+    return np.array(
+        [0.0, -0.0, np.inf, -np.inf, np.nan, 5e-324, -5e-324,
+         np.finfo(np.float64).max, np.finfo(np.float64).min, np.finfo(np.float64).tiny,
+         1.0, -1.0, np.pi],
+        dtype=np.float64,
+    )

@@ -1,0 +1,47 @@
+"""Tests for the optional container integrity checksum."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import CorruptDataError, FormatError
+
+
+class TestChecksum:
+    def test_checksummed_roundtrip(self, smooth_f32):
+        blob = repro.compress(smooth_f32, checksum=True)
+        assert np.array_equal(repro.decompress(blob), smooth_f32)
+        assert repro.inspect(blob).checksum is not None
+
+    def test_default_has_no_checksum(self, smooth_f32):
+        blob = repro.compress(smooth_f32)
+        assert repro.inspect(blob).checksum is None
+
+    def test_overhead_is_four_bytes(self, smooth_f32):
+        plain = repro.compress(smooth_f32)
+        checked = repro.compress(smooth_f32, checksum=True)
+        assert len(checked) == len(plain) + 4
+
+    def test_checksum_survives_raw_fallback(self, rng):
+        data = rng.integers(0, 256, size=50_000, dtype=np.uint8).tobytes()
+        blob = repro.compress(data, "spspeed", checksum=True)
+        info = repro.inspect(blob)
+        assert info.raw_fallback and info.checksum is not None
+        assert repro.decompress(blob) == data
+
+    def test_silent_payload_corruption_is_caught(self, smooth_f32):
+        # Without checksums a payload bit flip can decode to wrong data
+        # silently; with checksums it must raise.
+        blob = bytearray(repro.compress(smooth_f32, checksum=True))
+        for offset in (len(blob) - 1, len(blob) // 2, len(blob) - 100):
+            corrupted = bytearray(blob)
+            corrupted[offset] ^= 0x10
+            with pytest.raises((CorruptDataError, FormatError)):
+                repro.decompress(bytes(corrupted))
+
+    def test_truncated_checksum_block_rejected(self, smooth_f32):
+        blob = repro.compress(smooth_f32, checksum=True)
+        with pytest.raises(FormatError):
+            repro.inspect(blob[:29])

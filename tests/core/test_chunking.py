@@ -1,0 +1,42 @@
+"""Unit tests for chunk framing helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.chunking import CHUNK_SIZE, chunk_count, chunk_lengths, iter_chunks
+
+
+class TestChunking:
+    def test_default_chunk_size_matches_paper(self):
+        assert CHUNK_SIZE == 16384  # 16 kB, paper §3
+
+    def test_iter_chunks_covers_everything(self):
+        data = bytes(range(256)) * 200  # 51200 bytes
+        chunks = list(iter_chunks(data))
+        assert b"".join(chunks) == data
+        assert all(len(c) == CHUNK_SIZE for c in chunks[:-1])
+
+    def test_last_chunk_short(self):
+        data = bytes(CHUNK_SIZE + 5)
+        chunks = list(iter_chunks(data))
+        assert [len(c) for c in chunks] == [CHUNK_SIZE, 5]
+
+    def test_empty_input(self):
+        assert list(iter_chunks(b"")) == []
+        assert chunk_count(0) == 0
+        assert chunk_lengths(0) == []
+
+    def test_exact_multiple(self):
+        assert chunk_lengths(2 * CHUNK_SIZE) == [CHUNK_SIZE, CHUNK_SIZE]
+        assert chunk_count(2 * CHUNK_SIZE) == 2
+
+    def test_lengths_sum(self):
+        for total in (1, 100, CHUNK_SIZE - 1, CHUNK_SIZE, CHUNK_SIZE + 1, 10 * CHUNK_SIZE + 7):
+            lengths = chunk_lengths(total)
+            assert sum(lengths) == total
+            assert len(lengths) == chunk_count(total)
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            list(iter_chunks(b"abc", 0))

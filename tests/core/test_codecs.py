@@ -1,0 +1,71 @@
+"""Unit tests for the codec registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.codecs import CODECS, codec_by_id, codec_for, get_codec
+from repro.errors import UnknownCodecError, UnsupportedDtypeError
+
+
+class TestRegistry:
+    def test_four_codecs_registered(self):
+        assert sorted(CODECS) == ["dpratio", "dpspeed", "spratio", "spspeed"]
+
+    def test_ids_are_unique(self):
+        ids = [c.codec_id for c in CODECS.values()]
+        assert len(set(ids)) == len(ids)
+
+    def test_lookup_case_insensitive(self):
+        assert get_codec("SPspeed").name == "spspeed"
+
+    def test_lookup_by_id(self):
+        for codec in CODECS.values():
+            assert codec_by_id(codec.codec_id) is codec
+
+    def test_unknown_name(self):
+        with pytest.raises(UnknownCodecError):
+            get_codec("lz4")
+
+    def test_unknown_id(self):
+        with pytest.raises(UnknownCodecError):
+            codec_by_id(250)
+
+    def test_codec_for_dtype_and_mode(self):
+        assert codec_for(np.float32, "speed").name == "spspeed"
+        assert codec_for(np.float32, "ratio").name == "spratio"
+        assert codec_for(np.float64, "speed").name == "dpspeed"
+        assert codec_for(np.float64, "ratio").name == "dpratio"
+
+    def test_codec_for_rejects_other_dtypes(self):
+        with pytest.raises(UnsupportedDtypeError):
+            codec_for(np.int32, "speed")
+
+    def test_codec_for_rejects_bad_mode(self):
+        with pytest.raises(UnknownCodecError):
+            codec_for(np.float32, "fast")
+
+
+class TestStagePlans:
+    """Pin the Figure 1 stage chains."""
+
+    def test_spspeed_stages(self):
+        assert get_codec("spspeed").stage_names == ["diffms", "mplg"]
+
+    def test_spratio_stages(self):
+        assert get_codec("spratio").stage_names == ["diffms", "bit", "rze"]
+
+    def test_dpspeed_stages(self):
+        assert get_codec("dpspeed").stage_names == ["diffms", "mplg"]
+
+    def test_dpratio_stages(self):
+        assert get_codec("dpratio").stage_names == ["fcm", "diffms", "raze", "rare"]
+
+    def test_word_granularity(self):
+        assert get_codec("spspeed").word_bits == 32
+        assert get_codec("dpspeed").word_bits == 64
+
+    def test_fresh_pipelines_per_call(self):
+        codec = get_codec("spratio")
+        assert codec.make_pipeline() is not codec.make_pipeline()

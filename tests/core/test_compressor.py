@@ -1,0 +1,101 @@
+"""Integration tests for the compression engine (bytes level)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.codecs import CODECS, get_codec
+from repro.core.compressor import compress_bytes, decompress_bytes
+from repro.errors import CorruptDataError, FormatError
+
+
+def smooth_bytes(rng, n_values: int, dtype) -> bytes:
+    return np.cumsum(rng.normal(scale=0.01, size=n_values)).astype(dtype).tobytes()
+
+
+@pytest.mark.parametrize("name", sorted(CODECS))
+class TestEngineRoundtrip:
+    def test_smooth_roundtrip(self, name, rng):
+        codec = get_codec(name)
+        data = smooth_bytes(rng, 50_000, codec.dtype)
+        blob = compress_bytes(data, codec)
+        back, info = decompress_bytes(blob)
+        assert back == data
+        assert info.codec_id == codec.codec_id
+
+    def test_random_roundtrip(self, name, rng):
+        codec = get_codec(name)
+        data = rng.integers(0, 256, size=70_001, dtype=np.uint8).tobytes()
+        blob = compress_bytes(data, codec)
+        back, _ = decompress_bytes(blob)
+        assert back == data
+
+    def test_empty_input(self, name):
+        codec = get_codec(name)
+        blob = compress_bytes(b"", codec)
+        back, _ = decompress_bytes(blob)
+        assert back == b""
+
+    def test_single_value(self, name, rng):
+        codec = get_codec(name)
+        data = rng.random(1).astype(codec.dtype).tobytes()
+        back, _ = decompress_bytes(compress_bytes(data, codec))
+        assert back == data
+
+    def test_unaligned_tail(self, name, rng):
+        codec = get_codec(name)
+        data = rng.integers(0, 256, size=16384 * 2 + 3, dtype=np.uint8).tobytes()
+        back, _ = decompress_bytes(compress_bytes(data, codec))
+        assert back == data
+
+    def test_expansion_is_bounded(self, name, rng):
+        # Adversarial incompressible input must cost at most the header.
+        codec = get_codec(name)
+        data = rng.integers(0, 256, size=100_000, dtype=np.uint8).tobytes()
+        blob = compress_bytes(data, codec)
+        assert len(blob) <= len(data) + 64
+
+    def test_chunk_boundary_sizes(self, name, rng):
+        codec = get_codec(name)
+        for n in (16383, 16384, 16385, 32768):
+            data = rng.integers(0, 256, size=n, dtype=np.uint8).tobytes()
+            back, _ = decompress_bytes(compress_bytes(data, codec))
+            assert back == data, n
+
+
+class TestEngineValidation:
+    def test_garbage_rejected(self):
+        with pytest.raises(FormatError):
+            decompress_bytes(b"not a container at all")
+
+    def test_truncated_payload_rejected(self, rng):
+        codec = get_codec("spratio")
+        data = smooth_bytes(rng, 30_000, np.float32)
+        blob = compress_bytes(data, codec)
+        with pytest.raises((FormatError, CorruptDataError)):
+            decompress_bytes(blob[: len(blob) - 10])
+
+    def test_bitflip_detected_or_localised(self, rng):
+        # A flipped byte in a chunk payload must never crash with a
+        # non-library exception; it either raises CorruptDataError or
+        # decodes to different bytes (the format carries no checksums,
+        # like the paper's artifact).
+        codec = get_codec("spratio")
+        data = smooth_bytes(rng, 30_000, np.float32)
+        blob = bytearray(compress_bytes(data, codec))
+        blob[len(blob) // 2] ^= 0x01
+        try:
+            back, _ = decompress_bytes(bytes(blob))
+        except (CorruptDataError, FormatError):
+            return
+        assert back != data
+
+    def test_custom_chunk_size_roundtrip(self, rng):
+        codec = get_codec("spspeed")
+        data = smooth_bytes(rng, 50_000, np.float32)
+        for chunk_size in (1024, 4096, 65536):
+            blob = compress_bytes(data, codec, chunk_size=chunk_size)
+            back, info = decompress_bytes(blob)
+            assert back == data
+            assert info.chunk_size in (chunk_size, 0)  # 0 for raw fallback

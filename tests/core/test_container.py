@@ -1,0 +1,98 @@
+"""Unit tests for the FPRZ container format."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import container as fmt
+from repro.errors import FormatError
+
+
+class TestContainer:
+    def test_roundtrip_metadata(self):
+        blob = fmt.build_container(
+            codec_id=2,
+            dtype_code=fmt.DTYPE_F32,
+            original_len=100,
+            intermediate_len=100,
+            chunk_size=16384,
+            chunk_payloads=[b"\x01abc", b"\x01defg"],
+            shape=(5, 5),
+        )
+        info = fmt.inspect_container(blob)
+        assert info.codec_id == 2
+        assert info.dtype_code == fmt.DTYPE_F32
+        assert info.original_len == 100
+        assert info.chunk_size == 16384
+        assert info.n_chunks == 2
+        assert info.chunk_sizes == (4, 5)
+        assert info.shape == (5, 5)
+        assert not info.raw_fallback
+
+    def test_payload_offsets_are_prefix_sums(self):
+        blob = fmt.build_container(
+            codec_id=1,
+            dtype_code=fmt.DTYPE_BYTES,
+            original_len=9,
+            intermediate_len=9,
+            chunk_size=4,
+            chunk_payloads=[b"ab", b"cde", b"f"],
+        )
+        info = fmt.inspect_container(blob)
+        offsets = fmt.payload_offsets(info)
+        assert blob[offsets[0] : offsets[0] + 2] == b"ab"
+        assert blob[offsets[1] : offsets[1] + 3] == b"cde"
+        assert blob[offsets[2] : offsets[2] + 1] == b"f"
+
+    def test_raw_container(self):
+        blob = fmt.build_raw_container(codec_id=3, dtype_code=fmt.DTYPE_F64, data=b"xyz")
+        info = fmt.inspect_container(blob)
+        assert info.raw_fallback
+        assert info.original_len == 3
+        assert blob[info.payload_offset :] == b"xyz"
+
+    def test_ratio_property(self):
+        blob = fmt.build_raw_container(codec_id=1, dtype_code=0, data=bytes(100))
+        info = fmt.inspect_container(blob)
+        assert 0 < info.ratio < 1  # raw fallback always "expands" by the header
+
+    def test_bad_magic(self):
+        with pytest.raises(FormatError):
+            fmt.inspect_container(b"NOPE" + bytes(40))
+
+    def test_truncated_header(self):
+        with pytest.raises(FormatError):
+            fmt.inspect_container(b"FPRZ\x01")
+
+    def test_bad_version(self):
+        blob = bytearray(
+            fmt.build_raw_container(codec_id=1, dtype_code=0, data=b"")
+        )
+        blob[4] = 99
+        with pytest.raises(FormatError):
+            fmt.inspect_container(bytes(blob))
+
+    def test_table_payload_mismatch(self):
+        blob = fmt.build_container(
+            codec_id=1,
+            dtype_code=0,
+            original_len=4,
+            intermediate_len=4,
+            chunk_size=4,
+            chunk_payloads=[b"abcd"],
+        )
+        with pytest.raises(FormatError):
+            fmt.inspect_container(blob + b"extra")
+
+    def test_truncated_shape_block(self):
+        blob = fmt.build_container(
+            codec_id=1,
+            dtype_code=0,
+            original_len=0,
+            intermediate_len=0,
+            chunk_size=4,
+            chunk_payloads=[],
+            shape=(3, 3, 3),
+        )
+        with pytest.raises(FormatError):
+            fmt.inspect_container(blob[:33])

@@ -1,0 +1,89 @@
+"""Robustness fuzzing: mutated containers must fail loudly, not weirdly.
+
+The format carries enough length fields that arbitrary corruption should
+be caught by the library's own exception hierarchy (or, where the
+corruption is semantically silent and no checksum was requested, produce
+*different* bytes) — never an unbounded loop, a segfault, or a foreign
+exception leaking from numpy internals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import ReproError
+
+ACCEPTABLE = (ReproError,)
+
+
+def _mutations(blob: bytes, rng, count: int):
+    for _ in range(count):
+        kind = rng.integers(0, 4)
+        mutated = bytearray(blob)
+        if kind == 0 and len(mutated) > 1:  # single bit flip
+            pos = int(rng.integers(0, len(mutated)))
+            mutated[pos] ^= 1 << int(rng.integers(0, 8))
+        elif kind == 1 and len(mutated) > 8:  # truncation
+            mutated = mutated[: int(rng.integers(1, len(mutated)))]
+        elif kind == 2:  # extension with garbage
+            mutated += bytes(rng.integers(0, 256, size=17, dtype=np.uint8))
+        else:  # byte-range scramble
+            if len(mutated) > 16:
+                start = int(rng.integers(0, len(mutated) - 8))
+                mutated[start : start + 8] = bytes(
+                    rng.integers(0, 256, size=8, dtype=np.uint8)
+                )
+        yield bytes(mutated)
+
+
+@pytest.mark.parametrize("codec", ["spspeed", "spratio", "dpspeed", "dpratio"])
+def test_mutated_containers_never_misbehave(codec, rng):
+    dtype = np.float32 if codec.startswith("sp") else np.float64
+    data = np.cumsum(rng.normal(scale=0.01, size=20_000)).astype(dtype)
+    blob = repro.compress(data, codec)
+    for mutated in _mutations(blob, rng, 120):
+        try:
+            out = repro.decompress(mutated)
+        except ACCEPTABLE:
+            continue
+        except (ValueError, OverflowError, MemoryError) as exc:
+            pytest.fail(f"{codec}: foreign exception leaked: {type(exc).__name__}: {exc}")
+        # Decoded without error: silent corruption may change the payload
+        # but must never break the container's own bookkeeping.
+        if isinstance(out, np.ndarray):
+            assert out.dtype in (np.float32, np.float64)
+
+
+def test_checksummed_mutations_always_raise_or_match(rng):
+    data = np.cumsum(rng.normal(scale=0.01, size=20_000)).astype(np.float32)
+    blob = repro.compress(data, "spratio", checksum=True)
+    silent = 0
+    for mutated in _mutations(blob, rng, 120):
+        try:
+            out = repro.decompress(mutated)
+        except ACCEPTABLE:
+            continue
+        # A mutation may hit dead bytes (e.g. inside the unused reserved
+        # space or be reverted by the scramble); then output must be exact.
+        if not (isinstance(out, np.ndarray) and np.array_equal(out, data)):
+            silent += 1
+    assert silent == 0, f"{silent} corruptions slipped past the checksum"
+
+
+def test_random_garbage_rejected(rng):
+    for size in (0, 1, 7, 31, 64, 1000):
+        junk = bytes(rng.integers(0, 256, size=size, dtype=np.uint8))
+        with pytest.raises(ReproError):
+            repro.decompress(junk)
+
+
+def test_valid_prefix_with_huge_lengths_rejected(rng):
+    # A header promising absurd sizes must fail fast, not allocate.
+    import struct
+
+    header = struct.pack("<4sBBBBQQII", b"FPRZ", 1, 2, 1, 0,
+                         1 << 60, 1 << 60, 16384, 0xFFFFFFF)
+    with pytest.raises(ReproError):
+        repro.decompress(header)

@@ -1,0 +1,44 @@
+"""Tests for the threaded chunk executor (the paper's OpenMP analogue)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.codecs import CODECS, get_codec
+from repro.core.compressor import compress_bytes, decompress_bytes
+
+
+@pytest.mark.parametrize("name", sorted(CODECS))
+class TestParallelEquivalence:
+    def test_parallel_output_is_byte_identical(self, name, rng):
+        codec = get_codec(name)
+        data = np.cumsum(rng.normal(scale=0.01, size=60_000)).astype(codec.dtype).tobytes()
+        serial = compress_bytes(data, codec, workers=1)
+        for workers in (2, 4, 7):
+            assert compress_bytes(data, codec, workers=workers) == serial
+
+    def test_parallel_decompress_matches(self, name, rng):
+        codec = get_codec(name)
+        data = np.cumsum(rng.normal(scale=0.01, size=60_000)).astype(codec.dtype).tobytes()
+        blob = compress_bytes(data, codec)
+        for workers in (1, 3, 8):
+            back, _ = decompress_bytes(blob, workers=workers)
+            assert back == data
+
+
+class TestParallelAPI:
+    def test_api_exposes_workers(self, smooth_f32):
+        serial = repro.compress(smooth_f32)
+        parallel = repro.compress(smooth_f32, workers=4)
+        assert serial == parallel
+        assert np.array_equal(repro.decompress(parallel, workers=4), smooth_f32)
+
+    def test_single_chunk_input(self, rng):
+        data = rng.normal(size=100).astype(np.float32)
+        assert repro.compress(data, workers=8) == repro.compress(data)
+
+    def test_empty_input(self):
+        data = np.zeros(0, dtype=np.float32)
+        assert repro.compress(data, workers=4) == repro.compress(data)

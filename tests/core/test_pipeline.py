@@ -1,0 +1,60 @@
+"""Unit tests for stage pipelines and the per-chunk raw fallback."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.chunking import CHUNK_COMPRESSED, CHUNK_RAW
+from repro.core.pipeline import Pipeline
+from repro.errors import CorruptDataError
+from repro.stages import MPLG, BitTranspose, DiffMS, RZE
+
+
+def sp_ratio_pipeline() -> Pipeline:
+    return Pipeline([DiffMS(32), BitTranspose(32), RZE()])
+
+
+class TestPipeline:
+    def test_encode_decode_roundtrip(self, rng):
+        data = np.cumsum(rng.normal(size=4096)).astype(np.float32).tobytes()
+        p = sp_ratio_pipeline()
+        assert p.decode(p.encode(data)) == data
+
+    def test_stage_order_reversed_on_decode(self):
+        # A pipeline of two asymmetric stages only round-trips when the
+        # inverses run in reverse order; this locks that behaviour in.
+        p = Pipeline([DiffMS(32), MPLG(32)])
+        data = np.arange(1024, dtype=np.uint32).tobytes()
+        assert p.decode(p.encode(data)) == data
+
+    def test_compressible_chunk_flagged(self, rng):
+        data = np.cumsum(rng.normal(scale=0.01, size=4096)).astype(np.float32).tobytes()
+        payload = sp_ratio_pipeline().encode_chunk(data)
+        assert payload[0] == CHUNK_COMPRESSED
+        assert len(payload) < len(data)
+
+    def test_incompressible_chunk_stored_raw(self, rng):
+        data = rng.integers(0, 256, size=16384, dtype=np.uint8).tobytes()
+        payload = sp_ratio_pipeline().encode_chunk(data)
+        assert payload[0] == CHUNK_RAW
+        assert len(payload) == len(data) + 1  # worst case: one flag byte
+
+    def test_decode_chunk_validates_length(self, rng):
+        data = bytes(1000)
+        p = sp_ratio_pipeline()
+        payload = p.encode_chunk(data)
+        with pytest.raises(CorruptDataError):
+            p.decode_chunk(payload, 999)
+
+    def test_decode_chunk_rejects_unknown_flag(self):
+        with pytest.raises(CorruptDataError):
+            sp_ratio_pipeline().decode_chunk(b"\x07abc", 3)
+
+    def test_decode_chunk_rejects_empty(self):
+        with pytest.raises(CorruptDataError):
+            sp_ratio_pipeline().decode_chunk(b"", 0)
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValueError):
+            Pipeline([])

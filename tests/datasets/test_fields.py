@@ -1,0 +1,114 @@
+"""Tests for the random-field generator primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import fields as gen
+
+
+class TestSpectralField:
+    def test_shape_and_dtype(self, rng):
+        field = gen.spectral_field(rng, (8, 16, 16), slope=3.0, dtype=np.float32)
+        assert field.shape == (8, 16, 16)
+        assert field.dtype == np.float32
+
+    def test_steeper_slope_is_smoother(self, rng):
+        rough = gen.spectral_field(rng, (4096,), slope=1.0, dtype=np.float64)
+        smooth = gen.spectral_field(rng, (4096,), slope=3.5, dtype=np.float64)
+
+        def roughness(x):
+            return float(np.abs(np.diff(x)).mean()) / (float(x.std()) or 1.0)
+
+        assert roughness(smooth) < roughness(rough)
+
+    def test_offset_and_amplitude(self, rng):
+        field = gen.spectral_field(rng, (4096,), amplitude=2.0, offset=100.0)
+        assert 90 < field.mean() < 110
+        assert 0.5 < field.std() < 5.0
+
+
+class TestNoiseFloor:
+    def test_perturbs_low_mantissa_only(self, rng):
+        base = gen.spectral_field(rng, (4096,), slope=3.0, dtype=np.float64)
+        noisy = gen.with_noise_floor(rng, base, relative=1e-9)
+        assert not np.array_equal(noisy, base)
+        assert np.allclose(noisy, base, rtol=1e-8)
+
+    def test_zero_noise_is_identity(self, rng):
+        base = gen.spectral_field(rng, (128,), dtype=np.float32)
+        assert np.array_equal(gen.with_noise_floor(rng, base, relative=0.0), base)
+
+
+class TestRecurrences:
+    def test_creates_far_matches(self, rng):
+        base = rng.normal(size=32768)
+        out = gen.with_recurrences(rng, base, fraction=0.3, segment=16,
+                                   min_distance=4300)
+        repeats = len(out) - len(np.unique(out))
+        assert repeats > 0.15 * len(out)
+
+    def test_short_input_untouched(self, rng):
+        base = rng.normal(size=100)
+        out = gen.with_recurrences(rng, base, min_distance=4300)
+        assert np.array_equal(out, base)
+
+    def test_preserves_shape(self, rng):
+        base = rng.normal(size=(32, 32, 32))
+        out = gen.with_recurrences(rng, base, fraction=0.2, min_distance=4300)
+        assert out.shape == base.shape
+
+
+class TestFillRegions:
+    def test_1d_runs(self, rng):
+        base = rng.normal(size=10_000)
+        out = gen.with_fill_regions(rng, base, fill_value=7.0, fraction=0.3, patch=50)
+        assert 0.2 < (out == 7.0).mean() < 0.8
+
+    def test_3d_boxes_have_low_surface(self, rng):
+        base = rng.normal(size=(32, 32, 32)).astype(np.float32)
+        out = gen.with_fill_regions(rng, base, fill_value=0.0, fraction=0.3)
+        filled = out == 0.0
+        # Boundary cells (filled with non-filled x-neighbour) must be a
+        # small share of the filled volume — stripes would fail this.
+        boundary = filled[:, :, 1:] & ~filled[:, :, :-1]
+        assert boundary.sum() < 0.35 * filled.sum()
+
+
+class TestQuantizers:
+    def test_mantissa_quantization_zeroes_trailing_bits(self, rng):
+        base = gen.spectral_field(rng, (1024,), dtype=np.float64)
+        quantized = gen.quantized(base, 20)
+        trailing = quantized.view(np.uint64) & np.uint64((1 << 32) - 1)
+        assert np.all(trailing == 0)
+
+    def test_step_quantization_repeats_levels(self, rng):
+        base = gen.spectral_field(rng, (8192,), slope=3.0, amplitude=1.0)
+        quantized = gen.quantized_step(base, 0.01)
+        assert len(np.unique(quantized)) < len(np.unique(base))
+
+    def test_quantized_rejects_ints(self):
+        with pytest.raises(ValueError):
+            gen.quantized(np.arange(4), 10)
+
+
+class TestMessages:
+    def test_period_repeats(self, rng):
+        data = gen.repeating_messages(rng, 30_000, period=5000, fresh_fraction=0.2)
+        assert len(np.unique(data)) < 0.5 * len(data)
+
+    def test_small_n_still_works(self, rng):
+        data = gen.repeating_messages(rng, 500, period=10_000)
+        assert len(data) == 500
+
+
+class TestParticles:
+    def test_positions_stay_in_box(self, rng):
+        pos = gen.particle_positions(rng, 50_000, box=256.0)
+        assert np.all(pos >= 0) and np.all(pos <= 256.0)
+
+    def test_locally_coherent(self, rng):
+        pos = gen.particle_positions(rng, 50_000, box=256.0, stride=0.01)
+        step = np.abs(np.diff(pos.astype(np.float64)))
+        assert step.mean() < 256.0 * 0.05

@@ -1,0 +1,110 @@
+"""Tests for the synthetic corpus registry and suite composition."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets import dp_suite, sp_suite
+
+
+class TestSuiteComposition:
+    def test_sp_suite_matches_paper_counts(self):
+        domains = sp_suite()
+        assert len(domains) == 7
+        assert sum(len(d.files) for d in domains) == 90
+
+    def test_dp_suite_matches_paper_counts(self):
+        domains = dp_suite()
+        assert len(domains) == 5
+        assert sum(len(d.files) for d in domains) == 20
+
+    def test_dtypes(self):
+        assert all(f.dtype == np.float32 for d in sp_suite() for f in d.files)
+        assert all(f.dtype == np.float64 for d in dp_suite() for f in d.files)
+
+    def test_names_are_unique(self):
+        names = [f.name for d in sp_suite() for f in d.files]
+        names += [f.name for d in dp_suite() for f in d.files]
+        assert len(set(names)) == len(names)
+
+    def test_multidimensional_grids_exist(self):
+        grids = {f.base_grid for d in sp_suite() for f in d.files}
+        assert any(len(g) == 3 for g in grids)
+        assert any(len(g) == 1 for g in grids)
+
+
+class TestDeterminism:
+    def test_same_file_same_bytes(self):
+        file = sp_suite()[0].files[0]
+        assert np.array_equal(file.load(0.1), file.load(0.1))
+
+    def test_different_files_different_bytes(self):
+        files = sp_suite()[0].files
+        a, b = files[0].load(0.1), files[1].load(0.1)
+        assert a.tobytes() != b.tobytes()
+
+    def test_scale_changes_size_not_identity(self):
+        file = sp_suite()[0].files[0]
+        small, large = file.load(0.1), file.load(0.3)
+        assert small.size < large.size
+
+
+class TestGridScaling:
+    def test_grid_at_unit_scale(self):
+        file = sp_suite()[0].files[0]
+        assert file.grid_at(1.0) == file.base_grid
+
+    def test_grid_scales_isotropically(self):
+        file = sp_suite()[0].files[0]
+        grid = file.grid_at(0.125)
+        assert len(grid) == len(file.base_grid)
+        assert all(g <= b for g, b in zip(grid, file.base_grid))
+
+    def test_load_shape_matches_grid(self):
+        file = sp_suite()[0].files[0]
+        assert file.load(0.2).shape == file.grid_at(0.2)
+
+    def test_base_elements(self):
+        file = sp_suite()[0].files[0]
+        expected = 1
+        for dim in file.base_grid:
+            expected *= dim
+        assert file.base_elements == expected
+
+
+class TestStatisticalFingerprints:
+    def test_climate_fields_contain_fill_sentinel(self):
+        cesm = next(d for d in sp_suite() if d.name == "CESM-ATM")
+        icefrac = next(f for f in cesm.files if "ICEFRAC" in f.name)
+        data = icefrac.load(0.5)
+        assert np.any(data == np.float32(1.0e35))
+
+    def test_hydrometeors_are_mostly_zero(self):
+        isabel = next(d for d in sp_suite() if d.name == "ISABEL")
+        qgraup = next(f for f in isabel.files if "QGRAUP" in f.name)
+        data = qgraup.load(0.5)
+        assert (data == 0).mean() > 0.4
+
+    def test_nyx_densities_are_positive(self):
+        nyx = next(d for d in sp_suite() if d.name == "NYX")
+        density = next(f for f in nyx.files if "baryon" in f.name)
+        assert np.all(density.load(0.25) > 0)
+
+    def test_msg_traces_repeat_values(self):
+        msg = next(d for d in dp_suite() if d.name == "msg")
+        data = msg.files[0].load(1.0)
+        unique_fraction = len(np.unique(data)) / data.size
+        assert unique_fraction < 0.8  # many exact repeats
+
+    def test_num_files_have_noisy_mantissas(self):
+        num = next(d for d in dp_suite() if d.name == "num")
+        data = num.files[0].load(0.25)
+        low_bits = data.view(np.uint64) & np.uint64(0xFFFF)
+        # Low mantissa bits should look uniform (>14 bits of entropy).
+        assert len(np.unique(low_bits)) > data.size * 0.6
+
+    def test_all_files_finite_or_sentinel(self):
+        for domain in dp_suite():
+            for file in domain.files:
+                data = file.load(0.1)
+                assert np.all(np.isfinite(data)), file.name

@@ -1,0 +1,106 @@
+"""Tests for the device execution model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.device import A100, ALL_DEVICES, RTX4090, RYZEN_2950X, XEON_6226R
+from repro.device.cost import OUR_CODECS, CostProfile
+from repro.device.model import modeled_throughput
+from repro.errors import UnknownCodecError
+
+
+class TestCostProfiles:
+    def test_roofline_is_max_of_mem_and_compute(self):
+        device = RTX4090
+        mem_bound = CostProfile(mem_bytes=10.0, ops=1.0)
+        compute_bound = CostProfile(mem_bytes=0.1, ops=100.0)
+        assert mem_bound.throughput(device) == pytest.approx(device.mem_bw / 10.0)
+        assert compute_bound.throughput(device) == pytest.approx(device.compute / 100.0)
+
+    def test_sort_term_is_additive(self):
+        with_sort = CostProfile(mem_bytes=1.0, ops=1.0, sort_bytes=1.0)
+        without = CostProfile(mem_bytes=1.0, ops=1.0)
+        assert with_sort.throughput(RTX4090) < without.throughput(RTX4090)
+
+    def test_all_codecs_have_profiles(self):
+        assert set(OUR_CODECS) == {"spspeed", "spratio", "dpspeed", "dpratio"}
+
+
+class TestPaperAnchors:
+    """Quantitative anchors the paper states explicitly."""
+
+    def test_spspeed_4090_near_518(self):
+        # §5: "our fastest code compresses and decompresses at over
+        # 500 GB/s" on the RTX 4090.
+        assert modeled_throughput("SPspeed", RTX4090, "compress") > 500
+        assert modeled_throughput("SPspeed", RTX4090, "decompress") > 500
+
+    def test_spspeed_vs_fpzip_ryzen(self):
+        # §5.1: "SPspeed compresses 75 times faster and decompresses 55
+        # times faster than FPzip".
+        comp = modeled_throughput("SPspeed", RYZEN_2950X, "compress")
+        comp_fpzip = modeled_throughput("FPzip", RYZEN_2950X, "compress")
+        assert 40 < comp / comp_fpzip < 120
+
+    def test_dpspeed_vs_pfpc_ryzen(self):
+        # §5.2: DPspeed "compresses and decompresses roughly 10 times
+        # faster than pFPC".
+        for direction in ("compress", "decompress"):
+            ours = modeled_throughput("DPspeed", RYZEN_2950X, direction)
+            pfpc = modeled_throughput("pFPC", RYZEN_2950X, direction)
+            assert 5 < ours / pfpc < 20
+
+    def test_dpratio_decompression_outruns_compression(self):
+        # §5.2: no sorting in the FCM decoder.
+        for device in (RTX4090, A100, RYZEN_2950X):
+            comp = modeled_throughput("DPratio", device, "compress")
+            decomp = modeled_throughput("DPratio", device, "decompress")
+            assert decomp > 5 * comp
+
+    def test_ours_faster_on_4090_than_a100(self):
+        # §5.1: "we optimized our compressors ... for newer GPUs".
+        for codec in ("SPspeed", "SPratio", "DPspeed", "DPratio"):
+            for direction in ("compress", "decompress"):
+                assert modeled_throughput(codec, RTX4090, direction) > \
+                    modeled_throughput(codec, A100, direction)
+
+    def test_xeon_faster_than_ryzen(self):
+        for codec in ("SPspeed", "DPratio", "FPzip", "Gzip-fast"):
+            assert modeled_throughput(codec, XEON_6226R, "compress") > \
+                modeled_throughput(codec, RYZEN_2950X, "compress")
+
+    def test_bitcomp_b1_faster_on_a100(self):
+        # §5.1: "Bitcomp-b0's decompressor and Bitcomp-b1's compressor and
+        # decompressor run faster on the A100."
+        assert modeled_throughput("Bitcomp-b1", A100, "compress") > \
+            modeled_throughput("Bitcomp-b1", RTX4090, "compress")
+        assert modeled_throughput("Bitcomp-b0", A100, "decompress") > \
+            modeled_throughput("Bitcomp-b0", RTX4090, "decompress")
+        assert modeled_throughput("Bitcomp-b0", A100, "compress") < \
+            modeled_throughput("Bitcomp-b0", RTX4090, "compress")
+
+
+class TestModelAPI:
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(UnknownCodecError):
+            modeled_throughput("middle-out", RTX4090, "compress")
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ValueError):
+            modeled_throughput("SPspeed", RTX4090, "sideways")
+
+    def test_ndzip_resolves_by_device_kind(self):
+        gpu = modeled_throughput("Ndzip", RTX4090, "compress")
+        cpu = modeled_throughput("Ndzip", RYZEN_2950X, "compress")
+        assert gpu > 20 * cpu
+
+    def test_devices_registered(self):
+        assert set(ALL_DEVICES) == {
+            "RTX 4090", "A100", "Ryzen 2950X", "Xeon 6226R (2x)"
+        }
+
+    def test_f64_overrides_apply(self):
+        f32 = modeled_throughput("Bitcomp-i0", RTX4090, "decompress", "float32")
+        f64 = modeled_throughput("Bitcomp-i0", RTX4090, "decompress", "float64")
+        assert f64 < f32

@@ -1,0 +1,97 @@
+"""Tests for the figure-regeneration harness (at reduced corpus scale)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.harness import FIGURES, format_figure, run_figure
+from repro.harness.figures import XEON_CONFIGS
+from repro.harness.runner import our_codecs_for
+
+#: Tiny corpus scale: the harness machinery is under test, not the shape.
+SCALE = 0.02
+
+
+class TestFigureSpecs:
+    def test_twelve_figures(self):
+        assert sorted(FIGURES) == [f"fig{n:02d}" for n in range(8, 20)]
+
+    def test_axes_cover_the_grid(self):
+        devices = {spec.device.name for spec in FIGURES.values()}
+        assert devices == {"RTX 4090", "A100", "Ryzen 2950X"}
+        dtypes = {np.dtype(spec.dtype).name for spec in FIGURES.values()}
+        assert dtypes == {"float32", "float64"}
+        directions = {spec.direction for spec in FIGURES.values()}
+        assert directions == {"compress", "decompress"}
+
+    def test_titles_mention_device_and_direction(self):
+        spec = FIGURES["fig08"]
+        assert "RTX 4090" in spec.title and "compression" in spec.title
+
+    def test_xeon_configs_present(self):
+        assert len(XEON_CONFIGS) == 4
+
+
+class TestRunner:
+    @pytest.fixture(scope="class")
+    def fig08(self):
+        return run_figure("fig08", scale=SCALE)
+
+    def test_rows_cover_ours_plus_competitors(self, fig08):
+        names = {r.name for r in fig08.rows}
+        assert {"SPspeed", "SPratio"} <= names
+        assert len(names) >= 12
+
+    def test_ratios_positive_and_finite(self, fig08):
+        for row in fig08.rows:
+            assert 0 < row.ratio < 1000
+            assert 0 < row.throughput < 10_000
+
+    def test_front_is_marked(self, fig08):
+        front = fig08.front_names()
+        assert front
+        marked = [r.name for r in fig08.rows if r.on_front]
+        assert sorted(front) == sorted(marked)
+
+    def test_rows_sorted_by_throughput(self, fig08):
+        throughputs = [r.throughput for r in fig08.rows]
+        assert throughputs == sorted(throughputs, reverse=True)
+
+    def test_row_lookup(self, fig08):
+        assert fig08.row("SPspeed").ours
+        with pytest.raises(KeyError):
+            fig08.row("nonexistent")
+
+    def test_ratio_cache_shared_between_figures(self, fig08):
+        # fig09 differs only in direction: identical ratios, free of charge.
+        fig09 = run_figure("fig09", scale=SCALE)
+        for row in fig08.rows:
+            assert fig09.row(row.name).ratio == row.ratio
+
+    def test_our_codec_adapter_names(self):
+        assert [c.name for c in our_codecs_for(np.float32)] == ["SPspeed", "SPratio"]
+        assert [c.name for c in our_codecs_for(np.float64)] == ["DPspeed", "DPratio"]
+
+
+class TestReport:
+    def test_plain_table_contains_all_rows(self):
+        result = run_figure("fig08", scale=SCALE)
+        text = format_figure(result)
+        for row in result.rows:
+            assert row.name in text
+        assert "Pareto" in text
+
+    def test_markdown_table(self):
+        result = run_figure("fig08", scale=SCALE)
+        text = format_figure(result, markdown=True)
+        assert text.count("|") > 20
+        assert "| compressor |" in text
+
+    def test_render_experiments(self):
+        from repro.harness import render_experiments
+
+        result = run_figure("fig08", scale=SCALE)
+        doc = render_experiments([result], preamble="# Title")
+        assert doc.startswith("# Title")
+        assert "Pareto front:" in doc

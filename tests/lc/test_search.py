@@ -1,0 +1,76 @@
+"""Tests for the mini LC framework (pipeline synthesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lc import component_names, enumerate_pipelines, make_stage, synthesize
+
+
+class TestCatalogue:
+    def test_paper_transformations_present(self):
+        names = component_names()
+        for expected in ("diffms32", "diffms64", "bit32", "mplg32", "rze",
+                         "raze64", "rare64", "fcm"):
+            assert expected in names
+
+    def test_make_stage_roundtrips(self, rng):
+        data = rng.integers(0, 256, size=4096, dtype=np.uint8).tobytes()
+        for name in component_names():
+            stage = make_stage(name)
+            assert stage.decode(stage.encode(data)) == data, name
+
+    def test_unknown_component(self):
+        with pytest.raises(KeyError):
+            make_stage("middleout")
+
+
+class TestEnumeration:
+    def test_depth_one_yields_each_chunk_component(self):
+        chains = set(enumerate_pipelines(max_stages=1, allow_global=False))
+        assert ("diffms32",) in chains
+        assert all(len(c) == 1 for c in chains)
+
+    def test_no_immediate_repeats(self):
+        for chain in enumerate_pipelines(max_stages=3, word_bits=32,
+                                         allow_global=False):
+            assert all(a != b for a, b in zip(chain, chain[1:]))
+
+    def test_global_stage_only_leads(self):
+        for chain in enumerate_pipelines(max_stages=2, word_bits=64):
+            assert "fcm" not in chain[1:]
+
+    def test_word_bits_filter(self):
+        for chain in enumerate_pipelines(max_stages=2, word_bits=32,
+                                         allow_global=False):
+            assert not any(name.endswith("64") for name in chain)
+
+
+class TestSynthesis:
+    def test_smooth_data_prefers_diffms_first(self, smooth_f32):
+        results = synthesize(smooth_f32.tobytes()[:65536], max_stages=2,
+                             word_bits=32, allow_global=False, top=3)
+        assert results[0].stages[0] == "diffms32"
+        assert results[0].ratio > 1.2
+
+    def test_results_sorted_by_score(self, smooth_f32):
+        results = synthesize(smooth_f32.tobytes()[:32768], max_stages=2,
+                             word_bits=32, allow_global=False, top=10)
+        scores = [r.score for r in results]
+        assert scores == sorted(scores)
+
+    def test_stage_penalty_prefers_short_chains(self, smooth_f32):
+        data = smooth_f32.tobytes()[:32768]
+        cheap = synthesize(data, max_stages=2, word_bits=32,
+                           allow_global=False, stage_penalty=0.2, top=1)
+        assert len(cheap[0].stages) == 1
+
+    def test_repetitive_doubles_prefer_fcm(self, rng):
+        # Data whose only structure is far-apart repeats: chains with the
+        # global FCM stage must beat chains without it.
+        period = rng.integers(0, 1 << 60, size=8192, dtype=np.uint64)
+        data = np.tile(period, 6).tobytes()
+        results = synthesize(data, max_stages=2, word_bits=64,
+                             allow_global=True, stage_penalty=0.0, top=5)
+        assert results[0].stages[0] == "fcm"

@@ -1,0 +1,94 @@
+"""Tests for ratio aggregation, Pareto fronts, and timing helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.metrics import (
+    ParetoPoint,
+    compression_ratio,
+    geo_of_geo,
+    geomean,
+    measure_throughput,
+    pareto_front,
+)
+
+
+class TestRatios:
+    def test_compression_ratio(self):
+        assert compression_ratio(100, 50) == 2.0
+
+    def test_zero_compressed_rejected(self):
+        with pytest.raises(ValueError):
+            compression_ratio(100, 0)
+
+    def test_geomean_basics(self):
+        assert geomean([2, 8]) == pytest.approx(4.0)
+        assert geomean([3]) == pytest.approx(3.0)
+
+    def test_geomean_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([])
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_geo_of_geo_weights_domains_equally(self):
+        # One domain with many files must not dominate (paper §4).
+        many = [2.0] * 100
+        few = [8.0]
+        assert geo_of_geo([many, few]) == pytest.approx(4.0)
+        flat = geomean(many + few)
+        assert flat < geo_of_geo([many, few])
+
+    def test_geomean_matches_log_definition(self):
+        values = [1.3, 2.7, 0.9, 5.5]
+        expected = math.exp(sum(math.log(v) for v in values) / len(values))
+        assert geomean(values) == pytest.approx(expected)
+
+
+class TestPareto:
+    def test_single_point_is_front(self):
+        p = ParetoPoint("a", 1.0, 1.0)
+        assert pareto_front([p]) == [p]
+
+    def test_dominated_point_removed(self):
+        strong = ParetoPoint("strong", 10.0, 2.0)
+        weak = ParetoPoint("weak", 5.0, 1.5)
+        assert pareto_front([strong, weak]) == [strong]
+
+    def test_tradeoff_points_both_kept(self):
+        fast = ParetoPoint("fast", 10.0, 1.2)
+        dense = ParetoPoint("dense", 1.0, 3.0)
+        front = pareto_front([fast, dense])
+        assert {p.name for p in front} == {"fast", "dense"}
+
+    def test_ties_are_not_dominating(self):
+        a = ParetoPoint("a", 5.0, 2.0)
+        b = ParetoPoint("b", 5.0, 2.0)
+        assert {p.name for p in pareto_front([a, b])} == {"a", "b"}
+
+    def test_front_sorted_by_throughput(self):
+        points = [
+            ParetoPoint("slow", 1.0, 3.0),
+            ParetoPoint("mid", 5.0, 2.0),
+            ParetoPoint("fast", 10.0, 1.0),
+        ]
+        assert [p.name for p in pareto_front(points)] == ["fast", "mid", "slow"]
+
+    def test_dominates_semantics(self):
+        base = ParetoPoint("x", 5.0, 2.0)
+        assert ParetoPoint("y", 5.0, 2.1).dominates(base)
+        assert ParetoPoint("y", 5.1, 2.0).dominates(base)
+        assert not base.dominates(base)
+        assert not ParetoPoint("y", 6.0, 1.9).dominates(base)
+
+
+class TestTiming:
+    def test_measures_positive_throughput(self):
+        assert measure_throughput(lambda: sum(range(100)), 1000, runs=3) > 0
+
+    def test_run_validation(self):
+        with pytest.raises(ValueError):
+            measure_throughput(lambda: None, 1, runs=0)

@@ -1,0 +1,78 @@
+"""Property tests for the container, archive, and stream layers."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+import repro
+from repro.archive import Archive, write_archive
+from repro.io import StreamReader, StreamWriter
+
+member_names = st.text(
+    alphabet=st.characters(codec="utf-8", exclude_characters="\x00"),
+    min_size=1, max_size=24,
+)
+
+float_arrays = st.lists(
+    st.floats(width=32, allow_nan=True, allow_infinity=True),
+    min_size=0, max_size=200,
+).map(lambda xs: np.array(xs, dtype=np.float32))
+
+
+class TestArchiveProperties:
+    @given(st.dictionaries(member_names, float_arrays, min_size=0, max_size=6))
+    @settings(max_examples=40)
+    def test_any_member_set_roundtrips(self, members):
+        archive = Archive.from_bytes(write_archive(members))
+        assert set(archive.members()) == set(members)
+        for name, original in members.items():
+            assert archive.read(name).tobytes() == original.tobytes()
+
+    @given(st.lists(float_arrays, min_size=1, max_size=5))
+    @settings(max_examples=30)
+    def test_member_order_preserved(self, arrays):
+        members = {f"m{i}": arr for i, arr in enumerate(arrays)}
+        archive = Archive.from_bytes(write_archive(members))
+        assert archive.members() == list(members)
+
+
+class TestStreamProperties:
+    @given(st.lists(float_arrays, min_size=0, max_size=8))
+    @settings(max_examples=40)
+    def test_any_frame_sequence_roundtrips(self, frames):
+        sink = io.BytesIO()
+        with StreamWriter(sink) as writer:
+            for frame in frames:
+                writer.write(frame)
+        sink.seek(0)
+        restored = list(StreamReader(sink))
+        assert len(restored) == len(frames)
+        for got, want in zip(restored, frames):
+            assert got.tobytes() == want.tobytes()
+
+    @given(float_arrays, st.integers(min_value=1, max_value=8))
+    @settings(max_examples=30)
+    def test_stream_frames_equal_api_containers(self, frame, workers):
+        # A stream frame's payload is exactly repro.compress's output.
+        sink = io.BytesIO()
+        with StreamWriter(sink, checksum=False, workers=workers) as writer:
+            writer.write(frame)
+        body = sink.getvalue()[8:]  # skip stream header
+        length = int.from_bytes(body[:4], "little")
+        assert body[4 : 4 + length] == repro.compress(frame, workers=workers)
+
+
+class TestContainerInspectionProperties:
+    @given(float_arrays, st.booleans())
+    @settings(max_examples=40)
+    def test_inspect_never_lies_about_sizes(self, values, checksum):
+        blob = repro.compress(values, checksum=checksum)
+        info = repro.inspect(blob)
+        assert info.total_len == len(blob)
+        assert info.original_len == values.nbytes
+        assert (info.checksum is not None) == checksum
+        if not info.raw_fallback:
+            assert sum(info.chunk_sizes) + info.payload_offset == len(blob)

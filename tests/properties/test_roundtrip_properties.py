@@ -1,0 +1,167 @@
+"""Property-based tests (hypothesis): losslessness is unconditional.
+
+Every codec, every stage, and every bit-level primitive must round-trip
+*arbitrary* input — not just the smooth data it was designed for.  These
+properties are the library's core contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+import repro
+from repro.bitpack import (
+    bit_transpose,
+    bit_untranspose,
+    byte_shuffle,
+    byte_unshuffle,
+    count_leading_zeros,
+    pack_words,
+    unpack_words,
+    zigzag_decode,
+    zigzag_encode,
+)
+from repro.stages import RARE, RAZE, RZE, BitTranspose, DiffMS, FCMStage, MPLG
+
+arbitrary_bytes = st.binary(min_size=0, max_size=4096)
+
+words32 = st.lists(
+    st.integers(min_value=0, max_value=(1 << 32) - 1), min_size=0, max_size=1000
+).map(lambda xs: np.array(xs, dtype=np.uint32))
+
+words64 = st.lists(
+    st.integers(min_value=0, max_value=(1 << 64) - 1), min_size=0, max_size=600
+).map(lambda xs: np.array(xs, dtype=np.uint64))
+
+floats32 = st.lists(
+    st.floats(width=32, allow_nan=True, allow_infinity=True),
+    min_size=0, max_size=800,
+).map(lambda xs: np.array(xs, dtype=np.float32))
+
+floats64 = st.lists(
+    st.floats(allow_nan=True, allow_infinity=True),
+    min_size=0, max_size=500,
+).map(lambda xs: np.array(xs, dtype=np.float64))
+
+
+class TestBitpackProperties:
+    @given(words32)
+    def test_zigzag32_bijective(self, words):
+        assert np.array_equal(zigzag_decode(zigzag_encode(words, 32), 32), words)
+
+    @given(words64)
+    def test_zigzag64_bijective(self, words):
+        assert np.array_equal(zigzag_decode(zigzag_encode(words, 64), 64), words)
+
+    @given(words64)
+    def test_clz_bounds(self, words):
+        clz = count_leading_zeros(words, 64)
+        assert np.all(clz <= 64)
+        nonzero = words != 0
+        if nonzero.any():
+            shifted = words[nonzero] >> (np.uint64(63) - clz[nonzero].astype(np.uint64))
+            assert np.all(shifted == 1)
+
+    @given(words32, st.integers(min_value=0, max_value=32))
+    def test_packing_roundtrip_when_values_fit(self, words, width):
+        mask = np.uint32((1 << width) - 1) if width else np.uint32(0)
+        fitted = words & mask
+        packed = pack_words(fitted, width, 32)
+        assert np.array_equal(unpack_words(packed, len(fitted), width, 32), fitted)
+
+    @given(words64)
+    def test_transpose_bijective(self, words):
+        stream = bit_transpose(words, 64)
+        assert np.array_equal(bit_untranspose(stream, len(words), 64), words)
+
+    @given(arbitrary_bytes, st.sampled_from([2, 4, 8]))
+    def test_byte_shuffle_bijective(self, data, word_bytes):
+        assert byte_unshuffle(byte_shuffle(data, word_bytes), word_bytes) == data
+
+
+class TestStageProperties:
+    @given(arbitrary_bytes)
+    @settings(max_examples=60)
+    def test_every_chunk_stage_roundtrips(self, data):
+        for stage in (DiffMS(32), DiffMS(64), MPLG(32), MPLG(64),
+                      BitTranspose(32), BitTranspose(64), RZE(),
+                      RAZE(32), RAZE(64), RARE(32), RARE(64)):
+            assert stage.decode(stage.encode(data)) == data, stage.name
+
+    @given(arbitrary_bytes)
+    @settings(max_examples=60)
+    def test_fcm_roundtrips(self, data):
+        stage = FCMStage()
+        assert stage.decode(stage.encode(data)) == data
+
+
+class TestCodecProperties:
+    @given(floats32, st.sampled_from(["spspeed", "spratio"]))
+    @settings(max_examples=60)
+    def test_sp_codecs_bit_exact(self, values, codec):
+        blob = repro.compress(values, codec)
+        assert repro.decompress(blob).tobytes() == values.tobytes()
+
+    @given(floats64, st.sampled_from(["dpspeed", "dpratio"]))
+    @settings(max_examples=60)
+    def test_dp_codecs_bit_exact(self, values, codec):
+        blob = repro.compress(values, codec)
+        assert repro.decompress(blob).tobytes() == values.tobytes()
+
+    @given(arbitrary_bytes, st.sampled_from(["spspeed", "spratio", "dpspeed", "dpratio"]))
+    @settings(max_examples=60)
+    def test_raw_bytes_roundtrip_any_codec(self, data, codec):
+        assert repro.decompress(repro.compress(data, codec)) == data
+
+    @given(arbitrary_bytes)
+    @settings(max_examples=40)
+    def test_expansion_bounded_by_header(self, data):
+        # The worst-case cap the chunk/raw fallbacks guarantee.
+        for codec in ("spspeed", "dpratio"):
+            blob = repro.compress(data, codec)
+            assert len(blob) <= len(data) + 64
+
+    @given(floats32)
+    @settings(max_examples=40)
+    def test_container_metadata_consistent(self, values):
+        blob = repro.compress(values)
+        info = repro.inspect(blob)
+        assert info.original_len == values.nbytes
+        assert info.total_len == len(blob)
+
+
+class TestBaselineProperties:
+    @given(arbitrary_bytes)
+    @settings(max_examples=40)
+    def test_entropy_coder_roundtrips(self, data):
+        from repro.baselines.rans import ANS
+
+        ans = ANS()
+        assert ans.decompress(ans.compress(data)) == data
+
+    @given(arbitrary_bytes)
+    @settings(max_examples=40)
+    def test_lz_roundtrips(self, data):
+        from repro.baselines.lz77 import lz4
+
+        comp = lz4()
+        assert comp.decompress(comp.compress(data)) == data
+
+    @given(floats64)
+    @settings(max_examples=30)
+    def test_fpc_roundtrips(self, values):
+        from repro.baselines.fpc import FPC
+
+        fpc = FPC()
+        data = values.tobytes()
+        assert fpc.decompress(fpc.compress(data)) == data
+
+    @given(floats64)
+    @settings(max_examples=30)
+    def test_gfc_roundtrips(self, values):
+        from repro.baselines.gfc import GFC
+
+        gfc = GFC()
+        data = values.tobytes()
+        assert gfc.decompress(gfc.compress(data)) == data

@@ -1,0 +1,40 @@
+"""Unit tests for the BIT (bit transposition) stage."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stages import BitTranspose
+
+
+@pytest.mark.parametrize("word_bits,dtype", [(32, np.uint32), (64, np.uint64)])
+class TestBitStage:
+    def test_roundtrip(self, word_bits, dtype, rng):
+        words = rng.integers(0, 1 << 32, size=4096, dtype=np.uint64).astype(dtype)
+        stage = BitTranspose(word_bits)
+        assert stage.decode(stage.encode(words.tobytes())) == words.tobytes()
+
+    def test_roundtrip_with_tail(self, word_bits, dtype, rng):
+        data = rng.integers(0, 256, size=16385, dtype=np.uint8).tobytes()
+        stage = BitTranspose(word_bits)
+        assert stage.decode(stage.encode(data)) == data
+
+    def test_empty(self, word_bits, dtype):
+        stage = BitTranspose(word_bits)
+        assert stage.decode(stage.encode(b"")) == b""
+
+    def test_leading_zeros_become_zero_bytes(self, word_bits, dtype):
+        # 4096 words all below 256: every bit plane above bit 7 is zero,
+        # so the transposed stream is mostly zero bytes (RZE's food).
+        words = np.arange(4096, dtype=dtype) % 256
+        stage = BitTranspose(word_bits)
+        encoded = stage.encode(words.tobytes())
+        body = np.frombuffer(encoded[5:], dtype=np.uint8)
+        zero_fraction = float((body == 0).mean())
+        assert zero_fraction > 0.7
+
+
+def test_rejects_odd_word_size():
+    with pytest.raises(ValueError):
+        BitTranspose(8)

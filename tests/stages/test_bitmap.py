@@ -1,0 +1,59 @@
+"""Unit tests for the recursive bitmap compressor shared by RZE/RAZE/RARE."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stages._bitmap import compress_bitmap, decompress_bitmap
+from repro.stages._frame import Reader
+
+
+def roundtrip(bits: np.ndarray, max_levels: int = 3) -> np.ndarray:
+    payload = compress_bitmap(bits, max_levels)
+    return decompress_bitmap(Reader(payload), len(bits)), payload
+
+
+class TestBitmapCompression:
+    @pytest.mark.parametrize("n", [0, 1, 7, 8, 63, 64, 1000, 16384])
+    def test_roundtrip_random(self, n, rng):
+        bits = rng.random(n) < 0.3
+        back, _ = roundtrip(bits)
+        assert np.array_equal(back, bits)
+
+    def test_all_zero_bitmap_is_tiny(self):
+        bits = np.zeros(16384, dtype=bool)
+        back, payload = roundtrip(bits)
+        assert np.array_equal(back, bits)
+        # 16384 bits -> 2048 -> 256 -> 32 bits: final level is 4 bytes.
+        assert len(payload) < 32
+
+    def test_all_one_bitmap_is_tiny(self):
+        bits = np.ones(16384, dtype=bool)
+        back, payload = roundtrip(bits)
+        assert np.array_equal(back, bits)
+        assert len(payload) < 32
+
+    def test_front_zero_back_one_pattern(self):
+        # The shape the paper says RZE bitmaps typically have.
+        bits = np.concatenate([np.zeros(12000, dtype=bool), np.ones(4384, dtype=bool)])
+        back, payload = roundtrip(bits)
+        assert np.array_equal(back, bits)
+        assert len(payload) < 40
+
+    def test_recursion_depth_matches_paper(self):
+        # 16384-bit bitmap: 3 levels reduce the stored bitmap to 32 bits.
+        bits = np.zeros(16384, dtype=bool)
+        payload = compress_bitmap(bits)
+        levels = payload[0]
+        assert levels == 3
+
+    def test_incompressible_bitmap_still_roundtrips(self, rng):
+        bits = rng.random(16384) < 0.5
+        back, _ = roundtrip(bits)
+        assert np.array_equal(back, bits)
+
+    def test_zero_levels(self, rng):
+        bits = rng.random(100) < 0.5
+        back, _ = roundtrip(bits, max_levels=0)
+        assert np.array_equal(back, bits)

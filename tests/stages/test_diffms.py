@@ -1,0 +1,58 @@
+"""Unit tests for the DIFFMS stage."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stages import DiffMS
+
+
+@pytest.mark.parametrize("word_bits,dtype", [(32, np.uint32), (64, np.uint64)])
+class TestDiffMS:
+    def test_roundtrip_random(self, word_bits, dtype, rng):
+        words = rng.integers(0, 1 << 32, size=4096, dtype=np.uint64).astype(dtype)
+        stage = DiffMS(word_bits)
+        assert stage.decode(stage.encode(words.tobytes())) == words.tobytes()
+
+    def test_roundtrip_with_tail(self, word_bits, dtype, rng):
+        data = rng.integers(0, 256, size=4097, dtype=np.uint8).tobytes()
+        stage = DiffMS(word_bits)
+        assert stage.decode(stage.encode(data)) == data
+
+    def test_length_preserving(self, word_bits, dtype, rng):
+        data = rng.integers(0, 256, size=1000, dtype=np.uint8).tobytes()
+        assert len(DiffMS(word_bits).encode(data)) == len(data)
+
+    def test_first_value_preserved_in_ms_form(self, word_bits, dtype):
+        # With 0 as the implicit predecessor, the first difference is the
+        # value itself; a small positive value v encodes as 2v.
+        words = np.array([5], dtype=dtype)
+        coded = np.frombuffer(DiffMS(word_bits).encode(words.tobytes()), dtype=dtype)
+        assert int(coded[0]) == 10
+
+    def test_constant_run_becomes_zeroes(self, word_bits, dtype):
+        words = np.full(100, 0x12345678, dtype=dtype)
+        coded = np.frombuffer(DiffMS(word_bits).encode(words.tobytes()), dtype=dtype)
+        assert np.all(coded[1:] == 0)
+
+    def test_smooth_sequence_gets_leading_zeros(self, word_bits, dtype):
+        # Consecutive values 1000, 1001, ... differ by 1 -> codes are tiny.
+        words = np.arange(1000, 1100, dtype=dtype)
+        coded = np.frombuffer(DiffMS(word_bits).encode(words.tobytes()), dtype=dtype)
+        assert np.all(coded[1:] == 2)  # +1 difference zigzags to 2
+
+    def test_wraparound_difference(self, word_bits, dtype):
+        top = dtype(np.iinfo(dtype).max)
+        words = np.array([top, 0, top], dtype=dtype)
+        stage = DiffMS(word_bits)
+        assert stage.decode(stage.encode(words.tobytes())) == words.tobytes()
+
+    def test_empty(self, word_bits, dtype):
+        stage = DiffMS(word_bits)
+        assert stage.decode(stage.encode(b"")) == b""
+
+
+def test_rejects_odd_word_size():
+    with pytest.raises(ValueError):
+        DiffMS(16)

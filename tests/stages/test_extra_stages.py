@@ -1,0 +1,81 @@
+"""Tests for the additional LC-catalogue stages (XORDELTA, SHUF)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stages import ByteShuffle, XorDelta
+
+
+@pytest.mark.parametrize("word_bits,dtype", [(32, np.uint32), (64, np.uint64)])
+class TestXorDelta:
+    def test_roundtrip_random(self, word_bits, dtype, rng):
+        words = rng.integers(0, 1 << 32, size=4096, dtype=np.uint64).astype(dtype)
+        stage = XorDelta(word_bits)
+        assert stage.decode(stage.encode(words.tobytes())) == words.tobytes()
+
+    def test_roundtrip_with_tail(self, word_bits, dtype, rng):
+        data = rng.integers(0, 256, size=4099, dtype=np.uint8).tobytes()
+        stage = XorDelta(word_bits)
+        assert stage.decode(stage.encode(data)) == data
+
+    def test_shared_prefixes_cancel(self, word_bits, dtype):
+        # Equal values XOR to zero — no sign-extension artefacts, unlike
+        # subtraction.
+        words = np.full(100, 0xDEADBEEF, dtype=dtype)
+        coded = np.frombuffer(XorDelta(word_bits).encode(words.tobytes()), dtype=dtype)
+        assert np.all(coded[1:] == 0)
+
+    def test_first_word_preserved(self, word_bits, dtype):
+        words = np.array([42, 42], dtype=dtype)
+        coded = np.frombuffer(XorDelta(word_bits).encode(words.tobytes()), dtype=dtype)
+        assert int(coded[0]) == 42
+
+    def test_length_preserving(self, word_bits, dtype, rng):
+        data = rng.integers(0, 256, size=1000, dtype=np.uint8).tobytes()
+        assert len(XorDelta(word_bits).encode(data)) == len(data)
+
+    def test_empty(self, word_bits, dtype):
+        stage = XorDelta(word_bits)
+        assert stage.decode(stage.encode(b"")) == b""
+
+
+class TestByteShuffle:
+    @pytest.mark.parametrize("word_bits", [16, 32, 64])
+    def test_roundtrip(self, word_bits, rng):
+        data = rng.integers(0, 256, size=4097, dtype=np.uint8).tobytes()
+        stage = ByteShuffle(word_bits)
+        assert stage.decode(stage.encode(data)) == data
+
+    def test_groups_exponent_bytes(self, smooth_f32):
+        # After shuffling, the first quarter of the output holds the most
+        # significant bytes, which are near-constant for smooth data.
+        data = smooth_f32.tobytes()[:16384]
+        shuffled = ByteShuffle(32).encode(data)
+        msb_plane = np.frombuffer(shuffled[3 * len(shuffled) // 4:], dtype=np.uint8)
+        assert len(np.unique(msb_plane)) < 20
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            ByteShuffle(24)
+
+
+class TestCatalogueIntegration:
+    def test_new_components_registered(self):
+        from repro.lc import component_names
+
+        names = component_names()
+        for expected in ("xordelta32", "xordelta64", "shuf32", "shuf64"):
+            assert expected in names
+
+    def test_xor_bit_rze_chain_competitive(self, smooth_f32):
+        # The ndzip-flavoured chain must be explorable and lossless.
+        from repro.core.pipeline import Pipeline
+        from repro.stages import RZE, BitTranspose
+
+        pipeline = Pipeline([XorDelta(32), BitTranspose(32), RZE()])
+        data = smooth_f32.tobytes()[:16384]
+        encoded = pipeline.encode(data)
+        assert pipeline.decode(encoded) == data
+        assert len(encoded) < len(data)

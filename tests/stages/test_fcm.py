@@ -1,0 +1,104 @@
+"""Unit tests for the FCM global stage."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import CorruptDataError
+from repro.stages import FCMStage
+
+
+def split_arrays(stage: FCMStage, data: bytes) -> tuple[np.ndarray, np.ndarray]:
+    """Decode an FCM payload's two scalar arrays for white-box assertions."""
+    values, distances, tail = FCMStage.split_payload(stage.encode(data))
+    assert tail == data[len(values) * 8 :]
+    return values, distances
+
+
+class TestFCM:
+    def test_roundtrip_random(self, rng):
+        words = rng.integers(0, 1 << 63, size=5000, dtype=np.uint64)
+        stage = FCMStage()
+        assert stage.decode(stage.encode(words.tobytes())) == words.tobytes()
+
+    def test_roundtrip_with_tail(self, rng):
+        data = rng.integers(0, 256, size=8005, dtype=np.uint8).tobytes()
+        stage = FCMStage()
+        assert stage.decode(stage.encode(data)) == data
+
+    def test_output_doubles_the_data(self, rng):
+        words = rng.integers(0, 1 << 63, size=1000, dtype=np.uint64)
+        encoded = FCMStage().encode(words.tobytes())
+        assert len(encoded) == 2 * len(words.tobytes()) + 9  # 9-byte trailer
+
+    def test_arrays_stay_word_aligned(self, rng):
+        # The downstream DIFFMS stage reads the payload as 64-bit words;
+        # a misaligned frame would silently wreck its effectiveness.
+        words = rng.integers(0, 1 << 63, size=64, dtype=np.uint64)
+        encoded = FCMStage().encode(words.tobytes())
+        values = np.frombuffer(encoded, dtype="<u8", count=64)
+        assert np.array_equal(values, FCMStage.split_payload(encoded)[0])
+
+    def test_repeating_pattern_matches(self, rng):
+        # A periodic signal repeats both values and contexts, so most
+        # positions after the first period must become matches.
+        period = rng.integers(0, 1 << 60, size=64, dtype=np.uint64)
+        words = np.tile(period, 50)
+        values, distances = split_arrays(FCMStage(), words.tobytes())
+        match_fraction = float((distances > 0).mean())
+        assert match_fraction > 0.9
+        assert np.all(values[distances > 0] == 0)
+
+    def test_matches_point_at_equal_values(self):
+        period = np.arange(16, dtype=np.uint64) + 100
+        words = np.tile(period, 20)
+        values, distances = split_arrays(FCMStage(), words.tobytes())
+        idx = np.nonzero(distances > 0)[0]
+        sources = idx - distances[idx].astype(np.int64)
+        assert np.all(sources >= 0)
+        assert np.array_equal(words[idx], words[sources])
+
+    def test_unique_values_yield_no_matches(self, rng):
+        words = np.arange(1000, dtype=np.uint64) * np.uint64(0x10000000001)
+        values, distances = split_arrays(FCMStage(), words.tobytes())
+        assert np.all(distances == 0)
+        assert np.array_equal(values, words)
+
+    def test_constant_input_chains_decode(self):
+        # All-equal values create long match chains; pointer doubling must
+        # resolve them without quadratic blowup.
+        words = np.full(20000, 0x3FF0000000000000, dtype=np.uint64)
+        stage = FCMStage()
+        assert stage.decode(stage.encode(words.tobytes())) == words.tobytes()
+
+    def test_zero_values_are_unambiguous(self):
+        # A literal 0.0 double stores 0 in the value array with distance 0;
+        # the decoder must reproduce it.
+        words = np.array([0, 0, 5, 0, 5], dtype=np.uint64)
+        stage = FCMStage()
+        assert stage.decode(stage.encode(words.tobytes())) == words.tobytes()
+
+    def test_empty(self):
+        stage = FCMStage()
+        assert stage.decode(stage.encode(b"")) == b""
+
+    def test_corrupt_forward_distance_rejected(self):
+        stage = FCMStage()
+        words = np.arange(10, dtype=np.uint64)
+        encoded = bytearray(stage.encode(words.tobytes()))
+        # Distance array starts right after the 80-byte value array;
+        # point element 0 forward (beyond its own index).
+        encoded[80] = 200
+        with pytest.raises(CorruptDataError):
+            stage.decode(bytes(encoded))
+
+    def test_truncated_payload_rejected(self):
+        stage = FCMStage()
+        encoded = stage.encode(np.arange(10, dtype=np.uint64).tobytes())
+        with pytest.raises(CorruptDataError):
+            stage.decode(encoded[:-1])
+
+    def test_match_window_validation(self):
+        with pytest.raises(ValueError):
+            FCMStage(match_window=0)

@@ -1,0 +1,57 @@
+"""Unit tests for the RARE stage."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stages import RARE
+
+
+@pytest.mark.parametrize("word_bits,dtype", [(32, np.uint32), (64, np.uint64)])
+class TestRARE:
+    def test_roundtrip_random(self, word_bits, dtype, rng):
+        words = rng.integers(0, 1 << 63, size=2048, dtype=np.uint64).astype(dtype)
+        stage = RARE(word_bits)
+        assert stage.decode(stage.encode(words.tobytes())) == words.tobytes()
+
+    def test_roundtrip_with_tail(self, word_bits, dtype, rng):
+        data = rng.integers(0, 256, size=16389, dtype=np.uint8).tobytes()
+        stage = RARE(word_bits)
+        assert stage.decode(stage.encode(data)) == data
+
+    def test_repeated_top_bits_compress(self, word_bits, dtype, rng):
+        # Identical high halves, random low halves: RARE's target shape
+        # ("values with identical bit patterns in the most-significant
+        # bits", paper §3.2).
+        half = word_bits // 2
+        high = dtype(0x5A5A) << dtype(half)
+        words = (rng.integers(0, 1 << half, size=2048, dtype=np.uint64).astype(dtype)) | high
+        stage = RARE(word_bits)
+        encoded = stage.encode(words.tobytes())
+        assert stage.decode(encoded) == words.tobytes()
+        assert len(encoded) < len(words.tobytes()) * 0.65
+
+    def test_alternating_tops_still_roundtrip(self, word_bits, dtype):
+        a = dtype(0xAA) << dtype(word_bits - 8)
+        words = np.zeros(1024, dtype=dtype)
+        words[::2] = a
+        stage = RARE(word_bits)
+        assert stage.decode(stage.encode(words.tobytes())) == words.tobytes()
+
+    def test_constant_words_collapse(self, word_bits, dtype):
+        words = np.full(2048, 0xDEADBEEF, dtype=dtype)
+        stage = RARE(word_bits)
+        encoded = stage.encode(words.tobytes())
+        assert stage.decode(encoded) == words.tobytes()
+        assert len(encoded) < len(words.tobytes()) / 8
+
+    def test_zero_leading_value_chain(self, word_bits, dtype):
+        # First value inherits top bits from the implicit 0 predecessor.
+        words = np.zeros(100, dtype=dtype)
+        stage = RARE(word_bits)
+        assert stage.decode(stage.encode(words.tobytes())) == words.tobytes()
+
+    def test_empty(self, word_bits, dtype):
+        stage = RARE(word_bits)
+        assert stage.decode(stage.encode(b"")) == b""

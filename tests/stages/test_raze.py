@@ -1,0 +1,80 @@
+"""Unit tests for the RAZE stage."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stages import RAZE
+from repro.stages._adaptive import choose_k, eliminated_counts
+
+
+@pytest.mark.parametrize("word_bits,dtype", [(32, np.uint32), (64, np.uint64)])
+class TestRAZE:
+    def test_roundtrip_random(self, word_bits, dtype, rng):
+        words = rng.integers(0, 1 << 63, size=2048, dtype=np.uint64).astype(dtype)
+        stage = RAZE(word_bits)
+        assert stage.decode(stage.encode(words.tobytes())) == words.tobytes()
+
+    def test_roundtrip_with_tail(self, word_bits, dtype, rng):
+        data = rng.integers(0, 256, size=16389, dtype=np.uint8).tobytes()
+        stage = RAZE(word_bits)
+        assert stage.decode(stage.encode(data)) == data
+
+    def test_random_mantissa_smooth_top(self, word_bits, dtype, rng):
+        # The DP profile: top bits near zero, bottom bits random.  RAZE
+        # must strip the top without touching the incompressible bottom.
+        bottom_bits = word_bits // 2
+        words = rng.integers(0, 1 << bottom_bits, size=2048, dtype=np.uint64).astype(dtype)
+        stage = RAZE(word_bits)
+        encoded = stage.encode(words.tobytes())
+        assert stage.decode(encoded) == words.tobytes()
+        assert len(encoded) < len(words.tobytes()) * 0.65
+
+    def test_all_zero(self, word_bits, dtype):
+        words = np.zeros(2048, dtype=dtype)
+        stage = RAZE(word_bits)
+        encoded = stage.encode(words.tobytes())
+        assert stage.decode(encoded) == words.tobytes()
+        assert len(encoded) < 64
+
+    def test_incompressible_disables_split(self, word_bits, dtype, rng):
+        words = rng.integers(0, 1 << 63, size=512, dtype=np.uint64).astype(dtype)
+        words |= dtype(1) << dtype(word_bits - 1)
+        stage = RAZE(word_bits)
+        encoded = stage.encode(words.tobytes())
+        assert stage.decode(encoded) == words.tobytes()
+        # k == 0 path: overhead is just the frame.
+        assert len(encoded) <= len(words.tobytes()) + 16
+
+    def test_empty(self, word_bits, dtype):
+        stage = RAZE(word_bits)
+        assert stage.decode(stage.encode(b"")) == b""
+
+
+class TestAdaptiveK:
+    def test_eliminated_counts_suffix_sum(self):
+        leading = np.array([0, 3, 3, 64], dtype=np.uint8)
+        counts = eliminated_counts(leading, 64)
+        assert counts[0] == 4       # every value qualifies for k=0
+        assert counts[1] == 3       # all but the lz=0 value
+        assert counts[3] == 3
+        assert counts[4] == 1       # only the all-zero value
+        assert counts[64] == 1
+
+    def test_choose_k_prefers_common_prefix_width(self):
+        # 2048 values with exactly 40 leading zeros: k=40 removes 40 bits
+        # from every value at the cost of one bitmap bit each.
+        words = np.full(2048, (1 << 23) | 5, dtype=np.uint64)
+        from repro.bitpack import count_leading_zeros
+
+        leading = count_leading_zeros(words, 64)
+        k = choose_k(leading, len(words), 64)
+        assert k == 40
+
+    def test_choose_k_zero_for_full_entropy(self, rng):
+        leading = np.zeros(1000, dtype=np.uint8)  # no value has leading zeros
+        assert choose_k(leading, 1000, 64) == 0
+
+    def test_choose_k_empty(self):
+        assert choose_k(np.zeros(0, dtype=np.uint8), 0, 64) == 0

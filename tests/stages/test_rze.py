@@ -1,0 +1,59 @@
+"""Unit tests for the RZE stage."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import CorruptDataError
+from repro.stages import RZE
+
+
+class TestRZE:
+    def test_roundtrip_random(self, rng):
+        data = rng.integers(0, 256, size=16384, dtype=np.uint8).tobytes()
+        stage = RZE()
+        assert stage.decode(stage.encode(data)) == data
+
+    def test_roundtrip_sparse(self, rng):
+        buf = np.zeros(16384, dtype=np.uint8)
+        idx = rng.choice(16384, size=500, replace=False)
+        buf[idx] = rng.integers(1, 256, size=500)
+        stage = RZE()
+        encoded = stage.encode(buf.tobytes())
+        assert stage.decode(encoded) == buf.tobytes()
+        # ~500 nonzero bytes + compressed bitmap must beat 16384 by far.
+        assert len(encoded) < 4000
+
+    def test_all_zero_input(self):
+        data = bytes(16384)
+        stage = RZE()
+        encoded = stage.encode(data)
+        assert len(encoded) < 40
+        assert stage.decode(encoded) == data
+
+    def test_empty(self):
+        stage = RZE()
+        assert stage.decode(stage.encode(b"")) == b""
+
+    def test_single_byte(self):
+        stage = RZE()
+        for b in (b"\x00", b"\xff"):
+            assert stage.decode(stage.encode(b)) == b
+
+    def test_population_mismatch_detected(self, rng):
+        stage = RZE()
+        data = rng.integers(0, 256, size=256, dtype=np.uint8).tobytes()
+        encoded = bytearray(stage.encode(data))
+        # Corrupt the nonzero count field (offset 4..8).
+        encoded[4] ^= 0xFF
+        with pytest.raises(CorruptDataError):
+            stage.decode(bytes(encoded))
+
+    def test_typical_post_bit_stage_shape(self):
+        # Long zero run then noise: exactly what BIT hands to RZE.
+        data = bytes(12000) + bytes(range(256)) * 17
+        stage = RZE()
+        encoded = stage.encode(data)
+        assert stage.decode(encoded) == data
+        assert len(encoded) < len(data) / 2

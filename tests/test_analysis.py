@@ -1,0 +1,137 @@
+"""Tests for the compressibility diagnostics and the explain tool."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analysis import (
+    byte_plane_entropy,
+    explain,
+    leading_zero_profile,
+    recommend,
+    repeat_profile,
+    smoothness,
+)
+from repro.errors import UnsupportedDtypeError
+
+
+class TestSmoothness:
+    def test_smooth_data_detected(self, smooth_f32):
+        assert smoothness(smooth_f32).is_smooth
+
+    def test_random_data_not_smooth(self, rng):
+        noisy = rng.random(10_000).astype(np.float32) * 1e20
+        assert not smoothness(noisy).is_smooth
+
+    def test_constant_data(self):
+        constant = np.full(1000, 2.5, dtype=np.float64)
+        profile = smoothness(constant)
+        assert profile.zero_diff_fraction > 0.99
+
+    def test_empty(self):
+        assert smoothness(np.zeros(0, dtype=np.float32)).mean_diff_bits == 0.0
+
+    def test_rejects_ints(self):
+        with pytest.raises(UnsupportedDtypeError):
+            smoothness(np.arange(10))
+
+
+class TestLeadingZeroProfile:
+    def test_histogram_covers_all_values(self, smooth_f64):
+        hist = leading_zero_profile(smooth_f64)
+        assert hist.sum() == smooth_f64.size
+        assert len(hist) == 65
+
+    def test_diff_shifts_mass_toward_high_counts(self, smooth_f32):
+        raw = leading_zero_profile(smooth_f32, after_diff=False)
+        diffed = leading_zero_profile(smooth_f32, after_diff=True)
+        wb = 32
+        mean_raw = (raw * np.arange(wb + 1)).sum() / raw.sum()
+        mean_diffed = (diffed * np.arange(wb + 1)).sum() / diffed.sum()
+        assert mean_diffed > mean_raw
+
+
+class TestBytePlaneEntropy:
+    def test_gradient_msb_to_lsb(self, smooth_f64):
+        entropy = byte_plane_entropy(smooth_f64)
+        assert len(entropy) == 8
+        # Exponent byte is near-constant, low mantissa near-random.
+        assert entropy[0] < 2.0
+        assert entropy[-1] > 6.0
+
+    def test_bounds(self, rng):
+        noisy = rng.random(5000).astype(np.float32)
+        entropy = byte_plane_entropy(noisy)
+        assert np.all(entropy >= 0) and np.all(entropy <= 8.0)
+
+
+class TestRepeatProfile:
+    def test_far_repeats_detected(self, rng):
+        period = rng.normal(size=8000).astype(np.float64)
+        data = np.tile(period, 3)
+        profile = repeat_profile(data)
+        assert profile.favors_fcm
+        assert profile.far_repeat_fraction > 0.3
+
+    def test_unique_data(self, rng):
+        data = np.arange(10_000, dtype=np.float64)
+        profile = repeat_profile(data)
+        assert profile.unique_fraction == 1.0
+        assert profile.repeat_fraction == 0.0
+
+    def test_near_repeats_not_counted_as_far(self):
+        data = np.repeat(np.arange(100, dtype=np.float64), 10)
+        profile = repeat_profile(data)
+        assert profile.near_repeat_fraction > 0.8
+        assert profile.far_repeat_fraction < 0.05
+
+
+class TestExplain:
+    def test_waterfall_matches_pipeline(self, smooth_f32):
+        breakdown = explain(smooth_f32, "spratio")
+        assert [name for name, _ in breakdown.waterfall] == ["diffms", "bit", "rze"]
+        assert breakdown.ratio > 1.0
+
+    def test_fcm_doubles_then_wins_back(self, rng):
+        period = rng.normal(size=6000).astype(np.float64)
+        data = np.tile(period, 4)
+        breakdown = explain(data, "dpratio")
+        names = [name for name, _ in breakdown.waterfall]
+        assert names[0] == "fcm"
+        fcm_size = breakdown.waterfall[0][1]
+        assert fcm_size > 1.9 * breakdown.original  # FCM doubles the data
+        assert breakdown.compressed < breakdown.original  # and wins it back
+
+    def test_render_is_readable(self, smooth_f32):
+        text = explain(smooth_f32, "spspeed").render()
+        assert "diffms" in text and "ratio" in text
+
+    def test_sizes_track_real_compression(self, smooth_f64):
+        breakdown = explain(smooth_f64, "dpspeed")
+        blob = repro.compress(smooth_f64, "dpspeed")
+        # Array input additionally stores the shape block (1 + 8*ndim B).
+        assert abs(len(blob) - breakdown.compressed) <= 1 + 8 * smooth_f64.ndim
+
+
+class TestRecommend:
+    def test_smooth_sp_gets_ratio_codec(self, smooth_f32):
+        codec, reason = recommend(smooth_f32)
+        assert codec == "spratio"
+        assert reason
+
+    def test_far_repeats_get_dpratio(self, rng):
+        period = rng.normal(size=8000).astype(np.float64)
+        codec, reason = recommend(np.tile(period, 3))
+        assert codec == "dpratio"
+        assert "FCM" in reason
+
+    def test_noise_gets_speed_codec(self, rng):
+        noisy = (rng.random(20_000).astype(np.float32) * 2 - 1) * 1e30
+        codec, _ = recommend(noisy)
+        assert codec == "spspeed"
+
+    def test_rejects_unsupported(self):
+        with pytest.raises(UnsupportedDtypeError):
+            recommend(np.arange(5))

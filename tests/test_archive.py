@@ -1,0 +1,92 @@
+"""Tests for the multi-member archive format."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.archive import Archive, write_archive
+from repro.errors import FormatError
+
+
+@pytest.fixture
+def members(rng):
+    return {
+        "temperature": np.cumsum(rng.normal(size=(32, 64)), axis=1).astype(np.float32),
+        "pressure": np.cumsum(rng.normal(size=5000)).astype(np.float64),
+        "mask": rng.integers(0, 2, size=3000).astype(np.float32),
+    }
+
+
+class TestArchiveRoundtrip:
+    def test_members_roundtrip(self, members):
+        archive = Archive.from_bytes(write_archive(members))
+        assert archive.members() == list(members)
+        for name, original in members.items():
+            restored = archive.read(name)
+            assert restored.dtype == original.dtype
+            assert np.array_equal(restored, original)
+
+    def test_shapes_preserved(self, members):
+        archive = Archive.from_bytes(write_archive(members))
+        assert archive.read("temperature").shape == (32, 64)
+
+    def test_random_access_info(self, members):
+        archive = Archive.from_bytes(write_archive(members))
+        info = archive.info("pressure")
+        assert info.original_len == members["pressure"].nbytes
+
+    def test_total_ratio(self, members):
+        archive = Archive.from_bytes(write_archive(members))
+        assert archive.total_ratio() > 1.0
+
+    def test_contains_and_len(self, members):
+        archive = Archive.from_bytes(write_archive(members))
+        assert "mask" in archive and "nonexistent" not in archive
+        assert len(archive) == 3
+
+    def test_checksummed_archive(self, members):
+        blob = write_archive(members, checksum=True)
+        archive = Archive.from_bytes(blob)
+        assert archive.info("mask").checksum is not None
+        assert np.array_equal(archive.read("mask"), members["mask"])
+
+    def test_explicit_codec(self, rng):
+        data = {"x": rng.normal(size=1000).astype(np.float64)}
+        blob = write_archive(data, codec="dpspeed")
+        archive = Archive.from_bytes(blob)
+        assert np.array_equal(archive.read("x"), data["x"])
+
+    def test_empty_archive(self):
+        archive = Archive.from_bytes(write_archive({}))
+        assert len(archive) == 0 and archive.members() == []
+
+
+class TestArchiveValidation:
+    def test_missing_member(self, members):
+        archive = Archive.from_bytes(write_archive(members))
+        with pytest.raises(KeyError):
+            archive.read("missing")
+
+    def test_bad_magic(self):
+        with pytest.raises(FormatError):
+            Archive.from_bytes(b"NOPE" + bytes(16))
+
+    def test_truncated_index(self, members):
+        blob = write_archive(members)
+        with pytest.raises(FormatError):
+            Archive.from_bytes(blob[:12])
+
+    def test_payload_length_mismatch(self, members):
+        blob = write_archive(members)
+        with pytest.raises(FormatError):
+            Archive.from_bytes(blob + b"trailing")
+
+    def test_empty_member_name_rejected(self, rng):
+        with pytest.raises(ValueError):
+            write_archive({"": rng.normal(size=10).astype(np.float32)})
+
+    def test_unicode_member_names(self, rng):
+        data = {"θ_température": rng.normal(size=100).astype(np.float32)}
+        archive = Archive.from_bytes(write_archive(data))
+        assert np.array_equal(archive.read("θ_température"), data["θ_température"])

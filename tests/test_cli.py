@@ -1,0 +1,89 @@
+"""Tests for the fprz command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.cli import main
+
+
+@pytest.fixture
+def float_file(tmp_path, rng):
+    data = np.cumsum(rng.normal(scale=0.01, size=20_000)).astype(np.float32)
+    path = tmp_path / "input.f32"
+    path.write_bytes(data.tobytes())
+    return path, data
+
+
+class TestCompressDecompress:
+    def test_roundtrip_via_cli(self, float_file, tmp_path, capsys):
+        src, data = float_file
+        blob_path = tmp_path / "out.fprz"
+        restored_path = tmp_path / "restored.f32"
+        assert main(["compress", str(src), str(blob_path), "--dtype", "float32"]) == 0
+        assert main(["decompress", str(blob_path), str(restored_path)]) == 0
+        assert restored_path.read_bytes() == data.tobytes()
+        out = capsys.readouterr().out
+        assert "ratio" in out
+
+    def test_explicit_codec(self, float_file, tmp_path):
+        src, data = float_file
+        blob_path = tmp_path / "out.fprz"
+        assert main(["compress", str(src), str(blob_path),
+                     "--codec", "spspeed", "--dtype", "float32"]) == 0
+        info = repro.inspect(blob_path.read_bytes())
+        assert info.codec_id == repro.get_codec("spspeed").codec_id
+
+    def test_bytes_mode_requires_codec(self, float_file, tmp_path, capsys):
+        src, _ = float_file
+        rc = main(["compress", str(src), str(tmp_path / "x"), "--dtype", "bytes"])
+        assert rc == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_float64_roundtrip(self, tmp_path, rng):
+        data = np.cumsum(rng.normal(size=5_000)).astype(np.float64)
+        src = tmp_path / "input.d64"
+        src.write_bytes(data.tobytes())
+        blob = tmp_path / "out.fprz"
+        restored = tmp_path / "restored.d64"
+        assert main(["compress", str(src), str(blob), "--dtype", "float64"]) == 0
+        assert main(["decompress", str(blob), str(restored)]) == 0
+        assert restored.read_bytes() == data.tobytes()
+
+
+class TestInspect:
+    def test_inspect_prints_metadata(self, float_file, tmp_path, capsys):
+        src, _ = float_file
+        blob_path = tmp_path / "out.fprz"
+        main(["compress", str(src), str(blob_path), "--dtype", "float32"])
+        capsys.readouterr()
+        assert main(["inspect", str(blob_path)]) == 0
+        out = capsys.readouterr().out
+        assert "codec:" in out and "ratio:" in out and "chunks:" in out
+
+    def test_inspect_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.fprz"
+        bad.write_bytes(b"this is not a container")
+        assert main(["inspect", str(bad)]) == 1
+
+
+class TestTable1:
+    def test_prints_18_rows(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") >= 19
+        for name in ("FPC", "Ndzip", "Bzip2", "GFC"):
+            assert name in out
+
+
+class TestBench:
+    def test_unknown_figure_rejected(self, capsys):
+        assert main(["bench", "--figure", "fig99"]) == 1
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_single_figure_runs(self, capsys):
+        assert main(["bench", "--figure", "fig08", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "SPratio" in out and "front" in out

@@ -1,0 +1,119 @@
+"""Cross-module integration tests: corpus × codecs × claims.
+
+These check the *system-level* behaviours the paper's narrative depends
+on, at small corpus scale (the full-shape checks live in benchmarks/).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analysis import recommend, repeat_profile
+from repro.datasets import dp_suite, sp_suite
+from repro.metrics import geomean
+
+
+def domain(suite, name):
+    return next(d for d in suite() if d.name == name)
+
+
+class TestCodecOnCorpus:
+    def test_ratio_mode_wins_on_every_sp_domain(self):
+        for dom in sp_suite():
+            speeds, ratios = [], []
+            for file in dom.files[:3]:
+                data = file.load(0.3)
+                speeds.append(data.nbytes / len(repro.compress(data, "spspeed")))
+                ratios.append(data.nbytes / len(repro.compress(data, "spratio")))
+            assert geomean(ratios) > geomean(speeds) * 0.98, dom.name
+
+    def test_msg_domain_is_fcm_territory(self):
+        # The analysis module's recommendation agrees with the harness.
+        file = domain(dp_suite, "msg").files[0]
+        data = file.load(1.0)
+        assert repeat_profile(data).favors_fcm
+        codec, _ = recommend(data)
+        assert codec == "dpratio"
+        speed = data.nbytes / len(repro.compress(data, "dpspeed"))
+        ratio = data.nbytes / len(repro.compress(data, "dpratio"))
+        assert ratio > 1.3 * speed
+
+    def test_fill_sentinels_compress_away(self):
+        # Climate fill regions (constant 1e35 runs) must be nearly free
+        # under SPratio's zero-elimination machinery.
+        icefrac = next(f for f in domain(sp_suite, "CESM-ATM").files
+                       if "ICEFRAC" in f.name)
+        data = icefrac.load(0.5)
+        filled = float((data == np.float32(1e35)).mean())
+        assert filled > 0.3
+        ratio = data.nbytes / len(repro.compress(data, "spratio"))
+        # Even this rough field compresses usefully thanks to the mask runs.
+        assert ratio > 1.2
+
+    def test_every_dp_file_roundtrips_all_codecs(self):
+        for dom in dp_suite():
+            for file in dom.files:
+                data = file.load(0.1)
+                for codec in ("dpspeed", "dpratio"):
+                    back = repro.decompress(repro.compress(data, codec))
+                    assert np.array_equal(back, data), (file.name, codec)
+
+
+class TestCrossDeviceStory:
+    """The paper's §1 interoperability claim at the format level."""
+
+    def test_one_container_many_configurations(self, smooth_f32):
+        # Whatever execution strategy produced the container (serial,
+        # threaded, any worker count), any consumer configuration decodes
+        # it: the format carries no execution details.
+        blobs = {
+            repro.compress(smooth_f32, workers=w, chunk_size=cs)
+            for w in (1, 4) for cs in (16384,)
+        }
+        assert len(blobs) == 1  # deterministic across configurations
+        blob = blobs.pop()
+        for workers in (1, 2, 8):
+            assert np.array_equal(repro.decompress(blob, workers=workers), smooth_f32)
+
+    def test_archive_of_mixed_codecs(self, rng):
+        from repro.archive import Archive, write_archive
+
+        sp = rng.normal(size=2000).astype(np.float32)
+        dp = rng.normal(size=1000).astype(np.float64)
+        blob = write_archive({"sp": sp, "dp": dp})
+        archive = Archive.from_bytes(blob)
+        # Codec choice is per member, by dtype.
+        assert archive.info("sp").codec_id == repro.get_codec("spratio").codec_id
+        assert archive.info("dp").codec_id == repro.get_codec("dpratio").codec_id
+
+
+class TestStatisticalHonesty:
+    """Guards against accidentally cooking the corpus."""
+
+    def test_sp_corpus_not_trivially_compressible(self):
+        # Geo-mean SPratio ratio must stay in a scientific-data regime,
+        # not a synthetic-toy one.
+        ratios = []
+        for dom in sp_suite():
+            file_ratios = []
+            for file in dom.files[:2]:
+                data = file.load(0.3)
+                file_ratios.append(data.nbytes / len(repro.compress(data, "spratio")))
+            ratios.append(geomean(file_ratios))
+        overall = geomean(ratios)
+        assert 1.2 < overall < 3.0
+
+    def test_corpus_defeats_plain_gzip(self):
+        # gzip should do clearly worse than the FP-aware codecs overall
+        # (fig 12): if it doesn't, the corpus leaks byte-level structure.
+        import zlib
+
+        sp_files = [d.files[0] for d in sp_suite()]
+        gzip_ratios, ours = [], []
+        for file in sp_files:
+            data = file.load(0.3)
+            gzip_ratios.append(data.nbytes / len(zlib.compress(data.tobytes(), 6)))
+            ours.append(data.nbytes / len(repro.compress(data, "spratio")))
+        assert geomean(ours) > geomean(gzip_ratios)

@@ -1,0 +1,96 @@
+"""Tests for the streaming frame format."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.io import StreamReader, StreamWriter
+
+
+def frames(rng, count=5, size=3000):
+    return [np.cumsum(rng.normal(size=size)).astype(np.float32) for _ in range(count)]
+
+
+class TestStreamRoundtrip:
+    def test_frames_roundtrip_in_order(self, rng):
+        originals = frames(rng)
+        sink = io.BytesIO()
+        with StreamWriter(sink, codec="spspeed") as writer:
+            for frame in originals:
+                writer.write(frame)
+        sink.seek(0)
+        restored = list(StreamReader(sink))
+        assert len(restored) == len(originals)
+        for got, want in zip(restored, originals):
+            assert np.array_equal(got, want)
+
+    def test_mixed_dtypes_and_shapes(self, rng):
+        originals = [
+            rng.normal(size=(8, 16)).astype(np.float32),
+            rng.normal(size=100).astype(np.float64),
+        ]
+        sink = io.BytesIO()
+        with StreamWriter(sink) as writer:
+            for frame in originals:
+                writer.write(frame)
+        sink.seek(0)
+        restored = list(StreamReader(sink))
+        assert restored[0].shape == (8, 16)
+        assert restored[1].dtype == np.float64
+
+    def test_writer_statistics(self, rng):
+        sink = io.BytesIO()
+        with StreamWriter(sink, codec="spratio") as writer:
+            for frame in frames(rng, count=3):
+                writer.write(frame)
+            assert writer.frames_written == 3
+            assert writer.ratio > 1.0
+
+    def test_empty_stream(self):
+        sink = io.BytesIO()
+        StreamWriter(sink).close()
+        sink.seek(0)
+        assert list(StreamReader(sink)) == []
+
+    def test_crashed_writer_stream_still_readable(self, rng):
+        # No terminator (writer "crashed"): reader stops at EOF.
+        originals = frames(rng, count=2)
+        sink = io.BytesIO()
+        writer = StreamWriter(sink, codec="spspeed")
+        for frame in originals:
+            writer.write(frame)
+        # no close()
+        sink.seek(0)
+        restored = list(StreamReader(sink))
+        assert len(restored) == 2
+
+    def test_write_after_close_rejected(self, rng):
+        sink = io.BytesIO()
+        writer = StreamWriter(sink)
+        writer.close()
+        with pytest.raises(ValueError):
+            writer.write(frames(rng, count=1)[0])
+
+
+class TestStreamValidation:
+    def test_bad_magic(self):
+        with pytest.raises(FormatError):
+            StreamReader(io.BytesIO(b"JUNKJUNK"))
+
+    def test_truncated_frame(self, rng):
+        sink = io.BytesIO()
+        writer = StreamWriter(sink, codec="spspeed")
+        writer.write(frames(rng, count=1)[0])
+        data = sink.getvalue()[:-20]  # cut into the frame body
+        reader = StreamReader(io.BytesIO(data))
+        with pytest.raises(FormatError):
+            list(reader)
+
+    def test_bad_version(self):
+        blob = b"FPRS" + bytes([99, 0, 0, 0])
+        with pytest.raises(FormatError):
+            StreamReader(io.BytesIO(blob))

@@ -1,0 +1,41 @@
+"""Tests for the corpus verification sweep."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.verify import VerificationReport, verify_corpus
+
+
+class TestVerifyCorpus:
+    def test_our_codecs_all_lossless(self):
+        report = verify_corpus(scale=0.02)
+        assert report.ok, report.failures
+        assert report.files_checked == 110  # 90 SP + 20 DP
+        assert set(report.ratios) == {"SPspeed", "SPratio", "DPspeed", "DPratio"}
+
+    def test_sp_only_sweep(self):
+        report = verify_corpus(scale=0.02, dtypes=(np.float32,))
+        assert report.ok
+        assert report.files_checked == 90
+        assert set(report.ratios) == {"SPspeed", "SPratio"}
+
+    def test_ratio_mode_beats_speed_mode(self):
+        # Needs a scale where files exceed FCM's far-match distance
+        # (~4300 values); tiny corpora have no far repeats to find.
+        report = verify_corpus(scale=0.5, dtypes=(np.float64,))
+        assert report.ratios["DPratio"] > report.ratios["DPspeed"]
+
+    def test_render(self):
+        report = verify_corpus(scale=0.02, dtypes=(np.float32,))
+        text = report.render()
+        assert "ALL LOSSLESS" in text and "SPratio" in text
+
+
+class TestReportModel:
+    def test_failures_flip_ok(self):
+        report = VerificationReport()
+        assert report.ok
+        report.failures.append("X corrupted Y")
+        assert not report.ok
+        assert "FAIL" in report.render()
