@@ -48,6 +48,34 @@ class TestCodecWallclock:
         )
 
 
+class TestExecutorParity:
+    """Per-executor measured rows on a multi-chunk sample.
+
+    With one interpreter lock the threaded worklist cannot beat serial
+    by much, but the zero-copy path must not make it meaningfully
+    *slower* either: the margin below (0.6x) holds comfortably when
+    scheduling overhead is per-chunk-amortised and fails if a per-byte
+    copy sneaks back into the hot path.
+    """
+
+    def test_threaded_not_slower_than_serial(self):
+        from repro.harness import format_measured, measure_executors
+
+        data = _sample(np.float32).tobytes()
+        assert len(data) > 16384  # multi-chunk, or the parity is vacuous
+        rows = measure_executors(data, "spspeed", workers=4, runs=5)
+        print()
+        print(format_measured(rows))
+        by_policy = {row.policy: row for row in rows}
+        serial = by_policy["serial"]
+        threaded = by_policy["threaded"]
+        assert threaded.throughput >= 0.6 * serial.throughput
+        assert threaded.decompress_throughput >= 0.6 * serial.decompress_throughput
+        # identical ratio is implied by byte-identity (measure_executors
+        # asserts the blobs match); record it anyway for the run log
+        assert threaded.ratio == serial.ratio
+
+
 @pytest.mark.parametrize("name", ["FPC", "GFC", "ANS", "Ndzip", "FPzip"])
 def test_baseline_wallclock(benchmark, name):
     from repro.baselines import competitors_for

@@ -6,9 +6,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.chunking import CHUNK_SIZE, iter_chunks
 from repro.core.codecs import Codec, get_codec
+from repro.core.compressor import compress_bytes
+from repro.core.trace import TraceCollector
 from repro.errors import UnsupportedDtypeError
+from repro.metrics.timing import stage_totals
 
 
 @dataclass(frozen=True)
@@ -21,6 +23,9 @@ class StageBreakdown:
     #: stage (FCM) appears first when the codec has one.
     waterfall: tuple[tuple[str, int], ...]
     compressed: int
+    #: chunk counts from the traced engine run behind the waterfall.
+    chunks: int = 0
+    raw_chunks: int = 0
 
     @property
     def ratio(self) -> float:
@@ -33,46 +38,52 @@ class StageBreakdown:
             lines.append(f"  after {name:<8} {size:>10} B  ({pct:6.1f}%)")
         lines.append(f"  container   {self.compressed:>10} B  "
                      f"(ratio {self.ratio:.3f})")
+        if self.chunks:
+            lines.append(f"  chunks      {self.chunks:>10}   "
+                         f"({self.raw_chunks} stored raw)")
         return "\n".join(lines)
 
 
 def explain(data: np.ndarray | bytes, codec: str) -> StageBreakdown:
-    """Run ``codec``'s pipeline stage by stage and record the sizes.
+    """Compress once with per-chunk tracing and report the size waterfall.
 
     The waterfall shows where a codec earns (or wastes) its bytes: e.g.
     DPratio's FCM stage *doubles* the data before the later stages win it
-    back — exactly the behaviour paper §3.2 describes.
+    back — exactly the behaviour paper §3.2 describes.  The numbers come
+    from one real traced engine run (not a re-simulation): the global
+    stage's output size, then each chunked stage's output summed over the
+    per-chunk :class:`~repro.core.trace.ChunkTrace` records.
     """
     chosen: Codec = get_codec(codec)
     if isinstance(data, np.ndarray):
         raw = np.ascontiguousarray(data).tobytes()
     else:
         raw = bytes(data)
+    collector = TraceCollector()
+    blob = compress_bytes(raw, chosen, trace=collector)
     waterfall: list[tuple[str, int]] = []
-    intermediate = raw
-    global_stage = chosen.make_global_stage()
-    if global_stage is not None:
-        intermediate = global_stage.encode(raw)
-        waterfall.append((global_stage.name, len(intermediate)))
-    stages = chosen.make_pipeline().stages
-    chunks = list(iter_chunks(intermediate, CHUNK_SIZE))
-    running = chunks
-    for stage in stages:
-        running = [stage.encode(chunk) for chunk in running]
-        waterfall.append((stage.name, sum(len(c) for c in running)))
-    import repro
-
-    compressed = len(repro.compress(raw, codec))
+    if collector.global_stage is not None:
+        event = collector.global_stage
+        waterfall.append((event.stage, event.out_bytes))
+    for totals in stage_totals(collector.chunks):
+        waterfall.append((totals.stage, totals.out_bytes))
     return StageBreakdown(
         codec=chosen.name,
         original=len(raw),
         waterfall=tuple(waterfall),
-        compressed=compressed,
+        compressed=len(blob),
+        chunks=collector.n_chunks,
+        raw_chunks=collector.raw_chunks,
     )
 
 
-def recommend(data: np.ndarray) -> tuple[str, str]:
-    """Suggest a codec and explain why, from measured statistics."""
+def recommend(data: np.ndarray, *, probe: bool = False) -> tuple[str, str]:
+    """Suggest a codec and explain why, from measured statistics.
+
+    With ``probe=True`` the recommendation is additionally backed by one
+    traced compression of the suggested codec, and the reason cites the
+    run's real per-chunk numbers (chunk count, raw fallbacks, ratio).
+    """
     from repro.analysis.diagnostics import repeat_profile, smoothness
 
     data = np.asarray(data)
@@ -85,17 +96,25 @@ def recommend(data: np.ndarray) -> tuple[str, str]:
     repeats = repeat_profile(data)
     smooth = smoothness(data)
     if data.dtype == np.float64 and repeats.favors_fcm:
-        return ratio, (
+        choice, reason = ratio, (
             f"{repeats.far_repeat_fraction:.0%} of values repeat beyond the "
             "LZ window — DPratio's FCM stage is built for exactly this."
         )
-    if smooth.is_smooth:
-        return ratio, (
+    elif smooth.is_smooth:
+        choice, reason = ratio, (
             f"{smooth.small_diff_fraction:.0%} of differences are small — "
             "the ratio-mode pipeline will compress well."
         )
-    return speed, (
-        "differences are large (mean "
-        f"{smooth.mean_diff_bits:.1f} significant bits): extra ratio-mode "
-        "stages would buy little, take the fast path."
-    )
+    else:
+        choice, reason = speed, (
+            "differences are large (mean "
+            f"{smooth.mean_diff_bits:.1f} significant bits): extra ratio-mode "
+            "stages would buy little, take the fast path."
+        )
+    if probe:
+        breakdown = explain(data, choice)
+        reason += (
+            f" A traced probe run confirms it: {breakdown.chunks} chunks, "
+            f"{breakdown.raw_chunks} stored raw, ratio {breakdown.ratio:.2f}."
+        )
+    return choice, reason

@@ -28,6 +28,8 @@ from repro.core import codecs as codec_registry
 from repro.core import container as fmt
 from repro.core.chunking import CHUNK_SIZE
 from repro.core.compressor import compress_bytes, decompress_bytes
+from repro.core.executors import Executor
+from repro.core.trace import TraceCollector
 from repro.errors import UnsupportedDtypeError
 
 _DTYPE_BY_CODE = {
@@ -63,6 +65,8 @@ def compress(
     chunk_size: int = CHUNK_SIZE,
     workers: int = 1,
     checksum: bool = False,
+    executor: str | Executor | None = None,
+    trace: TraceCollector | None = None,
 ) -> bytes:
     """Losslessly compress a float array (or raw bytes) into one container.
 
@@ -87,6 +91,16 @@ def compress(
     checksum:
         Embed a CRC32 of the original data; :func:`decompress` then
         verifies integrity end to end (4 bytes of overhead).
+    executor:
+        Scheduling policy for the chunk jobs — ``"serial"``,
+        ``"threaded"`` (the paper's dynamic worklist), ``"static-blocks"``
+        (contiguous blocked partition), or a prebuilt
+        :class:`~repro.core.executors.Executor`.  Defaults from
+        ``workers``.  Output bytes are identical under every policy.
+    trace:
+        A :class:`~repro.core.trace.TraceCollector` to fill with
+        per-chunk instrumentation (stage timings, stage output sizes,
+        raw-fallback flags, worker assignment).
 
     Returns
     -------
@@ -103,18 +117,26 @@ def compress(
         raise UnsupportedDtypeError("raw bytes input requires an explicit codec name")
     return compress_bytes(
         raw, chosen, chunk_size=chunk_size, dtype_code=dtype_code, shape=shape,
-        workers=workers, checksum=checksum,
+        workers=workers, checksum=checksum, executor=executor, trace=trace,
     )
 
 
-def decompress(blob: bytes, *, workers: int = 1) -> np.ndarray | bytes:
+def decompress(
+    blob: bytes,
+    *,
+    workers: int = 1,
+    executor: str | Executor | None = None,
+    trace: TraceCollector | None = None,
+) -> np.ndarray | bytes:
     """Decompress a container produced by :func:`compress`.
 
     Returns a numpy array with the original dtype and shape when the
     container was built from an array, or raw bytes otherwise.
-    ``workers`` decodes independent chunks on a thread pool.
+    ``workers``/``executor`` schedule the independent chunk decodes just
+    like :func:`compress`; ``trace`` collects per-chunk instrumentation.
     """
-    data, info = decompress_bytes(blob, workers=workers)
+    data, info = decompress_bytes(blob, workers=workers, executor=executor,
+                                  trace=trace)
     dtype = _DTYPE_BY_CODE.get(info.dtype_code)
     if dtype is None:
         return data

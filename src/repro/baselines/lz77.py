@@ -21,8 +21,6 @@ from __future__ import annotations
 
 import struct
 
-import numpy as np
-
 from repro.baselines import BaselineCompressor
 from repro.errors import CorruptDataError
 

@@ -59,7 +59,6 @@ class Ndzip(BaselineCompressor):
         words, tail = words_from_bytes(data, self.word_bits)
         residuals = self._forward(words)
         wb = self.word_bits
-        word_bytes = wb // 8
         dtype = words.dtype
         parts = [struct.pack("<IB", len(words), len(tail)), tail]
         for start in range(0, len(words), BLOCK_WORDS):

@@ -33,8 +33,10 @@ def words_from_bytes(data: bytes | np.ndarray, word_bits: int) -> tuple[np.ndarr
     return words, tail
 
 
-def words_to_bytes(words: np.ndarray, tail: bytes = b"") -> bytes:
+def words_to_bytes(words: np.ndarray, tail: bytes | memoryview = b"") -> bytes:
     """Inverse of :func:`words_from_bytes`: serialise words and append tail."""
+    if not isinstance(tail, bytes):
+        tail = bytes(tail)
     return words.astype(words.dtype.newbyteorder("<"), copy=False).tobytes() + tail
 
 

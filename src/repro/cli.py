@@ -65,9 +65,65 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bench_sample(codec_name: str, scale: float) -> bytes:
+    """A deterministic corpus sample matching the codec's dtype."""
+    from repro.datasets import dp_suite, sp_suite
+
+    suite = sp_suite() if codec_name.startswith("sp") else dp_suite()
+    return suite[0].files[0].load(scale).tobytes()
+
+
+def _cmd_bench_measured(args: argparse.Namespace) -> int:
+    """The measured path: real engine runs, per-executor and per-chunk."""
+    from repro.core.executors import SCHEDULING_POLICIES, normalize_policy
+    from repro.core.trace import TraceCollector
+    from repro.harness import format_measured, measure_executors
+    from repro.metrics import summarize_trace
+
+    if args.workers < 1:
+        raise ReproError("--workers must be at least 1")
+    codec = args.codec or "spratio"
+    data = _bench_sample(codec, args.scale)
+    if args.executor:
+        try:
+            policies = (normalize_policy(args.executor),)
+        except ValueError as exc:
+            raise ReproError(str(exc)) from exc
+    else:
+        policies = SCHEDULING_POLICIES
+    print(f"measured engine runs: codec {codec}, {len(data)} input bytes")
+    print()
+    print(format_measured(measure_executors(
+        data, codec, policies=policies, workers=args.workers,
+    )))
+    if args.trace:
+        collector = TraceCollector()
+        repro.compress(data, codec, workers=args.workers,
+                       executor=policies[0], trace=collector)
+        print()
+        print(summarize_trace(collector).render())
+        print()
+        header = (f"{'chunk':>5} {'worker':>6} {'in B':>8} {'out B':>8} "
+                  f"{'raw':>3} {'ms':>8}  stages (ms, out B)")
+        print(header)
+        print("-" * len(header))
+        for chunk in collector.chunks:
+            stages = "  ".join(
+                f"{e.stage}={e.seconds * 1e3:.3f}ms/{e.out_bytes}B"
+                for e in chunk.stages
+            )
+            print(f"{chunk.index:>5} {chunk.worker:>6} "
+                  f"{chunk.original_len:>8} {chunk.payload_len:>8} "
+                  f"{'y' if chunk.raw_fallback else '-':>3} "
+                  f"{chunk.seconds * 1e3:>8.3f}  {stages}")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.harness import FIGURES, format_figure, run_figure
 
+    if args.trace or args.executor or args.codec:
+        return _cmd_bench_measured(args)
     figure_ids = [args.figure] if args.figure else sorted(FIGURES)
     for figure_id in figure_ids:
         if figure_id not in FIGURES:
@@ -176,10 +232,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("input")
     p.set_defaults(func=_cmd_inspect)
 
-    p = sub.add_parser("bench", help="regenerate one or all paper figures")
+    p = sub.add_parser(
+        "bench",
+        help="regenerate paper figures, or measure the real engine "
+             "(--codec/--executor/--trace)",
+    )
     p.add_argument("--figure", default=None, help="fig08 ... fig19 (default: all)")
     p.add_argument("--scale", type=float, default=0.25,
                    help="corpus scale factor (1.0 = 256 KiB files)")
+    p.add_argument("--codec", default=None,
+                   help="measure the real engine on this codec instead of "
+                        "replaying a figure")
+    p.add_argument("--executor", default=None,
+                   help="scheduling policy for measured runs: serial | "
+                        "threaded | static-blocks (default: all three)")
+    p.add_argument("--workers", type=int, default=4,
+                   help="worker threads for measured parallel policies")
+    p.add_argument("--trace", action="store_true",
+                   help="print per-chunk stage timings and sizes from a "
+                        "traced engine run")
     p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("table1", help="print the Table 1 compressor inventory")

@@ -7,7 +7,12 @@
 * :mod:`repro.core.container` — the serialised ``FPRZ`` container.
 * :mod:`repro.core.codecs` — SPspeed / SPratio / DPspeed / DPratio
   definitions and the codec registry.
-* :mod:`repro.core.compressor` — the engine tying the above together.
+* :mod:`repro.core.plan` — precomputed chunk jobs and prefix-sum offsets.
+* :mod:`repro.core.executors` — pluggable scheduling policies (serial /
+  threaded worklist / static blocks, paper §3.1).
+* :mod:`repro.core.trace` — per-chunk instrumentation records.
+* :mod:`repro.core.compressor` — the plan/execute engine tying the above
+  together.
 """
 
 from repro.core.codecs import (
@@ -19,15 +24,35 @@ from repro.core.codecs import (
 )
 from repro.core.compressor import compress_bytes, decompress_bytes
 from repro.core.container import ContainerInfo, inspect_container
+from repro.core.executors import (
+    SCHEDULING_POLICIES,
+    Executor,
+    get_executor,
+    normalize_policy,
+)
+from repro.core.plan import ChunkJob, DecodePlan, EncodePlan, plan_decode, plan_encode
+from repro.core.trace import ChunkTrace, StageEvent, TraceCollector
 
 __all__ = [
     "CODECS",
     "Codec",
+    "ChunkJob",
+    "ChunkTrace",
     "ContainerInfo",
+    "DecodePlan",
+    "EncodePlan",
+    "Executor",
+    "SCHEDULING_POLICIES",
+    "StageEvent",
+    "TraceCollector",
     "codec_by_id",
     "codec_for",
     "compress_bytes",
     "decompress_bytes",
     "get_codec",
+    "get_executor",
     "inspect_container",
+    "normalize_policy",
+    "plan_decode",
+    "plan_encode",
 ]

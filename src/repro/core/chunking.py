@@ -23,8 +23,12 @@ CHUNK_RAW = 0
 CHUNK_COMPRESSED = 1
 
 
-def iter_chunks(data: bytes, chunk_size: int = CHUNK_SIZE) -> Iterator[bytes]:
-    """Yield consecutive ``chunk_size`` slices of ``data`` (last may be short)."""
+def iter_chunks(data, chunk_size: int = CHUNK_SIZE) -> Iterator:
+    """Yield consecutive ``chunk_size`` slices of ``data`` (last may be short).
+
+    Slicing follows the input type: pass a ``memoryview`` to get zero-copy
+    chunk views, ``bytes`` to get copies.
+    """
     if chunk_size <= 0:
         raise ValueError("chunk size must be positive")
     for start in range(0, len(data), chunk_size):
@@ -45,3 +49,13 @@ def chunk_lengths(total_len: int, chunk_size: int = CHUNK_SIZE) -> list[int]:
     last = total_len - (n - 1) * chunk_size
     lengths[-1] = last
     return lengths
+
+
+def chunk_offsets(total_len: int, chunk_size: int = CHUNK_SIZE) -> list[int]:
+    """Byte offset of every chunk: the prefix sums over the chunk lengths.
+
+    These are the schedule-independent read positions of paper §3.1 —
+    every executor policy reads (and on decode, writes) the same windows.
+    """
+    n = chunk_count(total_len, chunk_size)
+    return [i * chunk_size for i in range(n)]

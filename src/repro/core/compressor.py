@@ -1,58 +1,64 @@
-"""The compression engine: global stage + chunk pipeline + container.
+"""The compression engine: a plan/execute core over zero-copy chunk views.
 
-``compress_bytes`` mirrors the structure of the paper's encoders: the
-(optional) global FCM stage runs first over the whole input, the result
-is cut into independent 16 KiB chunks, each chunk runs through the stage
-pipeline (with per-chunk raw fallback), and the compressed chunks are
-concatenated behind a size table — the serial equivalent of the
-prefix-sum write positions the parallel codes communicate.
+``compress_bytes`` mirrors the structure of the paper's encoders, split
+into the two layers §3.1 implies:
+
+* the **plan** (:mod:`repro.core.plan`) precomputes every chunk's read
+  window from prefix sums over the chunk lengths — pure arithmetic, no
+  data movement;
+* the **executor** (:mod:`repro.core.executors`) decides *who* runs each
+  chunk job and *when* — serially, through a dynamic worklist of threads
+  (the paper's OpenMP loop), or over a static blocked partition (the
+  CPU analogue of a block-per-chunk GPU launch).  Chunks are independent
+  by construction, so the output bytes are identical under every policy
+  and worker count.
+
+The hot path is zero-copy: chunk jobs read ``memoryview`` windows into
+the intermediate buffer (no per-chunk slice copies), and the container /
+output buffers are preallocated and filled at the plan's prefix-sum
+offsets instead of ``b"".join``-ing pieces.
 
 ``decompress_bytes`` inverts the process: the size table's prefix sums
-yield each chunk's read position ("No write positions need to be
-communicated as the decompressed chunk sizes are known a priori",
-paper §3.1), chunks are decoded independently, and the global stage's
-inverse runs last.
+yield each chunk's read position, the a-priori chunk lengths yield each
+chunk's *write* position ("No write positions need to be communicated as
+the decompressed chunk sizes are known a priori", paper §3.1), chunks
+decode independently under any executor, and the global stage's inverse
+runs last.
 
-``workers > 1`` processes chunks on a thread pool — the analogue of the
-paper's dynamic OpenMP worklist ("each running thread requests the next
-available chunk").  Chunks are independent by construction, so the output
-bytes are identical for any worker count.
+Passing a :class:`~repro.core.trace.TraceCollector` as ``trace=``
+records per-chunk instrumentation — stage timings, stage output sizes,
+raw-fallback flags, worker assignment — without touching the untraced
+fast path.
 
 A whole-input raw fallback caps worst-case expansion at the container
-header even for adversarial inputs.
+header even for adversarial inputs; it is built lazily, only when the
+compressed container failed to beat it.
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable, Sequence
-from concurrent.futures import ThreadPoolExecutor
+import time
 
 from repro.core import container as fmt
-from repro.core.chunking import CHUNK_SIZE, chunk_lengths, iter_chunks
+from repro.core.chunking import CHUNK_RAW, CHUNK_SIZE
 from repro.core.codecs import Codec, codec_by_id
+from repro.core.executors import Executor, resolve_executor
+from repro.core.plan import plan_decode, plan_encode
+from repro.core.trace import ChunkTrace, StageEvent, TraceCollector
 from repro.errors import CorruptDataError
 
 
-def _map_chunks(
-    make_worker: Callable[[], Callable],
-    items: Sequence,
-    workers: int,
-) -> list:
-    """Apply a per-chunk function to independent chunks, in order.
-
-    ``make_worker`` builds a fresh callable per thread (pipelines hold no
-    cross-chunk state, but private instances keep the contract obvious).
-    """
-    if workers <= 1:
-        worker = make_worker()
-        return [worker(item) for item in items]
-    with ThreadPoolExecutor(max_workers=workers) as pool:
-        pool_workers = [make_worker() for _ in range(workers)]
-        futures = [
-            pool.submit(pool_workers[i % workers], item)
-            for i, item in enumerate(items)
-        ]
-        return [f.result() for f in futures]
+def _run_global_stage(
+    stage, method: str, data, trace: TraceCollector | None
+):
+    """Run the whole-input stage (FCM), recording its trace event."""
+    fn = getattr(stage, method)
+    if trace is None:
+        return fn(data)
+    start = time.perf_counter()
+    out = fn(data)
+    trace.global_stage = StageEvent(stage.name, time.perf_counter() - start, len(out))
+    return out
 
 
 def compress_bytes(
@@ -64,24 +70,60 @@ def compress_bytes(
     shape: tuple[int, ...] | None = None,
     workers: int = 1,
     checksum: bool = False,
+    executor: str | Executor | None = None,
+    trace: TraceCollector | None = None,
 ) -> bytes:
     """Compress raw bytes with ``codec`` into a contiguous container.
 
-    ``checksum=True`` embeds a CRC32 of the original data; decompression
-    then verifies integrity end to end.
+    ``executor`` selects the scheduling policy (``"serial"``,
+    ``"threaded"``, ``"static-blocks"``, or a prebuilt
+    :class:`~repro.core.executors.Executor`); when omitted, ``workers``
+    picks serial (1) or the threaded worklist (>1).  ``checksum=True``
+    embeds a CRC32 of the original data; decompression then verifies
+    integrity end to end.  ``trace`` collects per-chunk instrumentation.
     """
     if dtype_code is None:
         dtype_code = {4: fmt.DTYPE_F32, 8: fmt.DTYPE_F64}.get(
             codec.dtype.itemsize, fmt.DTYPE_BYTES
         )
     crc = fmt.checksum_of(data) if checksum else None
+    engine = resolve_executor(executor, workers)
+    if trace is not None:
+        trace.annotate(policy=engine.policy, workers=engine.workers,
+                       direction="compress")
     global_stage = codec.make_global_stage()
-    intermediate = global_stage.encode(data) if global_stage is not None else data
-    payloads = _map_chunks(
-        lambda: codec.make_pipeline().encode_chunk,
-        list(iter_chunks(intermediate, chunk_size)),
-        workers,
-    )
+    if global_stage is not None:
+        intermediate = _run_global_stage(global_stage, "encode", data, trace)
+    else:
+        intermediate = data
+    plan = plan_encode(len(intermediate), chunk_size)
+    view = memoryview(intermediate)
+
+    def make_worker(worker_id: int):
+        pipeline = codec.make_pipeline()
+
+        def encode_job(i: int) -> bytes:
+            job = plan.jobs[i]
+            chunk = view[job.offset : job.end]
+            if trace is None:
+                return pipeline.encode_chunk(chunk)
+            events: list[StageEvent] = []
+            start = time.perf_counter()
+            payload = pipeline.encode_chunk(chunk, events)
+            trace.add(ChunkTrace(
+                index=i,
+                worker=worker_id,
+                original_len=job.length,
+                payload_len=len(payload),
+                raw_fallback=payload[0] == CHUNK_RAW,
+                seconds=time.perf_counter() - start,
+                stages=tuple(events),
+            ))
+            return payload
+
+        return encode_job
+
+    payloads = engine.run(plan.n_chunks, make_worker)
     blob = fmt.build_container(
         codec_id=codec.codec_id,
         dtype_code=dtype_code,
@@ -92,43 +134,77 @@ def compress_bytes(
         shape=shape,
         checksum=crc,
     )
-    raw = fmt.build_raw_container(
-        codec_id=codec.codec_id, dtype_code=dtype_code, data=data, shape=shape,
-        checksum=crc,
-    )
     # Whole-input fallback: never hand back a container larger than raw.
-    return raw if len(raw) < len(blob) else blob
+    # Built lazily — compression usually wins, and the fallback copies
+    # the entire input.
+    raw_size = fmt.raw_container_size(len(data), shape=shape, checksum=crc)
+    if raw_size < len(blob):
+        return fmt.build_raw_container(
+            codec_id=codec.codec_id, dtype_code=dtype_code, data=data,
+            shape=shape, checksum=crc,
+        )
+    return blob
 
 
-def decompress_bytes(blob: bytes, *, workers: int = 1) -> tuple[bytes, fmt.ContainerInfo]:
+def decompress_bytes(
+    blob: bytes,
+    *,
+    workers: int = 1,
+    executor: str | Executor | None = None,
+    trace: TraceCollector | None = None,
+) -> tuple[bytes, fmt.ContainerInfo]:
     """Decompress a container; returns the original bytes plus its metadata."""
     info = fmt.inspect_container(blob)
     codec = codec_by_id(info.codec_id)
     if info.raw_fallback:
-        data = blob[info.payload_offset :]
+        data = bytes(memoryview(blob)[info.payload_offset :])
         if info.checksum is not None and fmt.checksum_of(data) != info.checksum:
             raise CorruptDataError("checksum mismatch: container payload is corrupt")
         return data, info
-    lengths = chunk_lengths(info.intermediate_len, info.chunk_size)
-    if len(lengths) != info.n_chunks:
-        raise CorruptDataError(
-            f"chunk count mismatch: header says {info.n_chunks}, "
-            f"lengths imply {len(lengths)}"
-        )
-    jobs = []
-    pos = info.payload_offset
-    for size, original_len in zip(info.chunk_sizes, lengths):
-        jobs.append((blob[pos : pos + size], original_len))
-        pos += size
+    engine = resolve_executor(executor, workers)
+    if trace is not None:
+        trace.annotate(policy=engine.policy, workers=engine.workers,
+                       direction="decompress")
+    plan = plan_decode(info)
+    view = memoryview(blob)
+    # Write positions are known a priori (§3.1): decode straight into a
+    # preallocated buffer at the plan's prefix-sum offsets.
+    out = bytearray(plan.out_len)
 
-    def make_worker():
+    def make_worker(worker_id: int):
         pipeline = codec.make_pipeline()
-        return lambda job: pipeline.decode_chunk(job[0], job[1])
 
-    pieces = _map_chunks(make_worker, jobs, workers)
-    intermediate = b"".join(pieces)
+        def decode_job(i: int) -> None:
+            job = plan.jobs[i]
+            payload = view[job.offset : job.end]
+            length = plan.out_lengths[i]
+            if trace is None:
+                chunk = pipeline.decode_chunk(payload, length)
+            else:
+                events: list[StageEvent] = []
+                start = time.perf_counter()
+                chunk = pipeline.decode_chunk(payload, length, events)
+                trace.add(ChunkTrace(
+                    index=i,
+                    worker=worker_id,
+                    original_len=length,
+                    payload_len=job.length,
+                    raw_fallback=len(payload) > 0 and payload[0] == CHUNK_RAW,
+                    seconds=time.perf_counter() - start,
+                    stages=tuple(events),
+                ))
+            offset = plan.out_offsets[i]
+            out[offset : offset + length] = chunk
+
+        return decode_job
+
+    engine.run(plan.n_chunks, make_worker)
+    intermediate = bytes(out)
     global_stage = codec.make_global_stage()
-    data = global_stage.decode(intermediate) if global_stage is not None else intermediate
+    if global_stage is not None:
+        data = _run_global_stage(global_stage, "decode", intermediate, trace)
+    else:
+        data = intermediate
     if len(data) != info.original_len:
         raise CorruptDataError(
             f"decompressed to {len(data)} bytes, expected {info.original_len}"

@@ -115,9 +115,20 @@ def build_container(
     shape: tuple[int, ...] | None = None,
     checksum: int | None = None,
 ) -> bytes:
-    """Assemble a compressed container from chunk payloads."""
+    """Assemble a compressed container from chunk payloads.
+
+    The payload section is written into one preallocated buffer at the
+    prefix-sum offsets of the chunk table — the serial rendering of the
+    decoupled-look-back write positions the GPU code communicates.
+    """
     flags, meta = _meta_blocks(shape, checksum)
-    header = _HEADER.pack(
+    sizes = [len(p) for p in chunk_payloads]
+    table_offset = _HEADER.size + len(meta)
+    payload_offset = table_offset + 4 * len(sizes)
+    buf = bytearray(payload_offset + sum(sizes))
+    _HEADER.pack_into(
+        buf,
+        0,
         MAGIC,
         VERSION,
         codec_id,
@@ -128,8 +139,30 @@ def build_container(
         chunk_size,
         len(chunk_payloads),
     )
-    table = b"".join(struct.pack("<I", len(p)) for p in chunk_payloads)
-    return header + meta + table + b"".join(chunk_payloads)
+    buf[_HEADER.size : table_offset] = meta
+    if sizes:
+        struct.pack_into(f"<{len(sizes)}I", buf, table_offset, *sizes)
+    pos = payload_offset
+    for payload, size in zip(chunk_payloads, sizes):
+        buf[pos : pos + size] = payload
+        pos += size
+    return bytes(buf)
+
+
+def raw_container_size(
+    data_len: int,
+    *,
+    shape: tuple[int, ...] | None = None,
+    checksum: int | None = None,
+) -> int:
+    """Size of the raw-fallback container, without materialising it.
+
+    Lets the engine decide *lazily* whether the fallback is needed: the
+    full-input copy in :func:`build_raw_container` only happens when the
+    compressed container failed to beat this number.
+    """
+    flags_meta = _meta_blocks(shape, checksum)[1]
+    return _HEADER.size + len(flags_meta) + data_len
 
 
 def build_raw_container(

@@ -1,0 +1,208 @@
+"""Pluggable chunk executors: the paper's §3.1 scheduling policies, for real.
+
+The paper's central systems claim is that chunk independence plus
+prefix-sum write positions let the same format run under *any* execution
+strategy.  This module is where those strategies live:
+
+* ``serial`` — one worker walks the chunks in order (the reference
+  schedule every other policy must be byte-identical to);
+* ``threaded`` — a true dynamic worklist: each OS thread builds its own
+  worker (pipelines are thread-local by construction) and pops the next
+  unclaimed chunk index from a shared counter, exactly like the paper's
+  OpenMP loop where "each running thread requests the next available
+  chunk";
+* ``static-blocks`` — a blocked partition: worker *w* owns the
+  contiguous index range ``[bounds[w], bounds[w+1])``, the CPU analogue
+  of the GPU's block-per-chunk grid launch.
+
+The same policy vocabulary drives the *modeled* schedules in
+:mod:`repro.device.execution` — ``normalize_policy`` and
+:func:`static_block_bounds` are shared so the simulator partitions work
+exactly like the real executors do.
+
+An executor runs ``make_worker``-produced callables over job indices.
+``make_worker(worker_id)`` is called once per execution slot, *inside*
+the thread that will use it, so worker state (pipeline instances, stage
+scratch buffers) is genuinely thread-local — never shared between
+concurrently running jobs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from abc import ABC, abstractmethod
+from collections.abc import Callable
+
+import numpy as np
+
+#: Canonical scheduling-policy names, shared with the device simulator.
+SCHEDULING_POLICIES = ("serial", "threaded", "static-blocks")
+
+#: Accepted aliases (the simulator's historical names map onto the
+#: executor vocabulary: its dynamic worklist is the threaded policy).
+_POLICY_ALIASES = {
+    "dynamic": "threaded",
+    "worklist": "threaded",
+    "static": "static-blocks",
+}
+
+
+def normalize_policy(name: str) -> str:
+    """Map a policy name or alias to its canonical form."""
+    key = name.lower().replace("_", "-")
+    key = _POLICY_ALIASES.get(key, key)
+    if key not in SCHEDULING_POLICIES:
+        raise ValueError(
+            f"unknown scheduling policy {name!r}; "
+            f"choose from {', '.join(SCHEDULING_POLICIES)}"
+        )
+    return key
+
+
+def static_block_bounds(n_jobs: int, workers: int) -> np.ndarray:
+    """Partition boundaries of the static-blocks policy (workers + 1 ints).
+
+    Shared by :class:`StaticBlockExecutor` and the schedule simulator in
+    :mod:`repro.device.execution`, so modeled and real partitions match.
+    """
+    return np.linspace(0, n_jobs, workers + 1).astype(int)
+
+
+class Executor(ABC):
+    """A strategy for running independent chunk jobs."""
+
+    policy: str = "serial"
+
+    def __init__(self, workers: int = 1) -> None:
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self.workers = workers
+
+    @abstractmethod
+    def run(
+        self,
+        n_jobs: int,
+        make_worker: Callable[[int], Callable[[int], object]],
+    ) -> list:
+        """Run jobs ``0..n_jobs-1``; returns their results in index order.
+
+        ``make_worker(worker_id)`` builds the per-slot job function; it is
+        invoked inside the thread that will call it.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(policy={self.policy!r}, workers={self.workers})"
+
+
+def _run_threads(
+    n_jobs: int,
+    n_threads: int,
+    make_worker: Callable[[int], Callable[[int], object]],
+    claim_ranges: Callable[[int], range],
+) -> list:
+    """Spawn ``n_threads`` threads, each draining its claimed index stream."""
+    results: list = [None] * n_jobs
+    errors: list[BaseException] = []
+
+    def body(worker_id: int) -> None:
+        try:
+            worker = make_worker(worker_id)
+            for i in claim_ranges(worker_id):
+                results[i] = worker(i)
+        except BaseException as exc:  # propagate to the caller, not stderr
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=body, args=(w,), name=f"repro-exec-{w}")
+        for w in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        raise errors[0]
+    return results
+
+
+class SerialExecutor(Executor):
+    """One worker, chunks in order — the reference schedule."""
+
+    policy = "serial"
+
+    def __init__(self, workers: int = 1) -> None:
+        # A serial schedule has exactly one execution slot no matter what
+        # worker count it was asked for; report it honestly.
+        super().__init__(1)
+
+    def run(self, n_jobs, make_worker):
+        worker = make_worker(0)
+        return [worker(i) for i in range(n_jobs)]
+
+
+class ThreadedExecutor(Executor):
+    """Dynamic worklist: free threads pop the next unclaimed chunk index."""
+
+    policy = "threaded"
+
+    def run(self, n_jobs, make_worker):
+        n_threads = min(self.workers, n_jobs)
+        if n_threads <= 1:
+            return SerialExecutor.run(self, n_jobs, make_worker)
+        counter = itertools.count()
+
+        def claims(_worker_id: int):
+            # ``next`` on one shared counter is atomic under the GIL: every
+            # index is claimed by exactly one thread, in demand order.
+            while True:
+                i = next(counter)
+                if i >= n_jobs:
+                    return
+                yield i
+
+        return _run_threads(n_jobs, n_threads, make_worker, claims)
+
+
+class StaticBlockExecutor(Executor):
+    """Blocked partition: worker ``w`` owns one contiguous index range."""
+
+    policy = "static-blocks"
+
+    def run(self, n_jobs, make_worker):
+        n_threads = min(self.workers, max(n_jobs, 1))
+        if n_threads <= 1 or n_jobs <= 1:
+            return SerialExecutor.run(self, n_jobs, make_worker)
+        bounds = static_block_bounds(n_jobs, n_threads)
+
+        def claims(worker_id: int) -> range:
+            return range(int(bounds[worker_id]), int(bounds[worker_id + 1]))
+
+        return _run_threads(n_jobs, n_threads, make_worker, claims)
+
+
+_EXECUTOR_TYPES: dict[str, type[Executor]] = {
+    "serial": SerialExecutor,
+    "threaded": ThreadedExecutor,
+    "static-blocks": StaticBlockExecutor,
+}
+
+
+def get_executor(policy: str, workers: int = 1) -> Executor:
+    """Build an executor for a canonical policy name or alias."""
+    return _EXECUTOR_TYPES[normalize_policy(policy)](workers)
+
+
+def resolve_executor(
+    executor: str | Executor | None, workers: int
+) -> Executor:
+    """Resolve the engine's ``executor=`` argument.
+
+    ``None`` keeps the historical behaviour of the ``workers`` knob:
+    serial for one worker, the dynamic worklist otherwise.
+    """
+    if isinstance(executor, Executor):
+        return executor
+    if executor is None:
+        return get_executor("serial" if workers <= 1 else "threaded", workers)
+    return get_executor(executor, workers)

@@ -4,15 +4,24 @@ A :class:`Pipeline` applies its stages in order during compression; for
 decompression "the inverses of the stages are invoked in reverse order"
 (paper §3, Figure 1).  The per-chunk raw fallback lives here: a chunk
 whose transformed body is not smaller than the original is emitted raw.
+
+Pipelines honour the zero-copy contract of :mod:`repro.stages`: chunk
+inputs may be ``memoryview``\\ s into a larger buffer, and the optional
+``events`` argument of :meth:`Pipeline.encode_chunk` /
+:meth:`Pipeline.decode_chunk` records one :class:`~repro.core.trace.StageEvent`
+per stage (time spent, bytes left behind) for the engine's per-chunk
+instrumentation.
 """
 
 from __future__ import annotations
 
+import time
 from collections.abc import Sequence
 
 from repro.core.chunking import CHUNK_COMPRESSED, CHUNK_RAW
+from repro.core.trace import StageEvent
 from repro.errors import CorruptDataError
-from repro.stages import Stage
+from repro.stages import ByteLike, Stage
 
 
 class Pipeline:
@@ -23,32 +32,54 @@ class Pipeline:
             raise ValueError("a pipeline needs at least one stage")
         self.stages = list(stages)
 
-    def encode(self, data: bytes) -> bytes:
+    def encode(self, data: ByteLike, events: list[StageEvent] | None = None) -> bytes:
         for stage in self.stages:
-            data = stage.encode(data)
+            if events is None:
+                data = stage.encode(data)
+            else:
+                start = time.perf_counter()
+                data = stage.encode(data)
+                events.append(
+                    StageEvent(stage.name, time.perf_counter() - start, len(data))
+                )
         return data
 
-    def decode(self, data: bytes) -> bytes:
+    def decode(self, data: ByteLike, events: list[StageEvent] | None = None) -> bytes:
         for stage in reversed(self.stages):
-            data = stage.decode(data)
+            if events is None:
+                data = stage.decode(data)
+            else:
+                start = time.perf_counter()
+                data = stage.decode(data)
+                events.append(
+                    StageEvent(stage.name, time.perf_counter() - start, len(data))
+                )
         return data
 
-    def encode_chunk(self, chunk: bytes) -> bytes:
+    def encode_chunk(
+        self, chunk: ByteLike, events: list[StageEvent] | None = None
+    ) -> bytes:
         """Transform one chunk, falling back to raw storage on expansion."""
-        body = self.encode(chunk)
+        body = self.encode(chunk, events)
         if len(body) >= len(chunk):
-            return bytes([CHUNK_RAW]) + chunk
+            original = chunk if isinstance(chunk, bytes) else bytes(chunk)
+            return bytes([CHUNK_RAW]) + original
         return bytes([CHUNK_COMPRESSED]) + body
 
-    def decode_chunk(self, payload: bytes, original_len: int) -> bytes:
+    def decode_chunk(
+        self,
+        payload: ByteLike,
+        original_len: int,
+        events: list[StageEvent] | None = None,
+    ) -> bytes:
         """Invert :meth:`encode_chunk`; validates the recovered length."""
-        if not payload:
+        if not len(payload):
             raise CorruptDataError("empty chunk payload")
         flag, body = payload[0], payload[1:]
         if flag == CHUNK_RAW:
-            chunk = body
+            chunk = body if isinstance(body, bytes) else bytes(body)
         elif flag == CHUNK_COMPRESSED:
-            chunk = self.decode(body)
+            chunk = self.decode(body, events)
         else:
             raise CorruptDataError(f"unknown chunk flag {flag}")
         if len(chunk) != original_len:

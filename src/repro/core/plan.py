@@ -1,0 +1,106 @@
+"""Chunk plans: precomputed jobs and prefix-sum offsets (paper §3.1).
+
+A plan is the *static* half of the engine: given only lengths — never
+the data — it derives every chunk's read position and, for decoding,
+every chunk's write position.  This is the Python rendering of the
+paper's observation that "no write positions need to be communicated as
+the decompressed chunk sizes are known a priori": the prefix sums over
+the chunk-length table ARE the schedule-independent read/write offsets,
+so any executor policy can process the jobs in any order and land every
+byte in the same place.
+
+:func:`plan_encode` covers compression (equal-size chunks over the
+intermediate buffer); :func:`plan_decode` covers decompression (payload
+read offsets from the container's chunk table, output write offsets from
+the a-priori chunk lengths).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import container as fmt
+from repro.core.chunking import CHUNK_SIZE, chunk_lengths, chunk_offsets
+from repro.errors import CorruptDataError
+
+
+@dataclass(frozen=True)
+class ChunkJob:
+    """One chunk's read window into its source buffer."""
+
+    index: int
+    offset: int
+    length: int
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.length
+
+
+@dataclass(frozen=True)
+class EncodePlan:
+    """Chunk jobs for compressing one intermediate buffer."""
+
+    total_len: int
+    chunk_size: int
+    jobs: tuple[ChunkJob, ...]
+
+    @property
+    def n_chunks(self) -> int:
+        return len(self.jobs)
+
+
+@dataclass(frozen=True)
+class DecodePlan:
+    """Read jobs over a container's payload section plus write offsets.
+
+    ``jobs[i]`` is chunk *i*'s compressed payload window inside the blob;
+    ``out_offsets[i]``/``out_lengths[i]`` give where (and how much) the
+    decoded chunk writes into the preallocated output buffer.
+    """
+
+    jobs: tuple[ChunkJob, ...]
+    out_offsets: tuple[int, ...]
+    out_lengths: tuple[int, ...]
+    out_len: int
+
+    @property
+    def n_chunks(self) -> int:
+        return len(self.jobs)
+
+
+def plan_encode(total_len: int, chunk_size: int = CHUNK_SIZE) -> EncodePlan:
+    """Plan the chunk jobs covering ``total_len`` input bytes."""
+    lengths = chunk_lengths(total_len, chunk_size)
+    offsets = chunk_offsets(total_len, chunk_size)
+    jobs = tuple(
+        ChunkJob(index=i, offset=off, length=n)
+        for i, (off, n) in enumerate(zip(offsets, lengths))
+    )
+    return EncodePlan(total_len=total_len, chunk_size=chunk_size, jobs=jobs)
+
+
+def plan_decode(info: fmt.ContainerInfo) -> DecodePlan:
+    """Plan the chunk jobs for decoding a parsed (non-raw) container."""
+    if info.raw_fallback:
+        raise ValueError("raw-fallback containers have no chunk plan")
+    if info.chunk_size <= 0 and info.intermediate_len > 0:
+        raise CorruptDataError("container header carries a zero chunk size")
+    lengths = chunk_lengths(info.intermediate_len, info.chunk_size or CHUNK_SIZE)
+    if len(lengths) != info.n_chunks:
+        raise CorruptDataError(
+            f"chunk count mismatch: header says {info.n_chunks}, "
+            f"lengths imply {len(lengths)}"
+        )
+    jobs = []
+    pos = info.payload_offset
+    for i, size in enumerate(info.chunk_sizes):
+        jobs.append(ChunkJob(index=i, offset=pos, length=size))
+        pos += size
+    out_offsets = chunk_offsets(info.intermediate_len, info.chunk_size or CHUNK_SIZE)
+    return DecodePlan(
+        jobs=tuple(jobs),
+        out_offsets=tuple(out_offsets),
+        out_lengths=tuple(lengths),
+        out_len=info.intermediate_len,
+    )

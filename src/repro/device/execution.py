@@ -11,7 +11,12 @@ deterministically:
   writing side but were still transformed — both passes are charged);
 * :class:`WorklistSimulator` plays the dynamic worklist (greedy:
   whichever worker frees first pops the next chunk) or a static blocked
-  partition against ``n_workers`` execution slots;
+  partition against ``n_workers`` execution slots;  policies share one
+  vocabulary with the *real* executors in :mod:`repro.core.executors`
+  (``threaded`` is the dynamic worklist, ``static-blocks`` the blocked
+  partition, and the partition boundaries come from the same
+  :func:`~repro.core.executors.static_block_bounds`), so a modeled
+  schedule and a measured run describe the same strategy;
 * :func:`lookback_write_completion` adds the §3.1 write-position chain on
   top of a schedule: chunk *i* may only learn its output offset after
   chunk *i-1* posts its compressed size, so stragglers can serialise the
@@ -30,6 +35,7 @@ import numpy as np
 
 from repro.core.chunking import CHUNK_SIZE, iter_chunks
 from repro.core.codecs import Codec
+from repro.core.executors import normalize_policy, static_block_bounds
 from repro.device.machines import Device
 
 
@@ -97,11 +103,22 @@ class WorklistSimulator:
         self.n_workers = n_workers
 
     def simulate(self, work: np.ndarray, policy: str = "dynamic") -> Schedule:
-        if policy == "dynamic":
+        """Play ``work`` under a scheduling policy.
+
+        Policy names are the executor vocabulary of
+        :mod:`repro.core.executors` — ``threaded`` (alias ``dynamic``),
+        ``static-blocks`` (alias ``static``), or ``serial`` (one worker
+        regardless of ``n_workers``).
+        """
+        policy = normalize_policy(policy)
+        if policy == "serial":
+            schedule = WorklistSimulator(1)._dynamic(work)
+            return Schedule("serial", 1, schedule.makespan,
+                            schedule.per_worker_busy, schedule.assignment,
+                            schedule.spans)
+        if policy == "threaded":
             return self._dynamic(work)
-        if policy == "static":
-            return self._static(work)
-        raise ValueError(f"unknown scheduling policy {policy!r}")
+        return self._static(work)
 
     def _dynamic(self, work: np.ndarray) -> Schedule:
         """The paper's worklist: the next free worker pops the next chunk."""
@@ -118,13 +135,13 @@ class WorklistSimulator:
             spans.append((start, finish))
             heapq.heappush(free_at, (finish, worker))
         makespan = max((t for t, _ in free_at), default=0.0)
-        return Schedule("dynamic", self.n_workers, makespan, tuple(busy),
+        return Schedule("threaded", self.n_workers, makespan, tuple(busy),
                         tuple(assignment), tuple(spans))
 
     def _static(self, work: np.ndarray) -> Schedule:
         """Blocked partition: worker w gets chunks [w*n/W, (w+1)*n/W)."""
         n = len(work)
-        bounds = np.linspace(0, n, self.n_workers + 1).astype(int)
+        bounds = static_block_bounds(n, self.n_workers)
         busy = [0.0] * self.n_workers
         assignment = [0] * n
         spans: list[tuple[float, float]] = [(0.0, 0.0)] * n
@@ -137,7 +154,7 @@ class WorklistSimulator:
                 assignment[task] = worker
             busy[worker] = clock
         makespan = max(busy, default=0.0)
-        return Schedule("static", self.n_workers, makespan, tuple(busy),
+        return Schedule("static-blocks", self.n_workers, makespan, tuple(busy),
                         tuple(assignment), tuple(spans))
 
 

@@ -9,15 +9,25 @@
 """
 
 from repro.harness.figures import FIGURES, FigureSpec
-from repro.harness.runner import FigureResult, ResultRow, run_figure, run_suite
-from repro.harness.report import format_figure, render_experiments
+from repro.harness.runner import (
+    FigureResult,
+    MeasuredRow,
+    ResultRow,
+    measure_executors,
+    run_figure,
+    run_suite,
+)
+from repro.harness.report import format_figure, format_measured, render_experiments
 
 __all__ = [
     "FIGURES",
     "FigureResult",
     "FigureSpec",
+    "MeasuredRow",
     "ResultRow",
     "format_figure",
+    "format_measured",
+    "measure_executors",
     "render_experiments",
     "run_figure",
     "run_suite",

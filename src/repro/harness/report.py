@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.harness.runner import FigureResult
+from repro.harness.runner import FigureResult, MeasuredRow
 
 
 def format_figure(result: FigureResult, *, markdown: bool = False) -> str:
@@ -31,6 +31,27 @@ def format_figure(result: FigureResult, *, markdown: bool = False) -> str:
                 f"{row.name:<16} {row.ratio:>7.3f} {row.throughput:>10.2f}  "
                 f"{'front' if row.on_front else '':<6} {'ours' if row.ours else '':<4}"
             )
+    return "\n".join(lines)
+
+
+def format_measured(rows: list[MeasuredRow]) -> str:
+    """Render measured per-executor rows as an aligned table.
+
+    These are this reproduction's own wall-clock numbers (median-of-runs,
+    MB/s) and each row names the scheduling policy and worker count that
+    produced it — never to be confused with the device-model throughputs
+    in :func:`format_figure`.
+    """
+    header = (f"{'codec':<10} {'executor':<14} {'workers':>7} "
+              f"{'comp MB/s':>10} {'decomp MB/s':>12} {'ratio':>7}")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.codec:<10} {row.policy:<14} {row.workers:>7} "
+            f"{row.throughput / 1e6:>10.1f} "
+            f"{row.decompress_throughput / 1e6:>12.1f} "
+            f"{row.ratio:>7.3f}"
+        )
     return "\n".join(lines)
 
 

@@ -5,6 +5,11 @@ aggregated as geometric means per domain and a geometric mean of those
 (paper §4).  Ratios depend only on (compressor, dtype, scale), never on
 the device, so they are computed once and cached; throughputs come from
 the device model per machine.
+
+:func:`measure_executors` is the *measured* complement: it times this
+reproduction's own engine under each real scheduling policy (serial /
+threaded worklist / static blocks) and reports per-policy throughput
+rows, so the recorded numbers always say which executor produced them.
 """
 
 from __future__ import annotations
@@ -16,10 +21,13 @@ import numpy as np
 
 import repro
 from repro.baselines import BaselineCompressor, competitors_for
+from repro.core.compressor import compress_bytes, decompress_bytes
+from repro.core.executors import SCHEDULING_POLICIES
 from repro.datasets import dp_suite, sp_suite
 from repro.device import Device
 from repro.device.model import modeled_throughput
 from repro.metrics import geomean
+from repro.metrics.timing import measure_throughput
 
 #: Default corpus scale for harness runs (fraction of the base file size).
 DEFAULT_SCALE = 0.25
@@ -133,6 +141,67 @@ def run_suite(
         for name, point in points.items()
     ]
     rows.sort(key=lambda r: -r.throughput)
+    return rows
+
+
+@dataclass(frozen=True)
+class MeasuredRow:
+    """One (codec, executor policy) pair's measured performance."""
+
+    codec: str
+    policy: str
+    workers: int
+    #: compression throughput in bytes/second (median of ``runs``).
+    throughput: float
+    decompress_throughput: float
+    ratio: float
+
+
+def measure_executors(
+    data: bytes,
+    codec_name: str,
+    *,
+    policies: tuple[str, ...] = SCHEDULING_POLICIES,
+    workers: int = 4,
+    runs: int = 3,
+) -> list[MeasuredRow]:
+    """Time the real engine under each scheduling policy on ``data``.
+
+    Every row records the executor policy and worker count that produced
+    it — measured numbers are never reported without their execution
+    configuration.  The compressed output is byte-identical across rows
+    (asserted here, cheaply, since it is the engine's core invariant).
+    """
+    codec = repro.get_codec(codec_name)
+    rows = []
+    reference: bytes | None = None
+    for policy in policies:
+        n_workers = 1 if policy == "serial" else workers
+        blob = compress_bytes(data, codec, workers=n_workers, executor=policy)
+        if reference is None:
+            reference = blob
+        elif blob != reference:
+            raise AssertionError(
+                f"executor {policy!r} produced different bytes than "
+                f"{policies[0]!r} for codec {codec_name!r}"
+            )
+        compress_bps = measure_throughput(
+            lambda: compress_bytes(data, codec, workers=n_workers,
+                                   executor=policy),
+            len(data), runs=runs,
+        )
+        decompress_bps = measure_throughput(
+            lambda: decompress_bytes(blob, workers=n_workers, executor=policy),
+            len(data), runs=runs,
+        )
+        rows.append(MeasuredRow(
+            codec=codec.name,
+            policy=policy,
+            workers=n_workers,
+            throughput=compress_bps,
+            decompress_throughput=decompress_bps,
+            ratio=len(data) / len(blob) if len(blob) else 0.0,
+        ))
     return rows
 
 

@@ -2,13 +2,23 @@
 
 from repro.metrics.pareto import ParetoPoint, pareto_front
 from repro.metrics.ratios import compression_ratio, geo_of_geo, geomean
-from repro.metrics.timing import measure_throughput
+from repro.metrics.timing import (
+    StageTotals,
+    TraceSummary,
+    measure_throughput,
+    stage_totals,
+    summarize_trace,
+)
 
 __all__ = [
     "ParetoPoint",
+    "StageTotals",
+    "TraceSummary",
     "compression_ratio",
     "geo_of_geo",
     "geomean",
     "measure_throughput",
     "pareto_front",
+    "stage_totals",
+    "summarize_trace",
 ]

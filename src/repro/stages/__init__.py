@@ -1,4 +1,4 @@
-"""The paper's data transformations, as composable bytes->bytes stages.
+"""The paper's data transformations, as composable byte-view stages.
 
 Each stage implements the :class:`Stage` interface: ``encode`` maps a
 chunk's bytes to transformed bytes and ``decode`` is its exact inverse.
@@ -10,11 +10,25 @@ Stages declare a word granularity.  Input bytes that do not fill a whole
 word (only possible in the final chunk of an input) are carried through
 verbatim by every stage, so pipelines remain lossless for arbitrary byte
 lengths.
+
+Zero-copy contract
+------------------
+Stage inputs are :data:`ByteLike` — ``bytes``, ``bytearray``, or a
+C-contiguous ``memoryview``.  The engine hands each stage a *view* into
+the chunk's window of the source buffer (no per-chunk slice copies), so
+implementations must not assume ``bytes``: interpret the input through
+``np.frombuffer`` / :func:`repro.bitpack.words_from_bytes` / the
+:class:`repro.stages._frame.Reader` cursor, all of which accept any
+buffer.  Outputs are always ``bytes``.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Union
+
+#: What a stage must accept as input: any C-contiguous byte buffer.
+ByteLike = Union[bytes, bytearray, memoryview]
 
 
 class Stage(ABC):
@@ -29,11 +43,11 @@ class Stage(ABC):
     word_bits: int = 8
 
     @abstractmethod
-    def encode(self, data: bytes) -> bytes:
+    def encode(self, data: ByteLike) -> bytes:
         """Transform ``data``; the result must round-trip via :meth:`decode`."""
 
     @abstractmethod
-    def decode(self, data: bytes) -> bytes:
+    def decode(self, data: ByteLike) -> bytes:
         """Exact inverse of :meth:`encode`."""
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -58,6 +72,7 @@ STAGE_TYPES = {
 
 __all__ = [
     "BitTranspose",
+    "ByteLike",
     "ByteShuffle",
     "DiffMS",
     "FCMStage",

@@ -4,6 +4,11 @@ Stages whose output length depends on the data (MPLG, RZE, RAZE, RARE,
 FCM) embed small headers so that ``decode`` is self-describing.  These
 helpers keep those headers uniform: little-endian fixed-width integers
 read and written through a cursor.
+
+Both sides are zero-copy: :class:`Reader` accepts any byte buffer
+(``bytes`` or a ``memoryview`` into a container) and hands out subviews,
+and :class:`Writer` keeps the slices it is given, deferring the single
+concatenation to :meth:`Writer.getvalue`.
 """
 
 from __future__ import annotations
@@ -17,7 +22,7 @@ class Writer:
     """Accumulates header fields and payload slices into one bytes object."""
 
     def __init__(self) -> None:
-        self._parts: list[bytes] = []
+        self._parts: list = []
 
     def u8(self, value: int) -> None:
         self._parts.append(struct.pack("<B", value))
@@ -31,21 +36,29 @@ class Writer:
     def u64(self, value: int) -> None:
         self._parts.append(struct.pack("<Q", value))
 
-    def raw(self, data: bytes) -> None:
-        self._parts.append(bytes(data))
+    def raw(self, data) -> None:
+        """Append a byte buffer without copying.
+
+        The buffer must stay valid (and unmutated) until
+        :meth:`getvalue` — true for every caller, which appends either
+        immutable bytes or views into the immutable input payload.
+        """
+        self._parts.append(data)
 
     def getvalue(self) -> bytes:
+        # bytes.join accepts any buffer-protocol object, so deferred
+        # views are concatenated here in one pass.
         return b"".join(self._parts)
 
 
 class Reader:
     """Cursor over a stage payload; raises :class:`CorruptDataError` on truncation."""
 
-    def __init__(self, data: bytes) -> None:
+    def __init__(self, data) -> None:
         self._data = data
         self._pos = 0
 
-    def _take(self, n: int) -> bytes:
+    def _take(self, n: int):
         end = self._pos + n
         if end > len(self._data):
             raise CorruptDataError(
@@ -68,10 +81,11 @@ class Reader:
     def u64(self) -> int:
         return struct.unpack("<Q", self._take(8))[0]
 
-    def raw(self, n: int) -> bytes:
+    def raw(self, n: int):
+        """The next ``n`` bytes, as a zero-copy slice of the input buffer."""
         return self._take(n)
 
-    def rest(self) -> bytes:
+    def rest(self):
         out = self._data[self._pos :]
         self._pos = len(self._data)
         return out

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.bitpack import bit_transpose, bit_untranspose, words_to_bytes
 from repro.bitpack.bytes_util import words_from_bytes
-from repro.stages import Stage
+from repro.stages import ByteLike, Stage
 from repro.stages._frame import Reader, Writer
 
 
@@ -24,7 +24,7 @@ class BitTranspose(Stage):
             raise ValueError("BIT operates at 32- or 64-bit granularity")
         self.word_bits = word_bits
 
-    def encode(self, data: bytes) -> bytes:
+    def encode(self, data: ByteLike) -> bytes:
         words, tail = words_from_bytes(data, self.word_bits)
         writer = Writer()
         writer.u32(len(words))
@@ -33,7 +33,7 @@ class BitTranspose(Stage):
         writer.raw(bit_transpose(words, self.word_bits))
         return writer.getvalue()
 
-    def decode(self, data: bytes) -> bytes:
+    def decode(self, data: ByteLike) -> bytes:
         reader = Reader(data)
         n_words = reader.u32()
         tail = reader.raw(reader.u8())

@@ -17,7 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.bitpack import words_from_bytes, words_to_bytes, zigzag_decode, zigzag_encode
-from repro.stages import Stage
+from repro.stages import ByteLike, Stage
 
 
 class DiffMS(Stage):
@@ -30,7 +30,7 @@ class DiffMS(Stage):
             raise ValueError("DIFFMS operates at 32- or 64-bit granularity")
         self.word_bits = word_bits
 
-    def encode(self, data: bytes) -> bytes:
+    def encode(self, data: ByteLike) -> bytes:
         words, tail = words_from_bytes(data, self.word_bits)
         prev = np.empty_like(words)
         if len(words):
@@ -39,7 +39,7 @@ class DiffMS(Stage):
         diff = words - prev  # unsigned wraparound == difference mod 2^w
         return words_to_bytes(zigzag_encode(diff, self.word_bits), tail)
 
-    def decode(self, data: bytes) -> bytes:
+    def decode(self, data: ByteLike) -> bytes:
         coded, tail = words_from_bytes(data, self.word_bits)
         diff = zigzag_decode(coded, self.word_bits)
         # The running sum inverts difference coding; uint cumsum wraps mod 2^w.

@@ -33,7 +33,7 @@ import numpy as np
 
 from repro.bitpack import words_from_bytes, words_to_bytes
 from repro.errors import CorruptDataError
-from repro.stages import Stage
+from repro.stages import ByteLike, Stage
 from repro.stages._frame import Writer
 
 #: How many preceding sorted pairs are inspected for a match (paper: 4).
@@ -76,7 +76,7 @@ class FCMStage(Stage):
         self.match_window = match_window
         self.hash_fn = hash_fn or _context_hash
 
-    def encode(self, data: bytes) -> bytes:
+    def encode(self, data: ByteLike) -> bytes:
         # The frame metadata lives in a TRAILER, not a header: the output
         # feeds the chunked DIFFMS stage, and a leading header would shift
         # every 64-bit word off its natural alignment inside the chunks.
@@ -139,11 +139,11 @@ class FCMStage(Stage):
         distances[matched_positions] = (matched_positions - sources).astype(np.uint64)
         return values, distances
 
-    def decode(self, data: bytes) -> bytes:
+    def decode(self, data: ByteLike) -> bytes:
         values, distances, tail = self.split_payload(data)
         n = len(values)
         if n == 0:
-            return tail
+            return bytes(tail)
         dist = distances.astype(np.int64)
         if np.any(dist < 0) or np.any(dist > np.arange(n)):
             raise CorruptDataError("FCM distance points before the start of the data")

@@ -32,7 +32,7 @@ from repro.bitpack import (
     zigzag_encode,
 )
 from repro.errors import CorruptDataError
-from repro.stages import Stage
+from repro.stages import ByteLike, Stage
 from repro.stages._frame import Reader, Writer
 
 SUBCHUNK_BYTES = 512
@@ -55,7 +55,7 @@ class MPLG(Stage):
         self.subchunk_bytes = subchunk_bytes
         self._words_per_subchunk = subchunk_bytes // (word_bits // 8)
 
-    def encode(self, data: bytes) -> bytes:
+    def encode(self, data: ByteLike) -> bytes:
         words, tail = words_from_bytes(data, self.word_bits)
         writer = Writer()
         writer.u32(len(words))
@@ -78,7 +78,7 @@ class MPLG(Stage):
         writer.u8(flag | width)
         writer.raw(pack_words(sub, width, self.word_bits))
 
-    def decode(self, data: bytes) -> bytes:
+    def decode(self, data: ByteLike) -> bytes:
         reader = Reader(data)
         n_words = reader.u32()
         tail = reader.raw(reader.u8())

@@ -21,7 +21,7 @@ from repro.bitpack import (
     words_to_bytes,
 )
 from repro.errors import CorruptDataError
-from repro.stages import Stage
+from repro.stages import ByteLike, Stage
 from repro.stages._adaptive import choose_k
 from repro.stages._bitmap import compress_bitmap, decompress_bitmap
 from repro.stages._frame import Reader, Writer
@@ -37,7 +37,7 @@ class RARE(Stage):
             raise ValueError("RARE operates at 32- or 64-bit granularity")
         self.word_bits = word_bits
 
-    def encode(self, data: bytes) -> bytes:
+    def encode(self, data: ByteLike) -> bytes:
         words, tail = words_from_bytes(data, self.word_bits)
         wb = self.word_bits
         common = leading_common_bits(words, wb)
@@ -63,7 +63,7 @@ class RARE(Stage):
         writer.raw(pack_words(bottoms, wb - k, wb))
         return writer.getvalue()
 
-    def decode(self, data: bytes) -> bytes:
+    def decode(self, data: ByteLike) -> bytes:
         reader = Reader(data)
         n = reader.u32()
         tail = reader.raw(reader.u8())

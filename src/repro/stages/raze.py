@@ -39,7 +39,7 @@ from repro.bitpack import (
     words_to_bytes,
 )
 from repro.errors import CorruptDataError
-from repro.stages import Stage
+from repro.stages import ByteLike, Stage
 from repro.stages._adaptive import choose_k, eliminated_counts
 from repro.stages._bitmap import compress_bitmap, decompress_bitmap
 from repro.stages._frame import Reader, Writer
@@ -60,7 +60,7 @@ class RAZE(Stage):
 
     # -- encoding ---------------------------------------------------------
 
-    def encode(self, data: bytes) -> bytes:
+    def encode(self, data: ByteLike) -> bytes:
         words, tail = words_from_bytes(data, self.word_bits)
         writer = Writer()
         writer.u32(len(words))
@@ -143,7 +143,7 @@ class RAZE(Stage):
 
     # -- decoding ---------------------------------------------------------
 
-    def decode(self, data: bytes) -> bytes:
+    def decode(self, data: ByteLike) -> bytes:
         reader = Reader(data)
         n = reader.u32()
         tail = reader.raw(reader.u8())
@@ -152,7 +152,7 @@ class RAZE(Stage):
             if mode == MODE_BIT_K:
                 reader.u8()
             reader.expect_exhausted()
-            return tail
+            return bytes(tail)
         if mode == MODE_BIT_K:
             words = self._decode_bit_mode(reader, n)
         elif mode == MODE_BYTE_K:

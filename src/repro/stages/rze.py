@@ -14,7 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import CorruptDataError
-from repro.stages import Stage
+from repro.stages import ByteLike, Stage
 from repro.stages._bitmap import MAX_LEVELS, compress_bitmap, decompress_bitmap
 from repro.stages._frame import Reader, Writer
 
@@ -28,7 +28,7 @@ class RZE(Stage):
     def __init__(self, bitmap_levels: int = MAX_LEVELS) -> None:
         self.bitmap_levels = bitmap_levels
 
-    def encode(self, data: bytes) -> bytes:
+    def encode(self, data: ByteLike) -> bytes:
         buf = np.frombuffer(data, dtype=np.uint8)
         nonzero_mask = buf != 0
         nonzero = buf[nonzero_mask]
@@ -39,7 +39,7 @@ class RZE(Stage):
         writer.raw(compress_bitmap(nonzero_mask, self.bitmap_levels))
         return writer.getvalue()
 
-    def decode(self, data: bytes) -> bytes:
+    def decode(self, data: ByteLike) -> bytes:
         reader = Reader(data)
         n = reader.u32()
         n_nonzero = reader.u32()

@@ -9,7 +9,7 @@ from repro.baselines.bitcomp import Bitcomp
 from repro.baselines.cascaded import Cascaded, _rle
 from repro.baselines.fpzip import FPzip, _from_ordered, _to_ordered
 from repro.baselines.gfc import GFC
-from repro.baselines.lz77 import LZ4Like, lz4, snappy
+from repro.baselines.lz77 import lz4, snappy
 from repro.baselines.mpc import MPC
 from repro.baselines.ndzip import Ndzip
 from repro.baselines.zfp import ZFP

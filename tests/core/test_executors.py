@@ -1,0 +1,277 @@
+"""Tests for the plan/execute engine: policies, plans, traces, fallbacks.
+
+The engine's core invariant — compressed output is byte-identical under
+every scheduling policy and worker count — is asserted here across all
+codecs and input shapes, alongside the thread-locality guarantee a
+stateful stage depends on, the laziness of the whole-input raw
+fallback, and the per-chunk trace contents.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import container as fmt
+from repro.core.chunking import CHUNK_SIZE
+from repro.core.codecs import CODECS, get_codec
+from repro.core.compressor import compress_bytes, decompress_bytes
+from repro.core.executors import (
+    SCHEDULING_POLICIES,
+    SerialExecutor,
+    StaticBlockExecutor,
+    ThreadedExecutor,
+    get_executor,
+    normalize_policy,
+    resolve_executor,
+    static_block_bounds,
+)
+from repro.core.plan import plan_decode, plan_encode
+from repro.core.trace import TraceCollector
+from repro.errors import CorruptDataError
+
+
+def _sample(rng, dtype, n) -> bytes:
+    return np.cumsum(rng.normal(scale=0.01, size=n)).astype(dtype).tobytes()
+
+
+class TestPolicyNames:
+    def test_canonical_names_pass_through(self):
+        for name in SCHEDULING_POLICIES:
+            assert normalize_policy(name) == name
+
+    def test_simulator_aliases_map_onto_executors(self):
+        assert normalize_policy("dynamic") == "threaded"
+        assert normalize_policy("worklist") == "threaded"
+        assert normalize_policy("static") == "static-blocks"
+        assert normalize_policy("STATIC_BLOCKS") == "static-blocks"
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown scheduling policy"):
+            normalize_policy("fibers")
+
+    def test_get_executor_types(self):
+        assert isinstance(get_executor("serial"), SerialExecutor)
+        assert isinstance(get_executor("dynamic", 4), ThreadedExecutor)
+        assert isinstance(get_executor("static", 4), StaticBlockExecutor)
+
+    def test_resolve_defaults_follow_workers(self):
+        assert resolve_executor(None, 1).policy == "serial"
+        assert resolve_executor(None, 4).policy == "threaded"
+        prebuilt = StaticBlockExecutor(3)
+        assert resolve_executor(prebuilt, 1) is prebuilt
+
+
+class TestPlans:
+    def test_encode_plan_covers_input_exactly(self):
+        plan = plan_encode(3 * CHUNK_SIZE + 17, CHUNK_SIZE)
+        assert plan.n_chunks == 4
+        assert plan.jobs[0].offset == 0
+        assert all(
+            plan.jobs[i].end == plan.jobs[i + 1].offset
+            for i in range(plan.n_chunks - 1)
+        )
+        assert plan.jobs[-1].end == 3 * CHUNK_SIZE + 17
+
+    def test_empty_input_plans_no_jobs(self):
+        assert plan_encode(0, CHUNK_SIZE).n_chunks == 0
+
+    def test_static_bounds_partition_is_contiguous_and_complete(self):
+        bounds = static_block_bounds(10, 3)
+        assert bounds[0] == 0 and bounds[-1] == 10
+        assert all(bounds[i] <= bounds[i + 1] for i in range(len(bounds) - 1))
+
+    def test_decode_plan_rejects_chunk_count_mismatch(self):
+        blob = repro.compress(np.arange(9000, dtype=np.float32))
+        info = fmt.inspect_container(blob)
+        bad = info.__class__(**{**info.__dict__, "n_chunks": info.n_chunks + 1})
+        with pytest.raises(CorruptDataError):
+            plan_decode(bad)
+
+
+@pytest.mark.parametrize("name", sorted(CODECS))
+class TestPolicyEquivalence:
+    """The acceptance invariant: identical bytes under every schedule."""
+
+    @pytest.mark.parametrize("shape", ["empty", "subchunk", "multichunk"])
+    def test_byte_identical_across_policies_and_workers(self, name, shape, rng):
+        codec = get_codec(name)
+        n = {"empty": 0, "subchunk": 64, "multichunk": 60_000}[shape]
+        data = _sample(rng, codec.dtype, n)
+        reference = compress_bytes(data, codec, executor="serial")
+        for policy in SCHEDULING_POLICIES:
+            for workers in (1, 2, 7):
+                blob = compress_bytes(
+                    data, codec, workers=workers, executor=policy
+                )
+                assert blob == reference, (policy, workers)
+                back, _ = decompress_bytes(blob, workers=workers, executor=policy)
+                assert back == data, (policy, workers)
+
+
+class TestThreadLocality:
+    """Regression for the shared-pipeline race a stateful stage exposes.
+
+    The old thread-pool mapped ``pool_workers[i % workers]``, handing one
+    pipeline instance to several concurrently running futures.  A stage
+    with any per-call scratch state then corrupts neighbouring chunks.
+    The executor contract — ``make_worker(worker_id)`` runs inside the
+    owning thread, one worker per slot — makes that impossible; this
+    test fails against the old scheme.
+    """
+
+    @pytest.mark.parametrize("policy", ["threaded", "static-blocks"])
+    def test_one_worker_per_thread(self, policy):
+        n_jobs, workers = 64, 7
+        lock = threading.Lock()
+        # worker_id -> the thread object that built it (strong refs, so
+        # object identity stays meaningful even after threads exit)
+        built_in: dict[int, threading.Thread] = {}
+
+        def make_worker(worker_id: int):
+            thread = threading.current_thread()
+            with lock:
+                assert worker_id not in built_in  # one worker per slot
+                built_in[worker_id] = thread
+
+            def job(i: int):
+                # every job of this worker runs on the thread that built it
+                assert threading.current_thread() is thread
+                return (worker_id, i)
+
+            return job
+
+        results = get_executor(policy, workers).run(n_jobs, make_worker)
+        # every job ran exactly once, results in index order
+        assert [i for _, i in results] == list(range(n_jobs))
+        # distinct execution slots were built in distinct threads
+        threads = list(built_in.values())
+        assert len(set(map(id, threads))) == len(threads)
+
+    def test_stateful_stage_survives_concurrency(self, rng):
+        """A pipeline whose encode is deliberately non-reentrant."""
+        from repro.core.executors import ThreadedExecutor
+
+        class StatefulSquarer:
+            def __init__(self):
+                self.scratch = None
+
+            def __call__(self, i: int) -> int:
+                # classic read-compute-write on shared state: corrupts
+                # results if two jobs interleave on one instance
+                self.scratch = i
+                for _ in range(100):
+                    pass
+                assert self.scratch == i
+                return self.scratch * self.scratch
+
+        def make_worker(worker_id: int):
+            return StatefulSquarer()
+
+        results = ThreadedExecutor(8).run(200, make_worker)
+        assert results == [i * i for i in range(200)]
+
+    def test_threaded_worker_assignment_recorded_in_trace(self, rng):
+        codec = get_codec("spspeed")
+        data = _sample(rng, codec.dtype, 120_000)
+        collector = TraceCollector()
+        compress_bytes(data, codec, workers=4, executor="threaded",
+                       trace=collector)
+        workers_seen = {t.worker for t in collector.chunks}
+        assert len(workers_seen) > 1  # the worklist actually fanned out
+
+
+class TestLazyRawFallback:
+    def test_compressible_input_never_builds_raw_container(self, rng, monkeypatch):
+        calls = []
+        original = fmt.build_raw_container
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(
+            "repro.core.compressor.fmt.build_raw_container", counting
+        )
+        codec = get_codec("spratio")
+        data = _sample(rng, codec.dtype, 50_000)
+        blob = compress_bytes(data, codec)
+        assert len(blob) < len(data)
+        assert calls == []  # fallback stayed lazy
+
+    def test_incompressible_input_falls_back_to_raw(self, rng):
+        data = rng.bytes(50_000)  # random bytes defeat every stage
+        codec = get_codec("spspeed")
+        blob = compress_bytes(data, codec)
+        info = fmt.inspect_container(blob)
+        assert info.raw_fallback
+        assert len(blob) == fmt.raw_container_size(len(data))
+        back, _ = decompress_bytes(blob)
+        assert back == data
+
+    def test_raw_size_prediction_is_exact(self, rng):
+        data = rng.bytes(1000)
+        raw = fmt.build_raw_container(
+            codec_id=get_codec("spspeed").codec_id,
+            dtype_code=fmt.DTYPE_BYTES, data=data,
+        )
+        assert len(raw) == fmt.raw_container_size(len(data))
+
+
+class TestTraceContents:
+    def test_trace_records_stages_sizes_and_fallbacks(self, rng):
+        codec = get_codec("dpratio")
+        data = _sample(rng, codec.dtype, 30_000)
+        collector = TraceCollector()
+        blob = compress_bytes(data, codec, trace=collector)
+        assert collector.direction == "compress"
+        assert collector.policy == "serial"
+        assert collector.n_chunks == len(fmt.inspect_container(blob).chunk_sizes)
+        # DPratio: FCM is global, the chunked stages follow
+        assert collector.global_stage is not None
+        assert collector.global_stage.stage == "fcm"
+        for chunk in collector.chunks:
+            assert [e.stage for e in chunk.stages] == ["diffms", "raze", "rare"]
+            assert chunk.payload_len >= 1
+            assert chunk.seconds >= 0
+            assert all(e.out_bytes >= 0 and e.seconds >= 0 for e in chunk.stages)
+        # payloads in the trace sum to the container's chunk table
+        assert (
+            sum(t.payload_len for t in collector.chunks)
+            == sum(fmt.inspect_container(blob).chunk_sizes)
+        )
+
+    def test_decompress_trace(self, rng):
+        codec = get_codec("spratio")
+        data = _sample(rng, codec.dtype, 60_000)
+        blob = compress_bytes(data, codec)
+        collector = TraceCollector()
+        decompress_bytes(blob, workers=2, executor="static-blocks",
+                         trace=collector)
+        assert collector.direction == "decompress"
+        assert collector.policy == "static-blocks"
+        assert collector.workers == 2
+        assert sum(t.original_len for t in collector.chunks) >= len(data)
+
+    def test_untraced_path_unaffected(self, rng):
+        codec = get_codec("spspeed")
+        data = _sample(rng, codec.dtype, 40_000)
+        traced = TraceCollector()
+        assert compress_bytes(data, codec, trace=traced) == compress_bytes(data, codec)
+
+
+class TestAPIPassthrough:
+    def test_api_accepts_executor_and_trace(self, smooth_f32):
+        collector = TraceCollector()
+        blob = repro.compress(smooth_f32, executor="static-blocks", workers=3,
+                              trace=collector)
+        assert blob == repro.compress(smooth_f32)
+        assert collector.n_chunks > 1
+        out = TraceCollector()
+        restored = repro.decompress(blob, executor="threaded", workers=3,
+                                    trace=out)
+        assert np.array_equal(restored, smooth_f32)
+        assert out.direction == "decompress"

@@ -34,6 +34,33 @@ class TestRecommendCommand:
         assert "recommended codec: spratio" in out
 
 
+class TestBenchMeasured:
+    def test_trace_prints_per_chunk_stage_table(self, capsys):
+        assert main(["bench", "--trace", "--scale", "0.05",
+                     "--codec", "spratio"]) == 0
+        out = capsys.readouterr().out
+        # per-executor measured rows name their policy
+        for policy in ("serial", "threaded", "static-blocks"):
+            assert policy in out
+        # per-chunk stage timings and sizes from the traced run
+        for stage in ("diffms", "bit", "rze"):
+            assert stage in out
+        assert "raw fallback" in out
+        assert "ms" in out and "B out" in out
+
+    def test_single_executor_selection(self, capsys):
+        assert main(["bench", "--codec", "spspeed", "--executor", "threaded",
+                     "--workers", "2", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "threaded" in out
+        assert "serial" not in out
+
+    def test_unknown_executor_rejected(self, capsys):
+        rc = main(["bench", "--codec", "spspeed", "--executor", "fibers",
+                   "--scale", "0.05"])
+        assert rc == 1
+
+
 class TestVerifyCommand:
     def test_verify_passes(self, capsys):
         assert main(["verify", "--scale", "0.02"]) == 0

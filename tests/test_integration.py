@@ -7,7 +7,6 @@ on, at small corpus scale (the full-shape checks live in benchmarks/).
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 import repro
 from repro.analysis import recommend, repeat_profile
