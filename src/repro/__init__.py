@@ -17,8 +17,18 @@ Figures 8-19 (:mod:`repro.harness`).
 
 from repro.api import available_codecs, compress, decompress, inspect
 from repro.archive import Archive, write_archive
-from repro.core import CODECS, Codec, ContainerInfo, codec_for, get_codec
+from repro.core import (
+    CODECS,
+    Codec,
+    ChunkFailure,
+    ContainerInfo,
+    SalvageReport,
+    codec_for,
+    get_codec,
+)
 from repro.errors import (
+    BoundsError,
+    ChecksumError,
     CorruptDataError,
     FormatError,
     ReproError,
@@ -26,15 +36,19 @@ from repro.errors import (
     UnsupportedDtypeError,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "BoundsError",
     "CODECS",
+    "ChecksumError",
+    "ChunkFailure",
     "Codec",
     "ContainerInfo",
     "CorruptDataError",
     "FormatError",
     "ReproError",
+    "SalvageReport",
     "UnknownCodecError",
     "UnsupportedDtypeError",
     "Archive",

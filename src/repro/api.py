@@ -64,7 +64,8 @@ def compress(
     mode: str = "ratio",
     chunk_size: int = CHUNK_SIZE,
     workers: int = 1,
-    checksum: bool = False,
+    checksum: bool = fmt.DEFAULT_CHECKSUM,
+    chunk_checksums: bool = fmt.DEFAULT_CHUNK_CHECKSUMS,
     executor: str | Executor | None = None,
     trace: TraceCollector | None = None,
 ) -> bytes:
@@ -90,7 +91,15 @@ def compress(
         OpenMP worklist).  Output bytes are identical for any value.
     checksum:
         Embed a CRC32 of the original data; :func:`decompress` then
-        verifies integrity end to end (4 bytes of overhead).
+        verifies integrity end to end (4 bytes of overhead).  Defaults
+        to :data:`repro.core.container.DEFAULT_CHECKSUM` — the single
+        integrity default shared by every entry point.
+    chunk_checksums:
+        Embed a CRC32 per chunk payload (container v2, 4 bytes per
+        chunk).  Localises corruption to one chunk on decode and is what
+        makes ``decompress(..., errors="salvage")`` able to recover the
+        undamaged chunks.  Defaults to
+        :data:`repro.core.container.DEFAULT_CHUNK_CHECKSUMS`.
     executor:
         Scheduling policy for the chunk jobs — ``"serial"``,
         ``"threaded"`` (the paper's dynamic worklist), ``"static-blocks"``
@@ -117,8 +126,19 @@ def compress(
         raise UnsupportedDtypeError("raw bytes input requires an explicit codec name")
     return compress_bytes(
         raw, chosen, chunk_size=chunk_size, dtype_code=dtype_code, shape=shape,
-        workers=workers, checksum=checksum, executor=executor, trace=trace,
+        workers=workers, checksum=checksum, chunk_checksums=chunk_checksums,
+        executor=executor, trace=trace,
     )
+
+
+def _reassemble(data: bytes, info: fmt.ContainerInfo) -> np.ndarray | bytes:
+    dtype = _DTYPE_BY_CODE.get(info.dtype_code)
+    if dtype is None:
+        return data
+    array = np.frombuffer(data, dtype=dtype)
+    if info.shape is not None:
+        array = array.reshape(info.shape)
+    return array
 
 
 def decompress(
@@ -127,23 +147,36 @@ def decompress(
     workers: int = 1,
     executor: str | Executor | None = None,
     trace: TraceCollector | None = None,
-) -> np.ndarray | bytes:
+    errors: str = "raise",
+):
     """Decompress a container produced by :func:`compress`.
 
     Returns a numpy array with the original dtype and shape when the
     container was built from an array, or raw bytes otherwise.
     ``workers``/``executor`` schedule the independent chunk decodes just
     like :func:`compress`; ``trace`` collects per-chunk instrumentation.
+
+    ``errors`` selects the failure policy:
+
+    * ``"raise"`` (default) — any corruption raises a
+      :class:`~repro.errors.ReproError` subclass naming the damaged
+      chunk and its byte range.
+    * ``"salvage"`` — best-effort decode: chunks that verify are decoded
+      normally, chunks that do not are zero-filled, and the call returns
+      a ``(result, report)`` tuple where ``report`` is a
+      :class:`~repro.core.salvage.SalvageReport` mapping the untrusted
+      output byte ranges.  Requires the container to parse far enough to
+      locate its chunks (header damage still raises).
     """
+    if errors == "salvage":
+        data, info, report = decompress_bytes(
+            blob, workers=workers, executor=executor, trace=trace,
+            errors="salvage",
+        )
+        return _reassemble(data, info), report
     data, info = decompress_bytes(blob, workers=workers, executor=executor,
-                                  trace=trace)
-    dtype = _DTYPE_BY_CODE.get(info.dtype_code)
-    if dtype is None:
-        return data
-    array = np.frombuffer(data, dtype=dtype)
-    if info.shape is not None:
-        array = array.reshape(info.shape)
-    return array
+                                  trace=trace, errors=errors)
+    return _reassemble(data, info)
 
 
 def inspect(blob: bytes) -> fmt.ContainerInfo:

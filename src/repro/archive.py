@@ -30,6 +30,7 @@ from collections.abc import Mapping
 import numpy as np
 
 from repro.api import compress, decompress, inspect
+from repro.core.container import DEFAULT_CHECKSUM
 from repro.errors import FormatError
 
 MAGIC = b"FPRA"
@@ -43,7 +44,7 @@ def write_archive(
     *,
     codec: str | None = None,
     mode: str = "ratio",
-    checksum: bool = False,
+    checksum: bool = DEFAULT_CHECKSUM,
     workers: int = 1,
 ) -> bytes:
     """Compress ``members`` into one archive blob (iteration order kept)."""

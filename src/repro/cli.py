@@ -42,6 +42,13 @@ def _cmd_compress(args: argparse.Namespace) -> int:
 
 def _cmd_decompress(args: argparse.Namespace) -> int:
     blob = Path(args.input).read_bytes()
+    if args.salvage:
+        out, report = repro.decompress(blob, errors="salvage")
+        data = out.tobytes() if isinstance(out, np.ndarray) else out
+        Path(args.output).write_bytes(data)
+        print(report.render())
+        print(f"{args.input}: salvaged {len(data)} bytes")
+        return 0 if report.ok else 1
     out = repro.decompress(blob)
     data = out.tobytes() if isinstance(out, np.ndarray) else out
     Path(args.output).write_bytes(data)
@@ -53,6 +60,7 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     info = repro.inspect(Path(args.input).read_bytes())
     from repro.core import codec_by_id
 
+    print(f"version:      {info.version}")
     print(f"codec:        {codec_by_id(info.codec_id).name}")
     print(f"dtype code:   {info.dtype_code}")
     print(f"original:     {info.original_len} bytes")
@@ -60,6 +68,10 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     print(f"ratio:        {info.ratio:.4f}")
     print(f"chunks:       {info.n_chunks} x {info.chunk_size} bytes")
     print(f"raw fallback: {info.raw_fallback}")
+    print(f"checksum:     "
+          f"{'crc32' if info.checksum is not None else 'none'}")
+    print(f"chunk crcs:   "
+          f"{'yes' if info.chunk_crcs is not None else 'no'}")
     if info.shape is not None:
         print(f"shape:        {tuple(info.shape)}")
     return 0
@@ -158,7 +170,20 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
 def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.verify import verify_corpus
 
-    report = verify_corpus(scale=args.scale, include_baselines=args.baselines)
+    report = verify_corpus(
+        scale=args.scale, include_baselines=args.baselines,
+        fuzz_iterations=args.fuzz or 0, fuzz_seed=args.seed,
+    )
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzzing import run_fuzz
+
+    codecs = args.codec or None
+    report = run_fuzz(seed=args.seed, iterations=args.iterations,
+                      codecs=codecs)
     print(report.render())
     return 0 if report.ok else 1
 
@@ -226,6 +251,10 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("decompress", help="decompress an FPRZ container")
     p.add_argument("input")
     p.add_argument("output")
+    p.add_argument("--salvage", action="store_true",
+                   help="best-effort decode of a damaged container: recover "
+                        "every verifiable chunk, zero-fill the rest, and "
+                        "print the damage report (exit 1 if any byte was lost)")
     p.set_defaults(func=_cmd_decompress)
 
     p = sub.add_parser("inspect", help="print container metadata")
@@ -271,7 +300,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=float, default=0.1)
     p.add_argument("--baselines", action="store_true",
                    help="also verify the 18 Table 1 baselines")
+    p.add_argument("--fuzz", type=int, nargs="?", const=200, default=0,
+                   metavar="N",
+                   help="also run N seeded fault-injection iterations "
+                        "(default 200 when the flag is given bare)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for the --fuzz iterations")
     p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="fault-injection harness: mutate valid containers and assert "
+             "decode only ever fails with typed errors",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--iterations", type=int, default=500)
+    p.add_argument("--codec", action="append", default=None,
+                   help="restrict the corpus to this codec (repeatable; "
+                        "default: all four)")
+    p.set_defaults(func=_cmd_fuzz)
 
     p = sub.add_parser("archive", help="create / list / extract member archives")
     p.add_argument("action", choices=["create", "list", "extract"])

@@ -23,7 +23,12 @@ from repro.core.codecs import (
     get_codec,
 )
 from repro.core.compressor import compress_bytes, decompress_bytes
-from repro.core.container import ContainerInfo, inspect_container
+from repro.core.container import (
+    DEFAULT_CHECKSUM,
+    DEFAULT_CHUNK_CHECKSUMS,
+    ContainerInfo,
+    inspect_container,
+)
 from repro.core.executors import (
     SCHEDULING_POLICIES,
     Executor,
@@ -31,18 +36,23 @@ from repro.core.executors import (
     normalize_policy,
 )
 from repro.core.plan import ChunkJob, DecodePlan, EncodePlan, plan_decode, plan_encode
+from repro.core.salvage import ChunkFailure, SalvageReport, merge_ranges, ranges_cover
 from repro.core.trace import ChunkTrace, StageEvent, TraceCollector
 
 __all__ = [
     "CODECS",
     "Codec",
+    "ChunkFailure",
     "ChunkJob",
     "ChunkTrace",
     "ContainerInfo",
+    "DEFAULT_CHECKSUM",
+    "DEFAULT_CHUNK_CHECKSUMS",
     "DecodePlan",
     "EncodePlan",
     "Executor",
     "SCHEDULING_POLICIES",
+    "SalvageReport",
     "StageEvent",
     "TraceCollector",
     "codec_by_id",
@@ -52,7 +62,9 @@ __all__ = [
     "get_codec",
     "get_executor",
     "inspect_container",
+    "merge_ranges",
     "normalize_policy",
+    "ranges_cover",
     "plan_decode",
     "plan_encode",
 ]

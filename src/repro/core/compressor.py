@@ -25,6 +25,26 @@ the decompressed chunk sizes are known a priori", paper §3.1), chunks
 decode independently under any executor, and the global stage's inverse
 runs last.
 
+Corruption hardening
+--------------------
+Decoding is built so that a damaged container can only fail in
+library-controlled ways:
+
+* every declared length is bounds-checked before an allocation is sized
+  from it (:func:`repro.core.container.inspect_container` plus the
+  geometry checks here), so a flipped header bit cannot trigger an
+  over-allocation;
+* chunk payload CRCs (container v2) are verified before decode, so
+  corruption is caught at the damaged chunk with its byte range;
+* foreign exceptions escaping a stage on garbage input are translated to
+  :class:`CorruptDataError` at the chunk boundary — callers only ever see
+  :class:`~repro.errors.ReproError` subclasses (the invariant
+  :mod:`repro.fuzzing` enforces);
+* ``errors="salvage"`` decodes every chunk that still verifies,
+  zero-fills the ones that do not, and returns a
+  :class:`~repro.core.salvage.SalvageReport` mapping the untrusted byte
+  ranges — one flipped bit costs one chunk, not the file.
+
 Passing a :class:`~repro.core.trace.TraceCollector` as ``trace=``
 records per-chunk instrumentation — stage timings, stage output sizes,
 raw-fallback flags, worker assignment — without touching the untraced
@@ -37,6 +57,7 @@ compressed container failed to beat it.
 
 from __future__ import annotations
 
+import struct
 import time
 
 from repro.core import container as fmt
@@ -44,8 +65,16 @@ from repro.core.chunking import CHUNK_RAW, CHUNK_SIZE
 from repro.core.codecs import Codec, codec_by_id
 from repro.core.executors import Executor, resolve_executor
 from repro.core.plan import plan_decode, plan_encode
+from repro.core.salvage import ChunkFailure, SalvageReport, merge_ranges
 from repro.core.trace import ChunkTrace, StageEvent, TraceCollector
-from repro.errors import CorruptDataError
+from repro.errors import BoundsError, ChecksumError, CorruptDataError, ReproError
+
+#: Foreign exception types a stage may leak on garbage input; translated
+#: to :class:`CorruptDataError` at the chunk/global-stage boundary.
+#: MemoryError is deliberately absent — allocations are prevented by the
+#: bounds checks, never papered over after the fact.
+_FOREIGN = (ValueError, TypeError, IndexError, KeyError, OverflowError,
+            ZeroDivisionError, struct.error)
 
 
 def _run_global_stage(
@@ -69,7 +98,8 @@ def compress_bytes(
     dtype_code: int | None = None,
     shape: tuple[int, ...] | None = None,
     workers: int = 1,
-    checksum: bool = False,
+    checksum: bool = fmt.DEFAULT_CHECKSUM,
+    chunk_checksums: bool = fmt.DEFAULT_CHUNK_CHECKSUMS,
     executor: str | Executor | None = None,
     trace: TraceCollector | None = None,
 ) -> bytes:
@@ -78,9 +108,14 @@ def compress_bytes(
     ``executor`` selects the scheduling policy (``"serial"``,
     ``"threaded"``, ``"static-blocks"``, or a prebuilt
     :class:`~repro.core.executors.Executor`); when omitted, ``workers``
-    picks serial (1) or the threaded worklist (>1).  ``checksum=True``
-    embeds a CRC32 of the original data; decompression then verifies
-    integrity end to end.  ``trace`` collects per-chunk instrumentation.
+    picks serial (1) or the threaded worklist (>1).  ``checksum``
+    embeds a CRC32 of the original data (verified end to end on
+    decompression) and ``chunk_checksums`` a CRC32 per chunk payload
+    (container v2; localises corruption to one chunk and enables
+    salvage-mode recovery); both default to the documented
+    :data:`repro.core.container.DEFAULT_CHECKSUM` /
+    :data:`~repro.core.container.DEFAULT_CHUNK_CHECKSUMS`.  ``trace``
+    collects per-chunk instrumentation.
     """
     if dtype_code is None:
         dtype_code = {4: fmt.DTYPE_F32, 8: fmt.DTYPE_F64}.get(
@@ -133,6 +168,7 @@ def compress_bytes(
         chunk_payloads=payloads,
         shape=shape,
         checksum=crc,
+        chunk_crcs=chunk_checksums,
     )
     # Whole-input fallback: never hand back a container larger than raw.
     # Built lazily — compression usually wins, and the fallback copies
@@ -146,20 +182,68 @@ def compress_bytes(
     return blob
 
 
+def _check_geometry(info: fmt.ContainerInfo, codec: Codec) -> None:
+    """Reject header geometry no output of ``codec`` could produce.
+
+    Runs after :func:`~repro.core.container.inspect_container`'s generic
+    bounds checks, adding the codec-specific constraint on the
+    intermediate length — the last declared quantity an allocation is
+    sized from.
+    """
+    global_stage = codec.make_global_stage()
+    if global_stage is None:
+        if info.intermediate_len != info.original_len:
+            raise CorruptDataError(
+                f"codec {codec.name!r} has no global stage, but the header "
+                f"declares intermediate length {info.intermediate_len} != "
+                f"original length {info.original_len}"
+            )
+    else:
+        limit = global_stage.max_encoded_len(info.original_len)
+        if info.intermediate_len > limit:
+            raise BoundsError(
+                f"declared intermediate length {info.intermediate_len} "
+                f"exceeds the {global_stage.name} stage's maximum "
+                f"{limit} for {info.original_len} original bytes"
+            )
+
+
 def decompress_bytes(
     blob: bytes,
     *,
     workers: int = 1,
     executor: str | Executor | None = None,
     trace: TraceCollector | None = None,
-) -> tuple[bytes, fmt.ContainerInfo]:
-    """Decompress a container; returns the original bytes plus its metadata."""
+    errors: str = "raise",
+):
+    """Decompress a container; returns the original bytes plus its metadata.
+
+    ``errors`` selects the failure policy:
+
+    * ``"raise"`` (default) — any verification or decode failure raises a
+      :class:`~repro.errors.ReproError` subclass carrying the chunk index
+      and container byte range; returns ``(data, info)``.
+    * ``"salvage"`` — decode every chunk that verifies, zero-fill the
+      ones that do not, and return ``(data, info, report)`` where
+      ``report`` is a :class:`~repro.core.salvage.SalvageReport` listing
+      each failure and the untrusted output byte ranges.  Only damage the
+      header itself (magic, version, geometry) still raises — without a
+      parseable chunk table there is nothing to salvage.
+    """
+    if errors not in ("raise", "salvage"):
+        raise ValueError(f"errors must be 'raise' or 'salvage', not {errors!r}")
     info = fmt.inspect_container(blob)
     codec = codec_by_id(info.codec_id)
+    _check_geometry(info, codec)
+    if errors == "salvage":
+        return _decompress_salvage(blob, info, codec, workers=workers,
+                                   executor=executor, trace=trace)
     if info.raw_fallback:
         data = bytes(memoryview(blob)[info.payload_offset :])
         if info.checksum is not None and fmt.checksum_of(data) != info.checksum:
-            raise CorruptDataError("checksum mismatch: container payload is corrupt")
+            raise ChecksumError(
+                "whole-input CRC32 mismatch: raw-fallback payload is corrupt"
+            )
         return data, info
     engine = resolve_executor(executor, workers)
     if trace is not None:
@@ -178,21 +262,32 @@ def decompress_bytes(
             job = plan.jobs[i]
             payload = view[job.offset : job.end]
             length = plan.out_lengths[i]
-            if trace is None:
-                chunk = pipeline.decode_chunk(payload, length)
-            else:
-                events: list[StageEvent] = []
-                start = time.perf_counter()
-                chunk = pipeline.decode_chunk(payload, length, events)
-                trace.add(ChunkTrace(
-                    index=i,
-                    worker=worker_id,
-                    original_len=length,
-                    payload_len=job.length,
-                    raw_fallback=len(payload) > 0 and payload[0] == CHUNK_RAW,
-                    seconds=time.perf_counter() - start,
-                    stages=tuple(events),
-                ))
+            _verify_chunk_crc(info, i, payload, job)
+            try:
+                if trace is None:
+                    chunk = pipeline.decode_chunk(payload, length)
+                else:
+                    events: list[StageEvent] = []
+                    start = time.perf_counter()
+                    chunk = pipeline.decode_chunk(payload, length, events)
+                    trace.add(ChunkTrace(
+                        index=i,
+                        worker=worker_id,
+                        original_len=length,
+                        payload_len=job.length,
+                        raw_fallback=len(payload) > 0 and payload[0] == CHUNK_RAW,
+                        seconds=time.perf_counter() - start,
+                        stages=tuple(events),
+                    ))
+            except ReproError as exc:
+                raise type(exc)(
+                    f"chunk {i} (container bytes {job.offset}..{job.end}): {exc}"
+                ) from exc
+            except _FOREIGN as exc:
+                raise CorruptDataError(
+                    f"chunk {i} (container bytes {job.offset}..{job.end}): "
+                    f"undecodable payload ({type(exc).__name__}: {exc})"
+                ) from exc
             offset = plan.out_offsets[i]
             out[offset : offset + length] = chunk
 
@@ -202,7 +297,15 @@ def decompress_bytes(
     intermediate = bytes(out)
     global_stage = codec.make_global_stage()
     if global_stage is not None:
-        data = _run_global_stage(global_stage, "decode", intermediate, trace)
+        try:
+            data = _run_global_stage(global_stage, "decode", intermediate, trace)
+        except ReproError as exc:
+            raise type(exc)(f"global stage {global_stage.name!r}: {exc}") from exc
+        except _FOREIGN as exc:
+            raise CorruptDataError(
+                f"global stage {global_stage.name!r}: undecodable intermediate "
+                f"({type(exc).__name__}: {exc})"
+            ) from exc
     else:
         data = intermediate
     if len(data) != info.original_len:
@@ -210,5 +313,136 @@ def decompress_bytes(
             f"decompressed to {len(data)} bytes, expected {info.original_len}"
         )
     if info.checksum is not None and fmt.checksum_of(data) != info.checksum:
-        raise CorruptDataError("checksum mismatch: container payload is corrupt")
+        raise ChecksumError(
+            "whole-input CRC32 mismatch: container payload is corrupt"
+        )
     return data, info
+
+
+def _verify_chunk_crc(info: fmt.ContainerInfo, i: int, payload, job) -> None:
+    """Raise :class:`ChecksumError` when chunk ``i`` fails its stored CRC."""
+    if info.chunk_crcs is not None and fmt.checksum_of(payload) != info.chunk_crcs[i]:
+        raise ChecksumError(
+            f"chunk {i} (container bytes {job.offset}..{job.end}): "
+            f"payload CRC32 mismatch"
+        )
+
+
+def _decompress_salvage(
+    blob: bytes,
+    info: fmt.ContainerInfo,
+    codec: Codec,
+    *,
+    workers: int = 1,
+    executor: str | Executor | None = None,
+    trace: TraceCollector | None = None,
+) -> tuple[bytes, fmt.ContainerInfo, SalvageReport]:
+    """Best-effort decode: recover every verifiable chunk, map the rest."""
+    notes: list[str] = []
+    if info.raw_fallback:
+        data = bytes(memoryview(blob)[info.payload_offset :])
+        checksum_ok = None
+        damaged: tuple[tuple[int, int], ...] = ()
+        if info.checksum is not None:
+            checksum_ok = fmt.checksum_of(data) == info.checksum
+            if not checksum_ok:
+                damaged = ((0, len(data)),) if data else ()
+                notes.append(
+                    "raw-fallback payload failed the whole-input checksum; "
+                    "damage cannot be localised without chunks"
+                )
+        report = SalvageReport(
+            n_chunks=0, output_len=len(data), damaged_ranges=damaged,
+            checksum_ok=checksum_ok, notes=tuple(notes),
+        )
+        return data, info, report
+    engine = resolve_executor(executor, workers)
+    if trace is not None:
+        trace.annotate(policy=engine.policy, workers=engine.workers,
+                       direction="salvage")
+    plan = plan_decode(info)
+    view = memoryview(blob)
+    out = bytearray(plan.out_len)
+    failures: list[ChunkFailure] = []  # list.append is GIL-atomic
+
+    def make_worker(worker_id: int):
+        pipeline = codec.make_pipeline()
+
+        def decode_job(i: int) -> None:
+            job = plan.jobs[i]
+            payload = view[job.offset : job.end]
+            length = plan.out_lengths[i]
+            offset = plan.out_offsets[i]
+            try:
+                _verify_chunk_crc(info, i, payload, job)
+                chunk = pipeline.decode_chunk(payload, length)
+            except Exception as exc:
+                # Contained: the window stays zero-filled, the worklist
+                # moves on, and the failure is reported with both its
+                # payload and output coordinates.
+                failures.append(ChunkFailure(
+                    index=i,
+                    payload_offset=job.offset,
+                    payload_length=job.length,
+                    output_offset=offset,
+                    output_length=length,
+                    reason=str(exc) or type(exc).__name__,
+                    error_type=type(exc).__name__,
+                ))
+                return
+            out[offset : offset + length] = chunk
+
+        return decode_job
+
+    engine.run(plan.n_chunks, make_worker)
+    failures.sort(key=lambda f: f.index)
+    intermediate = bytes(out)
+    damaged_inter = merge_ranges(
+        (f.output_offset, f.output_offset + f.output_length) for f in failures
+    )
+    global_stage = codec.make_global_stage()
+    global_failed = False
+    if global_stage is None:
+        data = intermediate
+        damaged_out = damaged_inter
+    else:
+        try:
+            data, damaged_out = global_stage.decode_salvage(
+                intermediate, damaged_inter
+            )
+        except Exception as exc:
+            global_failed = True
+            notes.append(
+                f"global stage {global_stage.name!r} inverse failed "
+                f"({type(exc).__name__}: {exc}); output zero-filled"
+            )
+            data = bytes(info.original_len)
+            damaged_out = ((0, info.original_len),) if info.original_len else ()
+    if len(data) != info.original_len:
+        notes.append(
+            f"decoded length {len(data)} != declared {info.original_len}; "
+            f"output adjusted and fully marked damaged"
+        )
+        data = data[: info.original_len] + bytes(
+            max(0, info.original_len - len(data))
+        )
+        damaged_out = ((0, info.original_len),) if info.original_len else ()
+    checksum_ok = None
+    if info.checksum is not None:
+        checksum_ok = fmt.checksum_of(data) == info.checksum
+        if not checksum_ok and not failures and not global_failed and not damaged_out:
+            notes.append(
+                "whole-input checksum mismatch with every chunk verifying; "
+                "damage sits outside the chunk CRCs' reach"
+            )
+            damaged_out = ((0, len(data)),) if data else ()
+    report = SalvageReport(
+        n_chunks=info.n_chunks,
+        output_len=len(data),
+        failures=tuple(failures),
+        damaged_ranges=merge_ranges(damaged_out),
+        checksum_ok=checksum_ok,
+        global_stage_failed=global_failed,
+        notes=tuple(notes),
+    )
+    return data, info, report

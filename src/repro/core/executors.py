@@ -101,17 +101,30 @@ def _run_threads(
     make_worker: Callable[[int], Callable[[int], object]],
     claim_ranges: Callable[[int], range],
 ) -> list:
-    """Spawn ``n_threads`` threads, each draining its claimed index stream."""
+    """Spawn ``n_threads`` threads, each draining its claimed index stream.
+
+    A job that raises is *contained*: it is recorded against its index and
+    the thread moves on to its next claim, so one bad chunk never poisons
+    the rest of the worklist.  After the join, the failure with the lowest
+    job index is re-raised — the same error a serial run would have hit
+    first, making error reporting deterministic across policies and
+    worker counts.  (``list.append`` is atomic under the GIL, so the
+    shared error list needs no lock.)
+    """
     results: list = [None] * n_jobs
-    errors: list[BaseException] = []
+    errors: list[tuple[int, BaseException]] = []
 
     def body(worker_id: int) -> None:
         try:
             worker = make_worker(worker_id)
-            for i in claim_ranges(worker_id):
+        except BaseException as exc:  # worker construction is fatal
+            errors.append((-1, exc))
+            return
+        for i in claim_ranges(worker_id):
+            try:
                 results[i] = worker(i)
-        except BaseException as exc:  # propagate to the caller, not stderr
-            errors.append(exc)
+            except BaseException as exc:  # contain: next claim still runs
+                errors.append((i, exc))
 
     threads = [
         threading.Thread(target=body, args=(w,), name=f"repro-exec-{w}")
@@ -122,7 +135,7 @@ def _run_threads(
     for t in threads:
         t.join()
     if errors:
-        raise errors[0]
+        raise min(errors, key=lambda pair: pair[0])[1]
     return results
 
 

@@ -1,0 +1,123 @@
+"""Salvage-mode decode records: what was recovered, what was lost, why.
+
+The container stores independent chunks precisely so damage stays local
+(paper §3: chunks are self-contained; a raw-fallback flag caps each one's
+worst case).  ``decompress(..., errors="salvage")`` exploits that: every
+chunk that still verifies is decoded normally, every chunk that does not
+is zero-filled, and the caller receives a :class:`SalvageReport` mapping
+exactly which output byte ranges are trustworthy.
+
+Coordinates: chunk failures carry both the *payload* window (where the
+damage sits inside the container) and the *output* window (which decoded
+bytes were zero-filled).  For codecs with a global stage (DPratio's FCM),
+the output window of a chunk failure is in *intermediate* coordinates;
+the report's :attr:`SalvageReport.damaged_ranges` is always in final
+output coordinates, computed by the stage's damage-aware inverse
+(:meth:`repro.stages.Stage.decode_salvage`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def merge_ranges(ranges) -> tuple[tuple[int, int], ...]:
+    """Normalise (start, end) byte ranges: sorted, overlaps coalesced."""
+    spans = sorted((int(a), int(b)) for a, b in ranges if b > a)
+    merged: list[tuple[int, int]] = []
+    for start, end in spans:
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return tuple(merged)
+
+
+def ranges_cover(ranges, offset: int, length: int) -> bool:
+    """True when [offset, offset+length) intersects any damaged range."""
+    end = offset + length
+    return any(a < end and offset < b for a, b in ranges)
+
+
+@dataclass(frozen=True)
+class ChunkFailure:
+    """One chunk that could not be verified or decoded."""
+
+    #: chunk index in the container's chunk table.
+    index: int
+    #: byte range of the compressed payload inside the container.
+    payload_offset: int
+    payload_length: int
+    #: byte range that was zero-filled in the decode buffer (intermediate
+    #: coordinates for global-stage codecs, output coordinates otherwise).
+    output_offset: int
+    output_length: int
+    #: human-readable failure reason.
+    reason: str
+    #: exception class name ("ChecksumError", "CorruptDataError", ...).
+    error_type: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"chunk {self.index} (payload bytes "
+            f"{self.payload_offset}..{self.payload_offset + self.payload_length}): "
+            f"{self.error_type}: {self.reason}"
+        )
+
+
+@dataclass(frozen=True)
+class SalvageReport:
+    """Outcome of one salvage-mode decode."""
+
+    #: total number of chunks in the container (0 for raw fallback).
+    n_chunks: int
+    #: length of the returned output in bytes.
+    output_len: int
+    #: per-chunk failures, in chunk-index order.
+    failures: tuple[ChunkFailure, ...] = ()
+    #: byte ranges of the output that were zero-filled or are untrusted,
+    #: in final output coordinates, sorted and non-overlapping.
+    damaged_ranges: tuple[tuple[int, int], ...] = ()
+    #: whole-input CRC verdict: True/False when the container carries a
+    #: checksum, None when it does not.
+    checksum_ok: bool | None = None
+    #: True when the global stage's inverse itself failed and the entire
+    #: output had to be zero-filled.
+    global_stage_failed: bool = False
+    #: free-form notes (length mismatches, raw-fallback status, ...).
+    notes: tuple[str, ...] = field(default=())
+
+    @property
+    def ok(self) -> bool:
+        """True when every byte of the output is trustworthy."""
+        return (
+            not self.failures
+            and not self.damaged_ranges
+            and not self.global_stage_failed
+            and self.checksum_ok is not False
+        )
+
+    @property
+    def chunks_recovered(self) -> int:
+        return self.n_chunks - len(self.failures)
+
+    @property
+    def damaged_bytes(self) -> int:
+        return sum(end - start for start, end in self.damaged_ranges)
+
+    def render(self) -> str:
+        """Human-readable multi-line summary (used by the CLI)."""
+        lines = [
+            f"salvage: {self.chunks_recovered}/{self.n_chunks} chunks recovered, "
+            f"{self.damaged_bytes}/{self.output_len} output bytes damaged"
+        ]
+        if self.checksum_ok is not None:
+            lines.append(f"  whole-input checksum: {'ok' if self.checksum_ok else 'MISMATCH'}")
+        if self.global_stage_failed:
+            lines.append("  global stage inverse FAILED; output zero-filled")
+        for failure in self.failures:
+            lines.append(f"  {failure}")
+        for start, end in self.damaged_ranges:
+            lines.append(f"  damaged output bytes {start}..{end}")
+        lines.extend(f"  note: {note}" for note in self.notes)
+        return "\n".join(lines)

@@ -30,3 +30,43 @@ class UnknownCodecError(ReproError):
 
 class CorruptDataError(FormatError):
     """The container parsed, but a payload failed internal consistency checks."""
+
+
+class ChecksumError(CorruptDataError):
+    """A stored CRC32 (whole-input or per-chunk) did not match the data.
+
+    Messages carry the chunk index and byte range when the mismatch is
+    chunk-local, so corruption can be located without re-decoding.
+    """
+
+
+class BoundsError(FormatError):
+    """A declared length is implausible for the actual buffer.
+
+    Raised by the decompression-bomb guards: a header or table field
+    promising an allocation far beyond what the container could
+    legitimately decode to is rejected *before* any buffer is sized
+    from it.
+    """
+
+
+def traceback_summary(exc: BaseException, frames: int = 3) -> str:
+    """One-line summary of an exception with its innermost frames.
+
+    Used wherever an *unexpected* exception (not a :class:`ReproError`)
+    must be reported compactly — the corpus verifier and the fuzzing
+    harness — so a crash site is identifiable without a full traceback
+    dump: ``ZeroDivisionError: division by zero [fcm.py:42 in decode <-
+    pipeline.py:88 in decode_chunk]``.
+    """
+    import traceback
+
+    parts = [f"{type(exc).__name__}: {exc}".strip().rstrip(":")]
+    tb = traceback.extract_tb(exc.__traceback__)
+    if tb:
+        frames_txt = " <- ".join(
+            f"{frame.filename.rsplit('/', 1)[-1]}:{frame.lineno} in {frame.name}"
+            for frame in reversed(tb[-frames:])
+        )
+        parts.append(f"[{frames_txt}]")
+    return " ".join(parts)

@@ -1,0 +1,40 @@
+"""Fault-injection fuzzing for the container decode paths.
+
+The robustness contract of :func:`repro.decompress` is: on *any* input —
+valid, truncated, bit-flipped, adversarial — it either returns correct
+data or raises a :class:`~repro.errors.ReproError` subclass, without
+crashing and without allocating beyond the documented bomb guards; and
+``errors="salvage"`` contains payload damage to the chunks that own it.
+This package is the executable form of that contract:
+
+* :mod:`repro.fuzzing.mutators` — deterministic, seeded corruption
+  models (bit flips, span stomps, truncation, header-field damage,
+  chunk-table splices);
+* :mod:`repro.fuzzing.harness` — the invariant-checking loop, replayable
+  per iteration from ``(seed, iteration)``.
+
+Exposed on the command line as ``fprz fuzz`` and wired into corpus
+verification (``fprz verify --fuzz``).
+"""
+
+from repro.fuzzing.harness import (
+    FuzzCase,
+    FuzzFailure,
+    FuzzReport,
+    build_corpus,
+    replay,
+    run_fuzz,
+)
+from repro.fuzzing.mutators import MUTATORS, Mutator, mutate
+
+__all__ = [
+    "FuzzCase",
+    "FuzzFailure",
+    "FuzzReport",
+    "MUTATORS",
+    "Mutator",
+    "build_corpus",
+    "mutate",
+    "replay",
+    "run_fuzz",
+]

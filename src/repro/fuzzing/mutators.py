@@ -1,0 +1,196 @@
+"""Deterministic container mutators for the fault-injection harness.
+
+Each mutator is a pure function ``(blob, rng) -> bytes`` taking a *valid*
+container and a seeded :class:`numpy.random.Generator`; same blob + same
+generator state gives the same mutant, so every harness failure is
+reproducible from ``(seed, iteration)`` alone.
+
+The catalogue covers the damage classes a stored container actually
+meets: radiation-style bit flips, overwritten or zeroed spans, truncated
+and over-long files, targeted header-field damage (the bytes that size
+allocations), and chunk-table splices (swapped / inflated / zeroed size
+entries — the geometry the decompression-bomb guards exist for).
+"""
+
+from __future__ import annotations
+
+import struct
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.core import container as fmt
+
+#: ``(blob, rng) -> mutated blob``
+Mutator = Callable[[bytes, np.random.Generator], bytes]
+
+
+def _rand_offset(rng: np.random.Generator, n: int) -> int:
+    return int(rng.integers(0, max(n, 1)))
+
+
+def bit_flip(blob: bytes, rng: np.random.Generator) -> bytes:
+    """Flip 1..8 random bits anywhere in the container."""
+    buf = bytearray(blob)
+    if not buf:
+        return bytes(buf)
+    for _ in range(int(rng.integers(1, 9))):
+        pos = _rand_offset(rng, len(buf))
+        buf[pos] ^= 1 << int(rng.integers(0, 8))
+    return bytes(buf)
+
+
+def byte_stomp(blob: bytes, rng: np.random.Generator) -> bytes:
+    """Overwrite a random span (1..64 bytes) with random garbage."""
+    buf = bytearray(blob)
+    if not buf:
+        return bytes(buf)
+    start = _rand_offset(rng, len(buf))
+    length = min(int(rng.integers(1, 65)), len(buf) - start)
+    buf[start : start + length] = rng.bytes(length)
+    return bytes(buf)
+
+
+def zero_span(blob: bytes, rng: np.random.Generator) -> bytes:
+    """Zero-fill a random span — the signature of a lost storage sector."""
+    buf = bytearray(blob)
+    if not buf:
+        return bytes(buf)
+    start = _rand_offset(rng, len(buf))
+    length = min(int(rng.integers(1, 257)), len(buf) - start)
+    buf[start : start + length] = bytes(length)
+    return bytes(buf)
+
+
+def truncate(blob: bytes, rng: np.random.Generator) -> bytes:
+    """Cut the container at a random byte length (possibly zero)."""
+    return blob[: _rand_offset(rng, len(blob) + 1)]
+
+
+def extend(blob: bytes, rng: np.random.Generator) -> bytes:
+    """Append 1..256 random trailing bytes."""
+    return blob + rng.bytes(int(rng.integers(1, 257)))
+
+
+#: (offset, size) of every fixed header field, from the wire layout
+#: ``<4sBBBBQQII`` — the bytes allocations are sized from.
+_HEADER_FIELDS = (
+    (0, 4),    # magic
+    (4, 1),    # version
+    (5, 1),    # codec_id
+    (6, 1),    # dtype_code
+    (7, 1),    # flags
+    (8, 8),    # original_len
+    (16, 8),   # intermediate_len
+    (24, 4),   # chunk_size
+    (28, 4),   # n_chunks
+)
+
+
+def header_field(blob: bytes, rng: np.random.Generator) -> bytes:
+    """Rewrite one header field with an adversarial value.
+
+    Half the time the field becomes an extreme (all-zero or all-ones —
+    the decompression-bomb shapes), otherwise random bytes.
+    """
+    buf = bytearray(blob)
+    if len(buf) < 32:
+        return bit_flip(blob, rng)
+    offset, size = _HEADER_FIELDS[int(rng.integers(0, len(_HEADER_FIELDS)))]
+    choice = int(rng.integers(0, 4))
+    if choice == 0:
+        value = bytes(size)
+    elif choice == 1:
+        value = b"\xff" * size
+    else:
+        value = rng.bytes(size)
+    buf[offset : offset + size] = value
+    return bytes(buf)
+
+
+def _table_geometry(blob: bytes) -> tuple[int, int, int] | None:
+    """(size_table_offset, crc_table_offset_or_-1, n_chunks) of a valid blob."""
+    try:
+        info = fmt.inspect_container(blob)
+    except Exception:
+        return None
+    if info.n_chunks == 0:
+        return None
+    tables = 2 if info.chunk_crcs is not None else 1
+    size_off = info.payload_offset - 4 * info.n_chunks * tables
+    crc_off = info.payload_offset - 4 * info.n_chunks if tables == 2 else -1
+    return size_off, crc_off, info.n_chunks
+
+
+def chunk_table_entry(blob: bytes, rng: np.random.Generator) -> bytes:
+    """Rewrite one chunk-size table entry with an adversarial length."""
+    geometry = _table_geometry(blob)
+    if geometry is None:
+        return bit_flip(blob, rng)
+    size_off, _, n_chunks = geometry
+    buf = bytearray(blob)
+    i = int(rng.integers(0, n_chunks))
+    choice = int(rng.integers(0, 4))
+    if choice == 0:
+        value = 0
+    elif choice == 1:
+        value = 0xFFFFFFFF
+    elif choice == 2:
+        value = int(rng.integers(0, 1 << 31))
+    else:  # off-by-one on the real entry
+        (current,) = struct.unpack_from("<I", buf, size_off + 4 * i)
+        value = max(0, current + int(rng.integers(-2, 3)))
+    struct.pack_into("<I", buf, size_off + 4 * i, value)
+    return bytes(buf)
+
+
+def chunk_table_splice(blob: bytes, rng: np.random.Generator) -> bytes:
+    """Swap two chunk-size entries — sizes stay plausible, sum unchanged,
+    but every payload window between them shifts onto the wrong bytes."""
+    geometry = _table_geometry(blob)
+    if geometry is None or geometry[2] < 2:
+        return chunk_table_entry(blob, rng)
+    size_off, _, n_chunks = geometry
+    buf = bytearray(blob)
+    i, j = rng.choice(n_chunks, size=2, replace=False)
+    a = slice(size_off + 4 * int(i), size_off + 4 * int(i) + 4)
+    b = slice(size_off + 4 * int(j), size_off + 4 * int(j) + 4)
+    buf[a], buf[b] = buf[b], buf[a]
+    return bytes(buf)
+
+
+def payload_flip(blob: bytes, rng: np.random.Generator) -> bytes:
+    """Flip one bit strictly inside the payload region.
+
+    The harness's salvage-recovery invariant keys off this mutator:
+    header and tables stay intact, so salvage must contain the damage to
+    the one chunk that owns the flipped bit.
+    """
+    try:
+        info = fmt.inspect_container(blob)
+    except Exception:
+        return bit_flip(blob, rng)
+    if info.payload_offset >= len(blob):
+        return bit_flip(blob, rng)
+    buf = bytearray(blob)
+    pos = int(rng.integers(info.payload_offset, len(buf)))
+    buf[pos] ^= 1 << int(rng.integers(0, 8))
+    return bytes(buf)
+
+
+MUTATORS: dict[str, Mutator] = {
+    "bit-flip": bit_flip,
+    "byte-stomp": byte_stomp,
+    "zero-span": zero_span,
+    "truncate": truncate,
+    "extend": extend,
+    "header-field": header_field,
+    "chunk-table-entry": chunk_table_entry,
+    "chunk-table-splice": chunk_table_splice,
+    "payload-flip": payload_flip,
+}
+
+
+def mutate(blob: bytes, name: str, rng: np.random.Generator) -> bytes:
+    """Apply the named mutator."""
+    return MUTATORS[name](blob, rng)

@@ -33,6 +33,7 @@ from typing import BinaryIO
 import numpy as np
 
 from repro.api import compress, decompress
+from repro.core.container import DEFAULT_CHECKSUM
 from repro.errors import FormatError
 
 MAGIC = b"FPRS"
@@ -49,7 +50,7 @@ class StreamWriter:
         *,
         codec: str | None = None,
         mode: str = "ratio",
-        checksum: bool = True,
+        checksum: bool = DEFAULT_CHECKSUM,
         workers: int = 1,
     ) -> None:
         self._sink = sink

@@ -50,6 +50,32 @@ class Stage(ABC):
     def decode(self, data: ByteLike) -> bytes:
         """Exact inverse of :meth:`encode`."""
 
+    def max_encoded_len(self, input_len: int) -> int:
+        """Upper bound on ``len(encode(data))`` for ``input_len`` input bytes.
+
+        Used as a decompression-bomb guard when this stage runs globally:
+        a container whose declared intermediate length exceeds this bound
+        is rejected before any buffer is allocated from it.  The default
+        is generous (2x + framing); stages with exact arithmetic override.
+        """
+        return 2 * input_len + 64
+
+    def decode_salvage(
+        self, data: ByteLike, damaged_ranges
+    ) -> tuple[bytes, tuple[tuple[int, int], ...]]:
+        """Damage-aware inverse for salvage-mode decode.
+
+        ``damaged_ranges`` lists (start, end) byte spans of ``data`` that
+        were zero-filled because their chunk failed verification.  Returns
+        the decoded bytes plus the output byte ranges that cannot be
+        trusted.  The default is maximally conservative — any input
+        damage taints the whole output; stages that can track propagation
+        precisely (FCM) override this.
+        """
+        out = self.decode(data)
+        damaged = ((0, len(out)),) if damaged_ranges else ()
+        return out, damaged
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(word_bits={self.word_bits})"
 

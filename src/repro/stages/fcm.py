@@ -157,3 +157,66 @@ class FCMStage(Stage):
             parent = grand
         words = values[parent]
         return words_to_bytes(np.ascontiguousarray(words, dtype="<u8"), tail)
+
+    def max_encoded_len(self, input_len: int) -> int:
+        # encode emits 16*n + tail + 9 bytes for 8*n + tail input bytes,
+        # so the output never exceeds twice the input plus the trailer.
+        return 2 * input_len + 9
+
+    def decode_salvage(
+        self, data: ByteLike, damaged_ranges
+    ) -> tuple[bytes, tuple[tuple[int, int], ...]]:
+        """Damage-aware inverse: track corruption through the match chains.
+
+        ``damaged_ranges`` marks zero-filled spans of the encoded payload.
+        A word is untrustworthy when its value/distance entries overlap a
+        damaged span *or* its match chain passes through such a word —
+        damage only propagates forward (distances point backward), so
+        everything whose chain avoids the zero-filled spans is recovered
+        bit-exactly.  The damage mask rides the same pointer-doubling
+        sweep the normal decode uses.
+        """
+        values, distances, tail = self.split_payload(data)
+        n = len(values)
+        mask = np.zeros(len(data), dtype=bool)
+        for start, end in damaged_ranges:
+            mask[max(0, int(start)) : max(0, int(end))] = True
+        if mask[16 * n :].any():
+            # Tail or trailer damaged: the framing itself cannot be
+            # trusted even though it happened to parse.
+            raise CorruptDataError("FCM tail/trailer overlaps a damaged range")
+        if n == 0:
+            return bytes(tail), ()
+        entry_damaged = (
+            mask[: 8 * n].reshape(n, 8).any(axis=1)
+            | mask[8 * n : 16 * n].reshape(n, 8).any(axis=1)
+        )
+        dist = distances.astype(np.int64)
+        bad = (dist < 0) | (dist > np.arange(n))
+        if bad.any():
+            # Zero-filled entries decode as distance 0, so out-of-range
+            # distances are undetected corruption: taint, don't abort.
+            entry_damaged |= bad
+            dist = np.where(bad, 0, dist)
+        parent = np.arange(n, dtype=np.int64) - dist
+        damaged = entry_damaged.copy()
+        while True:
+            damaged = damaged | damaged[parent]
+            grand = parent[parent]
+            if np.array_equal(grand, parent):
+                break
+            parent = grand
+        words = values[parent]
+        out = words_to_bytes(np.ascontiguousarray(words, dtype="<u8"), tail)
+        # Collapse consecutive damaged words into byte ranges.
+        idx = np.nonzero(damaged)[0]
+        ranges: list[tuple[int, int]] = []
+        if len(idx):
+            breaks = np.nonzero(np.diff(idx) > 1)[0]
+            starts = np.concatenate(([0], breaks + 1))
+            ends = np.concatenate((breaks, [len(idx) - 1]))
+            ranges = [
+                (int(idx[s]) * 8, (int(idx[e]) + 1) * 8)
+                for s, e in zip(starts, ends)
+            ]
+        return out, tuple(ranges)

@@ -5,6 +5,18 @@ corpus, confirming bit-exact round trips, and reports per-domain ratios.
 Used by ``fprz verify`` and the release checklist: a reproduction of a
 *lossless* compression paper should be able to prove the adjective on
 demand.
+
+Failures are classified, not just counted: a compressor that raises a
+:class:`~repro.errors.ReproError` on pristine data *rejected* the file
+(wrong, but a controlled failure), while any other exception is a
+*crash*, reported with :func:`~repro.errors.traceback_summary` so the
+faulting frame is visible without a debugger.  Every file gets a fresh
+compressor instance — a stateful adapter poisoned by one file must not
+contaminate the verdict on the next.
+
+``fuzz_iterations`` chains the fault-injection harness
+(:func:`repro.fuzzing.run_fuzz`) onto the sweep, so one command checks
+both directions: pristine data round-trips, corrupted data fails safely.
 """
 
 from __future__ import annotations
@@ -15,6 +27,7 @@ import numpy as np
 
 from repro.baselines import competitors_for
 from repro.datasets import dp_suite, sp_suite
+from repro.errors import ReproError, traceback_summary
 from repro.harness.runner import our_codecs_for
 from repro.metrics import geomean
 
@@ -28,21 +41,39 @@ class VerificationReport:
     failures: list[str] = field(default_factory=list)
     #: compressor name -> geo-mean ratio over everything verified
     ratios: dict[str, float] = field(default_factory=dict)
+    #: attached fault-injection outcome (``fuzz_iterations > 0``).
+    fuzz: object | None = None
 
     @property
     def ok(self) -> bool:
-        return not self.failures
+        return not self.failures and (self.fuzz is None or self.fuzz.ok)
 
     def render(self) -> str:
         lines = [
             f"verified {self.compressors_checked} compressors over "
             f"{self.files_checked} files: "
-            + ("ALL LOSSLESS" if self.ok else f"{len(self.failures)} FAILURES")
+            + ("ALL LOSSLESS" if not self.failures
+               else f"{len(self.failures)} FAILURES")
         ]
         for name in sorted(self.ratios, key=lambda n: -self.ratios[n]):
             lines.append(f"  {name:<16} geo-mean ratio {self.ratios[name]:6.3f}")
         lines.extend(f"  FAIL: {failure}" for failure in self.failures)
+        if self.fuzz is not None:
+            lines.append(self.fuzz.render())
         return "\n".join(lines)
+
+
+def _build_compressors(dtype, include_baselines: bool) -> list:
+    """Fresh compressor adapters — never reused across corpus files."""
+    compressors = list(our_codecs_for(dtype))
+    if include_baselines:
+        seen = {c.name for c in compressors}
+        for kind in ("gpu", "cpu"):
+            for comp in competitors_for(dtype, kind):
+                if comp.name not in seen:
+                    seen.add(comp.name)
+                    compressors.append(comp)
+    return compressors
 
 
 def verify_corpus(
@@ -50,33 +81,43 @@ def verify_corpus(
     scale: float = 0.1,
     include_baselines: bool = False,
     dtypes: tuple = (np.float32, np.float64),
+    fuzz_iterations: int = 0,
+    fuzz_seed: int = 0,
 ) -> VerificationReport:
-    """Round-trip every compressor over every corpus file at ``scale``."""
+    """Round-trip every compressor over every corpus file at ``scale``.
+
+    With ``fuzz_iterations > 0`` the seeded fault-injection harness runs
+    afterwards and its failures gate :attr:`VerificationReport.ok` too.
+    """
     report = VerificationReport()
     for dtype in dtypes:
         domains = sp_suite() if np.dtype(dtype) == np.float32 else dp_suite()
-        compressors = list(our_codecs_for(dtype))
-        if include_baselines:
-            seen = {c.name for c in compressors}
-            for kind in ("gpu", "cpu"):
-                for comp in competitors_for(dtype, kind):
-                    if comp.name not in seen:
-                        seen.add(comp.name)
-                        compressors.append(comp)
-        per_comp: dict[str, list[float]] = {c.name: [] for c in compressors}
+        names = [c.name for c in _build_compressors(dtype, include_baselines)]
+        per_comp: dict[str, list[float]] = {name: [] for name in names}
         files = 0
         for domain in domains:
             for file in domain.files:
                 array = file.load(scale)
                 data = array.tobytes()
                 files += 1
-                for comp in compressors:
+                for comp in _build_compressors(dtype, include_baselines):
                     comp.set_dimensions(array.shape)
                     try:
                         blob = comp.compress(data)
                         back = comp.decompress(blob)
+                    except ReproError as exc:
+                        # Controlled failure type — but pristine corpus
+                        # data must never be rejected.
+                        report.failures.append(
+                            f"{comp.name} rejected {file.name} "
+                            f"({type(exc).__name__}: {exc})"
+                        )
+                        continue
                     except Exception as exc:  # deliberate: report, don't abort
-                        report.failures.append(f"{comp.name} crashed on {file.name}: {exc}")
+                        report.failures.append(
+                            f"{comp.name} CRASHED on {file.name}: "
+                            f"{traceback_summary(exc)}"
+                        )
                         continue
                     if back != data:
                         report.failures.append(f"{comp.name} corrupted {file.name}")
@@ -89,4 +130,8 @@ def verify_corpus(
                 value = geomean(ratios)
                 report.ratios[name] = value if combined is None else geomean([combined, value])
     report.compressors_checked = len(report.ratios)
+    if fuzz_iterations > 0:
+        from repro.fuzzing import run_fuzz
+
+        report.fuzz = run_fuzz(seed=fuzz_seed, iterations=fuzz_iterations)
     return report

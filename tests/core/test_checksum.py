@@ -15,14 +15,33 @@ class TestChecksum:
         assert np.array_equal(repro.decompress(blob), smooth_f32)
         assert repro.inspect(blob).checksum is not None
 
-    def test_default_has_no_checksum(self, smooth_f32):
+    def test_default_is_checksummed(self, smooth_f32):
+        # The documented defaults (container.DEFAULT_CHECKSUM /
+        # DEFAULT_CHUNK_CHECKSUMS) are integrity-on everywhere.
         blob = repro.compress(smooth_f32)
-        assert repro.inspect(blob).checksum is None
+        info = repro.inspect(blob)
+        assert info.checksum is not None
+        assert info.chunk_crcs is not None
+
+    def test_default_matches_documented_constants(self, smooth_f32):
+        from repro.core import container as fmt
+
+        blob = repro.compress(smooth_f32)
+        info = repro.inspect(blob)
+        assert (info.checksum is not None) == fmt.DEFAULT_CHECKSUM
+        assert (info.chunk_crcs is not None) == fmt.DEFAULT_CHUNK_CHECKSUMS
 
     def test_overhead_is_four_bytes(self, smooth_f32):
-        plain = repro.compress(smooth_f32)
-        checked = repro.compress(smooth_f32, checksum=True)
+        plain = repro.compress(smooth_f32, checksum=False, chunk_checksums=False)
+        checked = repro.compress(smooth_f32, checksum=True, chunk_checksums=False)
         assert len(checked) == len(plain) + 4
+
+    def test_chunk_checksum_overhead_is_four_bytes_per_chunk(self, smooth_f32):
+        plain = repro.compress(smooth_f32, checksum=False, chunk_checksums=False)
+        checked = repro.compress(smooth_f32, checksum=False, chunk_checksums=True)
+        n_chunks = repro.inspect(checked).n_chunks
+        assert n_chunks > 1
+        assert len(checked) == len(plain) + 4 * n_chunks
 
     def test_checksum_survives_raw_fallback(self, rng):
         data = rng.integers(0, 256, size=50_000, dtype=np.uint8).tobytes()

@@ -78,18 +78,22 @@ class TestEngineValidation:
 
     def test_bitflip_detected_or_localised(self, rng):
         # A flipped byte in a chunk payload must never crash with a
-        # non-library exception; it either raises CorruptDataError or
-        # decodes to different bytes (the format carries no checksums,
-        # like the paper's artifact).
+        # non-library exception.  With the default per-chunk CRCs it is
+        # guaranteed to raise; a checksum-free container may instead
+        # decode to different bytes (like the paper's artifact).
         codec = get_codec("spratio")
         data = smooth_bytes(rng, 30_000, np.float32)
-        blob = bytearray(compress_bytes(data, codec))
-        blob[len(blob) // 2] ^= 0x01
-        try:
-            back, _ = decompress_bytes(bytes(blob))
-        except (CorruptDataError, FormatError):
-            return
-        assert back != data
+        for chunk_checksums in (True, False):
+            blob = bytearray(compress_bytes(
+                data, codec, checksum=False, chunk_checksums=chunk_checksums
+            ))
+            blob[len(blob) // 2] ^= 0x01
+            try:
+                back, _ = decompress_bytes(bytes(blob))
+            except (CorruptDataError, FormatError):
+                continue
+            assert not chunk_checksums  # CRCs may never miss payload damage
+            assert back != data
 
     def test_custom_chunk_size_roundtrip(self, rng):
         codec = get_codec("spspeed")

@@ -96,3 +96,104 @@ class TestContainer:
         )
         with pytest.raises(FormatError):
             fmt.inspect_container(blob[:33])
+
+
+class TestContainerV2:
+    """Per-chunk CRC table (version 2) and the bounds guards."""
+
+    def _build(self, payloads, *, chunk_crcs=True, **kwargs):
+        defaults = dict(
+            codec_id=1, dtype_code=fmt.DTYPE_BYTES,
+            original_len=sum(max(len(p) - 1, 0) for p in payloads),
+            intermediate_len=sum(max(len(p) - 1, 0) for p in payloads),
+            chunk_size=4,
+        )
+        defaults.update(kwargs)
+        return fmt.build_container(
+            chunk_payloads=payloads, chunk_crcs=chunk_crcs, **defaults
+        )
+
+    def test_crc_table_written_and_parsed(self):
+        payloads = [b"\x00abc", b"\x00defg"]
+        blob = self._build(payloads)
+        info = fmt.inspect_container(blob)
+        assert info.version == 2
+        assert info.chunk_crcs == tuple(fmt.checksum_of(p) for p in payloads)
+
+    def test_crc_table_sits_between_size_table_and_payloads(self):
+        import struct
+
+        payloads = [b"\x00abc", b"\x00defg"]
+        blob = self._build(payloads)
+        info = fmt.inspect_container(blob)
+        crc_offset = info.payload_offset - 4 * info.n_chunks
+        stored = struct.unpack_from("<2I", blob, crc_offset)
+        assert stored == info.chunk_crcs
+        assert blob[info.payload_offset :] == b"".join(payloads)
+
+    def test_without_crcs_stays_version_1(self):
+        blob = self._build([b"\x00abc"], chunk_crcs=False)
+        info = fmt.inspect_container(blob)
+        assert info.version == 1
+        assert info.chunk_crcs is None
+
+    def test_empty_container_drops_the_crc_table(self):
+        # No chunks -> nothing to protect; stay v1 for byte-compat.
+        blob = self._build([], chunk_crcs=True, original_len=0,
+                           intermediate_len=0)
+        info = fmt.inspect_container(blob)
+        assert info.version == 1 and info.chunk_crcs is None
+
+    def test_overhead_is_four_bytes_per_chunk(self):
+        payloads = [b"\x00abc", b"\x00defg", b"\x00h"]
+        with_crcs = self._build(payloads, chunk_crcs=True)
+        without = self._build(payloads, chunk_crcs=False)
+        assert len(with_crcs) == len(without) + 4 * len(payloads)
+
+    def test_chunk_crc_flag_rejected_on_version_1(self):
+        blob = bytearray(self._build([b"\x00abc"], chunk_crcs=False))
+        blob[7] |= fmt.FLAG_CHUNK_CRCS  # claim a CRC table on a v1 blob
+        with pytest.raises(FormatError, match="unknown flag"):
+            fmt.inspect_container(bytes(blob))
+
+    def test_zero_length_chunk_entry_rejected(self):
+        import struct
+
+        blob = bytearray(self._build([b"\x00abc", b"\x00de"], chunk_crcs=False))
+        info = fmt.inspect_container(bytes(blob))
+        table = info.payload_offset - 8
+        struct.pack_into("<I", blob, table, 0)
+        struct.pack_into("<I", blob, table + 4, 7)  # keep the sum right
+        with pytest.raises(FormatError, match="chunk 0"):
+            fmt.inspect_container(bytes(blob))
+
+    def test_shape_dtype_product_must_match_original_len(self):
+        from repro.errors import ReproError
+
+        blob = bytearray(fmt.build_container(
+            codec_id=1, dtype_code=fmt.DTYPE_F32, original_len=16,
+            intermediate_len=16, chunk_size=16,
+            chunk_payloads=[b"\x00" + bytes(16)], shape=(2, 2),
+        ))
+        blob[34] = 3  # shape (3, 2): 6 floats != 16 bytes
+        with pytest.raises(ReproError, match="shape"):
+            fmt.inspect_container(bytes(blob))
+
+    def test_excessive_ndim_rejected(self):
+        blob = bytearray(fmt.build_container(
+            codec_id=1, dtype_code=fmt.DTYPE_BYTES, original_len=4,
+            intermediate_len=4, chunk_size=4, chunk_payloads=[b"\x00abcd"],
+            shape=(4,),
+        ))
+        blob[34] = 200
+        with pytest.raises(FormatError):
+            fmt.inspect_container(bytes(blob))
+
+    def test_raw_fallback_refuses_chunk_crc_flag(self):
+        blob = bytearray(fmt.build_raw_container(
+            codec_id=1, dtype_code=fmt.DTYPE_BYTES, data=b"abc"
+        ))
+        blob[4] = 2  # version must allow the flag before the check fires
+        blob[7] |= fmt.FLAG_CHUNK_CRCS
+        with pytest.raises(FormatError, match="raw-fallback"):
+            fmt.inspect_container(bytes(blob))

@@ -208,7 +208,9 @@ class TestLazyRawFallback:
         blob = compress_bytes(data, codec)
         info = fmt.inspect_container(blob)
         assert info.raw_fallback
-        assert len(blob) == fmt.raw_container_size(len(data))
+        assert len(blob) == fmt.raw_container_size(
+            len(data), checksum=fmt.checksum_of(data)
+        )
         back, _ = decompress_bytes(blob)
         assert back == data
 
@@ -275,3 +277,60 @@ class TestAPIPassthrough:
                                     trace=out)
         assert np.array_equal(restored, smooth_f32)
         assert out.direction == "decompress"
+
+
+class TestFailureContainment:
+    """One bad job must not poison the worklist (threaded or blocked)."""
+
+    @pytest.mark.parametrize("policy", ["threaded", "static-blocks"])
+    def test_other_jobs_still_run_after_a_failure(self, policy):
+        ran: set[int] = set()
+        lock = threading.Lock()
+
+        def make_worker(worker_id: int):
+            def job(i: int) -> int:
+                if i in (3, 7):
+                    raise ValueError(f"job {i} is cursed")
+                with lock:
+                    ran.add(i)
+                return i
+
+            return job
+
+        executor = get_executor(policy, 4)
+        with pytest.raises(ValueError, match="cursed"):
+            executor.run(16, make_worker)
+        # Every healthy job completed despite two failures mid-worklist.
+        assert ran == set(range(16)) - {3, 7}
+
+    @pytest.mark.parametrize("policy", ["threaded", "static-blocks"])
+    def test_lowest_index_error_wins(self, policy):
+        # Serial order raises the first failing index; parallel policies
+        # must report the same one for deterministic error messages.
+        def make_worker(worker_id: int):
+            def job(i: int) -> int:
+                if i in (5, 11, 2):
+                    raise RuntimeError(f"boom {i}")
+                return i
+
+            return job
+
+        executor = get_executor(policy, 4)
+        with pytest.raises(RuntimeError, match="boom 2"):
+            executor.run(16, make_worker)
+
+    def test_worker_construction_failure_is_fatal(self):
+        calls = []
+
+        def make_worker(worker_id: int):
+            if worker_id == 1:
+                raise OSError("no scratch space for worker 1")
+
+            def job(i: int) -> int:
+                calls.append(i)
+                return i
+
+            return job
+
+        with pytest.raises(OSError, match="scratch"):
+            get_executor("threaded", 2).run(8, make_worker)

@@ -1,0 +1,159 @@
+"""The fuzzing subsystem's own tests: determinism, invariants, mutators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import container as fmt
+from repro.errors import ReproError, traceback_summary
+from repro.fuzzing import (
+    MUTATORS,
+    build_corpus,
+    mutate,
+    replay,
+    run_fuzz,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_report(self):
+        a = run_fuzz(seed=3, iterations=40)
+        b = run_fuzz(seed=3, iterations=40)
+        assert a.outcomes == b.outcomes
+        assert [str(f) for f in a.failures] == [str(f) for f in b.failures]
+
+    def test_different_seeds_differ(self):
+        a = run_fuzz(seed=1, iterations=40)
+        b = run_fuzz(seed=2, iterations=40)
+        assert a.outcomes != b.outcomes  # astronomically unlikely to match
+
+    def test_replay_reproduces_the_iteration_inputs(self):
+        case, mutator, mutant = replay(5, 17)
+        case2, mutator2, mutant2 = replay(5, 17)
+        assert case.label == case2.label
+        assert mutator == mutator2
+        assert mutant == mutant2
+
+    def test_mutators_are_deterministic(self):
+        corpus = build_corpus(0)
+        blob = corpus[0].blob
+        for name in MUTATORS:
+            a = mutate(blob, name, np.random.default_rng(11))
+            b = mutate(blob, name, np.random.default_rng(11))
+            assert a == b, name
+
+
+class TestCorpus:
+    def test_corpus_covers_all_codecs_and_both_versions(self):
+        corpus = build_corpus(0)
+        labels = {case.label for case in corpus}
+        for codec in ("spspeed", "spratio", "dpspeed", "dpratio"):
+            assert f"{codec}-v1" in labels and f"{codec}-v2" in labels
+        assert "raw-fallback" in labels
+        # v2 cases really carry chunk CRCs, v1 cases really do not.
+        for case in corpus:
+            info = fmt.inspect_container(case.blob)
+            if case.label.endswith("-v2"):
+                assert info.chunk_crcs is not None and info.version == 2
+            elif case.label.endswith("-v1"):
+                assert info.chunk_crcs is None and info.version == 1
+
+    def test_corpus_containers_are_valid(self):
+        from repro.core.compressor import decompress_bytes
+
+        for case in build_corpus(0):
+            data, _ = decompress_bytes(case.blob)
+            assert data == case.data, case.label
+
+
+class TestInvariants:
+    def test_clean_run_has_no_failures(self):
+        report = run_fuzz(seed=0, iterations=150)
+        assert report.ok, report.render()
+        assert sum(report.outcomes.values()) == 150
+        # The mutation space actually exercises both fates.
+        assert report.outcomes["rejected"] > 0
+        decoded = (report.outcomes["decoded-intact"]
+                   + report.outcomes["decoded-differs"])
+        assert decoded > 0
+
+    def test_every_mutator_fails_safely_on_every_case(self):
+        # Denser coverage than the sampled loop: the full cartesian
+        # product, one mutation each.
+        from repro.core.compressor import decompress_bytes
+
+        for case in build_corpus(7):
+            for name in sorted(MUTATORS):
+                rng = np.random.default_rng([7, hash(name) % (2**31)])
+                mutant = mutate(case.blob, name, rng)
+                try:
+                    decompress_bytes(mutant)
+                except ReproError:
+                    pass
+                try:
+                    decompress_bytes(mutant, errors="salvage")
+                except ReproError:
+                    pass
+
+    def test_render_summarises(self):
+        report = run_fuzz(seed=0, iterations=25)
+        text = report.render()
+        assert "seed=0" in text and "iterations=25" in text
+
+
+class TestBombGuards:
+    """Handcrafted decompression bombs the fuzz invariants rest on."""
+
+    def _header(self, **overrides) -> bytearray:
+        fields = dict(magic=b"FPRZ", version=1, codec_id=1, dtype_code=0,
+                      flags=0, orig_len=16384, inter_len=16384,
+                      chunk_size=16384, n_chunks=1)
+        fields.update(overrides)
+        import struct
+
+        return bytearray(struct.pack(
+            "<4sBBBBQQII", fields["magic"], fields["version"],
+            fields["codec_id"], fields["dtype_code"], fields["flags"],
+            fields["orig_len"], fields["inter_len"], fields["chunk_size"],
+            fields["n_chunks"],
+        ))
+
+    def test_huge_declared_original_len_rejected_cheaply(self):
+        from repro.errors import BoundsError
+
+        blob = bytes(self._header(orig_len=1 << 62, inter_len=1 << 62)
+                     ) + b"\x05\x00\x00\x00" + b"\x00" * 5
+        with pytest.raises(BoundsError, match="implausible"):
+            fmt.inspect_container(blob)
+
+    def test_huge_chunk_size_rejected(self):
+        from repro.errors import BoundsError
+
+        blob = bytes(self._header(chunk_size=1 << 30)
+                     ) + b"\x05\x00\x00\x00" + b"\x00" * 5
+        with pytest.raises(BoundsError, match="chunk size"):
+            fmt.inspect_container(blob)
+
+    def test_intermediate_len_must_fit_the_global_stage(self, smooth_f64):
+        # A plausible-per-byte-count inter_len that no FCM output could
+        # have (codec dpratio: max 2x+9) must be rejected before the
+        # decoder allocates the intermediate buffer.
+        import repro
+        from repro.core.compressor import decompress_bytes
+        from repro.errors import BoundsError
+
+        blob = bytearray(repro.compress(smooth_f64, "dpratio",
+                                        checksum=False, chunk_checksums=False))
+        orig_len = int.from_bytes(blob[8:16], "little")
+        blob[16:24] = (4 * orig_len).to_bytes(8, "little")
+        with pytest.raises(BoundsError, match="maximum"):
+            decompress_bytes(bytes(blob))
+
+    def test_traceback_summary_names_the_frame(self):
+        try:
+            1 / 0
+        except ZeroDivisionError as exc:
+            summary = traceback_summary(exc)
+        assert "ZeroDivisionError" in summary
+        assert "test_fuzz_harness.py" in summary

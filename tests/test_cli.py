@@ -87,3 +87,50 @@ class TestBench:
         assert main(["bench", "--figure", "fig08", "--scale", "0.02"]) == 0
         out = capsys.readouterr().out
         assert "SPratio" in out and "front" in out
+
+
+class TestFuzzCommand:
+    def test_fuzz_runs_clean(self, capsys):
+        assert main(["fuzz", "--seed", "0", "--iterations", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "failures=0" in out and "iterations=30" in out
+
+    def test_fuzz_codec_restriction(self, capsys):
+        assert main(["fuzz", "--iterations", "10",
+                     "--codec", "spspeed", "--codec", "dpratio"]) == 0
+        assert "failures=0" in capsys.readouterr().out
+
+
+class TestSalvageFlag:
+    def test_salvage_of_pristine_container(self, float_file, tmp_path, capsys):
+        src, data = float_file
+        blob_path = tmp_path / "out.fprz"
+        restored = tmp_path / "restored.f32"
+        main(["compress", str(src), str(blob_path), "--dtype", "float32"])
+        assert main(["decompress", str(blob_path), str(restored),
+                     "--salvage"]) == 0
+        assert restored.read_bytes() == data.tobytes()
+        assert "chunks recovered" in capsys.readouterr().out
+
+    def test_salvage_of_damaged_container(self, float_file, tmp_path, capsys):
+        src, data = float_file
+        blob_path = tmp_path / "out.fprz"
+        restored = tmp_path / "restored.f32"
+        main(["compress", str(src), str(blob_path), "--dtype", "float32"])
+        blob = bytearray(blob_path.read_bytes())
+        info = repro.inspect(bytes(blob))
+        blob[info.payload_offset + 10] ^= 0xFF
+        blob_path.write_bytes(bytes(blob))
+        # strict decompress refuses ...
+        assert main(["decompress", str(blob_path), str(restored)]) == 1
+        # ... salvage writes output, reports damage, and exits non-zero.
+        assert main(["decompress", str(blob_path), str(restored),
+                     "--salvage"]) == 1
+        out = capsys.readouterr().out
+        assert "damaged" in out
+        assert len(restored.read_bytes()) == len(data.tobytes())
+
+    def test_verify_with_fuzz_flag(self, capsys):
+        assert main(["verify", "--scale", "0.02", "--fuzz", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "ALL LOSSLESS" in out and "fuzz: seed=0 iterations=20" in out

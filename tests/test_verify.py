@@ -39,3 +39,84 @@ class TestReportModel:
         report.failures.append("X corrupted Y")
         assert not report.ok
         assert "FAIL" in report.render()
+
+
+class TestFailureClassification:
+    """Crashes and controlled rejections are reported distinguishably."""
+
+    def _run_with_broken_codec(self, monkeypatch, exc: Exception):
+        import repro.verify as verify_mod
+
+        real = verify_mod._build_compressors
+
+        class Broken:
+            name = "Broken"
+
+            def set_dimensions(self, shape):
+                pass
+
+            def compress(self, data):
+                raise exc
+
+            def decompress(self, blob):
+                raise AssertionError("unreachable")
+
+        def patched(dtype, include_baselines):
+            return real(dtype, include_baselines) + [Broken()]
+
+        monkeypatch.setattr(verify_mod, "_build_compressors", patched)
+        return verify_corpus(scale=0.02, dtypes=(np.float32,))
+
+    def test_crash_reported_with_traceback_summary(self, monkeypatch):
+        report = self._run_with_broken_codec(
+            monkeypatch, ZeroDivisionError("division by zero")
+        )
+        assert not report.ok
+        crash_lines = [f for f in report.failures if "CRASHED" in f]
+        assert crash_lines
+        assert "ZeroDivisionError" in crash_lines[0]
+        assert "test_verify.py" in crash_lines[0]  # the faulting frame
+        # The healthy codecs still verified despite the broken one.
+        assert set(report.ratios) >= {"SPspeed", "SPratio"}
+
+    def test_repro_error_reported_as_rejection(self, monkeypatch):
+        from repro.errors import CorruptDataError
+
+        report = self._run_with_broken_codec(
+            monkeypatch, CorruptDataError("synthetic")
+        )
+        assert not report.ok
+        rejected = [f for f in report.failures if "rejected" in f]
+        assert rejected
+        assert "CorruptDataError" in rejected[0]
+        assert not any("CRASHED" in f for f in report.failures)
+
+
+class TestFreshCompressors:
+    def test_each_file_gets_a_fresh_compressor_instance(self, monkeypatch):
+        # A compressor poisoned by one file must not contaminate the
+        # next: verify_corpus must rebuild the adapters per file.
+        import repro.verify as verify_mod
+
+        seen_ids: list[int] = []
+        real = verify_mod._build_compressors
+
+        def tracking(dtype, include_baselines):
+            comps = real(dtype, include_baselines)
+            seen_ids.append(id(comps[0]))
+            return comps
+
+        monkeypatch.setattr(verify_mod, "_build_compressors", tracking)
+        verify_corpus(scale=0.02, dtypes=(np.float32,))
+        # one call for the name list + one per file, all distinct objects
+        assert len(seen_ids) == 91
+        assert len(set(seen_ids)) > 1
+
+
+class TestFuzzWiring:
+    def test_fuzz_failures_gate_ok(self):
+        report = verify_corpus(scale=0.02, dtypes=(np.float32,),
+                               fuzz_iterations=15)
+        assert report.fuzz is not None
+        assert report.fuzz.ok and report.ok
+        assert "fuzz: seed=0 iterations=15" in report.render()
