@@ -9,6 +9,10 @@ transformations are built from:
   used by MPLG, RAZE, and RARE.
 * :mod:`repro.bitpack.packing` — fixed-width MSB-first bit packing of word
   arrays, the payload encoding of MPLG/RAZE/RARE.
+* :mod:`repro.bitpack.lanes` — the word-lane shift/OR kernels behind
+  ``packing`` (chained-value lanes, strided window tables); byte-identical
+  to the historical bit-matrix implementation, which the test suite keeps
+  as a reference.
 * :mod:`repro.bitpack.transpose` — bit transposition (the BIT stage).
 * :mod:`repro.bitpack.bytes_util` — byte views, byte shuffles, safe casts.
 

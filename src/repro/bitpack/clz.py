@@ -10,19 +10,29 @@ Used by:
   previous value) drives its adaptive split.
 
 The implementation avoids float conversion (which misrounds near powers
-of two above 2^53) by scanning the big-endian byte view with an 8-bit
-lookup table.
+of two above 2^53): it smears the leading one bit rightward with a
+shift/OR cascade and counts the resulting set bits, so
+``clz = word_bits - popcount(smear(x))``.  This touches each word
+O(log word_bits) times with no per-call index allocation (the previous
+byte-scan needed a fancy-indexed gather of the first nonzero byte).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-# _CLZ8[b] = number of leading zero bits in the 8-bit value b (clz(0) = 8).
-_CLZ8 = np.zeros(256, dtype=np.uint8)
-_CLZ8[0] = 8
-for _value in range(1, 256):
-    _CLZ8[_value] = 8 - _value.bit_length()
+# _POP8[b] = number of set bits in the 8-bit value b; fallback popcount
+# table for numpy builds without np.bitwise_count (added in numpy 2.0).
+_POP8 = np.array([bin(v).count("1") for v in range(256)], dtype=np.uint8)
+
+_HAVE_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+
+def _popcount(words: np.ndarray) -> np.ndarray:
+    if _HAVE_BITWISE_COUNT:
+        return np.bitwise_count(words)
+    by = words.view(np.uint8).reshape(len(words), words.dtype.itemsize)
+    return _POP8[by].sum(axis=1, dtype=np.uint8)
 
 
 def count_leading_zeros(words: np.ndarray, word_bits: int) -> np.ndarray:
@@ -36,19 +46,14 @@ def count_leading_zeros(words: np.ndarray, word_bits: int) -> np.ndarray:
     n = len(words)
     if n == 0:
         return np.zeros(0, dtype=np.uint8)
-    word_bytes = word_bits // 8
-    # Big-endian byte view: byte 0 holds the most significant bits.
-    be = words.astype(words.dtype.newbyteorder(">"), copy=False)
-    rows = be.view(np.uint8).reshape(n, word_bytes)
-    nonzero = rows != 0
-    # Index of the first nonzero byte; argmax returns 0 for all-zero rows,
-    # which the `any` mask below corrects.
-    first = np.argmax(nonzero, axis=1)
-    has_nonzero = nonzero.any(axis=1)
-    first_byte = rows[np.arange(n), first]
-    clz = first.astype(np.uint16) * 8 + _CLZ8[first_byte]
-    clz[~has_nonzero] = word_bits
-    return clz.astype(np.uint8)
+    dt = words.dtype.type
+    x = words | (words >> dt(1))
+    shift = 2
+    while shift < word_bits:
+        x |= x >> dt(shift)
+        shift <<= 1
+    # x now has every bit at or below the leading one set.
+    return (np.uint8(word_bits) - _popcount(x)).astype(np.uint8)
 
 
 def leading_common_bits(words: np.ndarray, word_bits: int, *, initial: int = 0) -> np.ndarray:

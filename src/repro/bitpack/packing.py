@@ -4,16 +4,25 @@ This is the payload encoding of the MPLG, RAZE, and RARE stages: after a
 stage decides that every word in a group needs only ``width`` bits, the
 low ``width`` bits of each word are concatenated into a dense bit stream.
 Keeping the width fixed within a group is what makes independent parallel
-decompression of each value possible on a GPU (paper §3.1); here it makes
-the whole codec expressible as numpy reshapes.
+decompression of each value possible on a GPU (paper §3.1).
 
 The bit stream is MSB-first: the first packed word occupies the highest
-bits of the first output byte.  The final byte is zero-padded.
+bits of the first output byte.  The final byte is zero-padded, and the
+decoder rejects streams whose padding bits are nonzero — those bytes can
+only come from corruption, never from :func:`pack_words`.
+
+The heavy lifting lives in :mod:`repro.bitpack.lanes`, which computes the
+identical byte stream via word-lane shift/OR kernels instead of the
+historical one-byte-per-bit matrix (kept as a reference implementation in
+the test suite).
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro.bitpack.lanes import _NATIVE, pack_lanes, unpack_lanes
+from repro.errors import CorruptDataError
 
 
 def packed_size_bytes(count: int, width: int) -> int:
@@ -29,30 +38,32 @@ def pack_words(words: np.ndarray, width: int, word_bits: int) -> bytes:
     """
     if not 0 <= width <= word_bits:
         raise ValueError(f"width {width} out of range for {word_bits}-bit words")
-    n = len(words)
-    if n == 0 or width == 0:
-        return b""
-    word_bytes = word_bits // 8
-    be = words.astype(words.dtype.newbyteorder(">"), copy=False)
-    bits = np.unpackbits(be.view(np.uint8).reshape(n, word_bytes), axis=1)
-    low = bits[:, word_bits - width :]
-    return np.packbits(low.reshape(-1)).tobytes()
+    return pack_lanes(words, width, word_bits)
 
 
 def unpack_words(buf: bytes | np.ndarray, count: int, width: int, word_bits: int) -> np.ndarray:
-    """Inverse of :func:`pack_words`; returns ``count`` unsigned words."""
+    """Inverse of :func:`pack_words`; returns ``count`` unsigned words.
+
+    Raises ``ValueError`` if the buffer is shorter than the packed size
+    and :class:`~repro.errors.CorruptDataError` if the zero padding in
+    the final byte carries nonzero bits.
+    """
     if not 0 <= width <= word_bits:
         raise ValueError(f"width {width} out of range for {word_bits}-bit words")
-    dtype = np.dtype(f"u{word_bits // 8}")
     if count == 0 or width == 0:
-        return np.zeros(count, dtype=dtype)
-    raw = np.frombuffer(buf, dtype=np.uint8) if isinstance(buf, (bytes, bytearray, memoryview)) else np.asarray(buf, dtype=np.uint8)
+        return np.zeros(count, dtype=_NATIVE[word_bits])
+    raw = (
+        np.frombuffer(buf, dtype=np.uint8)
+        if isinstance(buf, (bytes, bytearray, memoryview))
+        else np.ascontiguousarray(buf, dtype=np.uint8)
+    )
     need = packed_size_bytes(count, width)
     if len(raw) < need:
         raise ValueError(f"packed buffer too short: have {len(raw)} bytes, need {need}")
-    bits = np.unpackbits(raw[:need])[: count * width].reshape(count, width)
-    word_bytes = word_bits // 8
-    full = np.zeros((count, word_bits), dtype=np.uint8)
-    full[:, word_bits - width :] = bits
-    be_bytes = np.packbits(full.reshape(-1)).reshape(count, word_bytes)
-    return be_bytes.view(np.dtype(f">u{word_bytes}")).reshape(count).astype(dtype)
+    pad_bits = need * 8 - count * width
+    if pad_bits and int(raw[need - 1]) & ((1 << pad_bits) - 1):
+        raise CorruptDataError(
+            f"nonzero padding bits in final byte of packed stream "
+            f"(count={count}, width={width})"
+        )
+    return unpack_lanes(raw, count, width, word_bits)

@@ -178,6 +178,33 @@ def payload_flip(blob: bytes, rng: np.random.Generator) -> bytes:
     return bytes(buf)
 
 
+def pad_bit_set(blob: bytes, rng: np.random.Generator) -> bytes:
+    """OR 1..7 low bits into the final byte of one chunk payload.
+
+    Every packed bit stream a chunk ends with (``pack_words`` output,
+    bitmap levels) zero-pads its final byte, and the decoders reject
+    nonzero padding as corruption.  Before that check, damage landing on
+    pad bits was silently discarded by the unpack slice; this mutator
+    pins the new behaviour — a typed failure (or a CRC rejection on v2
+    containers), never a silent pass-through of a damaged stream.
+    """
+    try:
+        info = fmt.inspect_container(blob)
+    except Exception:
+        return bit_flip(blob, rng)
+    if info.n_chunks == 0 or info.payload_offset >= len(blob):
+        return bit_flip(blob, rng)
+    buf = bytearray(blob)
+    i = int(rng.integers(0, info.n_chunks))
+    if info.chunk_sizes[i] == 0:
+        return bit_flip(blob, rng)
+    end = info.payload_offset + sum(info.chunk_sizes[: i + 1])
+    if end > len(buf):
+        return bit_flip(blob, rng)
+    buf[end - 1] |= (1 << int(rng.integers(1, 8))) - 1
+    return bytes(buf)
+
+
 MUTATORS: dict[str, Mutator] = {
     "bit-flip": bit_flip,
     "byte-stomp": byte_stomp,
@@ -188,6 +215,7 @@ MUTATORS: dict[str, Mutator] = {
     "chunk-table-entry": chunk_table_entry,
     "chunk-table-splice": chunk_table_splice,
     "payload-flip": payload_flip,
+    "pad-bit-set": pad_bit_set,
 }
 
 

@@ -1,0 +1,262 @@
+"""Benchmark-trajectory points: measured performance in a stable schema.
+
+Each point records, for one commit of this repository, the *measured*
+throughput of the real implementation (never the device model):
+
+* per-codec compress/decompress throughput and ratio on a deterministic
+  corpus sample (serial executor, so numbers are comparable across runs);
+* per-stage encode/decode throughput on a representative chunk;
+* kernel microbenchmarks (``pack_words``/``unpack_words`` at a grid of
+  representative widths, the BIT transpose, and count-leading-zeros).
+
+Points are saved as ``BENCH_<tag>.json`` files; committing one per perf
+PR grows a throughput trajectory of the repository itself, and
+:func:`compare_trajectories` turns any two points into a regression
+report (used by ``fprz bench --baseline`` and the CI ``bench-smoke``
+job).  The schema is stable: new sections may be added, existing keys
+are never renamed.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+import repro
+from repro.bitpack import bit_transpose, bit_untranspose, count_leading_zeros
+from repro.bitpack.packing import pack_words, unpack_words
+from repro.errors import ReproError
+from repro.metrics.timing import measure_throughput
+
+SCHEMA_VERSION = 1
+
+#: Representative packed widths per word size (8-52 bits, 16 KiB chunks).
+KERNEL_WIDTHS = {32: (8, 13, 23, 29), 64: (8, 13, 29, 52)}
+
+KERNEL_CHUNK_BYTES = 16384
+
+ALL_CODECS = ("spspeed", "spratio", "dpspeed", "dpratio")
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One metric that moved past the allowed threshold vs the baseline."""
+
+    section: str
+    key: str
+    metric: str
+    baseline: float
+    current: float
+
+    @property
+    def change(self) -> float:
+        if self.baseline <= 0:
+            return 0.0
+        return self.current / self.baseline - 1.0
+
+    def render(self) -> str:
+        return (
+            f"{self.section}/{self.key} {self.metric}: "
+            f"{self.baseline / 1e6:.2f} -> {self.current / 1e6:.2f} MB/s "
+            f"({self.change * 100:+.1f}%)"
+        )
+
+
+def _sample_words(word_bits: int, width: int) -> np.ndarray:
+    rng = np.random.default_rng(0x5EED + width)
+    n = KERNEL_CHUNK_BYTES // (word_bits // 8)
+    limit = 1 << width
+    return rng.integers(0, limit, size=n, dtype=np.uint64).astype(
+        np.dtype(f"u{word_bits // 8}")
+    )
+
+
+def _kernel_section(runs: int) -> dict:
+    kernels: dict[str, dict] = {}
+    for word_bits, widths in KERNEL_WIDTHS.items():
+        n = KERNEL_CHUNK_BYTES // (word_bits // 8)
+        for width in widths:
+            words = _sample_words(word_bits, width)
+            packed = pack_words(words, width, word_bits)
+            key = f"pack_words/w{word_bits}/width{width}"
+            kernels[key] = {
+                "bytes_per_s": measure_throughput(
+                    lambda: pack_words(words, width, word_bits),
+                    KERNEL_CHUNK_BYTES, runs=runs,
+                )
+            }
+            key = f"unpack_words/w{word_bits}/width{width}"
+            kernels[key] = {
+                "bytes_per_s": measure_throughput(
+                    lambda: unpack_words(packed, n, width, word_bits),
+                    KERNEL_CHUNK_BYTES, runs=runs,
+                )
+            }
+        words = _sample_words(word_bits, word_bits - 1)
+        blob = bit_transpose(words, word_bits)
+        kernels[f"bit_transpose/w{word_bits}"] = {
+            "bytes_per_s": measure_throughput(
+                lambda: bit_transpose(words, word_bits),
+                KERNEL_CHUNK_BYTES, runs=runs,
+            )
+        }
+        kernels[f"bit_untranspose/w{word_bits}"] = {
+            "bytes_per_s": measure_throughput(
+                lambda: bit_untranspose(blob, n, word_bits),
+                KERNEL_CHUNK_BYTES, runs=runs,
+            )
+        }
+        kernels[f"count_leading_zeros/w{word_bits}"] = {
+            "bytes_per_s": measure_throughput(
+                lambda: count_leading_zeros(words, word_bits),
+                KERNEL_CHUNK_BYTES, runs=runs,
+            )
+        }
+    return kernels
+
+
+def _bench_sample(codec_name: str, scale: float) -> bytes:
+    from repro.datasets import dp_suite, sp_suite
+
+    suite = sp_suite() if codec_name.startswith("sp") else dp_suite()
+    return suite[0].files[0].load(scale).tobytes()
+
+
+def _codec_section(scale: float, runs: int, workers: int) -> dict:
+    from repro.harness.runner import measure_executors
+
+    codecs: dict[str, dict] = {}
+    policy = "serial" if workers <= 1 else "threaded"
+    for name in ALL_CODECS:
+        data = _bench_sample(name, scale)
+        row = measure_executors(
+            data, name, policies=(policy,), workers=workers, runs=runs
+        )[0]
+        codecs[name] = {
+            "compress_bytes_per_s": row.throughput,
+            "decompress_bytes_per_s": row.decompress_throughput,
+            "ratio": row.ratio,
+            "policy": row.policy,
+            "workers": row.workers,
+            "input_bytes": len(data),
+        }
+    return codecs
+
+
+def _stage_section(scale: float, runs: int) -> dict:
+    """Per-stage encode/decode throughput on the first 16 KiB chunk."""
+    stages: dict[str, dict] = {}
+    for name in ALL_CODECS:
+        codec = repro.get_codec(name)
+        chunk = _bench_sample(name, scale)[:KERNEL_CHUNK_BYTES]
+        per_codec: dict[str, dict] = {}
+        payload = chunk
+        for stage in codec.stage_factory():
+            encoded = stage.encode(payload)
+            per_codec[stage.name] = {
+                "encode_bytes_per_s": measure_throughput(
+                    lambda s=stage, p=payload: s.encode(p), len(chunk), runs=runs
+                ),
+                "decode_bytes_per_s": measure_throughput(
+                    lambda s=stage, e=encoded: s.decode(e), len(chunk), runs=runs
+                ),
+                "out_bytes": len(encoded),
+            }
+            payload = encoded
+        stages[name] = per_codec
+    return stages
+
+
+def record_trajectory(
+    *,
+    tag: str | None = None,
+    scale: float = 0.25,
+    workers: int = 1,
+    runs: int = 3,
+) -> dict:
+    """Measure a full trajectory point; returns the JSON-ready dict."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "tag": tag,
+        "config": {
+            "scale": scale,
+            "workers": workers,
+            "runs": runs,
+            "kernel_chunk_bytes": KERNEL_CHUNK_BYTES,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "kernels": _kernel_section(runs),
+        "codecs": _codec_section(scale, runs, workers),
+        "stages": _stage_section(scale, runs),
+    }
+
+
+def save_trajectory(point: dict, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(point, indent=2, sort_keys=True) + "\n")
+
+
+def load_trajectory(path: str | Path) -> dict:
+    try:
+        point = json.loads(Path(path).read_text())
+    except (OSError, ValueError) as exc:
+        raise ReproError(f"cannot load trajectory point {path}: {exc}") from exc
+    if not isinstance(point, dict) or "schema" not in point or "codecs" not in point:
+        raise ReproError(f"{path} is not a benchmark trajectory point")
+    if point["schema"] > SCHEMA_VERSION:
+        raise ReproError(
+            f"{path} uses schema {point['schema']}, newer than supported "
+            f"{SCHEMA_VERSION}"
+        )
+    return point
+
+
+def compare_trajectories(
+    baseline: dict, current: dict, *, threshold: float = 0.30
+) -> list[Regression]:
+    """Codec-throughput regressions beyond ``threshold`` (0.30 = -30%).
+
+    Only the per-codec compress/decompress throughputs gate: kernel and
+    stage numbers are informational (they vary more between machines).
+    """
+    regressions = []
+    for name, base_row in baseline.get("codecs", {}).items():
+        cur_row = current.get("codecs", {}).get(name)
+        if cur_row is None:
+            continue
+        for metric in ("compress_bytes_per_s", "decompress_bytes_per_s"):
+            base = float(base_row.get(metric, 0.0))
+            cur = float(cur_row.get(metric, 0.0))
+            if base > 0 and cur < base * (1.0 - threshold):
+                regressions.append(
+                    Regression("codecs", name, metric, base, cur)
+                )
+    return regressions
+
+
+def format_trajectory(point: dict) -> str:
+    """Human-readable summary table of a trajectory point."""
+    lines = []
+    tag = point.get("tag") or "-"
+    lines.append(f"benchmark trajectory point (tag {tag}, schema {point['schema']})")
+    lines.append("")
+    lines.append(f"{'codec':>8} {'compress':>12} {'decompress':>12} {'ratio':>8}")
+    for name, row in sorted(point.get("codecs", {}).items()):
+        lines.append(
+            f"{name:>8} "
+            f"{row['compress_bytes_per_s'] / 1e6:>9.2f} MB/s "
+            f"{row['decompress_bytes_per_s'] / 1e6:>9.2f} MB/s "
+            f"{row['ratio']:>8.3f}"
+        )
+    kernels = point.get("kernels", {})
+    if kernels:
+        lines.append("")
+        lines.append(f"{'kernel':>32} {'throughput':>12}")
+        for key, row in sorted(kernels.items()):
+            lines.append(f"{key:>32} {row['bytes_per_s'] / 1e6:>9.2f} MB/s")
+    return "\n".join(lines)

@@ -48,13 +48,27 @@ def _forward_fill(mask: np.ndarray, kept: np.ndarray) -> np.ndarray:
     return out
 
 
+def _check_bitmap_pad(level: np.ndarray, used_bits: int) -> None:
+    """Reject nonzero padding bits in the final byte of a packed bitmap.
+
+    :func:`compress_bitmap` zero-pads every level (``np.packbits``), so a
+    set padding bit can only come from corruption — and would otherwise be
+    silently discarded by the ``[:used_bits]`` slice on decode.
+    """
+    pad_bits = len(level) * 8 - used_bits
+    if pad_bits and int(level[-1]) & ((1 << pad_bits) - 1):
+        raise CorruptDataError(
+            f"nonzero padding bits in packed bitmap level ({used_bits} bits used)"
+        )
+
+
 def compress_bitmap(bits: np.ndarray, max_levels: int = MAX_LEVELS) -> bytes:
     """Compress a boolean bit array via repeated repeating-byte elimination.
 
     Returns a self-describing payload (the original bit count is *not*
     stored and must be supplied to :func:`decompress_bitmap`).
     """
-    level = np.packbits(np.asarray(bits, dtype=np.uint8))
+    level = np.packbits(bits)
     kept_per_level: list[np.ndarray] = []
     levels = 0
     while levels < max_levels and len(level) > 4:
@@ -87,9 +101,11 @@ def decompress_bitmap(reader: Reader, bit_count: int) -> np.ndarray:
     for depth in range(levels - 1, -1, -1):
         n_kept = reader.u32()
         kept = np.frombuffer(reader.raw(n_kept), dtype=np.uint8)
-        mask = np.unpackbits(level)[: sizes[depth]].astype(bool)
+        _check_bitmap_pad(level, sizes[depth])
+        mask = np.unpackbits(level)[: sizes[depth]].view(np.bool_)
         level = _forward_fill(mask, kept)
-    return np.unpackbits(level)[:bit_count].astype(bool)
+    _check_bitmap_pad(level, bit_count)
+    return np.unpackbits(level)[:bit_count].view(np.bool_)
 
 
 def compressed_bitmap_size(bits: np.ndarray, max_levels: int = MAX_LEVELS) -> int:

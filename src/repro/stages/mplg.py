@@ -54,6 +54,10 @@ class MPLG(Stage):
         self.word_bits = word_bits
         self.subchunk_bytes = subchunk_bytes
         self._words_per_subchunk = subchunk_bytes // (word_bits // 8)
+        # Batching requires whole-byte subchunk payloads (step % 8 == 0 words
+        # ⟹ no pad bits ⟹ same-width payloads concatenate seamlessly).
+        # Tests flip _force_serial to pin batched/serial byte-identity.
+        self._force_serial = self._words_per_subchunk % 8 != 0
 
     def encode(self, data: ByteLike) -> bytes:
         words, tail = words_from_bytes(data, self.word_bits)
@@ -62,9 +66,52 @@ class MPLG(Stage):
         writer.u8(len(tail))
         writer.raw(tail)
         step = self._words_per_subchunk
-        for start in range(0, len(words), step):
+        n_full = len(words) // step
+        if self._force_serial or n_full == 0:
+            for start in range(0, len(words), step):
+                self._encode_subchunk(words[start : start + step], writer)
+            return writer.getvalue()
+        self._encode_batched(words, n_full, writer)
+        for start in range(n_full * step, len(words), step):
             self._encode_subchunk(words[start : start + step], writer)
         return writer.getvalue()
+
+    def _encode_batched(self, words: np.ndarray, n_full: int, writer: Writer) -> None:
+        """Encode all full subchunks with one width/flag/pack pass per group.
+
+        Byte-identical to the per-subchunk loop: widths and magnitude-sign
+        flags are computed for every subchunk at once, then subchunks are
+        grouped by width and each group packed in a single kernel call
+        (valid because full subchunk payloads are whole bytes).
+        """
+        step = self._words_per_subchunk
+        body = words[: n_full * step].reshape(n_full, step)
+        maxima = body.max(axis=1)
+        clz = count_leading_zeros(maxima, self.word_bits)
+        widths = (np.uint8(self.word_bits) - clz).astype(np.intp)
+        flags = np.zeros(n_full, dtype=np.uint8)
+        needs_ms = clz == 0
+        if needs_ms.any():
+            converted = zigzag_encode(body[needs_ms].reshape(-1), self.word_bits)
+            converted = converted.reshape(-1, step)
+            body = body.copy()
+            body[needs_ms] = converted
+            clz_ms = count_leading_zeros(converted.max(axis=1), self.word_bits)
+            widths[needs_ms] = self.word_bits - clz_ms
+            flags[needs_ms] = _FLAG_MS
+        payload_size = widths * (step // 8)
+        offsets = {}
+        blobs = {}
+        for w in np.unique(widths):
+            members = np.flatnonzero(widths == w)
+            blobs[int(w)] = pack_words(body[members].reshape(-1), int(w), self.word_bits)
+            for rank, idx in enumerate(members):
+                offsets[int(idx)] = rank * int(payload_size[idx])
+        for i in range(n_full):
+            w = int(widths[i])
+            writer.u8(int(flags[i]) | w)
+            off = offsets[i]
+            writer.raw(blobs[w][off : off + int(payload_size[i])])
 
     def _encode_subchunk(self, sub: np.ndarray, writer: Writer) -> None:
         flag = 0
@@ -85,7 +132,10 @@ class MPLG(Stage):
         dtype = np.dtype(f"<u{self.word_bits // 8}")
         out = np.empty(n_words, dtype=dtype)
         step = self._words_per_subchunk
-        for start in range(0, n_words, step):
+        n_full = 0 if self._force_serial else n_words // step
+        if n_full:
+            self._decode_batched(reader, out, n_full)
+        for start in range(n_full * step, n_words, step):
             count = min(step, n_words - start)
             header = reader.u8()
             width = header & _WIDTH_MASK
@@ -98,3 +148,30 @@ class MPLG(Stage):
             out[start : start + count] = sub
         reader.expect_exhausted()
         return words_to_bytes(out, tail)
+
+    def _decode_batched(self, reader: Reader, out: np.ndarray, n_full: int) -> None:
+        """Decode all full subchunks with one unpack call per width group.
+
+        Headers are still walked sequentially (each payload length depends
+        on its width, and corrupt-width errors must surface in stream
+        order), but the per-subchunk unpack/zigzag work is grouped by
+        (width, flag) and done in one vector call per group.
+        """
+        step = self._words_per_subchunk
+        groups: dict[tuple[int, int], tuple[list[int], list[ByteLike]]] = {}
+        for i in range(n_full):
+            header = reader.u8()
+            width = header & _WIDTH_MASK
+            if width > self.word_bits:
+                raise CorruptDataError(f"MPLG width {width} exceeds word size")
+            payload = reader.raw(step * width // 8)
+            indices, payloads = groups.setdefault((width, header & _FLAG_MS), ([], []))
+            indices.append(i)
+            payloads.append(payload)
+        body = out[: n_full * step].reshape(n_full, step)
+        for (width, flag), (indices, payloads) in groups.items():
+            joined = b"".join(bytes(p) for p in payloads)
+            vals = unpack_words(joined, len(indices) * step, width, self.word_bits)
+            if flag:
+                vals = zigzag_decode(vals, self.word_bits)
+            body[np.asarray(indices, dtype=np.intp)] = vals.reshape(len(indices), step)

@@ -1,4 +1,11 @@
-"""Unit tests for fixed-width MSB-first bit packing."""
+"""Unit tests for fixed-width MSB-first bit packing.
+
+The word-lane kernels in :mod:`repro.bitpack.lanes` replaced the
+original bit-matrix implementation (one ``np.uint8`` per *bit*).  That
+implementation survives here as ``_reference_pack``/``_reference_unpack``:
+the wire format is frozen, so the fast kernels must stay byte-identical
+to the reference across every width, word size, and count.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +13,34 @@ import numpy as np
 import pytest
 
 from repro.bitpack import pack_words, packed_size_bytes, unpack_words
+from repro.errors import CorruptDataError
+
+
+def _reference_pack(words: np.ndarray, width: int, word_bits: int) -> bytes:
+    """The original bit-matrix pack: one byte per bit via unpackbits."""
+    n = len(words)
+    if n == 0 or width == 0:
+        return b""
+    word_bytes = word_bits // 8
+    be = words.astype(words.dtype.newbyteorder(">"), copy=False)
+    bits = np.unpackbits(be.view(np.uint8).reshape(n, word_bytes), axis=1)
+    low = bits[:, word_bits - width:]
+    return np.packbits(low.reshape(-1)).tobytes()
+
+
+def _reference_unpack(buf: bytes, count: int, width: int, word_bits: int) -> np.ndarray:
+    """The original bit-matrix unpack (no pad validation, by design)."""
+    dtype = np.dtype(f"u{word_bits // 8}")
+    if count == 0 or width == 0:
+        return np.zeros(count, dtype=dtype)
+    raw = np.frombuffer(buf, dtype=np.uint8)
+    need = packed_size_bytes(count, width)
+    bits = np.unpackbits(raw[:need])[: count * width].reshape(count, width)
+    word_bytes = word_bits // 8
+    full = np.zeros((count, word_bits), dtype=np.uint8)
+    full[:, word_bits - width:] = bits
+    be_bytes = np.packbits(full.reshape(-1)).reshape(count, word_bytes)
+    return be_bytes.view(np.dtype(f">u{word_bytes}")).reshape(count).astype(dtype)
 
 
 @pytest.mark.parametrize("word_bits,dtype", [(32, np.uint32), (64, np.uint64)])
@@ -39,6 +74,85 @@ class TestPacking:
         packed = pack_words(words, 7, word_bits)
         with pytest.raises(ValueError):
             unpack_words(packed[:-1], 8, 7, word_bits)
+
+
+@pytest.mark.parametrize("word_bits,dtype", [(32, np.uint32), (64, np.uint64)])
+class TestAgainstReference:
+    """The lane kernels must match the bit-matrix reference bit for bit."""
+
+    #: Odd, prime-ish, and boundary counts: exercise partial lanes,
+    #: partial final bytes, and single-element streams.
+    COUNTS = (0, 1, 2, 3, 7, 37, 128, 511, 1000)
+
+    def test_pack_byte_identical_every_width(self, word_bits, dtype, rng):
+        for width in range(0, word_bits + 1):
+            limit = 1 << width if width else 1
+            for count in self.COUNTS:
+                words = rng.integers(0, limit, size=count, dtype=np.uint64)
+                words = words.astype(dtype)
+                got = pack_words(words, width, word_bits)
+                want = _reference_pack(words, width, word_bits)
+                assert got == want, f"width={width} count={count}"
+
+    def test_unpack_matches_reference_every_width(self, word_bits, dtype, rng):
+        for width in range(0, word_bits + 1):
+            limit = 1 << width if width else 1
+            for count in self.COUNTS:
+                words = rng.integers(0, limit, size=count, dtype=np.uint64)
+                words = words.astype(dtype)
+                packed = _reference_pack(words, width, word_bits)
+                got = unpack_words(packed, count, width, word_bits)
+                want = _reference_unpack(packed, count, width, word_bits)
+                assert got.dtype == want.dtype
+                assert np.array_equal(got, want), f"width={width} count={count}"
+                assert np.array_equal(got, words), f"width={width} count={count}"
+
+    def test_extreme_values(self, word_bits, dtype):
+        # All-zero and all-ones words at every width: the chain carries
+        # either nothing or a solid run of set bits across lane seams.
+        for width in range(1, word_bits + 1):
+            top = dtype((1 << width) - 1)
+            for words in (np.zeros(61, dtype=dtype), np.full(61, top)):
+                got = pack_words(words, width, word_bits)
+                assert got == _reference_pack(words, width, word_bits), f"width={width}"
+                back = unpack_words(got, 61, width, word_bits)
+                assert np.array_equal(back, words), f"width={width}"
+
+
+@pytest.mark.parametrize("word_bits", [32, 64])
+class TestPadValidation:
+    def test_nonzero_pad_bits_rejected(self, word_bits, rng):
+        # width 5, count 3: 15 bits used, 1 pad bit in the final byte.
+        words = rng.integers(0, 32, size=3, dtype=np.uint64)
+        words = words.astype(np.dtype(f"u{word_bits // 8}"))
+        packed = bytearray(pack_words(words, 5, word_bits))
+        packed[-1] |= 0x01
+        with pytest.raises(CorruptDataError):
+            unpack_words(bytes(packed), 3, 5, word_bits)
+
+    def test_every_pad_bit_position_rejected(self, word_bits):
+        # width 3, count 2: 6 bits used, pad bits 0 and 1 both checked.
+        packed = pack_words(np.array([1, 2], dtype=np.uint64).astype(
+            np.dtype(f"u{word_bits // 8}")), 3, word_bits)
+        for bit in range(2):
+            dirty = bytearray(packed)
+            dirty[-1] |= 1 << bit
+            with pytest.raises(CorruptDataError):
+                unpack_words(bytes(dirty), 2, 3, word_bits)
+
+    def test_full_final_byte_has_no_pad(self, word_bits, rng):
+        # count * width divisible by 8: no pad bits, nothing to reject.
+        words = rng.integers(0, 32, size=8, dtype=np.uint64)
+        words = words.astype(np.dtype(f"u{word_bits // 8}"))
+        packed = pack_words(words, 5, word_bits)
+        assert len(packed) * 8 == 8 * 5
+        back = unpack_words(packed, 8, 5, word_bits)
+        assert np.array_equal(back, words)
+
+    def test_short_buffer_still_value_error(self, word_bits):
+        # Truncation is a caller bug (ValueError), not data corruption.
+        with pytest.raises(ValueError):
+            unpack_words(b"\x00", 9, 7, word_bits)
 
 
 def test_known_bit_layout():

@@ -8,6 +8,7 @@ bump the container version instead of editing these hex strings.
 from __future__ import annotations
 
 import binascii
+import hashlib
 
 import numpy as np
 
@@ -52,3 +53,67 @@ class TestGoldenContainers:
         # encoders are fully deterministic).
         arr = np.array([[1.0, 1.5, 2.0], [-3.25, 0.0, np.inf]], dtype=np.float32)
         assert repro.compress(arr, "spratio", checksum=True) == GOLDEN_SPRATIO
+
+
+#: sha256 of every (dataset, codec) container over the deterministic
+#: corpus below, recorded before the word-lane kernel rewrite.  The
+#: encoders must stay byte-identical: a digest change here means old
+#: containers may no longer round-trip against new ones — bump the
+#: container version instead of updating a hash.
+GOLDEN_CORPUS_SHA256 = {
+    "walk/float32/spspeed": "371d15f639ad589ce0d4a7ec409132dc788b22db6f45983ef75baf3758b34f10",
+    "walk/float32/spratio": "c49f65ea69dba7cda2ca8a146d9ebc25b9dfe897e1d928f38e4750bae2b45331",
+    "mixed/float32/spspeed": "8ddf1fb030a22c4ae86a270a7b691c57cc33c172508a6de1fe9c6e4d0196c618",
+    "mixed/float32/spratio": "6c5fe36741f0d75cd12c4b47e689880c77cd208c403f42e317e9a739080be653",
+    "zeros/float32/spspeed": "d5127407b354253ca1fcafb5b373a088984be8a8be4c08f1a27eefb59fba6ee4",
+    "zeros/float32/spratio": "a274b4b6f563d9733ba9559dd606cdc253aff9e0b81482c0f904bdedf4b51bfd",
+    "rand/float32/spspeed": "4c18bb5d9edec0a9d96cbde17e12f95c08fae2cd3c195a150df81c2debf860d0",
+    "rand/float32/spratio": "506e1369cb2d8b2ffe4d9be2ef30b0d0db9e18f54d851353bf9c53f3a9c82a6d",
+    "walk/float64/dpspeed": "9703a211b4a295f6136992a081645e2ffbf2f1f8b2f1d9efabb106b178eb17d7",
+    "walk/float64/dpratio": "889d2aae333bb8118e716f5fe9b6ed6e8fbb1e5d013cd1ad0f2bf732171fb08c",
+    "mixed/float64/dpspeed": "ee3f0ceda3678d0cb2b19288548d602f2f1a925a1f5222f16af822b09f0b7d71",
+    "mixed/float64/dpratio": "2409c153fb358e317bebe6388fd923e9da939b70334f81d23f36b734a6b752d2",
+    "zeros/float64/dpspeed": "011e7dc0adbc0e8a083302c40597d91c2b5e328797df036320e4cc9206fccb3c",
+    "zeros/float64/dpratio": "9311e9c1a856d520be6f985b69afadd5f6b5b63e75ee7ed685f3809a08b99df9",
+    "rand/float64/dpspeed": "2f57cbb07a6488458b8b179825dda9e3f21d72215d50cd6f33cce47fa8894dc7",
+    "rand/float64/dpratio": "4a24ed39bb7e4b131ab54a77300c41c94c3a06136cecb9be3c62a234808ed00b",
+}
+
+
+def _golden_corpus():
+    """Deterministic datasets covering the interesting encoder regimes:
+    smooth (deep value reuse), specials (inf/-0.0/nan), all-zero, and
+    incompressible random bits — at sizes that leave partial chunks,
+    partial subchunks, and partial final bytes everywhere."""
+    rng = np.random.default_rng(0xC0FFEE)
+    for dtype, n_rand in ((np.dtype(np.float32), 10007), (np.dtype(np.float64), 9001)):
+        walk = np.cumsum(rng.normal(size=13001)).astype(dtype)
+        mixed = rng.normal(size=5000).astype(dtype)
+        mixed[::97] = np.inf
+        mixed[1::143] = -0.0
+        mixed[2::211] = np.nan
+        zeros = np.zeros(4099, dtype=dtype)
+        raw = rng.integers(0, 256, size=n_rand, dtype=np.uint8).tobytes()
+        rand = np.frombuffer(raw[: len(raw) - len(raw) % dtype.itemsize], dtype=dtype)
+        yield dtype, (("walk", walk), ("mixed", mixed), ("zeros", zeros), ("rand", rand))
+
+
+class TestGoldenCorpusDigests:
+    def test_every_container_byte_identical(self):
+        seen = {}
+        for dtype, datasets in _golden_corpus():
+            codecs = ("spspeed", "spratio") if dtype.itemsize == 4 else ("dpspeed", "dpratio")
+            for label, arr in datasets:
+                for codec in codecs:
+                    blob = repro.compress(arr, codec)
+                    seen[f"{label}/{dtype.name}/{codec}"] = hashlib.sha256(blob).hexdigest()
+        assert seen == GOLDEN_CORPUS_SHA256
+
+    def test_corpus_round_trips(self):
+        for dtype, datasets in _golden_corpus():
+            codecs = ("spspeed", "spratio") if dtype.itemsize == 4 else ("dpspeed", "dpratio")
+            for label, arr in datasets:
+                for codec in codecs:
+                    back = repro.decompress(repro.compress(arr, codec))
+                    assert back.dtype == dtype
+                    assert np.array_equal(back, arr, equal_nan=True), f"{label}/{codec}"

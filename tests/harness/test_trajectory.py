@@ -1,0 +1,153 @@
+"""Unit tests for the benchmark-trajectory schema helpers.
+
+These do not run benchmarks (that is the bench-smoke CI job's work);
+they pin the save/load contract and the regression-gate semantics that
+``fprz bench --baseline`` relies on.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.harness.trajectory import (
+    SCHEMA_VERSION,
+    Regression,
+    compare_trajectories,
+    format_trajectory,
+    load_trajectory,
+    save_trajectory,
+)
+
+
+def _point(compress=100e6, decompress=200e6, *, codecs=None, tag="t"):
+    if codecs is None:
+        codecs = {
+            "spspeed": {
+                "compress_bytes_per_s": compress,
+                "decompress_bytes_per_s": decompress,
+                "ratio": 1.5,
+            }
+        }
+    return {"schema": SCHEMA_VERSION, "tag": tag, "codecs": codecs}
+
+
+class TestSaveLoad:
+    def test_round_trip(self, tmp_path):
+        point = _point(tag="rt")
+        path = tmp_path / "BENCH_rt.json"
+        save_trajectory(point, path)
+        assert load_trajectory(path) == point
+
+    def test_saved_file_is_stable_json(self, tmp_path):
+        # sort_keys + trailing newline: committed points diff cleanly.
+        path = tmp_path / "p.json"
+        save_trajectory(_point(), path)
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert text == json.dumps(json.loads(text), indent=2, sort_keys=True) + "\n"
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ReproError, match="cannot load"):
+            load_trajectory(tmp_path / "absent.json")
+
+    def test_malformed_json_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ReproError, match="cannot load"):
+            load_trajectory(path)
+
+    def test_non_dict_json_rejected(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ReproError, match="not a benchmark trajectory"):
+            load_trajectory(path)
+
+    @pytest.mark.parametrize("missing", ["schema", "codecs"])
+    def test_missing_required_key_rejected(self, tmp_path, missing):
+        point = _point()
+        del point[missing]
+        path = tmp_path / "partial.json"
+        path.write_text(json.dumps(point))
+        with pytest.raises(ReproError, match="not a benchmark trajectory"):
+            load_trajectory(path)
+
+    def test_newer_schema_rejected(self, tmp_path):
+        point = _point()
+        point["schema"] = SCHEMA_VERSION + 1
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps(point))
+        with pytest.raises(ReproError, match="newer than supported"):
+            load_trajectory(path)
+
+
+class TestCompare:
+    def test_identical_points_have_no_regressions(self):
+        assert compare_trajectories(_point(), _point()) == []
+
+    def test_improvement_is_not_a_regression(self):
+        assert compare_trajectories(_point(100e6), _point(400e6)) == []
+
+    def test_drop_within_threshold_passes(self):
+        # -30% is the default gate; -25% must pass.
+        assert compare_trajectories(_point(100e6), _point(75e6)) == []
+
+    def test_drop_past_threshold_is_reported(self):
+        regs = compare_trajectories(_point(100e6, 200e6), _point(60e6, 200e6))
+        assert len(regs) == 1
+        reg = regs[0]
+        assert (reg.section, reg.key, reg.metric) == (
+            "codecs", "spspeed", "compress_bytes_per_s",
+        )
+        assert reg.baseline == 100e6 and reg.current == 60e6
+
+    def test_both_directions_gate(self):
+        regs = compare_trajectories(_point(100e6, 200e6), _point(10e6, 20e6))
+        assert {r.metric for r in regs} == {
+            "compress_bytes_per_s", "decompress_bytes_per_s",
+        }
+
+    def test_custom_threshold(self):
+        base, cur = _point(100e6), _point(85e6)
+        assert compare_trajectories(base, cur, threshold=0.10)
+        assert compare_trajectories(base, cur, threshold=0.20) == []
+
+    def test_codec_missing_from_current_is_skipped(self):
+        # A baseline measured with more codecs must not fail the gate.
+        assert compare_trajectories(_point(), _point(codecs={})) == []
+
+    def test_only_codecs_section_gates(self):
+        base, cur = _point(), _point()
+        base["kernels"] = {"pack_words/w32/width8": {"bytes_per_s": 1e9}}
+        cur["kernels"] = {"pack_words/w32/width8": {"bytes_per_s": 1e3}}
+        assert compare_trajectories(base, cur) == []
+
+
+class TestRegression:
+    def test_change_is_relative(self):
+        reg = Regression("codecs", "spspeed", "compress_bytes_per_s", 100e6, 60e6)
+        assert reg.change == pytest.approx(-0.4)
+
+    def test_zero_baseline_change_is_zero(self):
+        reg = Regression("codecs", "spspeed", "compress_bytes_per_s", 0.0, 60e6)
+        assert reg.change == 0.0
+
+    def test_render_mentions_metric_and_delta(self):
+        reg = Regression("codecs", "dpratio", "decompress_bytes_per_s", 200e6, 100e6)
+        text = reg.render()
+        assert "codecs/dpratio" in text
+        assert "decompress_bytes_per_s" in text
+        assert "-50.0%" in text
+        assert "200.00 -> 100.00 MB/s" in text
+
+
+class TestFormat:
+    def test_format_lists_codecs_and_kernels(self):
+        point = _point(tag="fmt")
+        point["kernels"] = {"clz/w32": {"bytes_per_s": 5e8}}
+        text = format_trajectory(point)
+        assert "tag fmt" in text
+        assert "spspeed" in text
+        assert "clz/w32" in text

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.errors import CorruptDataError
 from repro.stages._bitmap import compress_bitmap, decompress_bitmap
 from repro.stages._frame import Reader
 
@@ -55,5 +56,34 @@ class TestBitmapCompression:
 
     def test_zero_levels(self, rng):
         bits = rng.random(100) < 0.5
+        back, _ = roundtrip(bits, max_levels=0)
+        assert np.array_equal(back, bits)
+
+
+class TestPadValidation:
+    """Set padding bits in any packed level are corruption, not noise."""
+
+    def test_final_level_pad_bit_rejected(self, rng):
+        # 100 bits, no recursion: 13 packed bytes, 4 pad bits at the end.
+        bits = rng.random(100) < 0.5
+        payload = bytearray(compress_bitmap(bits, max_levels=0))
+        payload[-1] |= 0x01
+        with pytest.raises(CorruptDataError):
+            decompress_bitmap(Reader(bytes(payload)), 100)
+
+    def test_recursed_level_pad_bit_rejected(self):
+        # 1000 zero bits, one level: the stored innermost bitmap is the
+        # 16-byte mask level (125 used bits, 3 pad bits), at bytes 1..16
+        # right after the level-count byte.
+        bits = np.zeros(1000, dtype=bool)
+        payload = compress_bitmap(bits, max_levels=1)
+        assert payload[0] == 1
+        damaged = bytearray(payload)
+        damaged[16] |= 0x01  # final byte of the stored mask level
+        with pytest.raises(CorruptDataError):
+            decompress_bitmap(Reader(bytes(damaged)), 1000)
+
+    def test_byte_aligned_bitmap_has_no_pad(self, rng):
+        bits = rng.random(128) < 0.5
         back, _ = roundtrip(bits, max_levels=0)
         assert np.array_equal(back, bits)

@@ -72,6 +72,60 @@ class TestMPLG:
                 stage.decode(bytes(encoded))
 
 
+@pytest.mark.parametrize("word_bits,dtype", [(32, np.uint32), (64, np.uint64)])
+class TestBatchedMatchesSerial:
+    """The width-grouped batch encoder is an optimisation, not a format
+    change: its output must be byte-identical to the per-subchunk serial
+    path, and either encoder's output must decode on either decoder."""
+
+    def _inputs(self, word_bits, dtype, rng):
+        top = dtype((1 << word_bits) - 1) if word_bits < 64 else dtype(~np.uint64(0))
+        word_bytes = word_bits // 8
+        return {
+            "random": rng.integers(0, 1 << 16, size=4096, dtype=np.uint64)
+            .astype(dtype).tobytes(),
+            "all-zero": np.zeros(4096, dtype=dtype).tobytes(),
+            "max-entropy": (
+                rng.integers(0, 1 << 63, size=4096, dtype=np.uint64).astype(dtype)
+                | (dtype(1) << dtype(word_bits - 1))
+            ).tobytes(),
+            # 4096-byte subchunks: a short final subchunk plus a partial word.
+            "short-final": rng.integers(0, 256, size=4096 * word_bytes + 7,
+                                        dtype=np.uint8).tobytes(),
+            "single-word": np.array([5], dtype=dtype).tobytes(),
+            "mixed-widths": np.concatenate([
+                np.zeros(1024, dtype=dtype),
+                rng.integers(0, 256, size=1024, dtype=np.uint64).astype(dtype),
+                rng.integers(0, 1 << 24, size=1024, dtype=np.uint64).astype(dtype),
+            ]).tobytes(),
+            "empty": b"",
+        }
+
+    def test_encoders_byte_identical(self, word_bits, dtype, rng):
+        for label, data in self._inputs(word_bits, dtype, rng).items():
+            batched = MPLG(word_bits)
+            serial = MPLG(word_bits)
+            serial._force_serial = True
+            assert batched.encode(data) == serial.encode(data), label
+
+    def test_cross_decoding(self, word_bits, dtype, rng):
+        for label, data in self._inputs(word_bits, dtype, rng).items():
+            batched = MPLG(word_bits)
+            serial = MPLG(word_bits)
+            serial._force_serial = True
+            encoded = batched.encode(data)
+            assert batched.decode(encoded) == data, label
+            assert serial.decode(encoded) == data, label
+
+    def test_unaligned_subchunk_stays_serial(self, word_bits, dtype, rng):
+        # words_per_subchunk % 8 != 0 breaks the whole-byte concatenation
+        # precondition, so the constructor pins those configs to serial.
+        stage = MPLG(word_bits, subchunk_bytes=word_bits // 8 * 4)
+        assert stage._force_serial
+        data = rng.integers(0, 1000, size=100, dtype=np.uint64).astype(dtype).tobytes()
+        assert stage.decode(stage.encode(data)) == data
+
+
 def test_subchunk_must_align_with_words():
     with pytest.raises(ValueError):
         MPLG(64, subchunk_bytes=12)
