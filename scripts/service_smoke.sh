@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# CI smoke test for the fprz compression service.
+#
+# Exercises the full serving path end to end: start `fprz serve`, run a
+# remote compress/decompress round trip and byte-compare the remote
+# container against the local CLI's (the payload-equals-container
+# guarantee), read the stats endpoint, then SIGTERM the server while a
+# request is in flight and assert the drain completed it intact.
+#
+# The caller should wrap this script in a hard timeout (CI uses
+# `timeout 300`); everything here is expected to finish in well under a
+# minute on an idle machine.
+
+set -euo pipefail
+
+PORT="${FPRZ_SMOKE_PORT:-19753}"
+export PYTHONPATH="${PYTHONPATH:-src}"
+
+workdir="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+python - "$workdir/input.f32" <<'PY'
+import sys
+import numpy as np
+rng = np.random.default_rng(0)
+data = np.cumsum(rng.normal(scale=0.01, size=200_000)).astype(np.float32)
+open(sys.argv[1], "wb").write(data.tobytes())
+PY
+
+python -m repro.cli serve --port "$PORT" --deadline 120 &
+SERVER_PID=$!
+export SERVER_PID
+
+python - "$PORT" <<'PY'
+import sys
+from repro.service import wait_for_port
+wait_for_port("127.0.0.1", int(sys.argv[1]), timeout=30)
+PY
+echo "smoke: server is up on port $PORT"
+
+# Remote round trip, byte-compared against the local CLI.
+python -m repro.cli remote compress "$workdir/input.f32" "$workdir/remote.fprz" \
+    --port "$PORT" --dtype float32
+python -m repro.cli compress "$workdir/input.f32" "$workdir/local.fprz" \
+    --dtype float32
+cmp "$workdir/remote.fprz" "$workdir/local.fprz"
+echo "smoke: remote container is byte-identical to the local one"
+
+python -m repro.cli remote decompress "$workdir/remote.fprz" \
+    "$workdir/restored.f32" --port "$PORT"
+cmp "$workdir/input.f32" "$workdir/restored.f32"
+echo "smoke: round trip restored the input exactly"
+
+python -m repro.cli stats --port "$PORT" | grep -q "requests_total"
+echo "smoke: stats endpoint reports request counters"
+
+# Graceful shutdown with a request in flight: SIGTERM must drain it.
+python - "$PORT" <<'PY'
+import os, signal, sys, threading, time
+import numpy as np
+import repro
+from repro.service import ServiceClient
+
+port = int(sys.argv[1])
+pid = int(os.environ["SERVER_PID"])
+rng = np.random.default_rng(1)
+data = np.cumsum(rng.normal(scale=0.01, size=8_000_000)).astype(np.float32)
+result = {}
+
+def inflight():
+    with ServiceClient(port=port, timeout=120) as client:
+        result["blob"] = client.compress(data)
+
+worker = threading.Thread(target=inflight)
+worker.start()
+time.sleep(0.25)
+os.kill(pid, signal.SIGTERM)
+worker.join(timeout=120)
+assert not worker.is_alive(), "in-flight request never completed"
+assert result.get("blob") == repro.compress(data), \
+    "in-flight request corrupted during drain"
+print("smoke: SIGTERM drained the in-flight request intact")
+PY
+
+wait "$SERVER_PID"
+SERVER_PID=""
+echo "smoke: server exited cleanly after drain"

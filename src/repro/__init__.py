@@ -15,7 +15,7 @@ model used to reproduce the paper's throughput figures
 Figures 8-19 (:mod:`repro.harness`).
 """
 
-from repro.api import available_codecs, compress, decompress, inspect
+from repro.api import available_codecs, compress, connect, decompress, inspect
 from repro.archive import Archive, write_archive
 from repro.core import (
     CODECS,
@@ -28,33 +28,44 @@ from repro.core import (
 )
 from repro.errors import (
     BoundsError,
+    BusyError,
     ChecksumError,
     CorruptDataError,
+    DeadlineExceededError,
     FormatError,
+    ProtocolError,
+    RemoteError,
     ReproError,
+    ServiceError,
     UnknownCodecError,
     UnsupportedDtypeError,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BoundsError",
+    "BusyError",
     "CODECS",
     "ChecksumError",
     "ChunkFailure",
     "Codec",
     "ContainerInfo",
     "CorruptDataError",
+    "DeadlineExceededError",
     "FormatError",
+    "ProtocolError",
+    "RemoteError",
     "ReproError",
     "SalvageReport",
+    "ServiceError",
     "UnknownCodecError",
     "UnsupportedDtypeError",
     "Archive",
     "available_codecs",
     "codec_for",
     "compress",
+    "connect",
     "decompress",
     "get_codec",
     "inspect",

@@ -187,3 +187,24 @@ def inspect(blob: bytes) -> fmt.ContainerInfo:
 def available_codecs() -> list[str]:
     """Names of the registered paper codecs."""
     return sorted(codec_registry.CODECS)
+
+
+def connect(host: str = "127.0.0.1", port: int | None = None, *,
+            timeout: float = 60.0):
+    """Open a blocking connection to a running ``fprz serve`` daemon.
+
+    Returns a :class:`~repro.service.client.ServiceClient` whose
+    ``compress``/``decompress`` mirror this module's functions but run
+    on the server — and whose compressed bytes are byte-identical to
+    :func:`compress` on the same input, because the wire payload *is*
+    the FPRZ container.  Usable as a context manager::
+
+        with repro.connect(port=9753) as remote:
+            blob = remote.compress(field)
+    """
+    from repro.service.client import ServiceClient
+    from repro.service.protocol import DEFAULT_PORT
+
+    return ServiceClient(
+        host=host, port=DEFAULT_PORT if port is None else port, timeout=timeout
+    )

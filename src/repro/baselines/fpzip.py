@@ -31,7 +31,13 @@ import numpy as np
 
 from repro.baselines import BaselineCompressor
 from repro.baselines.rans import ANS
-from repro.bitpack import words_from_bytes, words_to_bytes
+from repro.bitpack import (
+    pack_words,
+    packed_size_bytes,
+    unpack_words,
+    words_from_bytes,
+    words_to_bytes,
+)
 from repro.bitpack.zigzag import zigzag_decode, zigzag_encode
 from repro.errors import CorruptDataError
 
@@ -122,17 +128,47 @@ class FPzip(BaselineCompressor):
             + mantissa
         )
 
-    def _pack_mantissas(self, residuals: np.ndarray, classes: np.ndarray) -> bytes:
-        wb = self.word_bits
-        n = len(residuals)
-        if n == 0:
-            return b""
-        be = residuals.astype(residuals.dtype.newbyteorder(">"), copy=False)
-        bits = np.unpackbits(be.view(np.uint8).reshape(n, wb // 8), axis=1)
+    @staticmethod
+    def _class_groups(classes: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Deterministic grouping of value indices by kept-bit width.
+
+        Returns ``(order, widths, counts)``: a stable permutation sorting
+        the values by their kept-bit count, plus the distinct nonzero
+        widths and how many values carry each.  Both sides derive the
+        identical grouping from the class stream alone, so the grouping
+        needs no bytes on the wire.
+        """
         kept = np.maximum(classes.astype(np.int64) - 1, 0)  # drop the implicit 1
-        col = np.arange(wb)
-        mask = col[None, :] >= (wb - kept)[:, None]
-        return np.packbits(bits[mask]).tobytes()
+        order = np.argsort(kept, kind="stable")
+        widths, counts = np.unique(kept, return_counts=True)
+        nonzero = widths > 0
+        # Values with zero kept bits contribute no mantissa stream; skip
+        # their leading run of the sorted order.
+        skip = int(counts[~nonzero].sum())
+        return order[skip:], widths[nonzero], counts[nonzero]
+
+    def _pack_mantissas(self, residuals: np.ndarray, classes: np.ndarray) -> bytes:
+        """Kept mantissa bits as per-width ``pack_words`` streams.
+
+        Values are grouped by kept-bit width (stable order within a
+        group) and each group is packed at its fixed width with the
+        word-lane kernels — fixed-width groups are what the kernels
+        need, and the grouping is recomputed from the class stream on
+        decode.  Replaces the historical one-byte-per-bit
+        ``np.unpackbits`` matrix.
+        """
+        wb = self.word_bits
+        if len(residuals) == 0:
+            return b""
+        order, widths, counts = self._class_groups(classes)
+        parts = []
+        pos = 0
+        for width, count in zip(widths, counts):
+            sel = order[pos : pos + count]
+            pos += count
+            mask = residuals.dtype.type((1 << int(width)) - 1)
+            parts.append(pack_words(residuals[sel] & mask, int(width), wb))
+        return b"".join(parts)
 
     def decompress(self, blob: bytes) -> bytes:
         if len(blob) < 10:
@@ -159,29 +195,25 @@ class FPzip(BaselineCompressor):
         if len(classes) != n:
             raise CorruptDataError("FPzip class stream length mismatch")
         wb = self.word_bits
-        kept = np.maximum(classes.astype(np.int64) - 1, 0)
-        total_bits = int(kept.sum())
-        need = (total_bits + 7) // 8
-        if len(blob) - pos < need:
-            raise CorruptDataError("FPzip mantissa stream truncated")
-        stream = np.unpackbits(
-            np.frombuffer(blob, dtype=np.uint8, count=need, offset=pos)
-        )[:total_bits]
-        bits = np.zeros((n, wb), dtype=np.uint8)
-        col = np.arange(wb)
-        mask = col[None, :] >= (wb - kept)[:, None]
-        bits[mask] = stream
+        word_bytes = wb // 8
+        dtype = np.dtype(f"<u{word_bytes}")
+        order, widths, counts = self._class_groups(classes)
+        residuals = np.zeros(n, dtype=dtype)
+        group_pos = 0
+        for width, count in zip(widths, counts):
+            need = packed_size_bytes(int(count), int(width))
+            if len(blob) - pos < need:
+                raise CorruptDataError("FPzip mantissa stream truncated")
+            values = unpack_words(
+                np.frombuffer(blob, dtype=np.uint8, count=need, offset=pos),
+                int(count), int(width), wb,
+            )
+            residuals[order[group_pos : group_pos + count]] = values
+            group_pos += count
+            pos += need
         # Re-insert the implicit leading 1 for nonzero classes.
         nonzero = classes > 0
-        bits[nonzero, wb - classes[nonzero].astype(np.int64)] = 1
-        word_bytes = wb // 8
-        residuals = (
-            np.packbits(bits.reshape(-1))
-            .reshape(n, word_bytes)
-            .view(np.dtype(f">u{word_bytes}"))
-            .reshape(n)
-            .astype(np.dtype(f"<u{word_bytes}"))
-        )
+        residuals[nonzero] |= dtype.type(1) << (classes[nonzero] - 1).astype(dtype)
         diffs = zigzag_decode(residuals, wb)
         ordered = self._lorenzo_inverse(diffs, shape)
         return words_to_bytes(_from_ordered(ordered, wb), tail)

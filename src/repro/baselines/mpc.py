@@ -18,7 +18,14 @@ import struct
 import numpy as np
 
 from repro.baselines import BaselineCompressor
-from repro.bitpack import bit_transpose, bit_untranspose, words_from_bytes, words_to_bytes
+from repro.bitpack import (
+    bit_transpose,
+    bit_untranspose,
+    pack_words,
+    unpack_words,
+    words_from_bytes,
+    words_to_bytes,
+)
 from repro.bitpack.zigzag import zigzag_decode, zigzag_encode
 from repro.errors import CorruptDataError
 
@@ -67,8 +74,9 @@ class MPC(BaselineCompressor):
                 bit_transpose(block, self.word_bits), dtype=np.uint8
             ).view(dtype)
             mask = transposed != 0
-            bitmap = np.packbits(mask)
-            parts.append(bitmap.tobytes())
+            # Width-1 word-lane packing == np.packbits byte-for-byte;
+            # the wire layout is unchanged.
+            parts.append(pack_words(mask.astype(dtype), 1, self.word_bits))
             parts.append(transposed[mask].tobytes())
         return b"".join(parts)
 
@@ -88,9 +96,11 @@ class MPC(BaselineCompressor):
             t_bytes = self.word_bits * ((count + 7) // 8)
             t_words = t_bytes // word_bytes
             bitmap_bytes = (t_words + 7) // 8
+            if len(blob) - pos < bitmap_bytes:
+                raise CorruptDataError("MPC bitmap truncated")
             bitmap = np.frombuffer(blob, dtype=np.uint8, count=bitmap_bytes, offset=pos)
             pos += bitmap_bytes
-            mask = np.unpackbits(bitmap)[:t_words].astype(bool)
+            mask = unpack_words(bitmap, t_words, 1, self.word_bits) != 0
             kept = int(mask.sum())
             nonzero = np.frombuffer(blob, dtype=dtype, count=kept, offset=pos)
             pos += kept * word_bytes

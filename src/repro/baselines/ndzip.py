@@ -18,7 +18,14 @@ import struct
 import numpy as np
 
 from repro.baselines import BaselineCompressor
-from repro.bitpack import bit_transpose, bit_untranspose, words_from_bytes, words_to_bytes
+from repro.bitpack import (
+    bit_transpose,
+    bit_untranspose,
+    pack_words,
+    unpack_words,
+    words_from_bytes,
+    words_to_bytes,
+)
 from repro.errors import CorruptDataError
 
 BLOCK_WORDS = 4096
@@ -71,8 +78,9 @@ class Ndzip(BaselineCompressor):
                     bit_transpose(group, wb), dtype=np.uint8
                 ).view(dtype)
                 mask = transposed != 0
-                head = np.packbits(mask)
-                parts.append(head.tobytes())
+                # Width-1 word-lane packing == np.packbits byte-for-byte;
+                # the wire layout is unchanged.
+                parts.append(pack_words(mask.astype(dtype), 1, wb))
                 parts.append(transposed[mask].tobytes())
         return b"".join(parts)
 
@@ -92,9 +100,11 @@ class Ndzip(BaselineCompressor):
             t_bytes = wb * ((count + 7) // 8)
             t_words = t_bytes // word_bytes
             head_bytes = (t_words + 7) // 8
+            if len(blob) - pos < head_bytes:
+                raise CorruptDataError("ndzip head mask truncated")
             head = np.frombuffer(blob, dtype=np.uint8, count=head_bytes, offset=pos)
             pos += head_bytes
-            mask = np.unpackbits(head)[:t_words].astype(bool)
+            mask = unpack_words(head, t_words, 1, wb) != 0
             kept = int(mask.sum())
             nonzero = np.frombuffer(blob, dtype=dtype, count=kept, offset=pos)
             pos += kept * word_bytes

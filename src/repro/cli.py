@@ -23,6 +23,7 @@ import numpy as np
 
 import repro
 from repro.errors import ReproError
+from repro.service.protocol import DEFAULT_MAX_FRAME, DEFAULT_PORT
 
 
 def _cmd_compress(args: argparse.Namespace) -> int:
@@ -217,13 +218,94 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
-    from repro.fuzzing import run_fuzz
+    if args.frames:
+        from repro.fuzzing import run_frame_fuzz
 
-    codecs = args.codec or None
-    report = run_fuzz(seed=args.seed, iterations=args.iterations,
-                      codecs=codecs)
+        report = run_frame_fuzz(seed=args.seed, iterations=args.iterations)
+    else:
+        from repro.fuzzing import run_fuzz
+
+        codecs = args.codec or None
+        report = run_fuzz(seed=args.seed, iterations=args.iterations,
+                          codecs=codecs)
     print(report.render())
     return 0 if report.ok else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.server import CompressionServer, ServiceConfig
+
+    config = ServiceConfig(
+        host=args.host, port=args.port, max_frame=args.max_frame,
+        queue_high_water=args.queue_high_water,
+        request_timeout=args.deadline, drain_timeout=args.drain_timeout,
+        job_threads=args.job_threads, codec_workers=args.codec_workers,
+    )
+    server = CompressionServer(config)
+
+    def announce() -> None:
+        print(f"fprz service listening on {config.host}:{server.port} "
+              f"(queue high-water {config.queue_high_water}, "
+              f"deadline {config.request_timeout:g}s, "
+              f"{config.job_threads} job threads x "
+              f"{config.codec_workers} codec workers)",
+              flush=True)
+
+    # ``run`` installs SIGTERM/SIGINT handlers for graceful drain.
+    asyncio.run(server.run(install_signals=True, on_started=announce))
+    print("fprz service drained and stopped")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.client import ServiceClient
+    from repro.service.metrics import render_snapshot
+
+    with ServiceClient(host=args.host, port=args.port) as client:
+        stats = client.stats()
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    server = stats.get("server", {})
+    print(f"uptime:       {server.get('uptime_seconds', 0.0):.1f} s")
+    print(f"draining:     {server.get('draining')}")
+    print(f"queue depth:  {server.get('queue_depth')} "
+          f"(high-water {server.get('queue_high_water')})")
+    print()
+    print(render_snapshot(stats.get("metrics", {})))
+    return 0
+
+
+def _cmd_remote(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient
+
+    data = Path(args.input).read_bytes()
+    with ServiceClient(host=args.host, port=args.port) as client:
+        if args.action == "compress":
+            if args.dtype != "bytes":
+                payload = np.frombuffer(data, dtype=np.dtype(args.dtype))
+                blob = client.compress(payload, args.codec)
+            else:
+                if args.codec is None:
+                    raise ReproError("--codec is required for raw byte input")
+                blob = client.compress(data, args.codec)
+            Path(args.output).write_bytes(blob)
+            ratio = len(data) / len(blob) if blob else 0.0
+            print(f"{args.input}: {len(data)} -> {len(blob)} bytes "
+                  f"(ratio {ratio:.3f}, via {args.host}:{args.port})")
+            return 0
+        if args.action == "decompress":
+            out = client.decompress(data)
+            raw = out.tobytes() if isinstance(out, np.ndarray) else out
+            Path(args.output).write_bytes(raw)
+            print(f"{args.input}: restored {len(raw)} bytes "
+                  f"(via {args.host}:{args.port})")
+            return 0
+    raise ReproError(f"unknown remote action {args.action!r}")
 
 
 def _cmd_archive(args: argparse.Namespace) -> int:
@@ -367,7 +449,55 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--codec", action="append", default=None,
                    help="restrict the corpus to this codec (repeatable; "
                         "default: all four)")
+    p.add_argument("--frames", action="store_true",
+                   help="fuzz the FPRW wire-frame parser instead of the "
+                        "container decoder")
     p.set_defaults(func=_cmd_fuzz)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the framed compression service (SIGTERM drains gracefully)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=DEFAULT_PORT,
+                   help=f"TCP port (default {DEFAULT_PORT}; 0 = ephemeral)")
+    p.add_argument("--queue-high-water", type=int, default=32,
+                   help="admitted-jobs bound; beyond it requests get BUSY")
+    p.add_argument("--deadline", type=float, default=30.0,
+                   help="per-request deadline in seconds")
+    p.add_argument("--max-frame", type=int, default=DEFAULT_MAX_FRAME,
+                   help="frame body limit in bytes (both directions)")
+    p.add_argument("--job-threads", type=int, default=4,
+                   help="concurrent codec jobs")
+    p.add_argument("--codec-workers", type=int, default=1,
+                   help="chunk-level workers inside each codec job "
+                        "(>1 uses the pooled threaded executor)")
+    p.add_argument("--drain-timeout", type=float, default=10.0,
+                   help="seconds to wait for in-flight jobs on shutdown")
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("stats", help="print a running server's live metrics")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=DEFAULT_PORT)
+    p.add_argument("--json", action="store_true",
+                   help="raw JSON snapshot instead of the rendered table")
+    p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser(
+        "remote",
+        help="compress/decompress through a running fprz service",
+    )
+    p.add_argument("action", choices=["compress", "decompress"])
+    p.add_argument("input")
+    p.add_argument("output")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=DEFAULT_PORT)
+    p.add_argument("--codec", default=None,
+                   help="spspeed | spratio | dpspeed | dpratio "
+                        "(compress only; default: by dtype)")
+    p.add_argument("--dtype", default="float32",
+                   choices=["float32", "float64", "bytes"])
+    p.set_defaults(func=_cmd_remote)
 
     p = sub.add_parser("archive", help="create / list / extract member archives")
     p.add_argument("action", choices=["create", "list", "extract"])

@@ -30,6 +30,7 @@ concurrently running jobs.
 from __future__ import annotations
 
 import itertools
+import queue
 import threading
 from abc import ABC, abstractmethod
 from collections.abc import Callable
@@ -192,6 +193,132 @@ class StaticBlockExecutor(Executor):
             return range(int(bounds[worker_id]), int(bounds[worker_id + 1]))
 
         return _run_threads(n_jobs, n_threads, make_worker, claims)
+
+
+class _Batch:
+    """One ``run()`` call's shared state inside a :class:`PooledThreadedExecutor`.
+
+    Participants claim job indices from one shared counter (the same
+    dynamic-worklist schedule as :class:`ThreadedExecutor`); the batch is
+    done when every job has been processed, or — if worker construction
+    failed everywhere — when every participant has given up.
+    """
+
+    def __init__(self, n_jobs: int, make_worker, participants: int) -> None:
+        self.n_jobs = n_jobs
+        self.make_worker = make_worker
+        self.participants = participants
+        self.counter = itertools.count()
+        self.results: list = [None] * n_jobs
+        self.errors: list[tuple[int, BaseException]] = []
+        self.done = threading.Event()
+        self._lock = threading.Lock()
+        self._jobs_done = 0
+        self._participants_done = 0
+
+    def execute(self, slot: int) -> None:
+        """Run one participant's share; called inside a pool thread."""
+        if self.done.is_set():
+            # A sibling already drained the batch; don't build a worker
+            # just to find the counter exhausted.
+            return
+        worker = None
+        try:
+            worker = self.make_worker(slot)
+        except BaseException as exc:  # worker construction is fatal
+            self.errors.append((-1, exc))
+        processed = 0
+        if worker is not None:
+            while True:
+                i = next(self.counter)
+                if i >= self.n_jobs:
+                    break
+                try:
+                    self.results[i] = worker(i)
+                except BaseException as exc:  # contain: next claim still runs
+                    self.errors.append((i, exc))
+                processed += 1
+        with self._lock:
+            self._jobs_done += processed
+            self._participants_done += 1
+            if (
+                self._jobs_done >= self.n_jobs
+                or self._participants_done >= self.participants
+            ):
+                self.done.set()
+
+
+class PooledThreadedExecutor(Executor):
+    """The threaded worklist on persistent threads — the daemon profile.
+
+    :class:`ThreadedExecutor` spawns fresh OS threads on every ``run()``
+    call, which is fine for one-shot CLI invocations but a real cost for
+    a long-running server handling many small requests.  This executor
+    keeps ``workers`` daemon threads alive and feeds them per-``run()``
+    batches instead; the schedule (dynamic worklist over one shared
+    counter) and the output bytes are identical to the threaded policy.
+
+    ``run()`` is safe to call concurrently from multiple threads: each
+    call is an independent batch, any single pool thread can drain a
+    batch alone (claims come from the batch's own counter), so
+    concurrent batches interleave without deadlock.  ``make_worker`` is
+    still invoked inside the pool thread that uses it, preserving the
+    thread-locality contract.  Do not call ``run()`` from inside a pool
+    thread (no nested batches).
+    """
+
+    policy = "threaded"
+
+    def __init__(self, workers: int = 1) -> None:
+        super().__init__(workers)
+        self._tickets: queue.SimpleQueue = queue.SimpleQueue()
+        self._closed = False
+        self._threads = [
+            threading.Thread(
+                target=self._thread_main, name=f"repro-pool-{w}", daemon=True
+            )
+            for w in range(workers)
+        ]
+        for t in self._threads:
+            t.start()
+
+    def _thread_main(self) -> None:
+        while True:
+            ticket = self._tickets.get()
+            if ticket is None:
+                return
+            batch, slot = ticket
+            batch.execute(slot)
+
+    def run(self, n_jobs, make_worker):
+        if self._closed:
+            raise RuntimeError("executor pool is closed")
+        if n_jobs <= 0:
+            return []
+        participants = min(self.workers, n_jobs)
+        batch = _Batch(n_jobs, make_worker, participants)
+        for slot in range(participants):
+            self._tickets.put((batch, slot))
+        batch.done.wait()
+        if batch.errors:
+            raise min(batch.errors, key=lambda pair: pair[0])[1]
+        return batch.results
+
+    def close(self) -> None:
+        """Stop the pool threads; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._threads:
+            self._tickets.put(None)
+        for t in self._threads:
+            t.join()
+
+    def __enter__(self) -> PooledThreadedExecutor:
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 _EXECUTOR_TYPES: dict[str, type[Executor]] = {

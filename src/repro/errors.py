@@ -50,6 +50,49 @@ class BoundsError(FormatError):
     """
 
 
+class ServiceError(ReproError):
+    """Base class for failures of the ``repro.service`` layer.
+
+    Raised on both sides of the wire: by the server when a request cannot
+    be admitted or completed, and by the client when a server reply says
+    so.  Every service failure a caller can see is one of the subclasses
+    below — the serving analogue of the container-decode guarantee that
+    corruption only ever surfaces as a typed :class:`ReproError`.
+    """
+
+
+class ProtocolError(ServiceError):
+    """A wire frame violated the FPRW framed protocol.
+
+    Raised by the frame parser for bad magic, unsupported protocol
+    version, unknown opcodes, nonzero reserved fields, truncated frames,
+    and declared body lengths beyond the frame limit.  The declared-length
+    check runs *before* any buffer is sized from the field, so a hostile
+    frame can never be an allocation bomb — the same discipline as the
+    container's bounds checks.
+    """
+
+
+class BusyError(ServiceError):
+    """The server's job queue is past its high-water mark.
+
+    Explicit backpressure: the request was rejected up front instead of
+    buffered without bound.  Safe to retry after a backoff.
+    """
+
+
+class DeadlineExceededError(ServiceError):
+    """The request did not complete within the server's per-request deadline."""
+
+
+class RemoteError(ServiceError):
+    """The server hit an unexpected internal failure processing a request.
+
+    Carries the server-side traceback summary; the connection itself
+    stays usable.
+    """
+
+
 def traceback_summary(exc: BaseException, frames: int = 3) -> str:
     """One-line summary of an exception with its innermost frames.
 

@@ -11,12 +11,22 @@ This package is the executable form of that contract:
   models (bit flips, span stomps, truncation, header-field damage,
   chunk-table splices);
 * :mod:`repro.fuzzing.harness` — the invariant-checking loop, replayable
-  per iteration from ``(seed, iteration)``.
+  per iteration from ``(seed, iteration)``;
+* :mod:`repro.fuzzing.frames` — the same discipline applied to the FPRW
+  wire protocol of ``fprz serve``: hostile frames must fail with a typed
+  :class:`~repro.errors.ProtocolError`, never a crash or an allocation
+  sized from an unvalidated length.
 
-Exposed on the command line as ``fprz fuzz`` and wired into corpus
-verification (``fprz verify --fuzz``).
+Exposed on the command line as ``fprz fuzz`` (``--frames`` for the wire
+layer) and wired into corpus verification (``fprz verify --fuzz``).
 """
 
+from repro.fuzzing.frames import (
+    FrameCase,
+    build_frame_corpus,
+    replay_frame,
+    run_frame_fuzz,
+)
 from repro.fuzzing.harness import (
     FuzzCase,
     FuzzFailure,
@@ -25,16 +35,28 @@ from repro.fuzzing.harness import (
     replay,
     run_fuzz,
 )
-from repro.fuzzing.mutators import MUTATORS, Mutator, mutate
+from repro.fuzzing.mutators import (
+    FRAME_MUTATORS,
+    MUTATORS,
+    Mutator,
+    mutate,
+    mutate_frame,
+)
 
 __all__ = [
+    "FRAME_MUTATORS",
+    "FrameCase",
     "FuzzCase",
     "FuzzFailure",
     "FuzzReport",
     "MUTATORS",
     "Mutator",
     "build_corpus",
+    "build_frame_corpus",
     "mutate",
+    "mutate_frame",
     "replay",
+    "replay_frame",
+    "run_frame_fuzz",
     "run_fuzz",
 ]

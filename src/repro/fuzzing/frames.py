@@ -1,0 +1,173 @@
+"""Frame-level fuzzing for the FPRW wire protocol.
+
+The service's robustness contract mirrors the container's: a hostile
+frame arriving on the socket either parses or fails with a typed
+:class:`~repro.errors.ProtocolError` — never a crash, never a hang,
+and never an allocation sized from an unvalidated declared length.
+``run_frame_fuzz`` is the executable form of that contract, driving the
+*exact* functions the server calls (:func:`repro.service.protocol.parse_frame`
+and the per-opcode body decoders) with seeded mutants of valid frames:
+
+1. **Typed failure or success** — ``parse_frame`` on a mutant either
+   returns a :class:`~repro.service.protocol.Frame` or raises
+   ``ProtocolError``; the same holds for the body decoders of whatever
+   opcode the mutant claims.  Any other exception is a harness failure.
+2. **No allocation bombs** — a parsed frame's body never exceeds the
+   ``max_frame`` the parser was given; oversize declarations must die at
+   the header, before a buffer is sized from them.
+3. **Definitional rejections** — mutants that by construction violate
+   the frame contract (bad magic, bad version, nonzero reserved fields,
+   truncation, declared/actual length mismatch, unknown opcode) must be
+   rejected whenever they changed any byte.
+
+Everything derives from ``(seed, iteration)`` via
+``np.random.default_rng([seed, iteration])``; failures replay in
+isolation with :func:`replay_frame`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import container as fmt
+from repro.core.codecs import CODECS, get_codec
+from repro.core.compressor import compress_bytes
+from repro.errors import ProtocolError, traceback_summary
+from repro.fuzzing.harness import FuzzFailure, FuzzReport, _smooth
+from repro.fuzzing.mutators import FRAME_MUST_REJECT, FRAME_MUTATORS, mutate_frame
+from repro.service import protocol as wire
+
+#: Frame limit the fuzzer hands ``parse_frame`` — small enough that the
+#: oversize mutator's declarations always land past it.
+FUZZ_MAX_FRAME = 1 << 20
+
+
+@dataclass(frozen=True)
+class FrameCase:
+    """One valid wire frame the mutators start from."""
+
+    label: str
+    opcode: int
+    frame: bytes
+
+
+def build_frame_corpus(seed: int, *, size: int = 16_384) -> list[FrameCase]:
+    """Valid frames covering every request and response opcode."""
+    rng = np.random.default_rng([seed, 0xF4])
+    codec_name = sorted(CODECS)[0]
+    codec = get_codec(codec_name)
+    data = _smooth(rng, codec.dtype, size)
+    container = compress_bytes(data, codec, checksum=True, chunk_checksums=True)
+    n = len(data) // codec.dtype.itemsize
+    dtype_code = fmt.DTYPE_F32 if codec.dtype.itemsize == 4 else fmt.DTYPE_F64
+
+    def case(label: str, opcode: int, request_id: int, body: bytes) -> FrameCase:
+        return FrameCase(label, opcode, wire.encode_frame(opcode, request_id, body))
+
+    return [
+        case("compress-array", wire.OP_COMPRESS, 1, wire.encode_compress_body(
+            data, codec=codec_name, dtype_code=dtype_code, shape=(n,))),
+        case("compress-raw", wire.OP_COMPRESS, 2, wire.encode_compress_body(
+            rng.bytes(size // 4), codec=codec_name)),
+        case("decompress", wire.OP_DECOMPRESS, 3, container),
+        case("inspect", wire.OP_INSPECT, 4, container),
+        case("stats", wire.OP_STATS, 5, b""),
+        case("ping", wire.OP_PING, 6, b""),
+        case("result-array", wire.OP_RESULT, 1, wire.encode_array_body(
+            data, dtype_code=dtype_code, shape=(n,))),
+        case("error", wire.OP_ERROR, 7, wire.encode_error_body(
+            wire.ERR_FORMAT, "synthetic failure")),
+        case("busy", wire.OP_BUSY, 8, b""),
+    ]
+
+
+def _decode_body(frame: wire.Frame) -> None:
+    """Run the body decoder the server/client would for this opcode."""
+    if frame.opcode == wire.OP_COMPRESS:
+        wire.decode_compress_body(frame.body)
+    elif frame.opcode == wire.OP_RESULT:
+        # The corpus RESULT frame carries an array body (decompress
+        # path); compress-path RESULT bodies are FPRZ containers, which
+        # the container fuzzer owns.
+        wire.decode_array_body(frame.body)
+    elif frame.opcode == wire.OP_ERROR:
+        wire.decode_error_body(frame.body)
+    # DECOMPRESS/INSPECT bodies are FPRZ containers — the container
+    # fuzzer (`run_fuzz`) owns that layer; STATS/PING/BUSY carry none.
+
+
+def _probe_frame(
+    case: FrameCase,
+    mutator: str,
+    mutant: bytes,
+    iteration: int,
+    report: FuzzReport,
+) -> str:
+    def fail(kind: str, detail: str) -> None:
+        report.failures.append(FuzzFailure(
+            iteration=iteration, case=case.label, mutator=mutator,
+            kind=kind, detail=detail,
+        ))
+
+    changed = mutant != case.frame
+    try:
+        frame = wire.parse_frame(mutant, max_frame=FUZZ_MAX_FRAME)
+    except ProtocolError:
+        return "rejected"
+    except BaseException as exc:
+        fail("crash", traceback_summary(exc))
+        return "crashed"
+
+    # Invariant 3: contract-violating mutants must not parse.
+    if changed and mutator in FRAME_MUST_REJECT:
+        fail("accepted-invalid",
+             f"{mutator} mutant parsed as opcode 0x{frame.opcode:02x}")
+    # Invariant 2: nothing past the frame limit survives the parser.
+    if len(frame.body) > FUZZ_MAX_FRAME:
+        fail("over-allocation",
+             f"parsed frame carries a {len(frame.body)}-byte body past the "
+             f"{FUZZ_MAX_FRAME}-byte limit")
+
+    try:
+        _decode_body(frame)
+    except ProtocolError:
+        return "body-rejected"
+    except BaseException as exc:
+        fail("crash", traceback_summary(exc))
+        return "crashed"
+    return "parsed" if changed else "unchanged"
+
+
+def run_frame_fuzz(
+    seed: int = 0,
+    iterations: int = 500,
+    *,
+    mutators=None,
+    on_progress=None,
+) -> FuzzReport:
+    """Run the frame harness; returns a :class:`FuzzReport` (ok == clean)."""
+    cases = build_frame_corpus(seed)
+    mutator_names = sorted(mutators) if mutators else sorted(FRAME_MUTATORS)
+    report = FuzzReport(seed=seed, iterations=iterations)
+    for iteration in range(iterations):
+        rng = np.random.default_rng([seed, iteration])
+        case = cases[int(rng.integers(0, len(cases)))]
+        mutator = mutator_names[int(rng.integers(0, len(mutator_names)))]
+        mutant = mutate_frame(case.frame, mutator, rng)
+        outcome = _probe_frame(case, mutator, mutant, iteration, report)
+        report.outcomes[outcome] += 1
+        if on_progress is not None:
+            on_progress(iteration + 1, iterations)
+    return report
+
+
+def replay_frame(seed: int, iteration: int, *, mutators=None):
+    """Rebuild the exact (case, mutator, mutant) of one failing iteration."""
+    cases = build_frame_corpus(seed)
+    mutator_names = sorted(mutators) if mutators else sorted(FRAME_MUTATORS)
+    rng = np.random.default_rng([seed, iteration])
+    case = cases[int(rng.integers(0, len(cases)))]
+    mutator = mutator_names[int(rng.integers(0, len(mutator_names)))]
+    return case, mutator, mutate_frame(case.frame, mutator, rng)

@@ -205,6 +205,165 @@ def pad_bit_set(blob: bytes, rng: np.random.Generator) -> bytes:
     return bytes(buf)
 
 
+# ---------------------------------------------------------------------------
+# FPRW frame mutators.
+#
+# These operate on one complete wire frame (header + body) of the FPRW
+# protocol spoken by ``fprz serve`` — layout ``<4sBBBBQI`` + body, see
+# :mod:`repro.service.protocol`.  The frame fuzzer feeds the mutants to
+# the exact ``parse_frame``/``decode_*`` functions the server calls, so
+# every damage class here is a damage class a listening socket meets.
+
+#: Frame header offsets, from the ``<4sBBBBQI`` wire layout.
+_F_MAGIC = 0
+_F_VERSION = 4
+_F_OPCODE = 5
+_F_FLAGS = 6
+_F_RESERVED = 7
+_F_BODY_LEN = 16
+_FRAME_HEADER_SIZE = 20
+
+
+def frame_truncate(frame: bytes, rng: np.random.Generator) -> bytes:
+    """Cut the frame at a random byte — a dropped connection mid-send."""
+    return frame[: _rand_offset(rng, len(frame) + 1)]
+
+
+def frame_oversize_length(frame: bytes, rng: np.random.Generator) -> bytes:
+    """Declare a body far past any sane frame limit (allocation-bomb shape)."""
+    buf = bytearray(frame)
+    if len(buf) < _FRAME_HEADER_SIZE:
+        return bit_flip(frame, rng)
+    extremes = (0xFFFFFFFF, 1 << 31, (1 << 30) + 1)
+    value = extremes[int(rng.integers(0, len(extremes)))]
+    struct.pack_into("<I", buf, _F_BODY_LEN, value)
+    return bytes(buf)
+
+
+def frame_bad_magic(frame: bytes, rng: np.random.Generator) -> bytes:
+    """Replace the magic with something that is not ``FPRW``."""
+    buf = bytearray(frame)
+    if len(buf) < _FRAME_HEADER_SIZE:
+        return bit_flip(frame, rng)
+    while True:
+        magic = rng.bytes(4)
+        if magic != bytes(buf[_F_MAGIC : _F_MAGIC + 4]):
+            break
+    buf[_F_MAGIC : _F_MAGIC + 4] = magic
+    return bytes(buf)
+
+
+def frame_bad_version(frame: bytes, rng: np.random.Generator) -> bytes:
+    """Claim a wire protocol version this library does not speak."""
+    buf = bytearray(frame)
+    if len(buf) < _FRAME_HEADER_SIZE:
+        return bit_flip(frame, rng)
+    current = buf[_F_VERSION]
+    buf[_F_VERSION] = (current + int(rng.integers(1, 256))) % 256
+    return bytes(buf)
+
+
+def frame_flags_garbage(frame: bytes, rng: np.random.Generator) -> bytes:
+    """Set the reserved flags/reserved bytes nonzero."""
+    buf = bytearray(frame)
+    if len(buf) < _FRAME_HEADER_SIZE:
+        return bit_flip(frame, rng)
+    field = _F_FLAGS if rng.integers(0, 2) else _F_RESERVED
+    buf[field] = int(rng.integers(1, 256))
+    return bytes(buf)
+
+
+def frame_opcode_invalid(frame: bytes, rng: np.random.Generator) -> bytes:
+    """Flip the opcode to a value outside every opcode table."""
+    from repro.service.protocol import OPCODE_NAMES
+
+    buf = bytearray(frame)
+    if len(buf) < _FRAME_HEADER_SIZE:
+        return bit_flip(frame, rng)
+    while True:
+        opcode = int(rng.integers(0, 256))
+        if opcode not in OPCODE_NAMES:
+            break
+    buf[_F_OPCODE] = opcode
+    return bytes(buf)
+
+
+def frame_opcode_swap(frame: bytes, rng: np.random.Generator) -> bytes:
+    """Swap the opcode for a *different valid* one.
+
+    The header stays well-formed, so the body now parses under the wrong
+    opcode's layout — the cross-opcode confusion a buggy client sends.
+    """
+    from repro.service.protocol import OPCODE_NAMES
+
+    buf = bytearray(frame)
+    if len(buf) < _FRAME_HEADER_SIZE:
+        return bit_flip(frame, rng)
+    others = sorted(code for code in OPCODE_NAMES if code != buf[_F_OPCODE])
+    buf[_F_OPCODE] = others[int(rng.integers(0, len(others)))]
+    return bytes(buf)
+
+
+def frame_length_mismatch(frame: bytes, rng: np.random.Generator) -> bytes:
+    """Nudge ``body_len`` so the declaration no longer matches the body."""
+    buf = bytearray(frame)
+    if len(buf) < _FRAME_HEADER_SIZE:
+        return bit_flip(frame, rng)
+    (current,) = struct.unpack_from("<I", buf, _F_BODY_LEN)
+    while True:
+        delta = int(rng.integers(-16, 17))
+        value = max(0, current + delta)
+        if value != current:
+            break
+    struct.pack_into("<I", buf, _F_BODY_LEN, value)
+    return bytes(buf)
+
+
+def frame_body_stomp(frame: bytes, rng: np.random.Generator) -> bytes:
+    """Corrupt body bytes only — the header stays intact and truthful.
+
+    The frame parses; the damage must be caught (or tolerated) by the
+    per-opcode body decoders, never by an unchecked allocation.
+    """
+    buf = bytearray(frame)
+    if len(buf) <= _FRAME_HEADER_SIZE:
+        return frame_flags_garbage(frame, rng)
+    start = _FRAME_HEADER_SIZE + _rand_offset(rng, len(buf) - _FRAME_HEADER_SIZE)
+    length = min(int(rng.integers(1, 33)), len(buf) - start)
+    buf[start : start + length] = rng.bytes(length)
+    return bytes(buf)
+
+
+FRAME_MUTATORS: dict[str, Mutator] = {
+    "frame-truncate": frame_truncate,
+    "frame-oversize": frame_oversize_length,
+    "frame-bad-magic": frame_bad_magic,
+    "frame-bad-version": frame_bad_version,
+    "frame-flags": frame_flags_garbage,
+    "frame-opcode-invalid": frame_opcode_invalid,
+    "frame-opcode-swap": frame_opcode_swap,
+    "frame-length-mismatch": frame_length_mismatch,
+    "frame-body-stomp": frame_body_stomp,
+}
+
+#: Mutators whose mutants (when they changed any byte) definitionally
+#: violate the frame contract — the parser accepting one is a failure.
+FRAME_MUST_REJECT = frozenset({
+    "frame-truncate",
+    "frame-oversize",
+    "frame-bad-magic",
+    "frame-bad-version",
+    "frame-flags",
+    "frame-opcode-invalid",
+    "frame-length-mismatch",
+})
+
+
+def mutate_frame(frame: bytes, name: str, rng: np.random.Generator) -> bytes:
+    """Apply the named frame mutator."""
+    return FRAME_MUTATORS[name](frame, rng)
+
+
 MUTATORS: dict[str, Mutator] = {
     "bit-flip": bit_flip,
     "byte-stomp": byte_stomp,

@@ -7,7 +7,9 @@ throughput of the real implementation (never the device model):
   corpus sample (serial executor, so numbers are comparable across runs);
 * per-stage encode/decode throughput on a representative chunk;
 * kernel microbenchmarks (``pack_words``/``unpack_words`` at a grid of
-  representative widths, the BIT transpose, and count-leading-zeros).
+  representative widths, the BIT transpose, and count-leading-zeros);
+* service throughput: the same codec work through a live ``fprz serve``
+  socket vs in process, plus the small-request rate (requests/s).
 
 Points are saved as ``BENCH_<tag>.json`` files; committing one per perf
 PR grows a throughput trajectory of the repository itself, and
@@ -171,6 +173,67 @@ def _stage_section(scale: float, runs: int) -> dict:
     return stages
 
 
+def _service_section(scale: float, runs: int) -> dict:
+    """Socket-vs-in-process serving throughput (``fprz serve``).
+
+    Runs a live :class:`~repro.service.server.ServerThread` on an
+    ephemeral port and measures the same compress/decompress work both
+    through the FPRW socket and in process, plus the small-request rate
+    (PING round trips and tiny COMPRESS jobs).  The socket/in-process
+    gap is the wire + scheduling overhead of the service layer.
+    """
+    from repro.service import ServerThread, ServiceClient, ServiceConfig
+
+    data = _bench_sample("spspeed", scale)
+    array = np.frombuffer(data, dtype=np.float32)
+    small = array[: max(len(array) // 64, 256)]
+    with ServerThread(ServiceConfig(port=0)) as srv:
+        with ServiceClient(port=srv.port) as client:
+            blob = client.compress(array, "spspeed")
+            compress = {
+                "socket_bytes_per_s": measure_throughput(
+                    lambda: client.compress(array, "spspeed"),
+                    len(data), runs=runs,
+                ),
+                "inprocess_bytes_per_s": measure_throughput(
+                    lambda: repro.compress(array, "spspeed"),
+                    len(data), runs=runs,
+                ),
+                "input_bytes": len(data),
+            }
+            decompress = {
+                "socket_bytes_per_s": measure_throughput(
+                    lambda: client.decompress(blob), len(data), runs=runs
+                ),
+                "inprocess_bytes_per_s": measure_throughput(
+                    lambda: repro.decompress(blob), len(data), runs=runs
+                ),
+                "input_bytes": len(data),
+            }
+            batch = 100
+
+            def pings() -> None:
+                for _ in range(batch):
+                    client.ping()
+
+            def small_compresses() -> None:
+                for _ in range(batch):
+                    client.compress(small, "spspeed")
+
+            requests = {
+                "ping_per_s": measure_throughput(pings, batch, runs=runs),
+                "small_compress_per_s": measure_throughput(
+                    small_compresses, batch, runs=runs
+                ),
+                "small_request_bytes": int(small.nbytes),
+            }
+    return {
+        "compress": compress,
+        "decompress": decompress,
+        "requests": requests,
+    }
+
+
 def record_trajectory(
     *,
     tag: str | None = None,
@@ -194,6 +257,7 @@ def record_trajectory(
         "kernels": _kernel_section(runs),
         "codecs": _codec_section(scale, runs, workers),
         "stages": _stage_section(scale, runs),
+        "service": _service_section(scale, runs),
     }
 
 
@@ -259,4 +323,22 @@ def format_trajectory(point: dict) -> str:
         lines.append(f"{'kernel':>32} {'throughput':>12}")
         for key, row in sorted(kernels.items()):
             lines.append(f"{key:>32} {row['bytes_per_s'] / 1e6:>9.2f} MB/s")
+    service = point.get("service", {})
+    if service:
+        lines.append("")
+        lines.append(f"{'service':>12} {'socket':>12} {'in-process':>12}")
+        for op in ("compress", "decompress"):
+            row = service.get(op)
+            if row:
+                lines.append(
+                    f"{op:>12} "
+                    f"{row['socket_bytes_per_s'] / 1e6:>9.2f} MB/s "
+                    f"{row['inprocess_bytes_per_s'] / 1e6:>9.2f} MB/s"
+                )
+        requests = service.get("requests")
+        if requests:
+            lines.append(
+                f"{'requests':>12} {requests['ping_per_s']:>9.0f} ping/s "
+                f"{requests['small_compress_per_s']:>7.0f} compress/s"
+            )
     return "\n".join(lines)

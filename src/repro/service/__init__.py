@@ -1,0 +1,37 @@
+"""The serving layer: a framed async compression service.
+
+* :mod:`repro.service.protocol` — the FPRW wire frames (magic, version,
+  request id, opcode, body) and their typed validation.
+* :mod:`repro.service.server` — the asyncio daemon behind ``fprz serve``:
+  bounded admission queue with BUSY backpressure, thread-pool codec
+  offload, per-request deadlines, graceful drain.
+* :mod:`repro.service.client` — the blocking client behind
+  ``fprz remote`` and :func:`repro.api.connect`.
+* :mod:`repro.service.metrics` — the live counters/gauges/histograms
+  served by the STATS opcode and ``fprz stats``.
+
+The wire payloads are FPRZ containers — the exact bytes the offline
+tools read and write — so the service adds framing, scheduling, and
+observability around the existing format, never a second encoding.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.metrics import MetricsRegistry
+from repro.service.protocol import DEFAULT_MAX_FRAME, DEFAULT_PORT
+from repro.service.server import (
+    CompressionServer,
+    ServerThread,
+    ServiceConfig,
+    wait_for_port,
+)
+
+__all__ = [
+    "CompressionServer",
+    "DEFAULT_MAX_FRAME",
+    "DEFAULT_PORT",
+    "MetricsRegistry",
+    "ServerThread",
+    "ServiceClient",
+    "ServiceConfig",
+    "wait_for_port",
+]

@@ -1,0 +1,185 @@
+"""Blocking client for a running ``fprz serve`` daemon.
+
+One TCP connection, synchronous request/response::
+
+    from repro.service.client import ServiceClient
+
+    with ServiceClient(port=9753) as client:
+        blob = client.compress(array)          # an FPRZ container
+        restored = client.decompress(blob)     # numpy array back
+
+The container bytes returned by :meth:`ServiceClient.compress` are
+byte-identical to :func:`repro.compress` on the same input — the wire
+payload *is* the at-rest format, so anything fetched remotely can be
+written to disk and decoded by ``fprz decompress`` (and vice versa).
+
+Server-side failures surface as the same typed
+:class:`~repro.errors.ReproError` family an in-process call would
+raise; admission rejections raise :class:`~repro.errors.BusyError`,
+deadline overruns :class:`~repro.errors.DeadlineExceededError`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import socket
+
+import numpy as np
+
+from repro.core import container as fmt
+from repro.errors import BusyError, ProtocolError, ServiceError, UnsupportedDtypeError
+from repro.service import protocol as proto
+
+_DTYPE_BY_CODE = {fmt.DTYPE_F32: np.dtype(np.float32),
+                  fmt.DTYPE_F64: np.dtype(np.float64)}
+_CODE_BY_DTYPE = {np.dtype(np.float32): fmt.DTYPE_F32,
+                  np.dtype(np.float64): fmt.DTYPE_F64}
+
+
+class ServiceClient:
+    """A synchronous FPRW connection to one compression server."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = proto.DEFAULT_PORT,
+        *,
+        timeout: float = 60.0,
+        max_frame: int = proto.DEFAULT_MAX_FRAME,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.max_frame = max_frame
+        self._request_ids = itertools.count(1)
+        try:
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot connect to compression server at {host}:{port}: {exc}"
+            ) from exc
+
+    def close(self) -> None:
+        self._sock.close()
+
+    def __enter__(self) -> ServiceClient:
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- wire plumbing ------------------------------------------------
+
+    def _recv_exactly(self, n: int) -> bytes:
+        chunks = []
+        remaining = n
+        try:
+            while remaining:
+                chunk = self._sock.recv(min(remaining, 1 << 20))
+                if not chunk:
+                    raise ProtocolError(
+                        f"server closed the connection mid-frame "
+                        f"({n - remaining} of {n} bytes received)"
+                    )
+                chunks.append(chunk)
+                remaining -= len(chunk)
+        except socket.timeout as exc:
+            raise ServiceError(
+                f"timed out waiting for the server's reply: {exc}"
+            ) from exc
+        return b"".join(chunks)
+
+    def _request(self, opcode: int, body: bytes = b"") -> bytes:
+        if len(body) > self.max_frame:
+            raise ProtocolError(
+                f"request body of {len(body)} bytes exceeds the "
+                f"{self.max_frame}-byte frame limit"
+            )
+        request_id = next(self._request_ids)
+        try:
+            self._sock.sendall(proto.encode_frame(opcode, request_id, body))
+        except OSError as exc:
+            raise ServiceError(f"cannot send request: {exc}") from exc
+        header = self._recv_exactly(proto.HEADER_SIZE)
+        resp_opcode, resp_id, body_len = proto.parse_header(
+            header, max_frame=self.max_frame
+        )
+        resp_body = self._recv_exactly(body_len)
+        if resp_id != request_id:
+            raise ProtocolError(
+                f"response for request {resp_id} arrived while awaiting "
+                f"request {request_id}"
+            )
+        if resp_opcode == proto.OP_BUSY:
+            raise BusyError(
+                "server rejected the request: job queue past its high-water "
+                "mark (retry after a backoff)"
+            )
+        if resp_opcode == proto.OP_ERROR:
+            code, message = proto.decode_error_body(resp_body)
+            raise proto.exception_for(code, f"server: {message}")
+        if resp_opcode != proto.OP_RESULT:
+            raise ProtocolError(
+                f"unexpected response opcode 0x{resp_opcode:02x}"
+            )
+        return resp_body
+
+    # -- operations ---------------------------------------------------
+
+    def compress(
+        self,
+        data: np.ndarray | bytes | bytearray | memoryview,
+        codec: str | None = None,
+    ) -> bytes:
+        """Compress remotely; returns the FPRZ container bytes."""
+        if isinstance(data, (bytes, bytearray, memoryview)):
+            body = proto.encode_compress_body(
+                bytes(data), codec=codec, dtype_code=fmt.DTYPE_BYTES
+            )
+        else:
+            array = np.asarray(data)
+            code = _CODE_BY_DTYPE.get(array.dtype)
+            if code is None:
+                raise UnsupportedDtypeError(
+                    f"dtype {array.dtype} is not supported; use float32, "
+                    f"float64, or bytes"
+                )
+            body = proto.encode_compress_body(
+                np.ascontiguousarray(array).tobytes(),
+                codec=codec, dtype_code=code, shape=array.shape,
+            )
+        return self._request(proto.OP_COMPRESS, body)
+
+    def decompress(self, blob: bytes) -> np.ndarray | bytes:
+        """Decompress an FPRZ container remotely.
+
+        Returns a numpy array with the original dtype/shape when the
+        container was built from an array, raw bytes otherwise — the
+        same contract as :func:`repro.decompress`.
+        """
+        resp = self._request(proto.OP_DECOMPRESS, bytes(blob))
+        dtype_code, shape, payload = proto.decode_array_body(resp)
+        if dtype_code == fmt.DTYPE_BYTES:
+            return payload
+        array = np.frombuffer(payload, dtype=_DTYPE_BY_CODE[dtype_code])
+        return array.reshape(shape) if shape is not None else array
+
+    def inspect(self, blob: bytes) -> dict:
+        """Container metadata as a dict, parsed server-side."""
+        return self._json(self._request(proto.OP_INSPECT, bytes(blob)))
+
+    def stats(self) -> dict:
+        """The server's live metrics snapshot (STATS opcode)."""
+        return self._json(self._request(proto.OP_STATS))
+
+    def ping(self) -> bool:
+        """Round-trip an empty frame; True when the server answered."""
+        self._request(proto.OP_PING)
+        return True
+
+    @staticmethod
+    def _json(body: bytes) -> dict:
+        try:
+            return json.loads(body.decode("utf-8"))
+        except ValueError as exc:
+            raise ProtocolError(f"malformed JSON result body: {exc}") from exc

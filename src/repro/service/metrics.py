@@ -1,0 +1,192 @@
+"""Live serving metrics: counters, gauges, and histograms.
+
+A :class:`MetricsRegistry` is the single instrumentation surface of the
+compression service.  The server increments it on every admission
+decision and completed job; the ``STATS`` opcode (and ``fprz stats``)
+ships :meth:`MetricsRegistry.snapshot` to clients as JSON.
+
+The design follows the Prometheus data model in miniature — named
+metrics with label sets, monotonic counters, point-in-time gauges, and
+cumulative-bucket histograms — without any external dependency.  All
+mutation goes through one lock per registry; the hot-path cost is a
+dict lookup and an integer add, far below the codec work it measures.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from dataclasses import dataclass, field
+
+#: Request latency buckets in seconds (upper bounds; +Inf is implicit).
+LATENCY_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0)
+
+#: Payload size buckets in bytes: 1 KiB .. 64 MiB in powers of four.
+SIZE_BUCKETS = tuple(1024 * 4**i for i in range(9))
+
+#: Compression-ratio buckets (original / compressed).
+RATIO_BUCKETS = (0.5, 1.0, 1.25, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 16.0)
+
+
+def _label_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render_key(name: str, key: tuple[tuple[str, str], ...]) -> str:
+    if not key:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in key)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self.value += amount
+
+
+class Gauge:
+    """A point-in-time value that can move both ways."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self.value = 0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        with self._lock:
+            self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.inc(-amount)
+
+
+class Histogram:
+    """Cumulative-bucket histogram with sum and count.
+
+    ``bounds`` are the inclusive upper bounds of each bucket; one
+    overflow bucket (+Inf) is always appended.
+    """
+
+    __slots__ = ("_lock", "bounds", "bucket_counts", "total", "count")
+
+    def __init__(self, lock: threading.Lock, bounds: tuple[float, ...]) -> None:
+        self._lock = lock
+        self.bounds = tuple(bounds)
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        i = bisect_left(self.bounds, value)
+        with self._lock:
+            self.bucket_counts[i] += 1
+            self.total += value
+            self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+@dataclass
+class MetricsRegistry:
+    """Thread-safe named-metric store with label support."""
+
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+    _counters: dict = field(default_factory=dict)
+    _gauges: dict = field(default_factory=dict)
+    _histograms: dict = field(default_factory=dict)
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        key = (name, _label_key(labels))
+        with self._lock:
+            metric = self._counters.get(key)
+            if metric is None:
+                metric = self._counters[key] = Counter(self._lock)
+        return metric
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        key = (name, _label_key(labels))
+        with self._lock:
+            metric = self._gauges.get(key)
+            if metric is None:
+                metric = self._gauges[key] = Gauge(self._lock)
+        return metric
+
+    def histogram(
+        self, name: str, *, buckets: tuple[float, ...] = LATENCY_BUCKETS,
+        **labels: str,
+    ) -> Histogram:
+        key = (name, _label_key(labels))
+        with self._lock:
+            metric = self._histograms.get(key)
+            if metric is None:
+                metric = self._histograms[key] = Histogram(self._lock, buckets)
+        return metric
+
+    def snapshot(self) -> dict:
+        """JSON-ready view of every metric (the STATS opcode payload)."""
+        with self._lock:
+            counters = {
+                _render_key(name, key): c.value
+                for (name, key), c in sorted(self._counters.items())
+            }
+            gauges = {
+                _render_key(name, key): g.value
+                for (name, key), g in sorted(self._gauges.items())
+            }
+            histograms = {}
+            for (name, key), h in sorted(self._histograms.items()):
+                histograms[_render_key(name, key)] = {
+                    "buckets": {
+                        **{str(b): c for b, c in zip(h.bounds, h.bucket_counts)},
+                        "+Inf": h.bucket_counts[-1],
+                    },
+                    "sum": h.total,
+                    "count": h.count,
+                }
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+    def render(self) -> str:
+        """Human-readable metrics table (``fprz stats``)."""
+        return render_snapshot(self.snapshot())
+
+
+def render_snapshot(snap: dict) -> str:
+    """Format a :meth:`MetricsRegistry.snapshot` dict for terminals."""
+    lines: list[str] = []
+    counters = snap.get("counters", {})
+    gauges = snap.get("gauges", {})
+    histograms = snap.get("histograms", {})
+    if counters:
+        lines.append("counters:")
+        lines.extend(f"  {k:<56} {v}" for k, v in counters.items())
+    if gauges:
+        lines.append("gauges:")
+        lines.extend(f"  {k:<56} {v}" for k, v in gauges.items())
+    if histograms:
+        lines.append("histograms:")
+        for k, h in histograms.items():
+            mean = h["sum"] / h["count"] if h["count"] else 0.0
+            lines.append(
+                f"  {k:<56} count={h['count']} mean={mean:.6g}"
+            )
+            nonzero = {b: c for b, c in h["buckets"].items() if c}
+            if nonzero:
+                inner = ", ".join(f"<={b}: {c}" for b, c in nonzero.items())
+                lines.append(f"    {inner}")
+    return "\n".join(lines) if lines else "(no metrics recorded)"

@@ -1,0 +1,350 @@
+"""The FPRW framed wire protocol spoken by ``fprz serve``.
+
+Every message between client and server is one length-prefixed frame::
+
+    =========== ===== ====================================================
+    field       bytes meaning
+    =========== ===== ====================================================
+    magic           4 ``b"FPRW"``
+    version         1 wire protocol version (currently 1)
+    opcode          1 request or response opcode (tables below)
+    flags           1 reserved, must be 0
+    reserved        1 reserved, must be 0
+    request_id      8 u64 chosen by the client, echoed in the response
+    body_len        4 u32 length of the body that follows
+    body            v ``body_len`` bytes, layout per opcode
+    =========== ===== ====================================================
+
+All integers are little-endian, matching the FPRZ container.  The
+``body_len`` field is validated against the negotiated frame limit
+*before* any buffer is sized from it, so a hostile frame fails with a
+typed :class:`~repro.errors.ProtocolError`, never an allocation bomb.
+
+Request opcodes: COMPRESS, DECOMPRESS, INSPECT, STATS, PING.  Responses
+are RESULT (success), ERROR (typed failure, body = error code + UTF-8
+message), and BUSY (admission control rejected the request — the
+explicit-backpressure reply).
+
+The payload-equals-container guarantee: a COMPRESS result body *is* an
+FPRZ container, byte-identical to what :func:`repro.compress` returns
+for the same input, and a DECOMPRESS request body is exactly the
+container ``fprz decompress`` would read from disk.  The wire adds
+framing around the at-rest format, never a second encoding of the data.
+
+See ``docs/SERVICE.md`` for the full byte-layout walkthrough.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.core import container as fmt
+from repro.errors import (
+    BoundsError,
+    ChecksumError,
+    CorruptDataError,
+    DeadlineExceededError,
+    FormatError,
+    ProtocolError,
+    RemoteError,
+    ServiceError,
+    UnknownCodecError,
+    UnsupportedDtypeError,
+)
+
+MAGIC = b"FPRW"
+VERSION = 1
+
+#: Default TCP port of ``fprz serve``.
+DEFAULT_PORT = 9753
+
+#: Default per-frame body limit (64 MiB).  Both sides enforce it on the
+#: *declared* length before reading or allocating the body.
+DEFAULT_MAX_FRAME = 64 * 1024 * 1024
+
+_HEADER = struct.Struct("<4sBBBBQI")
+HEADER_SIZE = _HEADER.size  # 20 bytes
+
+# Request opcodes.
+OP_COMPRESS = 0x01
+OP_DECOMPRESS = 0x02
+OP_INSPECT = 0x03
+OP_STATS = 0x04
+OP_PING = 0x05
+
+# Response opcodes.
+OP_RESULT = 0x80
+OP_ERROR = 0x81
+OP_BUSY = 0x82
+
+REQUEST_OPCODES = {
+    OP_COMPRESS: "compress",
+    OP_DECOMPRESS: "decompress",
+    OP_INSPECT: "inspect",
+    OP_STATS: "stats",
+    OP_PING: "ping",
+}
+RESPONSE_OPCODES = {OP_RESULT: "result", OP_ERROR: "error", OP_BUSY: "busy"}
+OPCODE_NAMES = {**REQUEST_OPCODES, **RESPONSE_OPCODES}
+
+# Error codes carried in ERROR response bodies.  Each maps to the typed
+# exception the client raises, so a server-side failure surfaces as the
+# same error family an in-process call would have produced.
+ERR_PROTOCOL = 1
+ERR_FORMAT = 2
+ERR_CORRUPT = 3
+ERR_CHECKSUM = 4
+ERR_BOUNDS = 5
+ERR_UNSUPPORTED_DTYPE = 6
+ERR_UNKNOWN_CODEC = 7
+ERR_DEADLINE = 8
+ERR_SHUTTING_DOWN = 9
+ERR_INTERNAL = 10
+
+#: Most-derived classes first: ``error_code_for`` walks this in order.
+_ERROR_CODES: tuple[tuple[type[Exception], int], ...] = (
+    (ProtocolError, ERR_PROTOCOL),
+    (DeadlineExceededError, ERR_DEADLINE),
+    (ChecksumError, ERR_CHECKSUM),
+    (BoundsError, ERR_BOUNDS),
+    (CorruptDataError, ERR_CORRUPT),
+    (FormatError, ERR_FORMAT),
+    (UnsupportedDtypeError, ERR_UNSUPPORTED_DTYPE),
+    (UnknownCodecError, ERR_UNKNOWN_CODEC),
+)
+
+_ERROR_CLASSES: dict[int, type[Exception]] = {
+    ERR_PROTOCOL: ProtocolError,
+    ERR_FORMAT: FormatError,
+    ERR_CORRUPT: CorruptDataError,
+    ERR_CHECKSUM: ChecksumError,
+    ERR_BOUNDS: BoundsError,
+    ERR_UNSUPPORTED_DTYPE: UnsupportedDtypeError,
+    ERR_UNKNOWN_CODEC: UnknownCodecError,
+    ERR_DEADLINE: DeadlineExceededError,
+    ERR_SHUTTING_DOWN: ServiceError,
+    ERR_INTERNAL: RemoteError,
+}
+
+#: ndim sentinel meaning "no shape block" (raw-bytes payloads).
+_NO_SHAPE = 0xFF
+
+_DTYPE_ITEMSIZE = {fmt.DTYPE_BYTES: 1, fmt.DTYPE_F32: 4, fmt.DTYPE_F64: 8}
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One parsed wire frame."""
+
+    opcode: int
+    request_id: int
+    body: bytes
+
+
+def error_code_for(exc: BaseException) -> int:
+    """The wire error code for a server-side exception."""
+    for cls, code in _ERROR_CODES:
+        if isinstance(exc, cls):
+            return code
+    return ERR_INTERNAL
+
+
+def exception_for(code: int, message: str) -> Exception:
+    """The typed exception a client raises for an ERROR response."""
+    return _ERROR_CLASSES.get(code, ServiceError)(message)
+
+
+def encode_frame(opcode: int, request_id: int, body: bytes = b"") -> bytes:
+    """Assemble one wire frame."""
+    if opcode not in OPCODE_NAMES:
+        raise ValueError(f"unknown opcode 0x{opcode:02x}")
+    return _HEADER.pack(MAGIC, VERSION, opcode, 0, 0, request_id, len(body)) + body
+
+
+def parse_header(
+    header: bytes, *, max_frame: int = DEFAULT_MAX_FRAME
+) -> tuple[int, int, int]:
+    """Validate a frame header; returns ``(opcode, request_id, body_len)``.
+
+    Raises :class:`~repro.errors.ProtocolError` on any violation.  The
+    exception carries ``request_id`` (0 when the field itself could not
+    be trusted) so servers can echo it in the error reply.  The declared
+    ``body_len`` is checked against ``max_frame`` here, before anything
+    is allocated from it.
+    """
+    if len(header) < HEADER_SIZE:
+        raise ProtocolError(
+            f"truncated frame header: {len(header)} of {HEADER_SIZE} bytes"
+        )
+    magic, version, opcode, flags, reserved, request_id, body_len = (
+        _HEADER.unpack_from(header, 0)
+    )
+    if magic != MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r}; not an FPRW frame")
+    if version != VERSION:
+        exc = ProtocolError(
+            f"unsupported wire protocol version {version} "
+            f"(this library speaks version {VERSION})"
+        )
+        exc.request_id = request_id
+        raise exc
+
+    def fail(message: str) -> ProtocolError:
+        exc = ProtocolError(message)
+        exc.request_id = request_id
+        return exc
+
+    if flags != 0 or reserved != 0:
+        raise fail(
+            f"nonzero reserved frame fields (flags=0x{flags:02x}, "
+            f"reserved=0x{reserved:02x})"
+        )
+    if opcode not in OPCODE_NAMES:
+        raise fail(f"unknown opcode 0x{opcode:02x}")
+    if body_len > max_frame:
+        raise fail(
+            f"declared frame body of {body_len} bytes exceeds the "
+            f"{max_frame}-byte frame limit"
+        )
+    return opcode, request_id, body_len
+
+
+def parse_frame(blob: bytes, *, max_frame: int = DEFAULT_MAX_FRAME) -> Frame:
+    """Parse one complete frame from ``blob`` (header + exact body).
+
+    The in-process entry point the frame fuzzer drives: identical
+    validation to the server's streaming path, including the
+    declared-length bound and the trailing-byte check.
+    """
+    opcode, request_id, body_len = parse_header(blob[:HEADER_SIZE], max_frame=max_frame)
+    body = blob[HEADER_SIZE:]
+    if len(body) != body_len:
+        exc = ProtocolError(
+            f"frame body length mismatch: header declares {body_len} bytes, "
+            f"frame carries {len(body)}"
+        )
+        exc.request_id = request_id
+        raise exc
+    return Frame(opcode=opcode, request_id=request_id, body=bytes(body))
+
+
+def _encode_shape(dtype_code: int, shape: tuple[int, ...] | None) -> bytes:
+    if dtype_code not in _DTYPE_ITEMSIZE:
+        raise ValueError(f"unknown dtype code {dtype_code}")
+    if shape is None:
+        return struct.pack("<BB", dtype_code, _NO_SHAPE)
+    if len(shape) > fmt.MAX_NDIM:
+        raise ValueError(f"shape rank {len(shape)} exceeds {fmt.MAX_NDIM}")
+    return struct.pack("<BB", dtype_code, len(shape)) + b"".join(
+        struct.pack("<Q", int(dim)) for dim in shape
+    )
+
+
+def _decode_shape(
+    body: bytes, pos: int, what: str
+) -> tuple[int, tuple[int, ...] | None, int]:
+    """Parse the 2-byte dtype/ndim header plus dims; returns new ``pos``."""
+    if pos + 2 > len(body):
+        raise ProtocolError(f"truncated {what}: missing dtype/shape header")
+    dtype_code, ndim = struct.unpack_from("<BB", body, pos)
+    pos += 2
+    if dtype_code not in _DTYPE_ITEMSIZE:
+        raise ProtocolError(f"{what} carries unknown dtype code {dtype_code}")
+    if ndim == _NO_SHAPE:
+        return dtype_code, None, pos
+    if ndim > fmt.MAX_NDIM:
+        raise ProtocolError(
+            f"{what} declares {ndim} dimensions (maximum {fmt.MAX_NDIM})"
+        )
+    if pos + 8 * ndim > len(body):
+        raise ProtocolError(f"truncated {what}: shape block cut short")
+    shape = struct.unpack_from(f"<{ndim}Q", body, pos)
+    pos += 8 * ndim
+    return dtype_code, tuple(shape), pos
+
+
+def _check_geometry(
+    dtype_code: int, shape: tuple[int, ...] | None, payload_len: int, what: str
+) -> None:
+    itemsize = _DTYPE_ITEMSIZE[dtype_code]
+    if payload_len % itemsize:
+        raise ProtocolError(
+            f"{what} payload of {payload_len} bytes is not a multiple of "
+            f"the {itemsize}-byte element size"
+        )
+    if shape is not None:
+        elements = 1
+        for dim in shape:
+            elements *= dim
+        if elements * itemsize != payload_len:
+            raise ProtocolError(
+                f"{what} shape {shape} x itemsize {itemsize} does not cover "
+                f"the {payload_len}-byte payload"
+            )
+
+
+def encode_compress_body(
+    payload: bytes,
+    *,
+    codec: str | None = None,
+    dtype_code: int = fmt.DTYPE_BYTES,
+    shape: tuple[int, ...] | None = None,
+) -> bytes:
+    """COMPRESS request body: codec name, dtype/shape header, raw data."""
+    name = (codec or "").encode("ascii")
+    if len(name) > 255:
+        raise ValueError("codec name longer than 255 bytes")
+    return (
+        struct.pack("<B", len(name))
+        + name
+        + _encode_shape(dtype_code, shape)
+        + payload
+    )
+
+
+def decode_compress_body(
+    body: bytes,
+) -> tuple[str | None, int, tuple[int, ...] | None, bytes]:
+    """Parse a COMPRESS request body; raises ProtocolError when malformed."""
+    if len(body) < 1:
+        raise ProtocolError("empty COMPRESS body")
+    name_len = body[0]
+    pos = 1 + name_len
+    if pos > len(body):
+        raise ProtocolError("truncated COMPRESS body: codec name cut short")
+    try:
+        codec = body[1:pos].decode("ascii") if name_len else None
+    except UnicodeDecodeError as exc:
+        raise ProtocolError(f"codec name is not ASCII: {exc}") from None
+    dtype_code, shape, pos = _decode_shape(body, pos, "COMPRESS body")
+    payload = bytes(body[pos:])
+    _check_geometry(dtype_code, shape, len(payload), "COMPRESS body")
+    return codec, dtype_code, shape, payload
+
+
+def encode_array_body(
+    payload: bytes, *, dtype_code: int, shape: tuple[int, ...] | None
+) -> bytes:
+    """DECOMPRESS result body: dtype/shape header, raw data."""
+    return _encode_shape(dtype_code, shape) + payload
+
+
+def decode_array_body(body: bytes) -> tuple[int, tuple[int, ...] | None, bytes]:
+    """Parse a DECOMPRESS result body; raises ProtocolError when malformed."""
+    dtype_code, shape, pos = _decode_shape(body, 0, "DECOMPRESS result")
+    payload = bytes(body[pos:])
+    _check_geometry(dtype_code, shape, len(payload), "DECOMPRESS result")
+    return dtype_code, shape, payload
+
+
+def encode_error_body(code: int, message: str) -> bytes:
+    """ERROR response body: u8 error code + UTF-8 message."""
+    return struct.pack("<B", code) + message.encode("utf-8", "replace")
+
+
+def decode_error_body(body: bytes) -> tuple[int, str]:
+    """Parse an ERROR response body; tolerant of empty messages."""
+    if len(body) < 1:
+        raise ProtocolError("empty ERROR body")
+    return body[0], body[1:].decode("utf-8", "replace")

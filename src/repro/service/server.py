@@ -1,0 +1,541 @@
+"""The asyncio compression daemon behind ``fprz serve``.
+
+Architecture — the same skeleton any inference-serving stack needs:
+
+* **Framing**: each connection is a stream of FPRW frames
+  (:mod:`repro.service.protocol`).  Headers are validated before the
+  body is read, so a hostile declared length fails with a typed
+  :class:`~repro.errors.ProtocolError` and never sizes an allocation.
+* **Admission control**: one bounded job queue for the whole server.
+  Past the high-water mark a request is rejected immediately with a
+  BUSY frame — explicit backpressure instead of unbounded buffering.
+  Each connection additionally has a bytes-in-flight cap, so one
+  client cannot monopolise admission with huge queued payloads.
+* **Worker-pool offload**: codec work runs in a thread pool off the
+  event loop; inside each job, chunk-level parallelism uses the
+  engine's own executors (:mod:`repro.core.executors` — a shared
+  :class:`~repro.core.executors.PooledThreadedExecutor` when
+  ``codec_workers > 1``), so the serving layer and the library run the
+  exact same compression code.
+* **Deadlines**: every job is wrapped in ``asyncio.wait_for``.  Past
+  the deadline the response is a typed DEADLINE error and the awaiting
+  task is cancelled; the connection itself stays usable.  (The worker
+  thread finishes its current chunk work in the background and its
+  result is discarded — cancellation is at the response boundary,
+  bounded by the pool size.)
+* **Graceful drain**: ``stop(drain=True)`` (installed on SIGTERM /
+  SIGINT by :meth:`CompressionServer.run`) stops accepting, answers new
+  requests with a SHUTTING-DOWN error, waits up to ``drain_timeout``
+  for in-flight jobs, then closes the remaining connections.
+* **Metrics**: every decision increments the
+  :class:`~repro.service.metrics.MetricsRegistry` served by the STATS
+  opcode and ``fprz stats``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import signal
+import socket
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.api import compress as api_compress
+from repro.core import codec_by_id
+from repro.core import container as fmt
+from repro.core.compressor import decompress_bytes
+from repro.core.executors import Executor, PooledThreadedExecutor
+from repro.errors import ReproError, ServiceError, traceback_summary
+from repro.service import protocol as proto
+from repro.service.metrics import (
+    LATENCY_BUCKETS,
+    RATIO_BUCKETS,
+    SIZE_BUCKETS,
+    MetricsRegistry,
+)
+
+_DTYPE_BY_CODE = {fmt.DTYPE_F32: np.dtype(np.float32),
+                  fmt.DTYPE_F64: np.dtype(np.float64)}
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of one :class:`CompressionServer`."""
+
+    host: str = "127.0.0.1"
+    #: TCP port; 0 binds an ephemeral port (read it back from ``server.port``).
+    port: int = proto.DEFAULT_PORT
+    #: Per-frame body limit, enforced on declared lengths in both
+    #: directions before anything is allocated.
+    max_frame: int = proto.DEFAULT_MAX_FRAME
+    #: Admission high-water mark: jobs admitted but not yet finished.
+    #: At the mark, new work is rejected with BUSY.
+    queue_high_water: int = 32
+    #: Per-connection cap on admitted-but-unfinished request bytes.
+    conn_bytes_in_flight: int = 256 * 1024 * 1024
+    #: Per-request deadline in seconds.
+    request_timeout: float = 30.0
+    #: Seconds ``stop(drain=True)`` waits for in-flight jobs.
+    drain_timeout: float = 10.0
+    #: Concurrent codec jobs (thread-pool size).
+    job_threads: int = 4
+    #: Chunk-level workers *inside* each codec job; >1 routes chunk work
+    #: through a shared :class:`~repro.core.executors.PooledThreadedExecutor`.
+    codec_workers: int = 1
+    #: Artificial per-job delay in seconds.  A test/experiment knob for
+    #: exercising deadlines, backpressure, and drain deterministically;
+    #: leave at 0 in production.
+    job_delay: float = 0.0
+
+
+@dataclass(eq=False)
+class _Connection:
+    """Per-connection state (identity-hashed: every connection is unique)."""
+
+    writer: asyncio.StreamWriter
+    write_lock: asyncio.Lock = field(default_factory=asyncio.Lock)
+    bytes_in_flight: int = 0
+    tasks: set = field(default_factory=set)
+
+
+class CompressionServer:
+    """A framed compress/decompress/inspect service over TCP."""
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        *,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.registry = registry or MetricsRegistry()
+        self.port: int | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._pool: ThreadPoolExecutor | None = None
+        self._chunk_executor: Executor | None = None
+        self._conns: set[_Connection] = set()
+        self._jobs: set[asyncio.Task] = set()
+        self._queue_depth = 0
+        self._draining = False
+        self._stopped: asyncio.Event | None = None
+        self._started_at = 0.0
+
+    # -- lifecycle ----------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listening socket and start serving connections."""
+        cfg = self.config
+        self._stopped = asyncio.Event()
+        self._pool = ThreadPoolExecutor(
+            max_workers=cfg.job_threads, thread_name_prefix="repro-svc"
+        )
+        if cfg.codec_workers > 1:
+            self._chunk_executor = PooledThreadedExecutor(cfg.codec_workers)
+        self._server = await asyncio.start_server(
+            self._handle_conn, cfg.host, cfg.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started_at = time.monotonic()
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop serving; with ``drain``, let in-flight jobs finish first."""
+        if self._stopped is None or self._stopped.is_set():
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if drain and self._jobs:
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(
+                    asyncio.gather(*tuple(self._jobs), return_exceptions=True),
+                    self.config.drain_timeout,
+                )
+        for task in tuple(self._jobs):
+            task.cancel()
+        for conn in tuple(self._conns):
+            conn.writer.close()
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+        if isinstance(self._chunk_executor, PooledThreadedExecutor):
+            self._chunk_executor.close()
+        self._stopped.set()
+
+    async def wait_stopped(self) -> None:
+        assert self._stopped is not None, "server not started"
+        await self._stopped.wait()
+
+    async def run(
+        self, *, install_signals: bool = True, on_started=None
+    ) -> None:
+        """Start, serve until SIGTERM/SIGINT (graceful drain), then exit."""
+        await self.start()
+        if on_started is not None:
+            on_started()
+        if install_signals:
+            loop = asyncio.get_running_loop()
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                with contextlib.suppress(NotImplementedError, ValueError):
+                    loop.add_signal_handler(
+                        sig, lambda: asyncio.ensure_future(self.stop())
+                    )
+        await self.wait_stopped()
+
+    # -- connection handling ------------------------------------------
+
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        cfg = self.config
+        conn = _Connection(writer=writer)
+        self._conns.add(conn)
+        self.registry.gauge("connections").inc()
+        self.registry.counter("connections_total").inc()
+        try:
+            while True:
+                try:
+                    header = await reader.readexactly(proto.HEADER_SIZE)
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    break
+                try:
+                    opcode, request_id, body_len = proto.parse_header(
+                        header, max_frame=cfg.max_frame
+                    )
+                    if opcode not in proto.REQUEST_OPCODES:
+                        exc = ServiceError(
+                            f"opcode 0x{opcode:02x} is a response opcode"
+                        )
+                        raise self._as_protocol_error(exc, request_id)
+                except ReproError as exc:
+                    # A frame we cannot trust leaves the stream unsynced:
+                    # answer with a typed error, then drop the connection.
+                    self.registry.counter("protocol_errors_total").inc()
+                    await self._send(
+                        conn, proto.OP_ERROR, getattr(exc, "request_id", 0),
+                        proto.encode_error_body(proto.ERR_PROTOCOL, str(exc)),
+                    )
+                    break
+                try:
+                    body = await reader.readexactly(body_len)
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    break
+                await self._dispatch(conn, opcode, request_id, body)
+        finally:
+            self._conns.discard(conn)
+            self.registry.gauge("connections").dec()
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    @staticmethod
+    def _as_protocol_error(exc: Exception, request_id: int):
+        from repro.errors import ProtocolError
+
+        wrapped = ProtocolError(str(exc))
+        wrapped.request_id = request_id
+        return wrapped
+
+    async def _send(
+        self, conn: _Connection, opcode: int, request_id: int, body: bytes = b""
+    ) -> None:
+        try:
+            async with conn.write_lock:
+                conn.writer.write(proto.encode_frame(opcode, request_id, body))
+                await conn.writer.drain()
+        except (ConnectionError, RuntimeError):
+            pass  # client went away; the job result is simply discarded
+
+    async def _dispatch(
+        self, conn: _Connection, opcode: int, request_id: int, body: bytes
+    ) -> None:
+        opname = proto.REQUEST_OPCODES[opcode]
+        self.registry.counter("bytes_in_total", opcode=opname).inc(len(body))
+        if opcode == proto.OP_PING:
+            await self._send(conn, proto.OP_RESULT, request_id)
+            self._count(opname, "-", "ok")
+            return
+        if opcode == proto.OP_STATS:
+            payload = json.dumps(self._stats()).encode("utf-8")
+            await self._send(conn, proto.OP_RESULT, request_id, payload)
+            self.registry.counter("bytes_out_total", opcode=opname).inc(len(payload))
+            self._count(opname, "-", "ok")
+            return
+        # Codec work: admission control, then offload.
+        if self._draining:
+            await self._send(
+                conn, proto.OP_ERROR, request_id,
+                proto.encode_error_body(
+                    proto.ERR_SHUTTING_DOWN, "server is draining"
+                ),
+            )
+            self._count(opname, "-", "shutdown")
+            return
+        cfg = self.config
+        if self._queue_depth >= cfg.queue_high_water:
+            self.registry.counter("busy_rejections_total", reason="queue").inc()
+            await self._send(conn, proto.OP_BUSY, request_id)
+            self._count(opname, "-", "busy")
+            return
+        if conn.bytes_in_flight + len(body) > cfg.conn_bytes_in_flight:
+            self.registry.counter("busy_rejections_total", reason="conn-bytes").inc()
+            await self._send(conn, proto.OP_BUSY, request_id)
+            self._count(opname, "-", "busy")
+            return
+        self._queue_depth += 1
+        conn.bytes_in_flight += len(body)
+        self.registry.gauge("queue_depth").set(self._queue_depth)
+        self.registry.gauge("bytes_in_flight").inc(len(body))
+        task = asyncio.ensure_future(
+            self._run_job(conn, opcode, request_id, body)
+        )
+        self._jobs.add(task)
+        conn.tasks.add(task)
+        task.add_done_callback(self._jobs.discard)
+        task.add_done_callback(conn.tasks.discard)
+
+    # -- job execution ------------------------------------------------
+
+    async def _run_job(
+        self, conn: _Connection, opcode: int, request_id: int, body: bytes
+    ) -> None:
+        cfg = self.config
+        opname = proto.REQUEST_OPCODES[opcode]
+        work = {
+            proto.OP_COMPRESS: self._work_compress,
+            proto.OP_DECOMPRESS: self._work_decompress,
+            proto.OP_INSPECT: self._work_inspect,
+        }[opcode]
+        start = time.perf_counter()
+        outcome, codec_label = "ok", "-"
+        loop = asyncio.get_running_loop()
+        try:
+            try:
+                result_body, codec_label = await asyncio.wait_for(
+                    loop.run_in_executor(self._pool, work, body),
+                    cfg.request_timeout,
+                )
+            except asyncio.TimeoutError:
+                outcome = "deadline"
+                await self._send(
+                    conn, proto.OP_ERROR, request_id,
+                    proto.encode_error_body(
+                        proto.ERR_DEADLINE,
+                        f"request exceeded the {cfg.request_timeout:g}s deadline",
+                    ),
+                )
+                return
+            except ReproError as exc:
+                outcome = "error"
+                await self._send(
+                    conn, proto.OP_ERROR, request_id,
+                    proto.encode_error_body(proto.error_code_for(exc), str(exc)),
+                )
+                return
+            except asyncio.CancelledError:
+                outcome = "cancelled"
+                raise
+            except Exception as exc:  # unexpected: typed INTERNAL, never a hang
+                outcome = "internal"
+                await self._send(
+                    conn, proto.OP_ERROR, request_id,
+                    proto.encode_error_body(
+                        proto.ERR_INTERNAL, traceback_summary(exc)
+                    ),
+                )
+                return
+            if len(result_body) > cfg.max_frame:
+                outcome = "error"
+                await self._send(
+                    conn, proto.OP_ERROR, request_id,
+                    proto.encode_error_body(
+                        proto.ERR_BOUNDS,
+                        f"result of {len(result_body)} bytes exceeds the "
+                        f"{cfg.max_frame}-byte frame limit",
+                    ),
+                )
+                return
+            await self._send(conn, proto.OP_RESULT, request_id, result_body)
+            self.registry.counter("bytes_out_total", opcode=opname).inc(
+                len(result_body)
+            )
+        finally:
+            self._queue_depth -= 1
+            conn.bytes_in_flight -= len(body)
+            self.registry.gauge("queue_depth").set(self._queue_depth)
+            self.registry.gauge("bytes_in_flight").dec(len(body))
+            self._count(opname, codec_label, outcome)
+            self.registry.histogram(
+                "request_seconds", buckets=LATENCY_BUCKETS, opcode=opname
+            ).observe(time.perf_counter() - start)
+            self.registry.histogram(
+                "request_bytes", buckets=SIZE_BUCKETS, opcode=opname
+            ).observe(len(body))
+
+    def _count(self, opname: str, codec: str, outcome: str) -> None:
+        self.registry.counter(
+            "requests_total", opcode=opname, codec=codec, outcome=outcome
+        ).inc()
+
+    # Work functions run inside pool threads; anything they raise is
+    # translated to a typed error frame by ``_run_job``.
+
+    def _work_compress(self, body: bytes) -> tuple[bytes, str]:
+        if self.config.job_delay:
+            time.sleep(self.config.job_delay)
+        codec, dtype_code, shape, payload = proto.decode_compress_body(body)
+        if dtype_code == fmt.DTYPE_BYTES:
+            data: np.ndarray | bytes = payload
+        else:
+            array = np.frombuffer(payload, dtype=_DTYPE_BY_CODE[dtype_code])
+            data = array.reshape(shape) if shape is not None else array
+        blob = api_compress(
+            data, codec,
+            workers=self.config.codec_workers, executor=self._chunk_executor,
+        )
+        codec_name = codec_by_id(fmt.inspect_container(blob).codec_id).name
+        if payload:
+            self.registry.histogram(
+                "compression_ratio", buckets=RATIO_BUCKETS
+            ).observe(len(payload) / max(len(blob), 1))
+        return blob, codec_name
+
+    def _work_decompress(self, body: bytes) -> tuple[bytes, str]:
+        if self.config.job_delay:
+            time.sleep(self.config.job_delay)
+        data, info = decompress_bytes(
+            bytes(body),
+            workers=self.config.codec_workers, executor=self._chunk_executor,
+        )
+        shape = tuple(info.shape) if info.shape is not None else None
+        return (
+            proto.encode_array_body(
+                data, dtype_code=info.dtype_code, shape=shape
+            ),
+            codec_by_id(info.codec_id).name,
+        )
+
+    def _work_inspect(self, body: bytes) -> tuple[bytes, str]:
+        info = fmt.inspect_container(bytes(body))
+        codec_name = codec_by_id(info.codec_id).name
+        payload = json.dumps({
+            "version": info.version,
+            "codec": codec_name,
+            "dtype_code": info.dtype_code,
+            "original_len": info.original_len,
+            "compressed_len": info.total_len,
+            "ratio": info.ratio,
+            "chunk_size": info.chunk_size,
+            "n_chunks": info.n_chunks,
+            "raw_fallback": info.raw_fallback,
+            "shape": list(info.shape) if info.shape is not None else None,
+            "checksum": info.checksum is not None,
+            "chunk_crcs": info.chunk_crcs is not None,
+        }).encode("utf-8")
+        return payload, codec_name
+
+    def _stats(self) -> dict:
+        cfg = self.config
+        return {
+            "server": {
+                "uptime_seconds": time.monotonic() - self._started_at,
+                "draining": self._draining,
+                "queue_depth": self._queue_depth,
+                "queue_high_water": cfg.queue_high_water,
+                "max_frame": cfg.max_frame,
+                "request_timeout": cfg.request_timeout,
+                "job_threads": cfg.job_threads,
+                "codec_workers": cfg.codec_workers,
+            },
+            "metrics": self.registry.snapshot(),
+        }
+
+
+class ServerThread:
+    """Run a :class:`CompressionServer` on a background thread.
+
+    The harness used by the tests, the benchmark trajectory, and any
+    caller that wants a live server without owning an event loop::
+
+        with ServerThread(ServiceConfig(port=0)) as srv:
+            with ServiceClient(port=srv.port) as client:
+                blob = client.compress(array)
+    """
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config or ServiceConfig(port=0)
+        self.server: CompressionServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._error: BaseException | None = None
+
+    @property
+    def port(self) -> int:
+        assert self.server is not None and self.server.port is not None
+        return self.server.port
+
+    def __enter__(self) -> ServerThread:
+        self._thread = threading.Thread(
+            target=self._main, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=30):
+            raise ServiceError("server thread failed to start in time")
+        if self._error is not None:
+            raise ServiceError(f"server failed to start: {self._error}")
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+
+    def _main(self) -> None:
+        asyncio.run(self._amain())
+
+    async def _amain(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self.server = CompressionServer(self.config)
+        try:
+            await self.server.start()
+        except BaseException as exc:
+            self._error = exc
+            self._started.set()
+            return
+        self._started.set()
+        await self.server.wait_stopped()
+
+    def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Thread-safe graceful stop; idempotent."""
+        if self._loop is None or self.server is None or self._error is not None:
+            return
+        if self._thread is None or not self._thread.is_alive():
+            return
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.stop(drain=drain), self._loop
+        )
+        with contextlib.suppress(Exception):
+            future.result(timeout=timeout)
+
+
+def wait_for_port(
+    host: str, port: int, *, timeout: float = 10.0
+) -> None:
+    """Block until a TCP connect to ``host:port`` succeeds (smoke tests)."""
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            with socket.create_connection((host, port), timeout=1.0):
+                return
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"server on {host}:{port} did not come up within {timeout}s"
+                ) from None
+            time.sleep(0.05)

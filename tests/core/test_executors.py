@@ -21,6 +21,7 @@ from repro.core.codecs import CODECS, get_codec
 from repro.core.compressor import compress_bytes, decompress_bytes
 from repro.core.executors import (
     SCHEDULING_POLICIES,
+    PooledThreadedExecutor,
     SerialExecutor,
     StaticBlockExecutor,
     ThreadedExecutor,
@@ -277,6 +278,95 @@ class TestAPIPassthrough:
                                     trace=out)
         assert np.array_equal(restored, smooth_f32)
         assert out.direction == "decompress"
+
+
+class TestPooledExecutor:
+    """The persistent pool the service shares across codec jobs.
+
+    Must honour the full executor contract (results in index order,
+    workers built inside their threads, lowest-index error) *and* stay
+    correct when several ``run()`` calls race on one pool — the serving
+    scenario a per-run thread spawn would make pathological.
+    """
+
+    def test_byte_identical_to_serial_compression(self, rng):
+        codec = get_codec("spratio")
+        data = _sample(rng, codec.dtype, 60_000)
+        reference = compress_bytes(data, codec, executor="serial")
+        with PooledThreadedExecutor(4) as pool:
+            for workers in (1, 4):
+                blob = compress_bytes(data, codec, workers=workers, executor=pool)
+                assert blob == reference
+                back, _ = decompress_bytes(blob, executor=pool)
+                assert back == data
+
+    def test_results_in_index_order(self):
+        with PooledThreadedExecutor(3) as pool:
+            results = pool.run(50, lambda worker_id: (lambda i: i * 10))
+        assert results == [i * 10 for i in range(50)]
+
+    def test_zero_jobs(self):
+        with PooledThreadedExecutor(2) as pool:
+            assert pool.run(0, lambda worker_id: (lambda i: i)) == []
+
+    def test_workers_built_inside_pool_threads(self):
+        main = threading.current_thread()
+        built_on: list[threading.Thread] = []
+        lock = threading.Lock()
+
+        def make_worker(worker_id: int):
+            with lock:
+                built_on.append(threading.current_thread())
+            return lambda i: i
+
+        with PooledThreadedExecutor(4) as pool:
+            pool.run(16, make_worker)
+        assert all(t is not main for t in built_on)
+        assert all(t.name.startswith("repro-pool") for t in built_on)
+
+    def test_concurrent_runs_share_one_pool(self):
+        failures: list[BaseException] = []
+
+        def one_run(salt: int) -> None:
+            try:
+                results = pool.run(
+                    40, lambda worker_id: (lambda i: i + salt)
+                )
+                assert results == [i + salt for i in range(40)]
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                failures.append(exc)
+
+        with PooledThreadedExecutor(4) as pool:
+            threads = [
+                threading.Thread(target=one_run, args=(salt,))
+                for salt in (0, 1000, 2000, 3000)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert not failures, failures
+
+    def test_lowest_index_error_wins(self):
+        def make_worker(worker_id: int):
+            def job(i: int) -> int:
+                if i in (9, 4, 13):
+                    raise RuntimeError(f"boom {i}")
+                return i
+
+            return job
+
+        with PooledThreadedExecutor(4) as pool:
+            with pytest.raises(RuntimeError, match="boom 4"):
+                pool.run(20, make_worker)
+            # The pool survives a failed batch.
+            assert pool.run(5, lambda w: (lambda i: i)) == list(range(5))
+
+    def test_close_is_idempotent(self):
+        pool = PooledThreadedExecutor(2)
+        pool.run(4, lambda w: (lambda i: i))
+        pool.close()
+        pool.close()
 
 
 class TestFailureContainment:

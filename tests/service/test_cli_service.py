@@ -1,0 +1,88 @@
+"""CLI surface of the service: ``fprz remote``, ``fprz stats``, frame fuzz."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+import repro
+from repro.cli import main
+from repro.service import ServerThread, ServiceConfig
+
+
+@pytest.fixture(scope="module")
+def server():
+    with ServerThread(ServiceConfig(port=0)) as srv:
+        yield srv
+
+
+class TestRemote:
+    def test_remote_round_trip_is_byte_identical_to_local(
+        self, server, tmp_path, rng, capsys
+    ):
+        data = np.cumsum(rng.normal(scale=0.01, size=20_000)).astype(np.float32)
+        src = tmp_path / "input.f32"
+        src.write_bytes(data.tobytes())
+        remote_blob = tmp_path / "remote.fprz"
+        local_blob = tmp_path / "local.fprz"
+        restored = tmp_path / "restored.f32"
+
+        assert main(["remote", "compress", str(src), str(remote_blob),
+                     "--port", str(server.port), "--dtype", "float32"]) == 0
+        assert main(["compress", str(src), str(local_blob),
+                     "--dtype", "float32"]) == 0
+        # The acceptance criterion: the remote container is the local one.
+        assert remote_blob.read_bytes() == local_blob.read_bytes()
+
+        assert main(["remote", "decompress", str(remote_blob), str(restored),
+                     "--port", str(server.port)]) == 0
+        assert restored.read_bytes() == data.tobytes()
+        out = capsys.readouterr().out
+        assert f"via 127.0.0.1:{server.port}" in out
+
+    def test_remote_compress_with_explicit_codec(self, server, tmp_path, rng):
+        data = np.cumsum(rng.normal(size=4_000)).astype(np.float64)
+        src = tmp_path / "input.d64"
+        src.write_bytes(data.tobytes())
+        blob = tmp_path / "out.fprz"
+        assert main(["remote", "compress", str(src), str(blob),
+                     "--port", str(server.port),
+                     "--dtype", "float64", "--codec", "dpspeed"]) == 0
+        assert blob.read_bytes() == repro.compress(data, "dpspeed")
+
+    def test_remote_raw_bytes_requires_codec(self, server, tmp_path, capsys):
+        src = tmp_path / "blob.bin"
+        src.write_bytes(b"x" * 100)
+        rc = main(["remote", "compress", str(src), str(tmp_path / "out"),
+                   "--port", str(server.port), "--dtype", "bytes"])
+        assert rc == 1
+        assert "codec" in capsys.readouterr().err
+
+
+class TestStats:
+    def test_stats_json_mode(self, server, capsys):
+        assert main(["stats", "--port", str(server.port), "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert "server" in stats and "metrics" in stats
+
+    def test_stats_table_mode(self, server, capsys):
+        assert main(["stats", "--port", str(server.port)]) == 0
+        out = capsys.readouterr().out
+        assert "uptime:" in out
+        assert "queue depth:" in out
+
+    def test_stats_against_dead_server_fails_cleanly(self, capsys):
+        rc = main(["stats", "--port", "1"])  # nothing listens on port 1
+        assert rc == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestFrameFuzzCLI:
+    def test_fuzz_frames_runs_clean(self, capsys):
+        assert main(["fuzz", "--frames", "--iterations", "120",
+                     "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "failures=0" in out
+        assert "rejected" in out

@@ -1,0 +1,114 @@
+"""The metrics registry: counters, gauges, histograms, snapshot, render."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.service.metrics import (
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    render_snapshot,
+)
+
+
+class TestCounters:
+    def test_inc_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc()
+        reg.counter("hits").inc(3)
+        assert reg.counter("hits").value == 4
+
+    def test_label_sets_are_distinct_series(self):
+        reg = MetricsRegistry()
+        reg.counter("requests_total", opcode="compress", outcome="ok").inc()
+        reg.counter("requests_total", opcode="compress", outcome="busy").inc(2)
+        reg.counter("requests_total", opcode="ping", outcome="ok").inc()
+        snap = reg.snapshot()["counters"]
+        assert snap["requests_total{opcode=compress,outcome=busy}"] == 2
+        assert snap["requests_total{opcode=compress,outcome=ok}"] == 1
+
+    def test_label_order_is_canonical(self):
+        reg = MetricsRegistry()
+        reg.counter("x", b="2", a="1").inc()
+        reg.counter("x", a="1", b="2").inc()
+        assert reg.snapshot()["counters"] == {"x{a=1,b=2}": 2}
+
+
+class TestGauges:
+    def test_set_inc_dec(self):
+        reg = MetricsRegistry()
+        gauge = reg.gauge("queue_depth")
+        gauge.set(5)
+        gauge.inc()
+        gauge.dec(3)
+        assert reg.snapshot()["gauges"]["queue_depth"] == 3
+
+
+class TestHistograms:
+    def test_observations_land_in_inclusive_upper_bounds(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat", buckets=(1.0, 2.0))
+        for value in (0.5, 1.0, 1.5, 99.0):
+            hist.observe(value)
+        snap = reg.snapshot()["histograms"]["lat"]
+        assert snap["buckets"] == {"1.0": 2, "2.0": 1, "+Inf": 1}
+        assert snap["count"] == 4
+        assert snap["sum"] == 0.5 + 1.0 + 1.5 + 99.0
+
+    def test_mean(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat", buckets=LATENCY_BUCKETS)
+        assert hist.mean == 0.0
+        hist.observe(2.0)
+        hist.observe(4.0)
+        assert hist.mean == 3.0
+
+    def test_same_name_same_buckets_one_series(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat", buckets=(1.0,)).observe(0.5)
+        reg.histogram("lat", buckets=(1.0,)).observe(0.7)
+        assert reg.snapshot()["histograms"]["lat"]["count"] == 2
+
+
+class TestSnapshot:
+    def test_snapshot_is_json_serialisable(self):
+        reg = MetricsRegistry()
+        reg.counter("a", k="v").inc()
+        reg.gauge("b").set(1.5)
+        reg.histogram("c", buckets=(1.0, 2.0)).observe(0.2)
+        snap = reg.snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+        assert set(snap) == {"counters", "gauges", "histograms"}
+
+    def test_render_mentions_every_metric(self):
+        reg = MetricsRegistry()
+        reg.counter("requests_total", outcome="ok").inc(7)
+        reg.gauge("queue_depth").set(2)
+        reg.histogram("request_seconds").observe(0.004)
+        text = reg.render()
+        assert "requests_total{outcome=ok}" in text
+        assert "queue_depth" in text
+        assert "request_seconds" in text and "count=1" in text
+
+    def test_render_of_empty_registry(self):
+        assert render_snapshot(MetricsRegistry().snapshot()) == "(no metrics recorded)"
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_are_lossless(self):
+        reg = MetricsRegistry()
+        per_thread, threads = 2_000, 8
+
+        def worker():
+            for _ in range(per_thread):
+                reg.counter("n").inc()
+                reg.histogram("h", buckets=(0.5,)).observe(1.0)
+
+        pool = [threading.Thread(target=worker) for _ in range(threads)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        assert reg.counter("n").value == per_thread * threads
+        assert reg.histogram("h", buckets=(0.5,)).count == per_thread * threads

@@ -1,0 +1,234 @@
+"""FPRW wire protocol: framing, body codecs, and hostile-frame rejection.
+
+The frame layer's contract is the container format's, restated for a
+socket: every declared length is validated before a buffer is sized
+from it, and every violation dies with a typed
+:class:`~repro.errors.ProtocolError` carrying the request id when the
+id itself could still be trusted.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.core import container as fmt
+from repro.errors import (
+    BusyError,
+    ChecksumError,
+    CorruptDataError,
+    DeadlineExceededError,
+    FormatError,
+    ProtocolError,
+    RemoteError,
+    ReproError,
+    ServiceError,
+)
+from repro.fuzzing import (
+    FRAME_MUTATORS,
+    build_frame_corpus,
+    mutate_frame,
+    replay_frame,
+    run_frame_fuzz,
+)
+from repro.fuzzing.mutators import FRAME_MUST_REJECT
+from repro.service import protocol as wire
+
+
+def _frame(opcode=wire.OP_PING, request_id=7, body=b""):
+    return wire.encode_frame(opcode, request_id, body)
+
+
+class TestFraming:
+    def test_header_is_twenty_bytes(self):
+        assert wire.HEADER_SIZE == 20
+        assert len(_frame()) == 20
+
+    @pytest.mark.parametrize("opcode", sorted(wire.OPCODE_NAMES))
+    def test_round_trip_every_opcode(self, opcode):
+        frame = wire.parse_frame(_frame(opcode, 99, b"payload"))
+        assert frame.opcode == opcode
+        assert frame.request_id == 99
+        assert frame.body == b"payload"
+
+    def test_request_id_is_u64(self):
+        big = (1 << 64) - 1
+        assert wire.parse_frame(_frame(request_id=big)).request_id == big
+
+    def test_encode_rejects_unknown_opcode(self):
+        with pytest.raises(ValueError, match="unknown opcode"):
+            wire.encode_frame(0x42, 1)
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(ProtocolError, match="truncated frame header"):
+            wire.parse_header(_frame()[:10])
+
+    def test_wrong_magic_rejected(self):
+        buf = bytearray(_frame())
+        buf[:4] = b"HTTP"
+        with pytest.raises(ProtocolError, match="magic"):
+            wire.parse_frame(bytes(buf))
+
+    def test_wrong_version_rejected_with_request_id(self):
+        buf = bytearray(_frame(request_id=55))
+        buf[4] = wire.VERSION + 1
+        with pytest.raises(ProtocolError, match="version") as excinfo:
+            wire.parse_frame(bytes(buf))
+        assert excinfo.value.request_id == 55
+
+    def test_nonzero_reserved_fields_rejected(self):
+        for offset in (6, 7):
+            buf = bytearray(_frame())
+            buf[offset] = 1
+            with pytest.raises(ProtocolError, match="reserved"):
+                wire.parse_frame(bytes(buf))
+
+    def test_unknown_opcode_rejected(self):
+        buf = bytearray(_frame())
+        buf[5] = 0x42
+        with pytest.raises(ProtocolError, match="opcode"):
+            wire.parse_frame(bytes(buf))
+
+    def test_declared_length_checked_before_allocation(self):
+        # A header declaring 4 GiB dies at the 20-byte header — parse_header
+        # never sees (or sizes anything from) a body.
+        header = struct.pack(
+            "<4sBBBBQI", wire.MAGIC, wire.VERSION, wire.OP_COMPRESS,
+            0, 0, 1, 0xFFFFFFFF,
+        )
+        with pytest.raises(ProtocolError, match="frame limit") as excinfo:
+            wire.parse_header(header, max_frame=1 << 20)
+        assert excinfo.value.request_id == 1
+
+    def test_body_length_mismatch_rejected(self):
+        frame = _frame(body=b"abc")
+        with pytest.raises(ProtocolError, match="mismatch"):
+            wire.parse_frame(frame + b"x")
+        with pytest.raises(ProtocolError, match="mismatch"):
+            wire.parse_frame(frame[:-1])
+
+
+class TestBodyCodecs:
+    def test_compress_body_round_trip_array(self):
+        payload = np.arange(12, dtype=np.float32).tobytes()
+        body = wire.encode_compress_body(
+            payload, codec="spspeed", dtype_code=fmt.DTYPE_F32, shape=(3, 4)
+        )
+        codec, dtype_code, shape, out = wire.decode_compress_body(body)
+        assert (codec, dtype_code, shape, out) == (
+            "spspeed", fmt.DTYPE_F32, (3, 4), payload
+        )
+
+    def test_compress_body_round_trip_raw(self):
+        body = wire.encode_compress_body(b"\x01\x02\x03")
+        codec, dtype_code, shape, out = wire.decode_compress_body(body)
+        assert (codec, dtype_code, shape, out) == (
+            None, fmt.DTYPE_BYTES, None, b"\x01\x02\x03"
+        )
+
+    def test_compress_body_geometry_must_cover_payload(self):
+        payload = np.zeros(6, dtype=np.float32).tobytes()
+        body = wire.encode_compress_body(
+            payload, dtype_code=fmt.DTYPE_F32, shape=(2, 3)
+        )
+        # Stomp the payload short: shape no longer covers it.
+        with pytest.raises(ProtocolError, match="does not cover"):
+            wire.decode_compress_body(body[:-4])
+
+    def test_compress_body_rejects_misaligned_payload(self):
+        body = wire.encode_compress_body(b"12345", dtype_code=fmt.DTYPE_F64)
+        with pytest.raises(ProtocolError, match="not a multiple"):
+            wire.decode_compress_body(body)
+
+    def test_compress_body_rejects_non_ascii_codec_name(self):
+        body = b"\x02\xff\xfe" + wire.encode_compress_body(b"")[1:]
+        with pytest.raises(ProtocolError, match="ASCII"):
+            wire.decode_compress_body(body)
+
+    def test_array_body_round_trip(self):
+        payload = np.arange(5, dtype=np.float64).tobytes()
+        body = wire.encode_array_body(
+            payload, dtype_code=fmt.DTYPE_F64, shape=(5,)
+        )
+        assert wire.decode_array_body(body) == (fmt.DTYPE_F64, (5,), payload)
+
+    def test_array_body_rejects_unknown_dtype(self):
+        with pytest.raises(ProtocolError, match="dtype"):
+            wire.decode_array_body(b"\x09\xff")
+
+    def test_array_body_rejects_implausible_rank(self):
+        body = struct.pack("<BB", fmt.DTYPE_BYTES, fmt.MAX_NDIM + 1)
+        with pytest.raises(ProtocolError, match="dimensions"):
+            wire.decode_array_body(body)
+
+    def test_error_body_round_trip(self):
+        body = wire.encode_error_body(wire.ERR_CHECKSUM, "sum went bad")
+        assert wire.decode_error_body(body) == (wire.ERR_CHECKSUM, "sum went bad")
+
+    def test_empty_error_body_rejected(self):
+        with pytest.raises(ProtocolError, match="empty"):
+            wire.decode_error_body(b"")
+
+
+class TestErrorCodeMapping:
+    @pytest.mark.parametrize("exc,code", [
+        (ProtocolError("x"), wire.ERR_PROTOCOL),
+        (FormatError("x"), wire.ERR_FORMAT),
+        (CorruptDataError("x"), wire.ERR_CORRUPT),
+        (ChecksumError("x"), wire.ERR_CHECKSUM),
+        (DeadlineExceededError("x"), wire.ERR_DEADLINE),
+        (MemoryError(), wire.ERR_INTERNAL),
+    ])
+    def test_error_code_for(self, exc, code):
+        assert wire.error_code_for(exc) == code
+
+    def test_wire_codes_rebuild_the_same_error_family(self):
+        # Client-side inverse: the family survives one wire crossing.
+        for exc_cls in (FormatError, CorruptDataError, ChecksumError,
+                        DeadlineExceededError, ProtocolError):
+            code = wire.error_code_for(exc_cls("x"))
+            assert isinstance(wire.exception_for(code, "msg"), exc_cls)
+        assert isinstance(
+            wire.exception_for(wire.ERR_INTERNAL, "msg"), RemoteError
+        )
+        assert isinstance(wire.exception_for(9999, "msg"), ServiceError)
+
+    def test_service_errors_are_repro_errors(self):
+        for cls in (ServiceError, ProtocolError, BusyError,
+                    DeadlineExceededError, RemoteError):
+            assert issubclass(cls, ReproError)
+
+
+class TestFrameMutators:
+    """Every mutant parses or dies typed — the in-process fuzz invariant."""
+
+    @pytest.mark.parametrize("name", sorted(FRAME_MUTATORS))
+    def test_mutants_fail_typed(self, name):
+        cases = build_frame_corpus(3)
+        for iteration in range(40):
+            rng = np.random.default_rng([3, iteration])
+            case = cases[iteration % len(cases)]
+            mutant = mutate_frame(case.frame, name, rng)
+            try:
+                frame = wire.parse_frame(mutant, max_frame=1 << 20)
+            except ProtocolError:
+                continue  # typed rejection: the contract held
+            if mutant != case.frame and name in FRAME_MUST_REJECT:
+                pytest.fail(f"{name} mutant parsed as 0x{frame.opcode:02x}")
+
+    def test_harness_is_clean(self):
+        report = run_frame_fuzz(seed=11, iterations=200)
+        assert report.ok, report.render()
+        assert report.outcomes["rejected"] > 0  # mutators actually bit
+
+    def test_replay_rebuilds_the_same_mutant(self):
+        case_a, mut_a, blob_a = replay_frame(5, 17)
+        case_b, mut_b, blob_b = replay_frame(5, 17)
+        assert (case_a.label, mut_a, blob_a) == (case_b.label, mut_b, blob_b)
+
+    def test_corpus_covers_requests_and_responses(self):
+        opcodes = {case.opcode for case in build_frame_corpus(0)}
+        assert set(wire.REQUEST_OPCODES) <= opcodes
+        assert wire.OP_RESULT in opcodes and wire.OP_ERROR in opcodes

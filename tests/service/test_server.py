@@ -1,0 +1,307 @@
+"""End-to-end tests of the compression service over real sockets.
+
+Every test runs a :class:`~repro.service.server.ServerThread` on an
+ephemeral port and talks to it with the blocking
+:class:`~repro.service.client.ServiceClient` — the same harness the
+benchmark trajectory and the CI smoke job use.  The acceptance
+invariants: remote compression is byte-identical to the in-process API,
+hostile frames and overload fail typed (never by hanging or crashing
+the server), and a graceful stop drains in-flight work.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+import time
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.codecs import CODECS
+from repro.errors import (
+    BusyError,
+    DeadlineExceededError,
+    FormatError,
+    ProtocolError,
+    ServiceError,
+)
+from repro.service import ServerThread, ServiceClient, ServiceConfig
+from repro.service import protocol as wire
+
+
+def _config(**overrides) -> ServiceConfig:
+    return ServiceConfig(port=0, **overrides)
+
+
+def _walk(rng, n, dtype):
+    return np.cumsum(rng.normal(scale=0.01, size=n)).astype(dtype)
+
+
+@pytest.fixture(scope="module")
+def server():
+    with ServerThread(ServiceConfig(port=0)) as srv:
+        yield srv
+
+
+@pytest.fixture
+def client(server):
+    with ServiceClient(port=server.port) as c:
+        yield c
+
+
+class TestByteIdentity:
+    """The payload-equals-container guarantee, per codec."""
+
+    @pytest.mark.parametrize("name", sorted(CODECS))
+    def test_remote_compress_matches_api(self, client, rng, name):
+        dtype = np.float32 if name.startswith("sp") else np.float64
+        data = _walk(rng, 20_000, dtype)
+        remote = client.compress(data, codec=name)
+        assert remote == repro.compress(data, name)
+        restored = client.decompress(remote)
+        assert restored.dtype == data.dtype
+        assert np.array_equal(restored, data)
+
+    def test_default_codec_selection_matches_api(self, client, rng):
+        data = _walk(rng, 8_000, np.float32)
+        assert client.compress(data) == repro.compress(data)
+
+    def test_shape_survives_the_wire(self, client, rng):
+        data = _walk(rng, 6_000, np.float64).reshape(20, 30, 10)
+        restored = client.decompress(client.compress(data))
+        assert restored.shape == (20, 30, 10)
+        assert np.array_equal(restored, data)
+
+    def test_raw_bytes_round_trip(self, client, rng):
+        payload = rng.bytes(10_000)
+        blob = client.compress(payload, codec="spspeed")
+        assert blob == repro.compress(payload, "spspeed")
+        assert client.decompress(blob) == payload
+
+    def test_remote_blob_decodes_locally_and_vice_versa(self, client, rng):
+        data = _walk(rng, 9_000, np.float32)
+        assert np.array_equal(repro.decompress(client.compress(data)), data)
+        assert np.array_equal(client.decompress(repro.compress(data)), data)
+
+
+class TestConcurrentClients:
+    def test_simultaneous_clients_all_byte_identical(self, server):
+        n_clients = 8
+        errors: list[BaseException] = []
+
+        def one(i: int) -> None:
+            try:
+                rng = np.random.default_rng(1000 + i)
+                name = sorted(CODECS)[i % len(CODECS)]
+                dtype = np.float32 if name.startswith("sp") else np.float64
+                data = _walk(rng, 5_000 + 700 * i, dtype)
+                with ServiceClient(port=server.port) as c:
+                    for _ in range(3):
+                        blob = c.compress(data, codec=name)
+                        assert blob == repro.compress(data, name)
+                        assert np.array_equal(c.decompress(blob), data)
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=one, args=(i,)) for i in range(n_clients)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, errors
+
+    def test_pipelined_requests_on_one_connection(self, client, rng):
+        # Interleave opcodes on a single connection: ids stay matched.
+        data = _walk(rng, 4_000, np.float32)
+        blob = client.compress(data)
+        assert client.ping()
+        assert client.inspect(blob)["codec"] == "spratio"
+        assert np.array_equal(client.decompress(blob), data)
+
+
+class TestTypedFailures:
+    def test_invalid_container_surfaces_format_error(self, client):
+        with pytest.raises(FormatError, match="server:"):
+            client.decompress(b"this is not a container" * 10)
+
+    def test_unknown_codec_is_typed(self, client, rng):
+        from repro.errors import UnknownCodecError
+
+        with pytest.raises(UnknownCodecError):
+            client.compress(_walk(rng, 100, np.float32), codec="zpaq")
+
+    def test_garbage_header_answered_typed_then_closed(self, server):
+        with socket.create_connection(("127.0.0.1", server.port), timeout=10) as s:
+            s.sendall(b"GET / HTTP/1.1\r\n\r\n12")  # 20 bytes, wrong magic
+            header = _recv_exactly(s, wire.HEADER_SIZE)
+            opcode, _, body_len = wire.parse_header(header)
+            assert opcode == wire.OP_ERROR
+            code, message = wire.decode_error_body(_recv_exactly(s, body_len))
+            assert code == wire.ERR_PROTOCOL
+            assert "magic" in message
+            assert s.recv(1) == b""  # untrusted stream: connection dropped
+
+    def test_allocation_bomb_declaration_rejected_at_header(self, server):
+        bomb = struct.pack(
+            "<4sBBBBQI", wire.MAGIC, wire.VERSION, wire.OP_COMPRESS,
+            0, 0, 42, 0xFFFFFFFF,
+        )
+        with socket.create_connection(("127.0.0.1", server.port), timeout=10) as s:
+            s.sendall(bomb)  # no body ever sent; server must not wait for one
+            header = _recv_exactly(s, wire.HEADER_SIZE)
+            opcode, request_id, body_len = wire.parse_header(header)
+            assert opcode == wire.OP_ERROR
+            assert request_id == 42  # id was still parseable, so it is echoed
+            code, message = wire.decode_error_body(_recv_exactly(s, body_len))
+            assert code == wire.ERR_PROTOCOL
+            assert "frame limit" in message
+
+    def test_response_opcode_from_client_is_rejected(self, server):
+        with socket.create_connection(("127.0.0.1", server.port), timeout=10) as s:
+            s.sendall(wire.encode_frame(wire.OP_RESULT, 3))
+            header = _recv_exactly(s, wire.HEADER_SIZE)
+            opcode, _, body_len = wire.parse_header(header)
+            assert opcode == wire.OP_ERROR
+            code, message = wire.decode_error_body(_recv_exactly(s, body_len))
+            assert code == wire.ERR_PROTOCOL
+            assert "response opcode" in message
+
+    def test_oversized_request_rejected_client_side(self, server):
+        with ServiceClient(port=server.port, max_frame=1024) as c:
+            with pytest.raises(ProtocolError, match="frame limit"):
+                c.compress(np.zeros(4096, dtype=np.float32))
+
+
+class TestDeadlines:
+    def test_slow_request_cancelled_without_poisoning_the_connection(self, rng):
+        config = _config(request_timeout=0.2, job_delay=1.0, job_threads=2)
+        with ServerThread(config) as srv:
+            with ServiceClient(port=srv.port) as c:
+                data = _walk(rng, 2_000, np.float32)
+                with pytest.raises(DeadlineExceededError, match="deadline"):
+                    c.compress(data)
+                # Same connection, next request: still serviceable.
+                assert c.ping()
+                stats = c.stats()
+                outcomes = stats["metrics"]["counters"]
+                assert outcomes[
+                    "requests_total{codec=-,opcode=compress,outcome=deadline}"
+                ] == 1
+
+
+class TestBackpressure:
+    def test_queue_overflow_surfaces_busy(self, rng):
+        config = _config(
+            queue_high_water=1, job_threads=1, job_delay=0.8,
+            request_timeout=30.0,
+        )
+        data = _walk(rng, 1_000, np.float32)
+        with ServerThread(config) as srv:
+            results: dict[str, object] = {}
+
+            def slow():
+                with ServiceClient(port=srv.port) as c:
+                    results["blob"] = c.compress(data)
+
+            worker = threading.Thread(target=slow)
+            worker.start()
+            time.sleep(0.3)  # the slow job is admitted and occupies the queue
+            with ServiceClient(port=srv.port) as c:
+                with pytest.raises(BusyError, match="high-water"):
+                    c.compress(data)
+            worker.join()
+            # The admitted job was unaffected by the rejection.
+            assert results["blob"] == repro.compress(data)
+            with ServiceClient(port=srv.port) as c:
+                busy = c.stats()["metrics"]["counters"]
+                assert busy["busy_rejections_total{reason=queue}"] >= 1
+
+    def test_connection_byte_cap_surfaces_busy(self, rng):
+        config = _config(conn_bytes_in_flight=1024)
+        with ServerThread(config) as srv:
+            with ServiceClient(port=srv.port) as c:
+                with pytest.raises(BusyError):
+                    c.compress(np.zeros(4_096, dtype=np.float32))
+
+
+class TestGracefulDrain:
+    def test_stop_waits_for_inflight_work(self, rng):
+        config = _config(job_delay=0.8, drain_timeout=30.0)
+        data = _walk(rng, 2_000, np.float32)
+        with ServerThread(config) as srv:
+            port = srv.port
+            results: dict[str, object] = {}
+
+            def inflight():
+                with ServiceClient(port=port) as c:
+                    results["blob"] = c.compress(data)
+
+            worker = threading.Thread(target=inflight)
+            worker.start()
+            time.sleep(0.3)  # request admitted, job sleeping in the pool
+            srv.stop(drain=True)
+            worker.join(timeout=30)
+            assert not worker.is_alive()
+            # The in-flight request completed, correctly, during the drain.
+            assert results["blob"] == repro.compress(data)
+            # The listener is gone: new connections are refused.
+            with pytest.raises(ServiceError, match="cannot connect"):
+                ServiceClient(port=port, timeout=2.0)
+
+    def test_new_requests_during_drain_get_shutting_down(self, rng):
+        config = _config(job_delay=1.0, drain_timeout=30.0)
+        data = _walk(rng, 2_000, np.float32)
+        with ServerThread(config) as srv:
+            with ServiceClient(port=srv.port) as bystander:
+                worker = threading.Thread(
+                    target=lambda: ServiceClient(port=srv.port).compress(data)
+                )
+                worker.start()
+                time.sleep(0.3)
+                stopper = threading.Thread(target=srv.stop)
+                stopper.start()
+                time.sleep(0.3)  # drain in progress, held open by the job
+                with pytest.raises(ServiceError, match="draining"):
+                    bystander.compress(data)
+                worker.join(timeout=30)
+                stopper.join(timeout=30)
+
+
+class TestStatsOpcode:
+    def test_stats_reports_server_and_metrics(self, server, client, rng):
+        client.compress(_walk(rng, 3_000, np.float32))
+        stats = client.stats()
+        assert stats["server"]["queue_high_water"] == server.config.queue_high_water
+        assert stats["server"]["uptime_seconds"] > 0
+        assert stats["server"]["draining"] is False
+        counters = stats["metrics"]["counters"]
+        ok_compress = [
+            k for k in counters
+            if k.startswith("requests_total")
+            and "opcode=compress" in k and "outcome=ok" in k
+        ]
+        assert ok_compress and all(counters[k] >= 1 for k in ok_compress)
+        assert any(k.startswith("compression_ratio")
+                   for k in stats["metrics"]["histograms"])
+
+    def test_inspect_round_trips_container_metadata(self, client, rng):
+        data = _walk(rng, 7_000, np.float64)
+        blob = client.compress(data, codec="dpratio")
+        info = client.inspect(blob)
+        assert info["codec"] == "dpratio"
+        assert info["original_len"] == data.nbytes
+        assert info["compressed_len"] == len(blob)
+        assert info["shape"] == [7_000]
+
+
+def _recv_exactly(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    while n:
+        chunk = sock.recv(n)
+        assert chunk, "server closed early"
+        chunks.append(chunk)
+        n -= len(chunk)
+    return b"".join(chunks)
