@@ -65,7 +65,7 @@ def explain(data: np.ndarray | bytes, codec: str) -> StageBreakdown:
     if collector.global_stage is not None:
         event = collector.global_stage
         waterfall.append((event.stage, event.out_bytes))
-    for totals in stage_totals(collector.chunks):
+    for totals in stage_totals(collector.chunks, collector.batches):
         waterfall.append((totals.stage, totals.out_bytes))
     return StageBreakdown(
         codec=chosen.name,

@@ -28,12 +28,19 @@ from repro.bitpack.bytes_util import (
 )
 from repro.bitpack.clz import count_leading_zeros, leading_common_bits
 from repro.bitpack.packing import pack_words, unpack_words, packed_size_bytes
-from repro.bitpack.transpose import bit_transpose, bit_untranspose
+from repro.bitpack.transpose import (
+    bit_transpose,
+    bit_transpose_batch,
+    bit_untranspose,
+    bit_untranspose_batch,
+)
 from repro.bitpack.zigzag import zigzag_decode, zigzag_encode
 
 __all__ = [
     "bit_transpose",
+    "bit_transpose_batch",
     "bit_untranspose",
+    "bit_untranspose_batch",
     "byte_shuffle",
     "byte_unshuffle",
     "count_leading_zeros",

@@ -31,21 +31,22 @@ _HAVE_BITWISE_COUNT = hasattr(np, "bitwise_count")
 def _popcount(words: np.ndarray) -> np.ndarray:
     if _HAVE_BITWISE_COUNT:
         return np.bitwise_count(words)
-    by = words.view(np.uint8).reshape(len(words), words.dtype.itemsize)
-    return _POP8[by].sum(axis=1, dtype=np.uint8)
+    by = words.view(np.uint8).reshape(words.shape + (words.dtype.itemsize,))
+    return _POP8[by].sum(axis=-1, dtype=np.uint8)
 
 
 def count_leading_zeros(words: np.ndarray, word_bits: int) -> np.ndarray:
     """Per-element count of leading zero bits; ``clz(0) == word_bits``.
 
     ``words`` must be an unsigned array whose itemsize matches
-    ``word_bits``.  Returns a ``uint8`` array of the same length.
+    ``word_bits``; any shape is accepted (the batched stage kernels pass
+    ``(n_chunks, words_per_chunk)`` grids) and the result has the same
+    shape.  Returns a ``uint8`` array.
     """
     if words.dtype.itemsize * 8 != word_bits:
         raise ValueError(f"dtype {words.dtype} does not match word_bits={word_bits}")
-    n = len(words)
-    if n == 0:
-        return np.zeros(0, dtype=np.uint8)
+    if words.size == 0:
+        return np.zeros(words.shape, dtype=np.uint8)
     dt = words.dtype.type
     x = words | (words >> dt(1))
     shift = 2

@@ -67,6 +67,65 @@ def bit_transpose(words: np.ndarray, word_bits: int) -> bytes:
     return np.ascontiguousarray(out).tobytes()
 
 
+def bit_transpose_batch(words2d: np.ndarray, word_bits: int) -> list[bytes]:
+    """Per-row :func:`bit_transpose` of a ``(n_chunks, n)`` grid, one kernel pass.
+
+    Requires ``n % 8 == 0`` (rows then decompose into whole 8x8 blocks, so
+    chunk boundaries align with lane boundaries and all rows transpose in
+    a single masked-swap sweep).  Output is byte-identical to calling
+    :func:`bit_transpose` on each row.
+    """
+    n_chunks, n = words2d.shape
+    if n % 8:
+        raise ValueError("batched transpose needs a multiple of 8 words per row")
+    if n == 0 or n_chunks == 0:
+        return [b""] * n_chunks
+    word_bytes = word_bits // 8
+    row_bytes = n // 8
+    be = words2d.astype(words2d.dtype.newbyteorder(">"), copy=False)
+    grid = be.view(np.uint8).reshape(n_chunks * n, word_bytes)
+    blocks = grid.reshape(n_chunks * row_bytes, 8, word_bytes).transpose(0, 2, 1)[:, :, ::-1]
+    lanes = np.ascontiguousarray(blocks).reshape(-1).view(_U64)
+    planes = _transpose8(lanes).view(np.uint8).reshape(n_chunks, row_bytes, word_bytes, 8)
+    # (chunk, word_bytes, 8, row_bytes): each chunk's planes serialised
+    # exactly as the single-chunk kernel lays them out.
+    out = np.ascontiguousarray(planes[:, :, :, ::-1].transpose(0, 2, 3, 1))
+    blob = out.tobytes()
+    size = word_bits * row_bytes
+    return [blob[i * size : (i + 1) * size] for i in range(n_chunks)]
+
+
+def bit_untranspose_batch(
+    bufs: np.ndarray, count: int, word_bits: int
+) -> np.ndarray:
+    """Inverse of :func:`bit_transpose_batch` over a stacked byte grid.
+
+    ``bufs`` is ``(n_chunks, word_bits * count // 8)`` uint8 (each row one
+    chunk's transposed stream); ``count % 8 == 0``.  Returns an
+    ``(n_chunks, count)`` unsigned word grid.
+    """
+    dtype = np.dtype(f"u{word_bits // 8}")
+    n_chunks = len(bufs)
+    if count % 8:
+        raise ValueError("batched untranspose needs a multiple of 8 words per row")
+    if count == 0 or n_chunks == 0:
+        return np.zeros((n_chunks, count), dtype=dtype)
+    word_bytes = word_bits // 8
+    row_bytes = count // 8
+    planes = np.asarray(bufs, dtype=np.uint8).reshape(
+        n_chunks, word_bytes, 8, row_bytes
+    )
+    blocks = planes.transpose(0, 3, 1, 2)[:, :, :, ::-1]
+    lanes = np.ascontiguousarray(blocks).reshape(-1).view(_U64)
+    grid = _transpose8(lanes).view(np.uint8).reshape(
+        n_chunks, row_bytes, word_bytes, 8
+    )
+    be_rows = grid[:, :, :, ::-1].transpose(0, 1, 3, 2)  # (chunk, row_bytes, 8, wb)
+    be_bytes = np.ascontiguousarray(be_rows).reshape(n_chunks, count * word_bytes)
+    be = be_bytes.view(np.dtype(f">u{word_bytes}"))
+    return be.astype(dtype)
+
+
 def bit_untranspose(buf: bytes | np.ndarray, count: int, word_bits: int) -> np.ndarray:
     """Inverse of :func:`bit_transpose`; returns ``count`` unsigned words."""
     dtype = np.dtype(f"u{word_bits // 8}")

@@ -16,6 +16,7 @@ chart) in one binary::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
@@ -86,33 +87,55 @@ def _bench_sample(codec_name: str, scale: float) -> bytes:
     return suite[0].files[0].load(scale).tobytes()
 
 
+def _resolve_workers(args: argparse.Namespace) -> int:
+    """The ``--workers`` value, defaulting to ``min(cpu_count, 8)``."""
+    if args.workers is None:
+        return min(os.cpu_count() or 1, 8)
+    if args.workers < 1:
+        raise ReproError("--workers must be at least 1")
+    return args.workers
+
+
 def _cmd_bench_measured(args: argparse.Namespace) -> int:
     """The measured path: real engine runs, per-executor and per-chunk."""
-    from repro.core.executors import SCHEDULING_POLICIES, normalize_policy
+    from repro.core.executors import (
+        EXECUTOR_POLICIES,
+        SCHEDULING_POLICIES,
+        normalize_policy,
+    )
     from repro.core.trace import TraceCollector
     from repro.harness import format_measured, measure_executors
     from repro.metrics import summarize_trace
 
-    if args.workers < 1:
-        raise ReproError("--workers must be at least 1")
+    workers = _resolve_workers(args)
     codec = args.codec or "spratio"
     data = _bench_sample(codec, args.scale)
-    if args.executor:
+    if args.policy:
         try:
-            policies = (normalize_policy(args.executor),)
+            policies = (normalize_policy(args.policy, EXECUTOR_POLICIES),)
         except ValueError as exc:
             raise ReproError(str(exc)) from exc
     else:
         policies = SCHEDULING_POLICIES
-    print(f"measured engine runs: codec {codec}, {len(data)} input bytes")
+    print(f"measured engine runs: codec {codec}, {len(data)} input bytes, "
+          f"{workers} worker(s)")
     print()
     print(format_measured(measure_executors(
-        data, codec, policies=policies, workers=args.workers,
+        data, codec, policies=policies, workers=workers,
     )))
     if args.trace:
+        # The process policy runs chunks in other address spaces, so
+        # per-chunk traces cannot be collected there; trace the threaded
+        # schedule instead (same batched kernels, same bytes).
+        traced_policy = policies[0]
+        if traced_policy == "process":
+            traced_policy = "threaded"
+            print()
+            print("(per-chunk traces are unavailable under the process "
+                  "policy; tracing the threaded schedule instead)")
         collector = TraceCollector()
-        repro.compress(data, codec, workers=args.workers,
-                       executor=policies[0], trace=collector)
+        repro.compress(data, codec, workers=workers,
+                       executor=traced_policy, trace=collector)
         print()
         print(summarize_trace(collector).render())
         print()
@@ -142,10 +165,10 @@ def _cmd_bench_trajectory(args: argparse.Namespace) -> int:
         save_trajectory,
     )
 
-    if args.workers < 1:
-        raise ReproError("--workers must be at least 1")
+    workers = _resolve_workers(args)
     point = record_trajectory(
-        tag=args.tag, scale=args.scale, workers=args.workers,
+        tag=args.tag, scale=args.scale, workers=workers,
+        policy=args.policy,
     )
     print(format_trajectory(point))
     if args.save:
@@ -173,7 +196,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     if args.save or args.baseline:
         return _cmd_bench_trajectory(args)
-    if args.trace or args.executor or args.codec:
+    if args.trace or args.policy or args.codec:
         return _cmd_bench_measured(args)
     figure_ids = [args.figure] if args.figure else sorted(FIGURES)
     for figure_id in figure_ids:
@@ -227,7 +250,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 
         codecs = args.codec or None
         report = run_fuzz(seed=args.seed, iterations=args.iterations,
-                          codecs=codecs)
+                          codecs=codecs, batched=args.batched)
     print(report.render())
     return 0 if report.ok else 1
 
@@ -242,6 +265,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         queue_high_water=args.queue_high_water,
         request_timeout=args.deadline, drain_timeout=args.drain_timeout,
         job_threads=args.job_threads, codec_workers=args.codec_workers,
+        codec_policy=args.policy,
     )
     server = CompressionServer(config)
 
@@ -250,7 +274,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               f"(queue high-water {config.queue_high_water}, "
               f"deadline {config.request_timeout:g}s, "
               f"{config.job_threads} job threads x "
-              f"{config.codec_workers} codec workers)",
+              f"{config.codec_workers} codec workers "
+              f"[{config.codec_policy}])",
               flush=True)
 
     # ``run`` installs SIGTERM/SIGINT handlers for graceful drain.
@@ -392,11 +417,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--codec", default=None,
                    help="measure the real engine on this codec instead of "
                         "replaying a figure")
-    p.add_argument("--executor", default=None,
-                   help="scheduling policy for measured runs: serial | "
-                        "threaded | static-blocks (default: all three)")
-    p.add_argument("--workers", type=int, default=4,
-                   help="worker threads for measured parallel policies")
+    p.add_argument("--policy", "--executor", dest="policy", default=None,
+                   help="executor policy for measured runs: serial | "
+                        "threaded | static-blocks | process "
+                        "(default: all three thread schedules)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="workers for measured parallel policies "
+                        "(default: CPU count, capped at 8)")
     p.add_argument("--trace", action="store_true",
                    help="print per-chunk stage timings and sizes from a "
                         "traced engine run")
@@ -452,6 +479,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--frames", action="store_true",
                    help="fuzz the FPRW wire-frame parser instead of the "
                         "container decoder")
+    p.add_argument("--batched", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="route container mutants through the batched "
+                        "decode path (default on; --no-batched pins the "
+                        "per-chunk path)")
     p.set_defaults(func=_cmd_fuzz)
 
     p = sub.add_parser(
@@ -472,6 +504,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--codec-workers", type=int, default=1,
                    help="chunk-level workers inside each codec job "
                         "(>1 uses the pooled threaded executor)")
+    p.add_argument("--policy", default="threaded",
+                   help="chunk-executor policy inside codec jobs: "
+                        "threaded (pooled worklist) | process (shared "
+                        "GIL-free process pool)")
     p.add_argument("--drain-timeout", type=float, default=10.0,
                    help="seconds to wait for in-flight jobs on shutdown")
     p.set_defaults(func=_cmd_serve)

@@ -1,0 +1,188 @@
+"""Worker-process entry points for the shared-memory process executor.
+
+Everything here must be picklable by reference (module-level functions,
+plain-tuple tasks), because :class:`~repro.core.executors.SharedMemoryProcessExecutor`
+ships work to its pool via ``multiprocessing``.  Bulk bytes travel
+through named shared memory; only the small task descriptions and the
+(compressed) results cross the pipe.
+
+Error contract: a failing chunk is reported as ``(index, type_name,
+message)``.  The parent rebuilds the exception class from
+:mod:`repro.errors` by name (:func:`rebuild_error`), and the messages are
+produced by the same :func:`decode_chunk_guarded` helper the in-process
+engine uses for its batched fallback — so a corrupt chunk raises the
+byte-identical error under every executor policy.
+"""
+
+from __future__ import annotations
+
+import struct
+from multiprocessing import shared_memory
+
+from repro import errors as _errors
+from repro.errors import ChecksumError, CorruptDataError, ReproError
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to a parent-owned segment without adopting its lifetime.
+
+    On Python < 3.13 ``SharedMemory(name=...)`` registers the segment
+    with the resource tracker even for attach-only use.  Under the fork
+    start method that tracker is *shared* with the parent and its cache
+    is a set, so an unregister issued from this worker would erase the
+    parent's own entry and make the parent's later ``unlink`` print a
+    ``KeyError`` traceback from the tracker.  The attach must therefore
+    never reach the tracker at all: 3.13+ has ``track=False`` for this,
+    and older versions get the equivalent by suppressing ``register``
+    for the duration of the constructor (workers run tasks serially,
+    so the swap is not racy).
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13
+        pass
+    from multiprocessing import resource_tracker
+
+    original_register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original_register
+
+#: Foreign exception types a stage may leak on garbage input (mirrors
+#: the engine's list; kept here so worker processes need not import it).
+FOREIGN_ERRORS = (ValueError, TypeError, IndexError, KeyError, OverflowError,
+                  ZeroDivisionError, struct.error)
+
+
+def rebuild_error(type_name: str, message: str) -> ReproError:
+    """Reconstruct a worker-process error in the parent.
+
+    Unknown or non-:class:`ReproError` type names collapse to
+    :class:`CorruptDataError` — the parent never raises a foreign type.
+    """
+    cls = getattr(_errors, type_name, None)
+    if not (isinstance(cls, type) and issubclass(cls, ReproError)):
+        cls = CorruptDataError
+    return cls(message)
+
+
+def decode_chunk_guarded(
+    pipeline, i: int, payload, length: int, offset: int, end: int, crc
+) -> bytes:
+    """Decode one chunk with the engine's serial error semantics.
+
+    Verifies the optional payload CRC, translates foreign exceptions to
+    :class:`CorruptDataError`, and prefixes every failure with the chunk
+    index and container byte range — the exact strings
+    ``decompress_bytes`` produces on its serial path.
+    """
+    from repro.core.container import checksum_of
+
+    if crc is not None and checksum_of(payload) != crc:
+        raise ChecksumError(
+            f"chunk {i} (container bytes {offset}..{end}): "
+            f"payload CRC32 mismatch"
+        )
+    try:
+        return pipeline.decode_chunk(payload, length)
+    except ReproError as exc:
+        raise type(exc)(
+            f"chunk {i} (container bytes {offset}..{end}): {exc}"
+        ) from exc
+    except FOREIGN_ERRORS as exc:
+        raise CorruptDataError(
+            f"chunk {i} (container bytes {offset}..{end}): "
+            f"undecodable payload ({type(exc).__name__}: {exc})"
+        ) from exc
+
+
+def proc_encode_block(task) -> tuple[list, list]:
+    """Compress one contiguous block of chunks inside a worker process.
+
+    ``task`` is ``(shm_name, codec_name, batch, jobs)`` with ``jobs`` a
+    list of ``(index, offset, end)`` windows into the shared buffer.
+    Returns ``(payloads, errors)``; a failed chunk leaves ``None`` in its
+    payload slot.
+    """
+    shm_name, codec_name, batch, jobs = task
+    from repro.core.codecs import get_codec
+
+    shm = _attach(shm_name)
+    try:
+        # Copy the windows out so the buffer releases cleanly on close.
+        chunks = [bytes(shm.buf[offset:end]) for _, offset, end in jobs]
+    finally:
+        shm.close()
+    pipeline = get_codec(codec_name).make_pipeline()
+    if batch and len(chunks) >= 2:
+        try:
+            return pipeline.encode_chunk_batch(chunks), []
+        except Exception:
+            pass  # fall through to the serial sweep for attribution
+    payloads: list = []
+    errors: list[tuple[int, str, str]] = []
+    for (i, _, _), chunk in zip(jobs, chunks):
+        try:
+            payloads.append(pipeline.encode_chunk(chunk))
+        except Exception as exc:
+            payloads.append(None)
+            errors.append((i, type(exc).__name__, str(exc)))
+    return payloads, errors
+
+
+def proc_decode_block(task) -> list:
+    """Decode one contiguous block of chunks inside a worker process.
+
+    ``task`` is ``(in_name, out_name, codec_name, batch, jobs)`` with
+    ``jobs`` a list of ``(index, offset, end, out_offset, out_length,
+    crc)``.  Decoded chunks land in the output shared memory at their
+    prefix-sum offsets; returns the error triples (empty on success).
+    """
+    in_name, out_name, codec_name, batch, jobs = task
+    from repro.core.codecs import get_codec
+
+    in_shm = _attach(in_name)
+    try:
+        payloads = [bytes(in_shm.buf[offset:end]) for _, offset, end, _, _, _ in jobs]
+    finally:
+        in_shm.close()
+    pipeline = get_codec(codec_name).make_pipeline()
+    lengths = [length for _, _, _, _, length, _ in jobs]
+    chunks: list | None = None
+    if batch and len(jobs) >= 2:
+        try:
+            for (i, offset, end, _, _, crc), payload in zip(jobs, payloads):
+                if crc is not None:
+                    from repro.core.container import checksum_of
+
+                    if checksum_of(payload) != crc:
+                        raise ChecksumError(
+                            f"chunk {i} (container bytes {offset}..{end}): "
+                            f"payload CRC32 mismatch"
+                        )
+            chunks = pipeline.decode_chunk_batch(payloads, lengths)
+        except Exception:
+            chunks = None  # serial sweep below reproduces exact errors
+    errors: list[tuple[int, str, str]] = []
+    if chunks is None:
+        chunks = []
+        for (i, offset, end, _, length, crc), payload in zip(jobs, payloads):
+            try:
+                chunks.append(
+                    decode_chunk_guarded(
+                        pipeline, i, payload, length, offset, end, crc
+                    )
+                )
+            except Exception as exc:
+                chunks.append(None)
+                errors.append((i, type(exc).__name__, str(exc)))
+    out_shm = _attach(out_name)
+    try:
+        for (_, _, _, out_offset, length, _), chunk in zip(jobs, chunks):
+            if chunk is not None:
+                out_shm.buf[out_offset : out_offset + length] = chunk
+    finally:
+        out_shm.close()
+    return errors

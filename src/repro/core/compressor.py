@@ -61,12 +61,13 @@ import struct
 import time
 
 from repro.core import container as fmt
+from repro.core._procwork import decode_chunk_guarded
 from repro.core.chunking import CHUNK_RAW, CHUNK_SIZE
 from repro.core.codecs import Codec, codec_by_id
-from repro.core.executors import Executor, resolve_executor
+from repro.core.executors import Executor, resolve_executor, static_block_bounds
 from repro.core.plan import plan_decode, plan_encode
 from repro.core.salvage import ChunkFailure, SalvageReport, merge_ranges
-from repro.core.trace import ChunkTrace, StageEvent, TraceCollector
+from repro.core.trace import BatchTrace, ChunkTrace, StageEvent, TraceCollector
 from repro.errors import BoundsError, ChecksumError, CorruptDataError, ReproError
 
 #: Foreign exception types a stage may leak on garbage input; translated
@@ -90,49 +91,30 @@ def _run_global_stage(
     return out
 
 
-def compress_bytes(
-    data: bytes,
-    codec: Codec,
-    *,
-    chunk_size: int = CHUNK_SIZE,
-    dtype_code: int | None = None,
-    shape: tuple[int, ...] | None = None,
-    workers: int = 1,
-    checksum: bool = fmt.DEFAULT_CHECKSUM,
-    chunk_checksums: bool = fmt.DEFAULT_CHUNK_CHECKSUMS,
-    executor: str | Executor | None = None,
-    trace: TraceCollector | None = None,
-) -> bytes:
-    """Compress raw bytes with ``codec`` into a contiguous container.
+def _use_batch(batch: bool | None, n_chunks: int) -> bool:
+    """Resolve the ``batch`` knob: default on whenever there is a batch."""
+    if batch is None:
+        return n_chunks >= 2
+    return batch and n_chunks >= 2
 
-    ``executor`` selects the scheduling policy (``"serial"``,
-    ``"threaded"``, ``"static-blocks"``, or a prebuilt
-    :class:`~repro.core.executors.Executor`); when omitted, ``workers``
-    picks serial (1) or the threaded worklist (>1).  ``checksum``
-    embeds a CRC32 of the original data (verified end to end on
-    decompression) and ``chunk_checksums`` a CRC32 per chunk payload
-    (container v2; localises corruption to one chunk and enables
-    salvage-mode recovery); both default to the documented
-    :data:`repro.core.container.DEFAULT_CHECKSUM` /
-    :data:`~repro.core.container.DEFAULT_CHUNK_CHECKSUMS`.  ``trace``
-    collects per-chunk instrumentation.
+
+def _block_ranges(n_chunks: int, workers: int) -> list[tuple[int, int]]:
+    """Contiguous ascending chunk blocks, one batched job per block.
+
+    Ascending contiguity is a correctness property, not a convenience:
+    the lowest failing *block* then contains the globally lowest failing
+    *chunk*, preserving the executors' deterministic-error contract.
     """
-    if dtype_code is None:
-        dtype_code = {4: fmt.DTYPE_F32, 8: fmt.DTYPE_F64}.get(
-            codec.dtype.itemsize, fmt.DTYPE_BYTES
-        )
-    crc = fmt.checksum_of(data) if checksum else None
-    engine = resolve_executor(executor, workers)
-    if trace is not None:
-        trace.annotate(policy=engine.policy, workers=engine.workers,
-                       direction="compress")
-    global_stage = codec.make_global_stage()
-    if global_stage is not None:
-        intermediate = _run_global_stage(global_stage, "encode", data, trace)
-    else:
-        intermediate = data
-    plan = plan_encode(len(intermediate), chunk_size)
-    view = memoryview(intermediate)
+    bounds = static_block_bounds(n_chunks, min(workers, n_chunks))
+    return [
+        (int(bounds[b]), int(bounds[b + 1]))
+        for b in range(len(bounds) - 1)
+        if bounds[b] < bounds[b + 1]
+    ]
+
+
+def _make_encode_worker(codec: Codec, plan, view, trace: TraceCollector | None):
+    """Per-chunk encode jobs (the non-batched reference path)."""
 
     def make_worker(worker_id: int):
         pipeline = codec.make_pipeline()
@@ -158,7 +140,138 @@ def compress_bytes(
 
         return encode_job
 
-    payloads = engine.run(plan.n_chunks, make_worker)
+    return make_worker
+
+
+def _encode_batched_blocks(
+    codec: Codec, plan, view, engine: Executor, trace: TraceCollector | None
+) -> list:
+    """Encode contiguous chunk blocks through the stages' 2D kernels.
+
+    Each block is one executor job: its chunks run as a single
+    ``encode_chunk_batch`` pass (one kernel invocation per stage).  Any
+    exception inside the batched pass drops the block back to the
+    per-chunk loop, so failures keep serial semantics.
+    """
+    blocks = _block_ranges(plan.n_chunks, engine.workers)
+
+    def make_worker(worker_id: int):
+        pipeline = codec.make_pipeline()
+
+        def encode_block(b: int) -> list:
+            lo, hi = blocks[b]
+            chunks = [
+                view[plan.jobs[i].offset : plan.jobs[i].end]
+                for i in range(lo, hi)
+            ]
+            events: list[StageEvent] = []
+            start = time.perf_counter()
+            try:
+                payloads = pipeline.encode_chunk_batch(
+                    chunks, None if trace is None else events
+                )
+            except Exception:
+                worker = _make_encode_worker(codec, plan, view, trace)(worker_id)
+                return [worker(i) for i in range(lo, hi)]
+            if trace is not None:
+                seconds = time.perf_counter() - start
+                trace.add_batch(BatchTrace(
+                    worker=worker_id,
+                    start=lo,
+                    n_chunks=hi - lo,
+                    seconds=seconds,
+                    stages=tuple(events),
+                ))
+                per_chunk = seconds / (hi - lo)
+                for i, payload in zip(range(lo, hi), payloads):
+                    trace.add(ChunkTrace(
+                        index=i,
+                        worker=worker_id,
+                        original_len=plan.jobs[i].length,
+                        payload_len=len(payload),
+                        raw_fallback=payload[0] == CHUNK_RAW,
+                        seconds=per_chunk,
+                        stages=(),
+                        batched=True,
+                    ))
+            return payloads
+
+        return encode_block
+
+    payloads: list = []
+    for block in engine.run(len(blocks), make_worker):
+        payloads.extend(block)
+    return payloads
+
+
+def compress_bytes(
+    data: bytes,
+    codec: Codec,
+    *,
+    chunk_size: int = CHUNK_SIZE,
+    dtype_code: int | None = None,
+    shape: tuple[int, ...] | None = None,
+    workers: int = 1,
+    checksum: bool = fmt.DEFAULT_CHECKSUM,
+    chunk_checksums: bool = fmt.DEFAULT_CHUNK_CHECKSUMS,
+    executor: str | Executor | None = None,
+    trace: TraceCollector | None = None,
+    batch: bool | None = None,
+) -> bytes:
+    """Compress raw bytes with ``codec`` into a contiguous container.
+
+    ``executor`` selects the scheduling policy (``"serial"``,
+    ``"threaded"``, ``"static-blocks"``, ``"process"``, or a prebuilt
+    :class:`~repro.core.executors.Executor`); when omitted, ``workers``
+    picks serial (1) or the threaded worklist (>1).  ``batch`` controls
+    columnar chunk batching — each worker runs whole *blocks* of chunks
+    through the stages' 2D kernels instead of one chunk at a time; the
+    default (``None``) batches whenever the input spans at least two
+    chunks.  Batching never changes output bytes.  ``checksum``
+    embeds a CRC32 of the original data (verified end to end on
+    decompression) and ``chunk_checksums`` a CRC32 per chunk payload
+    (container v2; localises corruption to one chunk and enables
+    salvage-mode recovery); both default to the documented
+    :data:`repro.core.container.DEFAULT_CHECKSUM` /
+    :data:`~repro.core.container.DEFAULT_CHUNK_CHECKSUMS`.  ``trace``
+    collects per-chunk instrumentation.
+    """
+    if dtype_code is None:
+        dtype_code = {4: fmt.DTYPE_F32, 8: fmt.DTYPE_F64}.get(
+            codec.dtype.itemsize, fmt.DTYPE_BYTES
+        )
+    crc = fmt.checksum_of(data) if checksum else None
+    engine = resolve_executor(executor, workers)
+    if trace is not None:
+        trace.annotate(policy=engine.policy, workers=engine.workers,
+                       direction="compress")
+    global_stage = codec.make_global_stage()
+    if global_stage is not None:
+        intermediate = _run_global_stage(global_stage, "encode", data, trace)
+    else:
+        intermediate = data
+    plan = plan_encode(len(intermediate), chunk_size)
+    view = memoryview(intermediate)
+    batched = _use_batch(batch, plan.n_chunks)
+    if getattr(engine, "kind", None) == "process":
+        # GIL-free path: ship the intermediate buffer through shared
+        # memory; per-chunk trace records are not collected across the
+        # process boundary (the annotate() metadata still is).
+        try:
+            payloads = engine.encode_chunks(
+                intermediate, plan, codec.name, batched
+            )
+        finally:
+            if engine is not executor:
+                # A policy string built this engine, so this call owns
+                # its worker processes; don't leak them.
+                engine.close()
+    elif batched:
+        payloads = _encode_batched_blocks(codec, plan, view, engine, trace)
+    else:
+        payloads = engine.run(
+            plan.n_chunks, _make_encode_worker(codec, plan, view, trace)
+        )
     blob = fmt.build_container(
         codec_id=codec.codec_id,
         dtype_code=dtype_code,
@@ -208,52 +321,10 @@ def _check_geometry(info: fmt.ContainerInfo, codec: Codec) -> None:
             )
 
 
-def decompress_bytes(
-    blob: bytes,
-    *,
-    workers: int = 1,
-    executor: str | Executor | None = None,
-    trace: TraceCollector | None = None,
-    errors: str = "raise",
+def _make_decode_worker(
+    codec: Codec, plan, info, view, out, trace: TraceCollector | None
 ):
-    """Decompress a container; returns the original bytes plus its metadata.
-
-    ``errors`` selects the failure policy:
-
-    * ``"raise"`` (default) — any verification or decode failure raises a
-      :class:`~repro.errors.ReproError` subclass carrying the chunk index
-      and container byte range; returns ``(data, info)``.
-    * ``"salvage"`` — decode every chunk that verifies, zero-fill the
-      ones that do not, and return ``(data, info, report)`` where
-      ``report`` is a :class:`~repro.core.salvage.SalvageReport` listing
-      each failure and the untrusted output byte ranges.  Only damage the
-      header itself (magic, version, geometry) still raises — without a
-      parseable chunk table there is nothing to salvage.
-    """
-    if errors not in ("raise", "salvage"):
-        raise ValueError(f"errors must be 'raise' or 'salvage', not {errors!r}")
-    info = fmt.inspect_container(blob)
-    codec = codec_by_id(info.codec_id)
-    _check_geometry(info, codec)
-    if errors == "salvage":
-        return _decompress_salvage(blob, info, codec, workers=workers,
-                                   executor=executor, trace=trace)
-    if info.raw_fallback:
-        data = bytes(memoryview(blob)[info.payload_offset :])
-        if info.checksum is not None and fmt.checksum_of(data) != info.checksum:
-            raise ChecksumError(
-                "whole-input CRC32 mismatch: raw-fallback payload is corrupt"
-            )
-        return data, info
-    engine = resolve_executor(executor, workers)
-    if trace is not None:
-        trace.annotate(policy=engine.policy, workers=engine.workers,
-                       direction="decompress")
-    plan = plan_decode(info)
-    view = memoryview(blob)
-    # Write positions are known a priori (§3.1): decode straight into a
-    # preallocated buffer at the plan's prefix-sum offsets.
-    out = bytearray(plan.out_len)
+    """Per-chunk decode jobs (the non-batched reference path)."""
 
     def make_worker(worker_id: int):
         pipeline = codec.make_pipeline()
@@ -293,8 +364,160 @@ def decompress_bytes(
 
         return decode_job
 
-    engine.run(plan.n_chunks, make_worker)
-    intermediate = bytes(out)
+    return make_worker
+
+
+def _decode_batched_blocks(
+    codec: Codec,
+    plan,
+    info,
+    view,
+    out,
+    engine: Executor,
+    trace: TraceCollector | None,
+) -> None:
+    """Decode contiguous chunk blocks through the stages' 2D kernels.
+
+    Any exception inside a batched pass (corruption, structural mismatch)
+    re-runs that block chunk-by-chunk with the engine's serial error
+    semantics, so a damaged container raises the byte-identical error —
+    same type, message, and chunk attribution — batching would otherwise
+    obscure.
+    """
+    blocks = _block_ranges(plan.n_chunks, engine.workers)
+
+    def make_worker(worker_id: int):
+        pipeline = codec.make_pipeline()
+
+        def decode_block(b: int) -> None:
+            lo, hi = blocks[b]
+            payloads = [
+                view[plan.jobs[i].offset : plan.jobs[i].end]
+                for i in range(lo, hi)
+            ]
+            lengths = [plan.out_lengths[i] for i in range(lo, hi)]
+            events: list[StageEvent] = []
+            start = time.perf_counter()
+            try:
+                for i in range(lo, hi):
+                    _verify_chunk_crc(info, i, payloads[i - lo], plan.jobs[i])
+                chunks = pipeline.decode_chunk_batch(
+                    payloads, lengths, None if trace is None else events
+                )
+            except Exception:
+                # Serial re-run: first failure raises the exact error the
+                # serial schedule reports (lowest chunk of the block).
+                for i in range(lo, hi):
+                    job = plan.jobs[i]
+                    chunk = decode_chunk_guarded(
+                        pipeline,
+                        i,
+                        payloads[i - lo],
+                        plan.out_lengths[i],
+                        job.offset,
+                        job.end,
+                        None if info.chunk_crcs is None else info.chunk_crcs[i],
+                    )
+                    offset = plan.out_offsets[i]
+                    out[offset : offset + plan.out_lengths[i]] = chunk
+                return
+            if trace is not None:
+                seconds = time.perf_counter() - start
+                trace.add_batch(BatchTrace(
+                    worker=worker_id,
+                    start=lo,
+                    n_chunks=hi - lo,
+                    seconds=seconds,
+                    stages=tuple(events),
+                ))
+                per_chunk = seconds / (hi - lo)
+                for i, payload in zip(range(lo, hi), payloads):
+                    trace.add(ChunkTrace(
+                        index=i,
+                        worker=worker_id,
+                        original_len=plan.out_lengths[i],
+                        payload_len=plan.jobs[i].length,
+                        raw_fallback=len(payload) > 0 and payload[0] == CHUNK_RAW,
+                        seconds=per_chunk,
+                        stages=(),
+                        batched=True,
+                    ))
+            for i, chunk in zip(range(lo, hi), chunks):
+                offset = plan.out_offsets[i]
+                out[offset : offset + plan.out_lengths[i]] = chunk
+
+        return decode_block
+
+    engine.run(len(blocks), make_worker)
+
+
+def decompress_bytes(
+    blob: bytes,
+    *,
+    workers: int = 1,
+    executor: str | Executor | None = None,
+    trace: TraceCollector | None = None,
+    errors: str = "raise",
+    batch: bool | None = None,
+):
+    """Decompress a container; returns the original bytes plus its metadata.
+
+    ``errors`` selects the failure policy:
+
+    * ``"raise"`` (default) — any verification or decode failure raises a
+      :class:`~repro.errors.ReproError` subclass carrying the chunk index
+      and container byte range; returns ``(data, info)``.
+    * ``"salvage"`` — decode every chunk that verifies, zero-fill the
+      ones that do not, and return ``(data, info, report)`` where
+      ``report`` is a :class:`~repro.core.salvage.SalvageReport` listing
+      each failure and the untrusted output byte ranges.  Only damage the
+      header itself (magic, version, geometry) still raises — without a
+      parseable chunk table there is nothing to salvage.
+    """
+    if errors not in ("raise", "salvage"):
+        raise ValueError(f"errors must be 'raise' or 'salvage', not {errors!r}")
+    info = fmt.inspect_container(blob)
+    codec = codec_by_id(info.codec_id)
+    _check_geometry(info, codec)
+    if errors == "salvage":
+        return _decompress_salvage(blob, info, codec, workers=workers,
+                                   executor=executor, trace=trace)
+    if info.raw_fallback:
+        data = bytes(memoryview(blob)[info.payload_offset :])
+        if info.checksum is not None and fmt.checksum_of(data) != info.checksum:
+            raise ChecksumError(
+                "whole-input CRC32 mismatch: raw-fallback payload is corrupt"
+            )
+        return data, info
+    engine = resolve_executor(executor, workers)
+    if trace is not None:
+        trace.annotate(policy=engine.policy, workers=engine.workers,
+                       direction="decompress")
+    plan = plan_decode(info)
+    view = memoryview(blob)
+    # Write positions are known a priori (§3.1): decode straight into a
+    # preallocated buffer at the plan's prefix-sum offsets.
+    batched = _use_batch(batch, plan.n_chunks)
+    if getattr(engine, "kind", None) == "process":
+        try:
+            intermediate = engine.decode_chunks(
+                blob, plan, codec.name, info.chunk_crcs, batched
+            )
+        finally:
+            if engine is not executor:
+                # A policy string built this engine, so this call owns
+                # its worker processes; don't leak them.
+                engine.close()
+    else:
+        out = bytearray(plan.out_len)
+        if batched:
+            _decode_batched_blocks(codec, plan, info, view, out, engine, trace)
+        else:
+            engine.run(
+                plan.n_chunks,
+                _make_decode_worker(codec, plan, info, view, out, trace),
+            )
+        intermediate = bytes(out)
     global_stage = codec.make_global_stage()
     if global_stage is not None:
         try:

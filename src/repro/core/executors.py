@@ -40,23 +40,36 @@ import numpy as np
 #: Canonical scheduling-policy names, shared with the device simulator.
 SCHEDULING_POLICIES = ("serial", "threaded", "static-blocks")
 
+#: Every executor policy the engine accepts: the thread schedules plus
+#: the GIL-free process pool (which the device simulator does not model).
+EXECUTOR_POLICIES = SCHEDULING_POLICIES + ("process",)
+
 #: Accepted aliases (the simulator's historical names map onto the
 #: executor vocabulary: its dynamic worklist is the threaded policy).
 _POLICY_ALIASES = {
     "dynamic": "threaded",
     "worklist": "threaded",
     "static": "static-blocks",
+    "processes": "process",
+    "multiprocess": "process",
 }
 
 
-def normalize_policy(name: str) -> str:
-    """Map a policy name or alias to its canonical form."""
+def normalize_policy(
+    name: str, policies: tuple[str, ...] = SCHEDULING_POLICIES
+) -> str:
+    """Map a policy name or alias to its canonical form.
+
+    ``policies`` is the accepted vocabulary — the device simulator keeps
+    the default thread-schedule triple, the engine passes
+    :data:`EXECUTOR_POLICIES`.
+    """
     key = name.lower().replace("_", "-")
     key = _POLICY_ALIASES.get(key, key)
-    if key not in SCHEDULING_POLICIES:
+    if key not in policies:
         raise ValueError(
             f"unknown scheduling policy {name!r}; "
-            f"choose from {', '.join(SCHEDULING_POLICIES)}"
+            f"choose from {', '.join(policies)}"
         )
     return key
 
@@ -321,16 +334,178 @@ class PooledThreadedExecutor(Executor):
         self.close()
 
 
+class SharedMemoryProcessExecutor(Executor):
+    """A GIL-free process pool fed through ``multiprocessing.shared_memory``.
+
+    Thread executors share one address space, so pure-Python stage
+    overhead serialises on the GIL.  This executor keeps ``workers``
+    OS processes alive and ships chunk windows to them as *named shared
+    memory* (one copy in, one copy out — no per-chunk pickling of bulk
+    data).  The engine routes its compress/decompress block jobs through
+    :meth:`encode_chunks` / :meth:`decode_chunks`; both honour the
+    engine contracts — output bytes identical to serial, and on failure
+    the error of the lowest-indexed failing chunk is re-raised with its
+    serial message (errors cross the process boundary as
+    ``(index, type_name, message)`` triples and are rebuilt from
+    :mod:`repro.errors`).
+
+    The generic :meth:`run` cannot ship arbitrary closures to another
+    process; it degrades to an in-process serial sweep (used by e.g.
+    salvage decode), keeping every caller functional.
+    """
+
+    policy = "process"
+    #: engines check this marker to route work through the shm methods.
+    kind = "process"
+
+    def __init__(self, workers: int = 1) -> None:
+        super().__init__(workers)
+        self._pool = None
+        self._closed = False
+
+    def _ensure_pool(self):
+        if self._closed:
+            raise RuntimeError("process executor is closed")
+        if self._pool is None:
+            import multiprocessing
+
+            self._pool = multiprocessing.get_context().Pool(self.workers)
+        return self._pool
+
+    def run(self, n_jobs, make_worker):
+        # Arbitrary job closures are not picklable; run them here instead.
+        return SerialExecutor.run(self, n_jobs, make_worker)
+
+    def _block_tasks(self, n_chunks: int):
+        bounds = static_block_bounds(n_chunks, min(self.workers, n_chunks))
+        return [
+            (int(bounds[w]), int(bounds[w + 1]))
+            for w in range(len(bounds) - 1)
+            if bounds[w] < bounds[w + 1]
+        ]
+
+    def encode_chunks(self, data, plan, codec_name: str, batch: bool) -> list:
+        """Compress every chunk of ``plan`` over ``data``; payload list."""
+        from multiprocessing import shared_memory
+
+        from repro.core import _procwork
+
+        if plan.n_chunks == 0:
+            return []
+        pool = self._ensure_pool()
+        data = bytes(data)
+        shm = shared_memory.SharedMemory(create=True, size=max(1, len(data)))
+        try:
+            shm.buf[: len(data)] = data
+            blocks = self._block_tasks(plan.n_chunks)
+            tasks = [
+                (
+                    shm.name,
+                    codec_name,
+                    batch,
+                    [
+                        (i, plan.jobs[i].offset, plan.jobs[i].end)
+                        for i in range(lo, hi)
+                    ],
+                )
+                for lo, hi in blocks
+            ]
+            payloads: list = [None] * plan.n_chunks
+            errors: list[tuple[int, str, str]] = []
+            for (lo, hi), (block_payloads, block_errors) in zip(
+                blocks, pool.map(_procwork.proc_encode_block, tasks)
+            ):
+                payloads[lo:hi] = block_payloads
+                errors.extend(block_errors)
+            if errors:
+                index, type_name, msg = min(errors, key=lambda e: e[0])
+                raise _procwork.rebuild_error(type_name, msg)
+            return payloads
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def decode_chunks(
+        self, blob, plan, codec_name: str, chunk_crcs, batch: bool
+    ) -> bytes:
+        """Decode every chunk of ``plan`` out of ``blob``; returns the
+        concatenated intermediate buffer."""
+        from multiprocessing import shared_memory
+
+        from repro.core import _procwork
+
+        if plan.n_chunks == 0:
+            return bytes(plan.out_len)
+        pool = self._ensure_pool()
+        blob = bytes(blob)
+        in_shm = shared_memory.SharedMemory(create=True, size=max(1, len(blob)))
+        out_shm = shared_memory.SharedMemory(
+            create=True, size=max(1, plan.out_len)
+        )
+        try:
+            in_shm.buf[: len(blob)] = blob
+            blocks = self._block_tasks(plan.n_chunks)
+            tasks = [
+                (
+                    in_shm.name,
+                    out_shm.name,
+                    codec_name,
+                    batch,
+                    [
+                        (
+                            i,
+                            plan.jobs[i].offset,
+                            plan.jobs[i].end,
+                            plan.out_offsets[i],
+                            plan.out_lengths[i],
+                            None if chunk_crcs is None else chunk_crcs[i],
+                        )
+                        for i in range(lo, hi)
+                    ],
+                )
+                for lo, hi in blocks
+            ]
+            errors: list[tuple[int, str, str]] = []
+            for block_errors in pool.map(_procwork.proc_decode_block, tasks):
+                errors.extend(block_errors)
+            if errors:
+                index, type_name, msg = min(errors, key=lambda e: e[0])
+                raise _procwork.rebuild_error(type_name, msg)
+            return bytes(out_shm.buf[: plan.out_len])
+        finally:
+            in_shm.close()
+            in_shm.unlink()
+            out_shm.close()
+            out_shm.unlink()
+
+    def close(self) -> None:
+        """Stop the worker processes; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> SharedMemoryProcessExecutor:
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
 _EXECUTOR_TYPES: dict[str, type[Executor]] = {
     "serial": SerialExecutor,
     "threaded": ThreadedExecutor,
     "static-blocks": StaticBlockExecutor,
+    "process": SharedMemoryProcessExecutor,
 }
 
 
 def get_executor(policy: str, workers: int = 1) -> Executor:
     """Build an executor for a canonical policy name or alias."""
-    return _EXECUTOR_TYPES[normalize_policy(policy)](workers)
+    return _EXECUTOR_TYPES[normalize_policy(policy, EXECUTOR_POLICIES)](workers)
 
 
 def resolve_executor(

@@ -88,6 +88,100 @@ class Pipeline:
             )
         return chunk
 
+    # -- batched execution ------------------------------------------------
+
+    def encode_batch(
+        self, chunks: list, events: list[StageEvent] | None = None
+    ) -> list[bytes]:
+        """Columnar :meth:`encode`: each stage sees the whole batch at once.
+
+        With ``events``, one :class:`StageEvent` per stage is recorded with
+        the batch's total output bytes.
+        """
+        data = list(chunks)
+        for stage in self.stages:
+            if events is None:
+                data = stage.encode_batch(data)
+            else:
+                start = time.perf_counter()
+                data = stage.encode_batch(data)
+                events.append(
+                    StageEvent(
+                        stage.name,
+                        time.perf_counter() - start,
+                        sum(len(d) for d in data),
+                    )
+                )
+        return data
+
+    def decode_batch(
+        self, payloads: list, events: list[StageEvent] | None = None
+    ) -> list[bytes]:
+        data = list(payloads)
+        for stage in reversed(self.stages):
+            if events is None:
+                data = stage.decode_batch(data)
+            else:
+                start = time.perf_counter()
+                data = stage.decode_batch(data)
+                events.append(
+                    StageEvent(
+                        stage.name,
+                        time.perf_counter() - start,
+                        sum(len(d) for d in data),
+                    )
+                )
+        return data
+
+    def encode_chunk_batch(
+        self, chunks: list, events: list[StageEvent] | None = None
+    ) -> list[bytes]:
+        """Batched :meth:`encode_chunk`: per-chunk raw fallback still applies."""
+        bodies = self.encode_batch(chunks, events)
+        out: list[bytes] = []
+        for chunk, body in zip(chunks, bodies):
+            if len(body) >= len(chunk):
+                original = chunk if isinstance(chunk, bytes) else bytes(chunk)
+                out.append(bytes([CHUNK_RAW]) + original)
+            else:
+                out.append(bytes([CHUNK_COMPRESSED]) + body)
+        return out
+
+    def decode_chunk_batch(
+        self,
+        payloads: list,
+        original_lens: Sequence[int],
+        events: list[StageEvent] | None = None,
+    ) -> list[bytes]:
+        """Batched :meth:`decode_chunk`.
+
+        May raise on *any* chunk of the batch without per-chunk
+        attribution — callers needing serial-identical errors re-run the
+        failing batch through :meth:`decode_chunk`.
+        """
+        chunks: list[bytes | None] = [None] * len(payloads)
+        compressed_idx: list[int] = []
+        bodies: list[ByteLike] = []
+        for i, payload in enumerate(payloads):
+            if not len(payload):
+                raise CorruptDataError("empty chunk payload")
+            flag, body = payload[0], payload[1:]
+            if flag == CHUNK_RAW:
+                chunks[i] = body if isinstance(body, bytes) else bytes(body)
+            elif flag == CHUNK_COMPRESSED:
+                compressed_idx.append(i)
+                bodies.append(body)
+            else:
+                raise CorruptDataError(f"unknown chunk flag {flag}")
+        for i, chunk in zip(compressed_idx, self.decode_batch(bodies, events)):
+            chunks[i] = chunk
+        for i, chunk in enumerate(chunks):
+            if len(chunk) != original_lens[i]:
+                raise CorruptDataError(
+                    f"chunk decoded to {len(chunk)} bytes, expected {original_lens[i]}"
+                )
+        return chunks
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         names = " -> ".join(stage.name for stage in self.stages)
         return f"Pipeline({names})"

@@ -41,6 +41,24 @@ class ChunkTrace:
     #: per-stage (name, seconds, output size), in execution order —
     #: pipeline order when encoding, reverse order when decoding.
     stages: tuple[StageEvent, ...]
+    #: True when the chunk ran inside a batched block; its ``seconds`` is
+    #: then the block time divided evenly and ``stages`` is empty (the
+    #: per-stage timings live on the block's :class:`BatchTrace`).
+    batched: bool = False
+
+
+@dataclass(frozen=True)
+class BatchTrace:
+    """One batched block of contiguous chunks processed in a single pass."""
+
+    worker: int
+    #: index of the block's first chunk.
+    start: int
+    n_chunks: int
+    seconds: float
+    #: per-stage (name, seconds, total output bytes across the batch),
+    #: in execution order.
+    stages: tuple[StageEvent, ...]
 
 
 class TraceCollector:
@@ -52,6 +70,7 @@ class TraceCollector:
 
     def __init__(self) -> None:
         self._chunks: list[ChunkTrace] = []
+        self._batches: list[BatchTrace] = []
         self.policy: str | None = None
         self.workers: int | None = None
         self.direction: str | None = None
@@ -60,6 +79,9 @@ class TraceCollector:
 
     def add(self, trace: ChunkTrace) -> None:
         self._chunks.append(trace)
+
+    def add_batch(self, trace: BatchTrace) -> None:
+        self._batches.append(trace)
 
     def annotate(self, *, policy: str, workers: int, direction: str) -> None:
         self.policy = policy
@@ -70,6 +92,11 @@ class TraceCollector:
     def chunks(self) -> tuple[ChunkTrace, ...]:
         """Chunk traces in chunk-index order (collection order is racy)."""
         return tuple(sorted(self._chunks, key=lambda t: t.index))
+
+    @property
+    def batches(self) -> tuple[BatchTrace, ...]:
+        """Batched-block traces in first-chunk order."""
+        return tuple(sorted(self._batches, key=lambda t: t.start))
 
     @property
     def n_chunks(self) -> int:

@@ -22,7 +22,12 @@ import numpy as np
 import repro
 from repro.baselines import BaselineCompressor, competitors_for
 from repro.core.compressor import compress_bytes, decompress_bytes
-from repro.core.executors import SCHEDULING_POLICIES
+from repro.core.executors import (
+    EXECUTOR_POLICIES,
+    SCHEDULING_POLICIES,
+    get_executor,
+    normalize_policy,
+)
 from repro.datasets import dp_suite, sp_suite
 from repro.device import Device
 from repro.device.model import modeled_throughput
@@ -176,24 +181,34 @@ def measure_executors(
     rows = []
     reference: bytes | None = None
     for policy in policies:
+        policy = normalize_policy(policy, EXECUTOR_POLICIES)
         n_workers = 1 if policy == "serial" else workers
-        blob = compress_bytes(data, codec, workers=n_workers, executor=policy)
-        if reference is None:
-            reference = blob
-        elif blob != reference:
-            raise AssertionError(
-                f"executor {policy!r} produced different bytes than "
-                f"{policies[0]!r} for codec {codec_name!r}"
+        # The process policy owns worker OS processes; build the executor
+        # once per row so the pool warm-up is not timed into every run.
+        engine = get_executor(policy, n_workers) if policy == "process" else policy
+        try:
+            blob = compress_bytes(data, codec, workers=n_workers,
+                                  executor=engine)
+            if reference is None:
+                reference = blob
+            elif blob != reference:
+                raise AssertionError(
+                    f"executor {policy!r} produced different bytes than "
+                    f"{policies[0]!r} for codec {codec_name!r}"
+                )
+            compress_bps = measure_throughput(
+                lambda: compress_bytes(data, codec, workers=n_workers,
+                                       executor=engine),
+                len(data), runs=runs,
             )
-        compress_bps = measure_throughput(
-            lambda: compress_bytes(data, codec, workers=n_workers,
-                                   executor=policy),
-            len(data), runs=runs,
-        )
-        decompress_bps = measure_throughput(
-            lambda: decompress_bytes(blob, workers=n_workers, executor=policy),
-            len(data), runs=runs,
-        )
+            decompress_bps = measure_throughput(
+                lambda: decompress_bytes(blob, workers=n_workers,
+                                         executor=engine),
+                len(data), runs=runs,
+            )
+        finally:
+            if engine is not policy:
+                engine.close()
         rows.append(MeasuredRow(
             codec=codec.name,
             policy=policy,

@@ -128,11 +128,14 @@ def _bench_sample(codec_name: str, scale: float) -> bytes:
     return suite[0].files[0].load(scale).tobytes()
 
 
-def _codec_section(scale: float, runs: int, workers: int) -> dict:
+def _codec_section(
+    scale: float, runs: int, workers: int, policy: str | None = None
+) -> dict:
     from repro.harness.runner import measure_executors
 
     codecs: dict[str, dict] = {}
-    policy = "serial" if workers <= 1 else "threaded"
+    if policy is None:
+        policy = "serial" if workers <= 1 else "threaded"
     for name in ALL_CODECS:
         data = _bench_sample(name, scale)
         row = measure_executors(
@@ -240,14 +243,24 @@ def record_trajectory(
     scale: float = 0.25,
     workers: int = 1,
     runs: int = 3,
+    policy: str | None = None,
 ) -> dict:
-    """Measure a full trajectory point; returns the JSON-ready dict."""
+    """Measure a full trajectory point; returns the JSON-ready dict.
+
+    ``workers`` must be the caller's *resolved* worker count (the CLI
+    resolves its capped-CPU-count default before calling) — the value is
+    recorded verbatim in the point's config so any two points state
+    their execution configuration.  ``policy`` pins the measured
+    executor policy; ``None`` keeps the historical rule (serial for one
+    worker, threaded otherwise).
+    """
     return {
         "schema": SCHEMA_VERSION,
         "tag": tag,
         "config": {
             "scale": scale,
             "workers": workers,
+            "policy": policy or ("serial" if workers <= 1 else "threaded"),
             "runs": runs,
             "kernel_chunk_bytes": KERNEL_CHUNK_BYTES,
             "python": platform.python_version(),
@@ -255,7 +268,7 @@ def record_trajectory(
             "machine": platform.machine(),
         },
         "kernels": _kernel_section(runs),
-        "codecs": _codec_section(scale, runs, workers),
+        "codecs": _codec_section(scale, runs, workers, policy),
         "stages": _stage_section(scale, runs),
         "service": _service_section(scale, runs),
     }

@@ -18,7 +18,7 @@ import time
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass
 
-from repro.core.trace import ChunkTrace, TraceCollector
+from repro.core.trace import BatchTrace, ChunkTrace, TraceCollector
 
 #: Number of identical runs whose median is reported (paper §4: five).
 DEFAULT_RUNS = 5
@@ -54,22 +54,39 @@ class StageTotals:
     out_bytes: int
 
 
-def stage_totals(traces: Iterable[ChunkTrace]) -> list[StageTotals]:
-    """Aggregate per-chunk stage events, preserving execution order."""
+def stage_totals(
+    traces: Iterable[ChunkTrace],
+    batches: Iterable[BatchTrace] = (),
+) -> list[StageTotals]:
+    """Aggregate per-chunk and per-batch stage events in execution order.
+
+    Batched chunks carry empty ``stages`` tuples (their stage timings
+    live on the block's :class:`~repro.core.trace.BatchTrace`), so the
+    batch events are folded in alongside — one batch stage event counts
+    as ``n_chunks`` calls, keeping ``calls`` comparable across execution
+    modes.
+    """
     order: list[str] = []
     calls: dict[str, int] = {}
     seconds: dict[str, float] = {}
     out_bytes: dict[str, int] = {}
+
+    def fold(event, n_calls: int) -> None:
+        if event.stage not in calls:
+            order.append(event.stage)
+            calls[event.stage] = 0
+            seconds[event.stage] = 0.0
+            out_bytes[event.stage] = 0
+        calls[event.stage] += n_calls
+        seconds[event.stage] += event.seconds
+        out_bytes[event.stage] += event.out_bytes
+
     for trace in traces:
         for event in trace.stages:
-            if event.stage not in calls:
-                order.append(event.stage)
-                calls[event.stage] = 0
-                seconds[event.stage] = 0.0
-                out_bytes[event.stage] = 0
-            calls[event.stage] += 1
-            seconds[event.stage] += event.seconds
-            out_bytes[event.stage] += event.out_bytes
+            fold(event, 1)
+    for batch in batches:
+        for event in batch.stages:
+            fold(event, batch.n_chunks)
     return [
         StageTotals(name, calls[name], seconds[name], out_bytes[name])
         for name in order
@@ -90,11 +107,14 @@ class TraceSummary:
     #: summed busy time across chunks (not wall clock: workers overlap).
     chunk_seconds: float
     stages: tuple[StageTotals, ...]
+    #: how many chunks ran inside batched blocks.
+    batched_chunks: int = 0
 
     def render(self) -> str:
         lines = [
             f"{self.direction} [{self.policy}, {self.workers} worker(s)]: "
-            f"{self.n_chunks} chunks, {self.raw_chunks} raw fallback(s), "
+            f"{self.n_chunks} chunks ({self.batched_chunks} batched), "
+            f"{self.raw_chunks} raw fallback(s), "
             f"{self.input_bytes} -> {self.payload_bytes} payload bytes"
         ]
         for st in self.stages:
@@ -117,5 +137,6 @@ def summarize_trace(collector: TraceCollector) -> TraceSummary:
         input_bytes=sum(t.original_len for t in chunks),
         payload_bytes=sum(t.payload_len for t in chunks),
         chunk_seconds=sum(t.seconds for t in chunks),
-        stages=tuple(stage_totals(chunks)),
+        stages=tuple(stage_totals(chunks, collector.batches)),
+        batched_chunks=sum(1 for t in chunks if t.batched),
     )

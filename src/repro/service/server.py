@@ -50,7 +50,12 @@ from repro.api import compress as api_compress
 from repro.core import codec_by_id
 from repro.core import container as fmt
 from repro.core.compressor import decompress_bytes
-from repro.core.executors import Executor, PooledThreadedExecutor
+from repro.core.executors import (
+    Executor,
+    PooledThreadedExecutor,
+    SharedMemoryProcessExecutor,
+    normalize_policy,
+)
 from repro.errors import ReproError, ServiceError, traceback_summary
 from repro.service import protocol as proto
 from repro.service.metrics import (
@@ -88,6 +93,10 @@ class ServiceConfig:
     #: Chunk-level workers *inside* each codec job; >1 routes chunk work
     #: through a shared :class:`~repro.core.executors.PooledThreadedExecutor`.
     codec_workers: int = 1
+    #: Executor policy for the chunk-level workers: ``"threaded"`` (the
+    #: pooled worklist) or ``"process"`` (one shared GIL-free
+    #: :class:`~repro.core.executors.SharedMemoryProcessExecutor`).
+    codec_policy: str = "threaded"
     #: Artificial per-job delay in seconds.  A test/experiment knob for
     #: exercising deadlines, backpressure, and drain deterministically;
     #: leave at 0 in production.
@@ -132,10 +141,20 @@ class CompressionServer:
         """Bind the listening socket and start serving connections."""
         cfg = self.config
         self._stopped = asyncio.Event()
+        try:
+            policy = normalize_policy(cfg.codec_policy, ("threaded", "process"))
+        except ValueError as exc:
+            raise ServiceError(str(exc)) from exc
         self._pool = ThreadPoolExecutor(
             max_workers=cfg.job_threads, thread_name_prefix="repro-svc"
         )
-        if cfg.codec_workers > 1:
+        if policy == "process":
+            # One shared GIL-free pool for every codec job; its worker
+            # processes persist across requests like the pooled threads.
+            self._chunk_executor = SharedMemoryProcessExecutor(
+                max(cfg.codec_workers, 1)
+            )
+        elif cfg.codec_workers > 1:
             self._chunk_executor = PooledThreadedExecutor(cfg.codec_workers)
         self._server = await asyncio.start_server(
             self._handle_conn, cfg.host, cfg.port
@@ -163,7 +182,10 @@ class CompressionServer:
             conn.writer.close()
         if self._pool is not None:
             self._pool.shutdown(wait=False, cancel_futures=True)
-        if isinstance(self._chunk_executor, PooledThreadedExecutor):
+        if isinstance(
+            self._chunk_executor,
+            (PooledThreadedExecutor, SharedMemoryProcessExecutor),
+        ):
             self._chunk_executor.close()
         self._stopped.set()
 
@@ -451,6 +473,7 @@ class CompressionServer:
                 "request_timeout": cfg.request_timeout,
                 "job_threads": cfg.job_threads,
                 "codec_workers": cfg.codec_workers,
+                "codec_policy": cfg.codec_policy,
             },
             "metrics": self.registry.snapshot(),
         }

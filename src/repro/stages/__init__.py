@@ -50,6 +50,25 @@ class Stage(ABC):
     def decode(self, data: ByteLike) -> bytes:
         """Exact inverse of :meth:`encode`."""
 
+    def encode_batch(self, chunks: list) -> list[bytes]:
+        """Encode many independent chunks at once.
+
+        The contract is strict byte-identity: ``encode_batch(chunks)[i]``
+        must equal ``encode(chunks[i])`` for every chunk.  The base
+        implementation is the per-chunk loop; hot stages override it with
+        2D kernels that stack equal-length chunks into an
+        ``(n_chunks, words_per_chunk)`` grid and run each transformation
+        once for the whole batch.
+        """
+        return [self.encode(chunk) for chunk in chunks]
+
+    def decode_batch(self, payloads: list) -> list[bytes]:
+        """Inverse of :meth:`encode_batch`; ``[i]`` must equal
+        ``decode(payloads[i])``.  Implementations may raise on any
+        payload; the engine re-runs the failing batch per chunk so errors
+        surface with serial-identical attribution."""
+        return [self.decode(payload) for payload in payloads]
+
     def max_encoded_len(self, input_len: int) -> int:
         """Upper bound on ``len(encode(data))`` for ``input_len`` input bytes.
 

@@ -43,3 +43,39 @@ def choose_k(leading: np.ndarray, n: int, word_bits: int) -> int:
     if cost[best] >= cost_disabled:
         return 0
     return best + 1
+
+
+def eliminated_counts_rows(leading2d: np.ndarray, word_bits: int) -> np.ndarray:
+    """Per-row :func:`eliminated_counts` of an ``(n_rows, n)`` grid.
+
+    One flattened ``bincount`` (rows offset into disjoint bins) replaces
+    the per-row histogram; the suffix sum runs along the bin axis.
+    """
+    n_rows = len(leading2d)
+    bins = word_bits + 1
+    offset = np.arange(n_rows, dtype=np.int64)[:, None] * bins
+    flat = np.asarray(leading2d, dtype=np.int64) + offset
+    hist = np.bincount(flat.reshape(-1), minlength=n_rows * bins)
+    hist = hist[: n_rows * bins].reshape(n_rows, bins)
+    return np.cumsum(hist[:, ::-1], axis=1)[:, ::-1]
+
+
+def choose_k_rows(leading2d: np.ndarray, n: int, word_bits: int) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row :func:`choose_k` plus the modelled cost at the chosen ``k``.
+
+    Returns ``(k, cost)`` arrays over the rows; ``cost`` is the same
+    number the serial planner reports (``n * word_bits`` when ``k == 0``),
+    so mode selection against other plans stays bit-for-bit identical.
+    """
+    n_rows = len(leading2d)
+    if n == 0:
+        return np.zeros(n_rows, np.int64), np.zeros(n_rows, np.int64)
+    counts = eliminated_counts_rows(leading2d, word_bits)
+    ks = np.arange(1, word_bits + 1, dtype=np.int64)
+    cost = n + (n - counts[:, 1:]) * ks + n * (word_bits - ks)
+    cost_disabled = np.int64(n) * word_bits
+    best = np.argmin(cost, axis=1)
+    best_cost = cost[np.arange(n_rows), best]
+    disabled = best_cost >= cost_disabled
+    k = np.where(disabled, 0, best + 1)
+    return k, np.where(disabled, cost_disabled, best_cost)

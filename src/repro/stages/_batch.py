@@ -1,0 +1,41 @@
+"""Shared plumbing for the stages' batched (2D) execution paths.
+
+The batched stage API stacks equal-length chunks into an
+``(n_chunks, words_per_chunk)`` grid so each kernel runs once per stage
+instead of once per chunk.  Chunks of other lengths (the ragged final
+chunk of an input, or variable-length intermediate payloads) fall back to
+the per-chunk code path — batching is a pure execution detail and must
+never change wire bytes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def length_groups(chunks) -> dict[int, list[int]]:
+    """Chunk positions grouped by byte length, preserving input order."""
+    groups: dict[int, list[int]] = {}
+    for i, chunk in enumerate(chunks):
+        groups.setdefault(len(chunk), []).append(i)
+    return groups
+
+
+def stack_rows(chunks, indices: list[int], length: int) -> np.ndarray:
+    """Copy the selected equal-length chunks into a ``(len(indices), length)``
+    uint8 grid (one contiguous buffer the 2D kernels can view as words)."""
+    rows = np.empty((len(indices), length), dtype=np.uint8)
+    for row, i in enumerate(indices):
+        rows[row] = np.frombuffer(chunks[i], dtype=np.uint8)
+    return rows
+
+
+def split_rows(flat: np.ndarray, counts: np.ndarray) -> list[np.ndarray]:
+    """Split a row-major extraction back into per-row arrays.
+
+    ``flat`` holds the surviving elements of every row concatenated in row
+    order; ``counts[r]`` is row ``r``'s share.
+    """
+    bounds = np.zeros(len(counts) + 1, dtype=np.int64)
+    np.cumsum(counts, out=bounds[1:])
+    return [flat[bounds[r] : bounds[r + 1]] for r in range(len(counts))]

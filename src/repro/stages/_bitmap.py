@@ -16,6 +16,8 @@ final chunk of an input can be short).  Recursion stops after
 
 from __future__ import annotations
 
+import struct
+
 import numpy as np
 
 from repro.errors import CorruptDataError
@@ -111,3 +113,96 @@ def decompress_bitmap(reader: Reader, bit_count: int) -> np.ndarray:
 def compressed_bitmap_size(bits: np.ndarray, max_levels: int = MAX_LEVELS) -> int:
     """Exact encoded size in bytes without materialising the payload twice."""
     return len(compress_bitmap(bits, max_levels))
+
+
+def compress_bitmap_batch(bits2d: np.ndarray, max_levels: int = MAX_LEVELS) -> list[bytes]:
+    """Per-row :func:`compress_bitmap` of a ``(n_rows, bit_count)`` grid.
+
+    The recursion depth and every level's packed size depend only on the
+    bit count, which is shared by all rows — so each level runs as one 2D
+    ``packbits``/repeat-mask pass and only the kept bytes differ per row.
+    Output is byte-identical to compressing each row on its own.
+    """
+    n_rows = len(bits2d)
+    level2d = np.packbits(bits2d, axis=1)
+    kept_levels: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+    levels = 0
+    while levels < max_levels and level2d.shape[1] > 4:
+        prev = np.empty_like(level2d)
+        prev[:, 0] = 0
+        prev[:, 1:] = level2d[:, :-1]
+        mask2d = level2d != prev
+        counts = mask2d.sum(axis=1)
+        bounds = np.zeros(n_rows + 1, dtype=np.int64)
+        np.cumsum(counts, out=bounds[1:])
+        kept_levels.append((level2d[mask2d], counts, bounds))
+        level2d = np.packbits(mask2d, axis=1)
+        levels += 1
+    final = level2d.tobytes()
+    final_size = level2d.shape[1]
+    prefix = struct.pack("<B", levels)
+    out: list[bytes] = []
+    for r in range(n_rows):
+        parts = [prefix, final[r * final_size : (r + 1) * final_size]]
+        for kept_flat, counts, bounds in reversed(kept_levels):
+            parts.append(struct.pack("<I", int(counts[r])))
+            parts.append(kept_flat[bounds[r] : bounds[r + 1]].tobytes())
+        out.append(b"".join(parts))
+    return out
+
+
+def decompress_bitmap_batch(readers: list[Reader], bit_count: int) -> np.ndarray:
+    """Per-reader :func:`decompress_bitmap`, vectorised across the batch.
+
+    Every reader must sit at a bitmap compressed from ``bit_count`` bits;
+    valid payloads then share the recursion depth and per-level sizes, so
+    the unpack/forward-fill sweeps run once over a 2D grid.  Any
+    structural mismatch raises :class:`CorruptDataError` — callers fall
+    back to the per-chunk path, which reproduces the serial error.
+    """
+    n_rows = len(readers)
+    depths = [reader.u8() for reader in readers]
+    levels = depths[0] if depths else 0
+    if any(d != levels for d in depths):
+        raise CorruptDataError("bitmap recursion depth mismatch across batch")
+    if levels > 8:
+        raise CorruptDataError(f"implausible bitmap recursion depth {levels}")
+    sizes = [(bit_count + 7) // 8]
+    for _ in range(levels):
+        sizes.append((sizes[-1] + 7) // 8)
+    level2d = np.empty((n_rows, sizes[-1]), dtype=np.uint8)
+    for r, reader in enumerate(readers):
+        level2d[r] = np.frombuffer(reader.raw(sizes[-1]), dtype=np.uint8)
+    for depth in range(levels - 1, -1, -1):
+        n_kept = np.empty(n_rows, dtype=np.int64)
+        kept_rows = []
+        for r, reader in enumerate(readers):
+            n_kept[r] = reader.u32()
+            kept_rows.append(np.frombuffer(reader.raw(int(n_kept[r])), dtype=np.uint8))
+        offsets = np.zeros(n_rows, dtype=np.int64)
+        np.cumsum(n_kept[:-1], out=offsets[1:])
+        kept_flat = np.concatenate(kept_rows) if kept_rows else np.zeros(0, np.uint8)
+        _check_bitmap_pad_rows(level2d, sizes[depth])
+        mask2d = np.unpackbits(level2d, axis=1)[:, : sizes[depth]].view(np.bool_)
+        counts2d = np.cumsum(mask2d, axis=1)
+        totals = counts2d[:, -1] if mask2d.shape[1] else np.zeros(n_rows, np.int64)
+        if np.any(totals != n_kept):
+            raise CorruptDataError("bitmap level kept-byte count mismatch")
+        out2d = np.zeros(mask2d.shape, dtype=np.uint8)
+        has_prior = counts2d > 0
+        idx = counts2d - 1 + offsets[:, None]
+        out2d[has_prior] = kept_flat[idx[has_prior]]
+        level2d = out2d
+    _check_bitmap_pad_rows(level2d, bit_count)
+    return np.unpackbits(level2d, axis=1)[:, :bit_count].view(np.bool_)
+
+
+def _check_bitmap_pad_rows(level2d: np.ndarray, used_bits: int) -> None:
+    """Batch form of :func:`_check_bitmap_pad` (any bad row fails the batch)."""
+    pad_bits = level2d.shape[1] * 8 - used_bits
+    if pad_bits and level2d.shape[1] and np.any(
+        level2d[:, -1] & np.uint8((1 << pad_bits) - 1)
+    ):
+        raise CorruptDataError(
+            f"nonzero padding bits in packed bitmap level ({used_bits} bits used)"
+        )

@@ -8,9 +8,20 @@ zero-byte runs that the following RZE stage eliminates.
 
 from __future__ import annotations
 
-from repro.bitpack import bit_transpose, bit_untranspose, words_to_bytes
+import struct
+
+import numpy as np
+
+from repro.bitpack import (
+    bit_transpose,
+    bit_transpose_batch,
+    bit_untranspose,
+    bit_untranspose_batch,
+    words_to_bytes,
+)
 from repro.bitpack.bytes_util import words_from_bytes
 from repro.stages import ByteLike, Stage
+from repro.stages._batch import length_groups, stack_rows
 from repro.stages._frame import Reader, Writer
 
 
@@ -39,3 +50,59 @@ class BitTranspose(Stage):
         tail = reader.raw(reader.u8())
         words = bit_untranspose(reader.rest(), n_words, self.word_bits)
         return words_to_bytes(words, tail)
+
+    # -- batched execution ------------------------------------------------
+
+    def encode_batch(self, chunks: list) -> list[bytes]:
+        out: list[bytes | None] = [None] * len(chunks)
+        word_bytes = self.word_bits // 8
+        for length, indices in length_groups(chunks).items():
+            n_words = length // word_bytes
+            if (
+                len(indices) < 2
+                or length == 0
+                or length % word_bytes
+                or n_words % 8
+            ):
+                for i in indices:
+                    out[i] = self.encode(chunks[i])
+                continue
+            words2d = stack_rows(chunks, indices, length).view(
+                np.dtype(f"<u{word_bytes}")
+            )
+            prefix = struct.pack("<IB", n_words, 0)
+            for row, blob in enumerate(
+                bit_transpose_batch(words2d, self.word_bits)
+            ):
+                out[indices[row]] = prefix + blob
+        return out
+
+    def decode_batch(self, payloads: list) -> list[bytes]:
+        out: list[bytes | None] = [None] * len(payloads)
+        word_bytes = self.word_bits // 8
+        for length, indices in length_groups(payloads).items():
+            eligible: dict[int, list[int]] = {}
+            if len(indices) >= 2 and length >= 5:
+                for i in indices:
+                    n_words, tail_len = struct.unpack_from("<IB", payloads[i], 0)
+                    if (
+                        tail_len == 0
+                        and n_words
+                        and n_words % 8 == 0
+                        and length == 5 + n_words * word_bytes
+                    ):
+                        eligible.setdefault(n_words, []).append(i)
+            for n_words, members in list(eligible.items()):
+                if len(members) < 2:
+                    del eligible[n_words]
+            batched = {i for members in eligible.values() for i in members}
+            for i in indices:
+                if i not in batched:
+                    out[i] = self.decode(payloads[i])
+            for n_words, members in eligible.items():
+                bufs = stack_rows(payloads, members, length)[:, 5:]
+                words2d = bit_untranspose_batch(bufs, n_words, self.word_bits)
+                blob = words2d.tobytes()
+                for row, i in enumerate(members):
+                    out[i] = blob[row * (length - 5) : (row + 1) * (length - 5)]
+        return out

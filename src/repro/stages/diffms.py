@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.bitpack import words_from_bytes, words_to_bytes, zigzag_decode, zigzag_encode
 from repro.stages import ByteLike, Stage
+from repro.stages._batch import length_groups, stack_rows
 
 
 class DiffMS(Stage):
@@ -45,3 +46,41 @@ class DiffMS(Stage):
         # The running sum inverts difference coding; uint cumsum wraps mod 2^w.
         words = np.cumsum(diff, dtype=diff.dtype)
         return words_to_bytes(words, tail)
+
+    # -- batched execution ------------------------------------------------
+
+    def encode_batch(self, chunks: list) -> list[bytes]:
+        out: list[bytes | None] = [None] * len(chunks)
+        for length, indices in length_groups(chunks).items():
+            if len(indices) < 2 or length == 0 or length % (self.word_bits // 8):
+                for i in indices:
+                    out[i] = self.encode(chunks[i])
+                continue
+            words = stack_rows(chunks, indices, length).view(
+                np.dtype(f"<u{self.word_bits // 8}")
+            )
+            prev = np.empty_like(words)
+            prev[:, 0] = 0
+            prev[:, 1:] = words[:, :-1]
+            coded = zigzag_encode(words - prev, self.word_bits)
+            blob = coded.tobytes()
+            for row, i in enumerate(indices):
+                out[i] = blob[row * length : (row + 1) * length]
+        return out
+
+    def decode_batch(self, payloads: list) -> list[bytes]:
+        out: list[bytes | None] = [None] * len(payloads)
+        for length, indices in length_groups(payloads).items():
+            if len(indices) < 2 or length == 0 or length % (self.word_bits // 8):
+                for i in indices:
+                    out[i] = self.decode(payloads[i])
+                continue
+            coded = stack_rows(payloads, indices, length).view(
+                np.dtype(f"<u{self.word_bits // 8}")
+            )
+            diff = zigzag_decode(coded, self.word_bits)
+            words = np.cumsum(diff, axis=1, dtype=diff.dtype)
+            blob = words.tobytes()
+            for row, i in enumerate(indices):
+                out[i] = blob[row * length : (row + 1) * length]
+        return out

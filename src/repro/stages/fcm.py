@@ -147,15 +147,23 @@ class FCMStage(Stage):
         dist = distances.astype(np.int64)
         if np.any(dist < 0) or np.any(dist > np.arange(n)):
             raise CorruptDataError("FCM distance points before the start of the data")
-        # Parallel union-find "find" via pointer doubling.
-        parent = np.arange(n, dtype=np.int64)
-        parent -= dist
-        while True:
-            grand = parent[parent]
-            if np.array_equal(grand, parent):
-                break
-            parent = grand
-        words = values[parent]
+        if not dist.any():
+            # No matches recorded — every word is its own root, so the
+            # pointer-doubling sweep would be an identity walk.
+            words = values
+        else:
+            # Parallel union-find "find" via pointer doubling.  The two
+            # buffers alternate roles so each sweep reuses scratch space
+            # instead of allocating a fresh `grand` array.
+            parent = np.arange(n, dtype=np.int64)
+            parent -= dist
+            scratch = np.empty_like(parent)
+            while True:
+                np.take(parent, parent, out=scratch)
+                if np.array_equal(scratch, parent):
+                    break
+                parent, scratch = scratch, parent
+            words = values[parent]
         return words_to_bytes(np.ascontiguousarray(words, dtype="<u8"), tail)
 
     def max_encoded_len(self, input_len: int) -> int:

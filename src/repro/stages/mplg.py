@@ -19,6 +19,8 @@ followed by the packed values.
 
 from __future__ import annotations
 
+import struct
+
 import numpy as np
 
 from repro.bitpack import (
@@ -33,12 +35,20 @@ from repro.bitpack import (
 )
 from repro.errors import CorruptDataError
 from repro.stages import ByteLike, Stage
+from repro.stages._batch import length_groups, stack_rows
 from repro.stages._frame import Reader, Writer
 
 SUBCHUNK_BYTES = 512
 
 _FLAG_MS = 0x80
 _WIDTH_MASK = 0x7F
+
+#: Smallest same-geometry group worth routing through ``_decode_rows``.
+#: Its header walk runs ``n_per`` numpy steps over *group-sized* arrays,
+#: so tiny groups pay the vector overhead without the amortisation —
+#: measured break-even on 16 KiB chunks is ~20 members (the encode side
+#: has no such walk and wins from 4 members on, so it stays ungated).
+_MIN_DECODE_GROUP = 24
 
 
 class MPLG(Stage):
@@ -148,6 +158,180 @@ class MPLG(Stage):
             out[start : start + count] = sub
         reader.expect_exhausted()
         return words_to_bytes(out, tail)
+
+    # -- batched (cross-chunk) execution ----------------------------------
+
+    def encode_batch(self, chunks: list) -> list[bytes]:
+        """Width-group the full subchunks of *all* equal-length chunks.
+
+        The within-chunk batching of :meth:`_encode_batched` extends
+        across the batch: one maxima/CLZ/width pass over every subchunk
+        and one ``pack_words`` call per *global* width group.  Byte
+        identity holds for the same reason as within a chunk — full
+        subchunk payloads are whole bytes, so same-width payloads
+        concatenate seamlessly regardless of which chunk they came from.
+        """
+        out: list[bytes | None] = [None] * len(chunks)
+        word_bytes = self.word_bits // 8
+        step = self._words_per_subchunk
+        for length, indices in length_groups(chunks).items():
+            n_words = length // word_bytes
+            if (
+                len(indices) < 2
+                or self._force_serial
+                or length == 0
+                or length % word_bytes
+                or n_words % step
+            ):
+                for i in indices:
+                    out[i] = self.encode(chunks[i])
+                continue
+            rows = stack_rows(chunks, indices, length).view(
+                np.dtype(f"<u{word_bytes}")
+            )
+            for row, payload in enumerate(self._encode_rows(rows, n_words)):
+                out[indices[row]] = payload
+        return out
+
+    def _encode_rows(self, rows: np.ndarray, n_words: int) -> list[bytes]:
+        wb = self.word_bits
+        step = self._words_per_subchunk
+        n_per = n_words // step
+        n_chunks = len(rows)
+        subs = rows.reshape(n_chunks * n_per, step)
+        maxima = subs.max(axis=1)
+        clz = count_leading_zeros(maxima, wb)
+        widths = (np.uint8(wb) - clz).astype(np.intp)
+        flags = np.zeros(len(subs), dtype=np.uint8)
+        needs_ms = clz == 0
+        if needs_ms.any():
+            converted = zigzag_encode(subs[needs_ms].reshape(-1), wb)
+            converted = converted.reshape(-1, step)
+            # ``rows`` is the fresh buffer stack_rows built for this call,
+            # so the magnitude-sign rows can be patched in place.
+            subs[needs_ms] = converted
+            clz_ms = count_leading_zeros(converted.max(axis=1), wb)
+            widths[needs_ms] = wb - clz_ms
+            flags[needs_ms] = _FLAG_MS
+        sub_bytes = step // 8
+        blobs: dict[int, tuple[np.ndarray, bytes]] = {}
+        for w in np.unique(widths):
+            members = np.flatnonzero(widths == w)
+            blobs[int(w)] = (
+                members,
+                pack_words(subs[members].reshape(-1), int(w), wb),
+            )
+        # Assemble every chunk payload with one scatter pass per width
+        # group: compute the wire position of each subchunk, write the
+        # shared prefix and all header bytes at once, then fancy-index
+        # each group's packed bytes to their interleaved destinations
+        # (a group blob holds its members in subchunk-index order, the
+        # same order ``flatnonzero`` yields).
+        sizes = 1 + widths * sub_bytes
+        per_chunk = sizes.reshape(n_chunks, n_per)
+        chunk_sizes = 5 + per_chunk.sum(axis=1)
+        chunk_ends = np.cumsum(chunk_sizes)
+        chunk_starts = chunk_ends - chunk_sizes
+        within = np.cumsum(per_chunk, axis=1) - per_chunk
+        header_pos = (chunk_starts[:, None] + 5 + within).reshape(-1)
+        out = np.empty(int(chunk_ends[-1]), dtype=np.uint8)
+        prefix = np.frombuffer(struct.pack("<IB", n_words, 0), dtype=np.uint8)
+        out[chunk_starts[:, None] + np.arange(5)] = prefix
+        out[header_pos] = flags | widths.astype(np.uint8)
+        for w, (members, blob) in blobs.items():
+            size = w * sub_bytes
+            if not size:
+                continue
+            dest = (header_pos[members] + 1)[:, None] + np.arange(size)
+            out[dest.reshape(-1)] = np.frombuffer(blob, dtype=np.uint8)
+        wire = out.tobytes()
+        return [
+            wire[chunk_starts[c] : chunk_ends[c]] for c in range(n_chunks)
+        ]
+
+    def decode_batch(self, payloads: list) -> list[bytes]:
+        out: list[bytes | None] = [None] * len(payloads)
+        step = self._words_per_subchunk
+        # MPLG payload lengths vary with the data (per-subchunk widths),
+        # so group on the *decoded* geometry — every whole-subchunk
+        # payload with the same word count batches together, whatever
+        # its byte length.  The flat-buffer walk in ``_decode_rows``
+        # handles ragged member lengths natively.
+        eligible: dict[int, list[int]] = {}
+        if not self._force_serial:
+            for i, payload in enumerate(payloads):
+                if len(payload) < 5:
+                    continue
+                n_words, tail_len = struct.unpack_from("<IB", payload, 0)
+                if tail_len == 0 and n_words and n_words % step == 0:
+                    eligible.setdefault(n_words, []).append(i)
+        for n_words, members in list(eligible.items()):
+            if len(members) < _MIN_DECODE_GROUP:
+                del eligible[n_words]
+        batched = {i for members in eligible.values() for i in members}
+        for i in range(len(payloads)):
+            if i not in batched:
+                out[i] = self.decode(payloads[i])
+        for n_words, members in eligible.items():
+            bufs = [payloads[i] for i in members]
+            for row, chunk in enumerate(self._decode_rows(bufs, n_words)):
+                out[members[row]] = chunk
+        return out
+
+    def _decode_rows(self, bufs: list, n_words: int) -> list[bytes]:
+        wb = self.word_bits
+        step = self._words_per_subchunk
+        sub_bytes = step // 8
+        n_chunks = len(bufs)
+        n_per = n_words // step
+        lengths = np.array([len(b) for b in bufs], dtype=np.int64)
+        flat = np.frombuffer(b"".join(bytes(b) for b in bufs), dtype=np.uint8)
+        ends = np.cumsum(lengths)
+        base = ends - lengths
+        pos = base + 5
+        sub_width = np.empty((n_chunks, n_per), dtype=np.int64)
+        sub_flag = np.empty((n_chunks, n_per), dtype=bool)
+        sub_off = np.empty((n_chunks, n_per), dtype=np.int64)
+        for j in range(n_per):
+            if np.any(pos >= ends):
+                # A read past a member's end would bleed into the next
+                # member's bytes without this guard (the serial Reader
+                # raises here too; the engine re-runs the block serially
+                # for exact attribution).
+                raise CorruptDataError("truncated MPLG subchunk payload")
+            header = flat[pos]
+            widths_j = (header & _WIDTH_MASK).astype(np.int64)
+            if np.any(widths_j > wb):
+                raise CorruptDataError(f"MPLG width exceeds word size {wb}")
+            sizes_j = widths_j * sub_bytes
+            if np.any(pos + 1 + sizes_j > ends):
+                raise CorruptDataError("truncated MPLG subchunk payload")
+            sub_width[:, j] = widths_j
+            sub_flag[:, j] = (header & _FLAG_MS) != 0
+            sub_off[:, j] = pos + 1
+            pos += 1 + sizes_j
+        if np.any(pos != ends):
+            raise CorruptDataError("unexpected trailing bytes in MPLG payload")
+        dtype = np.dtype(f"<u{wb // 8}")
+        words = np.empty((n_chunks, n_per, step), dtype=dtype)
+        key = (sub_width << 1) | sub_flag
+        for packed_key in np.unique(key):
+            width = int(packed_key) >> 1
+            flagged = bool(int(packed_key) & 1)
+            rows_idx, cols_idx = np.nonzero(key == packed_key)
+            size = width * sub_bytes
+            if size:
+                starts = sub_off[rows_idx, cols_idx]
+                gathered = flat[(starts[:, None] + np.arange(size)).reshape(-1)]
+                vals = unpack_words(gathered, len(rows_idx) * step, width, wb)
+            else:
+                vals = np.zeros(len(rows_idx) * step, dtype=dtype)
+            if flagged:
+                vals = zigzag_decode(vals, wb)
+            words[rows_idx, cols_idx] = vals.reshape(len(rows_idx), step)
+        blob = words.reshape(n_chunks, -1).tobytes()
+        out_len = n_words * (wb // 8)
+        return [blob[c * out_len : (c + 1) * out_len] for c in range(n_chunks)]
 
     def _decode_batched(self, reader: Reader, out: np.ndarray, n_full: int) -> None:
         """Decode all full subchunks with one unpack call per width group.

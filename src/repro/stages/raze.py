@@ -28,6 +28,8 @@ of :mod:`repro.stages._bitmap`.
 
 from __future__ import annotations
 
+import struct
+
 import numpy as np
 
 from repro.bitpack import (
@@ -40,8 +42,14 @@ from repro.bitpack import (
 )
 from repro.errors import CorruptDataError
 from repro.stages import ByteLike, Stage
-from repro.stages._adaptive import choose_k, eliminated_counts
-from repro.stages._bitmap import compress_bitmap, decompress_bitmap
+from repro.stages._adaptive import choose_k, choose_k_rows, eliminated_counts
+from repro.stages._batch import length_groups, split_rows, stack_rows
+from repro.stages._bitmap import (
+    compress_bitmap,
+    compress_bitmap_batch,
+    decompress_bitmap,
+    decompress_bitmap_batch,
+)
 from repro.stages._frame import Reader, Writer
 
 MODE_BIT_K = 0
@@ -197,4 +205,225 @@ class RAZE(Stage):
         rows[:, :kb] = top.reshape(n, kb)
         rows[:, kb:] = bottom.reshape(n, word_bytes - kb)
         be = rows.reshape(-1).view(np.dtype(f">u{word_bytes}"))
+        return be.astype(np.dtype(f"<u{word_bytes}"))
+
+    # -- batched execution ------------------------------------------------
+
+    def encode_batch(self, chunks: list) -> list[bytes]:
+        out: list[bytes | None] = [None] * len(chunks)
+        word_bytes = self.word_bits // 8
+        for length, indices in length_groups(chunks).items():
+            if len(indices) < 2 or length == 0 or length % word_bytes:
+                for i in indices:
+                    out[i] = self.encode(chunks[i])
+                continue
+            words2d = stack_rows(chunks, indices, length).view(
+                np.dtype(f"<u{word_bytes}")
+            )
+            for row, payload in enumerate(
+                self._encode_rows(words2d, length // word_bytes)
+            ):
+                out[indices[row]] = payload
+        return out
+
+    def _encode_rows(self, words2d: np.ndarray, n: int) -> list[bytes]:
+        """Plan every row with the 2D histogram kernels, then emit rows
+        grouped by their chosen ``(mode, k)`` so the pack/bitmap kernels
+        run once per distinct plan instead of once per chunk."""
+        wb = self.word_bits
+        word_bytes = wb // 8
+        n_chunks = len(words2d)
+        leading2d = count_leading_zeros(words2d, wb)
+        bit_k, bit_cost = choose_k_rows(leading2d, n, wb)
+        be = words2d.astype(words2d.dtype.newbyteorder(">"), copy=False)
+        rows3d = be.view(np.uint8).reshape(n_chunks, n, word_bytes)
+        zeros_cum = np.cumsum((rows3d == 0).sum(axis=1, dtype=np.int64), axis=1)
+        kbs = np.arange(1, word_bytes + 1, dtype=np.int64)
+        top_bytes = n * kbs
+        byte_costs = top_bytes + (top_bytes - zeros_cum) * 8 + n * (wb - kbs * 8)
+        cost_disabled = np.int64(n) * wb
+        mins = byte_costs.min(axis=1)
+        enabled = mins < cost_disabled
+        byte_k = np.where(enabled, np.argmin(byte_costs, axis=1) + 1, 0)
+        byte_cost = np.where(enabled, mins, cost_disabled)
+        use_byte = byte_cost < bit_cost
+        prefix = struct.pack("<IB", n, 0)
+        payloads: list[bytes | None] = [None] * n_chunks
+        for k in np.unique(bit_k[~use_byte]):
+            members = np.flatnonzero(~use_byte & (bit_k == k))
+            self._encode_bit_rows(
+                words2d, leading2d, members, n, int(k), prefix, payloads
+            )
+        for kb in np.unique(byte_k[use_byte]):
+            members = np.flatnonzero(use_byte & (byte_k == kb))
+            self._encode_byte_rows(rows3d, members, n, int(kb), prefix, payloads)
+        return payloads
+
+    def _encode_bit_rows(
+        self,
+        words2d: np.ndarray,
+        leading2d: np.ndarray,
+        members: np.ndarray,
+        n: int,
+        k: int,
+        prefix: bytes,
+        payloads: list,
+    ) -> None:
+        wb = self.word_bits
+        mode = struct.pack("<BB", MODE_BIT_K, k)
+        if k == 0:
+            for r in members:
+                payloads[r] = prefix + mode + words2d[r].tobytes()
+            return
+        sub = words2d[members]
+        kept2d = np.asarray(leading2d[members]) < k
+        counts = kept2d.sum(axis=1)
+        tops = split_rows((sub >> (wb - k))[kept2d], counts)
+        if k == wb:
+            bottoms = [b""] * len(members)
+        else:
+            bottoms2d = sub & sub.dtype.type((1 << (wb - k)) - 1)
+            row_bits = n * (wb - k)
+            if row_bits % 8 == 0:
+                blob = pack_words(bottoms2d.reshape(-1), wb - k, wb)
+                size = row_bits // 8
+                bottoms = [blob[r * size : (r + 1) * size] for r in range(len(members))]
+            else:
+                bottoms = [pack_words(row, wb - k, wb) for row in bottoms2d]
+        bitmaps = compress_bitmap_batch(kept2d)
+        for row, r in enumerate(members):
+            payloads[r] = b"".join(
+                (
+                    prefix,
+                    mode,
+                    struct.pack("<I", int(counts[row])),
+                    bitmaps[row],
+                    pack_words(tops[row], k, wb),
+                    bottoms[row],
+                )
+            )
+
+    def _encode_byte_rows(
+        self,
+        rows3d: np.ndarray,
+        members: np.ndarray,
+        n: int,
+        kb: int,
+        prefix: bytes,
+        payloads: list,
+    ) -> None:
+        word_bytes = self.word_bits // 8
+        mode = struct.pack("<BB", MODE_BYTE_K, kb)
+        sub = rows3d[members]
+        top2d = sub[:, :, :kb].reshape(len(members), n * kb)
+        bottom2d = sub[:, :, kb:].reshape(len(members), n * (word_bytes - kb))
+        mask2d = top2d != 0
+        counts = mask2d.sum(axis=1)
+        nonzero = split_rows(top2d[mask2d], counts)
+        bitmaps = compress_bitmap_batch(mask2d)
+        for row, r in enumerate(members):
+            payloads[r] = b"".join(
+                (
+                    prefix,
+                    mode,
+                    struct.pack("<I", int(counts[row])),
+                    bitmaps[row],
+                    nonzero[row].tobytes(),
+                    bottom2d[row].tobytes(),
+                )
+            )
+
+    def decode_batch(self, payloads: list) -> list[bytes]:
+        out: list[bytes | None] = [None] * len(payloads)
+        wb = self.word_bits
+        word_bytes = wb // 8
+        groups: dict[tuple[int, int, int], list[tuple[int, Reader]]] = {}
+        serial: list[int] = []
+        for i, payload in enumerate(payloads):
+            reader = Reader(payload)
+            n = reader.u32()
+            tail_len = reader.u8()
+            if tail_len or n == 0 or reader.remaining < 2:
+                serial.append(i)
+                continue
+            mode = reader.u8()
+            k = reader.u8()
+            if mode == MODE_BIT_K and 1 <= k <= wb:
+                groups.setdefault((n, mode, k), []).append((i, reader))
+            elif mode == MODE_BYTE_K and 1 <= k <= word_bytes:
+                groups.setdefault((n, mode, k), []).append((i, reader))
+            else:
+                serial.append(i)
+        for (n, mode, k), members in groups.items():
+            if len(members) < 2:
+                serial.extend(i for i, _ in members)
+                continue
+            readers = [reader for _, reader in members]
+            if mode == MODE_BIT_K:
+                words2d = self._decode_bit_rows(readers, n, k)
+            else:
+                words2d = self._decode_byte_rows(readers, n, k)
+            blob = words2d.tobytes()
+            size = n * word_bytes
+            for row, (i, _) in enumerate(members):
+                out[i] = blob[row * size : (row + 1) * size]
+        for i in serial:
+            out[i] = self.decode(payloads[i])
+        return out
+
+    def _decode_bit_rows(self, readers: list[Reader], n: int, k: int) -> np.ndarray:
+        wb = self.word_bits
+        dtype = np.dtype(f"<u{wb // 8}")
+        n_kept = np.array([reader.u32() for reader in readers], dtype=np.int64)
+        kept2d = decompress_bitmap_batch(readers, n)
+        if np.any(kept2d.sum(axis=1) != n_kept):
+            raise CorruptDataError("RAZE bitmap population mismatch")
+        tops_rows = [
+            unpack_words(reader.raw(packed_size_bytes(int(c), k)), int(c), k, wb)
+            for reader, c in zip(readers, n_kept)
+        ]
+        bottom_size = packed_size_bytes(n, wb - k)
+        row_bits = n * (wb - k)
+        if row_bits % 8 == 0:
+            raw = b"".join(reader.raw(bottom_size) for reader in readers)
+            bottoms2d = unpack_words(raw, len(readers) * n, wb - k, wb)
+            bottoms2d = bottoms2d.reshape(len(readers), n)
+        else:
+            bottoms2d = np.stack(
+                [
+                    unpack_words(reader.raw(bottom_size), n, wb - k, wb)
+                    for reader in readers
+                ]
+            )
+        for reader in readers:
+            reader.expect_exhausted()
+        tops_full = np.zeros((len(readers), n), dtype=dtype)
+        tops_full[kept2d] = np.concatenate(tops_rows)
+        return (tops_full << (wb - k)) | bottoms2d
+
+    def _decode_byte_rows(self, readers: list[Reader], n: int, kb: int) -> np.ndarray:
+        word_bytes = self.word_bits // 8
+        n_rows = len(readers)
+        n_kept = np.array([reader.u32() for reader in readers], dtype=np.int64)
+        mask2d = decompress_bitmap_batch(readers, n * kb)
+        if np.any(mask2d.sum(axis=1) != n_kept):
+            raise CorruptDataError("RAZE bitmap population mismatch")
+        nonzero_rows = [
+            np.frombuffer(reader.raw(int(c)), dtype=np.uint8)
+            for reader, c in zip(readers, n_kept)
+        ]
+        bottom2d = np.stack(
+            [
+                np.frombuffer(reader.raw(n * (word_bytes - kb)), dtype=np.uint8)
+                for reader in readers
+            ]
+        )
+        for reader in readers:
+            reader.expect_exhausted()
+        top2d = np.zeros((n_rows, n * kb), dtype=np.uint8)
+        top2d[mask2d] = np.concatenate(nonzero_rows)
+        rows = np.empty((n_rows, n, word_bytes), dtype=np.uint8)
+        rows[:, :, :kb] = top2d.reshape(n_rows, n, kb)
+        rows[:, :, kb:] = bottom2d.reshape(n_rows, n, word_bytes - kb)
+        be = rows.reshape(n_rows, n * word_bytes).view(np.dtype(f">u{word_bytes}"))
         return be.astype(np.dtype(f"<u{word_bytes}"))

@@ -11,11 +11,20 @@ the 16384-bit chunk bitmap to 32 bits plus the non-repeating bytes.
 
 from __future__ import annotations
 
+import struct
+
 import numpy as np
 
 from repro.errors import CorruptDataError
 from repro.stages import ByteLike, Stage
-from repro.stages._bitmap import MAX_LEVELS, compress_bitmap, decompress_bitmap
+from repro.stages._batch import length_groups, split_rows, stack_rows
+from repro.stages._bitmap import (
+    MAX_LEVELS,
+    compress_bitmap,
+    compress_bitmap_batch,
+    decompress_bitmap,
+    decompress_bitmap_batch,
+)
 from repro.stages._frame import Reader, Writer
 
 
@@ -51,3 +60,59 @@ class RZE(Stage):
         out = np.zeros(n, dtype=np.uint8)
         out[mask] = nonzero
         return out.tobytes()
+
+    # -- batched execution ------------------------------------------------
+
+    def encode_batch(self, chunks: list) -> list[bytes]:
+        out: list[bytes | None] = [None] * len(chunks)
+        for length, indices in length_groups(chunks).items():
+            if len(indices) < 2 or length == 0:
+                for i in indices:
+                    out[i] = self.encode(chunks[i])
+                continue
+            rows = stack_rows(chunks, indices, length)
+            mask2d = rows != 0
+            counts = mask2d.sum(axis=1)
+            nonzero = split_rows(rows[mask2d], counts)
+            bitmaps = compress_bitmap_batch(mask2d, self.bitmap_levels)
+            for row, i in enumerate(indices):
+                out[i] = b"".join(
+                    (
+                        struct.pack("<II", length, int(counts[row])),
+                        nonzero[row].tobytes(),
+                        bitmaps[row],
+                    )
+                )
+        return out
+
+    def decode_batch(self, payloads: list) -> list[bytes]:
+        # RZE payloads vary in length (the nonzero count differs per
+        # chunk), so batching groups on the *decoded* length ``n`` instead:
+        # the bitmap decompressor only needs a shared bit count.
+        out: list[bytes | None] = [None] * len(payloads)
+        parsed: dict[int, list[tuple[int, int, np.ndarray, Reader]]] = {}
+        for i, payload in enumerate(payloads):
+            reader = Reader(payload)
+            n = reader.u32()
+            n_nonzero = reader.u32()
+            nonzero = np.frombuffer(reader.raw(n_nonzero), dtype=np.uint8)
+            parsed.setdefault(n, []).append((i, n_nonzero, nonzero, reader))
+        for n, members in parsed.items():
+            if len(members) < 2:
+                for i, _, _, _ in members:
+                    out[i] = self.decode(payloads[i])
+                continue
+            readers = [reader for _, _, _, reader in members]
+            mask2d = decompress_bitmap_batch(readers, n)
+            for reader in readers:
+                reader.expect_exhausted()
+            populations = mask2d.sum(axis=1)
+            expected = np.array([m[1] for m in members], dtype=np.int64)
+            if np.any(populations != expected):
+                raise CorruptDataError("RZE bitmap population mismatch")
+            grid = np.zeros((len(members), n), dtype=np.uint8)
+            grid[mask2d] = np.concatenate([m[2] for m in members])
+            blob = grid.tobytes()
+            for row, (i, _, _, _) in enumerate(members):
+                out[i] = blob[row * n : (row + 1) * n]
+        return out

@@ -179,8 +179,10 @@ class TestThreadLocality:
         codec = get_codec("spspeed")
         data = _sample(rng, codec.dtype, 120_000)
         collector = TraceCollector()
+        # batch=False: this exercises the per-chunk worklist, where every
+        # chunk is its own claim (batched runs claim whole blocks).
         compress_bytes(data, codec, workers=4, executor="threaded",
-                       trace=collector)
+                       trace=collector, batch=False)
         workers_seen = {t.worker for t in collector.chunks}
         assert len(workers_seen) > 1  # the worklist actually fanned out
 
@@ -229,7 +231,7 @@ class TestTraceContents:
         codec = get_codec("dpratio")
         data = _sample(rng, codec.dtype, 30_000)
         collector = TraceCollector()
-        blob = compress_bytes(data, codec, trace=collector)
+        blob = compress_bytes(data, codec, trace=collector, batch=False)
         assert collector.direction == "compress"
         assert collector.policy == "serial"
         assert collector.n_chunks == len(fmt.inspect_container(blob).chunk_sizes)
