@@ -15,8 +15,17 @@ model used to reproduce the paper's throughput figures
 Figures 8-19 (:mod:`repro.harness`).
 """
 
-from repro.api import available_codecs, compress, connect, decompress, inspect
-from repro.archive import Archive, write_archive
+from repro.api import (
+    available_codecs,
+    compress,
+    concat,
+    connect,
+    decompress,
+    decompress_range,
+    inspect,
+)
+from repro.archive import Archive, append_archive, write_archive
+from repro.reader import ContainerReader
 from repro.core import (
     CODECS,
     Codec,
@@ -41,7 +50,7 @@ from repro.errors import (
     UnsupportedDtypeError,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "BoundsError",
@@ -62,11 +71,15 @@ __all__ = [
     "UnknownCodecError",
     "UnsupportedDtypeError",
     "Archive",
+    "ContainerReader",
+    "append_archive",
     "available_codecs",
     "codec_for",
     "compress",
+    "concat",
     "connect",
     "decompress",
+    "decompress_range",
     "get_codec",
     "inspect",
     "write_archive",

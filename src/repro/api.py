@@ -27,7 +27,11 @@ import numpy as np
 from repro.core import codecs as codec_registry
 from repro.core import container as fmt
 from repro.core.chunking import CHUNK_SIZE
-from repro.core.compressor import compress_bytes, decompress_bytes
+from repro.core.compressor import (
+    compress_bytes,
+    decompress_bytes,
+    decompress_range_bytes,
+)
 from repro.core.executors import Executor
 from repro.core.trace import TraceCollector
 from repro.errors import UnsupportedDtypeError
@@ -68,6 +72,7 @@ def compress(
     chunk_checksums: bool = fmt.DEFAULT_CHUNK_CHECKSUMS,
     executor: str | Executor | None = None,
     trace: TraceCollector | None = None,
+    fcm: str = "global",
 ) -> bytes:
     """Losslessly compress a float array (or raw bytes) into one container.
 
@@ -110,6 +115,17 @@ def compress(
         A :class:`~repro.core.trace.TraceCollector` to fill with
         per-chunk instrumentation (stage timings, stage output sizes,
         raw-fallback flags, worker assignment).
+    fcm:
+        How a codec's FCM stage runs (DPratio only; ignored elsewhere).
+        ``"global"`` (default) is the serial whole-input FCM pass with
+        the v1/v2 cross-chunk layout — the paper's best-ratio mode.
+        ``"restart"`` re-seeds the predictor at every chunk boundary —
+        container v3, every chunk independently decodable, enabling
+        O(range) :func:`decompress_range`, :func:`concat`, and parallel
+        DPratio under every executor policy.  The price is that matches
+        cannot reach past one chunk: ~1-2% ratio on smooth fields, much
+        more when repeats sit further back than ``chunk_size``
+        (measured numbers in ALGORITHMS.md).
 
     Returns
     -------
@@ -127,7 +143,7 @@ def compress(
     return compress_bytes(
         raw, chosen, chunk_size=chunk_size, dtype_code=dtype_code, shape=shape,
         workers=workers, checksum=checksum, chunk_checksums=chunk_checksums,
-        executor=executor, trace=trace,
+        executor=executor, trace=trace, fcm=fcm,
     )
 
 
@@ -177,6 +193,69 @@ def decompress(
     data, info = decompress_bytes(blob, workers=workers, executor=executor,
                                   trace=trace, errors=errors)
     return _reassemble(data, info)
+
+
+def decompress_range(
+    blob: bytes,
+    start: int | None = None,
+    stop: int | None = None,
+    *,
+    workers: int = 1,
+    executor: str | Executor | None = None,
+    trace: TraceCollector | None = None,
+    errors: str = "raise",
+):
+    """Decompress only the elements ``[start, stop)`` of a container.
+
+    Plans and decodes just the chunks overlapping the requested range —
+    an O(range) read out of an O(file) container (the ROADMAP's
+    random-access archive scenario).  ``start``/``stop`` follow Python
+    slice semantics (negative indices and ``None`` endpoints included)
+    and count *elements* for array containers, bytes for raw-bytes
+    containers.  Array results are 1-D (a flat element range has no
+    natural multi-dimensional shape); bytes in, bytes out.
+
+    The result is byte-identical to ``decompress(blob)[start:stop]``
+    flattened.  ``errors="salvage"`` returns ``(result, report)`` with
+    damage outside the requested range never even read; the report's
+    ranges are relative to the returned slice.
+
+    Legacy containers whose codec ran a whole-input FCM pass (v1/v2
+    DPratio, ``fcm="global"``) cannot decode partially; they fall back
+    to a full decode and slice — correct, but without the O(range) cost.
+    """
+    info = fmt.inspect_container(blob)
+    dtype = _DTYPE_BY_CODE.get(info.dtype_code)
+    itemsize = 1 if dtype is None else dtype.itemsize
+    n_items = info.original_len // itemsize
+    a, b, _ = slice(start, stop).indices(n_items)
+    b = max(a, b)
+    if errors == "salvage":
+        data, _, report = decompress_range_bytes(
+            blob, a * itemsize, b * itemsize, workers=workers,
+            executor=executor, trace=trace, errors="salvage",
+        )
+        result = data if dtype is None else np.frombuffer(data, dtype=dtype)
+        return result, report
+    data, _ = decompress_range_bytes(
+        blob, a * itemsize, b * itemsize, workers=workers, executor=executor,
+        trace=trace, errors=errors,
+    )
+    return data if dtype is None else np.frombuffer(data, dtype=dtype)
+
+
+def concat(blobs) -> bytes:
+    """Concatenate compressed containers without re-encoding any payload.
+
+    All inputs must share codec and dtype; the result is a version-3
+    container with an explicit chunk index whose decompressed content is
+    the concatenation of the inputs' (flattened) content.  Chunk
+    payloads are copied verbatim — no stage ever re-runs.  DPratio
+    containers carrying cross-chunk FCM state (the ``fcm="global"``
+    default) are rejected; recompress them with ``fcm="restart"``
+    first.
+    """
+    return fmt.concat_containers(blobs)
 
 
 def inspect(blob: bytes) -> fmt.ContainerInfo:

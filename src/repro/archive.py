@@ -29,14 +29,37 @@ from collections.abc import Mapping
 
 import numpy as np
 
-from repro.api import compress, decompress, inspect
-from repro.core.container import DEFAULT_CHECKSUM
+from repro.api import compress, decompress, decompress_range, inspect
+from repro.core.container import DEFAULT_CHECKSUM, concat_containers
 from repro.errors import FormatError
+from repro.reader import ContainerReader
 
 MAGIC = b"FPRA"
 VERSION = 1
 
 _HEADER = struct.Struct("<4sBBH")
+
+
+def _pack_archive(blobs: list[tuple[str, bytes]]) -> bytes:
+    """Serialise ``(name, container)`` pairs into one archive blob."""
+    if len(blobs) > 0xFFFF:
+        raise ValueError("archives hold at most 65535 members")
+    seen: set[str] = set()
+    index = bytearray()
+    offset = 0
+    for name, blob in blobs:
+        encoded_name = name.encode("utf-8")
+        if not 0 < len(encoded_name) <= 0xFFFF:
+            raise ValueError(f"member name {name!r} must encode to 1..65535 bytes")
+        if name in seen:
+            raise ValueError(f"duplicate archive member {name!r}")
+        seen.add(name)
+        index += struct.pack("<H", len(encoded_name))
+        index += encoded_name
+        index += struct.pack("<QQ", offset, len(blob))
+        offset += len(blob)
+    header = _HEADER.pack(MAGIC, VERSION, 0, len(blobs))
+    return header + bytes(index) + b"".join(blob for _, blob in blobs)
 
 
 def write_archive(
@@ -48,26 +71,35 @@ def write_archive(
     workers: int = 1,
 ) -> bytes:
     """Compress ``members`` into one archive blob (iteration order kept)."""
-    if len(members) > 0xFFFF:
-        raise ValueError("archives hold at most 65535 members")
-    blobs: list[tuple[str, bytes]] = []
-    for name, data in members.items():
-        encoded_name = name.encode("utf-8")
-        if not 0 < len(encoded_name) <= 0xFFFF:
-            raise ValueError(f"member name {name!r} must encode to 1..65535 bytes")
-        blobs.append(
-            (name, compress(data, codec, mode=mode, checksum=checksum, workers=workers))
-        )
-    index = bytearray()
-    offset = 0
-    for name, blob in blobs:
-        encoded_name = name.encode("utf-8")
-        index += struct.pack("<H", len(encoded_name))
-        index += encoded_name
-        index += struct.pack("<QQ", offset, len(blob))
-        offset += len(blob)
-    header = _HEADER.pack(MAGIC, VERSION, 0, len(blobs))
-    return header + bytes(index) + b"".join(blob for _, blob in blobs)
+    blobs = [
+        (name, compress(data, codec, mode=mode, checksum=checksum, workers=workers))
+        for name, data in members.items()
+    ]
+    return _pack_archive(blobs)
+
+
+def append_archive(
+    blob: bytes,
+    members: Mapping[str, np.ndarray | bytes],
+    *,
+    codec: str | None = None,
+    mode: str = "ratio",
+    checksum: bool = DEFAULT_CHECKSUM,
+    workers: int = 1,
+) -> bytes:
+    """Add members to an existing archive without re-encoding the old ones.
+
+    Existing member containers are copied into the result byte-for-byte;
+    only the new ``members`` are compressed.  Name collisions with
+    existing members raise :class:`ValueError`.
+    """
+    archive = Archive.from_bytes(blob)
+    blobs = [(name, archive._member_blob(name)) for name in archive.members()]
+    blobs += [
+        (name, compress(data, codec, mode=mode, checksum=checksum, workers=workers))
+        for name, data in members.items()
+    ]
+    return _pack_archive(blobs)
 
 
 class Archive:
@@ -129,9 +161,50 @@ class Archive:
         start = self._base + offset
         return self._blob[start : start + size]
 
-    def read(self, name: str, *, workers: int = 1) -> np.ndarray | bytes:
-        """Decode one member (nothing else is touched)."""
-        return decompress(self._member_blob(name), workers=workers)
+    def read(
+        self,
+        name: str,
+        *,
+        workers: int = 1,
+        policy=None,
+        start: int | None = None,
+        stop: int | None = None,
+    ) -> np.ndarray | bytes:
+        """Decode one member (nothing else is touched).
+
+        ``policy`` takes the full executor vocabulary — ``"serial"``,
+        ``"threaded"``, ``"static-blocks"``, ``"process"``, or a
+        prebuilt :class:`~repro.core.executors.Executor` — exactly like
+        :func:`repro.decompress`'s ``executor`` argument.  Passing
+        ``start``/``stop`` decodes only that element range (a 1-D
+        result; see :func:`repro.decompress_range`), so a small window
+        of a large member never pays for the whole container.
+        """
+        blob = self._member_blob(name)
+        if start is not None or stop is not None:
+            return decompress_range(
+                blob, start, stop, workers=workers, executor=policy
+            )
+        return decompress(blob, workers=workers, executor=policy)
+
+    def reader(self, name: str, *, workers: int = 1, policy=None) -> ContainerReader:
+        """A lazy :class:`~repro.reader.ContainerReader` over one member.
+
+        Nothing decodes until sliced: ``archive.reader("P")[a:b]`` reads
+        only the chunks overlapping ``[a, b)``.
+        """
+        return ContainerReader(self._member_blob(name), workers=workers,
+                               executor=policy)
+
+    def concat(self, names) -> bytes:
+        """Merge members into one v3 container, copying payloads verbatim.
+
+        The named members (which must share codec and dtype) become a
+        single seekable container whose content is their concatenation —
+        no chunk is ever re-encoded (see
+        :func:`repro.core.container.concat_containers`).
+        """
+        return concat_containers([self._member_blob(name) for name in names])
 
     def info(self, name: str):
         """Container metadata for one member without decoding it."""

@@ -31,19 +31,47 @@ def _cmd_compress(args: argparse.Namespace) -> int:
     data = Path(args.input).read_bytes()
     if args.dtype != "bytes":
         array = np.frombuffer(data, dtype=np.dtype(args.dtype))
-        blob = repro.compress(array, args.codec)
+        blob = repro.compress(array, args.codec, fcm=args.fcm)
     else:
         if args.codec is None:
             raise ReproError("--codec is required for raw byte input")
-        blob = repro.compress(data, args.codec)
+        blob = repro.compress(data, args.codec, fcm=args.fcm)
     Path(args.output).write_bytes(blob)
     ratio = len(data) / len(blob) if blob else 0.0
     print(f"{args.input}: {len(data)} -> {len(blob)} bytes (ratio {ratio:.3f})")
     return 0
 
 
+def _parse_range(spec: str) -> tuple[int | None, int | None]:
+    """Parse ``A:B`` (either end optional) into slice endpoints."""
+    lo, sep, hi = spec.partition(":")
+    if not sep:
+        raise ReproError(f"--range {spec!r} must look like START:STOP")
+    try:
+        return (int(lo) if lo else None, int(hi) if hi else None)
+    except ValueError as exc:
+        raise ReproError(f"--range {spec!r} must use integer endpoints") from exc
+
+
 def _cmd_decompress(args: argparse.Namespace) -> int:
     blob = Path(args.input).read_bytes()
+    if args.range is not None:
+        start, stop = _parse_range(args.range)
+        if args.salvage:
+            out, report = repro.decompress_range(blob, start, stop,
+                                                 errors="salvage")
+            data = out.tobytes() if isinstance(out, np.ndarray) else out
+            Path(args.output).write_bytes(data)
+            print(report.render())
+            print(f"{args.input}: salvaged elements [{args.range}] "
+                  f"({len(data)} bytes)")
+            return 0 if report.ok else 1
+        out = repro.decompress_range(blob, start, stop)
+        data = out.tobytes() if isinstance(out, np.ndarray) else out
+        Path(args.output).write_bytes(data)
+        print(f"{args.input}: restored elements [{args.range}] "
+              f"({len(data)} bytes)")
+        return 0
     if args.salvage:
         out, report = repro.decompress(blob, errors="salvage")
         data = out.tobytes() if isinstance(out, np.ndarray) else out
@@ -61,6 +89,7 @@ def _cmd_decompress(args: argparse.Namespace) -> int:
 def _cmd_inspect(args: argparse.Namespace) -> int:
     info = repro.inspect(Path(args.input).read_bytes())
     from repro.core import codec_by_id
+    from repro.core.container import payload_offsets
 
     print(f"version:      {info.version}")
     print(f"codec:        {codec_by_id(info.codec_id).name}")
@@ -74,8 +103,38 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
           f"{'crc32' if info.checksum is not None else 'none'}")
     print(f"chunk crcs:   "
           f"{'yes' if info.chunk_crcs is not None else 'no'}")
+    print(f"chunk index:  "
+          f"{'explicit (v3)' if info.index_offsets is not None else 'derived'}")
+    print(f"fcm restarts: {'yes' if info.fcm_restart else 'no'}")
     if info.shape is not None:
         print(f"shape:        {tuple(info.shape)}")
+    if args.chunks:
+        # Everything below comes from the header tables alone — no
+        # payload is ever decoded (that is the point of the v3 index).
+        offsets = payload_offsets(info)
+        decoded = info.decoded_lengths()
+        print()
+        header = (f"{'chunk':>5} {'offset':>10} {'payload B':>10} "
+                  f"{'decoded B':>10} {'crc32':>10}")
+        print(header)
+        print("-" * len(header))
+        for i in range(info.n_chunks):
+            crc = (f"{info.chunk_crcs[i]:08x}" if info.chunk_crcs is not None
+                   else "-")
+            print(f"{i:>5} {offsets[i]:>10} {info.chunk_sizes[i]:>10} "
+                  f"{decoded[i]:>10} {crc:>10}")
+    return 0
+
+
+def _cmd_concat(args: argparse.Namespace) -> int:
+    blobs = [Path(path).read_bytes() for path in args.inputs]
+    merged = repro.concat(blobs)
+    Path(args.output).write_bytes(merged)
+    info = repro.inspect(merged)
+    total_in = sum(len(blob) for blob in blobs)
+    print(f"{args.output}: {len(args.inputs)} containers -> "
+          f"{info.n_chunks} chunks, {total_in} -> {len(merged)} bytes "
+          f"(v{info.version}, no payload re-encoded)")
     return 0
 
 
@@ -391,6 +450,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="spspeed | spratio | dpspeed | dpratio (default: by dtype)")
     p.add_argument("--dtype", default="float32",
                    choices=["float32", "float64", "bytes"])
+    p.add_argument("--fcm", default="global", choices=["global", "restart"],
+                   help="FCM predictor mode (DPratio): global is the "
+                        "best-ratio cross-chunk pass (v1/v2, default); "
+                        "restart re-seeds per chunk (v3, seekable, "
+                        "range-decodable, parallel)")
     p.set_defaults(func=_cmd_compress)
 
     p = sub.add_parser("decompress", help="decompress an FPRZ container")
@@ -400,11 +464,27 @@ def build_parser() -> argparse.ArgumentParser:
                    help="best-effort decode of a damaged container: recover "
                         "every verifiable chunk, zero-fill the rest, and "
                         "print the damage report (exit 1 if any byte was lost)")
+    p.add_argument("--range", default=None, metavar="START:STOP",
+                   help="decode only this element range (Python slice "
+                        "semantics; only the overlapping chunks are read)")
     p.set_defaults(func=_cmd_decompress)
 
     p = sub.add_parser("inspect", help="print container metadata")
     p.add_argument("input")
+    p.add_argument("--chunks", action="store_true",
+                   help="also print the per-chunk offset/length/CRC table "
+                        "(from the v3 chunk index when present; never "
+                        "decodes a payload)")
     p.set_defaults(func=_cmd_inspect)
+
+    p = sub.add_parser(
+        "concat",
+        help="concatenate compressed containers without re-encoding "
+             "(same codec and dtype; output is a seekable v3 container)",
+    )
+    p.add_argument("output")
+    p.add_argument("inputs", nargs="+")
+    p.set_defaults(func=_cmd_concat)
 
     p = sub.add_parser(
         "bench",

@@ -101,12 +101,12 @@ def decode_chunk_guarded(
 def proc_encode_block(task) -> tuple[list, list]:
     """Compress one contiguous block of chunks inside a worker process.
 
-    ``task`` is ``(shm_name, codec_name, batch, jobs)`` with ``jobs`` a
-    list of ``(index, offset, end)`` windows into the shared buffer.
-    Returns ``(payloads, errors)``; a failed chunk leaves ``None`` in its
-    payload slot.
+    ``task`` is ``(shm_name, codec_name, batch, jobs, fcm_restart)`` with
+    ``jobs`` a list of ``(index, offset, end)`` windows into the shared
+    buffer.  Returns ``(payloads, errors)``; a failed chunk leaves
+    ``None`` in its payload slot.
     """
-    shm_name, codec_name, batch, jobs = task
+    shm_name, codec_name, batch, jobs, fcm_restart = task
     from repro.core.codecs import get_codec
 
     shm = _attach(shm_name)
@@ -115,7 +115,7 @@ def proc_encode_block(task) -> tuple[list, list]:
         chunks = [bytes(shm.buf[offset:end]) for _, offset, end in jobs]
     finally:
         shm.close()
-    pipeline = get_codec(codec_name).make_pipeline()
+    pipeline = get_codec(codec_name).make_pipeline(fcm_restart)
     if batch and len(chunks) >= 2:
         try:
             return pipeline.encode_chunk_batch(chunks), []
@@ -135,12 +135,15 @@ def proc_encode_block(task) -> tuple[list, list]:
 def proc_decode_block(task) -> list:
     """Decode one contiguous block of chunks inside a worker process.
 
-    ``task`` is ``(in_name, out_name, codec_name, batch, jobs)`` with
-    ``jobs`` a list of ``(index, offset, end, out_offset, out_length,
-    crc)``.  Decoded chunks land in the output shared memory at their
-    prefix-sum offsets; returns the error triples (empty on success).
+    ``task`` is ``(in_name, out_name, codec_name, batch, jobs,
+    fcm_restart)`` with ``jobs`` a list of ``(index, offset, end,
+    out_offset, out_length, crc)``.  The index is the container's global
+    chunk index (subset/range plans pass it through for attribution);
+    decoded chunks land in the output shared memory at their plan-
+    relative prefix-sum offsets.  Returns the error triples (empty on
+    success).
     """
-    in_name, out_name, codec_name, batch, jobs = task
+    in_name, out_name, codec_name, batch, jobs, fcm_restart = task
     from repro.core.codecs import get_codec
 
     in_shm = _attach(in_name)
@@ -148,7 +151,7 @@ def proc_decode_block(task) -> list:
         payloads = [bytes(in_shm.buf[offset:end]) for _, offset, end, _, _, _ in jobs]
     finally:
         in_shm.close()
-    pipeline = get_codec(codec_name).make_pipeline()
+    pipeline = get_codec(codec_name).make_pipeline(fcm_restart)
     lengths = [length for _, _, _, _, length, _ in jobs]
     chunks: list | None = None
     if batch and len(jobs) >= 2:

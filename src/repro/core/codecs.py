@@ -36,8 +36,19 @@ class Codec:
     stage_factory: Callable[[], list[Stage]] = field(repr=False)
     global_stage_factory: Callable[[], Stage] | None = field(default=None, repr=False)
 
-    def make_pipeline(self) -> Pipeline:
-        return Pipeline(self.stage_factory())
+    def make_pipeline(self, fcm_restart: bool = False) -> Pipeline:
+        """The per-chunk stage chain.
+
+        With ``fcm_restart=True`` the codec's global stage (FCM) is
+        prepended to the chunk pipeline instead of running as a serial
+        whole-input pass: the predictor re-seeds at every chunk boundary
+        (container v3 restart markers), which makes every chunk
+        independently decodable and lets DPratio run under any executor.
+        """
+        stages = self.stage_factory()
+        if fcm_restart and self.global_stage_factory is not None:
+            stages.insert(0, self.global_stage_factory())
+        return Pipeline(stages)
 
     def make_global_stage(self) -> Stage | None:
         if self.global_stage_factory is None:

@@ -65,7 +65,7 @@ from repro.core._procwork import decode_chunk_guarded
 from repro.core.chunking import CHUNK_RAW, CHUNK_SIZE
 from repro.core.codecs import Codec, codec_by_id
 from repro.core.executors import Executor, resolve_executor, static_block_bounds
-from repro.core.plan import plan_decode, plan_encode
+from repro.core.plan import plan_decode, plan_encode, plan_for_range
 from repro.core.salvage import ChunkFailure, SalvageReport, merge_ranges
 from repro.core.trace import BatchTrace, ChunkTrace, StageEvent, TraceCollector
 from repro.errors import BoundsError, ChecksumError, CorruptDataError, ReproError
@@ -113,11 +113,12 @@ def _block_ranges(n_chunks: int, workers: int) -> list[tuple[int, int]]:
     ]
 
 
-def _make_encode_worker(codec: Codec, plan, view, trace: TraceCollector | None):
+def _make_encode_worker(codec: Codec, plan, view, trace: TraceCollector | None,
+                        fcm_restart: bool = False):
     """Per-chunk encode jobs (the non-batched reference path)."""
 
     def make_worker(worker_id: int):
-        pipeline = codec.make_pipeline()
+        pipeline = codec.make_pipeline(fcm_restart)
 
         def encode_job(i: int) -> bytes:
             job = plan.jobs[i]
@@ -144,7 +145,8 @@ def _make_encode_worker(codec: Codec, plan, view, trace: TraceCollector | None):
 
 
 def _encode_batched_blocks(
-    codec: Codec, plan, view, engine: Executor, trace: TraceCollector | None
+    codec: Codec, plan, view, engine: Executor, trace: TraceCollector | None,
+    fcm_restart: bool = False,
 ) -> list:
     """Encode contiguous chunk blocks through the stages' 2D kernels.
 
@@ -156,7 +158,7 @@ def _encode_batched_blocks(
     blocks = _block_ranges(plan.n_chunks, engine.workers)
 
     def make_worker(worker_id: int):
-        pipeline = codec.make_pipeline()
+        pipeline = codec.make_pipeline(fcm_restart)
 
         def encode_block(b: int) -> list:
             lo, hi = blocks[b]
@@ -171,7 +173,9 @@ def _encode_batched_blocks(
                     chunks, None if trace is None else events
                 )
             except Exception:
-                worker = _make_encode_worker(codec, plan, view, trace)(worker_id)
+                worker = _make_encode_worker(
+                    codec, plan, view, trace, fcm_restart
+                )(worker_id)
                 return [worker(i) for i in range(lo, hi)]
             if trace is not None:
                 seconds = time.perf_counter() - start
@@ -217,8 +221,21 @@ def compress_bytes(
     executor: str | Executor | None = None,
     trace: TraceCollector | None = None,
     batch: bool | None = None,
+    fcm: str = "global",
 ) -> bytes:
     """Compress raw bytes with ``codec`` into a contiguous container.
+
+    ``fcm`` selects how a codec's FCM stage runs (ignored for codecs
+    without one): ``"global"`` (default) is the legacy serial whole-input
+    pass with the v1/v2 cross-chunk layout — best ratio, because matches
+    may reach arbitrarily far back; ``"restart"`` re-seeds the predictor
+    at every chunk boundary and runs FCM *inside* the chunk pipeline —
+    container v3, every chunk independently decodable, every executor
+    policy usable, :func:`decompress_range_bytes` O(range).  Restart
+    caps the match distance at one chunk, so its ratio cost is
+    data-dependent: ~1-2% on smooth fields, large on data whose repeats
+    sit further back than ``chunk_size`` (measured numbers in
+    ALGORITHMS.md).
 
     ``executor`` selects the scheduling policy (``"serial"``,
     ``"threaded"``, ``"static-blocks"``, ``"process"``, or a prebuilt
@@ -236,6 +253,8 @@ def compress_bytes(
     :data:`~repro.core.container.DEFAULT_CHUNK_CHECKSUMS`.  ``trace``
     collects per-chunk instrumentation.
     """
+    if fcm not in ("restart", "global"):
+        raise ValueError(f"fcm must be 'restart' or 'global', not {fcm!r}")
     if dtype_code is None:
         dtype_code = {4: fmt.DTYPE_F32, 8: fmt.DTYPE_F64}.get(
             codec.dtype.itemsize, fmt.DTYPE_BYTES
@@ -245,7 +264,8 @@ def compress_bytes(
     if trace is not None:
         trace.annotate(policy=engine.policy, workers=engine.workers,
                        direction="compress")
-    global_stage = codec.make_global_stage()
+    restart = fcm == "restart" and codec.global_stage_factory is not None
+    global_stage = None if restart else codec.make_global_stage()
     if global_stage is not None:
         intermediate = _run_global_stage(global_stage, "encode", data, trace)
     else:
@@ -259,7 +279,7 @@ def compress_bytes(
         # process boundary (the annotate() metadata still is).
         try:
             payloads = engine.encode_chunks(
-                intermediate, plan, codec.name, batched
+                intermediate, plan, codec.name, batched, fcm_restart=restart
             )
         finally:
             if engine is not executor:
@@ -267,10 +287,12 @@ def compress_bytes(
                 # its worker processes; don't leak them.
                 engine.close()
     elif batched:
-        payloads = _encode_batched_blocks(codec, plan, view, engine, trace)
+        payloads = _encode_batched_blocks(codec, plan, view, engine, trace,
+                                          restart)
     else:
         payloads = engine.run(
-            plan.n_chunks, _make_encode_worker(codec, plan, view, trace)
+            plan.n_chunks,
+            _make_encode_worker(codec, plan, view, trace, restart),
         )
     blob = fmt.build_container(
         codec_id=codec.codec_id,
@@ -282,6 +304,7 @@ def compress_bytes(
         shape=shape,
         checksum=crc,
         chunk_crcs=chunk_checksums,
+        fcm_restart=restart,
     )
     # Whole-input fallback: never hand back a container larger than raw.
     # Built lazily — compression usually wins, and the fallback copies
@@ -303,7 +326,12 @@ def _check_geometry(info: fmt.ContainerInfo, codec: Codec) -> None:
     intermediate length — the last declared quantity an allocation is
     sized from.
     """
-    global_stage = codec.make_global_stage()
+    if info.fcm_restart and codec.global_stage_factory is None:
+        raise CorruptDataError(
+            f"codec {codec.name!r} has no FCM stage, but the container "
+            f"declares FCM restart markers"
+        )
+    global_stage = None if info.fcm_restart else codec.make_global_stage()
     if global_stage is None:
         if info.intermediate_len != info.original_len:
             raise CorruptDataError(
@@ -327,13 +355,15 @@ def _make_decode_worker(
     """Per-chunk decode jobs (the non-batched reference path)."""
 
     def make_worker(worker_id: int):
-        pipeline = codec.make_pipeline()
+        pipeline = codec.make_pipeline(info.fcm_restart)
 
         def decode_job(i: int) -> None:
             job = plan.jobs[i]
             payload = view[job.offset : job.end]
             length = plan.out_lengths[i]
-            _verify_chunk_crc(info, i, payload, job)
+            # Subset plans keep the global chunk index on the job — error
+            # attribution and CRC lookups must name the container's chunk.
+            _verify_chunk_crc(info, job.index, payload, job)
             try:
                 if trace is None:
                     chunk = pipeline.decode_chunk(payload, length)
@@ -342,7 +372,7 @@ def _make_decode_worker(
                     start = time.perf_counter()
                     chunk = pipeline.decode_chunk(payload, length, events)
                     trace.add(ChunkTrace(
-                        index=i,
+                        index=job.index,
                         worker=worker_id,
                         original_len=length,
                         payload_len=job.length,
@@ -352,11 +382,11 @@ def _make_decode_worker(
                     ))
             except ReproError as exc:
                 raise type(exc)(
-                    f"chunk {i} (container bytes {job.offset}..{job.end}): {exc}"
+                    f"chunk {job.index} (container bytes {job.offset}..{job.end}): {exc}"
                 ) from exc
             except _FOREIGN as exc:
                 raise CorruptDataError(
-                    f"chunk {i} (container bytes {job.offset}..{job.end}): "
+                    f"chunk {job.index} (container bytes {job.offset}..{job.end}): "
                     f"undecodable payload ({type(exc).__name__}: {exc})"
                 ) from exc
             offset = plan.out_offsets[i]
@@ -387,7 +417,7 @@ def _decode_batched_blocks(
     blocks = _block_ranges(plan.n_chunks, engine.workers)
 
     def make_worker(worker_id: int):
-        pipeline = codec.make_pipeline()
+        pipeline = codec.make_pipeline(info.fcm_restart)
 
         def decode_block(b: int) -> None:
             lo, hi = blocks[b]
@@ -400,7 +430,8 @@ def _decode_batched_blocks(
             start = time.perf_counter()
             try:
                 for i in range(lo, hi):
-                    _verify_chunk_crc(info, i, payloads[i - lo], plan.jobs[i])
+                    _verify_chunk_crc(info, plan.jobs[i].index, payloads[i - lo],
+                                      plan.jobs[i])
                 chunks = pipeline.decode_chunk_batch(
                     payloads, lengths, None if trace is None else events
                 )
@@ -411,12 +442,13 @@ def _decode_batched_blocks(
                     job = plan.jobs[i]
                     chunk = decode_chunk_guarded(
                         pipeline,
-                        i,
+                        job.index,
                         payloads[i - lo],
                         plan.out_lengths[i],
                         job.offset,
                         job.end,
-                        None if info.chunk_crcs is None else info.chunk_crcs[i],
+                        None if info.chunk_crcs is None
+                        else info.chunk_crcs[job.index],
                     )
                     offset = plan.out_offsets[i]
                     out[offset : offset + plan.out_lengths[i]] = chunk
@@ -425,7 +457,7 @@ def _decode_batched_blocks(
                 seconds = time.perf_counter() - start
                 trace.add_batch(BatchTrace(
                     worker=worker_id,
-                    start=lo,
+                    start=plan.jobs[lo].index,
                     n_chunks=hi - lo,
                     seconds=seconds,
                     stages=tuple(events),
@@ -433,7 +465,7 @@ def _decode_batched_blocks(
                 per_chunk = seconds / (hi - lo)
                 for i, payload in zip(range(lo, hi), payloads):
                     trace.add(ChunkTrace(
-                        index=i,
+                        index=plan.jobs[i].index,
                         worker=worker_id,
                         original_len=plan.out_lengths[i],
                         payload_len=plan.jobs[i].length,
@@ -501,7 +533,8 @@ def decompress_bytes(
     if getattr(engine, "kind", None) == "process":
         try:
             intermediate = engine.decode_chunks(
-                blob, plan, codec.name, info.chunk_crcs, batched
+                blob, plan, codec.name, info.chunk_crcs, batched,
+                fcm_restart=info.fcm_restart,
             )
         finally:
             if engine is not executor:
@@ -518,7 +551,7 @@ def decompress_bytes(
                 _make_decode_worker(codec, plan, info, view, out, trace),
             )
         intermediate = bytes(out)
-    global_stage = codec.make_global_stage()
+    global_stage = None if info.fcm_restart else codec.make_global_stage()
     if global_stage is not None:
         try:
             data = _run_global_stage(global_stage, "decode", intermediate, trace)
@@ -540,6 +573,175 @@ def decompress_bytes(
             "whole-input CRC32 mismatch: container payload is corrupt"
         )
     return data, info
+
+
+def _clip_ranges(ranges, start: int, stop: int) -> tuple[tuple[int, int], ...]:
+    """Intersect byte ranges with ``[start, stop)`` and shift to 0-based."""
+    out = []
+    for a, b in ranges:
+        a2, b2 = max(a, start), min(b, stop)
+        if a2 < b2:
+            out.append((a2 - start, b2 - start))
+    return tuple(out)
+
+
+def decompress_range_bytes(
+    blob: bytes,
+    start: int,
+    stop: int,
+    *,
+    workers: int = 1,
+    executor: str | Executor | None = None,
+    trace: TraceCollector | None = None,
+    errors: str = "raise",
+    batch: bool | None = None,
+):
+    """Decode only the bytes ``[start, stop)`` of a container's original data.
+
+    Plans the subset of chunks overlapping the range
+    (:func:`~repro.core.plan.plan_for_range`) and runs them through the
+    same executors as a full decode — chunks outside the range are never
+    read, CRC-verified, or decoded.  Returns ``(data, info)`` where
+    ``data`` is byte-identical to ``decompress_bytes(blob)[0][start:stop]``.
+
+    Two container layouts cannot decode partially and fall back:
+
+    * raw-fallback containers slice the stored payload directly (no
+      decode at all);
+    * v1/v2 containers with cross-chunk FCM state (legacy DPratio) run a
+      full decode and slice — correct, but O(file) not O(range).
+
+    The whole-input CRC32 covers data outside the range and is never
+    verified here.  ``errors="salvage"`` returns ``(data, info, report)``
+    with per-chunk failures zero-filled; the report's ``damaged_ranges``
+    are relative to the returned slice and ``checksum_ok`` is ``None``
+    (a slice cannot be checksum-verified).
+    """
+    if errors not in ("raise", "salvage"):
+        raise ValueError(f"errors must be 'raise' or 'salvage', not {errors!r}")
+    info = fmt.inspect_container(blob)
+    codec = codec_by_id(info.codec_id)
+    _check_geometry(info, codec)
+    if not 0 <= start <= stop <= info.original_len:
+        raise BoundsError(
+            f"range [{start}, {stop}) out of bounds for "
+            f"{info.original_len} original bytes"
+        )
+    if info.raw_fallback:
+        base = info.payload_offset
+        data = bytes(memoryview(blob)[base + start : base + stop])
+        if errors == "salvage":
+            report = SalvageReport(
+                n_chunks=0, output_len=len(data), checksum_ok=None,
+            )
+            return data, info, report
+        return data, info
+    if not info.fcm_restart and codec.global_stage_factory is not None:
+        # Cross-chunk FCM (legacy v1/v2 DPratio): every output byte may
+        # depend on any chunk, so there is nothing partial to plan.
+        if errors == "salvage":
+            data, _, full = _decompress_salvage(
+                blob, info, codec, workers=workers, executor=executor,
+                trace=trace,
+            )
+            report = SalvageReport(
+                n_chunks=full.n_chunks,
+                output_len=stop - start,
+                failures=full.failures,
+                damaged_ranges=_clip_ranges(full.damaged_ranges, start, stop),
+                checksum_ok=full.checksum_ok,
+                global_stage_failed=full.global_stage_failed,
+                notes=full.notes + (
+                    "range read fell back to a full decode: the container "
+                    "carries cross-chunk FCM state (no restart markers)",
+                ),
+            )
+            return data[start:stop], info, report
+        data, _ = decompress_bytes(blob, workers=workers, executor=executor,
+                                   trace=trace, batch=batch)
+        return data[start:stop], info
+    rplan = plan_for_range(info, start, stop)
+    plan = rplan.plan
+    engine = resolve_executor(executor, workers)
+    if trace is not None:
+        trace.annotate(policy=engine.policy, workers=engine.workers,
+                       direction="decompress-range")
+    view = memoryview(blob)
+    batched = _use_batch(batch, plan.n_chunks)
+    lo, hi = rplan.trim
+    if errors == "salvage":
+        out = bytearray(plan.out_len)
+        failures: list[ChunkFailure] = []  # list.append is GIL-atomic
+
+        def make_worker(worker_id: int):
+            pipeline = codec.make_pipeline(info.fcm_restart)
+
+            def decode_job(i: int) -> None:
+                job = plan.jobs[i]
+                payload = view[job.offset : job.end]
+                length = plan.out_lengths[i]
+                offset = plan.out_offsets[i]
+                try:
+                    _verify_chunk_crc(info, job.index, payload, job)
+                    chunk = pipeline.decode_chunk(payload, length)
+                except Exception as exc:
+                    failures.append(ChunkFailure(
+                        index=job.index,
+                        payload_offset=job.offset,
+                        payload_length=job.length,
+                        output_offset=rplan.aligned_start + offset,
+                        output_length=length,
+                        reason=str(exc) or type(exc).__name__,
+                        error_type=type(exc).__name__,
+                    ))
+                    return
+                out[offset : offset + length] = chunk
+
+            return decode_job
+
+        engine.run(plan.n_chunks, make_worker)
+        failures.sort(key=lambda f: f.index)
+        data = bytes(out[lo:hi])
+        damaged = _clip_ranges(
+            merge_ranges(
+                (f.output_offset, f.output_offset + f.output_length)
+                for f in failures
+            ),
+            start, stop,
+        )
+        notes = ()
+        if failures:
+            notes = ("range read: damaged ranges are relative to the "
+                     "returned slice; failure offsets are absolute",)
+        report = SalvageReport(
+            n_chunks=plan.n_chunks,
+            output_len=len(data),
+            failures=tuple(failures),
+            damaged_ranges=damaged,
+            checksum_ok=None,
+            notes=notes,
+        )
+        return data, info, report
+    if getattr(engine, "kind", None) == "process":
+        try:
+            decoded = engine.decode_chunks(
+                blob, plan, codec.name, info.chunk_crcs, batched,
+                fcm_restart=info.fcm_restart,
+            )
+        finally:
+            if engine is not executor:
+                engine.close()
+        return bytes(decoded[lo:hi]), info
+    out = bytearray(plan.out_len)
+    if plan.n_chunks:
+        if batched:
+            _decode_batched_blocks(codec, plan, info, view, out, engine, trace)
+        else:
+            engine.run(
+                plan.n_chunks,
+                _make_decode_worker(codec, plan, info, view, out, trace),
+            )
+    return bytes(out[lo:hi]), info
 
 
 def _verify_chunk_crc(info: fmt.ContainerInfo, i: int, payload, job) -> None:
@@ -589,7 +791,7 @@ def _decompress_salvage(
     failures: list[ChunkFailure] = []  # list.append is GIL-atomic
 
     def make_worker(worker_id: int):
-        pipeline = codec.make_pipeline()
+        pipeline = codec.make_pipeline(info.fcm_restart)
 
         def decode_job(i: int) -> None:
             job = plan.jobs[i]
@@ -597,14 +799,14 @@ def _decompress_salvage(
             length = plan.out_lengths[i]
             offset = plan.out_offsets[i]
             try:
-                _verify_chunk_crc(info, i, payload, job)
+                _verify_chunk_crc(info, job.index, payload, job)
                 chunk = pipeline.decode_chunk(payload, length)
             except Exception as exc:
                 # Contained: the window stays zero-filled, the worklist
                 # moves on, and the failure is reported with both its
                 # payload and output coordinates.
                 failures.append(ChunkFailure(
-                    index=i,
+                    index=job.index,
                     payload_offset=job.offset,
                     payload_length=job.length,
                     output_offset=offset,
@@ -623,7 +825,7 @@ def _decompress_salvage(
     damaged_inter = merge_ranges(
         (f.output_offset, f.output_offset + f.output_length) for f in failures
     )
-    global_stage = codec.make_global_stage()
+    global_stage = None if info.fcm_restart else codec.make_global_stage()
     global_failed = False
     if global_stage is None:
         data = intermediate

@@ -9,21 +9,25 @@ paper's codes.  The layout is:
 field        bytes  meaning
 ===========  =====  =====================================================
 magic            4  ``b"FPRZ"``
-version          1  container format version (1 or 2)
+version          1  container format version (1, 2, or 3)
 codec_id         1  registry id of the codec that produced the block
 dtype_code       1  0 = raw bytes, 1 = float32, 2 = float64
 flags            1  bit 0: whole-input raw fallback; bit 1: shape present;
-                    bit 2: whole-input CRC32 present; bit 3 (v2 only):
-                    per-chunk CRC32 table present
+                    bit 2: whole-input CRC32 present; bit 3 (v2+):
+                    per-chunk CRC32 table present; bit 4 (v3): explicit
+                    chunk index present; bit 5 (v3): FCM restart markers
 orig_len         8  length of the original data in bytes
 inter_len        8  length after the codec's global stage (== orig_len
-                    when the codec has no global stage)
+                    when the codec has no global stage, and always for
+                    FCM-restart containers, where FCM runs per chunk)
 chunk_size       4  chunk size used (0 for raw fallback)
 n_chunks         4  number of chunk payloads
 shape block      v  present iff flags bit 1: u8 ndim, then ndim x u64
 checksum         4  present iff flags bit 2: CRC32 of the original data
 chunk table   4*n   compressed payload size of each chunk
 chunk CRCs    4*n   present iff flags bit 3: CRC32 of each chunk payload
+chunk index  12*n   present iff flags bit 4: n x u64 absolute payload
+                    offsets, then n x u32 decoded chunk lengths
 payloads         v  the chunk payloads, concatenated (prefix sums of the
                     chunk table give each payload's offset, mirroring the
                     decoupled-look-back write positions of the GPU code)
@@ -34,6 +38,22 @@ CRC32 table (flags bit 3), which localises corruption to a single 16 KiB
 chunk instead of merely detecting it end-to-end.  Containers that do not
 use the table are still written as version 1, byte-identical to what
 earlier releases produced; both versions decode.
+
+Version 3 adds two independent features, each gated by its own flag:
+
+* ``FLAG_CHUNK_INDEX`` (bit 4) — an explicit per-chunk index of absolute
+  payload offsets plus *decoded* lengths.  The offsets are redundant with
+  the prefix sums of the chunk table (and validated against them), but
+  make every chunk seekable from a single header read; the decoded
+  lengths allow *ragged interior chunks* (shorter than ``chunk_size``
+  anywhere, not just at the tail), which is what lets
+  :func:`concat_containers` append compressed containers without
+  re-encoding a single payload.
+* ``FLAG_FCM_RESTART`` (bit 5) — the codec's FCM predictor was re-seeded
+  at every chunk boundary and ran *inside* the per-chunk pipeline rather
+  than as a serial whole-input pass, so ``inter_len == orig_len`` and
+  every chunk decodes independently.  Old cross-chunk containers (v1/v2)
+  still decode via the retained global-stage path.
 
 For the raw fallback (an input the codec expands overall), the payload
 section holds the original bytes verbatim and ``n_chunks`` is 0.
@@ -54,10 +74,10 @@ from dataclasses import dataclass
 from repro.errors import BoundsError, FormatError
 
 MAGIC = b"FPRZ"
-#: Current container format version (written when v2 features are used).
-VERSION = 2
+#: Current container format version (written when v3 features are used).
+VERSION = 3
 #: Versions this library can decode.
-WIRE_VERSIONS = (1, 2)
+WIRE_VERSIONS = (1, 2, 3)
 
 FLAG_RAW = 0x01
 FLAG_SHAPE = 0x02
@@ -68,9 +88,20 @@ FLAG_CHECKSUM = 0x04
 #: decompressor verifies each chunk before decoding it, localising any
 #: corruption to one chunk.
 FLAG_CHUNK_CRCS = 0x08
+#: (v3) When set, an explicit chunk index follows the CRC table: n x u64
+#: absolute payload offsets, then n x u32 decoded chunk lengths.  The
+#: offsets must agree with the prefix sums of the chunk table; the
+#: decoded lengths allow ragged interior chunks (container concatenation).
+FLAG_CHUNK_INDEX = 0x10
+#: (v3) When set, the codec's FCM predictor restarted at every chunk
+#: boundary (ran inside the chunk pipeline, not as a global pass), so
+#: every chunk decodes independently and ``inter_len == orig_len``.
+FLAG_FCM_RESTART = 0x20
 
 _KNOWN_FLAGS = {1: FLAG_RAW | FLAG_SHAPE | FLAG_CHECKSUM,
-                2: FLAG_RAW | FLAG_SHAPE | FLAG_CHECKSUM | FLAG_CHUNK_CRCS}
+                2: FLAG_RAW | FLAG_SHAPE | FLAG_CHECKSUM | FLAG_CHUNK_CRCS,
+                3: FLAG_RAW | FLAG_SHAPE | FLAG_CHECKSUM | FLAG_CHUNK_CRCS
+                   | FLAG_CHUNK_INDEX | FLAG_FCM_RESTART}
 
 #: The one documented integrity default: both the public API
 #: (:func:`repro.compress`) and the streaming layer (:mod:`repro.io`)
@@ -121,10 +152,31 @@ class ContainerInfo:
     checksum: int | None = None
     #: (v2) CRC32 of each compressed chunk payload, or ``None``.
     chunk_crcs: tuple[int, ...] | None = None
+    #: (v3) Absolute payload offset of each chunk from the explicit chunk
+    #: index, or ``None`` when the container carries no index.
+    index_offsets: tuple[int, ...] | None = None
+    #: (v3) Decoded (pre-pipeline) length of each chunk from the explicit
+    #: chunk index, or ``None``.  Unlike the uniform derivation, interior
+    #: entries may be shorter than ``chunk_size`` (ragged chunks).
+    index_out_lengths: tuple[int, ...] | None = None
+    #: (v3) True when the FCM predictor restarted at every chunk boundary.
+    fcm_restart: bool = False
 
     @property
     def compressed_len(self) -> int:
         return self.total_len
+
+    def decoded_lengths(self) -> tuple[int, ...]:
+        """Decoded length of each chunk: the explicit v3 index when
+        present, else the uniform derivation (all ``chunk_size`` except a
+        ragged tail)."""
+        if self.index_out_lengths is not None:
+            return self.index_out_lengths
+        if self.n_chunks == 0:
+            return ()
+        from repro.core.chunking import chunk_lengths
+
+        return tuple(chunk_lengths(self.intermediate_len, self.chunk_size))
 
     @property
     def ratio(self) -> float:
@@ -166,6 +218,9 @@ def build_container(
     shape: tuple[int, ...] | None = None,
     checksum: int | None = None,
     chunk_crcs: bool = False,
+    chunk_index: bool = False,
+    out_lengths: list[int] | None = None,
+    fcm_restart: bool = False,
 ) -> bytes:
     """Assemble a compressed container from chunk payloads.
 
@@ -176,16 +231,35 @@ def build_container(
     ``chunk_crcs=True`` writes the version-2 per-chunk CRC32 table;
     containers without it stay version 1, byte-identical to earlier
     releases.
+
+    ``chunk_index=True`` writes the version-3 explicit chunk index
+    (absolute payload offsets + decoded lengths); ``out_lengths`` then
+    supplies the decoded length of every chunk (required — interior
+    entries may be ragged).  ``fcm_restart=True`` marks the payloads as
+    carrying per-chunk FCM state (also version 3).
     """
     flags, meta = _meta_blocks(shape, checksum)
     sizes = [len(p) for p in chunk_payloads]
     with_crcs = chunk_crcs and bool(sizes)
-    version = VERSION if with_crcs else 1
+    with_index = chunk_index and bool(sizes)
+    if with_index and (out_lengths is None or len(out_lengths) != len(sizes)):
+        raise ValueError("chunk_index=True requires one out_length per chunk")
+    if fcm_restart or with_index:
+        version = VERSION
+    elif with_crcs:
+        version = 2
+    else:
+        version = 1
     if with_crcs:
         flags |= FLAG_CHUNK_CRCS
+    if with_index:
+        flags |= FLAG_CHUNK_INDEX
+    if fcm_restart:
+        flags |= FLAG_FCM_RESTART
     table_offset = _HEADER.size + len(meta)
     crc_offset = table_offset + 4 * len(sizes)
-    payload_offset = crc_offset + (4 * len(sizes) if with_crcs else 0)
+    index_offset = crc_offset + (4 * len(sizes) if with_crcs else 0)
+    payload_offset = index_offset + (12 * len(sizes) if with_index else 0)
     buf = bytearray(payload_offset + sum(sizes))
     _HEADER.pack_into(
         buf,
@@ -207,6 +281,16 @@ def build_container(
         struct.pack_into(
             f"<{len(sizes)}I", buf, crc_offset,
             *(checksum_of(p) for p in chunk_payloads),
+        )
+    if with_index:
+        offsets = []
+        pos = payload_offset
+        for size in sizes:
+            offsets.append(pos)
+            pos += size
+        struct.pack_into(f"<{len(sizes)}Q", buf, index_offset, *offsets)
+        struct.pack_into(
+            f"<{len(sizes)}I", buf, index_offset + 8 * len(sizes), *out_lengths
         )
     pos = payload_offset
     for payload, size in zip(chunk_payloads, sizes):
@@ -340,6 +424,12 @@ def inspect_container(blob: bytes) -> ContainerInfo:
             )
         if flags & FLAG_CHUNK_CRCS:
             raise FormatError("raw-fallback container must not carry a chunk CRC table")
+        if flags & FLAG_CHUNK_INDEX:
+            raise FormatError("raw-fallback container must not carry a chunk index")
+        if flags & FLAG_FCM_RESTART:
+            raise FormatError(
+                "raw-fallback container must not declare FCM restart markers"
+            )
         if len(blob) - pos != orig_len:
             raise FormatError(
                 f"raw-fallback payload length mismatch: header says {orig_len}, "
@@ -365,13 +455,20 @@ def inspect_container(blob: bytes) -> ContainerInfo:
             total_len=len(blob),
             checksum=checksum,
         )
+    if flags & FLAG_FCM_RESTART and inter_len != orig_len:
+        raise FormatError(
+            f"FCM-restart container must have intermediate length equal to "
+            f"the original length (FCM runs inside the chunk pipeline), got "
+            f"{inter_len} != {orig_len}"
+        )
     table_bytes = n_chunks * 4
     crc_bytes = table_bytes if flags & FLAG_CHUNK_CRCS else 0
-    if pos + table_bytes + crc_bytes > len(blob):
+    index_bytes = n_chunks * 12 if flags & FLAG_CHUNK_INDEX else 0
+    if pos + table_bytes + crc_bytes + index_bytes > len(blob):
         raise FormatError(
             f"truncated chunk table: {n_chunks} chunks need "
-            f"{table_bytes + crc_bytes} bytes at offset {pos}, container has "
-            f"{len(blob) - pos}"
+            f"{table_bytes + crc_bytes + index_bytes} bytes at offset {pos}, "
+            f"container has {len(blob) - pos}"
         )
     chunk_sizes = struct.unpack_from(f"<{n_chunks}I", blob, pos)
     pos += table_bytes
@@ -379,6 +476,14 @@ def inspect_container(blob: bytes) -> ContainerInfo:
     if flags & FLAG_CHUNK_CRCS:
         chunk_crcs = struct.unpack_from(f"<{n_chunks}I", blob, pos)
         pos += crc_bytes
+    index_offsets: tuple[int, ...] | None = None
+    index_out_lengths: tuple[int, ...] | None = None
+    if flags & FLAG_CHUNK_INDEX:
+        index_offsets = struct.unpack_from(f"<{n_chunks}Q", blob, pos)
+        index_out_lengths = struct.unpack_from(
+            f"<{n_chunks}I", blob, pos + 8 * n_chunks
+        )
+        pos += index_bytes
     for i, size in enumerate(chunk_sizes):
         if size == 0:
             raise FormatError(
@@ -390,6 +495,32 @@ def inspect_container(blob: bytes) -> ContainerInfo:
             f"payload length mismatch: chunk table says {sum(chunk_sizes)}, "
             f"container has {len(blob) - pos} bytes after offset {pos}"
         )
+    if index_offsets is not None:
+        # The stored offsets are redundant with the chunk-table prefix
+        # sums; any disagreement means the index cannot be trusted for
+        # seeking and the container is rejected outright.
+        expect = pos
+        total_out = 0
+        for i in range(n_chunks):
+            if index_offsets[i] != expect:
+                raise FormatError(
+                    f"chunk index entry {i} declares payload offset "
+                    f"{index_offsets[i]} but the chunk table places the "
+                    f"payload at offset {expect}"
+                )
+            out_len = index_out_lengths[i]
+            if not 0 < out_len <= chunk_size:
+                raise FormatError(
+                    f"chunk index entry {i} declares decoded length {out_len} "
+                    f"outside (0, chunk_size={chunk_size}]"
+                )
+            expect += chunk_sizes[i]
+            total_out += out_len
+        if total_out != inter_len:
+            raise FormatError(
+                f"chunk index decoded lengths sum to {total_out} but the "
+                f"header declares intermediate length {inter_len}"
+            )
     return ContainerInfo(
         version=version,
         codec_id=codec_id,
@@ -405,14 +536,123 @@ def inspect_container(blob: bytes) -> ContainerInfo:
         total_len=len(blob),
         checksum=checksum,
         chunk_crcs=chunk_crcs,
+        index_offsets=index_offsets,
+        index_out_lengths=index_out_lengths,
+        fcm_restart=bool(flags & FLAG_FCM_RESTART),
     )
 
 
 def payload_offsets(info: ContainerInfo) -> list[int]:
-    """Absolute offset of each chunk payload (prefix sum over the table)."""
+    """Absolute offset of each chunk payload.
+
+    Containers with the v3 explicit index answer from the stored offsets
+    (already validated against the chunk table); older containers fall
+    back to the prefix sum over the chunk-size table.
+    """
+    if info.index_offsets is not None:
+        return list(info.index_offsets)
     offsets = []
     pos = info.payload_offset
     for size in info.chunk_sizes:
         offsets.append(pos)
         pos += size
     return offsets
+
+
+def concat_containers(blobs) -> bytes:
+    """Concatenate compressed containers without re-encoding any payload.
+
+    The inputs must share codec, dtype, and (for chunked inputs) chunk
+    size.  Chunk payloads are copied verbatim into a version-3 output
+    with an explicit chunk index — inputs whose final chunk is partial
+    simply become ragged interior chunks of the result.  Raw-fallback
+    inputs are split into ``CHUNK_RAW`` chunk payloads (a byte copy, not
+    a re-encode).  Containers whose codec carries cross-chunk FCM state
+    (v1/v2 DPratio without restart markers) cannot be concatenated and
+    are rejected; recompress those with restart markers first.
+
+    The whole-input CRC32 cannot be combined without decoding, so the
+    result carries per-chunk CRCs only; shapes are dropped (the result
+    describes the concatenated 1-D stream).
+    """
+    from repro.core.chunking import CHUNK_RAW, CHUNK_SIZE, chunk_lengths, iter_chunks
+    from repro.core.codecs import codec_by_id
+
+    blobs = list(blobs)
+    if not blobs:
+        raise ValueError("concat_containers needs at least one container")
+    infos = [inspect_container(blob) for blob in blobs]
+    codec_id = infos[0].codec_id
+    dtype_code = infos[0].dtype_code
+    chunk_size = 0
+    for i, info in enumerate(infos):
+        if info.codec_id != codec_id:
+            raise FormatError(
+                f"cannot concatenate containers of different codecs "
+                f"(input 0 has codec id {codec_id}, input {i} has "
+                f"{info.codec_id})"
+            )
+        if info.dtype_code != dtype_code:
+            raise FormatError(
+                f"cannot concatenate containers of different dtypes "
+                f"(input 0 has dtype code {dtype_code}, input {i} has "
+                f"{info.dtype_code})"
+            )
+        if not info.raw_fallback and info.n_chunks:
+            if chunk_size and info.chunk_size != chunk_size:
+                raise FormatError(
+                    f"cannot concatenate containers of different chunk sizes "
+                    f"({chunk_size} vs {info.chunk_size} at input {i})"
+                )
+            chunk_size = info.chunk_size
+    codec = codec_by_id(codec_id)
+    has_global = codec.global_stage_factory is not None
+    chunk_size = chunk_size or CHUNK_SIZE
+
+    payloads: list[bytes] = []
+    out_lengths: list[int] = []
+    total_orig = 0
+    for i, (blob, info) in enumerate(zip(blobs, infos)):
+        if info.original_len == 0:
+            continue
+        if info.raw_fallback:
+            # The raw payload is the original bytes verbatim: re-chunk it
+            # as CHUNK_RAW payloads (a copy, never a stage execution).
+            view = memoryview(blob)[info.payload_offset:]
+            for piece in iter_chunks(view, chunk_size):
+                payloads.append(bytes([CHUNK_RAW]) + bytes(piece))
+                out_lengths.append(len(piece))
+            total_orig += info.original_len
+            continue
+        if has_global and not info.fcm_restart:
+            raise FormatError(
+                f"input {i} carries cross-chunk FCM state (container "
+                f"version {info.version} without restart markers) and "
+                f"cannot be concatenated; recompress it with fcm='restart'"
+            )
+        offsets = payload_offsets(info)
+        lengths = (info.index_out_lengths
+                   if info.index_out_lengths is not None
+                   else chunk_lengths(info.intermediate_len, info.chunk_size))
+        for off, size, out_len in zip(offsets, info.chunk_sizes, lengths):
+            payloads.append(blob[off : off + size])
+            out_lengths.append(out_len)
+        total_orig += info.original_len
+
+    if not payloads:
+        return build_container(
+            codec_id=codec_id, dtype_code=dtype_code, original_len=0,
+            intermediate_len=0, chunk_size=chunk_size, chunk_payloads=[],
+        )
+    return build_container(
+        codec_id=codec_id,
+        dtype_code=dtype_code,
+        original_len=total_orig,
+        intermediate_len=total_orig,
+        chunk_size=chunk_size,
+        chunk_payloads=payloads,
+        chunk_crcs=True,
+        chunk_index=True,
+        out_lengths=out_lengths,
+        fcm_restart=has_global,
+    )

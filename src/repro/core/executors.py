@@ -384,7 +384,8 @@ class SharedMemoryProcessExecutor(Executor):
             if bounds[w] < bounds[w + 1]
         ]
 
-    def encode_chunks(self, data, plan, codec_name: str, batch: bool) -> list:
+    def encode_chunks(self, data, plan, codec_name: str, batch: bool,
+                      fcm_restart: bool = False) -> list:
         """Compress every chunk of ``plan`` over ``data``; payload list."""
         from multiprocessing import shared_memory
 
@@ -404,9 +405,11 @@ class SharedMemoryProcessExecutor(Executor):
                     codec_name,
                     batch,
                     [
-                        (i, plan.jobs[i].offset, plan.jobs[i].end)
+                        (plan.jobs[i].index, plan.jobs[i].offset,
+                         plan.jobs[i].end)
                         for i in range(lo, hi)
                     ],
+                    fcm_restart,
                 )
                 for lo, hi in blocks
             ]
@@ -426,10 +429,16 @@ class SharedMemoryProcessExecutor(Executor):
             shm.unlink()
 
     def decode_chunks(
-        self, blob, plan, codec_name: str, chunk_crcs, batch: bool
+        self, blob, plan, codec_name: str, chunk_crcs, batch: bool,
+        fcm_restart: bool = False,
     ) -> bytes:
         """Decode every chunk of ``plan`` out of ``blob``; returns the
-        concatenated intermediate buffer."""
+        concatenated intermediate buffer.
+
+        Subset (range) plans work unchanged: each task carries its job's
+        global chunk index for CRC lookup and error attribution, while
+        the write offsets stay relative to the plan's output buffer.
+        """
         from multiprocessing import shared_memory
 
         from repro.core import _procwork
@@ -453,15 +462,17 @@ class SharedMemoryProcessExecutor(Executor):
                     batch,
                     [
                         (
-                            i,
+                            plan.jobs[i].index,
                             plan.jobs[i].offset,
                             plan.jobs[i].end,
                             plan.out_offsets[i],
                             plan.out_lengths[i],
-                            None if chunk_crcs is None else chunk_crcs[i],
+                            None if chunk_crcs is None
+                            else chunk_crcs[plan.jobs[i].index],
                         )
                         for i in range(lo, hi)
                     ],
+                    fcm_restart,
                 )
                 for lo, hi in blocks
             ]

@@ -12,16 +12,25 @@ byte in the same place.
 :func:`plan_encode` covers compression (equal-size chunks over the
 intermediate buffer); :func:`plan_decode` covers decompression (payload
 read offsets from the container's chunk table, output write offsets from
-the a-priori chunk lengths).
+the a-priori chunk lengths); :func:`plan_for_range` covers *partial*
+decompression — a subset plan holding only the chunks that overlap a
+requested byte range, which the executors run unchanged because every
+job already carries its own read window and relative write offset.
+
+Subset jobs keep their **global** chunk index in ``ChunkJob.index`` even
+though their list position is 0..k-1: error messages, CRC-table lookups,
+and trace records must name the container's chunk, not the subset's.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
+from itertools import accumulate
 
 from repro.core import container as fmt
 from repro.core.chunking import CHUNK_SIZE, chunk_lengths, chunk_offsets
-from repro.errors import CorruptDataError
+from repro.errors import BoundsError, CorruptDataError
 
 
 @dataclass(frozen=True)
@@ -80,27 +89,102 @@ def plan_encode(total_len: int, chunk_size: int = CHUNK_SIZE) -> EncodePlan:
     return EncodePlan(total_len=total_len, chunk_size=chunk_size, jobs=jobs)
 
 
-def plan_decode(info: fmt.ContainerInfo) -> DecodePlan:
-    """Plan the chunk jobs for decoding a parsed (non-raw) container."""
+def _decode_geometry(info: fmt.ContainerInfo) -> tuple[int, ...]:
+    """Validated decoded length of every chunk of a non-raw container."""
     if info.raw_fallback:
         raise ValueError("raw-fallback containers have no chunk plan")
     if info.chunk_size <= 0 and info.intermediate_len > 0:
         raise CorruptDataError("container header carries a zero chunk size")
-    lengths = chunk_lengths(info.intermediate_len, info.chunk_size or CHUNK_SIZE)
+    lengths = info.decoded_lengths()
     if len(lengths) != info.n_chunks:
         raise CorruptDataError(
             f"chunk count mismatch: header says {info.n_chunks}, "
             f"lengths imply {len(lengths)}"
         )
+    return tuple(lengths)
+
+
+def plan_decode(info: fmt.ContainerInfo) -> DecodePlan:
+    """Plan the chunk jobs for decoding a parsed (non-raw) container.
+
+    Containers carrying the v3 explicit index may have ragged interior
+    chunks; the write offsets are then the prefix sums of the stored
+    decoded lengths rather than multiples of ``chunk_size``.
+    """
+    lengths = _decode_geometry(info)
     jobs = []
     pos = info.payload_offset
     for i, size in enumerate(info.chunk_sizes):
         jobs.append(ChunkJob(index=i, offset=pos, length=size))
         pos += size
-    out_offsets = chunk_offsets(info.intermediate_len, info.chunk_size or CHUNK_SIZE)
+    out_offsets = tuple(accumulate(lengths[:-1], initial=0)) if lengths else ()
     return DecodePlan(
         jobs=tuple(jobs),
-        out_offsets=tuple(out_offsets),
-        out_lengths=tuple(lengths),
+        out_offsets=out_offsets,
+        out_lengths=lengths,
         out_len=info.intermediate_len,
+    )
+
+
+@dataclass(frozen=True)
+class RangePlan:
+    """A subset :class:`DecodePlan` covering one requested byte range.
+
+    ``plan`` holds only the chunks overlapping ``[start, stop)`` — jobs
+    keep their global chunk index, write offsets are relative to a
+    chunk-aligned output buffer of ``plan.out_len`` bytes that begins at
+    intermediate offset ``aligned_start``.  ``trim`` is the slice of that
+    buffer holding exactly the requested bytes.
+    """
+
+    plan: DecodePlan
+    first_chunk: int
+    aligned_start: int
+    start: int
+    stop: int
+
+    @property
+    def trim(self) -> tuple[int, int]:
+        return (self.start - self.aligned_start, self.stop - self.aligned_start)
+
+
+def plan_for_range(info: fmt.ContainerInfo, start: int, stop: int) -> RangePlan:
+    """Plan the chunk jobs whose decoded bytes overlap ``[start, stop)``.
+
+    Coordinates are intermediate-buffer offsets — identical to output
+    offsets for every codec without cross-chunk FCM state.  The subset
+    plan runs under any executor unchanged; chunks outside the range are
+    never read, verified, or decoded.
+    """
+    if not 0 <= start <= stop <= info.intermediate_len:
+        raise BoundsError(
+            f"range [{start}, {stop}) out of bounds for "
+            f"{info.intermediate_len} decoded bytes"
+        )
+    lengths = _decode_geometry(info)
+    starts = list(accumulate(lengths[:-1], initial=0)) if lengths else []
+    if start == stop:
+        empty = DecodePlan(jobs=(), out_offsets=(), out_lengths=(), out_len=0)
+        return RangePlan(plan=empty, first_chunk=0,
+                         aligned_start=start, start=start, stop=stop)
+    # First chunk whose window contains `start`; one past the last chunk
+    # whose window intersects [start, stop).
+    lo = bisect_right(starts, start) - 1
+    hi = bisect_right(starts, stop - 1)
+    payload_starts = fmt.payload_offsets(info)
+    jobs = tuple(
+        ChunkJob(index=i, offset=payload_starts[i], length=info.chunk_sizes[i])
+        for i in range(lo, hi)
+    )
+    aligned_start = starts[lo]
+    out_offsets = tuple(starts[i] - aligned_start for i in range(lo, hi))
+    out_lengths = tuple(lengths[lo:hi])
+    out_len = sum(out_lengths)
+    return RangePlan(
+        plan=DecodePlan(jobs=jobs, out_offsets=out_offsets,
+                        out_lengths=out_lengths, out_len=out_len),
+        first_chunk=lo,
+        aligned_start=aligned_start,
+        start=start,
+        stop=stop,
     )

@@ -1,9 +1,10 @@
 """The fault-injection harness: decode must survive anything.
 
 ``run_fuzz`` builds a small corpus of valid containers (every paper
-codec, v1 and v2 framing, plus a raw-fallback container), then runs
-``iterations`` seeded mutations through both decode paths, checking the
-robustness invariants the container format promises:
+codec in v1, v2, and v3-with-chunk-index framing, plus a raw-fallback
+container), then runs ``iterations`` seeded mutations through both
+decode paths, checking the robustness invariants the container format
+promises:
 
 1. **Typed failure or success, never a crash** — ``decompress`` on a
    mutant either returns, or raises a :class:`~repro.errors.ReproError`
@@ -18,6 +19,11 @@ robustness invariants the container format promises:
    payload bytes of a chunk-CRC container, ``errors="salvage"`` must
    succeed and every output byte outside the report's damaged ranges
    must be bit-exact against the original data.
+4. **Index consistency** — mutants from the ``index-*`` mutators (a v3
+   chunk index contradicting the size table, or index entries aliasing
+   the same payload bytes) must be *rejected*: the stored index is
+   redundant by design, and a decode that accepts a contradictory one
+   is reading payload windows from attacker-chosen offsets.
 
 Everything is derived from ``(seed, iteration)`` via
 ``np.random.default_rng([seed, iteration])``, so any failure replays in
@@ -35,7 +41,7 @@ from repro.core import container as fmt
 from repro.core.codecs import CODECS, get_codec
 from repro.core.compressor import compress_bytes, decompress_bytes
 from repro.errors import ReproError, traceback_summary
-from repro.fuzzing.mutators import MUTATORS, mutate
+from repro.fuzzing.mutators import CONTAINER_MUST_REJECT, MUTATORS, mutate
 
 
 @dataclass(frozen=True)
@@ -48,6 +54,7 @@ class FuzzCase:
     blob: bytes
     payload_offset: int
     has_chunk_crcs: bool
+    has_index: bool = False
 
 
 @dataclass(frozen=True)
@@ -98,29 +105,48 @@ def _smooth(rng: np.random.Generator, dtype: np.dtype, n_bytes: int) -> bytes:
 
 
 def build_corpus(seed: int, *, codecs=None, size: int = 72_000) -> list[FuzzCase]:
-    """Valid containers to mutate: each codec in v1 and v2 framing.
+    """Valid containers to mutate: each codec in v1, v2, and v3 framing.
 
     ``size`` (~4.5 default chunks) keeps several chunks per container so
     table splices and salvage containment have structure to work on.
+    The v1/v2 cases pin the legacy framing explicitly with
+    ``fcm="global"``; the v3 case is built with restart framing and
+    :func:`~repro.core.container.concat_containers`, so it carries the
+    explicit chunk index the ``index-*`` mutators target.
     """
     rng = np.random.default_rng([seed, 0xF0])
     names = sorted(codecs) if codecs else sorted(CODECS)
     cases: list[FuzzCase] = []
 
-    def add(label: str, codec_name: str, data: bytes, **kwargs) -> None:
-        blob = compress_bytes(data, get_codec(codec_name), **kwargs)
+    def record(label: str, codec_name: str, data: bytes, blob: bytes) -> None:
         info = fmt.inspect_container(blob)
         cases.append(FuzzCase(
             label=label, codec=codec_name, data=data, blob=blob,
             payload_offset=info.payload_offset,
             has_chunk_crcs=info.chunk_crcs is not None,
+            has_index=info.index_offsets is not None,
         ))
+
+    def add(label: str, codec_name: str, data: bytes, **kwargs) -> None:
+        record(label, codec_name, data,
+               compress_bytes(data, get_codec(codec_name), **kwargs))
 
     for name in names:
         codec = get_codec(name)
         data = _smooth(rng, codec.dtype, size)
-        add(f"{name}-v2", name, data, checksum=True, chunk_checksums=True)
-        add(f"{name}-v1", name, data, checksum=False, chunk_checksums=False)
+        add(f"{name}-v2", name, data, checksum=True, chunk_checksums=True,
+            fcm="global")
+        add(f"{name}-v1", name, data, checksum=False, chunk_checksums=False,
+            fcm="global")
+        # v3 with an explicit chunk index, via zero-re-encode concat of
+        # two independently compressed halves (restart framing).
+        half = len(data) // 2
+        record(f"{name}-v3", name, data, fmt.concat_containers([
+            compress_bytes(data[:half], codec, chunk_checksums=True,
+                           fcm="restart"),
+            compress_bytes(data[half:], codec, chunk_checksums=True,
+                           fcm="restart"),
+        ]))
     # Raw fallback: random bytes defeat every stage.
     add("raw-fallback", names[0], rng.bytes(size // 4),
         checksum=True, chunk_checksums=True)
@@ -242,6 +268,16 @@ def _probe(
     except BaseException as exc:
         fail("crash", traceback_summary(exc))
         outcome = "crashed"
+
+    # Invariant 4: a contradictory chunk index must never decode.
+    if (
+        mutator in CONTAINER_MUST_REJECT
+        and case.has_index
+        and mutant != case.blob
+        and outcome.startswith("decoded")
+    ):
+        fail("must-reject",
+             f"{mutator} mutant decoded instead of being rejected")
 
     # Invariant 3: salvage never crashes; payload-only damage to a
     # chunk-CRC container is contained to the reported ranges.

@@ -159,6 +159,76 @@ def chunk_table_splice(blob: bytes, rng: np.random.Generator) -> bytes:
     return bytes(buf)
 
 
+def _index_geometry(blob: bytes) -> tuple[int, int, int, int] | None:
+    """(offset_table, length_table, n_chunks, payload_offset) of the v3
+    chunk index, or ``None`` when the container carries no index."""
+    try:
+        info = fmt.inspect_container(blob)
+    except Exception:
+        return None
+    if info.index_offsets is None or info.n_chunks == 0:
+        return None
+    offset_table = info.payload_offset - 12 * info.n_chunks
+    length_table = info.payload_offset - 4 * info.n_chunks
+    return offset_table, length_table, info.n_chunks, info.payload_offset
+
+
+def index_offset_mismatch(blob: bytes, rng: np.random.Generator) -> bytes:
+    """Rewrite one v3 index offset so it disagrees with the size table.
+
+    The stored offsets are redundant with the chunk-size prefix sums by
+    design; a decoder trusting the index without cross-checking it would
+    read payload windows from the wrong bytes (or far past the blob).
+    Every mutant that changes a byte must be rejected at parse time.
+    """
+    geometry = _index_geometry(blob)
+    if geometry is None:
+        return bit_flip(blob, rng)
+    offset_table, _, n_chunks, payload_offset = geometry
+    buf = bytearray(blob)
+    i = int(rng.integers(0, n_chunks))
+    (current,) = struct.unpack_from("<Q", buf, offset_table + 8 * i)
+    choice = int(rng.integers(0, 4))
+    if choice == 0:
+        value = 0
+    elif choice == 1:
+        value = 0xFFFFFFFFFFFFFFFF
+    elif choice == 2:
+        value = int(rng.integers(0, len(blob) * 2 + 1))
+    else:  # off-by-a-little on the real entry
+        value = max(0, current + int(rng.integers(-64, 65)))
+    struct.pack_into("<Q", buf, offset_table + 8 * i, value)
+    return bytes(buf)
+
+
+def index_overlap(blob: bytes, rng: np.random.Generator) -> bytes:
+    """Make two v3 index entries overlap the same payload bytes.
+
+    One chunk's offset is pulled back inside its predecessor's window
+    (or two offsets are swapped), so the declared windows alias — the
+    shape an attacker would use to make one stored span decode as many
+    chunks.  Must be rejected at parse time.
+    """
+    geometry = _index_geometry(blob)
+    if geometry is None or geometry[2] < 2:
+        return index_offset_mismatch(blob, rng)
+    offset_table, _, n_chunks, _ = geometry
+    buf = bytearray(blob)
+    if rng.integers(0, 2):
+        i, j = rng.choice(n_chunks, size=2, replace=False)
+        a = slice(offset_table + 8 * int(i), offset_table + 8 * int(i) + 8)
+        b = slice(offset_table + 8 * int(j), offset_table + 8 * int(j) + 8)
+        buf[a], buf[b] = buf[b], buf[a]
+    else:
+        i = int(rng.integers(1, n_chunks))
+        (previous,) = struct.unpack_from("<Q", buf, offset_table + 8 * (i - 1))
+        (current,) = struct.unpack_from("<Q", buf, offset_table + 8 * i)
+        span = max(1, current - previous)
+        value = previous + int(rng.integers(0, span))
+        struct.pack_into("<Q", buf, offset_table + 8 * i, value)
+    return bytes(buf)
+
+
 def payload_flip(blob: bytes, rng: np.random.Generator) -> bytes:
     """Flip one bit strictly inside the payload region.
 
@@ -373,9 +443,19 @@ MUTATORS: dict[str, Mutator] = {
     "header-field": header_field,
     "chunk-table-entry": chunk_table_entry,
     "chunk-table-splice": chunk_table_splice,
+    "index-offset": index_offset_mismatch,
+    "index-overlap": index_overlap,
     "payload-flip": payload_flip,
     "pad-bit-set": pad_bit_set,
 }
+
+#: Container mutators whose mutants (when applied to an index-carrying
+#: container and any byte changed) definitionally violate the format
+#: contract — the decoder accepting one is a harness failure.
+CONTAINER_MUST_REJECT = frozenset({
+    "index-offset",
+    "index-overlap",
+})
 
 
 def mutate(blob: bytes, name: str, rng: np.random.Generator) -> bytes:

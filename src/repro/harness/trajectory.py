@@ -9,7 +9,12 @@ throughput of the real implementation (never the device model):
 * kernel microbenchmarks (``pack_words``/``unpack_words`` at a grid of
   representative widths, the BIT transpose, and count-leading-zeros);
 * service throughput: the same codec work through a live ``fprz serve``
-  socket vs in process, plus the small-request rate (requests/s).
+  socket vs in process, plus the small-request rate (requests/s);
+* random-access reads: ``decompress_range`` MB/s against slice size on
+  seekable (v3 restart) containers, vs the full-decode baseline;
+* parallel FCM: DPratio with restart framing under the serial, threaded,
+  and process policies — the measured speedup chunk-independent FCM buys
+  — next to the legacy global-FCM ratio it trades away.
 
 Points are saved as ``BENCH_<tag>.json`` files; committing one per perf
 PR grows a throughput trajectory of the repository itself, and
@@ -22,6 +27,7 @@ are never renamed.
 from __future__ import annotations
 
 import json
+import os
 import platform
 from dataclasses import dataclass
 from pathlib import Path
@@ -237,6 +243,103 @@ def _service_section(scale: float, runs: int) -> dict:
     }
 
 
+#: Slice sizes (bytes) the range-read section sweeps, smallest first.
+RANGE_SLICES = (4_096, 65_536, 262_144)
+
+
+def _v3_sample(scale: float, dtype: str) -> bytes:
+    """Deterministic smooth walk for the restart-framing sections.
+
+    The corpus suite samples are noisy enough that per-chunk FCM loses
+    its long-range matches and the whole container raw-falls back —
+    which would make the "parallel FCM" rows time a memcpy and the
+    range-read rows a payload slice.  A low-noise random walk keeps the
+    restart pipeline genuinely engaged so the recorded numbers are the
+    codec's, not the fallback's.
+    """
+    rng = np.random.default_rng(0x5EED3)
+    n = max(int(500_000 * scale), 8_192)
+    return np.cumsum(rng.normal(scale=0.01, size=n)).astype(dtype).tobytes()
+
+
+def _range_read_section(scale: float, runs: int) -> dict:
+    """``decompress_range`` throughput vs slice size on v3 containers.
+
+    Throughput is normalised to *returned* bytes, so small slices show
+    the per-read planning overhead and large slices converge toward the
+    full-decode rate.  The ``full`` row is the whole-container decode of
+    the same blob — the O(file) cost a range read avoids.
+    """
+    rows: dict[str, dict] = {}
+    for name, dtype in (("spratio", "f4"), ("dpratio", "f8")):
+        data = _v3_sample(scale, dtype)
+        blob = repro.compress(data, name, fcm="restart")
+        for slice_bytes in RANGE_SLICES:
+            size = min(slice_bytes, len(data))
+            start = (len(data) - size) // 2
+            stop = start + size
+            rows[f"{name}/slice{slice_bytes}"] = {
+                "bytes_per_s": measure_throughput(
+                    lambda b=blob, a=start, z=stop: repro.decompress_range(b, a, z),
+                    size, runs=runs,
+                ),
+                "slice_bytes": size,
+                "input_bytes": len(data),
+            }
+        rows[f"{name}/full"] = {
+            "bytes_per_s": measure_throughput(
+                lambda b=blob: repro.decompress(b), len(data), runs=runs
+            ),
+            "slice_bytes": len(data),
+            "input_bytes": len(data),
+        }
+    return rows
+
+
+def _fcm_parallel_section(scale: float, runs: int, workers: int) -> dict:
+    """DPratio restart framing under every executor policy, vs legacy.
+
+    The ``global`` row is the legacy serial cross-chunk FCM pass — its
+    ratio is the ceiling restart trades away; the policy rows are the
+    parallelism restart buys (speedup = row / serial row).
+    """
+    data = _v3_sample(scale, "f8")
+    rows: dict[str, dict] = {}
+    for policy in ("serial", "threaded", "process"):
+        n_workers = 1 if policy == "serial" else max(workers, 2)
+        blob = repro.compress(data, "dpratio", fcm="restart",
+                              workers=n_workers, executor=policy)
+        rows[policy] = {
+            "compress_bytes_per_s": measure_throughput(
+                lambda w=n_workers, p=policy: repro.compress(
+                    data, "dpratio", fcm="restart", workers=w, executor=p
+                ),
+                len(data), runs=runs,
+            ),
+            "decompress_bytes_per_s": measure_throughput(
+                lambda b=blob, w=n_workers, p=policy: repro.decompress(
+                    b, workers=w, executor=p
+                ),
+                len(data), runs=runs,
+            ),
+            "ratio": len(data) / len(blob),
+            "workers": n_workers,
+        }
+    legacy = repro.compress(data, "dpratio", fcm="global")
+    rows["global"] = {
+        "compress_bytes_per_s": measure_throughput(
+            lambda: repro.compress(data, "dpratio", fcm="global"),
+            len(data), runs=runs,
+        ),
+        "decompress_bytes_per_s": measure_throughput(
+            lambda: repro.decompress(legacy), len(data), runs=runs
+        ),
+        "ratio": len(data) / len(legacy),
+        "workers": 1,
+    }
+    return rows
+
+
 def record_trajectory(
     *,
     tag: str | None = None,
@@ -266,11 +369,14 @@ def record_trajectory(
             "python": platform.python_version(),
             "numpy": np.__version__,
             "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
         },
         "kernels": _kernel_section(runs),
         "codecs": _codec_section(scale, runs, workers, policy),
         "stages": _stage_section(scale, runs),
         "service": _service_section(scale, runs),
+        "range_read": _range_read_section(scale, runs),
+        "fcm_parallel": _fcm_parallel_section(scale, runs, workers),
     }
 
 
@@ -298,8 +404,11 @@ def compare_trajectories(
 ) -> list[Regression]:
     """Codec-throughput regressions beyond ``threshold`` (0.30 = -30%).
 
-    Only the per-codec compress/decompress throughputs gate: kernel and
-    stage numbers are informational (they vary more between machines).
+    The per-codec compress/decompress throughputs gate, plus one
+    random-access point (the largest slice in the ``range_read``
+    section, when both points carry it) so a planning-layer regression
+    cannot hide behind healthy full-decode numbers.  Kernel and stage
+    numbers are informational (they vary more between machines).
     """
     regressions = []
     for name, base_row in baseline.get("codecs", {}).items():
@@ -313,6 +422,16 @@ def compare_trajectories(
                 regressions.append(
                     Regression("codecs", name, metric, base, cur)
                 )
+    gate_key = f"dpratio/slice{max(RANGE_SLICES)}"
+    base_row = baseline.get("range_read", {}).get(gate_key)
+    cur_row = current.get("range_read", {}).get(gate_key)
+    if base_row and cur_row:
+        base = float(base_row.get("bytes_per_s", 0.0))
+        cur = float(cur_row.get("bytes_per_s", 0.0))
+        if base > 0 and cur < base * (1.0 - threshold):
+            regressions.append(
+                Regression("range_read", gate_key, "bytes_per_s", base, cur)
+            )
     return regressions
 
 
@@ -354,4 +473,29 @@ def format_trajectory(point: dict) -> str:
                 f"{'requests':>12} {requests['ping_per_s']:>9.0f} ping/s "
                 f"{requests['small_compress_per_s']:>7.0f} compress/s"
             )
+    range_read = point.get("range_read", {})
+    if range_read:
+        lines.append("")
+        lines.append(f"{'range read':>24} {'slice':>12} {'throughput':>12}")
+        for key, row in sorted(range_read.items()):
+            lines.append(
+                f"{key:>24} {row['slice_bytes']:>10} B "
+                f"{row['bytes_per_s'] / 1e6:>9.2f} MB/s"
+            )
+    fcm = point.get("fcm_parallel", {})
+    if fcm:
+        lines.append("")
+        lines.append(
+            f"{'fcm dpratio':>12} {'compress':>12} {'decompress':>12} "
+            f"{'ratio':>8} {'workers':>8}"
+        )
+        for key in ("serial", "threaded", "process", "global"):
+            row = fcm.get(key)
+            if row:
+                lines.append(
+                    f"{key:>12} "
+                    f"{row['compress_bytes_per_s'] / 1e6:>9.2f} MB/s "
+                    f"{row['decompress_bytes_per_s'] / 1e6:>9.2f} MB/s "
+                    f"{row['ratio']:>8.3f} {row['workers']:>8}"
+                )
     return "\n".join(lines)

@@ -117,3 +117,45 @@ class TestGoldenCorpusDigests:
                     back = repro.decompress(repro.compress(arr, codec))
                     assert back.dtype == dtype
                     assert np.array_equal(back, arr, equal_nan=True), f"{label}/{codec}"
+
+
+#: sha256 of the v3 restart/concat containers over the corpus below,
+#: recorded when the seekable v3 format landed (library 1.3.0).  Same
+#: contract as above: these bytes are what shipped — a digest change
+#: means a new wire version, not an updated hash.
+GOLDEN_V3_SHA256 = {
+    "smooth/dpratio-restart": "7b63328c26f4c7fe4d21e230c91d9c394be1546f6060d9e9e9147cb6251da4fd",
+    "zeros/dpratio-restart": "16f0dc5941b184291f1db073bbb9ec5f1b75d7b6afbc137909e10e37af12b90c",
+    "smooth/dpratio-concat": "cec768a8b6634248e2be8d6c1ebd5c4cccb2b029d85590d9c3030560db9bc741",
+}
+
+
+def _v3_corpus():
+    rng = np.random.default_rng(0xF00D)
+    smooth = np.cumsum(rng.normal(scale=0.01, size=13001)).astype(np.float64)
+    zeros = np.zeros(4099, dtype=np.float64)
+    return smooth, zeros
+
+
+class TestGoldenV3Digests:
+    def test_restart_and_concat_containers_byte_identical(self):
+        smooth, zeros = _v3_corpus()
+        seen = {}
+        for label, arr in (("smooth", smooth), ("zeros", zeros)):
+            blob = repro.compress(arr, "dpratio", fcm="restart")
+            assert repro.inspect(blob).version == 3
+            seen[f"{label}/dpratio-restart"] = hashlib.sha256(blob).hexdigest()
+        merged = repro.concat([
+            repro.compress(smooth[:6500], "dpratio", fcm="restart"),
+            repro.compress(smooth[6500:], "dpratio", fcm="restart"),
+        ])
+        seen["smooth/dpratio-concat"] = hashlib.sha256(merged).hexdigest()
+        assert seen == GOLDEN_V3_SHA256
+
+    def test_v3_corpus_round_trips(self):
+        smooth, zeros = _v3_corpus()
+        for arr in (smooth, zeros):
+            blob = repro.compress(arr, "dpratio", fcm="restart")
+            assert np.array_equal(repro.decompress(blob), arr)
+            window = repro.decompress_range(blob, 50, 1_000)
+            assert np.array_equal(window, arr[50:1_000])

@@ -59,6 +59,14 @@ class TestCorpus:
             elif case.label.endswith("-v1"):
                 assert info.chunk_crcs is None and info.version == 1
 
+    def test_corpus_has_indexed_v3_cases(self):
+        corpus = build_corpus(0)
+        for codec in ("spspeed", "spratio", "dpspeed", "dpratio"):
+            case = next(c for c in corpus if c.label == f"{codec}-v3")
+            assert case.has_index
+            info = fmt.inspect_container(case.blob)
+            assert info.version == 3 and info.index_offsets is not None
+
     def test_corpus_containers_are_valid(self):
         from repro.core.compressor import decompress_bytes
 
@@ -100,6 +108,45 @@ class TestInvariants:
         report = run_fuzz(seed=0, iterations=25)
         text = report.render()
         assert "seed=0" in text and "iterations=25" in text
+
+
+class TestIndexMutators:
+    """The v3 chunk-index mutators: every changed mutant must be rejected."""
+
+    def test_changed_index_mutants_always_reject(self):
+        from repro.core.compressor import decompress_bytes
+        from repro.fuzzing.mutators import CONTAINER_MUST_REJECT
+
+        case = next(c for c in build_corpus(0) if c.label == "spratio-v3")
+        for name in sorted(CONTAINER_MUST_REJECT):
+            changed = 0
+            for iteration in range(60):
+                rng = np.random.default_rng([41, iteration])
+                mutant = mutate(case.blob, name, rng)
+                if mutant == case.blob:
+                    continue
+                changed += 1
+                with pytest.raises(ReproError):
+                    decompress_bytes(mutant)
+            assert changed > 40, name  # the mutator actually bites
+
+    def test_no_decompression_bomb_from_index_damage(self):
+        # A damaged index must be rejected at parse time — before any
+        # payload window is sliced, let alone decoded.
+        case = next(c for c in build_corpus(0) if c.label == "dpratio-v3")
+        rng = np.random.default_rng(77)
+        mutant = mutate(case.blob, "index-offset", rng)
+        assert mutant != case.blob
+        with pytest.raises(ReproError):
+            fmt.inspect_container(mutant)
+
+    def test_mutators_fall_back_on_unindexed_containers(self):
+        # v1/v2 containers carry no index; the index mutators degrade to
+        # a generic bit flip instead of corrupting unrelated bytes.
+        case = next(c for c in build_corpus(0) if c.label == "spratio-v1")
+        rng = np.random.default_rng(5)
+        mutant = mutate(case.blob, "index-overlap", rng)
+        assert len(mutant) == len(case.blob)
 
 
 class TestBombGuards:

@@ -13,6 +13,7 @@ import pytest
 
 from repro.errors import ReproError
 from repro.harness.trajectory import (
+    RANGE_SLICES,
     SCHEMA_VERSION,
     Regression,
     compare_trajectories,
@@ -125,6 +126,44 @@ class TestCompare:
         assert compare_trajectories(base, cur) == []
 
 
+def _range_rows(bytes_per_s):
+    key = f"dpratio/slice{max(RANGE_SLICES)}"
+    return {key: {"bytes_per_s": bytes_per_s,
+                  "slice_bytes": max(RANGE_SLICES)}}
+
+
+class TestRangeReadGate:
+    def test_range_read_point_gates(self):
+        base, cur = _point(), _point()
+        base["range_read"] = _range_rows(100e6)
+        cur["range_read"] = _range_rows(40e6)
+        regs = compare_trajectories(base, cur)
+        assert len(regs) == 1
+        assert regs[0].section == "range_read"
+        assert regs[0].metric == "bytes_per_s"
+
+    def test_range_read_within_threshold_passes(self):
+        base, cur = _point(), _point()
+        base["range_read"] = _range_rows(100e6)
+        cur["range_read"] = _range_rows(80e6)
+        assert compare_trajectories(base, cur) == []
+
+    def test_missing_range_section_is_skipped(self):
+        # Old baselines without the section must keep gating cleanly.
+        base, cur = _point(), _point()
+        cur["range_read"] = _range_rows(1e3)
+        assert compare_trajectories(base, cur) == []
+
+    def test_only_the_largest_slice_gates(self):
+        # Small-slice throughput is planning-overhead-dominated and far
+        # noisier; it is recorded but not gated.
+        base, cur = _point(), _point()
+        small = f"dpratio/slice{min(RANGE_SLICES)}"
+        base["range_read"] = {small: {"bytes_per_s": 100e6, "slice_bytes": 1}}
+        cur["range_read"] = {small: {"bytes_per_s": 1e3, "slice_bytes": 1}}
+        assert compare_trajectories(base, cur) == []
+
+
 class TestRegression:
     def test_change_is_relative(self):
         reg = Regression("codecs", "spspeed", "compress_bytes_per_s", 100e6, 60e6)
@@ -151,3 +190,21 @@ class TestFormat:
         assert "tag fmt" in text
         assert "spspeed" in text
         assert "clz/w32" in text
+
+    def test_format_renders_range_and_parallel_sections(self):
+        point = _point(tag="v3")
+        point["range_read"] = {
+            "dpratio/slice4096": {"bytes_per_s": 2e8, "slice_bytes": 4096},
+        }
+        point["fcm_parallel"] = {
+            "serial": {"compress_bytes_per_s": 1e8,
+                       "decompress_bytes_per_s": 2e8,
+                       "ratio": 1.2, "workers": 1},
+            "global": {"compress_bytes_per_s": 1e8,
+                       "decompress_bytes_per_s": 2e8,
+                       "ratio": 1.3, "workers": 1},
+        }
+        text = format_trajectory(point)
+        assert "dpratio/slice4096" in text
+        assert "range read" in text
+        assert "serial" in text and "global" in text

@@ -1,0 +1,87 @@
+"""CLI surface added with container v3: --chunks, concat, --range, --fcm."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.cli import main
+
+
+@pytest.fixture
+def walk(rng) -> np.ndarray:
+    return np.cumsum(rng.normal(scale=0.01, size=12_000)).astype(np.float64)
+
+
+@pytest.fixture
+def fprz(walk, tmp_path):
+    raw = tmp_path / "walk.d64"
+    raw.write_bytes(walk.tobytes())
+    out = tmp_path / "walk.fprz"
+    assert main(["compress", str(raw), str(out), "--codec", "dpratio",
+                 "--dtype", "float64", "--fcm", "restart"]) == 0
+    return out
+
+
+class TestInspectChunks:
+    def test_chunk_table_from_header_alone(self, fprz, capsys):
+        assert main(["inspect", str(fprz), "--chunks"]) == 0
+        out = capsys.readouterr().out
+        assert "fcm restarts: yes" in out
+        assert "chunk index:  derived" in out
+        lines = [l for l in out.splitlines() if l and l.split()[0].isdigit()]
+        info = repro.inspect(fprz.read_bytes())
+        assert len(lines) == info.n_chunks
+        # First chunk row: offset is the payload base, sizes match tables.
+        first = lines[0].split()
+        assert int(first[1]) == info.payload_offset
+        assert int(first[2]) == info.chunk_sizes[0]
+        assert first[4] == f"{info.chunk_crcs[0]:08x}"
+
+    def test_explicit_index_is_labelled(self, fprz, tmp_path, capsys):
+        merged = tmp_path / "merged.fprz"
+        assert main(["concat", str(merged), str(fprz), str(fprz)]) == 0
+        assert main(["inspect", str(merged), "--chunks"]) == 0
+        out = capsys.readouterr().out
+        assert "chunk index:  explicit (v3)" in out
+
+
+class TestConcatCommand:
+    def test_concat_then_range_read(self, walk, fprz, tmp_path, capsys):
+        merged = tmp_path / "merged.fprz"
+        assert main(["concat", str(merged), str(fprz), str(fprz)]) == 0
+        assert "no payload re-encoded" in capsys.readouterr().out
+        out = tmp_path / "part.bin"
+        n = walk.size
+        assert main(["decompress", str(merged), str(out),
+                     "--range", f"{n - 10}:{n + 10}"]) == 0
+        got = np.frombuffer(out.read_bytes(), dtype=np.float64)
+        want = np.concatenate([walk, walk])[n - 10 : n + 10]
+        assert np.array_equal(got, want)
+
+    def test_concat_rejects_legacy_global_fcm(self, walk, tmp_path, capsys):
+        raw = tmp_path / "walk.d64"
+        raw.write_bytes(walk.tobytes())
+        legacy = tmp_path / "legacy.fprz"
+        assert main(["compress", str(raw), str(legacy), "--codec", "dpratio",
+                     "--dtype", "float64"]) == 0  # --fcm defaults to global
+        merged = tmp_path / "merged.fprz"
+        assert main(["concat", str(merged), str(legacy), str(legacy)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestRangeFlag:
+    def test_bad_range_specs_are_typed_errors(self, fprz, tmp_path, capsys):
+        out = tmp_path / "part.bin"
+        assert main(["decompress", str(fprz), str(out), "--range", "10"]) == 1
+        assert main(["decompress", str(fprz), str(out), "--range", "a:b"]) == 1
+        err = capsys.readouterr().err
+        assert "START:STOP" in err and "integer" in err
+
+    def test_open_endpoints(self, walk, fprz, tmp_path):
+        out = tmp_path / "tail.bin"
+        assert main(["decompress", str(fprz), str(out), "--range=-100:"]) == 0
+        assert np.array_equal(
+            np.frombuffer(out.read_bytes(), dtype=np.float64), walk[-100:]
+        )
