@@ -25,6 +25,7 @@ import numpy as np
 import repro
 from repro.errors import ReproError
 from repro.service.protocol import DEFAULT_MAX_FRAME, DEFAULT_PORT
+from repro.service.router import DEFAULT_ROUTER_PORT
 
 
 def _cmd_compress(args: argparse.Namespace) -> int:
@@ -354,21 +355,46 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     if args.json:
         print(json.dumps(stats, indent=2, sort_keys=True))
         return 0
-    server = stats.get("server", {})
-    print(f"uptime:       {server.get('uptime_seconds', 0.0):.1f} s")
-    print(f"draining:     {server.get('draining')}")
-    print(f"queue depth:  {server.get('queue_depth')} "
-          f"(high-water {server.get('queue_high_water')})")
+    if "router" in stats:
+        router = stats["router"]
+        print(f"uptime:       {router.get('uptime_seconds', 0.0):.1f} s")
+        print(f"draining:     {router.get('draining')}")
+        print(f"in flight:    {router.get('inflight')} "
+              f"(high-water {router.get('inflight_high_water')})")
+        print("backends:")
+        for b in router.get("backends", ()):
+            print(f"  {b['address']:<22} breaker={b['breaker']:<9} "
+                  f"failures={b['consecutive_failures']} "
+                  f"inflight={b['inflight']} pooled={b['pooled_connections']}")
+    else:
+        server = stats.get("server", {})
+        print(f"uptime:       {server.get('uptime_seconds', 0.0):.1f} s")
+        print(f"draining:     {server.get('draining')}")
+        print(f"queue depth:  {server.get('queue_depth')} "
+              f"(high-water {server.get('queue_high_water')})")
     print()
     print(render_snapshot(stats.get("metrics", {})))
     return 0
 
 
-def _cmd_remote(args: argparse.Namespace) -> int:
+def _open_remote_client(args: argparse.Namespace):
+    """A plain or resilient client, depending on ``--addr``/``--retries``."""
+    if args.addr or args.retries:
+        from repro.service.resilience import ResilientClient, RetryPolicy
+
+        addresses = args.addr or [f"{args.host}:{args.port}"]
+        return ResilientClient(
+            addresses, policy=RetryPolicy(attempts=args.retries or 5)
+        )
     from repro.service.client import ServiceClient
 
+    return ServiceClient(host=args.host, port=args.port)
+
+
+def _cmd_remote(args: argparse.Namespace) -> int:
     data = Path(args.input).read_bytes()
-    with ServiceClient(host=args.host, port=args.port) as client:
+    via = ",".join(args.addr) if args.addr else f"{args.host}:{args.port}"
+    with _open_remote_client(args) as client:
         if args.action == "compress":
             if args.dtype != "bytes":
                 payload = np.frombuffer(data, dtype=np.dtype(args.dtype))
@@ -380,16 +406,103 @@ def _cmd_remote(args: argparse.Namespace) -> int:
             Path(args.output).write_bytes(blob)
             ratio = len(data) / len(blob) if blob else 0.0
             print(f"{args.input}: {len(data)} -> {len(blob)} bytes "
-                  f"(ratio {ratio:.3f}, via {args.host}:{args.port})")
+                  f"(ratio {ratio:.3f}, via {via})")
             return 0
         if args.action == "decompress":
             out = client.decompress(data)
             raw = out.tobytes() if isinstance(out, np.ndarray) else out
             Path(args.output).write_bytes(raw)
             print(f"{args.input}: restored {len(raw)} bytes "
-                  f"(via {args.host}:{args.port})")
+                  f"(via {via})")
             return 0
     raise ReproError(f"unknown remote action {args.action!r}")
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    import asyncio
+    import contextlib
+
+    from repro.service.router import RouterConfig, ShardRouter
+    from repro.service.server import ServerThread, ServiceConfig
+
+    with contextlib.ExitStack() as stack:
+        backends = list(args.backend or [])
+        if args.spawn:
+            # In-process worker fleet: N servers on ephemeral ports, all
+            # torn down with the router.  For remote fleets, list each
+            # worker with --backend instead.
+            for _ in range(args.spawn):
+                server = stack.enter_context(ServerThread(ServiceConfig(
+                    port=0, job_threads=args.job_threads,
+                )))
+                backends.append(("127.0.0.1", server.port))
+        if not backends:
+            raise ReproError("need --backend HOST:PORT (repeatable) "
+                             "or --spawn N")
+        config = RouterConfig(
+            host=args.host, port=args.port, backends=tuple(backends),
+            max_frame=args.max_frame,
+            health_interval=args.health_interval,
+            backend_timeout=args.backend_timeout,
+            failure_threshold=args.failure_threshold,
+            open_seconds=args.open_seconds,
+            dispatch_attempts=args.dispatch_attempts,
+            inflight_high_water=args.inflight_high_water,
+        )
+        router = ShardRouter(config)
+
+        def announce() -> None:
+            labels = ", ".join(f"{h}:{p}" for h, p in map(_as_addr, backends))
+            print(f"fprz router listening on {config.host}:{router.port} "
+                  f"over {len(backends)} backend(s): {labels}",
+                  flush=True)
+
+        asyncio.run(router.run(install_signals=True, on_started=announce))
+        print("fprz router drained and stopped")
+    return 0
+
+
+def _as_addr(spec) -> tuple[str, int]:
+    from repro.service.resilience import parse_address
+
+    return parse_address(spec)
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.faults import ChaosConfig, ChaosProxy, schedule_preview
+
+    config = ChaosConfig(
+        upstream=args.upstream, host=args.host, port=args.port,
+        seed=args.seed,
+        reset_rate=args.reset_rate, truncate_rate=args.truncate_rate,
+        corrupt_rate=args.corrupt_rate, delay_rate=args.delay_rate,
+        blackhole_rate=args.blackhole_rate,
+        delay_ms=(args.delay_min_ms, args.delay_max_ms),
+        kill_after_frames=args.kill_after,
+        direction=args.direction,
+    )
+    if args.describe:
+        # The schedule is a pure function of (seed, index): print what
+        # the proxy WILL do, without moving a byte.
+        for index, action in schedule_preview(config, args.describe):
+            print(f"{index:>6}  {action}")
+        return 0
+    proxy = ChaosProxy(config)
+
+    def announce() -> None:
+        up = _as_addr(args.upstream)
+        print(f"fprz chaos proxy on {config.host}:{proxy.port} -> "
+              f"{up[0]}:{up[1]} (seed {config.seed}, rates: "
+              f"reset {config.reset_rate:g} truncate {config.truncate_rate:g} "
+              f"corrupt {config.corrupt_rate:g} delay {config.delay_rate:g} "
+              f"blackhole {config.blackhole_rate:g})",
+              flush=True)
+
+    asyncio.run(proxy.run(install_signals=True, on_started=announce))
+    print("fprz chaos proxy stopped")
+    return 0
 
 
 def _cmd_archive(args: argparse.Namespace) -> int:
@@ -613,7 +726,79 @@ def build_parser() -> argparse.ArgumentParser:
                         "(compress only; default: by dtype)")
     p.add_argument("--dtype", default="float32",
                    choices=["float32", "float64", "bytes"])
+    p.add_argument("--addr", action="append", default=None,
+                   metavar="HOST:PORT",
+                   help="resilient mode: retry with backoff and fail over "
+                        "across these addresses (repeatable; overrides "
+                        "--host/--port)")
+    p.add_argument("--retries", type=int, default=0,
+                   help="resilient mode against --host/--port: total "
+                        "attempts per request (default: plain client, "
+                        "no retries)")
     p.set_defaults(func=_cmd_remote)
+
+    p = sub.add_parser(
+        "route",
+        help="run the shard router: consistent hashing over N backends, "
+             "health-checked failover, circuit breakers, load shedding",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=DEFAULT_ROUTER_PORT,
+                   help=f"TCP port (default {DEFAULT_ROUTER_PORT}; "
+                        f"0 = ephemeral)")
+    p.add_argument("--backend", action="append", default=None,
+                   metavar="HOST:PORT",
+                   help="a backend fprz server (repeatable)")
+    p.add_argument("--spawn", type=int, default=0, metavar="N",
+                   help="also spawn N in-process backend servers on "
+                        "ephemeral ports")
+    p.add_argument("--job-threads", type=int, default=4,
+                   help="job threads per --spawn backend")
+    p.add_argument("--max-frame", type=int, default=DEFAULT_MAX_FRAME)
+    p.add_argument("--health-interval", type=float, default=0.5,
+                   help="seconds between backend PING health checks")
+    p.add_argument("--backend-timeout", type=float, default=30.0,
+                   help="deadline for one forwarded backend exchange")
+    p.add_argument("--failure-threshold", type=int, default=3,
+                   help="consecutive failures that open a breaker")
+    p.add_argument("--open-seconds", type=float, default=1.0,
+                   help="open-breaker wait before a half-open probe")
+    p.add_argument("--dispatch-attempts", type=int, default=3,
+                   help="distinct backends tried per request")
+    p.add_argument("--inflight-high-water", type=int, default=128,
+                   help="global in-flight bound; past it requests are "
+                        "shed with BUSY + retry_after_ms")
+    p.set_defaults(func=_cmd_route)
+
+    p = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection TCP proxy for the FPRW protocol "
+             "(resets, truncation, header corruption, latency, black-holes)",
+    )
+    p.add_argument("--upstream", required=True, metavar="HOST:PORT",
+                   help="the real server (or router) to forward to")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="listen port (default: ephemeral, printed on start)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="fault schedule seed (default_rng([seed, frame]))")
+    p.add_argument("--reset-rate", type=float, default=0.0)
+    p.add_argument("--truncate-rate", type=float, default=0.0)
+    p.add_argument("--corrupt-rate", type=float, default=0.0)
+    p.add_argument("--delay-rate", type=float, default=0.0)
+    p.add_argument("--blackhole-rate", type=float, default=0.0)
+    p.add_argument("--delay-min-ms", type=float, default=5.0)
+    p.add_argument("--delay-max-ms", type=float, default=50.0)
+    p.add_argument("--kill-after", type=int, default=None, metavar="N",
+                   help="abort every connection after N observed frames "
+                        "(simulates a backend dying mid-run)")
+    p.add_argument("--direction", default="both",
+                   choices=["request", "response", "both"],
+                   help="which flow direction faults apply to")
+    p.add_argument("--describe", type=int, default=0, metavar="N",
+                   help="print the first N seeded fault decisions and "
+                        "exit (no traffic)")
+    p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser("archive", help="create / list / extract member archives")
     p.add_argument("action", choices=["create", "list", "extract"])

@@ -78,11 +78,40 @@ class BusyError(ServiceError):
 
     Explicit backpressure: the request was rejected up front instead of
     buffered without bound.  Safe to retry after a backoff.
+
+    ``retry_after_ms`` carries the server's backoff hint when the BUSY
+    frame included one (older servers send an empty body; the attribute
+    is then None).  :class:`~repro.service.resilience.RetryPolicy`
+    honours it as a lower bound on the next delay.
     """
+
+    def __init__(self, message: str, *, retry_after_ms: int | None = None) -> None:
+        super().__init__(message)
+        self.retry_after_ms = retry_after_ms
 
 
 class DeadlineExceededError(ServiceError):
     """The request did not complete within the server's per-request deadline."""
+
+
+class ConnectionBrokenError(ServiceError):
+    """The client connection is desynchronized and must not be reused.
+
+    Set after a mid-frame timeout, a protocol violation, or a socket
+    failure: the stream position can no longer be trusted, so any
+    further frame on the same socket could be answered with bytes that
+    belong to an earlier request.  Callers must open a fresh connection;
+    :class:`~repro.service.resilience.ResilientClient` does so
+    automatically.
+
+    Carries ``request_sent``: False when the failed request provably
+    never put a byte on the wire (safe to retry even when
+    non-idempotent), True otherwise.
+    """
+
+    def __init__(self, message: str, *, request_sent: bool = True) -> None:
+        super().__init__(message)
+        self.request_sent = request_sent
 
 
 class RemoteError(ServiceError):

@@ -80,6 +80,7 @@ def build_frame_corpus(seed: int, *, size: int = 16_384) -> list[FrameCase]:
         case("error", wire.OP_ERROR, 7, wire.encode_error_body(
             wire.ERR_FORMAT, "synthetic failure")),
         case("busy", wire.OP_BUSY, 8, b""),
+        case("busy-hint", wire.OP_BUSY, 9, wire.encode_busy_body(250)),
     ]
 
 
@@ -94,8 +95,10 @@ def _decode_body(frame: wire.Frame) -> None:
         wire.decode_array_body(frame.body)
     elif frame.opcode == wire.OP_ERROR:
         wire.decode_error_body(frame.body)
+    elif frame.opcode == wire.OP_BUSY:
+        wire.decode_busy_body(frame.body)
     # DECOMPRESS/INSPECT bodies are FPRZ containers — the container
-    # fuzzer (`run_fuzz`) owns that layer; STATS/PING/BUSY carry none.
+    # fuzzer (`run_fuzz`) owns that layer; STATS/PING carry none.
 
 
 def _probe_frame(

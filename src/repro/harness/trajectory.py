@@ -14,7 +14,10 @@ throughput of the real implementation (never the device model):
   seekable (v3 restart) containers, vs the full-decode baseline;
 * parallel FCM: DPratio with restart framing under the serial, threaded,
   and process policies — the measured speedup chunk-independent FCM buys
-  — next to the legacy global-FCM ratio it trades away.
+  — next to the legacy global-FCM ratio it trades away;
+* resilience: goodput and p99 latency under seeded fault injection
+  (0/5/20% of frames reset or corrupted by the chaos proxy), retrying
+  client direct vs through the shard router.
 
 Points are saved as ``BENCH_<tag>.json`` files; committing one per perf
 PR grows a throughput trajectory of the repository itself, and
@@ -340,6 +343,105 @@ def _fcm_parallel_section(scale: float, runs: int, workers: int) -> dict:
     return rows
 
 
+#: Fault rates the resilience section sweeps (fraction of frames hit).
+RESILIENCE_FAULT_RATES = (0.0, 0.05, 0.20)
+
+#: Requests measured per resilience cell.
+RESILIENCE_REQUESTS = 40
+
+
+def _resilience_cell(client, array, n: int) -> dict:
+    """Goodput and latency tail of ``n`` small compresses on ``client``."""
+    import time as _time
+
+    latencies: list[float] = []
+    failures = 0
+    started = _time.perf_counter()
+    for _ in range(n):
+        t0 = _time.perf_counter()
+        try:
+            client.compress(array, "spspeed")
+        except ReproError:
+            failures += 1
+            continue
+        latencies.append(_time.perf_counter() - t0)
+    elapsed = _time.perf_counter() - started
+    latencies.sort()
+    p99 = latencies[int(len(latencies) * 0.99)] if latencies else 0.0
+    return {
+        "goodput_per_s": len(latencies) / elapsed if elapsed > 0 else 0.0,
+        "p99_ms": p99 * 1e3,
+        "requests": n,
+        "failures": failures,
+    }
+
+
+def _resilience_section(scale: float, runs: int) -> dict:
+    """Goodput under injected faults: router + retries vs a direct client.
+
+    For each fault rate, every backend sits behind a seeded chaos proxy
+    injecting connection resets and header corruption on that fraction
+    of frames.  The ``direct`` rows drive one proxied backend through a
+    :class:`~repro.service.resilience.ResilientClient`; the ``router``
+    rows put a :class:`~repro.service.router.ShardRouter` over two
+    proxied backends.  Failures count requests the retry budget could
+    not save — goodput is successful requests per wall-clock second.
+    ``runs`` is unused (one sweep is already ~240 socket requests).
+    """
+    del runs
+    from repro.service import (
+        ChaosConfig,
+        ChaosProxyThread,
+        ResilientClient,
+        RetryPolicy,
+        RouterConfig,
+        RouterThread,
+        ServerThread,
+        ServiceConfig,
+    )
+
+    data = _bench_sample("spspeed", scale)
+    array = np.frombuffer(data, dtype=np.float32)
+    small = array[: max(len(array) // 64, 256)]
+    policy = RetryPolicy(attempts=8, base_ms=2.0, cap_ms=50.0)
+    rows: dict[str, dict] = {}
+    with ServerThread(ServiceConfig(port=0)) as a, \
+            ServerThread(ServiceConfig(port=0)) as b:
+        for rate in RESILIENCE_FAULT_RATES:
+            label = f"fault{int(rate * 100)}"
+
+            def chaos(upstream_port: int, seed: int, rate: float = rate):
+                return ChaosProxyThread(ChaosConfig(
+                    upstream=("127.0.0.1", upstream_port), seed=seed,
+                    reset_rate=rate / 2, corrupt_rate=rate / 2,
+                ))
+
+            with chaos(a.port, 11) as pa, chaos(b.port, 12) as pb:
+                with ResilientClient(
+                    f"127.0.0.1:{pa.port}", policy=policy, seed=0
+                ) as direct:
+                    rows[f"direct/{label}"] = dict(
+                        _resilience_cell(direct, small, RESILIENCE_REQUESTS),
+                        fault_rate=rate,
+                    )
+                with RouterThread(RouterConfig(
+                    port=0,
+                    backends=(("127.0.0.1", pa.port), ("127.0.0.1", pb.port)),
+                    health_interval=0.2, failure_threshold=3,
+                    open_seconds=0.3,
+                )) as rt:
+                    with ResilientClient(
+                        f"127.0.0.1:{rt.port}", policy=policy, seed=0
+                    ) as routed:
+                        rows[f"router/{label}"] = dict(
+                            _resilience_cell(
+                                routed, small, RESILIENCE_REQUESTS
+                            ),
+                            fault_rate=rate,
+                        )
+    return rows
+
+
 def record_trajectory(
     *,
     tag: str | None = None,
@@ -377,6 +479,7 @@ def record_trajectory(
         "service": _service_section(scale, runs),
         "range_read": _range_read_section(scale, runs),
         "fcm_parallel": _fcm_parallel_section(scale, runs, workers),
+        "resilience": _resilience_section(scale, runs),
     }
 
 
@@ -481,6 +584,18 @@ def format_trajectory(point: dict) -> str:
             lines.append(
                 f"{key:>24} {row['slice_bytes']:>10} B "
                 f"{row['bytes_per_s'] / 1e6:>9.2f} MB/s"
+            )
+    resilience = point.get("resilience", {})
+    if resilience:
+        lines.append("")
+        lines.append(
+            f"{'resilience':>16} {'goodput':>12} {'p99':>10} {'failed':>7}"
+        )
+        for key, row in sorted(resilience.items()):
+            lines.append(
+                f"{key:>16} {row['goodput_per_s']:>8.1f} req/s "
+                f"{row['p99_ms']:>7.1f} ms "
+                f"{row['failures']:>3}/{row['requests']}"
             )
     fcm = point.get("fcm_parallel", {})
     if fcm:

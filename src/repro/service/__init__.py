@@ -7,6 +7,14 @@
   offload, per-request deadlines, graceful drain.
 * :mod:`repro.service.client` — the blocking client behind
   ``fprz remote`` and :func:`repro.api.connect`.
+* :mod:`repro.service.router` — the shard router behind ``fprz route``:
+  consistent hashing across backends, health-checked failover, per-
+  backend circuit breakers, load shedding.
+* :mod:`repro.service.resilience` — retry policy (capped backoff, full
+  jitter, budgets) and :class:`ResilientClient`, which survives dead
+  connections and fails over across an address list.
+* :mod:`repro.service.faults` — the deterministic seeded chaos proxy
+  behind ``fprz chaos``.
 * :mod:`repro.service.metrics` — the live counters/gauges/histograms
   served by the STATS opcode and ``fprz stats``.
 
@@ -16,8 +24,16 @@ observability around the existing format, never a second encoding.
 """
 
 from repro.service.client import ServiceClient
+from repro.service.faults import ChaosConfig, ChaosProxy, ChaosProxyThread
 from repro.service.metrics import MetricsRegistry
 from repro.service.protocol import DEFAULT_MAX_FRAME, DEFAULT_PORT
+from repro.service.resilience import ResilientClient, RetryPolicy
+from repro.service.router import (
+    DEFAULT_ROUTER_PORT,
+    RouterConfig,
+    RouterThread,
+    ShardRouter,
+)
 from repro.service.server import (
     CompressionServer,
     ServerThread,
@@ -26,12 +42,21 @@ from repro.service.server import (
 )
 
 __all__ = [
+    "ChaosConfig",
+    "ChaosProxy",
+    "ChaosProxyThread",
     "CompressionServer",
     "DEFAULT_MAX_FRAME",
     "DEFAULT_PORT",
+    "DEFAULT_ROUTER_PORT",
     "MetricsRegistry",
+    "ResilientClient",
+    "RetryPolicy",
+    "RouterConfig",
+    "RouterThread",
     "ServerThread",
     "ServiceClient",
     "ServiceConfig",
+    "ShardRouter",
     "wait_for_port",
 ]

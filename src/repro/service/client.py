@@ -28,7 +28,13 @@ import socket
 import numpy as np
 
 from repro.core import container as fmt
-from repro.errors import BusyError, ProtocolError, ServiceError, UnsupportedDtypeError
+from repro.errors import (
+    BusyError,
+    ConnectionBrokenError,
+    ProtocolError,
+    ServiceError,
+    UnsupportedDtypeError,
+)
 from repro.service import protocol as proto
 
 _DTYPE_BY_CODE = {fmt.DTYPE_F32: np.dtype(np.float32),
@@ -52,6 +58,7 @@ class ServiceClient:
         self.port = port
         self.max_frame = max_frame
         self._request_ids = itertools.count(1)
+        self._broken: str | None = None
         try:
             self._sock = socket.create_connection((host, port), timeout=timeout)
         except OSError as exc:
@@ -61,6 +68,28 @@ class ServiceClient:
 
     def close(self) -> None:
         self._sock.close()
+
+    @property
+    def broken(self) -> str | None:
+        """Why this connection must not be reused, or None while healthy."""
+        return self._broken
+
+    def _poison(
+        self, exc: Exception, reason: str, *, request_sent: bool = True
+    ) -> Exception:
+        """Mark the connection desynchronized; returns ``exc`` to raise.
+
+        After a mid-frame timeout, a protocol violation, or a socket
+        failure the stream position cannot be trusted: a late reply to
+        the abandoned request would be mis-attributed to whatever is
+        sent next.  Every error that leaves the socket in such a state
+        funnels through here, so reuse fails fast and typed instead of
+        silently returning another request's bytes.
+        """
+        self._broken = reason
+        exc.request_sent = request_sent
+        exc.transport = True
+        return exc
 
     def __enter__(self) -> ServiceClient:
         return self
@@ -77,51 +106,91 @@ class ServiceClient:
             while remaining:
                 chunk = self._sock.recv(min(remaining, 1 << 20))
                 if not chunk:
-                    raise ProtocolError(
+                    raise self._poison(ProtocolError(
                         f"server closed the connection mid-frame "
                         f"({n - remaining} of {n} bytes received)"
-                    )
+                    ), "connection closed mid-frame")
                 chunks.append(chunk)
                 remaining -= len(chunk)
         except socket.timeout as exc:
-            raise ServiceError(
+            raise self._poison(ServiceError(
                 f"timed out waiting for the server's reply: {exc}"
-            ) from exc
+            ), "timed out mid-frame") from exc
+        except OSError as exc:
+            raise self._poison(ServiceError(
+                f"connection failed mid-frame: {exc}"
+            ), f"socket failure: {exc}") from exc
         return b"".join(chunks)
 
     def _request(self, opcode: int, body: bytes = b"") -> bytes:
+        if self._broken is not None:
+            raise ConnectionBrokenError(
+                f"connection to {self.host}:{self.port} is desynchronized "
+                f"({self._broken}); open a new one",
+                request_sent=False,
+            )
         if len(body) > self.max_frame:
-            raise ProtocolError(
+            # Rejected before a byte hits the wire: the connection is
+            # still perfectly synchronized, so it is NOT poisoned.
+            exc = ProtocolError(
                 f"request body of {len(body)} bytes exceeds the "
                 f"{self.max_frame}-byte frame limit"
             )
+            exc.request_sent = False
+            raise exc
         request_id = next(self._request_ids)
         try:
             self._sock.sendall(proto.encode_frame(opcode, request_id, body))
         except OSError as exc:
-            raise ServiceError(f"cannot send request: {exc}") from exc
+            # sendall may have flushed part of the frame before failing,
+            # so the server might still act on the request: request_sent
+            # stays conservatively True for the idempotency guard.
+            raise self._poison(
+                ServiceError(f"cannot send request: {exc}"),
+                f"send failed: {exc}",
+            ) from exc
         header = self._recv_exactly(proto.HEADER_SIZE)
-        resp_opcode, resp_id, body_len = proto.parse_header(
-            header, max_frame=self.max_frame
-        )
+        try:
+            resp_opcode, resp_id, body_len = proto.parse_header(
+                header, max_frame=self.max_frame
+            )
+        except ProtocolError as exc:
+            raise self._poison(exc, "unparseable response header")
         resp_body = self._recv_exactly(body_len)
         if resp_id != request_id:
-            raise ProtocolError(
+            raise self._poison(ProtocolError(
                 f"response for request {resp_id} arrived while awaiting "
                 f"request {request_id}"
-            )
+            ), "response id mismatch")
         if resp_opcode == proto.OP_BUSY:
+            try:
+                hint = proto.decode_busy_body(resp_body)
+            except ProtocolError as exc:
+                raise self._poison(exc, "malformed BUSY body")
             raise BusyError(
                 "server rejected the request: job queue past its high-water "
-                "mark (retry after a backoff)"
+                "mark (retry after a backoff)",
+                retry_after_ms=hint,
             )
         if resp_opcode == proto.OP_ERROR:
             code, message = proto.decode_error_body(resp_body)
-            raise proto.exception_for(code, f"server: {message}")
+            exc = proto.exception_for(code, f"server: {message}")
+            if code == proto.ERR_PROTOCOL:
+                # The server could not trust the frame it read — and this
+                # library never sends a malformed one, so the wire mangled
+                # it in transit (after a header-level rejection the server
+                # drops the connection anyway).  Either way the request
+                # was rejected before any codec work: provably not
+                # applied, and safe to re-send on a fresh connection.
+                raise self._poison(
+                    exc, "server reported a protocol error",
+                    request_sent=False,
+                )
+            raise exc
         if resp_opcode != proto.OP_RESULT:
-            raise ProtocolError(
+            raise self._poison(ProtocolError(
                 f"unexpected response opcode 0x{resp_opcode:02x}"
-            )
+            ), "unexpected response opcode")
         return resp_body
 
     # -- operations ---------------------------------------------------

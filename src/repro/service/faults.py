@@ -1,0 +1,410 @@
+"""A deterministic chaos proxy for the FPRW wire protocol.
+
+``fprz chaos`` sits between a client (or router) and a server and
+injects network faults on a *seeded schedule*: every observed frame
+advances an event counter, and the fault decision for event ``i`` is
+drawn from ``np.random.default_rng([seed, i])`` — the same
+seed-plus-index convention as the fuzzing subsystem
+(:mod:`repro.fuzzing`), so any failure found under the proxy replays
+exactly from ``(seed, event_index)``.  :func:`schedule_preview` prints
+the decisions a seed will make before any traffic flows.
+
+Injected faults, all at frame granularity (the proxy parses FPRW
+headers to find frame boundaries, which is what makes *mid-frame*
+faults expressible):
+
+* ``reset`` — drop the frame and abort both sides of the connection.
+* ``truncate`` — forward only a prefix of the frame, then abort:
+  the peer observes a mid-frame connection loss.
+* ``corrupt`` — XOR one byte of the 20-byte frame header: magic,
+  version, flags, or reserved (offsets 0..4, 6, 7).  Every one of those
+  bytes is strictly validated by
+  :func:`repro.service.protocol.parse_header`, so the corruption is
+  always *detected* and surfaces as a retryable desync, exercising the
+  typed-error path rather than silently delivering wrong bytes.  The
+  opcode byte is deliberately spared: an opcode XOR can turn one valid
+  request into another (COMPRESS into DECOMPRESS), which no protocol
+  layer can detect — and payload integrity belongs to the container's
+  CRC layer, which ``fprz fuzz`` attacks directly.
+* ``delay`` — hold the frame for a seeded number of milliseconds.
+* ``blackhole`` — from this frame on, consume this direction of this
+  connection and forward nothing: the peer hangs until its timeout.
+
+The proxy can also simulate a backend dying mid-run: after
+``kill_after_frames`` observed frames (or a programmatic
+:meth:`ChaosProxy.kill`), every connection is aborted and new ones are
+closed on accept until :meth:`ChaosProxy.revive`.
+
+Determinism note: the schedule is exact for serial workloads (one
+request in flight at a time — the CI chaos-smoke case).  Under
+concurrent connections the *set* of decisions is fixed by the seed but
+their assignment to frames follows arrival order.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import signal
+import struct
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ServiceError
+from repro.service import protocol as proto
+from repro.service.metrics import MetricsRegistry
+from repro.service.resilience import parse_address
+
+#: Fault kinds in schedule order (the cumulative-rate draw walks this).
+FAULT_ACTIONS = ("reset", "truncate", "corrupt", "delay", "blackhole")
+
+#: Header offsets eligible for corruption: magic(0-3), version(4),
+#: flags(6), reserved(7) — each strictly validated on parse, so every
+#: hit is detected.  Offset 5 (opcode) is spared: flipping it can
+#: produce a *different valid request*, which is undetectable.
+_CORRUPTIBLE_OFFSETS = (0, 1, 2, 3, 4, 6, 7)
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Tunables of one :class:`ChaosProxy`."""
+
+    #: Upstream server as ``(host, port)`` or ``"host:port"``.
+    upstream: tuple | str = ("127.0.0.1", proto.DEFAULT_PORT)
+    host: str = "127.0.0.1"
+    #: Listen port; 0 binds an ephemeral port (read ``proxy.port`` back).
+    port: int = 0
+    #: Seed of the fault schedule (``default_rng([seed, event_index])``).
+    seed: int = 0
+    #: Per-frame fault probabilities; the remainder passes untouched.
+    reset_rate: float = 0.0
+    truncate_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    delay_rate: float = 0.0
+    blackhole_rate: float = 0.0
+    #: Latency-spike range in milliseconds (uniform, seeded draw).
+    delay_ms: tuple = (5.0, 50.0)
+    #: Abort everything after this many observed frames (None = never).
+    kill_after_frames: int | None = None
+    #: Which direction faults apply to: "request", "response", or "both".
+    direction: str = "both"
+
+    def rates(self) -> tuple[float, ...]:
+        return (
+            self.reset_rate,
+            self.truncate_rate,
+            self.corrupt_rate,
+            self.delay_rate,
+            self.blackhole_rate,
+        )
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("request", "response", "both"):
+            raise ServiceError(
+                f"direction {self.direction!r} must be request|response|both"
+            )
+        if any(r < 0 for r in self.rates()) or sum(self.rates()) > 1.0:
+            raise ServiceError(
+                "fault rates must be non-negative and sum to at most 1.0"
+            )
+
+
+def _draw(config: ChaosConfig, index: int):
+    """The seeded decision for event ``index``: (action, rng)."""
+    rng = np.random.default_rng([config.seed, index])
+    u = float(rng.random())
+    for action, rate in zip(FAULT_ACTIONS, config.rates()):
+        u -= rate
+        if u < 0:
+            return action, rng
+    return "pass", rng
+
+
+def schedule_preview(config: ChaosConfig, n: int) -> list[tuple[int, str]]:
+    """The first ``n`` (event_index, action) decisions of a seed.
+
+    The replay convention made inspectable: what the proxy *will* do is
+    a pure function of ``(seed, index)``, printable before a run and
+    reconstructable after one.
+    """
+    return [(i, _draw(config, i)[0]) for i in range(n)]
+
+
+class ChaosProxy:
+    """A frame-aware TCP proxy that injects seeded faults."""
+
+    def __init__(
+        self,
+        config: ChaosConfig,
+        *,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.config = config
+        self.registry = registry or MetricsRegistry()
+        self.upstream = parse_address(config.upstream)
+        self.port: int | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._conns: set[asyncio.StreamWriter] = set()
+        self._tasks: set[asyncio.Task] = set()
+        self._event_index = 0
+        self._killed = False
+        self._stopped: asyncio.Event | None = None
+
+    @property
+    def frames_observed(self) -> int:
+        return self._event_index
+
+    # -- lifecycle ----------------------------------------------------
+
+    async def start(self) -> None:
+        self._stopped = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_conn, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._stopped is None or self._stopped.is_set():
+            return
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in tuple(self._tasks):
+            task.cancel()
+        self._abort_all()
+        self._stopped.set()
+
+    async def wait_stopped(self) -> None:
+        assert self._stopped is not None, "proxy not started"
+        await self._stopped.wait()
+
+    async def run(self, *, install_signals: bool = True, on_started=None) -> None:
+        await self.start()
+        if on_started is not None:
+            on_started()
+        if install_signals:
+            loop = asyncio.get_running_loop()
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                with contextlib.suppress(NotImplementedError, ValueError):
+                    loop.add_signal_handler(
+                        sig, lambda: asyncio.ensure_future(self.stop())
+                    )
+        await self.wait_stopped()
+
+    # -- kill switch --------------------------------------------------
+
+    def kill(self) -> None:
+        """Abort every connection and refuse new ones (a dead backend)."""
+        if not self._killed:
+            self._killed = True
+            self.registry.counter("chaos_kills_total").inc()
+        self._abort_all()
+
+    def revive(self) -> None:
+        """Accept traffic again after :meth:`kill`."""
+        self._killed = False
+
+    def _abort_all(self) -> None:
+        for writer in tuple(self._conns):
+            self._abort(writer)
+        self._conns.clear()
+
+    @staticmethod
+    def _abort(writer: asyncio.StreamWriter) -> None:
+        with contextlib.suppress(Exception):
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()  # RST-style: no FIN handshake to hang on
+
+    # -- the two pumps ------------------------------------------------
+
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        if self._killed:
+            self._abort(writer)
+            return
+        try:
+            up_reader, up_writer = await asyncio.open_connection(*self.upstream)
+        except OSError:
+            self._abort(writer)
+            return
+        self._conns.add(writer)
+        self._conns.add(up_writer)
+        self.registry.counter("chaos_connections_total").inc()
+        pumps = [
+            asyncio.ensure_future(
+                self._pump(reader, up_writer, direction="request")
+            ),
+            asyncio.ensure_future(
+                self._pump(up_reader, writer, direction="response")
+            ),
+        ]
+        for task in pumps:
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+        try:
+            await asyncio.gather(*pumps, return_exceptions=True)
+        finally:
+            for w in (writer, up_writer):
+                self._conns.discard(w)
+                self._abort(w)
+
+    async def _pump(
+        self,
+        reader: asyncio.StreamReader,
+        dst: asyncio.StreamWriter,
+        *,
+        direction: str,
+    ) -> None:
+        """Forward frames one way, consulting the schedule per frame."""
+        cfg = self.config
+        blackholed = False
+        while True:
+            try:
+                header = await reader.readexactly(proto.HEADER_SIZE)
+                body_len = struct.unpack_from("<I", header, 16)[0]
+                body = await reader.readexactly(body_len) if body_len else b""
+            except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                self._abort(dst)
+                return
+            index = self._event_index
+            self._event_index += 1
+            if (
+                cfg.kill_after_frames is not None
+                and self._event_index >= cfg.kill_after_frames
+            ):
+                self.kill()
+                return
+            if self._killed:
+                self._abort(dst)
+                return
+            if blackholed:
+                continue  # consume and drop: the peer waits forever
+            faultable = cfg.direction in (direction, "both")
+            action, rng = (
+                _draw(cfg, index) if faultable else ("pass", None)
+            )
+            if action != "pass":
+                self.registry.counter(
+                    "chaos_injections_total", action=action
+                ).inc()
+            if action == "reset":
+                self._abort(dst)
+                return
+            if action == "truncate":
+                frame = header + body
+                cut = int(rng.integers(1, len(frame)))
+                with contextlib.suppress(ConnectionError, OSError):
+                    dst.write(frame[:cut])
+                    await dst.drain()
+                self._abort(dst)
+                return
+            if action == "corrupt":
+                offset = _CORRUPTIBLE_OFFSETS[
+                    int(rng.integers(0, len(_CORRUPTIBLE_OFFSETS)))
+                ]
+                mask = int(rng.integers(1, 256))
+                mutated = bytearray(header)
+                mutated[offset] ^= mask
+                header = bytes(mutated)
+            elif action == "delay":
+                low, high = cfg.delay_ms
+                await asyncio.sleep(float(rng.uniform(low, high)) / 1e3)
+            elif action == "blackhole":
+                blackholed = True
+                continue
+            try:
+                dst.write(header + body)
+                await dst.drain()
+            except (ConnectionError, OSError):
+                return
+
+
+class ChaosProxyThread:
+    """Run a :class:`ChaosProxy` on a background thread (test harness)."""
+
+    def __init__(self, config: ChaosConfig) -> None:
+        self.config = config
+        self.proxy: ChaosProxy | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._error: BaseException | None = None
+
+    @property
+    def port(self) -> int:
+        assert self.proxy is not None and self.proxy.port is not None
+        return self.proxy.port
+
+    def kill(self) -> None:
+        """Thread-safe :meth:`ChaosProxy.kill`."""
+        assert self.proxy is not None and self._loop is not None
+        self._loop.call_soon_threadsafe(self.proxy.kill)
+
+    def revive(self) -> None:
+        assert self.proxy is not None and self._loop is not None
+        self._loop.call_soon_threadsafe(self.proxy.revive)
+
+    def __enter__(self) -> "ChaosProxyThread":
+        self._thread = threading.Thread(
+            target=self._main, name="repro-chaos", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=30):
+            raise ServiceError("chaos proxy thread failed to start in time")
+        if self._error is not None:
+            raise ServiceError(f"chaos proxy failed to start: {self._error}")
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+
+    def _main(self) -> None:
+        asyncio.run(self._amain())
+
+    async def _amain(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self.proxy = ChaosProxy(self.config)
+        try:
+            await self.proxy.start()
+        except BaseException as exc:
+            self._error = exc
+            self._started.set()
+            return
+        self._started.set()
+        await self.proxy.wait_stopped()
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self._loop is None or self.proxy is None or self._error is not None:
+            return
+        if self._thread is None or not self._thread.is_alive():
+            return
+        future = asyncio.run_coroutine_threadsafe(
+            self.proxy.stop(), self._loop
+        )
+        with contextlib.suppress(Exception):
+            future.result(timeout=timeout)
+
+
+def wait_for_chaos_port(host: str, port: int, *, timeout: float = 10.0) -> None:
+    """Block until the proxy's listen port accepts (CI smoke scripts)."""
+    import socket as _socket
+
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            with _socket.create_connection((host, port), timeout=1.0):
+                return
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"chaos proxy on {host}:{port} did not come up within "
+                    f"{timeout}s"
+                ) from None
+            time.sleep(0.05)

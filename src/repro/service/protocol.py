@@ -338,6 +338,32 @@ def decode_array_body(body: bytes) -> tuple[int, tuple[int, ...] | None, bytes]:
     return dtype_code, shape, payload
 
 
+def encode_busy_body(retry_after_ms: int | None = None) -> bytes:
+    """BUSY response body: optionally a u32 backoff hint in milliseconds.
+
+    An empty body is the protocol-version-1 original and still valid —
+    the hint is a backward-compatible extension, so old servers and new
+    clients (and vice versa) interoperate.
+    """
+    if retry_after_ms is None:
+        return b""
+    if not 0 <= retry_after_ms <= 0xFFFFFFFF:
+        raise ValueError(f"retry_after_ms {retry_after_ms} out of u32 range")
+    return struct.pack("<I", retry_after_ms)
+
+
+def decode_busy_body(body: bytes) -> int | None:
+    """Parse a BUSY response body; empty means "no hint"."""
+    if not body:
+        return None
+    if len(body) != 4:
+        raise ProtocolError(
+            f"BUSY body of {len(body)} bytes is neither empty nor a "
+            f"4-byte retry_after_ms hint"
+        )
+    return struct.unpack("<I", body)[0]
+
+
 def encode_error_body(code: int, message: str) -> bytes:
     """ERROR response body: u8 error code + UTF-8 message."""
     return struct.pack("<B", code) + message.encode("utf-8", "replace")

@@ -1,0 +1,297 @@
+"""Retrying, failing-over clients for the compression service.
+
+Two pieces:
+
+* :class:`RetryPolicy` — capped exponential backoff with full jitter
+  and a total-sleep budget, honouring the server's ``retry_after_ms``
+  hint as a lower bound on the next delay.
+* :class:`ResilientClient` — the same operations as
+  :class:`~repro.service.client.ServiceClient`, but spread over an
+  address list (several backends, or one router): dead or poisoned
+  connections are replaced, transport failures fail over to the next
+  address, BUSY responses back off and retry, and typed server-side
+  errors (a corrupt container, an unknown codec) surface immediately —
+  retrying them would only fail identically.
+
+The idempotency guard: compress/decompress/inspect/stats/ping are pure
+reads or pure functions of their request body, so re-sending one after
+an ambiguous failure is always safe.  For anything that is not,
+:meth:`ResilientClient.call` takes ``idempotent=False`` and will
+*never* re-send a request that may already have reached the server — a
+transport failure after the first byte hit the wire re-raises instead
+of retrying.  Only failures that provably happened before any byte was
+sent (a refused connection, a poisoned-connection rejection, a BUSY
+reply) are retried for non-idempotent calls.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import BusyError, ReproError, ServiceError
+from repro.service import protocol as proto
+from repro.service.client import ServiceClient
+from repro.service.metrics import MetricsRegistry
+
+
+def parse_address(spec) -> tuple[str, int]:
+    """``"host:port"`` or ``(host, port)`` into a ``(host, port)`` tuple."""
+    if isinstance(spec, (tuple, list)):
+        host, port = spec
+        return str(host), int(port)
+    host, sep, port = str(spec).rpartition(":")
+    if not sep or not host:
+        raise ServiceError(f"address {spec!r} must look like HOST:PORT")
+    try:
+        return host, int(port)
+    except ValueError as exc:
+        raise ServiceError(f"address {spec!r} has a non-integer port") from exc
+
+
+def format_address(addr: tuple[str, int]) -> str:
+    return f"{addr[0]}:{addr[1]}"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff, full jitter, budgeted.
+
+    The delay before retry *k* (0-based) is drawn uniformly from
+    ``[0, min(cap_ms, base_ms * 2**k)]`` — AWS-style "full jitter", so
+    a fleet of clients rejected together does not retry together.  A
+    server ``retry_after_ms`` hint raises the draw's floor to the hint:
+    the server knows its queue better than the client's dice do.
+
+    Two independent stop conditions bound a logical request: at most
+    ``attempts`` tries in total, and at most ``budget_ms`` of cumulative
+    backoff sleep.  Whichever is hit first ends the retry loop and the
+    last error surfaces to the caller.
+    """
+
+    #: Total tries (the first attempt plus up to ``attempts - 1`` retries).
+    attempts: int = 5
+    #: First backoff ceiling in milliseconds.
+    base_ms: float = 25.0
+    #: Upper bound any single backoff can reach.
+    cap_ms: float = 2_000.0
+    #: Total backoff sleep allowed per logical request.
+    budget_ms: float = 15_000.0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ServiceError("RetryPolicy.attempts must be at least 1")
+
+    def schedule(self, rng: random.Random | None = None) -> "RetrySchedule":
+        """A fresh per-request retry state (attempt and budget counters)."""
+        return RetrySchedule(self, rng or random.Random())
+
+
+class RetrySchedule:
+    """Mutable per-request view of a :class:`RetryPolicy`."""
+
+    def __init__(self, policy: RetryPolicy, rng: random.Random) -> None:
+        self.policy = policy
+        self.rng = rng
+        self.retries = 0
+        self.slept_ms = 0.0
+
+    def next_delay_ms(self, *, retry_after_ms: int | None = None) -> float | None:
+        """Milliseconds to sleep before the next try, or None to give up.
+
+        None means a retry is no longer allowed: either ``attempts`` is
+        exhausted or the ``budget_ms`` sleep budget would overflow.
+        Calling it consumes one retry.
+        """
+        policy = self.policy
+        if self.retries >= policy.attempts - 1:
+            return None
+        ceiling = min(policy.cap_ms, policy.base_ms * (2.0 ** self.retries))
+        delay = self.rng.uniform(0.0, ceiling)
+        if retry_after_ms is not None:
+            delay = max(delay, float(retry_after_ms))
+        if self.slept_ms + delay > policy.budget_ms:
+            return None
+        self.retries += 1
+        self.slept_ms += delay
+        return delay
+
+
+def is_transport_error(exc: BaseException) -> bool:
+    """True for failures of the *connection*, not of the request.
+
+    Transport errors (a dead socket, a mid-frame timeout, a stream
+    desynchronization) say nothing about the request itself, so an
+    idempotent request is safe to re-send elsewhere.  Typed server-side
+    errors — a corrupt container, an unknown codec, a deadline — are
+    deterministic answers and are never retried.
+    """
+    return bool(getattr(exc, "transport", False))
+
+
+def request_may_have_been_applied(exc: BaseException) -> bool:
+    """True unless the failed request provably never hit the wire."""
+    return bool(getattr(exc, "request_sent", True))
+
+
+class ResilientClient:
+    """A :class:`ServiceClient` that survives its connection.
+
+    ``addresses`` is one or more ``"host:port"`` backends (or a single
+    router).  One connection is held at a time; when it dies or is
+    poisoned, the next request transparently reconnects, starting at
+    the address that last worked and failing over down the list.
+
+    Every retry, reconnect, and failover increments ``registry`` (a
+    :class:`~repro.service.metrics.MetricsRegistry`), so client-side
+    resilience is as observable as the server side.
+    """
+
+    def __init__(
+        self,
+        addresses,
+        *,
+        policy: RetryPolicy | None = None,
+        timeout: float = 30.0,
+        max_frame: int = proto.DEFAULT_MAX_FRAME,
+        registry: MetricsRegistry | None = None,
+        seed: int | None = None,
+        client_factory=None,
+        sleep=time.sleep,
+    ) -> None:
+        if isinstance(addresses, (str, tuple)):
+            addresses = [addresses]
+        self.addresses = [parse_address(spec) for spec in addresses]
+        if not self.addresses:
+            raise ServiceError("ResilientClient needs at least one address")
+        self.policy = policy or RetryPolicy()
+        self.registry = registry or MetricsRegistry()
+        self._timeout = timeout
+        self._max_frame = max_frame
+        self._rng = random.Random(seed)
+        self._factory = client_factory or (
+            lambda host, port: ServiceClient(
+                host, port, timeout=self._timeout, max_frame=self._max_frame
+            )
+        )
+        self._sleep = sleep
+        self._client: ServiceClient | None = None
+        self._addr_index = 0
+
+    # -- lifecycle ----------------------------------------------------
+
+    def close(self) -> None:
+        self._discard()
+
+    def __enter__(self) -> "ResilientClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def connected_to(self) -> tuple[str, int] | None:
+        """The backend the live connection points at, if any."""
+        if self._client is None or self._client.broken is not None:
+            return None
+        return self.addresses[self._addr_index]
+
+    def _discard(self, *, failover: bool = False) -> None:
+        if self._client is not None:
+            try:
+                self._client.close()
+            except OSError:
+                pass
+            self._client = None
+        if failover and len(self.addresses) > 1:
+            self._addr_index = (self._addr_index + 1) % len(self.addresses)
+            self.registry.counter("client_failovers_total").inc()
+
+    def _lease(self) -> ServiceClient:
+        """The live connection, or a fresh one tried across all addresses."""
+        if self._client is not None and self._client.broken is None:
+            return self._client
+        self._discard()
+        errors: list[str] = []
+        for k in range(len(self.addresses)):
+            i = (self._addr_index + k) % len(self.addresses)
+            host, port = self.addresses[i]
+            try:
+                client = self._factory(host, port)
+            except ServiceError as exc:
+                errors.append(str(exc))
+                continue
+            if k:
+                self.registry.counter("client_failovers_total").inc()
+            self.registry.counter("client_reconnects_total").inc()
+            self._addr_index = i
+            self._client = client
+            return client
+        exc = ServiceError(
+            "no backend reachable: " + "; ".join(errors)
+        )
+        # A refused connection never carries a request: always retryable.
+        exc.transport = True
+        exc.request_sent = False
+        raise exc
+
+    # -- the retry loop -----------------------------------------------
+
+    def call(self, fn, *, idempotent: bool = True):
+        """Run ``fn(client)`` under the retry policy.
+
+        ``fn`` receives a connected :class:`ServiceClient` and may be
+        re-invoked (on a different backend) after transport failures or
+        BUSY pushback.  With ``idempotent=False`` the guard applies: a
+        failure after the request may have reached the server re-raises
+        instead of re-sending.
+        """
+        schedule = self.policy.schedule(self._rng)
+        while True:
+            try:
+                client = self._lease()
+                return fn(client)
+            except BusyError as exc:
+                # The server explicitly did NOT act on the request, so
+                # even non-idempotent calls may retry after the backoff.
+                delay = schedule.next_delay_ms(retry_after_ms=exc.retry_after_ms)
+                if delay is None:
+                    raise
+                self.registry.counter("client_retries_total", reason="busy").inc()
+                self._sleep(delay / 1e3)
+            except ReproError as exc:
+                if not is_transport_error(exc):
+                    raise
+                self._discard(failover=True)
+                if not idempotent and request_may_have_been_applied(exc):
+                    # Half-sent state: the server may act on the frame
+                    # we cannot account for.  Re-sending could apply the
+                    # request twice; surface the ambiguity instead.
+                    raise
+                delay = schedule.next_delay_ms()
+                if delay is None:
+                    raise
+                self.registry.counter(
+                    "client_retries_total", reason="transport"
+                ).inc()
+                self._sleep(delay / 1e3)
+
+    # -- operations (all idempotent: pure functions of their body) ----
+
+    def compress(self, data, codec: str | None = None) -> bytes:
+        return self.call(lambda c: c.compress(data, codec))
+
+    def decompress(self, blob: bytes) -> np.ndarray | bytes:
+        return self.call(lambda c: c.decompress(blob))
+
+    def inspect(self, blob: bytes) -> dict:
+        return self.call(lambda c: c.inspect(blob))
+
+    def stats(self) -> dict:
+        return self.call(lambda c: c.stats())
+
+    def ping(self) -> bool:
+        return self.call(lambda c: c.ping())

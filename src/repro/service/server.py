@@ -97,6 +97,11 @@ class ServiceConfig:
     #: pooled worklist) or ``"process"`` (one shared GIL-free
     #: :class:`~repro.core.executors.SharedMemoryProcessExecutor`).
     codec_policy: str = "threaded"
+    #: Backoff hint carried in BUSY responses (milliseconds).  Clients
+    #: with a :class:`~repro.service.resilience.RetryPolicy` treat it as
+    #: a lower bound on their next delay; 0 sends the hint-less
+    #: protocol-v1 empty body.
+    busy_retry_ms: int = 50
     #: Artificial per-job delay in seconds.  A test/experiment knob for
     #: exercising deadlines, backpressure, and drain deterministically;
     #: leave at 0 in production.
@@ -299,14 +304,15 @@ class CompressionServer:
             self._count(opname, "-", "shutdown")
             return
         cfg = self.config
+        busy_hint = proto.encode_busy_body(cfg.busy_retry_ms or None)
         if self._queue_depth >= cfg.queue_high_water:
             self.registry.counter("busy_rejections_total", reason="queue").inc()
-            await self._send(conn, proto.OP_BUSY, request_id)
+            await self._send(conn, proto.OP_BUSY, request_id, busy_hint)
             self._count(opname, "-", "busy")
             return
         if conn.bytes_in_flight + len(body) > cfg.conn_bytes_in_flight:
             self.registry.counter("busy_rejections_total", reason="conn-bytes").inc()
-            await self._send(conn, proto.OP_BUSY, request_id)
+            await self._send(conn, proto.OP_BUSY, request_id, busy_hint)
             self._count(opname, "-", "busy")
             return
         self._queue_depth += 1

@@ -171,6 +171,24 @@ class TestBodyCodecs:
         with pytest.raises(ProtocolError, match="empty"):
             wire.decode_error_body(b"")
 
+    def test_busy_body_round_trips_the_hint(self):
+        assert wire.decode_busy_body(wire.encode_busy_body(350)) == 350
+
+    def test_busy_body_empty_means_no_hint(self):
+        # Backward compatibility: pre-hint servers send bodyless BUSY.
+        assert wire.encode_busy_body(None) == b""
+        assert wire.decode_busy_body(b"") is None
+
+    def test_busy_body_rejects_wrong_length(self):
+        with pytest.raises(ProtocolError, match="retry_after_ms"):
+            wire.decode_busy_body(b"\x01\x02\x03")
+
+    def test_busy_hint_must_fit_u32(self):
+        with pytest.raises(ValueError, match="u32"):
+            wire.encode_busy_body(1 << 32)
+        with pytest.raises(ValueError, match="u32"):
+            wire.encode_busy_body(-1)
+
 
 class TestErrorCodeMapping:
     @pytest.mark.parametrize("exc,code", [

@@ -1,0 +1,296 @@
+"""Unit and live tests of the retry policy and the resilient client.
+
+The contract under test: transport failures and BUSY pushback are
+retried under a capped, jittered, budgeted backoff — across addresses
+when more than one is given — while deterministic server answers
+surface immediately, and a non-idempotent request is *never* re-sent
+once it may have reached a server.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import (
+    BusyError,
+    ConnectionBrokenError,
+    FormatError,
+    ServiceError,
+)
+from repro.service import ResilientClient, RetryPolicy, ServerThread, ServiceConfig
+from repro.service.resilience import (
+    format_address,
+    is_transport_error,
+    parse_address,
+    request_may_have_been_applied,
+)
+
+
+class TestAddresses:
+    def test_parse_host_port_string(self):
+        assert parse_address("10.1.2.3:9752") == ("10.1.2.3", 9752)
+
+    def test_parse_tuple_passthrough(self):
+        assert parse_address(("example", "80")) == ("example", 80)
+
+    def test_format_round_trips(self):
+        assert parse_address(format_address(("h", 1))) == ("h", 1)
+
+    @pytest.mark.parametrize("bad", ["nohost", ":80", "h:port", ""])
+    def test_malformed_addresses_are_typed(self, bad):
+        with pytest.raises(ServiceError):
+            parse_address(bad)
+
+
+class TestRetryPolicy:
+    def test_at_least_one_attempt_required(self):
+        with pytest.raises(ServiceError):
+            RetryPolicy(attempts=0)
+
+    def test_delays_respect_exponential_ceiling_and_cap(self):
+        policy = RetryPolicy(attempts=10, base_ms=10.0, cap_ms=55.0,
+                             budget_ms=1e9)
+        schedule = policy.schedule(random.Random(7))
+        for k in range(9):
+            ceiling = min(55.0, 10.0 * 2**k)
+            delay = schedule.next_delay_ms()
+            assert delay is not None
+            assert 0.0 <= delay <= ceiling
+
+    def test_attempts_exhaust(self):
+        schedule = RetryPolicy(attempts=3).schedule(random.Random(0))
+        assert schedule.next_delay_ms() is not None
+        assert schedule.next_delay_ms() is not None
+        assert schedule.next_delay_ms() is None  # 3 tries = 2 retries
+
+    def test_budget_exhausts_before_attempts(self):
+        policy = RetryPolicy(attempts=1000, base_ms=64.0, cap_ms=64.0,
+                             budget_ms=100.0)
+        schedule = policy.schedule(random.Random(3))
+        total = 0.0
+        while (delay := schedule.next_delay_ms(retry_after_ms=50)) is not None:
+            total += delay
+        assert total <= 100.0
+        assert schedule.retries < 1000
+
+    def test_retry_after_hint_is_a_floor(self):
+        policy = RetryPolicy(attempts=100, base_ms=1.0, cap_ms=1.0,
+                             budget_ms=1e9)
+        schedule = policy.schedule(random.Random(1))
+        for _ in range(20):
+            assert schedule.next_delay_ms(retry_after_ms=250) >= 250.0
+
+    def test_full_jitter_spreads_delays(self):
+        policy = RetryPolicy(attempts=200, base_ms=100.0, cap_ms=100.0,
+                             budget_ms=1e9)
+        schedule = policy.schedule(random.Random(5))
+        delays = [schedule.next_delay_ms() for _ in range(100)]
+        assert len(set(delays)) > 50  # not a fixed ladder
+
+
+class TestErrorClassification:
+    def test_plain_errors_are_not_transport(self):
+        assert not is_transport_error(FormatError("bad container"))
+
+    def test_marked_errors_are_transport(self):
+        exc = ServiceError("conn died")
+        exc.transport = True
+        assert is_transport_error(exc)
+
+    def test_unknown_provenance_counts_as_applied(self):
+        # The conservative default: without proof, assume the server
+        # may have acted on the request.
+        assert request_may_have_been_applied(ServiceError("?"))
+
+    def test_provably_unsent_requests_are_safe(self):
+        exc = ConnectionBrokenError("poisoned", request_sent=False)
+        assert not request_may_have_been_applied(exc)
+
+
+class _ScriptedClient:
+    """A fake ServiceClient driven by a list of outcomes."""
+
+    def __init__(self, label: str, log: list) -> None:
+        self.label = label
+        self.log = log
+        self.broken = None
+        self.closed = False
+
+    def close(self) -> None:
+        self.closed = True
+
+
+def _factory(script: dict, log: list):
+    """client_factory returning scripted fakes keyed by port."""
+
+    def make(host: str, port: int) -> _ScriptedClient:
+        outcome = script.get(port, "ok")
+        if outcome == "refuse":
+            log.append(("refused", port))
+            raise ServiceError(f"cannot connect to {host}:{port}")
+        log.append(("connected", port))
+        return _ScriptedClient(f"{host}:{port}", log)
+
+    return make
+
+
+def _transport_error(request_sent: bool) -> ServiceError:
+    exc = ServiceError("mid-frame failure")
+    exc.transport = True
+    exc.request_sent = request_sent
+    return exc
+
+
+class TestResilientClientUnit:
+    def _client(self, script=None, **kwargs):
+        log: list = []
+        client = ResilientClient(
+            [("127.0.0.1", 1), ("127.0.0.1", 2)],
+            policy=kwargs.pop("policy", RetryPolicy(attempts=4, base_ms=1.0)),
+            client_factory=_factory(script or {}, log),
+            sleep=lambda s: log.append(("slept", s)),
+            seed=0,
+            **kwargs,
+        )
+        return client, log
+
+    def test_needs_an_address(self):
+        with pytest.raises(ServiceError, match="at least one address"):
+            ResilientClient([])
+
+    def test_transport_failure_fails_over_to_next_address(self):
+        client, log = self._client()
+        calls: list[int] = []
+
+        def fn(c):
+            calls.append(1)
+            if len(calls) == 1:
+                c.broken = "poisoned"
+                raise _transport_error(True)
+            return c.label
+
+        assert client.call(fn) == "127.0.0.1:2"
+        assert ("connected", 1) in log and ("connected", 2) in log
+        assert client.registry.counter("client_failovers_total").value == 1
+
+    def test_unreachable_address_is_skipped(self):
+        client, log = self._client(script={1: "refuse"})
+        assert client.call(lambda c: c.label) == "127.0.0.1:2"
+        assert ("refused", 1) in log
+
+    def test_all_unreachable_raises_transport_error(self):
+        client, _ = self._client(script={1: "refuse", 2: "refuse"},
+                                 policy=RetryPolicy(attempts=2, base_ms=1.0))
+        with pytest.raises(ServiceError, match="no backend reachable"):
+            client.call(lambda c: c.label)
+
+    def test_busy_retries_and_honors_hint(self):
+        client, log = self._client()
+        attempts: list[int] = []
+
+        def fn(c):
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise BusyError("busy", retry_after_ms=200)
+            return "done"
+
+        assert client.call(fn) == "done"
+        sleeps = [s for kind, s in log if kind == "slept"]
+        assert len(sleeps) == 2
+        assert all(s >= 0.2 for s in sleeps)  # hint is the floor
+        assert client.registry.counter(
+            "client_retries_total", reason="busy"
+        ).value == 2
+
+    def test_deterministic_errors_surface_immediately(self):
+        client, _ = self._client()
+        attempts: list[int] = []
+
+        def fn(c):
+            attempts.append(1)
+            raise FormatError("bad container")
+
+        with pytest.raises(FormatError):
+            client.call(fn)
+        assert len(attempts) == 1  # retrying would fail identically
+
+    def test_non_idempotent_half_sent_is_never_resent(self):
+        client, _ = self._client()
+        attempts: list[int] = []
+
+        def fn(c):
+            attempts.append(1)
+            c.broken = "poisoned"
+            raise _transport_error(True)  # the request may have landed
+
+        with pytest.raises(ServiceError):
+            client.call(fn, idempotent=False)
+        assert len(attempts) == 1  # THE guard: no duplicate side effects
+
+    def test_non_idempotent_provably_unsent_is_retried(self):
+        client, _ = self._client()
+        attempts: list[int] = []
+
+        def fn(c):
+            attempts.append(1)
+            if len(attempts) == 1:
+                raise _transport_error(False)  # rejected before the wire
+            return "done"
+
+        assert client.call(fn, idempotent=False) == "done"
+        assert len(attempts) == 2
+
+    def test_idempotent_half_sent_is_retried(self):
+        client, _ = self._client()
+        attempts: list[int] = []
+
+        def fn(c):
+            attempts.append(1)
+            if len(attempts) == 1:
+                raise _transport_error(True)
+            return "done"
+
+        assert client.call(fn) == "done"
+        assert len(attempts) == 2
+
+    def test_retry_budget_exhaustion_surfaces_last_error(self):
+        client, _ = self._client(policy=RetryPolicy(attempts=3, base_ms=1.0))
+        with pytest.raises(BusyError):
+            client.call(lambda c: (_ for _ in ()).throw(BusyError("busy")))
+
+
+class TestResilientClientLive:
+    def test_survives_backend_death_mid_run(self, rng):
+        """Failover across two real servers while one dies mid-batch."""
+        data = np.cumsum(rng.normal(size=4_000)).astype(np.float32)
+        expected = repro.compress(data, "spspeed")
+        with ServerThread(ServiceConfig(port=0)) as a:
+            with ServerThread(ServiceConfig(port=0)) as b:
+                addresses = [f"127.0.0.1:{a.port}", f"127.0.0.1:{b.port}"]
+                with ResilientClient(
+                    addresses,
+                    policy=RetryPolicy(attempts=6, base_ms=5.0),
+                    seed=3,
+                ) as client:
+                    for i in range(30):
+                        if i == 10:
+                            a.stop(drain=False)  # first backend dies
+                        assert client.compress(data, "spspeed") == expected
+                    assert client.registry.counter(
+                        "client_reconnects_total"
+                    ).value >= 1
+
+    def test_reuses_one_connection_while_healthy(self, rng):
+        data = np.cumsum(rng.normal(size=2_000)).astype(np.float32)
+        with ServerThread(ServiceConfig(port=0)) as srv:
+            with ResilientClient(f"127.0.0.1:{srv.port}") as client:
+                for _ in range(5):
+                    client.compress(data, "spspeed")
+                assert client.registry.counter(
+                    "client_reconnects_total"
+                ).value == 1
+                assert client.connected_to == ("127.0.0.1", srv.port)

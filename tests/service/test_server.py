@@ -227,7 +227,98 @@ class TestBackpressure:
                     c.compress(np.zeros(4_096, dtype=np.float32))
 
 
+class TestBusyHint:
+    def test_busy_carries_retry_after_ms(self, rng):
+        config = _config(
+            queue_high_water=1, job_threads=1, job_delay=0.8,
+            busy_retry_ms=123,
+        )
+        data = _walk(rng, 1_000, np.float32)
+        with ServerThread(config) as srv:
+            worker = threading.Thread(
+                target=lambda: ServiceClient(port=srv.port).compress(data)
+            )
+            worker.start()
+            time.sleep(0.3)
+            with ServiceClient(port=srv.port) as c:
+                with pytest.raises(BusyError) as info:
+                    c.compress(data)
+                assert info.value.retry_after_ms == 123
+            worker.join()
+
+    def test_hint_can_be_disabled(self, rng):
+        # busy_retry_ms=0 sends the legacy empty BUSY body.
+        config = _config(conn_bytes_in_flight=1024, busy_retry_ms=0)
+        with ServerThread(config) as srv:
+            with ServiceClient(port=srv.port) as c:
+                with pytest.raises(BusyError) as info:
+                    c.compress(np.zeros(4_096, dtype=np.float32))
+                assert info.value.retry_after_ms is None
+
+
+class TestBrokenConnections:
+    """After a mid-frame failure the client connection must not be
+    silently reusable — the stream position cannot be trusted."""
+
+    def test_timeout_mid_frame_poisons_the_connection(self, rng):
+        config = _config(job_delay=1.0)
+        data = _walk(rng, 1_000, np.float32)
+        with ServerThread(config) as srv:
+            with ServiceClient(port=srv.port, timeout=0.2) as c:
+                with pytest.raises(ServiceError, match="timed out"):
+                    c.compress(data)
+                assert c.broken is not None
+                # Reuse fails fast and typed, before any byte is sent.
+                from repro.errors import ConnectionBrokenError
+
+                with pytest.raises(ConnectionBrokenError, match="desync"):
+                    c.ping()
+
+    def test_poisoned_errors_carry_transport_markers(self, rng):
+        config = _config(job_delay=1.0)
+        data = _walk(rng, 1_000, np.float32)
+        with ServerThread(config) as srv:
+            with ServiceClient(port=srv.port, timeout=0.2) as c:
+                with pytest.raises(ServiceError) as info:
+                    c.compress(data)
+                assert info.value.transport is True
+                assert info.value.request_sent is True  # ambiguous: sent
+
+    def test_rejected_oversize_request_does_not_poison(self, rng):
+        with ServerThread(_config()) as srv:
+            with ServiceClient(port=srv.port, max_frame=1024) as c:
+                with pytest.raises(ProtocolError) as info:
+                    c.compress(np.zeros(4_096, dtype=np.float32))
+                # Rejected before the wire: provably unsent, still usable.
+                assert info.value.request_sent is False
+                assert c.broken is None
+                assert c.ping()
+
+
 class TestGracefulDrain:
+    def test_client_disconnect_mid_request_does_not_wedge_drain(self, rng):
+        """A client that vanishes mid-request must not stall the drain:
+        its job completes into the void and stop() still returns."""
+        config = _config(job_delay=0.6, drain_timeout=10.0)
+        data = _walk(rng, 2_000, np.float32)
+        with ServerThread(config) as srv:
+            abandoner = ServiceClient(port=srv.port)
+            from repro.core import container as fmt
+
+            frame = wire.encode_frame(
+                wire.OP_COMPRESS, 1,
+                wire.encode_compress_body(data.tobytes(), codec="spspeed",
+                                          dtype_code=fmt.DTYPE_F32),
+            )
+            abandoner._sock.sendall(frame)
+            time.sleep(0.2)  # job admitted and running
+            abandoner.close()  # walk away mid-request
+            started = time.monotonic()
+            srv.stop(drain=True)
+            assert time.monotonic() - started < 8.0
+            # The drain completed despite the dead client: the job's
+            # reply was discarded, not raised.
+
     def test_stop_waits_for_inflight_work(self, rng):
         config = _config(job_delay=0.8, drain_timeout=30.0)
         data = _walk(rng, 2_000, np.float32)
