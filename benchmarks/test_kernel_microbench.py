@@ -12,6 +12,14 @@ byte-slice path (5-14x) and carry the geomean; the unaligned widths
 contribute their steadier 2-3x.  A single width regressing below ~2x
 will drag the geomean under the gate.
 
+``TestBackendSpeedup`` adds the backend dimension: the numba JIT
+kernels must beat the numpy lane kernels by the same >= 3x geomean on
+the *unaligned* pack/unpack widths (9-49 bits).  Aligned widths are
+excluded there by design — the numba backend delegates ``width % 8 == 0``
+to numpy's multi-GB/s byte-slice path, so at those widths the two
+backends are the same code.  The class auto-skips when numba is not
+importable; CI runs it in the ``backend-smoke`` job.
+
 Not part of tier-1 (``testpaths = ["tests"]``): timing gates belong in
 the benchmark suite, where a noisy CI box can rerun them in isolation.
 """
@@ -24,11 +32,17 @@ import time
 import numpy as np
 import pytest
 
+from repro.bitpack import backend as _backend
 from repro.bitpack import pack_words, unpack_words
+from repro.bitpack._numba_kernels import HAVE_NUMBA
 from repro.harness.trajectory import KERNEL_CHUNK_BYTES, KERNEL_WIDTHS
 
 MIN_GEOMEAN_SPEEDUP = 3.0
 RUNS = 9
+
+#: Unaligned widths for the backend gate — spanning the 9-49 bit band
+#: the ISSUE names, none divisible by 8 (see module docstring).
+BACKEND_GATE_WIDTHS = (9, 13, 21, 29, 37, 45, 49)
 
 
 def _reference_pack(words: np.ndarray, width: int, word_bits: int) -> bytes:
@@ -115,5 +129,55 @@ class TestKernelSpeedup:
         geomean = math.prod(speedups) ** (1 / len(speedups))
         assert geomean >= MIN_GEOMEAN_SPEEDUP, (
             f"unpack w{word_bits}: geomean {geomean:.2f}x "
+            f"(per width: {[f'{s:.1f}x' for s in speedups]})"
+        )
+
+
+@pytest.mark.skipif(not HAVE_NUMBA, reason="numba not importable")
+@pytest.mark.parametrize("word_bits", [32, 64])
+class TestBackendSpeedup:
+    """numba JIT vs numpy lane kernels, paired-interleaved per width."""
+
+    def _gate_widths(self, word_bits):
+        return tuple(w for w in BACKEND_GATE_WIDTHS if w <= word_bits)
+
+    def test_pack_backend_geomean_speedup(self, word_bits):
+        numba_pack = _backend.get_backend("numba").resolved["pack_lanes"]
+        numpy_pack = _backend.get_backend("numpy").resolved["pack_lanes"]
+        speedups = []
+        for width in self._gate_widths(word_bits):
+            words = _sample(word_bits, width)
+            assert numba_pack(words, width, word_bits) == numpy_pack(
+                words, width, word_bits
+            )
+            speedups.append(_paired_speedup(
+                lambda: numba_pack(words, width, word_bits),
+                lambda: numpy_pack(words, width, word_bits),
+            ))
+        geomean = math.prod(speedups) ** (1 / len(speedups))
+        assert geomean >= MIN_GEOMEAN_SPEEDUP, (
+            f"numba pack w{word_bits}: geomean {geomean:.2f}x "
+            f"(per width: {[f'{s:.1f}x' for s in speedups]})"
+        )
+
+    def test_unpack_backend_geomean_speedup(self, word_bits):
+        numba_unpack = _backend.get_backend("numba").resolved["unpack_lanes"]
+        numpy_unpack = _backend.get_backend("numpy").resolved["unpack_lanes"]
+        n = KERNEL_CHUNK_BYTES // (word_bits // 8)
+        speedups = []
+        for width in self._gate_widths(word_bits):
+            words = _sample(word_bits, width)
+            packed = np.frombuffer(pack_words(words, width, word_bits), np.uint8)
+            assert np.array_equal(
+                numba_unpack(packed, n, width, word_bits),
+                numpy_unpack(packed, n, width, word_bits),
+            )
+            speedups.append(_paired_speedup(
+                lambda: numba_unpack(packed, n, width, word_bits),
+                lambda: numpy_unpack(packed, n, width, word_bits),
+            ))
+        geomean = math.prod(speedups) ** (1 / len(speedups))
+        assert geomean >= MIN_GEOMEAN_SPEEDUP, (
+            f"numba unpack w{word_bits}: geomean {geomean:.2f}x "
             f"(per width: {[f'{s:.1f}x' for s in speedups]})"
         )

@@ -15,11 +15,25 @@ transformations are built from:
   as a reference.
 * :mod:`repro.bitpack.transpose` — bit transposition (the BIT stage).
 * :mod:`repro.bitpack.bytes_util` — byte views, byte shuffles, safe casts.
+* :mod:`repro.bitpack.backend` — the kernel backend registry: the hot
+  kernels above dispatch through it, so accelerated implementations
+  (numba JIT, cupy) can be swapped in per process without touching call
+  sites.  Every backend must be byte-identical to the numpy reference.
 
 All functions operate on numpy arrays and are pure (no in-place mutation
 of caller data).
 """
 
+from repro.bitpack.backend import (
+    KernelBackend,
+    active_backend,
+    available_backends,
+    backend_versions,
+    get_backend,
+    register_backend,
+    set_backend,
+    use_backend,
+)
 from repro.bitpack.bytes_util import (
     byte_shuffle,
     byte_unshuffle,
@@ -37,6 +51,10 @@ from repro.bitpack.transpose import (
 from repro.bitpack.zigzag import zigzag_decode, zigzag_encode
 
 __all__ = [
+    "KernelBackend",
+    "active_backend",
+    "available_backends",
+    "backend_versions",
     "bit_transpose",
     "bit_transpose_batch",
     "bit_untranspose",
@@ -44,10 +62,14 @@ __all__ = [
     "byte_shuffle",
     "byte_unshuffle",
     "count_leading_zeros",
+    "get_backend",
     "leading_common_bits",
     "pack_words",
     "packed_size_bytes",
+    "register_backend",
+    "set_backend",
     "unpack_words",
+    "use_backend",
     "words_from_bytes",
     "words_to_bytes",
     "zigzag_decode",

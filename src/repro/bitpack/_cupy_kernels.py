@@ -1,0 +1,106 @@
+"""CuPy GPU stub backend — the real-GPU path through the kernel registry.
+
+Registered only when ``cupy`` imports (never auto-selected: host<->device
+transfers lose badly on the paper's 16 KiB chunks, so GPU runs must be
+requested explicitly with ``--backend cupy`` / ``set_backend("cupy")``).
+
+This is deliberately a *stub* in the paper's sense of compatible
+implementations: the elementwise kernels (CLZ, leading-common-bits, the
+per-row eliminated-counts histogram) run on the device with the same
+shift-smear/popcount formulation as the numpy reference, while the
+serialisation kernels (pack/unpack, bit transpose) fall back to the
+numpy reference on the host.  Wire bytes are therefore identical by
+construction, and the parity suite (which runs every registered backend
+against the reference) keeps it that way as the device coverage grows.
+Porting the word-lane pack kernels to fused device kernels is the open
+item tracked in ROADMAP.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # pragma: no cover - exercised only where cupy + a GPU exist
+    import cupy
+
+    cupy.zeros(1)  # fail fast when no device/driver is usable
+    HAVE_CUPY = True
+    CUPY_VERSION = cupy.__version__
+except Exception:  # pragma: no cover - ImportError or CUDA runtime errors
+    cupy = None
+    HAVE_CUPY = False
+    CUPY_VERSION = None
+
+
+def _device_clz(words, word_bits: int):  # pragma: no cover - GPU only
+    """Shift-smear + popcount CLZ on device, mirroring the reference."""
+    x = cupy.asarray(words)
+    dt = x.dtype.type
+    smear = x | (x >> dt(1))
+    shift = 2
+    while shift < word_bits:
+        smear |= smear >> dt(shift)
+        shift <<= 1
+    by = smear.view(cupy.uint8).reshape(smear.shape + (x.dtype.itemsize,))
+    pop8 = cupy.asarray(
+        np.array([bin(v).count("1") for v in range(256)], dtype=np.uint8)
+    )
+    pop = pop8[by].sum(axis=-1, dtype=cupy.uint8)
+    return (cupy.uint8(word_bits) - pop).astype(cupy.uint8)
+
+
+def _make_kernels() -> dict:  # pragma: no cover - GPU only
+    def count_leading_zeros(words: np.ndarray, word_bits: int) -> np.ndarray:
+        if words.dtype.itemsize * 8 != word_bits:
+            raise ValueError(
+                f"dtype {words.dtype} does not match word_bits={word_bits}"
+            )
+        if words.size == 0:
+            return np.zeros(words.shape, dtype=np.uint8)
+        return cupy.asnumpy(_device_clz(words, word_bits))
+
+    def leading_common_bits(
+        words: np.ndarray, word_bits: int, *, initial: int = 0
+    ) -> np.ndarray:
+        if len(words) == 0:
+            return np.zeros(0, dtype=np.uint8)
+        x = cupy.asarray(words)
+        prev = cupy.empty_like(x)
+        prev[0] = x.dtype.type(initial)
+        prev[1:] = x[:-1]
+        return cupy.asnumpy(_device_clz(x ^ prev, word_bits))
+
+    def eliminated_counts_rows(
+        leading2d: np.ndarray, word_bits: int
+    ) -> np.ndarray:
+        n_rows = len(leading2d)
+        bins = word_bits + 1
+        flat = cupy.asarray(leading2d, dtype=cupy.int64)
+        offset = cupy.arange(n_rows, dtype=cupy.int64)[:, None] * bins
+        hist = cupy.bincount(
+            (flat + offset).reshape(-1), minlength=n_rows * bins
+        )
+        hist = hist[: n_rows * bins].reshape(n_rows, bins)
+        return cupy.asnumpy(cupy.cumsum(hist[:, ::-1], axis=1)[:, ::-1])
+
+    return {
+        "count_leading_zeros": count_leading_zeros,
+        "leading_common_bits": leading_common_bits,
+        "eliminated_counts_rows": eliminated_counts_rows,
+        # pack_lanes / unpack_lanes / bit_(un)transpose / choose_k_rows
+        # intentionally absent: they resolve to the numpy reference.
+    }
+
+
+def make_backend():  # pragma: no cover - GPU only
+    """The registered ``cupy`` backend (call only when cupy imports)."""
+    from repro.bitpack.backend import KernelBackend
+
+    return KernelBackend(
+        name="cupy",
+        kernels=_make_kernels(),
+        version=CUPY_VERSION,
+        accelerated=True,
+        priority=5,
+        auto=False,
+    )

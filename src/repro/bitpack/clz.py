@@ -9,17 +9,24 @@ Used by:
 * RARE — the analogous histogram of leading-*common*-bit counts (with the
   previous value) drives its adaptive split.
 
-The implementation avoids float conversion (which misrounds near powers
-of two above 2^53): it smears the leading one bit rightward with a
-shift/OR cascade and counts the resulting set bits, so
+The numpy implementation avoids float conversion (which misrounds near
+powers of two above 2^53): it smears the leading one bit rightward with
+a shift/OR cascade and counts the resulting set bits, so
 ``clz = word_bits - popcount(smear(x))``.  This touches each word
 O(log word_bits) times with no per-call index allocation (the previous
 byte-scan needed a fancy-indexed gather of the first nonzero byte).
+
+Both public functions dispatch through the kernel backend registry
+(:mod:`repro.bitpack.backend`); the smear/popcount code below is the
+``numpy`` reference implementation every other backend is verified
+against byte for byte.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro.bitpack import backend as _backend
 
 # _POP8[b] = number of set bits in the 8-bit value b; fallback popcount
 # table for numpy builds without np.bitwise_count (added in numpy 2.0).
@@ -41,8 +48,25 @@ def count_leading_zeros(words: np.ndarray, word_bits: int) -> np.ndarray:
     ``words`` must be an unsigned array whose itemsize matches
     ``word_bits``; any shape is accepted (the batched stage kernels pass
     ``(n_chunks, words_per_chunk)`` grids) and the result has the same
-    shape.  Returns a ``uint8`` array.
+    shape.  Returns a ``uint8`` array.  Dispatches to the active kernel
+    backend.
     """
+    return _backend.kernel("count_leading_zeros")(words, word_bits)
+
+
+def leading_common_bits(words: np.ndarray, word_bits: int, *, initial: int = 0) -> np.ndarray:
+    """Per-element count of leading bits shared with the previous element.
+
+    Element 0 is compared against ``initial`` (default 0, matching the
+    convention that the value preceding a chunk is zero).  Identical
+    neighbours share all ``word_bits`` bits.  Dispatches to the active
+    kernel backend.
+    """
+    return _backend.kernel("leading_common_bits")(words, word_bits, initial=initial)
+
+
+def _count_leading_zeros_numpy(words: np.ndarray, word_bits: int) -> np.ndarray:
+    """The numpy reference CLZ (shift-smear + popcount)."""
     if words.dtype.itemsize * 8 != word_bits:
         raise ValueError(f"dtype {words.dtype} does not match word_bits={word_bits}")
     if words.size == 0:
@@ -57,16 +81,13 @@ def count_leading_zeros(words: np.ndarray, word_bits: int) -> np.ndarray:
     return (np.uint8(word_bits) - _popcount(x)).astype(np.uint8)
 
 
-def leading_common_bits(words: np.ndarray, word_bits: int, *, initial: int = 0) -> np.ndarray:
-    """Per-element count of leading bits shared with the previous element.
-
-    Element 0 is compared against ``initial`` (default 0, matching the
-    convention that the value preceding a chunk is zero).  Identical
-    neighbours share all ``word_bits`` bits.
-    """
+def _leading_common_bits_numpy(
+    words: np.ndarray, word_bits: int, *, initial: int = 0
+) -> np.ndarray:
+    """The numpy reference leading-common-bits (CLZ of the XOR stream)."""
     if len(words) == 0:
         return np.zeros(0, dtype=np.uint8)
     prev = np.empty_like(words)
     prev[0] = words.dtype.type(initial)
     prev[1:] = words[:-1]
-    return count_leading_zeros(words ^ prev, word_bits)
+    return _count_leading_zeros_numpy(words ^ prev, word_bits)

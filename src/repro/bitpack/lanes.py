@@ -60,6 +60,14 @@ _LITTLE = sys.byteorder == "little"
 _BE = {k: np.dtype(f">u{k}") for k in (1, 2, 4, 8)}
 _NATIVE = {32: np.dtype("u4"), 64: np.dtype("u8")}
 
+#: LRU bound shared by every module-level plan cache below.  The plans
+#: are keyed by ``(count, width)``, and a long-running ``fprz serve``
+#: process sees an unbounded stream of distinct shapes (every request
+#: geometry mints new keys) — the cap turns that into bounded memory at
+#: the cost of re-deriving a plan on eviction (a few vector ops).
+#: ``tests/bitpack/test_lanes_cache.py`` pins the bound.
+PLAN_CACHE_SIZE = 512
+
 
 def _freeze(arrays: tuple) -> tuple:
     """Mark cached plan arrays read-only (plans are shared across threads)."""
@@ -79,7 +87,7 @@ def _chain_rounds(width: int, win: int) -> int:
     return rounds
 
 
-@lru_cache(maxsize=512)
+@lru_cache(maxsize=PLAN_CACHE_SIZE)
 def _single_gather_pack_plan(n: int, width: int, win: int):
     """Window origin value ``v0`` and in-value bit offset ``r0`` per window."""
     n_win = -(-(n * width) // win)
@@ -90,7 +98,7 @@ def _single_gather_pack_plan(n: int, width: int, win: int):
     return _freeze((v0, r0)) + (n_win,)
 
 
-@lru_cache(maxsize=512)
+@lru_cache(maxsize=PLAN_CACHE_SIZE)
 def _pair_pack_plan(n: int, width: int):
     """Two-contributor plan for 32-bit windows with ``width >= 32``."""
     n_win = -(-(n * width) // 32)
@@ -102,7 +110,7 @@ def _pair_pack_plan(n: int, width: int):
     return _freeze((v0, v0 + 1, r0, q)) + (n_win,)
 
 
-@lru_cache(maxsize=512)
+@lru_cache(maxsize=PLAN_CACHE_SIZE)
 def _boundary_unpack_plan(count: int, width: int, grain: int, idx_dtype: str):
     """Window index and in-window offset per value at ``grain``-bit boundaries."""
     bitpos = np.arange(count, dtype=_U64) * _U64(width)
@@ -111,7 +119,7 @@ def _boundary_unpack_plan(count: int, width: int, grain: int, idx_dtype: str):
     return _freeze((q0, off))
 
 
-@lru_cache(maxsize=512)
+@lru_cache(maxsize=PLAN_CACHE_SIZE)
 def _two_lane_unpack_plan(count: int, width: int):
     """Two-gather plan over 64-bit lanes (widths 34..63 of 64-bit words).
 

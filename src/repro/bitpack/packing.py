@@ -14,14 +14,20 @@ only come from corruption, never from :func:`pack_words`.
 The heavy lifting lives in :mod:`repro.bitpack.lanes`, which computes the
 identical byte stream via word-lane shift/OR kernels instead of the
 historical one-byte-per-bit matrix (kept as a reference implementation in
-the test suite).
+the test suite).  Both functions dispatch through the kernel backend
+registry (:mod:`repro.bitpack.backend`): the lane kernels are the
+``numpy`` reference, the ``numba`` backend swaps in fused single-pass
+JIT loops, and every backend must produce identical wire bytes.
+Validation (width range, buffer length, pad bits) happens here, before
+dispatch, so every backend shares one error contract.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.bitpack.lanes import _NATIVE, pack_lanes, unpack_lanes
+from repro.bitpack import backend as _backend
+from repro.bitpack.lanes import _NATIVE
 from repro.errors import CorruptDataError
 
 
@@ -38,7 +44,7 @@ def pack_words(words: np.ndarray, width: int, word_bits: int) -> bytes:
     """
     if not 0 <= width <= word_bits:
         raise ValueError(f"width {width} out of range for {word_bits}-bit words")
-    return pack_lanes(words, width, word_bits)
+    return _backend.kernel("pack_lanes")(words, width, word_bits)
 
 
 def unpack_words(buf: bytes | np.ndarray, count: int, width: int, word_bits: int) -> np.ndarray:
@@ -66,4 +72,4 @@ def unpack_words(buf: bytes | np.ndarray, count: int, width: int, word_bits: int
             f"nonzero padding bits in final byte of packed stream "
             f"(count={count}, width={width})"
         )
-    return unpack_lanes(raw, count, width, word_bits)
+    return _backend.kernel("unpack_lanes")(raw, count, width, word_bits)

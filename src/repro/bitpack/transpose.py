@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.bitpack import backend as _backend
 
 _U64 = np.uint64
 
@@ -44,10 +45,24 @@ def _transpose8(lanes: np.ndarray) -> np.ndarray:
 def bit_transpose(words: np.ndarray, word_bits: int) -> bytes:
     """Transpose the bit matrix of ``words``; returns the row-major stream.
 
-    Output size is ``word_bits * ceil(n / 8)`` bytes.  Works on 8x8 bit
-    blocks in uint64 lanes — O(n · word_bits / 64) lane operations —
-    instead of materialising the one-byte-per-bit matrix.
+    Output size is ``word_bits * ceil(n / 8)`` bytes.  Dispatches to the
+    active kernel backend; the numpy reference works on 8x8 bit blocks
+    in uint64 lanes — O(n · word_bits / 64) lane operations — instead of
+    materialising the one-byte-per-bit matrix.
     """
+    return _backend.kernel("bit_transpose")(words, word_bits)
+
+
+def bit_untranspose(buf: bytes | np.ndarray, count: int, word_bits: int) -> np.ndarray:
+    """Inverse of :func:`bit_transpose`; returns ``count`` unsigned words.
+
+    Dispatches to the active kernel backend.
+    """
+    return _backend.kernel("bit_untranspose")(buf, count, word_bits)
+
+
+def _bit_transpose_numpy(words: np.ndarray, word_bits: int) -> bytes:
+    """The numpy reference transpose (masked-swap u64 lanes)."""
     n = len(words)
     if n == 0:
         return b""
@@ -126,12 +141,15 @@ def bit_untranspose_batch(
     return be.astype(dtype)
 
 
-def bit_untranspose(buf: bytes | np.ndarray, count: int, word_bits: int) -> np.ndarray:
-    """Inverse of :func:`bit_transpose`; returns ``count`` unsigned words."""
+def _bit_untranspose_numpy(buf: bytes | np.ndarray, count: int, word_bits: int) -> np.ndarray:
+    """The numpy reference inverse transpose."""
     dtype = np.dtype(f"u{word_bits // 8}")
     if count == 0:
         return np.zeros(0, dtype=dtype)
-    raw = np.frombuffer(buf, dtype=np.uint8) if isinstance(buf, (bytes, bytearray, memoryview)) else np.asarray(buf, dtype=np.uint8)
+    if isinstance(buf, (bytes, bytearray, memoryview)):
+        raw = np.frombuffer(buf, dtype=np.uint8)
+    else:
+        raw = np.asarray(buf, dtype=np.uint8)
     row_bytes = (count + 7) // 8
     need = word_bits * row_bytes
     if len(raw) < need:

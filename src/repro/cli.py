@@ -28,6 +28,29 @@ from repro.service.protocol import DEFAULT_MAX_FRAME, DEFAULT_PORT
 from repro.service.router import DEFAULT_ROUTER_PORT
 
 
+def _pin_backend(args: argparse.Namespace):
+    """Pin the kernel backend named by ``--backend`` for a command's run.
+
+    A no-pin pass-through when the flag was not given, so a process-level
+    pin (or the ``FPRZ_KERNEL_BACKEND`` environment variable) stays in
+    charge.  Yields the active :class:`~repro.bitpack.backend.KernelBackend`
+    either way.
+    """
+    import contextlib
+
+    from repro.bitpack import backend as kernel_backend
+
+    name = getattr(args, "backend", None)
+    if name is not None:
+        return kernel_backend.use_backend(name)
+
+    @contextlib.contextmanager
+    def _current():
+        yield kernel_backend.active_backend()
+
+    return _current()
+
+
 def _cmd_compress(args: argparse.Namespace) -> int:
     data = Path(args.input).read_bytes()
     if args.dtype != "bytes":
@@ -163,9 +186,7 @@ def _cmd_bench_measured(args: argparse.Namespace) -> int:
         SCHEDULING_POLICIES,
         normalize_policy,
     )
-    from repro.core.trace import TraceCollector
     from repro.harness import format_measured, measure_executors
-    from repro.metrics import summarize_trace
 
     workers = _resolve_workers(args)
     codec = args.codec or "spratio"
@@ -177,41 +198,51 @@ def _cmd_bench_measured(args: argparse.Namespace) -> int:
             raise ReproError(str(exc)) from exc
     else:
         policies = SCHEDULING_POLICIES
-    print(f"measured engine runs: codec {codec}, {len(data)} input bytes, "
-          f"{workers} worker(s)")
+    with _pin_backend(args) as active:
+        print(f"measured engine runs: codec {codec}, {len(data)} input bytes, "
+              f"{workers} worker(s), kernel backend {active.describe()}")
+        print()
+        print(format_measured(measure_executors(
+            data, codec, policies=policies, workers=workers,
+        )))
+        if not args.trace:
+            return 0
+        return _bench_trace(data, codec, workers, policies)
+
+
+def _bench_trace(data, codec, workers, policies) -> int:
+    """Print per-chunk stage traces (runs under the caller's backend pin)."""
+    from repro.core.trace import TraceCollector
+    from repro.metrics import summarize_trace
+
+    # The process policy runs chunks in other address spaces, so
+    # per-chunk traces cannot be collected there; trace the threaded
+    # schedule instead (same batched kernels, same bytes).
+    traced_policy = policies[0]
+    if traced_policy == "process":
+        traced_policy = "threaded"
+        print()
+        print("(per-chunk traces are unavailable under the process "
+              "policy; tracing the threaded schedule instead)")
+    collector = TraceCollector()
+    repro.compress(data, codec, workers=workers,
+                   executor=traced_policy, trace=collector)
     print()
-    print(format_measured(measure_executors(
-        data, codec, policies=policies, workers=workers,
-    )))
-    if args.trace:
-        # The process policy runs chunks in other address spaces, so
-        # per-chunk traces cannot be collected there; trace the threaded
-        # schedule instead (same batched kernels, same bytes).
-        traced_policy = policies[0]
-        if traced_policy == "process":
-            traced_policy = "threaded"
-            print()
-            print("(per-chunk traces are unavailable under the process "
-                  "policy; tracing the threaded schedule instead)")
-        collector = TraceCollector()
-        repro.compress(data, codec, workers=workers,
-                       executor=traced_policy, trace=collector)
-        print()
-        print(summarize_trace(collector).render())
-        print()
-        header = (f"{'chunk':>5} {'worker':>6} {'in B':>8} {'out B':>8} "
-                  f"{'raw':>3} {'ms':>8}  stages (ms, out B)")
-        print(header)
-        print("-" * len(header))
-        for chunk in collector.chunks:
-            stages = "  ".join(
-                f"{e.stage}={e.seconds * 1e3:.3f}ms/{e.out_bytes}B"
-                for e in chunk.stages
-            )
-            print(f"{chunk.index:>5} {chunk.worker:>6} "
-                  f"{chunk.original_len:>8} {chunk.payload_len:>8} "
-                  f"{'y' if chunk.raw_fallback else '-':>3} "
-                  f"{chunk.seconds * 1e3:>8.3f}  {stages}")
+    print(summarize_trace(collector).render())
+    print()
+    header = (f"{'chunk':>5} {'worker':>6} {'in B':>8} {'out B':>8} "
+              f"{'raw':>3} {'ms':>8}  stages (ms, out B)")
+    print(header)
+    print("-" * len(header))
+    for chunk in collector.chunks:
+        stages = "  ".join(
+            f"{e.stage}={e.seconds * 1e3:.3f}ms/{e.out_bytes}B"
+            for e in chunk.stages
+        )
+        print(f"{chunk.index:>5} {chunk.worker:>6} "
+              f"{chunk.original_len:>8} {chunk.payload_len:>8} "
+              f"{'y' if chunk.raw_fallback else '-':>3} "
+              f"{chunk.seconds * 1e3:>8.3f}  {stages}")
     return 0
 
 
@@ -228,8 +259,10 @@ def _cmd_bench_trajectory(args: argparse.Namespace) -> int:
     workers = _resolve_workers(args)
     point = record_trajectory(
         tag=args.tag, scale=args.scale, workers=workers,
-        policy=args.policy,
+        policy=args.policy, backend=getattr(args, "backend", None),
     )
+    print(f"kernel backend: {point['config']['kernel_backend']}")
+    print()
     print(format_trajectory(point))
     if args.save:
         save_trajectory(point, args.save)
@@ -325,7 +358,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         queue_high_water=args.queue_high_water,
         request_timeout=args.deadline, drain_timeout=args.drain_timeout,
         job_threads=args.job_threads, codec_workers=args.codec_workers,
-        codec_policy=args.policy,
+        codec_policy=args.policy, kernel_backend=args.backend,
     )
     server = CompressionServer(config)
 
@@ -335,7 +368,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               f"deadline {config.request_timeout:g}s, "
               f"{config.job_threads} job threads x "
               f"{config.codec_workers} codec workers "
-              f"[{config.codec_policy}])",
+              f"[{config.codec_policy}], "
+              f"kernel backend {server._kernel_backend})",
               flush=True)
 
     # ``run`` installs SIGTERM/SIGINT handlers for graceful drain.
@@ -372,6 +406,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         print(f"draining:     {server.get('draining')}")
         print(f"queue depth:  {server.get('queue_depth')} "
               f"(high-water {server.get('queue_high_water')})")
+        print(f"kernels:      {server.get('kernel_backend') or 'unknown'}")
     print()
     print(render_snapshot(stats.get("metrics", {})))
     return 0
@@ -631,6 +666,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default 0.30)")
     p.add_argument("--tag", default=None,
                    help="tag stored inside the trajectory point (e.g. pr3)")
+    p.add_argument("--backend", default=None,
+                   help="kernel backend for measured/trajectory runs: "
+                        "numpy | numba | cupy (default: auto — numba "
+                        "when importable, else numpy)")
     p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("table1", help="print the Table 1 compressor inventory")
@@ -703,6 +742,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "GIL-free process pool)")
     p.add_argument("--drain-timeout", type=float, default=10.0,
                    help="seconds to wait for in-flight jobs on shutdown")
+    p.add_argument("--backend", default=None,
+                   help="kernel backend the service pins at startup: "
+                        "numpy | numba | cupy (default: auto)")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("stats", help="print a running server's live metrics")

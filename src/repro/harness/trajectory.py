@@ -38,6 +38,7 @@ from pathlib import Path
 import numpy as np
 
 import repro
+from repro.bitpack import backend as kernel_backend_registry
 from repro.bitpack import bit_transpose, bit_untranspose, count_leading_zeros
 from repro.bitpack.packing import pack_words, unpack_words
 from repro.errors import ReproError
@@ -128,6 +129,86 @@ def _kernel_section(runs: int) -> dict:
             )
         }
     return kernels
+
+
+#: (word_bits, width) cells the per-backend kernel comparison times —
+#: one unaligned width per word size (aligned widths share numpy's
+#: byte-slice path across backends, so they would compare a kernel to
+#: itself).
+BACKEND_KERNEL_CELLS = ((32, 13), (64, 29))
+
+#: The real (importable) backends the kernel_backend section measures.
+#: Test-only parity backends (``numba-py``) and explicitly-opt-in GPU
+#: backends are excluded: the section compares deployable CPU defaults.
+_MEASURED_BACKENDS = ("numpy", "numba")
+
+
+def _kernel_backend_section(scale: float, runs: int) -> dict:
+    """Per-backend kernel and end-to-end codec throughput.
+
+    For every measurable registered backend: the pack/unpack kernels at
+    one unaligned width per word size, the BIT transpose, CLZ, and one
+    end-to-end compress/decompress per float width (spratio/dpratio).
+    Rows are keyed ``<backend>/...`` so two trajectory points can be
+    compared per backend; the section only carries backends that are
+    actually importable on the recording machine.
+    """
+    rows: dict[str, dict] = {}
+    registered = kernel_backend_registry.available_backends()
+    for name in _MEASURED_BACKENDS:
+        if name not in registered:
+            continue
+        with kernel_backend_registry.use_backend(name):
+            for word_bits, width in BACKEND_KERNEL_CELLS:
+                n = KERNEL_CHUNK_BYTES // (word_bits // 8)
+                words = _sample_words(word_bits, width)
+                packed = pack_words(words, width, word_bits)
+                rows[f"{name}/pack_words/w{word_bits}/width{width}"] = {
+                    "bytes_per_s": measure_throughput(
+                        lambda: pack_words(words, width, word_bits),
+                        KERNEL_CHUNK_BYTES, runs=runs,
+                    )
+                }
+                rows[f"{name}/unpack_words/w{word_bits}/width{width}"] = {
+                    "bytes_per_s": measure_throughput(
+                        lambda: unpack_words(packed, n, width, word_bits),
+                        KERNEL_CHUNK_BYTES, runs=runs,
+                    )
+                }
+                full = _sample_words(word_bits, word_bits - 1)
+                blob = bit_transpose(full, word_bits)
+                rows[f"{name}/bit_transpose/w{word_bits}"] = {
+                    "bytes_per_s": measure_throughput(
+                        lambda: bit_transpose(full, word_bits),
+                        KERNEL_CHUNK_BYTES, runs=runs,
+                    )
+                }
+                rows[f"{name}/bit_untranspose/w{word_bits}"] = {
+                    "bytes_per_s": measure_throughput(
+                        lambda: bit_untranspose(blob, n, word_bits),
+                        KERNEL_CHUNK_BYTES, runs=runs,
+                    )
+                }
+                rows[f"{name}/count_leading_zeros/w{word_bits}"] = {
+                    "bytes_per_s": measure_throughput(
+                        lambda: count_leading_zeros(full, word_bits),
+                        KERNEL_CHUNK_BYTES, runs=runs,
+                    )
+                }
+            for codec in ("spratio", "dpratio"):
+                data = _bench_sample(codec, scale)
+                blob = repro.compress(data, codec)
+                rows[f"{name}/codec/{codec}"] = {
+                    "compress_bytes_per_s": measure_throughput(
+                        lambda d=data, c=codec: repro.compress(d, c),
+                        len(data), runs=runs,
+                    ),
+                    "decompress_bytes_per_s": measure_throughput(
+                        lambda b=blob: repro.decompress(b), len(data), runs=runs
+                    ),
+                    "input_bytes": len(data),
+                }
+    return rows
 
 
 def _bench_sample(codec_name: str, scale: float) -> bytes:
@@ -449,6 +530,7 @@ def record_trajectory(
     workers: int = 1,
     runs: int = 3,
     policy: str | None = None,
+    backend: str | None = None,
 ) -> dict:
     """Measure a full trajectory point; returns the JSON-ready dict.
 
@@ -457,30 +539,39 @@ def record_trajectory(
     recorded verbatim in the point's config so any two points state
     their execution configuration.  ``policy`` pins the measured
     executor policy; ``None`` keeps the historical rule (serial for one
-    worker, threaded otherwise).
+    worker, threaded otherwise).  ``backend`` pins the kernel backend
+    every section runs under (``None`` keeps the process default); the
+    resolved name and registered backend versions land in the config so
+    points recorded under different backends never compare silently.
+    The ``kernel_backend`` section always measures every importable
+    backend side by side, regardless of the pin.
     """
-    return {
-        "schema": SCHEMA_VERSION,
-        "tag": tag,
-        "config": {
-            "scale": scale,
-            "workers": workers,
-            "policy": policy or ("serial" if workers <= 1 else "threaded"),
-            "runs": runs,
-            "kernel_chunk_bytes": KERNEL_CHUNK_BYTES,
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "machine": platform.machine(),
-            "cpu_count": os.cpu_count(),
-        },
-        "kernels": _kernel_section(runs),
-        "codecs": _codec_section(scale, runs, workers, policy),
-        "stages": _stage_section(scale, runs),
-        "service": _service_section(scale, runs),
-        "range_read": _range_read_section(scale, runs),
-        "fcm_parallel": _fcm_parallel_section(scale, runs, workers),
-        "resilience": _resilience_section(scale, runs),
-    }
+    with kernel_backend_registry.use_backend(backend) as active:
+        return {
+            "schema": SCHEMA_VERSION,
+            "tag": tag,
+            "config": {
+                "scale": scale,
+                "workers": workers,
+                "policy": policy or ("serial" if workers <= 1 else "threaded"),
+                "runs": runs,
+                "kernel_chunk_bytes": KERNEL_CHUNK_BYTES,
+                "python": platform.python_version(),
+                "numpy": np.__version__,
+                "machine": platform.machine(),
+                "cpu_count": os.cpu_count(),
+                "kernel_backend": active.name,
+                "backend_versions": kernel_backend_registry.backend_versions(),
+            },
+            "kernels": _kernel_section(runs),
+            "codecs": _codec_section(scale, runs, workers, policy),
+            "stages": _stage_section(scale, runs),
+            "service": _service_section(scale, runs),
+            "range_read": _range_read_section(scale, runs),
+            "fcm_parallel": _fcm_parallel_section(scale, runs, workers),
+            "resilience": _resilience_section(scale, runs),
+            "kernel_backend": _kernel_backend_section(scale, runs),
+        }
 
 
 def save_trajectory(point: dict, path: str | Path) -> None:
@@ -558,6 +649,18 @@ def format_trajectory(point: dict) -> str:
         lines.append(f"{'kernel':>32} {'throughput':>12}")
         for key, row in sorted(kernels.items()):
             lines.append(f"{key:>32} {row['bytes_per_s'] / 1e6:>9.2f} MB/s")
+    backends = point.get("kernel_backend", {})
+    if backends:
+        lines.append("")
+        lines.append(f"{'backend kernel':>40} {'throughput':>12}")
+        for key, row in sorted(backends.items()):
+            if "bytes_per_s" in row:
+                lines.append(f"{key:>40} {row['bytes_per_s'] / 1e6:>9.2f} MB/s")
+            else:
+                lines.append(
+                    f"{key:>40} {row['compress_bytes_per_s'] / 1e6:>9.2f} MB/s c "
+                    f"{row['decompress_bytes_per_s'] / 1e6:>8.2f} MB/s d"
+                )
     service = point.get("service", {})
     if service:
         lines.append("")

@@ -47,6 +47,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.api import compress as api_compress
+from repro.bitpack import backend as kernel_backend
 from repro.core import codec_by_id
 from repro.core import container as fmt
 from repro.core.compressor import decompress_bytes
@@ -106,6 +107,11 @@ class ServiceConfig:
     #: exercising deadlines, backpressure, and drain deterministically;
     #: leave at 0 in production.
     job_delay: float = 0.0
+    #: Kernel backend pinned at startup (``fprz serve --backend``).
+    #: ``None`` keeps the process default (explicit pin > env var >
+    #: auto).  The *resolved* name is reported in STATS and as the
+    #: ``kernel_backend_info`` gauge either way.
+    kernel_backend: str | None = None
 
 
 @dataclass(eq=False)
@@ -139,6 +145,9 @@ class CompressionServer:
         self._draining = False
         self._stopped: asyncio.Event | None = None
         self._started_at = 0.0
+        self._kernel_backend: str | None = None
+        #: Pin active before we pinned (sentinel False = we never pinned).
+        self._prev_backend_pin: str | None | bool = False
 
     # -- lifecycle ----------------------------------------------------
 
@@ -150,6 +159,16 @@ class CompressionServer:
             policy = normalize_policy(cfg.codec_policy, ("threaded", "process"))
         except ValueError as exc:
             raise ServiceError(str(exc)) from exc
+        if cfg.kernel_backend is not None:
+            try:
+                self._prev_backend_pin = kernel_backend.set_backend(
+                    cfg.kernel_backend
+                )
+            except ReproError as exc:
+                raise ServiceError(str(exc)) from exc
+        active = kernel_backend.active_backend()
+        self._kernel_backend = active.name
+        self.registry.gauge("kernel_backend_info", backend=active.name).set(1)
         self._pool = ThreadPoolExecutor(
             max_workers=cfg.job_threads, thread_name_prefix="repro-svc"
         )
@@ -192,6 +211,11 @@ class CompressionServer:
             (PooledThreadedExecutor, SharedMemoryProcessExecutor),
         ):
             self._chunk_executor.close()
+        if self._prev_backend_pin is not False:
+            # Undo the startup backend pin (it is process-wide state and
+            # embedded ServerThread uses share the process with tests).
+            kernel_backend.set_backend(self._prev_backend_pin)
+            self._prev_backend_pin = False
         self._stopped.set()
 
     async def wait_stopped(self) -> None:
@@ -480,6 +504,7 @@ class CompressionServer:
                 "job_threads": cfg.job_threads,
                 "codec_workers": cfg.codec_workers,
                 "codec_policy": cfg.codec_policy,
+                "kernel_backend": self._kernel_backend,
             },
             "metrics": self.registry.snapshot(),
         }

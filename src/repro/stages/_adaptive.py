@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.bitpack import backend as _backend
+
 
 def eliminated_counts(leading: np.ndarray, word_bits: int) -> np.ndarray:
     """``counts[k]`` = number of values whose top-``k`` piece is eliminated.
@@ -48,9 +50,27 @@ def choose_k(leading: np.ndarray, n: int, word_bits: int) -> int:
 def eliminated_counts_rows(leading2d: np.ndarray, word_bits: int) -> np.ndarray:
     """Per-row :func:`eliminated_counts` of an ``(n_rows, n)`` grid.
 
-    One flattened ``bincount`` (rows offset into disjoint bins) replaces
-    the per-row histogram; the suffix sum runs along the bin axis.
+    Dispatches to the active kernel backend; the numpy reference below
+    replaces the per-row histogram with one flattened ``bincount`` (rows
+    offset into disjoint bins) and runs the suffix sum along the bin
+    axis.
     """
+    return _backend.kernel("eliminated_counts_rows")(leading2d, word_bits)
+
+
+def choose_k_rows(leading2d: np.ndarray, n: int, word_bits: int) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row :func:`choose_k` plus the modelled cost at the chosen ``k``.
+
+    Returns ``(k, cost)`` arrays over the rows; ``cost`` is the same
+    number the serial planner reports (``n * word_bits`` when ``k == 0``),
+    so mode selection against other plans stays bit-for-bit identical.
+    Dispatches to the active kernel backend.
+    """
+    return _backend.kernel("choose_k_rows")(leading2d, n, word_bits)
+
+
+def _eliminated_counts_rows_numpy(leading2d: np.ndarray, word_bits: int) -> np.ndarray:
+    """The numpy reference batched histogram."""
     n_rows = len(leading2d)
     bins = word_bits + 1
     offset = np.arange(n_rows, dtype=np.int64)[:, None] * bins
@@ -60,17 +80,14 @@ def eliminated_counts_rows(leading2d: np.ndarray, word_bits: int) -> np.ndarray:
     return np.cumsum(hist[:, ::-1], axis=1)[:, ::-1]
 
 
-def choose_k_rows(leading2d: np.ndarray, n: int, word_bits: int) -> tuple[np.ndarray, np.ndarray]:
-    """Per-row :func:`choose_k` plus the modelled cost at the chosen ``k``.
-
-    Returns ``(k, cost)`` arrays over the rows; ``cost`` is the same
-    number the serial planner reports (``n * word_bits`` when ``k == 0``),
-    so mode selection against other plans stays bit-for-bit identical.
-    """
+def _choose_k_rows_numpy(
+    leading2d: np.ndarray, n: int, word_bits: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """The numpy reference batched cost argmin."""
     n_rows = len(leading2d)
     if n == 0:
         return np.zeros(n_rows, np.int64), np.zeros(n_rows, np.int64)
-    counts = eliminated_counts_rows(leading2d, word_bits)
+    counts = _eliminated_counts_rows_numpy(leading2d, word_bits)
     ks = np.arange(1, word_bits + 1, dtype=np.int64)
     cost = n + (n - counts[:, 1:]) * ks + n * (word_bits - ks)
     cost_disabled = np.int64(n) * word_bits

@@ -1,0 +1,59 @@
+"""The lane-plan LRU caches must stay bounded under shape churn.
+
+A long-running service sees an unbounded stream of distinct
+``(count, width)`` geometries; each mints new pack/unpack plans.  The
+caches share one bound (``lanes.PLAN_CACHE_SIZE``) so memory stays
+O(bound) — this test hammers far more shapes than the bound and checks
+both the cap and that evicted plans recompute correctly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bitpack import lanes
+from repro.bitpack.packing import pack_words, unpack_words
+
+_PLAN_CACHES = (
+    lanes._single_gather_pack_plan,
+    lanes._pair_pack_plan,
+    lanes._boundary_unpack_plan,
+    lanes._two_lane_unpack_plan,
+)
+
+
+def test_every_plan_cache_uses_shared_bound():
+    for fn in _PLAN_CACHES:
+        assert fn.cache_info().maxsize == lanes.PLAN_CACHE_SIZE
+
+
+def test_caches_stay_bounded_under_shape_churn():
+    rng = np.random.default_rng(0xCACE)
+    # Far more distinct (n, width) shapes than the cap, across widths
+    # that exercise every planning regime (single-gather, pair-window,
+    # boundary, two-lane).
+    shapes = [(n, w) for w in (3, 5, 9, 13, 21, 29, 33, 47, 52, 63)
+              for n in range(1, 1 + 2 * lanes.PLAN_CACHE_SIZE // 10)]
+    assert len(shapes) > lanes.PLAN_CACHE_SIZE
+    for n, width in shapes:
+        word_bits = 64 if width > 32 else 32
+        dt = np.uint64 if width > 32 else np.uint32
+        w = (rng.integers(0, 2**word_bits, n, dtype=np.uint64)
+             & np.uint64((1 << width) - 1)).astype(dt)
+        assert np.array_equal(
+            unpack_words(pack_words(w, width, word_bits), n, width, word_bits), w
+        )
+    for fn in _PLAN_CACHES:
+        info = fn.cache_info()
+        assert info.currsize <= lanes.PLAN_CACHE_SIZE, fn.__name__
+
+
+def test_evicted_plans_recompute_identically():
+    n, width, word_bits = 1009, 13, 32
+    w = (np.arange(n, dtype=np.uint64) * np.uint64(2654435761)
+         & np.uint64((1 << width) - 1)).astype(np.uint32)
+    before = pack_words(w, width, word_bits)
+    # Evict by churning through more shapes than the cap holds.
+    for n2 in range(1, lanes.PLAN_CACHE_SIZE + 8):
+        pack_words(np.zeros(n2, dtype=np.uint32), width, word_bits)
+    assert pack_words(w, width, word_bits) == before
