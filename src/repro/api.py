@@ -73,6 +73,7 @@ def compress(
     executor: str | Executor | None = None,
     trace: TraceCollector | None = None,
     fcm: str = "global",
+    selector: str | None = None,
 ) -> bytes:
     """Losslessly compress a float array (or raw bytes) into one container.
 
@@ -83,8 +84,10 @@ def compress(
         bytes require an explicit ``codec``.
     codec:
         Codec name (``"spspeed"``, ``"spratio"``, ``"dpspeed"``,
-        ``"dpratio"``).  When omitted, the codec is picked from the array
-        dtype and ``mode``.
+        ``"dpratio"``), or ``"auto"`` to probe every chunk and route it
+        to the best fixed codec for its statistics (container v4 with a
+        per-chunk codec table).  When omitted, the codec is picked from
+        the array dtype and ``mode``.
     mode:
         ``"ratio"`` (default) or ``"speed"``; ignored when ``codec`` is
         given.
@@ -125,7 +128,15 @@ def compress(
         DPratio under every executor policy.  The price is that matches
         cannot reach past one chunk: ~1-2% ratio on smooth fields, much
         more when repeats sit further back than ``chunk_size``
-        (measured numbers in ALGORITHMS.md).
+        (measured numbers in ALGORITHMS.md).  Ignored by ``codec="auto"``
+        — member codecs with an FCM stage always run it restart-framed
+        so every chunk stays independently decodable.
+    selector:
+        Decision policy for ``codec="auto"`` (ignored otherwise):
+        ``"heuristic"`` (default, calibrated bias constants),
+        ``"trained"`` (thresholds fitted offline by
+        ``scripts/fit_selector.py``), or a path to a compatible
+        thresholds ``.json`` file.
 
     Returns
     -------
@@ -143,7 +154,7 @@ def compress(
     return compress_bytes(
         raw, chosen, chunk_size=chunk_size, dtype_code=dtype_code, shape=shape,
         workers=workers, checksum=checksum, chunk_checksums=chunk_checksums,
-        executor=executor, trace=trace, fcm=fcm,
+        executor=executor, trace=trace, fcm=fcm, selector=selector,
     )
 
 
@@ -247,13 +258,15 @@ def decompress_range(
 def concat(blobs) -> bytes:
     """Concatenate compressed containers without re-encoding any payload.
 
-    All inputs must share codec and dtype; the result is a version-3
-    container with an explicit chunk index whose decompressed content is
-    the concatenation of the inputs' (flattened) content.  Chunk
-    payloads are copied verbatim — no stage ever re-runs.  DPratio
-    containers carrying cross-chunk FCM state (the ``fcm="global"``
-    default) are rejected; recompress them with ``fcm="restart"``
-    first.
+    All inputs must share a dtype; the result's decompressed content is
+    the concatenation of the inputs' (flattened) content, and chunk
+    payloads are copied verbatim — no stage ever re-runs.  Inputs that
+    share one fixed codec merge into a version-3 container with an
+    explicit chunk index; inputs with different codecs (including v4
+    mixed containers) merge into a version-4 container whose per-chunk
+    codec table records each member.  DPratio containers carrying
+    cross-chunk FCM state (the ``fcm="global"`` default) are rejected;
+    recompress them with ``fcm="restart"`` first.
     """
     return fmt.concat_containers(blobs)
 
@@ -264,8 +277,8 @@ def inspect(blob: bytes) -> fmt.ContainerInfo:
 
 
 def available_codecs() -> list[str]:
-    """Names of the registered paper codecs."""
-    return sorted(codec_registry.CODECS)
+    """Names of the registered codecs (fixed paper codecs plus ``auto``)."""
+    return sorted([*codec_registry.CODECS, codec_registry.AUTO.name])
 
 
 def connect(host: str = "127.0.0.1", port: int | None = None, *,

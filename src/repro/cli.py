@@ -55,11 +55,13 @@ def _cmd_compress(args: argparse.Namespace) -> int:
     data = Path(args.input).read_bytes()
     if args.dtype != "bytes":
         array = np.frombuffer(data, dtype=np.dtype(args.dtype))
-        blob = repro.compress(array, args.codec, fcm=args.fcm)
+        blob = repro.compress(array, args.codec, fcm=args.fcm,
+                              selector=args.selector)
     else:
         if args.codec is None:
             raise ReproError("--codec is required for raw byte input")
-        blob = repro.compress(data, args.codec, fcm=args.fcm)
+        blob = repro.compress(data, args.codec, fcm=args.fcm,
+                              selector=args.selector)
     Path(args.output).write_bytes(blob)
     ratio = len(data) / len(blob) if blob else 0.0
     print(f"{args.input}: {len(data)} -> {len(blob)} bytes (ratio {ratio:.3f})")
@@ -130,6 +132,9 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     print(f"chunk index:  "
           f"{'explicit (v3)' if info.index_offsets is not None else 'derived'}")
     print(f"fcm restarts: {'yes' if info.fcm_restart else 'no'}")
+    if info.chunk_codecs is not None:
+        members = sorted({codec_by_id(cid).name for cid in info.chunk_codecs})
+        print(f"chunk codecs: per-chunk table (v4): {', '.join(members)}")
     if info.shape is not None:
         print(f"shape:        {tuple(info.shape)}")
     if args.chunks:
@@ -138,15 +143,20 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
         offsets = payload_offsets(info)
         decoded = info.decoded_lengths()
         print()
+        codec_col = info.chunk_codecs is not None
         header = (f"{'chunk':>5} {'offset':>10} {'payload B':>10} "
-                  f"{'decoded B':>10} {'crc32':>10}")
+                  f"{'decoded B':>10} {'crc32':>10}"
+                  + (f" {'codec':>8}" if codec_col else ""))
         print(header)
         print("-" * len(header))
         for i in range(info.n_chunks):
             crc = (f"{info.chunk_crcs[i]:08x}" if info.chunk_crcs is not None
                    else "-")
-            print(f"{i:>5} {offsets[i]:>10} {info.chunk_sizes[i]:>10} "
-                  f"{decoded[i]:>10} {crc:>10}")
+            row = (f"{i:>5} {offsets[i]:>10} {info.chunk_sizes[i]:>10} "
+                   f"{decoded[i]:>10} {crc:>10}")
+            if codec_col:
+                row += f" {codec_by_id(info.chunk_codecs[i]).name:>8}"
+            print(row)
     return 0
 
 
@@ -163,10 +173,14 @@ def _cmd_concat(args: argparse.Namespace) -> int:
 
 
 def _bench_sample(codec_name: str, scale: float) -> bytes:
-    """A deterministic corpus sample matching the codec's dtype."""
+    """A deterministic corpus sample matching the codec's dtype.
+
+    The adaptive ``auto`` codec gets the single-precision sample (the
+    larger suite); its selector probes route each chunk regardless.
+    """
     from repro.datasets import dp_suite, sp_suite
 
-    suite = sp_suite() if codec_name.startswith("sp") else dp_suite()
+    suite = dp_suite() if codec_name.startswith("dp") else sp_suite()
     return suite[0].files[0].load(scale).tobytes()
 
 
@@ -595,7 +609,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("input")
     p.add_argument("output")
     p.add_argument("--codec", default=None,
-                   help="spspeed | spratio | dpspeed | dpratio (default: by dtype)")
+                   help="spspeed | spratio | dpspeed | dpratio | auto "
+                        "(default: by dtype; auto probes each chunk and "
+                        "routes it to the best fixed codec, emitting a v4 "
+                        "mixed-codec container)")
     p.add_argument("--dtype", default="float32",
                    choices=["float32", "float64", "bytes"])
     p.add_argument("--fcm", default="global", choices=["global", "restart"],
@@ -603,6 +620,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "best-ratio cross-chunk pass (v1/v2, default); "
                         "restart re-seeds per chunk (v3, seekable, "
                         "range-decodable, parallel)")
+    p.add_argument("--selector", default=None, metavar="POLICY",
+                   help="decision policy for --codec auto: 'heuristic' "
+                        "(default), 'trained' (thresholds fitted by "
+                        "scripts/fit_selector.py), or a path to a "
+                        "thresholds .json file")
     p.set_defaults(func=_cmd_compress)
 
     p = sub.add_parser("decompress", help="decompress an FPRZ container")

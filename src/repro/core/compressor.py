@@ -65,7 +65,7 @@ from repro.core._procwork import decode_chunk_guarded
 from repro.core.chunking import CHUNK_RAW, CHUNK_SIZE
 from repro.core.codecs import Codec, codec_by_id
 from repro.core.executors import Executor, resolve_executor, static_block_bounds
-from repro.core.plan import plan_decode, plan_encode, plan_for_range
+from repro.core.plan import EncodePlan, plan_decode, plan_encode, plan_for_range
 from repro.core.salvage import ChunkFailure, SalvageReport, merge_ranges
 from repro.core.trace import BatchTrace, ChunkTrace, StageEvent, TraceCollector
 from repro.errors import BoundsError, ChecksumError, CorruptDataError, ReproError
@@ -113,6 +113,83 @@ def _block_ranges(n_chunks: int, workers: int) -> list[tuple[int, int]]:
     ]
 
 
+def _split_blocks_by_codec(blocks, plan, info) -> list[tuple[int, int]]:
+    """Split chunk blocks so each is codec-homogeneous (v4 containers).
+
+    The batched kernels run one pipeline per block, so a block must not
+    straddle a codec change in the per-chunk table.  Ascending contiguity
+    is preserved, keeping the deterministic-error contract.
+    """
+    if info.chunk_codecs is None:
+        return blocks
+    out = []
+    for lo, hi in blocks:
+        s = lo
+        for i in range(lo + 1, hi):
+            if (info.chunk_codecs[plan.jobs[i].index]
+                    != info.chunk_codecs[plan.jobs[s].index]):
+                out.append((s, i))
+                s = i
+        out.append((s, hi))
+    return out
+
+
+def _member_pipeline(member: Codec):
+    """A v4 member codec's chunk pipeline: codecs with a global FCM stage
+    always run it restart-framed inside the chunk (the v4 contract)."""
+    return member.make_pipeline(member.global_stage_factory is not None)
+
+
+def _pipeline_resolver(codec: Codec, info: fmt.ContainerInfo):
+    """Per-worker ``global chunk index -> pipeline`` for decoding.
+
+    Single-codec containers resolve to one pipeline; mixed (v4)
+    containers resolve through the per-chunk codec table, caching one
+    pipeline per member codec.  Call once per worker — pipelines are
+    thread-local by the executor contract.
+    """
+    if info.chunk_codecs is None:
+        # Built lazily: a selector-coded container with zero chunks has no
+        # table and no stages, and never asks for a pipeline.
+        single: list = []
+
+        def resolve_single(i: int):
+            if not single:
+                single.append(codec.make_pipeline(info.fcm_restart))
+            return single[0]
+
+        return resolve_single
+    cache: dict[int, object] = {}
+
+    def resolve(i: int):
+        cid = info.chunk_codecs[i]
+        pipeline = cache.get(cid)
+        if pipeline is None:
+            pipeline = cache[cid] = _member_pipeline(codec_by_id(cid))
+        return pipeline
+
+    return resolve
+
+
+def _chunk_codec_name(info: fmt.ContainerInfo, i: int, codec: Codec) -> str:
+    """The codec that encoded chunk ``i`` (salvage attribution)."""
+    if info.chunk_codecs is None:
+        return codec.name
+    return codec_by_id(info.chunk_codecs[i]).name
+
+
+def _plan_chunk_codecs(info: fmt.ContainerInfo, plan, codec: Codec):
+    """Per-plan-position ``(codec_name, fcm_restart)`` pairs for the
+    process executor, or ``None`` for single-codec containers."""
+    if info.chunk_codecs is None:
+        return None
+    pairs = []
+    for job in plan.jobs:
+        member = codec_by_id(info.chunk_codecs[job.index])
+        pairs.append((member.name, member.global_stage_factory is not None))
+    return pairs
+
+
 def _make_encode_worker(codec: Codec, plan, view, trace: TraceCollector | None,
                         fcm_restart: bool = False):
     """Per-chunk encode jobs (the non-batched reference path)."""
@@ -129,7 +206,7 @@ def _make_encode_worker(codec: Codec, plan, view, trace: TraceCollector | None,
             start = time.perf_counter()
             payload = pipeline.encode_chunk(chunk, events)
             trace.add(ChunkTrace(
-                index=i,
+                index=job.index,
                 worker=worker_id,
                 original_len=job.length,
                 payload_len=len(payload),
@@ -181,7 +258,7 @@ def _encode_batched_blocks(
                 seconds = time.perf_counter() - start
                 trace.add_batch(BatchTrace(
                     worker=worker_id,
-                    start=lo,
+                    start=plan.jobs[lo].index,
                     n_chunks=hi - lo,
                     seconds=seconds,
                     stages=tuple(events),
@@ -189,7 +266,7 @@ def _encode_batched_blocks(
                 per_chunk = seconds / (hi - lo)
                 for i, payload in zip(range(lo, hi), payloads):
                     trace.add(ChunkTrace(
-                        index=i,
+                        index=plan.jobs[i].index,
                         worker=worker_id,
                         original_len=plan.jobs[i].length,
                         payload_len=len(payload),
@@ -208,6 +285,93 @@ def _encode_batched_blocks(
     return payloads
 
 
+def _compress_selector(
+    data: bytes,
+    codec: Codec,
+    *,
+    chunk_size: int,
+    dtype_code: int,
+    shape: tuple[int, ...] | None,
+    crc: int | None,
+    chunk_checksums: bool,
+    engine: Executor,
+    trace: TraceCollector | None,
+    batch: bool | None,
+    selector,
+) -> bytes:
+    """Encode under the adaptive selector: probe, choose, group, route.
+
+    Selection runs once, up front, on the calling thread — the chosen
+    codec table is therefore identical under every executor policy and
+    batch setting, and the payload bytes inherit the fixed codecs' own
+    executor independence.  Same-decision chunks are grouped into subset
+    plans so the columnar ``encode_chunk_batch`` kernels still engage,
+    then the payloads scatter back to container order.
+    """
+    from repro.core.codecs import selection_candidates
+    from repro.selection import get_policy, probe_chunks
+
+    policy = get_policy(selector)
+    candidates = selection_candidates(dtype_code)
+    plan = plan_encode(len(data), chunk_size)
+    view = memoryview(data)
+    chunks = [view[job.offset : job.end] for job in plan.jobs]
+    probes = probe_chunks(chunks, candidates, with_stats=False)
+    choices = [policy.choose(p, candidates) for p in probes]
+    if trace is not None:
+        trace.annotate(selector=policy.name)
+    groups: dict[int, list[int]] = {}
+    for i, member in enumerate(choices):
+        groups.setdefault(member.codec_id, []).append(i)
+    payloads: list = [None] * plan.n_chunks
+    for cid in sorted(groups):
+        member = codec_by_id(cid)
+        indices = groups[cid]
+        subplan = EncodePlan(
+            total_len=plan.total_len,
+            chunk_size=chunk_size,
+            jobs=tuple(plan.jobs[i] for i in indices),
+        )
+        # v4 contract: a member's global FCM stage runs restart-framed
+        # inside the chunk pipeline, so every chunk stays independent.
+        restart = member.global_stage_factory is not None
+        batched = _use_batch(batch, subplan.n_chunks)
+        if getattr(engine, "kind", None) == "process":
+            group_payloads = engine.encode_chunks(
+                data, subplan, member.name, batched, fcm_restart=restart
+            )
+        elif batched:
+            group_payloads = _encode_batched_blocks(
+                member, subplan, view, engine, trace, restart
+            )
+        else:
+            group_payloads = engine.run(
+                subplan.n_chunks,
+                _make_encode_worker(member, subplan, view, trace, restart),
+            )
+        for i, payload in zip(indices, group_payloads):
+            payloads[i] = payload
+    blob = fmt.build_container(
+        codec_id=codec.codec_id,
+        dtype_code=dtype_code,
+        original_len=len(data),
+        intermediate_len=len(data),
+        chunk_size=chunk_size,
+        chunk_payloads=payloads,
+        shape=shape,
+        checksum=crc,
+        chunk_crcs=chunk_checksums,
+        chunk_codecs=[member.codec_id for member in choices],
+    )
+    raw_size = fmt.raw_container_size(len(data), shape=shape, checksum=crc)
+    if raw_size < len(blob):
+        return fmt.build_raw_container(
+            codec_id=codec.codec_id, dtype_code=dtype_code, data=data,
+            shape=shape, checksum=crc,
+        )
+    return blob
+
+
 def compress_bytes(
     data: bytes,
     codec: Codec,
@@ -222,6 +386,7 @@ def compress_bytes(
     trace: TraceCollector | None = None,
     batch: bool | None = None,
     fcm: str = "global",
+    selector=None,
 ) -> bytes:
     """Compress raw bytes with ``codec`` into a contiguous container.
 
@@ -252,6 +417,14 @@ def compress_bytes(
     :data:`repro.core.container.DEFAULT_CHECKSUM` /
     :data:`~repro.core.container.DEFAULT_CHUNK_CHECKSUMS`.  ``trace``
     collects per-chunk instrumentation.
+
+    When ``codec`` is the adaptive selector (``auto``), every chunk is
+    probed and routed to the best fixed codec for its statistics and the
+    output is a v4 container with a per-chunk codec table; ``selector``
+    then picks the decision policy (``"heuristic"`` default,
+    ``"trained"``, a thresholds-file path, or a
+    :class:`~repro.selection.SelectionPolicy`).  ``fcm`` is ignored —
+    member codecs with an FCM stage always run it restart-framed.
     """
     if fcm not in ("restart", "global"):
         raise ValueError(f"fcm must be 'restart' or 'global', not {fcm!r}")
@@ -264,6 +437,17 @@ def compress_bytes(
     if trace is not None:
         trace.annotate(policy=engine.policy, workers=engine.workers,
                        direction="compress")
+    if codec.selector:
+        try:
+            return _compress_selector(
+                data, codec, chunk_size=chunk_size, dtype_code=dtype_code,
+                shape=shape, crc=crc, chunk_checksums=chunk_checksums,
+                engine=engine, trace=trace, batch=batch, selector=selector,
+            )
+        finally:
+            if (getattr(engine, "kind", None) == "process"
+                    and engine is not executor):
+                engine.close()
     restart = fcm == "restart" and codec.global_stage_factory is not None
     global_stage = None if restart else codec.make_global_stage()
     if global_stage is not None:
@@ -331,6 +515,16 @@ def _check_geometry(info: fmt.ContainerInfo, codec: Codec) -> None:
             f"codec {codec.name!r} has no FCM stage, but the container "
             f"declares FCM restart markers"
         )
+    if codec.selector and info.n_chunks and info.chunk_codecs is None:
+        raise CorruptDataError(
+            f"codec {codec.name!r} is a selector, but the container "
+            f"carries no per-chunk codec table"
+        )
+    if info.chunk_codecs is not None and not codec.selector:
+        raise CorruptDataError(
+            f"container carries a per-chunk codec table, but its header "
+            f"codec {codec.name!r} is not a selector"
+        )
     global_stage = None if info.fcm_restart else codec.make_global_stage()
     if global_stage is None:
         if info.intermediate_len != info.original_len:
@@ -355,10 +549,11 @@ def _make_decode_worker(
     """Per-chunk decode jobs (the non-batched reference path)."""
 
     def make_worker(worker_id: int):
-        pipeline = codec.make_pipeline(info.fcm_restart)
+        resolve = _pipeline_resolver(codec, info)
 
         def decode_job(i: int) -> None:
             job = plan.jobs[i]
+            pipeline = resolve(job.index)
             payload = view[job.offset : job.end]
             length = plan.out_lengths[i]
             # Subset plans keep the global chunk index on the job — error
@@ -414,13 +609,18 @@ def _decode_batched_blocks(
     same type, message, and chunk attribution — batching would otherwise
     obscure.
     """
-    blocks = _block_ranges(plan.n_chunks, engine.workers)
+    blocks = _split_blocks_by_codec(
+        _block_ranges(plan.n_chunks, engine.workers), plan, info
+    )
 
     def make_worker(worker_id: int):
-        pipeline = codec.make_pipeline(info.fcm_restart)
+        resolve = _pipeline_resolver(codec, info)
 
         def decode_block(b: int) -> None:
             lo, hi = blocks[b]
+            # Blocks are codec-homogeneous by construction, so one
+            # pipeline serves the whole block.
+            pipeline = resolve(plan.jobs[lo].index)
             payloads = [
                 view[plan.jobs[i].offset : plan.jobs[i].end]
                 for i in range(lo, hi)
@@ -535,6 +735,7 @@ def decompress_bytes(
             intermediate = engine.decode_chunks(
                 blob, plan, codec.name, info.chunk_crcs, batched,
                 fcm_restart=info.fcm_restart,
+                chunk_codecs=_plan_chunk_codecs(info, plan, codec),
             )
         finally:
             if engine is not executor:
@@ -674,7 +875,7 @@ def decompress_range_bytes(
         failures: list[ChunkFailure] = []  # list.append is GIL-atomic
 
         def make_worker(worker_id: int):
-            pipeline = codec.make_pipeline(info.fcm_restart)
+            resolve = _pipeline_resolver(codec, info)
 
             def decode_job(i: int) -> None:
                 job = plan.jobs[i]
@@ -683,7 +884,7 @@ def decompress_range_bytes(
                 offset = plan.out_offsets[i]
                 try:
                     _verify_chunk_crc(info, job.index, payload, job)
-                    chunk = pipeline.decode_chunk(payload, length)
+                    chunk = resolve(job.index).decode_chunk(payload, length)
                 except Exception as exc:
                     failures.append(ChunkFailure(
                         index=job.index,
@@ -693,6 +894,7 @@ def decompress_range_bytes(
                         output_length=length,
                         reason=str(exc) or type(exc).__name__,
                         error_type=type(exc).__name__,
+                        codec=_chunk_codec_name(info, job.index, codec),
                     ))
                     return
                 out[offset : offset + length] = chunk
@@ -727,6 +929,7 @@ def decompress_range_bytes(
             decoded = engine.decode_chunks(
                 blob, plan, codec.name, info.chunk_crcs, batched,
                 fcm_restart=info.fcm_restart,
+                chunk_codecs=_plan_chunk_codecs(info, plan, codec),
             )
         finally:
             if engine is not executor:
@@ -791,7 +994,7 @@ def _decompress_salvage(
     failures: list[ChunkFailure] = []  # list.append is GIL-atomic
 
     def make_worker(worker_id: int):
-        pipeline = codec.make_pipeline(info.fcm_restart)
+        resolve = _pipeline_resolver(codec, info)
 
         def decode_job(i: int) -> None:
             job = plan.jobs[i]
@@ -800,7 +1003,7 @@ def _decompress_salvage(
             offset = plan.out_offsets[i]
             try:
                 _verify_chunk_crc(info, job.index, payload, job)
-                chunk = pipeline.decode_chunk(payload, length)
+                chunk = resolve(job.index).decode_chunk(payload, length)
             except Exception as exc:
                 # Contained: the window stays zero-filled, the worklist
                 # moves on, and the failure is reported with both its
@@ -813,6 +1016,7 @@ def _decompress_salvage(
                     output_length=length,
                     reason=str(exc) or type(exc).__name__,
                     error_type=type(exc).__name__,
+                    codec=_chunk_codec_name(info, job.index, codec),
                 ))
                 return
             out[offset : offset + length] = chunk

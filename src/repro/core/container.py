@@ -9,7 +9,7 @@ paper's codes.  The layout is:
 field        bytes  meaning
 ===========  =====  =====================================================
 magic            4  ``b"FPRZ"``
-version          1  container format version (1, 2, or 3)
+version          1  container format version (1 through 4)
 codec_id         1  registry id of the codec that produced the block
 dtype_code       1  0 = raw bytes, 1 = float32, 2 = float64
 flags            1  bit 0: whole-input raw fallback; bit 1: shape present;
@@ -28,6 +28,8 @@ chunk table   4*n   compressed payload size of each chunk
 chunk CRCs    4*n   present iff flags bit 3: CRC32 of each chunk payload
 chunk index  12*n   present iff flags bit 4: n x u64 absolute payload
                     offsets, then n x u32 decoded chunk lengths
+codec table    1*n  present iff flags bit 6 (v4): the registry id of the
+                    fixed codec that encoded each chunk
 payloads         v  the chunk payloads, concatenated (prefix sums of the
                     chunk table give each payload's offset, mirroring the
                     decoupled-look-back write positions of the GPU code)
@@ -55,6 +57,19 @@ Version 3 adds two independent features, each gated by its own flag:
   every chunk decodes independently.  Old cross-chunk containers (v1/v2)
   still decode via the retained global-stage path.
 
+Version 4 adds mixed-codec containers, gated by one new flag:
+
+* ``FLAG_CHUNK_CODECS`` (bit 6) — a per-chunk codec-id table (one u8 per
+  chunk) follows the chunk index, and each chunk was encoded by the fixed
+  codec its entry names rather than by the header codec (which then holds
+  the *selector* codec's id).  Every entry must name a known fixed codec
+  (a selector id or an unknown id is a :class:`FormatError` before any
+  allocation), member codecs with a global FCM stage always use restart
+  framing inside the chunk pipeline (so ``inter_len == orig_len`` and the
+  redundant ``FLAG_FCM_RESTART`` must be clear), and every chunk decodes
+  independently — salvage, range reads, and concatenation compose
+  unchanged.
+
 For the raw fallback (an input the codec expands overall), the payload
 section holds the original bytes verbatim and ``n_chunks`` is 0.
 
@@ -74,10 +89,12 @@ from dataclasses import dataclass
 from repro.errors import BoundsError, FormatError
 
 MAGIC = b"FPRZ"
-#: Current container format version (written when v3 features are used).
+#: Container version carrying the v3 feature set (index, FCM restart).
 VERSION = 3
+#: Current container format version (written for mixed-codec containers).
+VERSION_CHUNK_CODECS = 4
 #: Versions this library can decode.
-WIRE_VERSIONS = (1, 2, 3)
+WIRE_VERSIONS = (1, 2, 3, 4)
 
 FLAG_RAW = 0x01
 FLAG_SHAPE = 0x02
@@ -97,11 +114,19 @@ FLAG_CHUNK_INDEX = 0x10
 #: boundary (ran inside the chunk pipeline, not as a global pass), so
 #: every chunk decodes independently and ``inter_len == orig_len``.
 FLAG_FCM_RESTART = 0x20
+#: (v4) When set, a per-chunk codec-id table (one u8 per chunk) follows
+#: the chunk index and each chunk decodes under the fixed codec its entry
+#: names; the header ``codec_id`` then holds the selector codec's id.
+#: Member codecs with a global stage use restart framing inside the chunk
+#: pipeline, so ``inter_len == orig_len`` and ``FLAG_FCM_RESTART`` (which
+#: would be redundant) must be clear.
+FLAG_CHUNK_CODECS = 0x40
 
 _KNOWN_FLAGS = {1: FLAG_RAW | FLAG_SHAPE | FLAG_CHECKSUM,
                 2: FLAG_RAW | FLAG_SHAPE | FLAG_CHECKSUM | FLAG_CHUNK_CRCS,
                 3: FLAG_RAW | FLAG_SHAPE | FLAG_CHECKSUM | FLAG_CHUNK_CRCS
                    | FLAG_CHUNK_INDEX | FLAG_FCM_RESTART}
+_KNOWN_FLAGS[4] = _KNOWN_FLAGS[3] | FLAG_CHUNK_CODECS
 
 #: The one documented integrity default: both the public API
 #: (:func:`repro.compress`) and the streaming layer (:mod:`repro.io`)
@@ -161,6 +186,10 @@ class ContainerInfo:
     index_out_lengths: tuple[int, ...] | None = None
     #: (v3) True when the FCM predictor restarted at every chunk boundary.
     fcm_restart: bool = False
+    #: (v4) Registry id of the fixed codec that encoded each chunk, or
+    #: ``None`` for single-codec containers.  Every entry is validated to
+    #: name a known fixed codec before this object is built.
+    chunk_codecs: tuple[int, ...] | None = None
 
     @property
     def compressed_len(self) -> int:
@@ -221,6 +250,7 @@ def build_container(
     chunk_index: bool = False,
     out_lengths: list[int] | None = None,
     fcm_restart: bool = False,
+    chunk_codecs: list[int] | None = None,
 ) -> bytes:
     """Assemble a compressed container from chunk payloads.
 
@@ -237,14 +267,29 @@ def build_container(
     supplies the decoded length of every chunk (required — interior
     entries may be ragged).  ``fcm_restart=True`` marks the payloads as
     carrying per-chunk FCM state (also version 3).
+
+    ``chunk_codecs`` writes the version-4 per-chunk codec-id table (one
+    registry id per chunk); member codecs with a global stage must use
+    restart framing inside the chunk pipeline, so combining the table
+    with ``fcm_restart=True`` is rejected.
     """
     flags, meta = _meta_blocks(shape, checksum)
     sizes = [len(p) for p in chunk_payloads]
     with_crcs = chunk_crcs and bool(sizes)
     with_index = chunk_index and bool(sizes)
+    with_codecs = chunk_codecs is not None and bool(sizes)
     if with_index and (out_lengths is None or len(out_lengths) != len(sizes)):
         raise ValueError("chunk_index=True requires one out_length per chunk")
-    if fcm_restart or with_index:
+    if with_codecs and len(chunk_codecs) != len(sizes):
+        raise ValueError("chunk_codecs requires one codec id per chunk")
+    if with_codecs and fcm_restart:
+        raise ValueError(
+            "chunk_codecs containers frame FCM restart per member codec; "
+            "the container-level flag would be redundant"
+        )
+    if with_codecs:
+        version = VERSION_CHUNK_CODECS
+    elif fcm_restart or with_index:
         version = VERSION
     elif with_crcs:
         version = 2
@@ -256,10 +301,13 @@ def build_container(
         flags |= FLAG_CHUNK_INDEX
     if fcm_restart:
         flags |= FLAG_FCM_RESTART
+    if with_codecs:
+        flags |= FLAG_CHUNK_CODECS
     table_offset = _HEADER.size + len(meta)
     crc_offset = table_offset + 4 * len(sizes)
     index_offset = crc_offset + (4 * len(sizes) if with_crcs else 0)
-    payload_offset = index_offset + (12 * len(sizes) if with_index else 0)
+    codec_offset = index_offset + (12 * len(sizes) if with_index else 0)
+    payload_offset = codec_offset + (len(sizes) if with_codecs else 0)
     buf = bytearray(payload_offset + sum(sizes))
     _HEADER.pack_into(
         buf,
@@ -292,6 +340,8 @@ def build_container(
         struct.pack_into(
             f"<{len(sizes)}I", buf, index_offset + 8 * len(sizes), *out_lengths
         )
+    if with_codecs:
+        struct.pack_into(f"<{len(sizes)}B", buf, codec_offset, *chunk_codecs)
     pos = payload_offset
     for payload, size in zip(chunk_payloads, sizes):
         buf[pos : pos + size] = payload
@@ -430,6 +480,10 @@ def inspect_container(blob: bytes) -> ContainerInfo:
             raise FormatError(
                 "raw-fallback container must not declare FCM restart markers"
             )
+        if flags & FLAG_CHUNK_CODECS:
+            raise FormatError(
+                "raw-fallback container must not carry a chunk codec table"
+            )
         if len(blob) - pos != orig_len:
             raise FormatError(
                 f"raw-fallback payload length mismatch: header says {orig_len}, "
@@ -461,14 +515,27 @@ def inspect_container(blob: bytes) -> ContainerInfo:
             f"the original length (FCM runs inside the chunk pipeline), got "
             f"{inter_len} != {orig_len}"
         )
+    if flags & FLAG_CHUNK_CODECS:
+        if flags & FLAG_FCM_RESTART:
+            raise FormatError(
+                "chunk-codec container must not also declare FCM restart "
+                "markers (member codecs frame restart per chunk)"
+            )
+        if inter_len != orig_len:
+            raise FormatError(
+                f"chunk-codec container must have intermediate length equal "
+                f"to the original length (every member stage runs inside the "
+                f"chunk pipeline), got {inter_len} != {orig_len}"
+            )
     table_bytes = n_chunks * 4
     crc_bytes = table_bytes if flags & FLAG_CHUNK_CRCS else 0
     index_bytes = n_chunks * 12 if flags & FLAG_CHUNK_INDEX else 0
-    if pos + table_bytes + crc_bytes + index_bytes > len(blob):
+    codec_bytes = n_chunks if flags & FLAG_CHUNK_CODECS else 0
+    if pos + table_bytes + crc_bytes + index_bytes + codec_bytes > len(blob):
         raise FormatError(
             f"truncated chunk table: {n_chunks} chunks need "
-            f"{table_bytes + crc_bytes + index_bytes} bytes at offset {pos}, "
-            f"container has {len(blob) - pos}"
+            f"{table_bytes + crc_bytes + index_bytes + codec_bytes} bytes at "
+            f"offset {pos}, container has {len(blob) - pos}"
         )
     chunk_sizes = struct.unpack_from(f"<{n_chunks}I", blob, pos)
     pos += table_bytes
@@ -484,6 +551,23 @@ def inspect_container(blob: bytes) -> ContainerInfo:
             f"<{n_chunks}I", blob, pos + 8 * n_chunks
         )
         pos += index_bytes
+    chunk_codec_ids: tuple[int, ...] | None = None
+    if flags & FLAG_CHUNK_CODECS:
+        chunk_codec_ids = struct.unpack_from(f"<{n_chunks}B", blob, pos)
+        pos += codec_bytes
+        # Every entry must name a known *fixed* codec before anything is
+        # allocated from the table — a selector id cannot appear (there is
+        # no pipeline behind it) and an unknown id cannot be decoded.
+        from repro.core.codecs import fixed_codec_ids
+
+        known = fixed_codec_ids()
+        for i, cid in enumerate(chunk_codec_ids):
+            if cid not in known:
+                raise FormatError(
+                    f"chunk codec table entry {i} names codec id {cid}, "
+                    f"which is not a known fixed codec "
+                    f"(known ids: {sorted(known)})"
+                )
     for i, size in enumerate(chunk_sizes):
         if size == 0:
             raise FormatError(
@@ -539,6 +623,7 @@ def inspect_container(blob: bytes) -> ContainerInfo:
         index_offsets=index_offsets,
         index_out_lengths=index_out_lengths,
         fcm_restart=bool(flags & FLAG_FCM_RESTART),
+        chunk_codecs=chunk_codec_ids,
     )
 
 
@@ -562,36 +647,33 @@ def payload_offsets(info: ContainerInfo) -> list[int]:
 def concat_containers(blobs) -> bytes:
     """Concatenate compressed containers without re-encoding any payload.
 
-    The inputs must share codec, dtype, and (for chunked inputs) chunk
-    size.  Chunk payloads are copied verbatim into a version-3 output
-    with an explicit chunk index — inputs whose final chunk is partial
-    simply become ragged interior chunks of the result.  Raw-fallback
-    inputs are split into ``CHUNK_RAW`` chunk payloads (a byte copy, not
-    a re-encode).  Containers whose codec carries cross-chunk FCM state
-    (v1/v2 DPratio without restart markers) cannot be concatenated and
-    are rejected; recompress those with restart markers first.
+    The inputs must share dtype and (for chunked inputs) chunk size.
+    Chunk payloads are copied verbatim — inputs whose final chunk is
+    partial simply become ragged interior chunks of the result, and
+    raw-fallback inputs are split into ``CHUNK_RAW`` chunk payloads (a
+    byte copy, not a re-encode).  When every resulting chunk belongs to
+    the same fixed codec the output is the familiar version-3 container
+    (byte-identical to what earlier releases produced); mixed-codec
+    inputs — v4 containers, or containers of *different* fixed codecs —
+    produce a version-4 output whose merged per-chunk codec table records
+    each chunk's encoder.  Containers whose codec carries cross-chunk FCM
+    state (v1/v2 DPratio without restart markers) cannot be concatenated
+    and are rejected; recompress those with restart markers first.
 
     The whole-input CRC32 cannot be combined without decoding, so the
     result carries per-chunk CRCs only; shapes are dropped (the result
     describes the concatenated 1-D stream).
     """
     from repro.core.chunking import CHUNK_RAW, CHUNK_SIZE, chunk_lengths, iter_chunks
-    from repro.core.codecs import codec_by_id
+    from repro.core.codecs import codec_by_id, fixed_codec_ids, selector_codec
 
     blobs = list(blobs)
     if not blobs:
         raise ValueError("concat_containers needs at least one container")
     infos = [inspect_container(blob) for blob in blobs]
-    codec_id = infos[0].codec_id
     dtype_code = infos[0].dtype_code
     chunk_size = 0
     for i, info in enumerate(infos):
-        if info.codec_id != codec_id:
-            raise FormatError(
-                f"cannot concatenate containers of different codecs "
-                f"(input 0 has codec id {codec_id}, input {i} has "
-                f"{info.codec_id})"
-            )
         if info.dtype_code != dtype_code:
             raise FormatError(
                 f"cannot concatenate containers of different dtypes "
@@ -605,47 +687,75 @@ def concat_containers(blobs) -> bytes:
                     f"({chunk_size} vs {info.chunk_size} at input {i})"
                 )
             chunk_size = info.chunk_size
-    codec = codec_by_id(codec_id)
-    has_global = codec.global_stage_factory is not None
     chunk_size = chunk_size or CHUNK_SIZE
 
     payloads: list[bytes] = []
     out_lengths: list[int] = []
+    member_ids: list[int] = []
     total_orig = 0
     for i, (blob, info) in enumerate(zip(blobs, infos)):
         if info.original_len == 0:
             continue
         if info.raw_fallback:
             # The raw payload is the original bytes verbatim: re-chunk it
-            # as CHUNK_RAW payloads (a copy, never a stage execution).
+            # as CHUNK_RAW payloads (a copy, never a stage execution).  A
+            # CHUNK_RAW payload decodes identically under any pipeline,
+            # so selector-codec fallbacks are tagged with the first fixed
+            # codec id (the table cannot carry a selector id).
+            codec = codec_by_id(info.codec_id)
+            raw_id = min(fixed_codec_ids()) if codec.selector else info.codec_id
             view = memoryview(blob)[info.payload_offset:]
             for piece in iter_chunks(view, chunk_size):
                 payloads.append(bytes([CHUNK_RAW]) + bytes(piece))
                 out_lengths.append(len(piece))
+                member_ids.append(raw_id)
             total_orig += info.original_len
             continue
-        if has_global and not info.fcm_restart:
-            raise FormatError(
-                f"input {i} carries cross-chunk FCM state (container "
-                f"version {info.version} without restart markers) and "
-                f"cannot be concatenated; recompress it with fcm='restart'"
-            )
+        if info.chunk_codecs is not None:
+            ids = list(info.chunk_codecs)
+        else:
+            codec = codec_by_id(info.codec_id)
+            if codec.global_stage_factory is not None and not info.fcm_restart:
+                raise FormatError(
+                    f"input {i} carries cross-chunk FCM state (container "
+                    f"version {info.version} without restart markers) and "
+                    f"cannot be concatenated; recompress it with fcm='restart'"
+                )
+            ids = [info.codec_id] * info.n_chunks
         offsets = payload_offsets(info)
         lengths = (info.index_out_lengths
                    if info.index_out_lengths is not None
                    else chunk_lengths(info.intermediate_len, info.chunk_size))
-        for off, size, out_len in zip(offsets, info.chunk_sizes, lengths):
+        for off, size, out_len, cid in zip(
+            offsets, info.chunk_sizes, lengths, ids
+        ):
             payloads.append(blob[off : off + size])
             out_lengths.append(out_len)
+            member_ids.append(cid)
         total_orig += info.original_len
 
     if not payloads:
         return build_container(
-            codec_id=codec_id, dtype_code=dtype_code, original_len=0,
+            codec_id=infos[0].codec_id, dtype_code=dtype_code, original_len=0,
             intermediate_len=0, chunk_size=chunk_size, chunk_payloads=[],
         )
+    if len(set(member_ids)) == 1:
+        # Uniform inputs keep the verbatim v3 shape earlier releases wrote.
+        codec = codec_by_id(member_ids[0])
+        return build_container(
+            codec_id=member_ids[0],
+            dtype_code=dtype_code,
+            original_len=total_orig,
+            intermediate_len=total_orig,
+            chunk_size=chunk_size,
+            chunk_payloads=payloads,
+            chunk_crcs=True,
+            chunk_index=True,
+            out_lengths=out_lengths,
+            fcm_restart=codec.global_stage_factory is not None,
+        )
     return build_container(
-        codec_id=codec_id,
+        codec_id=selector_codec().codec_id,
         dtype_code=dtype_code,
         original_len=total_orig,
         intermediate_len=total_orig,
@@ -654,5 +764,5 @@ def concat_containers(blobs) -> bytes:
         chunk_crcs=True,
         chunk_index=True,
         out_lengths=out_lengths,
-        fcm_restart=has_global,
+        chunk_codecs=member_ids,
     )

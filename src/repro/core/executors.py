@@ -428,9 +428,22 @@ class SharedMemoryProcessExecutor(Executor):
             shm.close()
             shm.unlink()
 
+    @staticmethod
+    def _split_blocks(blocks, chunk_codecs):
+        """Split block tasks so each is codec-homogeneous (v4 containers)."""
+        out = []
+        for lo, hi in blocks:
+            s = lo
+            for i in range(lo + 1, hi):
+                if chunk_codecs[i] != chunk_codecs[s]:
+                    out.append((s, i))
+                    s = i
+            out.append((s, hi))
+        return out
+
     def decode_chunks(
         self, blob, plan, codec_name: str, chunk_crcs, batch: bool,
-        fcm_restart: bool = False,
+        fcm_restart: bool = False, chunk_codecs=None,
     ) -> bytes:
         """Decode every chunk of ``plan`` out of ``blob``; returns the
         concatenated intermediate buffer.
@@ -438,6 +451,11 @@ class SharedMemoryProcessExecutor(Executor):
         Subset (range) plans work unchanged: each task carries its job's
         global chunk index for CRC lookup and error attribution, while
         the write offsets stay relative to the plan's output buffer.
+
+        ``chunk_codecs`` (mixed v4 containers) is a per-plan-position
+        sequence of ``(codec_name, fcm_restart)`` pairs overriding the
+        global pair; blocks are split at codec changes so every worker
+        task still runs one pipeline.
         """
         from multiprocessing import shared_memory
 
@@ -454,11 +472,13 @@ class SharedMemoryProcessExecutor(Executor):
         try:
             in_shm.buf[: len(blob)] = blob
             blocks = self._block_tasks(plan.n_chunks)
+            if chunk_codecs is not None:
+                blocks = self._split_blocks(blocks, chunk_codecs)
             tasks = [
                 (
                     in_shm.name,
                     out_shm.name,
-                    codec_name,
+                    codec_name if chunk_codecs is None else chunk_codecs[lo][0],
                     batch,
                     [
                         (

@@ -56,12 +56,17 @@ class ChunkFailure:
     reason: str
     #: exception class name ("ChecksumError", "CorruptDataError", ...).
     error_type: str
+    #: name of the codec that encoded this chunk — the member codec from
+    #: the v4 per-chunk table for mixed containers, else the container
+    #: codec.  ``None`` only for legacy callers that did not resolve it.
+    codec: str | None = None
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
+        via = f", codec {self.codec}" if self.codec else ""
         return (
             f"chunk {self.index} (payload bytes "
-            f"{self.payload_offset}..{self.payload_offset + self.payload_length}): "
-            f"{self.error_type}: {self.reason}"
+            f"{self.payload_offset}..{self.payload_offset + self.payload_length}"
+            f"{via}): {self.error_type}: {self.reason}"
         )
 
 

@@ -36,6 +36,9 @@ from repro.fuzzing.harness import (
     run_fuzz,
 )
 from repro.fuzzing.mutators import (
+    CODEC_TABLE_MUST_REJECT,
+    CONTAINER_MUST_REJECT,
+    FLAG_MUST_REJECT,
     FRAME_MUTATORS,
     MUTATORS,
     Mutator,
@@ -44,6 +47,9 @@ from repro.fuzzing.mutators import (
 )
 
 __all__ = [
+    "CODEC_TABLE_MUST_REJECT",
+    "CONTAINER_MUST_REJECT",
+    "FLAG_MUST_REJECT",
     "FRAME_MUTATORS",
     "FrameCase",
     "FuzzCase",

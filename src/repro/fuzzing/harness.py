@@ -1,9 +1,10 @@
 """The fault-injection harness: decode must survive anything.
 
 ``run_fuzz`` builds a small corpus of valid containers (every paper
-codec in v1, v2, and v3-with-chunk-index framing, plus a raw-fallback
-container), then runs ``iterations`` seeded mutations through both
-decode paths, checking the robustness invariants the container format
+codec in v1, v2, and v3-with-chunk-index framing, a raw-fallback
+container, and v4 mixed-codec containers carrying a per-chunk codec
+table), then runs ``iterations`` seeded mutations through both decode
+paths, checking the robustness invariants the container format
 promises:
 
 1. **Typed failure or success, never a crash** — ``decompress`` on a
@@ -24,6 +25,11 @@ promises:
    the same payload bytes) must be *rejected*: the stored index is
    redundant by design, and a decode that accepts a contradictory one
    is reading payload windows from attacker-chosen offsets.
+5. **Codec-table consistency** — mutants from the ``codec-table-*``
+   mutators (an unknown codec id in a v4 per-chunk table, a deleted
+   table byte, a flipped ``FLAG_CHUNK_CODECS`` bit) must be rejected at
+   parse time: the table routes payloads to decode pipelines, so an
+   accepted lie routes bytes through the wrong codec.
 
 Everything is derived from ``(seed, iteration)`` via
 ``np.random.default_rng([seed, iteration])``, so any failure replays in
@@ -41,7 +47,13 @@ from repro.core import container as fmt
 from repro.core.codecs import CODECS, get_codec
 from repro.core.compressor import compress_bytes, decompress_bytes
 from repro.errors import ReproError, traceback_summary
-from repro.fuzzing.mutators import CONTAINER_MUST_REJECT, MUTATORS, mutate
+from repro.fuzzing.mutators import (
+    CODEC_TABLE_MUST_REJECT,
+    CONTAINER_MUST_REJECT,
+    FLAG_MUST_REJECT,
+    MUTATORS,
+    mutate,
+)
 
 
 @dataclass(frozen=True)
@@ -55,6 +67,7 @@ class FuzzCase:
     payload_offset: int
     has_chunk_crcs: bool
     has_index: bool = False
+    has_codec_table: bool = False
 
 
 @dataclass(frozen=True)
@@ -125,6 +138,7 @@ def build_corpus(seed: int, *, codecs=None, size: int = 72_000) -> list[FuzzCase
             payload_offset=info.payload_offset,
             has_chunk_crcs=info.chunk_crcs is not None,
             has_index=info.index_offsets is not None,
+            has_codec_table=info.chunk_codecs is not None,
         ))
 
     def add(label: str, codec_name: str, data: bytes, **kwargs) -> None:
@@ -150,6 +164,30 @@ def build_corpus(seed: int, *, codecs=None, size: int = 72_000) -> list[FuzzCase
     # Raw fallback: random bytes defeat every stage.
     add("raw-fallback", names[0], rng.bytes(size // 4),
         checksum=True, chunk_checksums=True)
+    # v4 mixed-codec containers, for the codec-table mutators: a concat
+    # of differently-encoded halves (sp and, restart-framed, dp), and an
+    # adaptively selected container (auto writes the table even when
+    # every chunk routes the same way).
+    if {"spspeed", "spratio"} <= set(names):
+        data = _smooth(rng, get_codec("spspeed").dtype, size)
+        half = len(data) // 2
+        record("mixed-sp-v4", "spspeed", data, fmt.concat_containers([
+            compress_bytes(data[:half], get_codec("spspeed"),
+                           chunk_checksums=True),
+            compress_bytes(data[half:], get_codec("spratio"),
+                           chunk_checksums=True),
+        ]))
+        record("auto-v4", "auto", data,
+               compress_bytes(data, get_codec("auto"), chunk_checksums=True))
+    if {"dpspeed", "dpratio"} <= set(names):
+        data = _smooth(rng, get_codec("dpspeed").dtype, size)
+        half = len(data) // 2
+        record("mixed-dp-v4", "dpspeed", data, fmt.concat_containers([
+            compress_bytes(data[:half], get_codec("dpspeed"),
+                           chunk_checksums=True),
+            compress_bytes(data[half:], get_codec("dpratio"),
+                           chunk_checksums=True, fcm="restart"),
+        ]))
     return cases
 
 
@@ -269,13 +307,14 @@ def _probe(
         fail("crash", traceback_summary(exc))
         outcome = "crashed"
 
-    # Invariant 4: a contradictory chunk index must never decode.
-    if (
-        mutator in CONTAINER_MUST_REJECT
-        and case.has_index
-        and mutant != case.blob
-        and outcome.startswith("decoded")
-    ):
+    # Invariants 4 and 5: a contradictory chunk index or codec table
+    # must never decode.
+    must_reject = (
+        (mutator in CONTAINER_MUST_REJECT and case.has_index)
+        or (mutator in CODEC_TABLE_MUST_REJECT and case.has_codec_table)
+        or mutator in FLAG_MUST_REJECT
+    )
+    if must_reject and mutant != case.blob and outcome.startswith("decoded"):
         fail("must-reject",
              f"{mutator} mutant decoded instead of being rejected")
 

@@ -108,6 +108,17 @@ def header_field(blob: bytes, rng: np.random.Generator) -> bytes:
     return bytes(buf)
 
 
+def _trailing_table_bytes(info: fmt.ContainerInfo) -> int:
+    """Bytes between the chunk-CRC table and the payloads: the v3 chunk
+    index (12 per chunk) and the v4 codec table (1 per chunk)."""
+    trailing = 0
+    if info.index_offsets is not None:
+        trailing += 12 * info.n_chunks
+    if info.chunk_codecs is not None:
+        trailing += info.n_chunks
+    return trailing
+
+
 def _table_geometry(blob: bytes) -> tuple[int, int, int] | None:
     """(size_table_offset, crc_table_offset_or_-1, n_chunks) of a valid blob."""
     try:
@@ -117,8 +128,9 @@ def _table_geometry(blob: bytes) -> tuple[int, int, int] | None:
     if info.n_chunks == 0:
         return None
     tables = 2 if info.chunk_crcs is not None else 1
-    size_off = info.payload_offset - 4 * info.n_chunks * tables
-    crc_off = info.payload_offset - 4 * info.n_chunks if tables == 2 else -1
+    base = info.payload_offset - _trailing_table_bytes(info)
+    size_off = base - 4 * info.n_chunks * tables
+    crc_off = base - 4 * info.n_chunks if tables == 2 else -1
     return size_off, crc_off, info.n_chunks
 
 
@@ -168,8 +180,9 @@ def _index_geometry(blob: bytes) -> tuple[int, int, int, int] | None:
         return None
     if info.index_offsets is None or info.n_chunks == 0:
         return None
-    offset_table = info.payload_offset - 12 * info.n_chunks
-    length_table = info.payload_offset - 4 * info.n_chunks
+    codec_bytes = (info.n_chunks if info.chunk_codecs is not None else 0)
+    offset_table = info.payload_offset - codec_bytes - 12 * info.n_chunks
+    length_table = info.payload_offset - codec_bytes - 4 * info.n_chunks
     return offset_table, length_table, info.n_chunks, info.payload_offset
 
 
@@ -227,6 +240,72 @@ def index_overlap(blob: bytes, rng: np.random.Generator) -> bytes:
         value = previous + int(rng.integers(0, span))
         struct.pack_into("<Q", buf, offset_table + 8 * i, value)
     return bytes(buf)
+
+
+def _codec_table_geometry(blob: bytes) -> tuple[int, int] | None:
+    """(codec_table_offset, n_chunks) of a v4 blob, or ``None``."""
+    try:
+        info = fmt.inspect_container(blob)
+    except Exception:
+        return None
+    if info.chunk_codecs is None or info.n_chunks == 0:
+        return None
+    return info.payload_offset - info.n_chunks, info.n_chunks
+
+
+def codec_table_id(blob: bytes, rng: np.random.Generator) -> bytes:
+    """Rewrite one v4 codec-table entry with an unknown codec id.
+
+    The per-chunk table routes each payload to a decode pipeline; an
+    entry naming a codec this build does not know (including the
+    selector's own id, which never encodes a chunk) must be rejected at
+    parse time — before any pipeline or allocation is chosen from it.
+    """
+    from repro.core.codecs import fixed_codec_ids
+
+    geometry = _codec_table_geometry(blob)
+    if geometry is None:
+        return bit_flip(blob, rng)
+    table_off, n_chunks = geometry
+    buf = bytearray(blob)
+    i = int(rng.integers(0, n_chunks))
+    known = fixed_codec_ids()
+    while True:
+        value = int(rng.integers(0, 256))
+        if value not in known:
+            break
+    buf[table_off + i] = value
+    return bytes(buf)
+
+
+def codec_table_flag(blob: bytes, rng: np.random.Generator) -> bytes:
+    """Flip the ``FLAG_CHUNK_CODECS`` header bit.
+
+    Both directions must be rejected: cleared on a v4 container, the
+    declared tables no longer account for the codec-table bytes (and a
+    selector header codec without a table is meaningless); set on a
+    v1-v3 container, the flag is unknown for that version.
+    """
+    buf = bytearray(blob)
+    if len(buf) < 8:
+        return bit_flip(blob, rng)
+    buf[7] ^= fmt.FLAG_CHUNK_CODECS
+    return bytes(buf)
+
+
+def codec_table_truncate(blob: bytes, rng: np.random.Generator) -> bytes:
+    """Delete one byte of the v4 codec table (shortening the blob).
+
+    Every payload window shifts one byte early and the declared
+    geometry no longer matches the blob length — the truncation check
+    must reject the container before any chunk is read.
+    """
+    geometry = _codec_table_geometry(blob)
+    if geometry is None:
+        return truncate(blob, rng)
+    table_off, n_chunks = geometry
+    i = int(rng.integers(0, n_chunks))
+    return blob[: table_off + i] + blob[table_off + i + 1 :]
 
 
 def payload_flip(blob: bytes, rng: np.random.Generator) -> bytes:
@@ -445,6 +524,9 @@ MUTATORS: dict[str, Mutator] = {
     "chunk-table-splice": chunk_table_splice,
     "index-offset": index_offset_mismatch,
     "index-overlap": index_overlap,
+    "codec-table-id": codec_table_id,
+    "codec-table-flag": codec_table_flag,
+    "codec-table-truncate": codec_table_truncate,
     "payload-flip": payload_flip,
     "pad-bit-set": pad_bit_set,
 }
@@ -456,6 +538,19 @@ CONTAINER_MUST_REJECT = frozenset({
     "index-offset",
     "index-overlap",
 })
+
+#: Mutators targeting the v4 per-chunk codec table whose mutants (when
+#: applied to a codec-table-carrying container and any byte changed)
+#: must be rejected at parse time.
+CODEC_TABLE_MUST_REJECT = frozenset({
+    "codec-table-id",
+    "codec-table-truncate",
+})
+
+#: The flag flip is unconditionally a contract violation on *every*
+#: valid container: set, the flag is unknown below v4 (and undeclared
+#: table bytes above); cleared, a v4 geometry no longer adds up.
+FLAG_MUST_REJECT = frozenset({"codec-table-flag"})
 
 
 def mutate(blob: bytes, name: str, rng: np.random.Generator) -> bytes:

@@ -17,7 +17,11 @@ throughput of the real implementation (never the device model):
   — next to the legacy global-FCM ratio it trades away;
 * resilience: goodput and p99 latency under seeded fault injection
   (0/5/20% of frames reset or corrupted by the chaos proxy), retrying
-  client direct vs through the shard router.
+  client direct vs through the shard router;
+* codec selection: the adaptive ``auto`` codec's geo-mean compression
+  ratio across one representative file per corpus domain vs every fixed
+  codec, the per-chunk probe overhead as a fraction of the full auto
+  compress, and the histogram of codecs the selector chose.
 
 Points are saved as ``BENCH_<tag>.json`` files; committing one per perf
 PR grows a throughput trajectory of the repository itself, and
@@ -214,7 +218,7 @@ def _kernel_backend_section(scale: float, runs: int) -> dict:
 def _bench_sample(codec_name: str, scale: float) -> bytes:
     from repro.datasets import dp_suite, sp_suite
 
-    suite = sp_suite() if codec_name.startswith("sp") else dp_suite()
+    suite = dp_suite() if codec_name.startswith("dp") else sp_suite()
     return suite[0].files[0].load(scale).tobytes()
 
 
@@ -226,7 +230,7 @@ def _codec_section(
     codecs: dict[str, dict] = {}
     if policy is None:
         policy = "serial" if workers <= 1 else "threaded"
-    for name in ALL_CODECS:
+    for name in (*ALL_CODECS, "auto"):
         data = _bench_sample(name, scale)
         row = measure_executors(
             data, name, policies=(policy,), workers=workers, runs=runs
@@ -240,6 +244,124 @@ def _codec_section(
             "input_bytes": len(data),
         }
     return codecs
+
+
+def _codec_selection_section(scale: float, runs: int) -> dict:
+    """Adaptive-selection quality and cost across the bundled corpus.
+
+    For one representative file per corpus domain (7 SP + 5 DP), the
+    section records the compressed size under ``auto`` and under every
+    fixed codec, aggregated to geo-mean compression ratios — the number
+    the selector must win: no single fixed codec handles both float
+    widths, so ``auto``'s combined geo-mean should beat all four.  It
+    also records the per-chunk probe cost as a fraction of the full
+    ``auto`` compress (the selection overhead the ratio win pays for)
+    and the histogram of codecs the selector actually chose.
+    """
+    import math as _math
+    import time as _time
+
+    from repro.core.codecs import codec_by_id, selection_candidates
+    from repro.core.container import DTYPE_F32, DTYPE_F64
+    from repro.datasets import dp_suite, sp_suite
+    from repro.selection import probe_chunks
+
+    chunk_size = 16384
+    names = (*ALL_CODECS, "auto")
+    files = []
+    for suite_name, suite, code in (
+        ("sp", sp_suite(), DTYPE_F32), ("dp", dp_suite(), DTYPE_F64)
+    ):
+        for domain in suite:
+            files.append((suite_name, domain.files[0], code))
+
+    log_ratio_sums = {name: 0.0 for name in names}
+    suite_log_sums = {"sp": dict.fromkeys(names, 0.0),
+                      "dp": dict.fromkeys(names, 0.0)}
+    suite_counts = {"sp": 0, "dp": 0}
+    histogram: dict[str, int] = {}
+    compress_seconds = dict.fromkeys(names, 0.0)
+    probe_seconds = 0.0
+    total_bytes = 0
+    for suite_name, dataset, code in files:
+        array = dataset.load(scale)
+        raw = array.nbytes
+        suite_counts[suite_name] += 1
+        total_bytes += raw
+        for name in names:
+            blob = repro.compress(array, name)
+            best = float("inf")
+            for _ in range(runs):
+                t0 = _time.perf_counter()
+                repro.compress(array, name)
+                best = min(best, _time.perf_counter() - t0)
+            compress_seconds[name] += best
+            if name == "auto":
+                info = repro.inspect(blob)
+                if info.chunk_codecs is None:
+                    key = "raw" if info.raw_fallback else name
+                    histogram[key] = histogram.get(key, 0) + max(info.n_chunks, 1)
+                else:
+                    for cid in info.chunk_codecs:
+                        key = codec_by_id(cid).name
+                        histogram[key] = histogram.get(key, 0) + 1
+            ratio = raw / len(blob)
+            log_ratio_sums[name] += _math.log(ratio)
+            suite_log_sums[suite_name][name] += _math.log(ratio)
+        data = array.tobytes()
+        chunks = [data[i:i + chunk_size]
+                  for i in range(0, len(data), chunk_size)]
+        candidates = selection_candidates(code)
+        t0 = _time.perf_counter()
+        for _ in range(runs):
+            probe_chunks(chunks, candidates, with_stats=False)
+        probe_seconds += (_time.perf_counter() - t0) / runs
+
+    n_files = len(files)
+    geomean = {
+        name: _math.exp(total / n_files)
+        for name, total in log_ratio_sums.items()
+    }
+    throughput = {
+        name: (total_bytes / secs if secs > 0 else 0.0)
+        for name, secs in compress_seconds.items()
+    }
+    # The fixed codec auto must beat: highest combined geo-mean ratio.
+    best_fixed = max(ALL_CODECS, key=lambda name: geomean[name])
+    auto_seconds = compress_seconds["auto"]
+    return {
+        "files": n_files,
+        "chunk_size": chunk_size,
+        "geomean_ratio": geomean,
+        "suite_geomean_ratio": {
+            suite: {
+                name: _math.exp(total / suite_counts[suite])
+                for name, total in sums.items()
+            }
+            for suite, sums in suite_log_sums.items()
+        },
+        "compress_bytes_per_s": throughput,
+        "chosen_histogram": dict(sorted(histogram.items())),
+        "probe_overhead": {
+            "probe_s": probe_seconds,
+            "auto_compress_s": auto_seconds,
+            "fraction": (probe_seconds / auto_seconds
+                         if auto_seconds > 0 else 0.0),
+            "probe_bytes_per_s": (total_bytes / probe_seconds
+                                  if probe_seconds > 0 else 0.0),
+        },
+        # The PR acceptance gate, recorded where the CI smoke can see it:
+        # auto beats every fixed codec on combined geo-mean ratio, at a
+        # bounded throughput cost vs the best-ratio fixed codec.
+        "best_fixed": best_fixed,
+        "auto_beats_every_fixed": all(
+            geomean["auto"] > geomean[name] for name in ALL_CODECS
+        ),
+        "throughput_cost_vs_best_fixed": (
+            1.0 - throughput["auto"] / throughput[best_fixed]
+            if throughput[best_fixed] > 0 else 0.0
+        ),
+    }
 
 
 def _stage_section(scale: float, runs: int) -> dict:
@@ -571,6 +693,7 @@ def record_trajectory(
             "fcm_parallel": _fcm_parallel_section(scale, runs, workers),
             "resilience": _resilience_section(scale, runs),
             "kernel_backend": _kernel_backend_section(scale, runs),
+            "codec_selection": _codec_selection_section(scale, runs),
         }
 
 
@@ -699,6 +822,46 @@ def format_trajectory(point: dict) -> str:
                 f"{key:>16} {row['goodput_per_s']:>8.1f} req/s "
                 f"{row['p99_ms']:>7.1f} ms "
                 f"{row['failures']:>3}/{row['requests']}"
+            )
+    selection = point.get("codec_selection", {})
+    if selection:
+        lines.append("")
+        lines.append(
+            f"{'codec selection':>16} geo-mean ratio over "
+            f"{selection.get('files', 0)} corpus files"
+        )
+        combined = selection.get("geomean_ratio", {})
+        suites = selection.get("suite_geomean_ratio", {})
+        for name in sorted(combined, key=lambda n: -combined[n]):
+            sp = suites.get("sp", {}).get(name)
+            dp = suites.get("dp", {}).get(name)
+            lines.append(
+                f"{name:>16} {combined[name]:>8.4f}  "
+                f"(sp {sp:.4f}, dp {dp:.4f})" if sp and dp
+                else f"{name:>16} {combined[name]:>8.4f}"
+            )
+        overhead = selection.get("probe_overhead", {})
+        if overhead:
+            lines.append(
+                f"{'probe overhead':>16} {overhead['fraction'] * 100:>7.2f}% "
+                f"of auto compress "
+                f"({overhead['probe_bytes_per_s'] / 1e6:.1f} MB/s)"
+            )
+        histogram = selection.get("chosen_histogram", {})
+        if histogram:
+            picks = ", ".join(f"{k}:{v}" for k, v in histogram.items())
+            lines.append(f"{'chunks routed':>16} {picks}")
+        best = selection.get("best_fixed")
+        if best is not None:
+            tput = selection.get("compress_bytes_per_s", {})
+            cost = selection.get("throughput_cost_vs_best_fixed", 0.0)
+            wins = selection.get("auto_beats_every_fixed")
+            lines.append(
+                f"{'vs best fixed':>16} {best} "
+                f"(auto {tput.get('auto', 0) / 1e6:.1f} MB/s vs "
+                f"{tput.get(best, 0) / 1e6:.1f} MB/s, "
+                f"cost {cost * 100:+.1f}%, "
+                f"ratio win {'yes' if wins else 'NO'})"
             )
     fcm = point.get("fcm_parallel", {})
     if fcm:

@@ -1,0 +1,44 @@
+"""Adaptive per-chunk codec selection (the ``auto`` codec).
+
+The paper's four pipelines are fixed: one dtype, one speed/ratio trade.
+Real archives mix regimes — smooth fields next to noisy ones, runs of
+zeros next to turbulence — and codec rankings flip across domains
+(FCBench), so no single global codec wins a corpus.  This subsystem adds
+the adaptive layer on top of the fixed pipelines:
+
+* :mod:`repro.selection.probe` — a cheap per-chunk feature extractor
+  (exponent entropy, leading-zero / leading-common-bits histograms,
+  first-delta smoothness, repeated-value fraction) plus closed-form size
+  models for every fixed pipeline, built on the same CLZ /
+  ``eliminated_counts_rows`` kernels the stages use, so it dispatches
+  through the backend registry and costs a small fraction of an encode.
+* :mod:`repro.selection.policy` — the decision layer: the heuristic
+  policy routes each chunk to the candidate with the smallest (biased)
+  modelled size; the trained policy loads bias thresholds fitted offline
+  against the bundled corpus (``scripts/fit_selector.py``).
+
+The engine entry point is the registered ``auto`` codec
+(:data:`repro.core.codecs.AUTO`): its encode path probes every chunk,
+consults the policy, groups same-decision chunks so the columnar
+``encode_batch`` kernels still engage, and writes a container v4 with a
+per-chunk codec-id table.  Decoding needs none of this module — the
+table alone resolves each chunk's pipeline.
+"""
+
+from repro.selection.policy import (
+    HeuristicPolicy,
+    SelectionPolicy,
+    TrainedPolicy,
+    get_policy,
+)
+from repro.selection.probe import ChunkProbe, probe_chunk, probe_chunks
+
+__all__ = [
+    "ChunkProbe",
+    "HeuristicPolicy",
+    "SelectionPolicy",
+    "TrainedPolicy",
+    "get_policy",
+    "probe_chunk",
+    "probe_chunks",
+]

@@ -1,0 +1,131 @@
+"""Selection policies: turn probe results into a per-chunk codec choice.
+
+The policy layer is deliberately tiny and pluggable.  A policy sees one
+:class:`~repro.selection.probe.ChunkProbe` plus the candidate codec set
+and returns the winner; the engine handles everything else (grouping,
+batching, the v4 codec table).  Two policies ship:
+
+* :class:`HeuristicPolicy` — argmin of the modelled sizes, each scaled
+  by a per-codec bias multiplier.  The biases absorb what the closed
+  forms do not model (MPLG's magnitude-sign retry, RZE's bitmap detail,
+  DPratio's FCM pass) and encode the speed/ratio preference: a bias
+  below 1.0 favours that codec.  Ties break toward the lower codec id,
+  so selection is deterministic.
+* :class:`TrainedPolicy` — the same rule with biases loaded from a JSON
+  thresholds file fitted offline against the bundled corpus by
+  ``scripts/fit_selector.py`` (the committed fit lives next to this
+  module).  ``--selector trained`` on the CLI, or any path to a
+  compatible JSON file.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.codecs import Codec
+from repro.errors import ReproError
+from repro.selection.probe import ChunkProbe
+
+#: Default bias multipliers of the heuristic policy.  Calibrated against
+#: actual per-chunk encoded sizes on the bundled corpus at scale 1.0
+#: (``scripts/fit_selector.py --report``): the DPratio model cannot see
+#: the restart-framed FCM pass from a single chunk and underestimates it
+#: badly on FCM-hostile data, so its modelled size is inflated; the
+#: BIT+RZE model slightly overestimates the bitmap's multi-level
+#: savings, so SPratio's is discounted; the MPLG models are near-exact
+#: (their only gap is the magnitude-sign retry, which can only shrink a
+#: subchunk).
+DEFAULT_BIAS = {
+    "spspeed": 0.999,
+    "spratio": 0.804,
+    "dpspeed": 0.997,
+    "dpratio": 1.273,
+}
+
+#: Committed thresholds fitted offline (``--selector trained``).
+TRAINED_PATH = Path(__file__).with_name("trained_thresholds.json")
+
+
+class SelectionPolicy:
+    """Base policy: pick a codec for one probed chunk."""
+
+    name = "base"
+
+    def choose(self, probe: ChunkProbe, candidates: tuple[Codec, ...]) -> Codec:
+        raise NotImplementedError
+
+
+class HeuristicPolicy(SelectionPolicy):
+    """Argmin of bias-scaled modelled sizes, ties toward lower codec id."""
+
+    name = "heuristic"
+
+    def __init__(self, bias: dict[str, float] | None = None) -> None:
+        self.bias = dict(DEFAULT_BIAS)
+        if bias:
+            self.bias.update(bias)
+
+    def choose(self, probe: ChunkProbe, candidates: tuple[Codec, ...]) -> Codec:
+        best: Codec | None = None
+        best_score = None
+        for codec in sorted(candidates, key=lambda c: c.codec_id):
+            modeled = probe.modeled.get(codec.name)
+            if modeled is None:
+                continue
+            score = modeled * self.bias.get(codec.name, 1.0)
+            if best_score is None or score < best_score:
+                best, best_score = codec, score
+        if best is None:
+            # No model produced a size (e.g. an empty candidate set slice);
+            # fall back to the lowest-id candidate for determinism.
+            best = min(candidates, key=lambda c: c.codec_id)
+        return best
+
+
+class TrainedPolicy(HeuristicPolicy):
+    """Heuristic rule with biases loaded from a fitted thresholds file."""
+
+    name = "trained"
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        path = Path(path) if path is not None else TRAINED_PATH
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            raise ReproError(
+                f"cannot load selector thresholds from {path}: {exc}"
+            ) from exc
+        if not isinstance(payload, dict) or "bias" not in payload:
+            raise ReproError(
+                f"selector thresholds file {path} must be a JSON object "
+                f"with a 'bias' mapping"
+            )
+        bias = payload["bias"]
+        if not isinstance(bias, dict) or not all(
+            isinstance(v, (int, float)) for v in bias.values()
+        ):
+            raise ReproError(
+                f"'bias' in {path} must map codec names to numbers"
+            )
+        super().__init__(bias={str(k): float(v) for k, v in bias.items()})
+        self.path = path
+
+
+def get_policy(spec: str | SelectionPolicy | None) -> SelectionPolicy:
+    """Resolve a selector spec: a policy, ``heuristic``/``trained``, or a
+    path to a thresholds JSON file."""
+    if spec is None:
+        return HeuristicPolicy()
+    if isinstance(spec, SelectionPolicy):
+        return spec
+    if spec == "heuristic":
+        return HeuristicPolicy()
+    if spec == "trained":
+        return TrainedPolicy()
+    if str(spec).endswith(".json"):
+        return TrainedPolicy(spec)
+    raise ReproError(
+        f"unknown selector {spec!r}; use 'heuristic', 'trained', or a "
+        f"path to a thresholds .json file"
+    )

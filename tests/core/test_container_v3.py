@@ -197,13 +197,22 @@ class TestConcat:
         back, _ = decompress_bytes(merged)
         assert back == a + b
 
-    def test_mixed_codecs_rejected(self, rng):
-        a = compress_bytes(_walk(rng, get_codec("spratio")),
-                           get_codec("spratio"))
-        b = compress_bytes(_walk(rng, get_codec("spspeed")),
-                           get_codec("spspeed"))
-        with pytest.raises(FormatError, match="codec"):
-            fmt.concat_containers([a, b])
+    def test_mixed_codecs_merge_to_v4(self, rng):
+        # Mixed-codec inputs used to be rejected; the merge now emits a
+        # v4 container whose per-chunk codec table records each member.
+        data_a = _walk(rng, get_codec("spratio"))
+        data_b = _walk(rng, get_codec("spspeed"))
+        a = compress_bytes(data_a, get_codec("spratio"))
+        b = compress_bytes(data_b, get_codec("spspeed"))
+        merged = fmt.concat_containers([a, b])
+        info = fmt.inspect_container(merged)
+        assert info.version == 4
+        assert info.chunk_codecs is not None
+        n_a = fmt.inspect_container(a).n_chunks
+        assert set(info.chunk_codecs[:n_a]) == {get_codec("spratio").codec_id}
+        assert set(info.chunk_codecs[n_a:]) == {get_codec("spspeed").codec_id}
+        back, _ = decompress_bytes(merged)
+        assert back == data_a + data_b
 
     def test_cross_chunk_fcm_inputs_rejected(self, rng):
         codec = get_codec("dpratio")

@@ -1,0 +1,117 @@
+"""Policy tests: bias-scaled argmin, trained thresholds, spec resolution."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.codecs import get_codec, selection_candidates
+from repro.core.container import DTYPE_F32, DTYPE_F64
+from repro.errors import ReproError
+from repro.selection import (
+    HeuristicPolicy,
+    SelectionPolicy,
+    TrainedPolicy,
+    get_policy,
+    probe_chunk,
+)
+from repro.selection.policy import DEFAULT_BIAS, TRAINED_PATH
+
+SP = selection_candidates(DTYPE_F32)
+
+
+def _sp_probe():
+    rng = np.random.default_rng(7)
+    chunk = np.cumsum(rng.normal(size=2048)).astype("<f4").tobytes()
+    return probe_chunk(chunk, SP)
+
+
+class TestHeuristicPolicy:
+    def test_argmin_of_biased_models(self):
+        probe = _sp_probe()
+        # Extreme biases force each candidate in turn.
+        force_speed = HeuristicPolicy(bias={"spspeed": 1e-6, "spratio": 1.0})
+        force_ratio = HeuristicPolicy(bias={"spspeed": 1.0, "spratio": 1e-6})
+        assert force_speed.choose(probe, SP).name == "spspeed"
+        assert force_ratio.choose(probe, SP).name == "spratio"
+
+    def test_tie_breaks_to_lower_codec_id(self):
+        probe = _sp_probe()
+        # Equal scores: bias each codec by the inverse of its model.
+        bias = {name: 1.0 / size for name, size in probe.modeled.items()}
+        chosen = HeuristicPolicy(bias=bias).choose(probe, SP)
+        assert chosen.codec_id == min(c.codec_id for c in SP)
+
+    def test_choice_is_deterministic(self):
+        probe = _sp_probe()
+        policy = HeuristicPolicy()
+        assert policy.choose(probe, SP) is policy.choose(probe, SP)
+
+
+class TestTrainedPolicy:
+    def test_committed_thresholds_load(self):
+        policy = TrainedPolicy()
+        assert policy.path == TRAINED_PATH
+        assert policy.name == "trained"
+        # The committed fit and the heuristic defaults are kept in sync
+        # by scripts/fit_selector.py.
+        assert policy.bias == DEFAULT_BIAS
+
+    def test_custom_thresholds_file(self, tmp_path):
+        path = tmp_path / "bias.json"
+        path.write_text(json.dumps({"bias": {"spspeed": 0.5}}))
+        policy = TrainedPolicy(path)
+        assert policy.bias["spspeed"] == 0.5
+        # Unnamed codecs keep the defaults.
+        assert policy.bias["dpratio"] == DEFAULT_BIAS["dpratio"]
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ReproError, match="cannot load"):
+            TrainedPolicy(tmp_path / "nope.json")
+
+    def test_bad_schema_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"not_bias": {}}))
+        with pytest.raises(ReproError, match="bias"):
+            TrainedPolicy(path)
+        path.write_text(json.dumps({"bias": {"spspeed": "fast"}}))
+        with pytest.raises(ReproError, match="numbers"):
+            TrainedPolicy(path)
+
+
+class TestGetPolicy:
+    def test_spec_resolution(self, tmp_path):
+        assert isinstance(get_policy(None), HeuristicPolicy)
+        assert isinstance(get_policy("heuristic"), HeuristicPolicy)
+        assert isinstance(get_policy("trained"), TrainedPolicy)
+        path = tmp_path / "t.json"
+        path.write_text(json.dumps({"bias": {}}))
+        assert isinstance(get_policy(str(path)), TrainedPolicy)
+        prebuilt = HeuristicPolicy()
+        assert get_policy(prebuilt) is prebuilt
+
+    def test_unknown_spec_raises(self):
+        with pytest.raises(ReproError, match="unknown selector"):
+            get_policy("magic")
+
+
+class TestSelectionCandidates:
+    def test_policy_never_picks_outside_candidates(self):
+        probe = _sp_probe()
+        policy = HeuristicPolicy()
+        assert policy.choose(probe, SP) in SP
+
+    def test_base_policy_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            SelectionPolicy().choose(_sp_probe(), SP)
+
+    def test_fallback_without_models(self):
+        probe = _sp_probe()
+        dp = selection_candidates(DTYPE_F64)
+        # The probe modelled only sp codecs; choosing among dp candidates
+        # falls back to the lowest codec id for determinism.
+        chosen = HeuristicPolicy().choose(probe, dp)
+        assert chosen.name == "dpspeed"
+        assert chosen is get_codec("dpspeed")

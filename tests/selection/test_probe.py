@@ -1,0 +1,105 @@
+"""Probe tests: determinism, batching invariance, and model sanity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.codecs import get_codec, selection_candidates
+from repro.core.container import DTYPE_BYTES, DTYPE_F32, DTYPE_F64
+from repro.selection import probe_chunk, probe_chunks
+
+SP = selection_candidates(DTYPE_F32)
+DP = selection_candidates(DTYPE_F64)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0xABC)
+
+
+def _smooth(rng, dtype, n):
+    return np.cumsum(rng.normal(size=n)).astype(dtype).tobytes()
+
+
+def _noise(rng, dtype, n):
+    return rng.random(n).astype(dtype).tobytes()
+
+
+class TestProbeBasics:
+    def test_candidates_by_dtype(self):
+        assert tuple(c.name for c in SP) == ("spspeed", "spratio")
+        assert tuple(c.name for c in DP) == ("dpspeed", "dpratio")
+        all_four = selection_candidates(DTYPE_BYTES)
+        assert {c.name for c in all_four} == {
+            "spspeed", "spratio", "dpspeed", "dpratio"
+        }
+
+    def test_probe_models_every_candidate(self, rng):
+        probe = probe_chunk(_smooth(rng, "<f4", 4096), SP)
+        assert set(probe.modeled) == {"spspeed", "spratio"}
+        assert all(size > 0 for size in probe.modeled.values())
+
+    def test_probe_is_deterministic(self, rng):
+        chunk = _smooth(rng, "<f4", 4096)
+        assert probe_chunk(chunk, SP) == probe_chunk(chunk, SP)
+
+    def test_batched_probe_matches_individual(self, rng):
+        chunks = [
+            _smooth(rng, "<f4", 4096),
+            _noise(rng, "<f4", 4096),
+            _smooth(rng, "<f4", 4096),
+        ]
+        batched = probe_chunks(chunks, SP)
+        individual = [probe_chunk(chunk, SP) for chunk in chunks]
+        assert batched == individual
+
+    def test_mixed_lengths_batch_correctly(self, rng):
+        # Different-length chunks are grouped by length internally; the
+        # results must still come back in input order.
+        chunks = [
+            _smooth(rng, "<f4", 4096),
+            _smooth(rng, "<f4", 1000),
+            _noise(rng, "<f4", 4096),
+            _noise(rng, "<f4", 1000),
+        ]
+        batched = probe_chunks(chunks, SP)
+        assert batched == [probe_chunk(chunk, SP) for chunk in chunks]
+
+    def test_empty_input(self):
+        assert probe_chunks([], SP) == []
+
+
+class TestModelQuality:
+    def test_mplg_model_tracks_actual(self, rng):
+        # The MPLG closed form misses only the magnitude-sign retry, so
+        # the modelled size must sit within a few percent of the actual
+        # payload on smooth data.
+        chunk = _smooth(rng, "<f4", 4096)
+        probe = probe_chunk(chunk, SP)
+        codec = get_codec("spspeed")
+        actual = len(codec.make_pipeline(False).encode_chunk(chunk))
+        assert abs(probe.modeled["spspeed"] - actual) / actual < 0.10
+
+    def test_smooth_models_smaller_than_noise(self, rng):
+        smooth = probe_chunk(_smooth(rng, "<f8", 2048), DP)
+        noise = probe_chunk(_noise(rng, "<f8", 2048), DP)
+        for name in ("dpspeed", "dpratio"):
+            assert smooth.modeled[name] < noise.modeled[name]
+
+    def test_stats_shape(self, rng):
+        probe = probe_chunk(_smooth(rng, "<f4", 4096), SP)
+        stats = probe.stats[32]
+        assert stats.word_bits == 32
+        assert stats.n_words == 4096
+        assert stats.tail_len == 0
+        assert 0.0 <= stats.repeated_fraction <= 1.0
+        assert stats.exponent_entropy >= 0.0
+
+    def test_tail_bytes_survive(self, rng):
+        # A chunk that is not a whole number of words still probes.
+        chunk = _smooth(rng, "<f4", 1024)[:-3]
+        probe = probe_chunk(chunk, SP)
+        assert probe.n_bytes == 4093
+        assert probe.stats[32].tail_len == 1
+        assert all(size > 0 for size in probe.modeled.values())

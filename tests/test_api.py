@@ -86,7 +86,9 @@ class TestInspect:
         assert info.ratio > 1.0
 
     def test_available_codecs(self):
-        assert repro.available_codecs() == ["dpratio", "dpspeed", "spratio", "spspeed"]
+        assert repro.available_codecs() == [
+            "auto", "dpratio", "dpspeed", "spratio", "spspeed"
+        ]
 
 
 class TestCrossCodecSafety:
