@@ -59,6 +59,55 @@ echo "smoke: round trip restored the input exactly"
 python -m repro.cli stats --port "$PORT" | grep -q "requests_total"
 echo "smoke: stats endpoint reports request counters"
 
+# Streamed round trip of a payload far beyond the per-connection cap:
+# a second server with a deliberately tiny stream window proves the
+# bounded-memory path end to end (the input is 800 KB against a 64 KiB
+# window), byte-compared against the local restart-framed container.
+STREAM_PORT=$((PORT + 1))
+python -m repro.cli serve --port "$STREAM_PORT" --deadline 120 \
+    --stream-window 65536 &
+STREAM_PID=$!
+python - "$STREAM_PORT" <<'PY'
+import sys
+from repro.service import wait_for_port
+wait_for_port("127.0.0.1", int(sys.argv[1]), timeout=30)
+PY
+python -m repro.cli remote compress "$workdir/input.f32" \
+    "$workdir/streamed.fprz" --port "$STREAM_PORT" --dtype float32 --streamed
+python - "$workdir/input.f32" "$workdir/streamed.fprz" "$STREAM_PORT" <<'PY'
+import sys
+import numpy as np
+import repro
+from repro.service import ServiceClient
+
+data = np.frombuffer(open(sys.argv[1], "rb").read(), dtype=np.float32)
+blob = open(sys.argv[2], "rb").read()
+assert blob == repro.compress(data, fcm="restart"), \
+    "streamed container differs from the local restart-framed one"
+with ServiceClient(port=int(sys.argv[3])) as client:
+    restored = client.decompress_streamed(blob)
+    stats = client.stats()
+gauges = stats["metrics"]["gauges"]
+watermark = gauges["stream_buffered_watermark"]
+assert 0 < watermark <= 65536, \
+    f"server buffered {watermark} bytes against a 65536-byte window"
+assert np.array_equal(np.asarray(restored).ravel(), data)
+print("smoke: streamed round trip held the server under its"
+      f" 64 KiB window (watermark {watermark})")
+PY
+kill "$STREAM_PID" 2>/dev/null || true
+wait "$STREAM_PID" 2>/dev/null || true
+
+# Pipelined 3-deep burst through the CLI: the output archive must
+# reassemble to the original bytes.
+python -m repro.cli remote compress "$workdir/input.f32" \
+    "$workdir/pipelined.fpra" --port "$PORT" --dtype float32 \
+    --pipeline-depth 3
+python -m repro.cli remote decompress "$workdir/pipelined.fpra" \
+    "$workdir/pipelined.f32" --port "$PORT" --pipeline-depth 3
+cmp "$workdir/input.f32" "$workdir/pipelined.f32"
+echo "smoke: pipelined 3-deep burst round-tripped exactly"
+
 # Graceful shutdown with a request in flight: SIGTERM must drain it.
 python - "$PORT" <<'PY'
 import os, signal, sys, threading, time
@@ -78,7 +127,15 @@ def inflight():
 
 worker = threading.Thread(target=inflight)
 worker.start()
-time.sleep(0.25)
+# SIGTERM only once the request is provably admitted (bytes in
+# flight on the server), so the drain has something to drain.
+with ServiceClient(port=port, timeout=10) as probe:
+    deadline = time.time() + 10
+    while time.time() < deadline:
+        gauges = probe.stats()["metrics"]["gauges"]
+        if gauges.get("bytes_in_flight", 0) > 0:
+            break
+        time.sleep(0.05)
 os.kill(pid, signal.SIGTERM)
 worker.join(timeout=120)
 assert not worker.is_alive(), "in-flight request never completed"

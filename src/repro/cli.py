@@ -373,6 +373,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         request_timeout=args.deadline, drain_timeout=args.drain_timeout,
         job_threads=args.job_threads, codec_workers=args.codec_workers,
         codec_policy=args.policy, kernel_backend=args.backend,
+        stream_window=args.stream_window,
+        quota_rate=args.quota_rate, quota_burst=args.quota_burst,
     )
     server = CompressionServer(config)
 
@@ -440,26 +442,84 @@ def _open_remote_client(args: argparse.Namespace):
     return ServiceClient(host=args.host, port=args.port)
 
 
+def _remote_pipelined(client, action: str, parts: list, codec):
+    """Run ``parts`` through the service with all of them in flight.
+
+    Uses the resilient batch maps when the client has them, else the
+    plain client's submit/collect pipelining.
+    """
+    depth = len(parts)
+    if action == "compress":
+        if hasattr(client, "compress_many"):
+            return client.compress_many(parts, codec, depth=depth)
+        rids = [client.submit_compress(p, codec) for p in parts]
+        return [client.collect(rid) for rid in rids]
+    if hasattr(client, "decompress_many"):
+        return client.decompress_many(parts, depth=depth)
+    rids = [client.submit_decompress(p) for p in parts]
+    return [client.collect_decompress(rid) for rid in rids]
+
+
 def _cmd_remote(args: argparse.Namespace) -> int:
     data = Path(args.input).read_bytes()
     via = ",".join(args.addr) if args.addr else f"{args.host}:{args.port}"
+    depth = args.pipeline_depth
+    if depth > 1 and args.streamed:
+        raise ReproError("--pipeline-depth and --streamed are exclusive: "
+                         "a streamed transfer is already windowed")
     with _open_remote_client(args) as client:
         if args.action == "compress":
             if args.dtype != "bytes":
                 payload = np.frombuffer(data, dtype=np.dtype(args.dtype))
-                blob = client.compress(payload, args.codec)
             else:
                 if args.codec is None:
                     raise ReproError("--codec is required for raw byte input")
-                blob = client.compress(data, args.codec)
+                payload = data
+            if depth > 1:
+                # Pipelined burst: the payload splits into `depth`
+                # independent containers, all in flight on one
+                # connection, packed as an FPRA archive.
+                from repro.archive import _pack_archive
+
+                if isinstance(payload, np.ndarray):
+                    parts = [p for p in np.array_split(payload, depth) if p.size]
+                else:
+                    step = max(1, (len(payload) + depth - 1) // depth)
+                    parts = [payload[i:i + step]
+                             for i in range(0, len(payload), step)]
+                blobs = _remote_pipelined(client, "compress", parts, args.codec)
+                blob = _pack_archive(
+                    [(f"part{i:04d}", b) for i, b in enumerate(blobs)]
+                )
+            elif args.streamed:
+                blob = client.compress_streamed(payload, args.codec)
+            else:
+                blob = client.compress(payload, args.codec)
             Path(args.output).write_bytes(blob)
             ratio = len(data) / len(blob) if blob else 0.0
+            mode = (f"pipelined x{depth}" if depth > 1
+                    else "streamed" if args.streamed else "unary")
             print(f"{args.input}: {len(data)} -> {len(blob)} bytes "
-                  f"(ratio {ratio:.3f}, via {via})")
+                  f"(ratio {ratio:.3f}, {mode}, via {via})")
             return 0
         if args.action == "decompress":
-            out = client.decompress(data)
-            raw = out.tobytes() if isinstance(out, np.ndarray) else out
+            if depth > 1 or data[:4] == b"FPRA":
+                from repro.archive import Archive
+
+                archive = Archive.from_bytes(data)
+                parts = [archive._member_blob(name)
+                         for name in archive.members()]
+                outs = _remote_pipelined(client, "decompress", parts, None)
+                raw = b"".join(
+                    o.tobytes() if isinstance(o, np.ndarray) else o
+                    for o in outs
+                )
+            elif args.streamed:
+                out = client.decompress_streamed(data)
+                raw = out.tobytes() if isinstance(out, np.ndarray) else out
+            else:
+                out = client.decompress(data)
+                raw = out.tobytes() if isinstance(out, np.ndarray) else out
             Path(args.output).write_bytes(raw)
             print(f"{args.input}: restored {len(raw)} bytes "
                   f"(via {via})")
@@ -520,7 +580,12 @@ def _as_addr(spec) -> tuple[str, int]:
 def _cmd_chaos(args: argparse.Namespace) -> int:
     import asyncio
 
-    from repro.service.faults import ChaosConfig, ChaosProxy, schedule_preview
+    from repro.service.faults import (
+        ChaosConfig,
+        ChaosProxy,
+        schedule_preview,
+        stream_schedule_preview,
+    )
 
     config = ChaosConfig(
         upstream=args.upstream, host=args.host, port=args.port,
@@ -535,8 +600,20 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     if args.describe:
         # The schedule is a pure function of (seed, index): print what
         # the proxy WILL do, without moving a byte.
-        for index, action in schedule_preview(config, args.describe):
-            print(f"{index:>6}  {action}")
+        if args.streams:
+            print(f"{'event':>6}  {'stream':>6}  {'frame':<14} "
+                  f"{'direction':<9} action")
+            for index, stream, kind, direction, action in (
+                stream_schedule_preview(
+                    config, streams=args.streams,
+                    data_frames=args.stream_frames,
+                )[: args.describe]
+            ):
+                print(f"{index:>6}  {stream:>6}  {kind:<14} "
+                      f"{direction:<9} {action}")
+        else:
+            for index, action in schedule_preview(config, args.describe):
+                print(f"{index:>6}  {action}")
         return 0
     proxy = ChaosProxy(config)
 
@@ -767,6 +844,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", default=None,
                    help="kernel backend the service pins at startup: "
                         "numpy | numba | cupy (default: auto)")
+    p.add_argument("--stream-window", type=int, default=4 * 1024 * 1024,
+                   help="per-stream flow-control window in bytes: the "
+                        "server never buffers more than this per "
+                        "streamed transfer (default 4 MiB)")
+    p.add_argument("--quota-rate", type=float, default=0.0,
+                   help="per-tenant admission quota in bytes/second "
+                        "(token bucket; 0 = unlimited)")
+    p.add_argument("--quota-burst", type=int, default=0,
+                   help="per-tenant burst allowance in bytes "
+                        "(default: one second of --quota-rate)")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("stats", help="print a running server's live metrics")
@@ -799,6 +886,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="resilient mode against --host/--port: total "
                         "attempts per request (default: plain client, "
                         "no retries)")
+    p.add_argument("--pipeline-depth", type=int, default=1, metavar="N",
+                   help="split the payload into N independent requests "
+                        "kept in flight on one connection (output is an "
+                        "FPRA archive; decompress detects it)")
+    p.add_argument("--streamed", action="store_true",
+                   help="chunk-streamed transfer: server memory stays "
+                        "bounded by its --stream-window, not payload size")
     p.set_defaults(func=_cmd_remote)
 
     p = sub.add_parser(
@@ -862,6 +956,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--describe", type=int, default=0, metavar="N",
                    help="print the first N seeded fault decisions and "
                         "exit (no traffic)")
+    p.add_argument("--streams", type=int, default=0, metavar="S",
+                   help="with --describe: annotate the schedule for S "
+                        "serial streamed transfers (per-stream frame "
+                        "kinds and directions)")
+    p.add_argument("--stream-frames", type=int, default=8, metavar="K",
+                   help="DATA frames per stream in the --streams "
+                        "describe ladder (default 8)")
     p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser("archive", help="create / list / extract member archives")

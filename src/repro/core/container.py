@@ -273,11 +273,73 @@ def build_container(
     restart framing inside the chunk pipeline, so combining the table
     with ``fcm_restart=True`` is rejected.
     """
-    flags, meta = _meta_blocks(shape, checksum)
     sizes = [len(p) for p in chunk_payloads]
+    prefix = build_container_prefix(
+        codec_id=codec_id,
+        dtype_code=dtype_code,
+        original_len=original_len,
+        intermediate_len=intermediate_len,
+        chunk_size=chunk_size,
+        chunk_sizes=sizes,
+        payload_crcs=(
+            [checksum_of(p) for p in chunk_payloads] if chunk_crcs else None
+        ),
+        shape=shape,
+        checksum=checksum,
+        chunk_crcs=chunk_crcs,
+        chunk_index=chunk_index,
+        out_lengths=out_lengths,
+        fcm_restart=fcm_restart,
+        chunk_codecs=chunk_codecs,
+    )
+    buf = bytearray(len(prefix) + sum(sizes))
+    buf[: len(prefix)] = prefix
+    pos = len(prefix)
+    for payload, size in zip(chunk_payloads, sizes):
+        buf[pos : pos + size] = payload
+        pos += size
+    return bytes(buf)
+
+
+def build_container_prefix(
+    *,
+    codec_id: int,
+    dtype_code: int,
+    original_len: int,
+    intermediate_len: int,
+    chunk_size: int,
+    chunk_sizes: list[int],
+    payload_crcs: list[int] | None = None,
+    shape: tuple[int, ...] | None = None,
+    checksum: int | None = None,
+    chunk_crcs: bool = False,
+    chunk_index: bool = False,
+    out_lengths: list[int] | None = None,
+    fcm_restart: bool = False,
+    chunk_codecs: list[int] | None = None,
+) -> bytes:
+    """Assemble a container's prefix (header + metadata + tables) alone.
+
+    Takes chunk payload *lengths* (plus, for ``chunk_crcs=True``, each
+    payload's CRC32) instead of the payloads themselves, so it can run
+    before — or long after — the payload bytes exist.  The invariant the
+    streamed service path rests on::
+
+        build_container_prefix(chunk_sizes=[len(p) for p in ps],
+                               payload_crcs=[checksum_of(p) for p in ps],
+                               ...) + b"".join(ps)
+        == build_container(chunk_payloads=ps, ...)
+
+    byte for byte.  :func:`build_container` itself is implemented on top
+    of this function, so the two can never drift.
+    """
+    flags, meta = _meta_blocks(shape, checksum)
+    sizes = list(chunk_sizes)
     with_crcs = chunk_crcs and bool(sizes)
     with_index = chunk_index and bool(sizes)
     with_codecs = chunk_codecs is not None and bool(sizes)
+    if with_crcs and (payload_crcs is None or len(payload_crcs) != len(sizes)):
+        raise ValueError("chunk_crcs=True requires one payload CRC per chunk")
     if with_index and (out_lengths is None or len(out_lengths) != len(sizes)):
         raise ValueError("chunk_index=True requires one out_length per chunk")
     if with_codecs and len(chunk_codecs) != len(sizes):
@@ -308,7 +370,7 @@ def build_container(
     index_offset = crc_offset + (4 * len(sizes) if with_crcs else 0)
     codec_offset = index_offset + (12 * len(sizes) if with_index else 0)
     payload_offset = codec_offset + (len(sizes) if with_codecs else 0)
-    buf = bytearray(payload_offset + sum(sizes))
+    buf = bytearray(payload_offset)
     _HEADER.pack_into(
         buf,
         0,
@@ -320,16 +382,13 @@ def build_container(
         original_len,
         intermediate_len,
         chunk_size,
-        len(chunk_payloads),
+        len(sizes),
     )
     buf[_HEADER.size : table_offset] = meta
     if sizes:
         struct.pack_into(f"<{len(sizes)}I", buf, table_offset, *sizes)
     if with_crcs:
-        struct.pack_into(
-            f"<{len(sizes)}I", buf, crc_offset,
-            *(checksum_of(p) for p in chunk_payloads),
-        )
+        struct.pack_into(f"<{len(sizes)}I", buf, crc_offset, *payload_crcs)
     if with_index:
         offsets = []
         pos = payload_offset
@@ -342,10 +401,6 @@ def build_container(
         )
     if with_codecs:
         struct.pack_into(f"<{len(sizes)}B", buf, codec_offset, *chunk_codecs)
-    pos = payload_offset
-    for payload, size in zip(chunk_payloads, sizes):
-        buf[pos : pos + size] = payload
-        pos += size
     return bytes(buf)
 
 
@@ -393,7 +448,43 @@ def inspect_container(blob: bytes) -> ContainerInfo:
     :class:`FormatError` / :class:`BoundsError` with the offending byte
     offset in the message.
     """
+    return _inspect(blob, total_len=len(blob), partial=False)
+
+
+def inspect_container_prefix(
+    blob: bytes, *, total_len: int
+) -> ContainerInfo | None:
+    """Parse a container whose payload section may not have arrived yet.
+
+    The streamed-DECOMPRESS entry point: ``blob`` is the bytes received
+    so far and ``total_len`` the full container size the peer declared up
+    front.  Returns ``None`` when the prefix (header + metadata +
+    tables) is still incomplete but could yet become valid — the caller
+    buffers more bytes and retries — and the fully validated
+    :class:`ContainerInfo` once the prefix is whole.  Definitive
+    violations (bad magic, bomb-guard trips, a prefix that cannot fit in
+    ``total_len``, table inconsistencies) raise exactly the
+    :class:`FormatError` / :class:`BoundsError` the non-streamed
+    :func:`inspect_container` would, so a hostile stream fails as early
+    as its first poisoned byte, never after buffering the payload.
+
+    All bomb guards use ``total_len`` (not the bytes in hand) as the
+    plausibility base, matching what the whole container will be.
+    """
+    if total_len < _HEADER.size:
+        raise FormatError(
+            f"container shorter than its fixed {_HEADER.size}-byte header "
+            f"({total_len} bytes)"
+        )
+    return _inspect(blob, total_len=total_len, partial=True)
+
+
+def _inspect(
+    blob: bytes, *, total_len: int, partial: bool
+) -> ContainerInfo | None:
     if len(blob) < _HEADER.size:
+        if partial:
+            return None
         raise FormatError(
             f"container shorter than its fixed {_HEADER.size}-byte header "
             f"({len(blob)} bytes)"
@@ -417,17 +508,19 @@ def inspect_container(blob: bytes) -> ContainerInfo:
         raise FormatError(f"unknown dtype code {dtype_code} at offset 6")
     # Bomb guard: a header may not promise more output than the container
     # could legitimately encode (each >=2-byte payload decodes to at most
-    # chunk_size bytes, far under MAX_DECLARED_EXPANSION x).
-    plausible = max(len(blob), _HEADER.size) * MAX_DECLARED_EXPANSION
+    # chunk_size bytes, far under MAX_DECLARED_EXPANSION x).  In partial
+    # mode total_len is the peer-declared final size, so the guard holds
+    # for the whole container, not just the bytes in hand.
+    plausible = max(total_len, _HEADER.size) * MAX_DECLARED_EXPANSION
     if orig_len > plausible:
         raise BoundsError(
             f"declared original length {orig_len} at offset 8 is implausible "
-            f"for a {len(blob)}-byte container"
+            f"for a {total_len}-byte container"
         )
     if inter_len > plausible:
         raise BoundsError(
             f"declared intermediate length {inter_len} at offset 16 is "
-            f"implausible for a {len(blob)}-byte container"
+            f"implausible for a {total_len}-byte container"
         )
     if chunk_size > MAX_CHUNK_SIZE:
         raise BoundsError(
@@ -438,6 +531,8 @@ def inspect_container(blob: bytes) -> ContainerInfo:
     shape: tuple[int, ...] | None = None
     if flags & FLAG_SHAPE:
         if pos + 1 > len(blob):
+            if partial and pos + 1 <= total_len:
+                return None
             raise FormatError(f"truncated shape block at offset {pos}")
         (ndim,) = struct.unpack_from("<B", blob, pos)
         pos += 1
@@ -448,6 +543,8 @@ def inspect_container(blob: bytes) -> ContainerInfo:
             )
         need = ndim * 8
         if pos + need > len(blob):
+            if partial and pos + need <= total_len:
+                return None
             raise FormatError(f"truncated shape block at offset {pos}")
         shape = struct.unpack_from(f"<{ndim}Q", blob, pos)
         pos += need
@@ -462,6 +559,8 @@ def inspect_container(blob: bytes) -> ContainerInfo:
     checksum: int | None = None
     if flags & FLAG_CHECKSUM:
         if pos + 4 > len(blob):
+            if partial and pos + 4 <= total_len:
+                return None
             raise FormatError(f"truncated checksum block at offset {pos}")
         (checksum,) = struct.unpack_from("<I", blob, pos)
         pos += 4
@@ -484,10 +583,10 @@ def inspect_container(blob: bytes) -> ContainerInfo:
             raise FormatError(
                 "raw-fallback container must not carry a chunk codec table"
             )
-        if len(blob) - pos != orig_len:
+        if total_len - pos != orig_len:
             raise FormatError(
                 f"raw-fallback payload length mismatch: header says {orig_len}, "
-                f"container has {len(blob) - pos} bytes after offset {pos}"
+                f"container has {total_len - pos} bytes after offset {pos}"
             )
         if inter_len != orig_len:
             raise FormatError(
@@ -506,7 +605,7 @@ def inspect_container(blob: bytes) -> ContainerInfo:
             shape=shape,
             chunk_sizes=(),
             payload_offset=pos,
-            total_len=len(blob),
+            total_len=total_len,
             checksum=checksum,
         )
     if flags & FLAG_FCM_RESTART and inter_len != orig_len:
@@ -531,12 +630,17 @@ def inspect_container(blob: bytes) -> ContainerInfo:
     crc_bytes = table_bytes if flags & FLAG_CHUNK_CRCS else 0
     index_bytes = n_chunks * 12 if flags & FLAG_CHUNK_INDEX else 0
     codec_bytes = n_chunks if flags & FLAG_CHUNK_CODECS else 0
-    if pos + table_bytes + crc_bytes + index_bytes + codec_bytes > len(blob):
+    need_tables = table_bytes + crc_bytes + index_bytes + codec_bytes
+    if pos + need_tables > total_len:
         raise FormatError(
             f"truncated chunk table: {n_chunks} chunks need "
-            f"{table_bytes + crc_bytes + index_bytes + codec_bytes} bytes at "
-            f"offset {pos}, container has {len(blob) - pos}"
+            f"{need_tables} bytes at "
+            f"offset {pos}, container has {total_len - pos}"
         )
+    if pos + need_tables > len(blob):
+        # Only reachable in partial mode: the declared total has room for
+        # the tables, the bytes just haven't arrived yet.
+        return None
     chunk_sizes = struct.unpack_from(f"<{n_chunks}I", blob, pos)
     pos += table_bytes
     chunk_crcs: tuple[int, ...] | None = None
@@ -574,10 +678,10 @@ def inspect_container(blob: bytes) -> ContainerInfo:
                 f"chunk {i} declares a zero-length payload in the chunk table "
                 f"(every payload carries at least its flag byte)"
             )
-    if pos + sum(chunk_sizes) != len(blob):
+    if pos + sum(chunk_sizes) != total_len:
         raise FormatError(
             f"payload length mismatch: chunk table says {sum(chunk_sizes)}, "
-            f"container has {len(blob) - pos} bytes after offset {pos}"
+            f"container has {total_len - pos} bytes after offset {pos}"
         )
     if index_offsets is not None:
         # The stored offsets are redundant with the chunk-table prefix
@@ -617,7 +721,7 @@ def inspect_container(blob: bytes) -> ContainerInfo:
         shape=shape,
         chunk_sizes=tuple(chunk_sizes),
         payload_offset=pos,
-        total_len=len(blob),
+        total_len=total_len,
         checksum=checksum,
         chunk_crcs=chunk_crcs,
         index_offsets=index_offsets,

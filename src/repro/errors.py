@@ -94,6 +94,21 @@ class DeadlineExceededError(ServiceError):
     """The request did not complete within the server's per-request deadline."""
 
 
+class QuotaExceededError(ServiceError):
+    """A per-tenant token-bucket quota rejected the request at admission.
+
+    Unlike :class:`BusyError` (a transient whole-server condition), a
+    quota rejection is tenant-local: the bucket refills at a configured
+    byte rate, so ``retry_after_ms`` — when the server could compute it —
+    says how long until enough tokens exist for *this* request.  Safe to
+    retry after the hint; hammering sooner just burns admission cycles.
+    """
+
+    def __init__(self, message: str, *, retry_after_ms: int | None = None) -> None:
+        super().__init__(message)
+        self.retry_after_ms = retry_after_ms
+
+
 class ConnectionBrokenError(ServiceError):
     """The client connection is desynchronized and must not be reused.
 

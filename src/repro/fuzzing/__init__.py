@@ -23,8 +23,11 @@ layer) and wired into corpus verification (``fprz verify --fuzz``).
 
 from repro.fuzzing.frames import (
     FrameCase,
+    StreamCase,
     build_frame_corpus,
+    build_stream_corpus,
     replay_frame,
+    replay_stream,
     run_frame_fuzz,
 )
 from repro.fuzzing.harness import (
@@ -41,9 +44,13 @@ from repro.fuzzing.mutators import (
     FLAG_MUST_REJECT,
     FRAME_MUTATORS,
     MUTATORS,
+    STREAM_MUST_REJECT,
+    STREAM_MUTATORS,
     Mutator,
+    StreamMutator,
     mutate,
     mutate_frame,
+    mutate_stream,
 )
 
 __all__ = [
@@ -57,12 +64,19 @@ __all__ = [
     "FuzzReport",
     "MUTATORS",
     "Mutator",
+    "STREAM_MUST_REJECT",
+    "STREAM_MUTATORS",
+    "StreamCase",
+    "StreamMutator",
     "build_corpus",
     "build_frame_corpus",
+    "build_stream_corpus",
     "mutate",
     "mutate_frame",
+    "mutate_stream",
     "replay",
     "replay_frame",
+    "replay_stream",
     "run_frame_fuzz",
     "run_fuzz",
 ]

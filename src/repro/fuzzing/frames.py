@@ -36,7 +36,14 @@ from repro.core.codecs import CODECS, get_codec
 from repro.core.compressor import compress_bytes
 from repro.errors import ProtocolError, traceback_summary
 from repro.fuzzing.harness import FuzzFailure, FuzzReport, _smooth
-from repro.fuzzing.mutators import FRAME_MUST_REJECT, FRAME_MUTATORS, mutate_frame
+from repro.fuzzing.mutators import (
+    FRAME_MUST_REJECT,
+    FRAME_MUTATORS,
+    STREAM_MUST_REJECT,
+    STREAM_MUTATORS,
+    mutate_frame,
+    mutate_stream,
+)
 from repro.service import protocol as wire
 
 #: Frame limit the fuzzer hands ``parse_frame`` — small enough that the
@@ -81,6 +88,16 @@ def build_frame_corpus(seed: int, *, size: int = 16_384) -> list[FrameCase]:
             wire.ERR_FORMAT, "synthetic failure")),
         case("busy", wire.OP_BUSY, 8, b""),
         case("busy-hint", wire.OP_BUSY, 9, wire.encode_busy_body(250)),
+        case("stream-begin", wire.OP_STREAM_BEGIN, 10, wire.encode_stream_begin(
+            wire.STREAM_COMPRESS, total_len=size, codec=codec_name,
+            dtype_code=dtype_code, shape=(n,))),
+        case("stream-data", wire.OP_STREAM_DATA, 10, data[: size // 4]),
+        case("stream-end", wire.OP_STREAM_END, 10, b""),
+        case("stream-ack", wire.OP_STREAM_ACK, 10, wire.encode_stream_ack(65536)),
+        case("stream-result", wire.OP_STREAM_RESULT, 10,
+             wire.encode_stream_result(0, container[:512])),
+        case("stream-done", wire.OP_STREAM_DONE, 10, wire.encode_stream_trailer(
+            dtype_code, (n,), container[:64])),
     ]
 
 
@@ -97,8 +114,136 @@ def _decode_body(frame: wire.Frame) -> None:
         wire.decode_error_body(frame.body)
     elif frame.opcode == wire.OP_BUSY:
         wire.decode_busy_body(frame.body)
+    elif frame.opcode == wire.OP_STREAM_BEGIN:
+        wire.decode_stream_begin(frame.body)
+    elif frame.opcode == wire.OP_STREAM_ACK:
+        wire.decode_stream_ack(frame.body)
+    elif frame.opcode == wire.OP_STREAM_RESULT:
+        wire.decode_stream_result(frame.body)
+    elif frame.opcode == wire.OP_STREAM_DONE:
+        wire.decode_stream_trailer(frame.body)
     # DECOMPRESS/INSPECT bodies are FPRZ containers — the container
-    # fuzzer (`run_fuzz`) owns that layer; STATS/PING carry none.
+    # fuzzer (`run_fuzz`) owns that layer; STATS/PING carry none;
+    # STREAM-DATA/END bodies are raw payload slices / empty.
+
+
+@dataclass(frozen=True)
+class StreamCase:
+    """One valid stream frame sequence the stream mutators start from."""
+
+    label: str
+    frames: tuple[bytes, ...]
+    #: The ledger window the sequence was built against; every case sends
+    #: more total bytes than this, so the window-violation mutant always
+    #: exceeds any credit a well-behaved sender could hold.
+    window: int
+
+
+#: Ledger window the stream corpus is framed against.
+FUZZ_STREAM_WINDOW = 4096
+
+
+def build_stream_corpus(seed: int) -> list[StreamCase]:
+    """Valid stream sequences: single, multi-chunk, and interleaved ids."""
+    rng = np.random.default_rng([seed, 0xF5])
+    codec_name = sorted(CODECS)[0]
+    codec = get_codec(codec_name)
+    window = FUZZ_STREAM_WINDOW
+    total = window * 4
+    data = _smooth(rng, codec.dtype, total)
+    n = len(data) // codec.dtype.itemsize
+    dtype_code = fmt.DTYPE_F32 if codec.dtype.itemsize == 4 else fmt.DTYPE_F64
+    container = compress_bytes(data, codec, checksum=True, chunk_checksums=True)
+
+    def stream(rid: int, begin: bytes, payload: bytes) -> list[bytes]:
+        frames = [wire.encode_frame(wire.OP_STREAM_BEGIN, rid, begin)]
+        for off in range(0, len(payload), window):
+            frames.append(wire.encode_frame(
+                wire.OP_STREAM_DATA, rid, payload[off : off + window]))
+        frames.append(wire.encode_frame(wire.OP_STREAM_END, rid, b""))
+        return frames
+
+    compress_frames = stream(21, wire.encode_stream_begin(
+        wire.STREAM_COMPRESS, total_len=total, codec=codec_name,
+        dtype_code=dtype_code, shape=(n,)), data)
+    decompress_frames = stream(22, wire.encode_stream_begin(
+        wire.STREAM_DECOMPRESS, total_len=len(container)), container)
+    # A legal interleave of two live correlation ids on one connection:
+    # BEGIN a, BEGIN b, then alternating DATA, then both ENDs.
+    a = stream(31, wire.encode_stream_begin(
+        wire.STREAM_COMPRESS, total_len=total, codec=codec_name), data)
+    b = stream(32, wire.encode_stream_begin(
+        wire.STREAM_DECOMPRESS, total_len=len(container)), container)
+    interleaved = [a[0], b[0]]
+    body_a, body_b = a[1:-1], b[1:-1]
+    for i in range(max(len(body_a), len(body_b))):
+        if i < len(body_a):
+            interleaved.append(body_a[i])
+        if i < len(body_b):
+            interleaved.append(body_b[i])
+    interleaved += [a[-1], b[-1]]
+    return [
+        StreamCase("stream-compress", tuple(compress_frames), window),
+        StreamCase("stream-decompress", tuple(decompress_frames), window),
+        StreamCase("stream-interleaved", tuple(interleaved), window),
+    ]
+
+
+def _drive_ledger(frames, window: int) -> None:
+    """Replay a frame sequence through a fresh StreamLedger.
+
+    Models an instantly-consuming server: every buffered byte is consumed
+    (and credit regranted) right after each DATA frame, so a sequence
+    framed within ``window`` always passes while cross-frame violations
+    (unknown ids, early DATA, overlap, window bursts, truncation) raise
+    ProtocolError — the identical checks the live server runs.
+    """
+    ledger = wire.StreamLedger(window=window)
+    for raw in frames:
+        frame = wire.parse_frame(raw, max_frame=FUZZ_MAX_FRAME)
+        if frame.opcode == wire.OP_STREAM_BEGIN:
+            ledger.on_begin(frame.request_id, frame.body)
+        elif frame.opcode == wire.OP_STREAM_DATA:
+            ledger.on_data(frame.request_id, len(frame.body))
+            ledger.consume(frame.request_id, len(frame.body))
+        elif frame.opcode == wire.OP_STREAM_END:
+            ledger.on_end(frame.request_id)
+            ledger.close(frame.request_id)
+        else:
+            raise ProtocolError(
+                f"non-stream opcode 0x{frame.opcode:02x} in stream sequence"
+            )
+
+
+def _probe_stream(
+    case: StreamCase,
+    mutator: str,
+    mutant: list[bytes],
+    iteration: int,
+    report: FuzzReport,
+) -> str:
+    def fail(kind: str, detail: str) -> None:
+        report.failures.append(FuzzFailure(
+            iteration=iteration, case=case.label, mutator=mutator,
+            kind=kind, detail=detail,
+        ))
+
+    changed = tuple(mutant) != case.frames
+    try:
+        _drive_ledger(mutant, case.window)
+    except ProtocolError:
+        if not changed:
+            fail("rejected-valid", f"{mutator} left the sequence unchanged "
+                 f"but the ledger rejected it")
+            return "crashed"
+        return "stream-rejected"
+    except BaseException as exc:
+        fail("crash", traceback_summary(exc))
+        return "crashed"
+    if changed and mutator in STREAM_MUST_REJECT:
+        fail("accepted-invalid",
+             f"{mutator} stream mutant replayed cleanly through the ledger")
+    return "stream-parsed" if changed else "stream-unchanged"
 
 
 def _probe_frame(
@@ -150,10 +295,28 @@ def run_frame_fuzz(
     mutators=None,
     on_progress=None,
 ) -> FuzzReport:
-    """Run the frame harness; returns a :class:`FuzzReport` (ok == clean)."""
+    """Run the frame harness; returns a :class:`FuzzReport` (ok == clean).
+
+    Each iteration probes one mutated single frame *and* one mutated
+    stream sequence (both derived from the same ``(seed, iteration)``
+    rng), so the stream state machine is fuzzed at the same cadence as
+    the frame parser.  Before the loop, every valid stream case is
+    replayed unmutated through the ledger — a valid sequence being
+    rejected is a harness failure, not a fuzz finding.
+    """
     cases = build_frame_corpus(seed)
+    stream_cases = build_stream_corpus(seed)
     mutator_names = sorted(mutators) if mutators else sorted(FRAME_MUTATORS)
+    stream_names = sorted(STREAM_MUTATORS)
     report = FuzzReport(seed=seed, iterations=iterations)
+    for scase in stream_cases:
+        try:
+            _drive_ledger(list(scase.frames), scase.window)
+        except BaseException as exc:
+            report.failures.append(FuzzFailure(
+                iteration=-1, case=scase.label, mutator="(none)",
+                kind="rejected-valid", detail=traceback_summary(exc),
+            ))
     for iteration in range(iterations):
         rng = np.random.default_rng([seed, iteration])
         case = cases[int(rng.integers(0, len(cases)))]
@@ -161,6 +324,11 @@ def run_frame_fuzz(
         mutant = mutate_frame(case.frame, mutator, rng)
         outcome = _probe_frame(case, mutator, mutant, iteration, report)
         report.outcomes[outcome] += 1
+        scase = stream_cases[int(rng.integers(0, len(stream_cases)))]
+        smutator = stream_names[int(rng.integers(0, len(stream_names)))]
+        smutant = mutate_stream(list(scase.frames), smutator, rng)
+        soutcome = _probe_stream(scase, smutator, smutant, iteration, report)
+        report.outcomes[soutcome] += 1
         if on_progress is not None:
             on_progress(iteration + 1, iterations)
     return report
@@ -174,3 +342,22 @@ def replay_frame(seed: int, iteration: int, *, mutators=None):
     case = cases[int(rng.integers(0, len(cases)))]
     mutator = mutator_names[int(rng.integers(0, len(mutator_names)))]
     return case, mutator, mutate_frame(case.frame, mutator, rng)
+
+
+def replay_stream(seed: int, iteration: int):
+    """Rebuild the exact stream (case, mutator, mutant) of one iteration.
+
+    Replays the iteration's single-frame draws first so the rng state
+    matches :func:`run_frame_fuzz` exactly at the stream probe.
+    """
+    cases = build_frame_corpus(seed)
+    stream_cases = build_stream_corpus(seed)
+    mutator_names = sorted(FRAME_MUTATORS)
+    stream_names = sorted(STREAM_MUTATORS)
+    rng = np.random.default_rng([seed, iteration])
+    case = cases[int(rng.integers(0, len(cases)))]
+    mutator = mutator_names[int(rng.integers(0, len(mutator_names)))]
+    mutate_frame(case.frame, mutator, rng)
+    scase = stream_cases[int(rng.integers(0, len(stream_cases)))]
+    smutator = stream_names[int(rng.integers(0, len(stream_names)))]
+    return scase, smutator, mutate_stream(list(scase.frames), smutator, rng)

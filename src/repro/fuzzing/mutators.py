@@ -513,6 +513,161 @@ def mutate_frame(frame: bytes, name: str, rng: np.random.Generator) -> bytes:
     return FRAME_MUTATORS[name](frame, rng)
 
 
+# ---------------------------------------------------------------------------
+# Stream-sequence mutators
+# ---------------------------------------------------------------------------
+# These operate on a *sequence* of frames forming one or more valid
+# streams (STREAM-BEGIN / DATA / END sharing a correlation id).  Each
+# models a protocol violation only visible across frames — exactly the
+# state machine :class:`repro.service.protocol.StreamLedger` (and through
+# it the server) enforces, so the frame fuzzer probes mutants against
+# the same ledger production traffic hits.
+
+_F_REQUEST_ID = 8
+
+_OP_STREAM_BEGIN = 0x06
+_OP_STREAM_DATA = 0x07
+_OP_STREAM_END = 0x08
+
+
+def _frame_opcode(frame: bytes) -> int:
+    return frame[_F_OPCODE]
+
+
+def _frame_rid(frame: bytes) -> int:
+    return struct.unpack_from("<Q", frame, _F_REQUEST_ID)[0]
+
+
+def _with_rid(frame: bytes, rid: int) -> bytes:
+    buf = bytearray(frame)
+    struct.pack_into("<Q", buf, _F_REQUEST_ID, rid)
+    return bytes(buf)
+
+
+def _frame_body(frame: bytes) -> bytes:
+    return frame[_FRAME_HEADER_SIZE:]
+
+
+def _pick(rng: np.random.Generator, items: list[int]) -> int:
+    return items[int(rng.integers(0, len(items)))]
+
+
+def stream_unknown_id(frames: list[bytes], rng: np.random.Generator) -> list[bytes]:
+    """Retarget a DATA or END frame at a correlation id nothing ever began."""
+    idxs = [i for i, f in enumerate(frames)
+            if _frame_opcode(f) in (_OP_STREAM_DATA, _OP_STREAM_END)]
+    if not idxs:
+        return list(frames)
+    used = {_frame_rid(f) for f in frames}
+    rid = max(used) + 1 + int(rng.integers(0, 1000))
+    out = list(frames)
+    i = _pick(rng, idxs)
+    out[i] = _with_rid(out[i], rid)
+    return out
+
+
+def stream_data_before_begin(
+    frames: list[bytes], rng: np.random.Generator
+) -> list[bytes]:
+    """Move a stream's first DATA frame ahead of its BEGIN."""
+    begins = [i for i, f in enumerate(frames)
+              if _frame_opcode(f) == _OP_STREAM_BEGIN]
+    if not begins:
+        return list(frames)
+    b = _pick(rng, begins)
+    rid = _frame_rid(frames[b])
+    data = [i for i, f in enumerate(frames)
+            if i > b and _frame_opcode(f) == _OP_STREAM_DATA
+            and _frame_rid(f) == rid]
+    if not data:
+        return list(frames)
+    d = data[0]
+    out = list(frames)
+    moved = out.pop(d)
+    out.insert(b, moved)
+    return out
+
+
+def stream_overlap_begin(
+    frames: list[bytes], rng: np.random.Generator
+) -> list[bytes]:
+    """Re-open an already-open stream: a second BEGIN with a live id."""
+    begins = [i for i, f in enumerate(frames)
+              if _frame_opcode(f) == _OP_STREAM_BEGIN]
+    if not begins:
+        return list(frames)
+    b = _pick(rng, begins)
+    rid = _frame_rid(frames[b])
+    # Insert the duplicate before the stream's END (after END the id is
+    # retired and may legitimately be reused), strictly after the original.
+    end = next((i for i, f in enumerate(frames)
+                if i > b and _frame_opcode(f) == _OP_STREAM_END
+                and _frame_rid(f) == rid), len(frames))
+    at = b + 1 + int(rng.integers(0, end - b))
+    out = list(frames)
+    out.insert(at, frames[b])
+    return out
+
+
+def stream_window_violation(
+    frames: list[bytes], rng: np.random.Generator
+) -> list[bytes]:
+    """Merge one stream's DATA frames into a single burst past any window.
+
+    The corpus streams more total bytes than the ledger window, so the
+    merged frame always exceeds the credit a well-behaved sender could
+    hold at once.
+    """
+    begins = [i for i, f in enumerate(frames)
+              if _frame_opcode(f) == _OP_STREAM_BEGIN]
+    if not begins:
+        return list(frames)
+    b = _pick(rng, begins)
+    rid = _frame_rid(frames[b])
+    data = [i for i, f in enumerate(frames)
+            if _frame_opcode(f) == _OP_STREAM_DATA and _frame_rid(f) == rid]
+    if len(data) < 2:
+        return list(frames)
+    merged = b"".join(_frame_body(frames[i]) for i in data)
+    from repro.service.protocol import encode_frame
+
+    out = [f for i, f in enumerate(frames) if i not in data[1:]]
+    out[out.index(frames[data[0]])] = encode_frame(_OP_STREAM_DATA, rid, merged)
+    return out
+
+
+def stream_truncate(frames: list[bytes], rng: np.random.Generator) -> list[bytes]:
+    """Drop one DATA frame but keep the END — a silently shortened stream."""
+    data = [i for i, f in enumerate(frames)
+            if _frame_opcode(f) == _OP_STREAM_DATA]
+    if not data:
+        return list(frames)
+    drop = _pick(rng, data)
+    return [f for i, f in enumerate(frames) if i != drop]
+
+
+StreamMutator = Callable[[list[bytes], np.random.Generator], list[bytes]]
+
+STREAM_MUTATORS: dict[str, StreamMutator] = {
+    "stream-unknown-id": stream_unknown_id,
+    "stream-data-before-begin": stream_data_before_begin,
+    "stream-overlap-begin": stream_overlap_begin,
+    "stream-window-violation": stream_window_violation,
+    "stream-truncate": stream_truncate,
+}
+
+#: Every stream mutant (when it changed the sequence) violates the stream
+#: state machine by construction — the ledger accepting one is a failure.
+STREAM_MUST_REJECT = frozenset(STREAM_MUTATORS)
+
+
+def mutate_stream(
+    frames: list[bytes], name: str, rng: np.random.Generator
+) -> list[bytes]:
+    """Apply the named stream-sequence mutator."""
+    return STREAM_MUTATORS[name](list(frames), rng)
+
+
 MUTATORS: dict[str, Mutator] = {
     "bit-flip": bit_flip,
     "byte-stomp": byte_stomp,

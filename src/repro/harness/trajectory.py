@@ -67,6 +67,9 @@ class Regression:
     metric: str
     baseline: float
     current: float
+    #: Display unit: ``"bytes_per_s"`` renders as MB/s; anything else
+    #: (``"req/s"``, ``"x"``) renders the raw values with that suffix.
+    unit: str = "bytes_per_s"
 
     @property
     def change(self) -> float:
@@ -75,10 +78,15 @@ class Regression:
         return self.current / self.baseline - 1.0
 
     def render(self) -> str:
+        if self.unit == "bytes_per_s":
+            values = (f"{self.baseline / 1e6:.2f} -> "
+                      f"{self.current / 1e6:.2f} MB/s")
+        else:
+            values = (f"{self.baseline:.2f} -> "
+                      f"{self.current:.2f} {self.unit}")
         return (
             f"{self.section}/{self.key} {self.metric}: "
-            f"{self.baseline / 1e6:.2f} -> {self.current / 1e6:.2f} MB/s "
-            f"({self.change * 100:+.1f}%)"
+            f"{values} ({self.change * 100:+.1f}%)"
         )
 
 
@@ -645,6 +653,245 @@ def _resilience_section(scale: float, runs: int) -> dict:
     return rows
 
 
+#: Fixed service demand (seconds) every saturation request carries: a
+#: GIL-free sleep in the worker thread, so the measured curves isolate
+#: the service architecture (wire turnarounds, pipelining, fan-out)
+#: from shared-CPU contention between in-process backends.
+SATURATION_JOB_DELAY = 0.003
+
+#: Requests measured per saturation cell.
+SATURATION_REQUESTS = 48
+
+#: In-flight depths the single-connection pipelining sweep measures.
+SATURATION_DEPTHS = (1, 2, 4, 8)
+
+#: Connection counts the serial multi-connection sweep measures.
+SATURATION_CONNECTIONS = (2, 4)
+
+#: Router fan-out cells: per-backend demand (seconds × threads) chosen
+#: so ONE backend is the bottleneck (50 req/s per thread, 2 threads =
+#: 100 req/s) while four stay far below the wire's ~600 req/s ceiling —
+#: the regime where fan-out, not the socket, sets the slope.
+ROUTER_JOB_DELAY = 0.020
+ROUTER_JOB_THREADS = 2
+ROUTER_DEPTH = 32
+ROUTER_REQUESTS = 64
+
+
+def _saturation_payload(scale: float) -> np.ndarray:
+    data = _bench_sample("spspeed", scale)
+    array = np.frombuffer(data, dtype=np.float32)
+    return array[: max(len(array) // 64, 256)]
+
+
+def _saturation_variants(array: np.ndarray, count: int) -> list[np.ndarray]:
+    """``count`` byte-distinct copies, so consistent hashing spreads
+    them over the ring instead of pinning every request to one shard."""
+    variants = []
+    for i in range(count):
+        v = array.copy()
+        v[0] = np.float32(i)
+        variants.append(v)
+    return variants
+
+
+def _balanced_saturation_variants(
+    router, array: np.ndarray, n_backends: int, total: int
+) -> list[np.ndarray]:
+    """``total`` payload variants that land ``total / n_backends`` on
+    each shard of ``router``'s ring.
+
+    The fan-out cell measures scaling under the uniform-key assumption
+    consistent hashing is built for; sampling 64 random keys would
+    measure multinomial placement noise instead (the max-loaded shard
+    of a small sample runs ~25% hot, which is workload variance, not a
+    property of the service).  Placement is computed with the router's
+    own ring, so the balance is exact by construction.
+    """
+    from repro.service import protocol as sat_proto
+    from repro.service.client import ServiceClient as _Client
+
+    per = total // n_backends
+    buckets: dict[int, list[np.ndarray]] = {}
+    i = 0
+    while sum(len(b) for b in buckets.values()) < per * n_backends:
+        v = array.copy()
+        v[0] = np.float32(i)
+        i += 1
+        raw, code, shape = _Client._array_payload(v)
+        body = sat_proto.encode_compress_body(
+            raw, codec="spspeed", dtype_code=code, shape=shape
+        )
+        shard = id(router._candidates(body)[0])
+        bucket = buckets.setdefault(shard, [])
+        if len(bucket) < per:
+            bucket.append(v)
+    # Interleave round-robin so the in-flight window always spans
+    # every shard, not one bucket at a time.
+    return [
+        bucket[j] for j in range(per) for bucket in buckets.values()
+    ]
+
+
+def _saturation_pipelined(client, payloads, n: int, depth: int) -> dict:
+    """``n`` small compresses with up to ``depth`` in flight.
+
+    Latency is submit-to-collect per correlation id — under pipelining
+    each request's clock keeps running while it queues behind its
+    window peers, which is exactly the tail the p99 column is for.
+    """
+    import time as _time
+    from collections import deque
+
+    if not isinstance(payloads, list):
+        payloads = [payloads]
+    latencies: list[float] = []
+    outstanding: deque = deque()
+    submitted = 0
+    started = _time.perf_counter()
+    while len(latencies) < n:
+        while submitted < n and len(outstanding) < depth:
+            rid = client.submit_compress(
+                payloads[submitted % len(payloads)], "spspeed"
+            )
+            outstanding.append((rid, _time.perf_counter()))
+            submitted += 1
+        rid, t0 = outstanding.popleft()
+        client.collect(rid)
+        latencies.append(_time.perf_counter() - t0)
+    elapsed = _time.perf_counter() - started
+    latencies.sort()
+    return {
+        "requests_per_s": n / elapsed if elapsed > 0 else 0.0,
+        "p99_ms": latencies[int(len(latencies) * 0.99)] * 1e3,
+        "requests": n,
+        "depth": depth,
+        "connections": 1,
+    }
+
+
+def _saturation_multiconn(make_client, array, n: int, conns: int) -> dict:
+    """``n`` serial compresses spread over ``conns`` connections."""
+    import threading as _threading
+    import time as _time
+
+    per_conn = n // conns
+    all_latencies: list[list[float]] = [[] for _ in range(conns)]
+
+    def drive(slot: int) -> None:
+        with make_client() as client:
+            for _ in range(per_conn):
+                t0 = _time.perf_counter()
+                client.compress(array, "spspeed")
+                all_latencies[slot].append(_time.perf_counter() - t0)
+
+    threads = [
+        _threading.Thread(target=drive, args=(slot,)) for slot in range(conns)
+    ]
+    started = _time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = _time.perf_counter() - started
+    latencies = sorted(lat for sub in all_latencies for lat in sub)
+    total = len(latencies)
+    return {
+        "requests_per_s": total / elapsed if elapsed > 0 else 0.0,
+        "p99_ms": (latencies[int(total * 0.99)] * 1e3) if latencies else 0.0,
+        "requests": total,
+        "depth": 1,
+        "connections": conns,
+    }
+
+
+def _service_saturation_section(scale: float, runs: int) -> dict:
+    """Requests/s and p99 vs in-flight depth, connections, and fan-out.
+
+    Every request carries the same fixed :data:`SATURATION_JOB_DELAY`
+    service demand, so the section measures what the PR changed: how
+    much of the wire/turnaround latency pipelining hides on one
+    connection, and how close to linear the router's fan-out over four
+    backends gets.  The ``direct/*`` rows drive one server; the
+    ``router*/*`` rows put the shard router over one and four backends
+    with a depth-16 pipelined client.  Derived ratios
+    (``pipelined_speedup``, ``router_scaling``) are the bench-smoke
+    gates.  ``runs`` is unused: one sweep is already ~400 requests.
+    """
+    del runs
+    from repro.service import (
+        RouterConfig,
+        RouterThread,
+        ServerThread,
+        ServiceClient,
+        ServiceConfig,
+    )
+
+    array = _saturation_payload(scale)
+    n = SATURATION_REQUESTS
+    rows: dict[str, dict] = {}
+
+    def server_config() -> "ServiceConfig":
+        return ServiceConfig(
+            port=0, job_delay=SATURATION_JOB_DELAY,
+            job_threads=16, queue_high_water=256,
+        )
+
+    with ServerThread(server_config()) as srv:
+        for depth in SATURATION_DEPTHS:
+            with ServiceClient(port=srv.port) as client:
+                rows[f"direct/c1/d{depth}"] = _saturation_pipelined(
+                    client, array, n, depth
+                )
+        for conns in SATURATION_CONNECTIONS:
+            rows[f"direct/c{conns}/d1"] = _saturation_multiconn(
+                lambda srv=srv: ServiceClient(port=srv.port), array, n, conns
+            )
+
+    for label, n_backends in (("router1", 1), ("router4", 4)):
+        import contextlib as _contextlib
+
+        with _contextlib.ExitStack() as stack:
+            backends = tuple(
+                ("127.0.0.1",
+                 stack.enter_context(ServerThread(ServiceConfig(
+                     port=0, job_delay=ROUTER_JOB_DELAY,
+                     job_threads=ROUTER_JOB_THREADS, queue_high_water=256,
+                 ))).port)
+                for _ in range(n_backends)
+            )
+            rt = stack.enter_context(RouterThread(RouterConfig(
+                port=0, backends=backends, inflight_high_water=512,
+            )))
+            payloads = _balanced_saturation_variants(
+                rt.router, array, n_backends, ROUTER_REQUESTS
+            )
+            with ServiceClient(port=rt.port) as client:
+                row = _saturation_pipelined(
+                    client, payloads, ROUTER_REQUESTS, ROUTER_DEPTH
+                )
+                row["backends"] = n_backends
+                rows[f"{label}/c1/d{ROUTER_DEPTH}"] = row
+
+    serial = rows["direct/c1/d1"]["requests_per_s"]
+    pipelined = max(
+        rows[f"direct/c1/d{depth}"]["requests_per_s"]
+        for depth in SATURATION_DEPTHS if depth >= 4
+    )
+    single = rows[f"router1/c1/d{ROUTER_DEPTH}"]["requests_per_s"]
+    fanned = rows[f"router4/c1/d{ROUTER_DEPTH}"]["requests_per_s"]
+    rows["derived"] = {
+        "job_delay_ms": SATURATION_JOB_DELAY * 1e3,
+        "router_job_delay_ms": ROUTER_JOB_DELAY * 1e3,
+        # The acceptance gates: pipelining at depth >= 4 vs serial on
+        # one connection (best depth — the saturating one), and
+        # 4-backend fan-out vs 1 at the same depth.
+        "pipelined_speedup": pipelined / serial if serial > 0 else 0.0,
+        "router_scaling": fanned / single if single > 0 else 0.0,
+    }
+    return rows
+
+
 def record_trajectory(
     *,
     tag: str | None = None,
@@ -689,6 +936,7 @@ def record_trajectory(
             "codecs": _codec_section(scale, runs, workers, policy),
             "stages": _stage_section(scale, runs),
             "service": _service_section(scale, runs),
+            "service_saturation": _service_saturation_section(scale, runs),
             "range_read": _range_read_section(scale, runs),
             "fcm_parallel": _fcm_parallel_section(scale, runs, workers),
             "resilience": _resilience_section(scale, runs),
@@ -749,6 +997,20 @@ def compare_trajectories(
             regressions.append(
                 Regression("range_read", gate_key, "bytes_per_s", base, cur)
             )
+    # Saturation gates: the pipelining and fan-out ratios are relative
+    # measurements on the same machine, so they are stable enough to
+    # gate — a drop means the service layer re-serialized something.
+    base_derived = baseline.get("service_saturation", {}).get("derived")
+    cur_derived = current.get("service_saturation", {}).get("derived")
+    if base_derived and cur_derived:
+        for metric in ("pipelined_speedup", "router_scaling"):
+            base = float(base_derived.get(metric, 0.0))
+            cur = float(cur_derived.get(metric, 0.0))
+            if base > 0 and cur < base * (1.0 - threshold):
+                regressions.append(Regression(
+                    "service_saturation", "derived", metric, base, cur,
+                    unit="x",
+                ))
     return regressions
 
 
@@ -801,6 +1063,28 @@ def format_trajectory(point: dict) -> str:
             lines.append(
                 f"{'requests':>12} {requests['ping_per_s']:>9.0f} ping/s "
                 f"{requests['small_compress_per_s']:>7.0f} compress/s"
+            )
+    saturation = point.get("service_saturation", {})
+    if saturation:
+        lines.append("")
+        lines.append(
+            f"{'saturation':>18} {'req/s':>10} {'p99':>10} "
+            f"{'conns':>6} {'depth':>6}"
+        )
+        for key, row in sorted(saturation.items()):
+            if key == "derived":
+                continue
+            lines.append(
+                f"{key:>18} {row['requests_per_s']:>8.1f}/s "
+                f"{row['p99_ms']:>7.1f} ms "
+                f"{row['connections']:>6} {row['depth']:>6}"
+            )
+        derived = saturation.get("derived")
+        if derived:
+            lines.append(
+                f"{'derived':>18} pipelined x{derived['pipelined_speedup']:.2f} "
+                f"router x{derived['router_scaling']:.2f} "
+                f"(demand {derived['job_delay_ms']:.1f} ms/req)"
             )
     range_read = point.get("range_read", {})
     if range_read:

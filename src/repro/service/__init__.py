@@ -21,12 +21,17 @@
 The wire payloads are FPRZ containers — the exact bytes the offline
 tools read and write — so the service adds framing, scheduling, and
 observability around the existing format, never a second encoding.
+Protocol v2 adds chunk-streamed transfers (bounded server memory via a
+credit window), request pipelining over u64 correlation ids, and
+per-tenant admission quotas — all negotiated over PING, so v1 peers
+keep working byte-identically.
 """
 
+from repro.core.incremental import StreamingCompressor, StreamingDecompressor
 from repro.service.client import ServiceClient
 from repro.service.faults import ChaosConfig, ChaosProxy, ChaosProxyThread
 from repro.service.metrics import MetricsRegistry
-from repro.service.protocol import DEFAULT_MAX_FRAME, DEFAULT_PORT
+from repro.service.protocol import DEFAULT_MAX_FRAME, DEFAULT_PORT, FEATURES
 from repro.service.resilience import ResilientClient, RetryPolicy
 from repro.service.router import (
     DEFAULT_ROUTER_PORT,
@@ -49,6 +54,7 @@ __all__ = [
     "DEFAULT_MAX_FRAME",
     "DEFAULT_PORT",
     "DEFAULT_ROUTER_PORT",
+    "FEATURES",
     "MetricsRegistry",
     "ResilientClient",
     "RetryPolicy",
@@ -58,5 +64,7 @@ __all__ = [
     "ServiceClient",
     "ServiceConfig",
     "ShardRouter",
+    "StreamingCompressor",
+    "StreamingDecompressor",
     "wait_for_port",
 ]

@@ -13,10 +13,27 @@ byte-identical to :func:`repro.compress` on the same input — the wire
 payload *is* the at-rest format, so anything fetched remotely can be
 written to disk and decoded by ``fprz decompress`` (and vice versa).
 
+Beyond one-at-a-time calls the client speaks the two protocol-v1
+extensions negotiated over PING (:meth:`ServiceClient.negotiate`):
+
+* **Pipelining** — :meth:`ServiceClient.submit` sends a request without
+  waiting, :meth:`ServiceClient.collect` claims its response by
+  correlation id.  Responses may arrive out of order; frames for other
+  outstanding ids are parked in a per-id inbox, so any interleaving the
+  server produces is legal.
+* **Streamed transfers** — :meth:`ServiceClient.compress_streamed` /
+  :meth:`ServiceClient.decompress_streamed` move payloads as
+  credit-windowed STREAM-DATA frames, so neither side ever holds the
+  whole transfer (see :meth:`ServiceClient.iter_decompress_streamed`
+  for the bounded-memory consumer).  Against a server that did not
+  advertise the ``stream`` feature they transparently fall back to the
+  unary opcodes.
+
 Server-side failures surface as the same typed
 :class:`~repro.errors.ReproError` family an in-process call would
 raise; admission rejections raise :class:`~repro.errors.BusyError`,
-deadline overruns :class:`~repro.errors.DeadlineExceededError`.
+deadline overruns :class:`~repro.errors.DeadlineExceededError`, and
+quota rejections :class:`~repro.errors.QuotaExceededError`.
 """
 
 from __future__ import annotations
@@ -59,6 +76,14 @@ class ServiceClient:
         self.max_frame = max_frame
         self._request_ids = itertools.count(1)
         self._broken: str | None = None
+        #: Correlation ids submitted and not yet fully collected.
+        self._pending: set[int] = set()
+        #: Frames received for a pending id other than the one being
+        #: awaited: ``rid -> [(opcode, body), ...]`` in arrival order.
+        self._inbox: dict[int, list[tuple[int, bytes]]] = {}
+        #: Set by :meth:`negotiate`; None until a PING has round-tripped.
+        self.server_features: tuple[str, ...] | None = None
+        self.server_stream_window: int | None = None
         try:
             self._sock = socket.create_connection((host, port), timeout=timeout)
         except OSError as exc:
@@ -122,23 +147,15 @@ class ServiceClient:
             ), f"socket failure: {exc}") from exc
         return b"".join(chunks)
 
-    def _request(self, opcode: int, body: bytes = b"") -> bytes:
+    def _check_usable(self) -> None:
         if self._broken is not None:
             raise ConnectionBrokenError(
                 f"connection to {self.host}:{self.port} is desynchronized "
                 f"({self._broken}); open a new one",
                 request_sent=False,
             )
-        if len(body) > self.max_frame:
-            # Rejected before a byte hits the wire: the connection is
-            # still perfectly synchronized, so it is NOT poisoned.
-            exc = ProtocolError(
-                f"request body of {len(body)} bytes exceeds the "
-                f"{self.max_frame}-byte frame limit"
-            )
-            exc.request_sent = False
-            raise exc
-        request_id = next(self._request_ids)
+
+    def _send_raw(self, opcode: int, request_id: int, body: bytes = b"") -> None:
         try:
             self._sock.sendall(proto.encode_frame(opcode, request_id, body))
         except OSError as exc:
@@ -149,19 +166,87 @@ class ServiceClient:
                 ServiceError(f"cannot send request: {exc}"),
                 f"send failed: {exc}",
             ) from exc
+
+    def submit(self, opcode: int, body: bytes = b"") -> int:
+        """Send one request without waiting; returns its correlation id.
+
+        The response is claimed later with :meth:`collect` — any number
+        of requests may be in flight on the connection (pipelining), and
+        the server may answer them in any order.
+        """
+        self._check_usable()
+        if len(body) > self.max_frame:
+            # Rejected before a byte hits the wire: the connection is
+            # still perfectly synchronized, so it is NOT poisoned.
+            exc = ProtocolError(
+                f"request body of {len(body)} bytes exceeds the "
+                f"{self.max_frame}-byte frame limit"
+            )
+            exc.request_sent = False
+            raise exc
+        request_id = next(self._request_ids)
+        self._send_raw(opcode, request_id, body)
+        self._pending.add(request_id)
+        return request_id
+
+    @property
+    def in_flight(self) -> int:
+        """Requests submitted and not yet fully collected."""
+        return len(self._pending)
+
+    def _read_frame(self) -> tuple[int, int, bytes]:
         header = self._recv_exactly(proto.HEADER_SIZE)
         try:
-            resp_opcode, resp_id, body_len = proto.parse_header(
+            opcode, rid, body_len = proto.parse_header(
                 header, max_frame=self.max_frame
             )
         except ProtocolError as exc:
             raise self._poison(exc, "unparseable response header")
-        resp_body = self._recv_exactly(body_len)
-        if resp_id != request_id:
+        return opcode, rid, self._recv_exactly(body_len)
+
+    def _next_frame_for(self, request_id: int) -> tuple[int, bytes]:
+        """The next response frame for ``request_id``, demultiplexing.
+
+        Frames for *other* pending ids are parked in their inbox — only
+        a frame for an id this client never submitted (or has already
+        retired) desynchronizes the connection.
+        """
+        parked = self._inbox.get(request_id)
+        if parked:
+            frame = parked.pop(0)
+            if not parked:
+                del self._inbox[request_id]
+            return frame
+        while True:
+            opcode, rid, body = self._read_frame()
+            if rid == request_id:
+                return opcode, body
+            if rid in self._pending:
+                self._inbox.setdefault(rid, []).append((opcode, body))
+                continue
             raise self._poison(ProtocolError(
-                f"response for request {resp_id} arrived while awaiting "
-                f"request {request_id}"
+                f"response for unknown request id {rid} arrived while "
+                f"awaiting request {request_id}"
             ), "response id mismatch")
+
+    def _retire(self, request_id: int) -> None:
+        self._pending.discard(request_id)
+        self._inbox.pop(request_id, None)
+
+    def collect(self, request_id: int) -> bytes:
+        """Block for the response to a :meth:`submit`-ed request.
+
+        Per-request rejections (BUSY, typed ERROR) raise without
+        poisoning the connection — other in-flight requests on the same
+        connection are unaffected.
+        """
+        self._check_usable()
+        if request_id not in self._pending:
+            raise ServiceError(
+                f"request id {request_id} is not awaiting collection"
+            )
+        resp_opcode, resp_body = self._next_frame_for(request_id)
+        self._retire(request_id)
         if resp_opcode == proto.OP_BUSY:
             try:
                 hint = proto.decode_busy_body(resp_body)
@@ -193,7 +278,58 @@ class ServiceClient:
             ), "unexpected response opcode")
         return resp_body
 
+    def _request(self, opcode: int, body: bytes = b"") -> bytes:
+        return self.collect(self.submit(opcode, body))
+
     # -- operations ---------------------------------------------------
+
+    @staticmethod
+    def _array_payload(
+        data: np.ndarray | bytes | bytearray | memoryview,
+    ) -> tuple[bytes, int, tuple[int, ...] | None]:
+        """``(raw_bytes, dtype_code, shape)`` for any supported input."""
+        if isinstance(data, (bytes, bytearray, memoryview)):
+            return bytes(data), fmt.DTYPE_BYTES, None
+        array = np.asarray(data)
+        code = _CODE_BY_DTYPE.get(array.dtype)
+        if code is None:
+            raise UnsupportedDtypeError(
+                f"dtype {array.dtype} is not supported; use float32, "
+                f"float64, or bytes"
+            )
+        return np.ascontiguousarray(array).tobytes(), code, array.shape
+
+    @staticmethod
+    def _view_payload(
+        payload: bytes, dtype_code: int, shape: tuple[int, ...] | None
+    ) -> np.ndarray | bytes:
+        if dtype_code == fmt.DTYPE_BYTES:
+            return payload
+        array = np.frombuffer(payload, dtype=_DTYPE_BY_CODE[dtype_code])
+        return array.reshape(shape) if shape is not None else array
+
+    def submit_compress(
+        self,
+        data: np.ndarray | bytes | bytearray | memoryview,
+        codec: str | None = None,
+    ) -> int:
+        """Pipeline a COMPRESS; collect the container with :meth:`collect`."""
+        raw, dtype_code, shape = self._array_payload(data)
+        body = proto.encode_compress_body(
+            raw, codec=codec, dtype_code=dtype_code, shape=shape
+        )
+        return self.submit(proto.OP_COMPRESS, body)
+
+    def submit_decompress(self, blob: bytes) -> int:
+        """Pipeline a DECOMPRESS; collect with :meth:`collect_decompress`."""
+        return self.submit(proto.OP_DECOMPRESS, bytes(blob))
+
+    def collect_decompress(self, request_id: int) -> np.ndarray | bytes:
+        """Claim a pipelined DECOMPRESS result as array/bytes."""
+        dtype_code, shape, payload = proto.decode_array_body(
+            self.collect(request_id)
+        )
+        return self._view_payload(payload, dtype_code, shape)
 
     def compress(
         self,
@@ -201,23 +337,7 @@ class ServiceClient:
         codec: str | None = None,
     ) -> bytes:
         """Compress remotely; returns the FPRZ container bytes."""
-        if isinstance(data, (bytes, bytearray, memoryview)):
-            body = proto.encode_compress_body(
-                bytes(data), codec=codec, dtype_code=fmt.DTYPE_BYTES
-            )
-        else:
-            array = np.asarray(data)
-            code = _CODE_BY_DTYPE.get(array.dtype)
-            if code is None:
-                raise UnsupportedDtypeError(
-                    f"dtype {array.dtype} is not supported; use float32, "
-                    f"float64, or bytes"
-                )
-            body = proto.encode_compress_body(
-                np.ascontiguousarray(array).tobytes(),
-                codec=codec, dtype_code=code, shape=array.shape,
-            )
-        return self._request(proto.OP_COMPRESS, body)
+        return self.collect(self.submit_compress(data, codec))
 
     def decompress(self, blob: bytes) -> np.ndarray | bytes:
         """Decompress an FPRZ container remotely.
@@ -226,12 +346,7 @@ class ServiceClient:
         container was built from an array, raw bytes otherwise — the
         same contract as :func:`repro.decompress`.
         """
-        resp = self._request(proto.OP_DECOMPRESS, bytes(blob))
-        dtype_code, shape, payload = proto.decode_array_body(resp)
-        if dtype_code == fmt.DTYPE_BYTES:
-            return payload
-        array = np.frombuffer(payload, dtype=_DTYPE_BY_CODE[dtype_code])
-        return array.reshape(shape) if shape is not None else array
+        return self.collect_decompress(self.submit_decompress(blob))
 
     def inspect(self, blob: bytes) -> dict:
         """Container metadata as a dict, parsed server-side."""
@@ -245,6 +360,201 @@ class ServiceClient:
         """Round-trip an empty frame; True when the server answered."""
         self._request(proto.OP_PING)
         return True
+
+    # -- negotiation and streamed transfers ---------------------------
+
+    def negotiate(self, *, tenant: str | None = None) -> dict:
+        """Advertise this client's features (and tenant) over PING.
+
+        Returns the server's negotiation document.  An empty reply body
+        identifies a protocol-v1 peer: ``server_features`` becomes the
+        empty tuple and the streamed methods fall back to unary frames.
+        """
+        reply = self._request(
+            proto.OP_PING, proto.encode_ping_body(proto.FEATURES, tenant=tenant)
+        )
+        doc = proto.decode_ping_body(reply)
+        self.server_features = tuple(doc.get("features", ()))
+        window = doc.get("stream_window")
+        self.server_stream_window = int(window) if window is not None else None
+        return doc
+
+    def supports(self, feature: str) -> bool:
+        """Whether the server advertised ``feature`` (negotiates lazily)."""
+        if self.server_features is None:
+            self.negotiate()
+        return feature in self.server_features
+
+    #: Default STREAM-DATA piece size: large enough to amortise framing,
+    #: small enough that credit replenishment keeps the pipe busy.
+    STREAM_PIECE = 256 * 1024
+
+    def _stream(
+        self,
+        mode: int,
+        raw: bytes,
+        *,
+        codec: str | None = None,
+        dtype_code: int = fmt.DTYPE_BYTES,
+        shape: tuple[int, ...] | None = None,
+        piece_size: int | None = None,
+    ):
+        """Drive one streamed transfer; a generator of stream events.
+
+        Yields ``("chunk", index, payload)`` for each STREAM-RESULT as
+        it arrives and finally ``("done", dtype_code, shape, extra)``
+        from the trailer.  STREAM-DATA is sent strictly within the
+        credit the server has granted, so client-side sends can never
+        violate the server's window.
+        """
+        piece = min(piece_size or self.STREAM_PIECE, self.max_frame)
+        begin = proto.encode_stream_begin(
+            mode, total_len=len(raw), codec=codec,
+            dtype_code=dtype_code, shape=shape,
+        )
+        request_id = self.submit(proto.OP_STREAM_BEGIN, begin)
+        sent = 0
+        credit = 0
+        ended = False
+        done = False
+        try:
+            while True:
+                opcode, body = self._next_frame_for(request_id)
+                if opcode == proto.OP_STREAM_ACK:
+                    credit += proto.decode_stream_ack(body)
+                    while credit > 0 and sent < len(raw):
+                        n = min(piece, credit, len(raw) - sent)
+                        self._send_raw(
+                            proto.OP_STREAM_DATA, request_id,
+                            raw[sent:sent + n],
+                        )
+                        sent += n
+                        credit -= n
+                    if sent == len(raw) and not ended:
+                        self._send_raw(proto.OP_STREAM_END, request_id)
+                        ended = True
+                    continue
+                if opcode == proto.OP_STREAM_RESULT:
+                    index, payload = proto.decode_stream_result(body)
+                    yield ("chunk", index, payload)
+                    continue
+                if opcode == proto.OP_STREAM_DONE:
+                    self._retire(request_id)
+                    done = True
+                    yield ("done", *proto.decode_stream_trailer(body))
+                    return
+                if opcode == proto.OP_BUSY:
+                    self._retire(request_id)
+                    done = True  # rejected before any work: clean state
+                    hint = proto.decode_busy_body(body)
+                    raise BusyError(
+                        "server rejected the stream: job queue past its "
+                        "high-water mark (retry after a backoff)",
+                        retry_after_ms=hint,
+                    )
+                if opcode == proto.OP_ERROR:
+                    self._retire(request_id)
+                    done = True  # server tombstones the id; wire stays framed
+                    code, message = proto.decode_error_body(body)
+                    exc = proto.exception_for(code, f"server: {message}")
+                    # The half-sent guard: a stream that already moved
+                    # DATA may have been partially applied server-side.
+                    exc.request_sent = sent > 0
+                    if code == proto.ERR_PROTOCOL:
+                        raise self._poison(
+                            exc, "server reported a stream protocol error",
+                            request_sent=sent > 0,
+                        )
+                    raise exc
+                raise self._poison(ProtocolError(
+                    f"unexpected stream response opcode 0x{opcode:02x}"
+                ), "unexpected response opcode")
+        finally:
+            if not done and self._broken is None:
+                # The consumer abandoned the generator mid-stream: the
+                # server still owes frames for this id, so the stream
+                # position is unrecoverable for future requests.
+                self._broken = "stream abandoned mid-flight"
+
+    def compress_streamed(
+        self,
+        data: np.ndarray | bytes | bytearray | memoryview,
+        codec: str | None = None,
+        *,
+        piece_size: int | None = None,
+    ) -> bytes:
+        """Compress via a windowed stream; returns the container bytes.
+
+        The server never buffers more than its stream window of this
+        payload, so arbitrarily large inputs compress in bounded server
+        memory.  Falls back to unary :meth:`compress` against a server
+        that did not negotiate the ``stream`` feature.
+        """
+        if not self.supports("stream"):
+            return self.compress(data, codec)
+        raw, dtype_code, shape = self._array_payload(data)
+        chunks: dict[int, bytes] = {}
+        prefix = b""
+        for event in self._stream(
+            proto.STREAM_COMPRESS, raw, codec=codec,
+            dtype_code=dtype_code, shape=shape, piece_size=piece_size,
+        ):
+            if event[0] == "chunk":
+                chunks[event[1]] = event[2]
+            else:
+                prefix = event[3]
+        return prefix + b"".join(chunks[i] for i in sorted(chunks))
+
+    def decompress_streamed(
+        self, blob: bytes, *, piece_size: int | None = None
+    ) -> np.ndarray | bytes:
+        """Decompress a container via a windowed stream.
+
+        Same contract as :meth:`decompress`; falls back to it against a
+        stream-less server.
+        """
+        if not self.supports("stream"):
+            return self.decompress(blob)
+        chunks: list[bytes] = []
+        trailer: tuple = (fmt.DTYPE_BYTES, None)
+        for event in self._stream(
+            proto.STREAM_DECOMPRESS, bytes(blob), piece_size=piece_size
+        ):
+            if event[0] == "chunk":
+                chunks.append(event[2])
+            else:
+                trailer = (event[1], event[2])
+        return self._view_payload(b"".join(chunks), *trailer)
+
+    def iter_decompress_streamed(
+        self, blob: bytes, *, piece_size: int | None = None
+    ):
+        """Yield decoded byte chunks in order as the server emits them.
+
+        The bounded-memory consumer: no more than one decoded chunk is
+        held client-side.  Yields raw ``bytes`` pieces whose
+        concatenation is the decompressed payload.
+        """
+        if not self.supports("stream"):
+            result = self.decompress(blob)
+            raw = result if isinstance(result, bytes) else result.tobytes()
+            for start in range(0, len(raw), self.STREAM_PIECE):
+                yield raw[start:start + self.STREAM_PIECE]
+            return
+        expected = 0
+        for event in self._stream(
+            proto.STREAM_DECOMPRESS, bytes(blob), piece_size=piece_size
+        ):
+            if event[0] != "chunk":
+                return
+            index, payload = event[1], event[2]
+            if index != expected:
+                raise self._poison(ProtocolError(
+                    f"stream chunk {index} arrived out of order "
+                    f"(expected {expected})"
+                ), "stream results out of order")
+            expected += 1
+            yield payload
 
     @staticmethod
     def _json(body: bytes) -> dict:

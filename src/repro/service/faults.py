@@ -39,6 +39,17 @@ Determinism note: the schedule is exact for serial workloads (one
 request in flight at a time — the CI chaos-smoke case).  Under
 concurrent connections the *set* of decisions is fixed by the seed but
 their assignment to frames follows arrival order.
+
+Stream awareness: a streamed transfer (protocol v2) is *many* frames
+per correlation id — BEGIN, a ladder of DATA/ACK exchanges, END, then
+RESULT frames and a DONE trailer.  The proxy parses the opcode and
+correlation id out of every header, so each of those frames gets its
+own schedule decision at its own frame boundary (a truncate can land
+on the 17th DATA frame of a stream, not just on whole requests), every
+injection is labelled with the opcode it hit, and the per-stream event
+log (:attr:`ChaosProxy.stream_events`) records which stream each
+decision landed on.  :func:`stream_schedule_preview` prints the same
+thing *before* any traffic for the canonical serial stream ladder.
 """
 
 from __future__ import annotations
@@ -133,6 +144,58 @@ def schedule_preview(config: ChaosConfig, n: int) -> list[tuple[int, str]]:
     return [(i, _draw(config, i)[0]) for i in range(n)]
 
 
+#: Stream opcodes, for per-stream annotation of schedule decisions.
+_STREAM_OPCODES = frozenset((
+    proto.OP_STREAM_BEGIN, proto.OP_STREAM_DATA, proto.OP_STREAM_END,
+    proto.OP_STREAM_ACK, proto.OP_STREAM_RESULT, proto.OP_STREAM_DONE,
+))
+
+
+def _stream_ladder(data_frames: int) -> list[tuple[str, str]]:
+    """The canonical serial wire exchange of one streamed transfer.
+
+    Returns ``(frame_kind, direction)`` pairs in arrival order for a
+    stream carrying ``data_frames`` DATA frames, assuming the lockstep
+    cadence of a serial client (each DATA acknowledged before the
+    next): BEGIN, initial ACK, then DATA/ACK pairs, END, one RESULT
+    per DATA frame, and the DONE trailer.  Real cadence can batch ACKs
+    and RESULTs; this ladder is the worst case (most frames, most
+    schedule events) and is exact for the CI chaos-smoke workload.
+    """
+    ladder: list[tuple[str, str]] = [
+        ("stream-begin", "request"), ("stream-ack", "response"),
+    ]
+    for _ in range(data_frames):
+        ladder.append(("stream-data", "request"))
+        ladder.append(("stream-ack", "response"))
+    ladder.append(("stream-end", "request"))
+    ladder.extend(("stream-result", "response") for _ in range(data_frames))
+    ladder.append(("stream-done", "response"))
+    return ladder
+
+
+def stream_schedule_preview(
+    config: ChaosConfig, *, streams: int, data_frames: int
+) -> list[tuple[int, int, str, str, str]]:
+    """Per-stream schedule: what a seed will do to ``streams`` serial
+    streamed transfers of ``data_frames`` DATA frames each.
+
+    Returns ``(event_index, stream, frame_kind, direction, action)``
+    rows in arrival order.  Frames in a direction the config does not
+    fault are shown with action ``pass``; the event counter still
+    advances for them, exactly as in :meth:`ChaosProxy._pump`.
+    """
+    rows: list[tuple[int, int, str, str, str]] = []
+    index = 0
+    for stream in range(streams):
+        for kind, direction in _stream_ladder(data_frames):
+            faultable = config.direction in (direction, "both")
+            action = _draw(config, index)[0] if faultable else "pass"
+            rows.append((index, stream, kind, direction, action))
+            index += 1
+    return rows
+
+
 class ChaosProxy:
     """A frame-aware TCP proxy that injects seeded faults."""
 
@@ -152,6 +215,13 @@ class ChaosProxy:
         self._event_index = 0
         self._killed = False
         self._stopped: asyncio.Event | None = None
+        #: Per-stream event log: (event_index, direction, frame_kind,
+        #: correlation_id, action) for every stream frame observed.
+        #: Bounded; the replay convention ``(seed, index)`` recovers
+        #: anything that scrolled off.
+        self.stream_events: list[tuple[int, str, str, int, str]] = []
+
+    _STREAM_EVENT_CAP = 8192
 
     @property
     def frames_observed(self) -> int:
@@ -271,6 +341,8 @@ class ChaosProxy:
             except (asyncio.IncompleteReadError, ConnectionError, OSError):
                 self._abort(dst)
                 return
+            opcode = header[5]
+            opname = proto.OPCODE_NAMES.get(opcode, f"0x{opcode:02x}")
             index = self._event_index
             self._event_index += 1
             if (
@@ -288,9 +360,17 @@ class ChaosProxy:
             action, rng = (
                 _draw(cfg, index) if faultable else ("pass", None)
             )
+            if opcode in _STREAM_OPCODES:
+                # Per-stream decision log: which frame of which stream
+                # each schedule event landed on.
+                if len(self.stream_events) < self._STREAM_EVENT_CAP:
+                    rid = struct.unpack_from("<Q", header, 8)[0]
+                    self.stream_events.append(
+                        (index, direction, opname, rid, action)
+                    )
             if action != "pass":
                 self.registry.counter(
-                    "chaos_injections_total", action=action
+                    "chaos_injections_total", action=action, opcode=opname
                 ).inc()
             if action == "reset":
                 self._abort(dst)

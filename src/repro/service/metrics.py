@@ -27,6 +27,10 @@ SIZE_BUCKETS = tuple(1024 * 4**i for i in range(9))
 #: Compression-ratio buckets (original / compressed).
 RATIO_BUCKETS = (0.5, 1.0, 1.25, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 16.0)
 
+#: Pipelining-depth buckets: requests in flight on one connection at
+#: admission time (upper bounds; +Inf is implicit).
+DEPTH_BUCKETS = (1, 2, 4, 8, 16, 32, 64)
+
 
 def _label_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))

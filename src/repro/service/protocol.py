@@ -20,10 +20,17 @@ All integers are little-endian, matching the FPRZ container.  The
 *before* any buffer is sized from it, so a hostile frame fails with a
 typed :class:`~repro.errors.ProtocolError`, never an allocation bomb.
 
-Request opcodes: COMPRESS, DECOMPRESS, INSPECT, STATS, PING.  Responses
-are RESULT (success), ERROR (typed failure, body = error code + UTF-8
-message), and BUSY (admission control rejected the request — the
-explicit-backpressure reply).
+Request opcodes: COMPRESS, DECOMPRESS, INSPECT, STATS, PING, and the
+streamed trio STREAM-BEGIN / STREAM-DATA / STREAM-END.  Responses are
+RESULT (success), ERROR (typed failure, body = error code + UTF-8
+message), BUSY (admission control rejected the request — the explicit
+backpressure reply), and the stream responses STREAM-ACK (byte-credit
+grant), STREAM-RESULT (one finished chunk) and STREAM-DONE (trailer).
+The u64 ``request_id`` doubles as the correlation id: responses may
+arrive out of order on a pipelined connection, and every frame of a
+stream shares its id.  The wire version byte stays 1 — the stream
+opcodes are a negotiated extension (see :func:`encode_ping_body`), so
+every version-1 frame is byte-identical under both dialects.
 
 The payload-equals-container guarantee: a COMPRESS result body *is* an
 FPRZ container, byte-identical to what :func:`repro.compress` returns
@@ -36,8 +43,10 @@ See ``docs/SERVICE.md`` for the full byte-layout walkthrough.
 
 from __future__ import annotations
 
+import json
+import re
 import struct
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core import container as fmt
 from repro.errors import (
@@ -47,6 +56,7 @@ from repro.errors import (
     DeadlineExceededError,
     FormatError,
     ProtocolError,
+    QuotaExceededError,
     RemoteError,
     ServiceError,
     UnknownCodecError,
@@ -72,11 +82,17 @@ OP_DECOMPRESS = 0x02
 OP_INSPECT = 0x03
 OP_STATS = 0x04
 OP_PING = 0x05
+OP_STREAM_BEGIN = 0x06
+OP_STREAM_DATA = 0x07
+OP_STREAM_END = 0x08
 
 # Response opcodes.
 OP_RESULT = 0x80
 OP_ERROR = 0x81
 OP_BUSY = 0x82
+OP_STREAM_ACK = 0x83
+OP_STREAM_RESULT = 0x84
+OP_STREAM_DONE = 0x85
 
 REQUEST_OPCODES = {
     OP_COMPRESS: "compress",
@@ -84,9 +100,36 @@ REQUEST_OPCODES = {
     OP_INSPECT: "inspect",
     OP_STATS: "stats",
     OP_PING: "ping",
+    OP_STREAM_BEGIN: "stream-begin",
+    OP_STREAM_DATA: "stream-data",
+    OP_STREAM_END: "stream-end",
 }
-RESPONSE_OPCODES = {OP_RESULT: "result", OP_ERROR: "error", OP_BUSY: "busy"}
+RESPONSE_OPCODES = {
+    OP_RESULT: "result",
+    OP_ERROR: "error",
+    OP_BUSY: "busy",
+    OP_STREAM_ACK: "stream-ack",
+    OP_STREAM_RESULT: "stream-result",
+    OP_STREAM_DONE: "stream-done",
+}
 OPCODE_NAMES = {**REQUEST_OPCODES, **RESPONSE_OPCODES}
+
+#: Opcodes introduced by protocol feature "stream".  A version-1-only peer
+#: rejects them with ERR_PROTOCOL, which is why clients negotiate via
+#: :func:`encode_ping_body` before opening a stream.
+STREAM_OPCODES = frozenset(
+    {
+        OP_STREAM_BEGIN,
+        OP_STREAM_DATA,
+        OP_STREAM_END,
+        OP_STREAM_ACK,
+        OP_STREAM_RESULT,
+        OP_STREAM_DONE,
+    }
+)
+
+#: Protocol features this library implements, advertised in PING bodies.
+FEATURES = ("stream", "pipeline", "quota")
 
 # Error codes carried in ERROR response bodies.  Each maps to the typed
 # exception the client raises, so a server-side failure surfaces as the
@@ -101,11 +144,13 @@ ERR_UNKNOWN_CODEC = 7
 ERR_DEADLINE = 8
 ERR_SHUTTING_DOWN = 9
 ERR_INTERNAL = 10
+ERR_QUOTA = 11
 
 #: Most-derived classes first: ``error_code_for`` walks this in order.
 _ERROR_CODES: tuple[tuple[type[Exception], int], ...] = (
     (ProtocolError, ERR_PROTOCOL),
     (DeadlineExceededError, ERR_DEADLINE),
+    (QuotaExceededError, ERR_QUOTA),
     (ChecksumError, ERR_CHECKSUM),
     (BoundsError, ERR_BOUNDS),
     (CorruptDataError, ERR_CORRUPT),
@@ -125,6 +170,7 @@ _ERROR_CLASSES: dict[int, type[Exception]] = {
     ERR_DEADLINE: DeadlineExceededError,
     ERR_SHUTTING_DOWN: ServiceError,
     ERR_INTERNAL: RemoteError,
+    ERR_QUOTA: QuotaExceededError,
 }
 
 #: ndim sentinel meaning "no shape block" (raw-bytes payloads).
@@ -150,8 +196,19 @@ def error_code_for(exc: BaseException) -> int:
     return ERR_INTERNAL
 
 
+#: QUOTA error messages carry their refill hint inline (the ERROR body
+#: layout predates quotas and cannot grow a field without a version bump).
+_QUOTA_HINT = re.compile(r"retry_after_ms=(\d+)")
+
+
 def exception_for(code: int, message: str) -> Exception:
     """The typed exception a client raises for an ERROR response."""
+    if code == ERR_QUOTA:
+        hint = _QUOTA_HINT.search(message)
+        return QuotaExceededError(
+            message,
+            retry_after_ms=int(hint.group(1)) if hint else None,
+        )
     return _ERROR_CLASSES.get(code, ServiceError)(message)
 
 
@@ -374,3 +431,400 @@ def decode_error_body(body: bytes) -> tuple[int, str]:
     if len(body) < 1:
         raise ProtocolError("empty ERROR body")
     return body[0], body[1:].decode("utf-8", "replace")
+
+
+# ---------------------------------------------------------------------------
+# Feature negotiation (PING bodies)
+# ---------------------------------------------------------------------------
+#
+# Protocol version 1 defined PING with an empty body, and v1 servers
+# ignore whatever body arrives, replying with an empty RESULT.  That
+# makes the PING body a free, fully backward-compatible negotiation
+# channel: a v2 client sends a JSON feature list (plus its tenant name
+# for quota accounting), a v2 server replies with its own JSON feature
+# body, and an *empty* RESULT body identifies a v1 peer — the client
+# then simply never emits a stream opcode on that connection.
+
+#: Ceiling on a PING negotiation body; far beyond any legitimate feature
+#: list, and small enough that a hostile body can't be an allocation bomb.
+MAX_PING_BODY = 4096
+
+
+def encode_ping_body(
+    features: tuple[str, ...] = FEATURES,
+    *,
+    tenant: str | None = None,
+    stream_window: int | None = None,
+) -> bytes:
+    """PING body: JSON feature advertisement (both directions).
+
+    Servers additionally report ``stream_window`` (the per-connection
+    byte credit a stream starts with) so clients can size their first
+    burst without a round trip.
+    """
+    doc: dict[str, object] = {"features": list(features)}
+    if tenant is not None:
+        doc["tenant"] = tenant
+    if stream_window is not None:
+        doc["stream_window"] = int(stream_window)
+    return json.dumps(doc, separators=(",", ":")).encode("utf-8")
+
+
+def decode_ping_body(body: bytes) -> dict[str, object]:
+    """Parse a PING negotiation body.
+
+    An empty body (a v1 peer) decodes to ``{"features": []}``.  Malformed
+    JSON raises :class:`~repro.errors.ProtocolError` — but note servers
+    deliberately *don't* call this on untrusted request bodies failing
+    closed; they fall back to v1 semantics instead (see
+    ``CompressionServer._negotiate``), so an old client with a nonempty
+    PING body is never rejected.
+    """
+    if not body:
+        return {"features": []}
+    if len(body) > MAX_PING_BODY:
+        raise ProtocolError(
+            f"PING body of {len(body)} bytes exceeds the {MAX_PING_BODY}-byte "
+            f"negotiation limit"
+        )
+    try:
+        doc = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"PING body is not valid JSON: {exc}") from None
+    if not isinstance(doc, dict):
+        raise ProtocolError("PING body is not a JSON object")
+    features = doc.get("features", [])
+    if not isinstance(features, list) or not all(
+        isinstance(f, str) for f in features
+    ):
+        raise ProtocolError("PING body 'features' is not a list of strings")
+    tenant = doc.get("tenant")
+    if tenant is not None and not isinstance(tenant, str):
+        raise ProtocolError("PING body 'tenant' is not a string")
+    window = doc.get("stream_window")
+    if window is not None and (not isinstance(window, int) or window < 0):
+        raise ProtocolError("PING body 'stream_window' is not a non-negative int")
+    return doc
+
+
+# ---------------------------------------------------------------------------
+# Streamed transfers (STREAM-BEGIN / DATA / END requests,
+#                     STREAM-ACK / RESULT / DONE responses)
+# ---------------------------------------------------------------------------
+#
+# A stream is a sequence of frames sharing one u64 correlation id (the
+# existing request_id field — streams and unary requests draw ids from
+# the same space and may interleave freely on a pipelined connection):
+#
+#   client                          server
+#   STREAM-BEGIN (mode, geometry,
+#                 total_len)  --->
+#                             <---  STREAM-ACK (initial byte credit)
+#   STREAM-DATA (payload)     --->        | client may only have `credit`
+#   STREAM-DATA (payload)     --->        | un-acknowledged bytes in
+#                             <---  STREAM-ACK (credit replenished)
+#                             <---  STREAM-RESULT (chunk_index, bytes)
+#   ...                                   | results flow as chunks finish
+#   STREAM-END ()             --->
+#                             <---  STREAM-RESULT ...
+#                             <---  STREAM-DONE (trailer)
+#
+# Flow control is credit-based: STREAM-ACK grants additional bytes of
+# window, the client may never exceed its outstanding credit, and the
+# server replenishes credit only as it *consumes* buffered bytes — so
+# server memory for the stream is bounded by the configured window no
+# matter how large the payload.  A window violation is a protocol error
+# (must-reject: see the frame fuzzer's stream mutators).
+
+#: STREAM-BEGIN modes.
+STREAM_COMPRESS = 1
+STREAM_DECOMPRESS = 2
+
+_STREAM_MODES = {STREAM_COMPRESS: "compress", STREAM_DECOMPRESS: "decompress"}
+
+_BEGIN_TAIL = struct.Struct("<Q")  # total_len
+_ACK = struct.Struct("<I")  # credit grant in bytes
+_RESULT_HEAD = struct.Struct("<I")  # chunk index
+
+
+@dataclass(frozen=True)
+class StreamBegin:
+    """Parsed STREAM-BEGIN body."""
+
+    mode: int
+    codec: str | None
+    dtype_code: int
+    shape: tuple[int, ...] | None
+    total_len: int
+
+
+def encode_stream_begin(
+    mode: int,
+    *,
+    total_len: int,
+    codec: str | None = None,
+    dtype_code: int = fmt.DTYPE_BYTES,
+    shape: tuple[int, ...] | None = None,
+) -> bytes:
+    """STREAM-BEGIN body: mode, codec name, dtype/shape header, u64 total.
+
+    ``total_len`` is the exact number of payload bytes the client will
+    send as STREAM-DATA; the server validates geometry and plans chunking
+    from it up front, and treats an END before ``total_len`` bytes as a
+    truncated stream (protocol error).
+    """
+    if mode not in _STREAM_MODES:
+        raise ValueError(f"unknown stream mode {mode}")
+    if total_len < 0 or total_len > 0xFFFFFFFFFFFFFFFF:
+        raise ValueError(f"total_len {total_len} out of u64 range")
+    name = (codec or "").encode("ascii")
+    if len(name) > 255:
+        raise ValueError("codec name longer than 255 bytes")
+    return (
+        struct.pack("<BB", mode, len(name))
+        + name
+        + _encode_shape(dtype_code, shape)
+        + _BEGIN_TAIL.pack(total_len)
+    )
+
+
+def decode_stream_begin(body: bytes) -> StreamBegin:
+    """Parse a STREAM-BEGIN body; raises ProtocolError when malformed."""
+    if len(body) < 2:
+        raise ProtocolError("truncated STREAM-BEGIN body")
+    mode, name_len = struct.unpack_from("<BB", body, 0)
+    if mode not in _STREAM_MODES:
+        raise ProtocolError(f"unknown stream mode {mode}")
+    pos = 2 + name_len
+    if pos > len(body):
+        raise ProtocolError("truncated STREAM-BEGIN body: codec name cut short")
+    try:
+        codec = body[2:pos].decode("ascii") if name_len else None
+    except UnicodeDecodeError as exc:
+        raise ProtocolError(f"codec name is not ASCII: {exc}") from None
+    dtype_code, shape, pos = _decode_shape(body, pos, "STREAM-BEGIN body")
+    if pos + _BEGIN_TAIL.size != len(body):
+        raise ProtocolError(
+            f"STREAM-BEGIN body length mismatch: {len(body) - pos} trailing "
+            f"bytes where a u64 total_len was expected"
+        )
+    total_len = _BEGIN_TAIL.unpack_from(body, pos)[0]
+    if mode == STREAM_COMPRESS:
+        _check_geometry(dtype_code, shape, total_len, "STREAM-BEGIN body")
+    return StreamBegin(
+        mode=mode, codec=codec, dtype_code=dtype_code, shape=shape,
+        total_len=total_len,
+    )
+
+
+def encode_stream_ack(credit: int) -> bytes:
+    """STREAM-ACK body: u32 additional byte credit granted to the sender."""
+    if not 0 <= credit <= 0xFFFFFFFF:
+        raise ValueError(f"credit {credit} out of u32 range")
+    return _ACK.pack(credit)
+
+
+def decode_stream_ack(body: bytes) -> int:
+    """Parse a STREAM-ACK body."""
+    if len(body) != _ACK.size:
+        raise ProtocolError(
+            f"STREAM-ACK body of {len(body)} bytes is not a u32 credit grant"
+        )
+    return _ACK.unpack(body)[0]
+
+
+def encode_stream_result(chunk_index: int, payload: bytes) -> bytes:
+    """STREAM-RESULT body: u32 chunk index + that chunk's bytes."""
+    if not 0 <= chunk_index <= 0xFFFFFFFF:
+        raise ValueError(f"chunk index {chunk_index} out of u32 range")
+    return _RESULT_HEAD.pack(chunk_index) + payload
+
+
+def decode_stream_result(body: bytes) -> tuple[int, bytes]:
+    """Parse a STREAM-RESULT body."""
+    if len(body) < _RESULT_HEAD.size:
+        raise ProtocolError("truncated STREAM-RESULT body: missing chunk index")
+    return _RESULT_HEAD.unpack_from(body, 0)[0], bytes(body[_RESULT_HEAD.size:])
+
+
+def encode_stream_trailer(
+    dtype_code: int, shape: tuple[int, ...] | None, extra: bytes = b""
+) -> bytes:
+    """STREAM-DONE body: dtype/shape header plus mode-specific trailer bytes.
+
+    For a compress stream ``extra`` is the container *prefix* (header +
+    tables); prepended to the concatenated STREAM-RESULT payloads it
+    reconstructs the exact container :func:`repro.compress` would have
+    produced.  For a decompress stream ``extra`` is empty — the shape
+    header alone tells the client how to view the decoded bytes.
+    """
+    return _encode_shape(dtype_code, shape) + extra
+
+
+def decode_stream_trailer(body: bytes) -> tuple[int, tuple[int, ...] | None, bytes]:
+    """Parse a STREAM-DONE body; returns ``(dtype_code, shape, extra)``."""
+    dtype_code, shape, pos = _decode_shape(body, 0, "STREAM-DONE trailer")
+    return dtype_code, shape, bytes(body[pos:])
+
+
+# ---------------------------------------------------------------------------
+# Stream ledger: the inbound-stream state machine
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class StreamState:
+    """Book-keeping for one active inbound stream."""
+
+    begin: StreamBegin
+    #: Bytes of credit granted to the peer and not yet used by DATA.
+    credit: int
+    #: Total DATA bytes received so far.
+    received: int = 0
+    #: DATA bytes buffered but not yet consumed by the processor.
+    buffered: int = 0
+    #: True once STREAM-END arrived.
+    ended: bool = False
+    #: Opaque per-stream attachment for the owner (server job state).
+    attachment: object = field(default=None, repr=False)
+
+
+class StreamLedger:
+    """Validates the stream frames of one connection against the protocol.
+
+    The single source of truth for what a well-behaved stream peer may
+    send: the server drives its inbound validation through a ledger, and
+    the frame fuzzer's stream mutators are probed against the *same*
+    class — so every must-reject invariant the fuzzer checks is exactly
+    the check production traffic hits.
+
+    All violations raise :class:`~repro.errors.ProtocolError` with the
+    offending correlation id attached as ``.request_id``.
+    """
+
+    def __init__(
+        self,
+        *,
+        window: int,
+        max_streams: int = 64,
+        max_total: int | None = None,
+    ) -> None:
+        if window <= 0:
+            raise ValueError(f"stream window must be positive, got {window}")
+        self.window = int(window)
+        self.max_streams = int(max_streams)
+        self.max_total = max_total
+        self._streams: dict[int, StreamState] = {}
+
+    def __len__(self) -> int:
+        return len(self._streams)
+
+    def __contains__(self, request_id: int) -> bool:
+        return request_id in self._streams
+
+    def get(self, request_id: int) -> StreamState:
+        try:
+            return self._streams[request_id]
+        except KeyError:
+            raise self._fail(
+                request_id, f"unknown stream correlation id {request_id}"
+            ) from None
+
+    @staticmethod
+    def _fail(request_id: int, message: str) -> ProtocolError:
+        exc = ProtocolError(message)
+        exc.request_id = request_id
+        return exc
+
+    def on_begin(self, request_id: int, body: bytes) -> StreamState:
+        """Validate a STREAM-BEGIN frame and open the stream."""
+        if request_id in self._streams:
+            raise self._fail(
+                request_id,
+                f"STREAM-BEGIN for correlation id {request_id} which already "
+                f"names an open stream (overlapping stream ids)",
+            )
+        if len(self._streams) >= self.max_streams:
+            raise self._fail(
+                request_id,
+                f"connection already carries {len(self._streams)} open streams "
+                f"(maximum {self.max_streams})",
+            )
+        begin = decode_stream_begin(body)
+        if self.max_total is not None and begin.total_len > self.max_total:
+            raise self._fail(
+                request_id,
+                f"declared stream of {begin.total_len} bytes exceeds the "
+                f"{self.max_total}-byte stream limit",
+            )
+        state = StreamState(begin=begin, credit=min(self.window, begin.total_len))
+        self._streams[request_id] = state
+        return state
+
+    def on_data(self, request_id: int, n_bytes: int) -> StreamState:
+        """Validate a STREAM-DATA frame: known id, open, within credit."""
+        if request_id not in self._streams:
+            raise self._fail(
+                request_id,
+                f"STREAM-DATA for correlation id {request_id} with no "
+                f"preceding STREAM-BEGIN",
+            )
+        state = self._streams[request_id]
+        if state.ended:
+            raise self._fail(
+                request_id, f"STREAM-DATA after STREAM-END on stream {request_id}"
+            )
+        if n_bytes > state.credit:
+            raise self._fail(
+                request_id,
+                f"stream {request_id} window violation: {n_bytes}-byte "
+                f"STREAM-DATA against {state.credit} bytes of credit",
+            )
+        if state.received + n_bytes > state.begin.total_len:
+            raise self._fail(
+                request_id,
+                f"stream {request_id} overran its declared length: "
+                f"{state.received + n_bytes} of {state.begin.total_len} bytes",
+            )
+        state.credit -= n_bytes
+        state.received += n_bytes
+        state.buffered += n_bytes
+        return state
+
+    def on_end(self, request_id: int) -> StreamState:
+        """Validate a STREAM-END frame: known id, fully delivered."""
+        if request_id not in self._streams:
+            raise self._fail(
+                request_id,
+                f"STREAM-END for unknown stream correlation id {request_id}",
+            )
+        state = self._streams[request_id]
+        if state.ended:
+            raise self._fail(
+                request_id, f"duplicate STREAM-END on stream {request_id}"
+            )
+        if state.received != state.begin.total_len:
+            raise self._fail(
+                request_id,
+                f"truncated stream {request_id}: STREAM-END after "
+                f"{state.received} of {state.begin.total_len} declared bytes",
+            )
+        state.ended = True
+        return state
+
+    def consume(self, request_id: int, n_bytes: int) -> int:
+        """Record the processor consuming buffered bytes; returns the
+        credit that may now be granted back to the peer (0 when the
+        stream's remaining bytes are already fully covered)."""
+        state = self.get(request_id)
+        state.buffered = max(0, state.buffered - n_bytes)
+        remaining = state.begin.total_len - state.received
+        grant = min(self.window - state.buffered - state.credit, remaining - state.credit)
+        if grant <= 0:
+            return 0
+        state.credit += grant
+        return grant
+
+    def close(self, request_id: int) -> None:
+        """Forget a stream (completed or aborted)."""
+        self._streams.pop(request_id, None)

@@ -28,11 +28,12 @@ from __future__ import annotations
 
 import random
 import time
+from collections import deque
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import BusyError, ReproError, ServiceError
+from repro.errors import BusyError, QuotaExceededError, ReproError, ServiceError
 from repro.service import protocol as proto
 from repro.service.client import ServiceClient
 from repro.service.metrics import MetricsRegistry
@@ -262,6 +263,15 @@ class ResilientClient:
                     raise
                 self.registry.counter("client_retries_total", reason="busy").inc()
                 self._sleep(delay / 1e3)
+            except QuotaExceededError as exc:
+                # Like BUSY, a quota rejection happens strictly at
+                # admission — the request was not acted on — and carries
+                # a refill hint.  Safe to retry for any idempotency.
+                delay = schedule.next_delay_ms(retry_after_ms=exc.retry_after_ms)
+                if delay is None:
+                    raise
+                self.registry.counter("client_retries_total", reason="quota").inc()
+                self._sleep(delay / 1e3)
             except ReproError as exc:
                 if not is_transport_error(exc):
                     raise
@@ -279,6 +289,122 @@ class ResilientClient:
                 ).inc()
                 self._sleep(delay / 1e3)
 
+    # -- pipelined operation batches ----------------------------------
+
+    def _pipelined(self, submits, collects, *, depth: int, idempotent: bool = True):
+        """Run many requests with up to ``depth`` in flight at once.
+
+        ``submits[i](client) -> rid`` sends request *i* without waiting;
+        ``collects[i](client, rid)`` claims its result.  Retry
+        book-keeping is **per correlation id**: a BUSY (or quota) answer
+        backs off and re-queues only the rejected request — each with
+        its own :class:`RetrySchedule`, so one hot id cannot exhaust its
+        neighbours' budgets.  A transport failure re-queues every
+        uncollected id on a fresh connection when ``idempotent`` — and
+        for non-idempotent batches re-queues only ids that provably
+        never hit the wire, raising for the ambiguous ones.
+        """
+        if depth < 1:
+            raise ServiceError(f"pipeline depth must be >= 1, got {depth}")
+        n = len(submits)
+        results: list = [None] * n
+        schedules: list[RetrySchedule | None] = [None] * n
+        conn_schedule = self.policy.schedule(self._rng)
+        todo: deque[int] = deque(range(n))
+        outstanding: deque[tuple[int, int]] = deque()  # (op index, rid)
+
+        def backoff(i: int, reason: str, exc) -> None:
+            schedule = schedules[i]
+            if schedule is None:
+                schedule = schedules[i] = self.policy.schedule(self._rng)
+            delay = schedule.next_delay_ms(
+                retry_after_ms=getattr(exc, "retry_after_ms", None)
+            )
+            if delay is None:
+                raise exc
+            self.registry.counter("client_retries_total", reason=reason).inc()
+            self._sleep(delay / 1e3)
+            todo.appendleft(i)
+
+        def on_transport(exc, *, submitted_i: int | None) -> None:
+            """Reshuffle after a broken connection mid-batch."""
+            self._discard(failover=True)
+            ambiguous = [i for i, _ in outstanding]
+            if submitted_i is not None and request_may_have_been_applied(exc):
+                ambiguous.append(submitted_i)
+            elif submitted_i is not None:
+                todo.appendleft(submitted_i)  # provably unsent: always retry
+            outstanding.clear()
+            if ambiguous:
+                if not idempotent:
+                    raise exc
+                todo.extendleft(reversed(ambiguous))
+            delay = conn_schedule.next_delay_ms()
+            if delay is None:
+                raise exc
+            self.registry.counter(
+                "client_retries_total", reason="transport"
+            ).inc()
+            self._sleep(delay / 1e3)
+
+        while todo or outstanding:
+            try:
+                client = self._lease()
+            except ReproError as exc:
+                if not is_transport_error(exc):
+                    raise
+                on_transport(exc, submitted_i=None)
+                continue
+            # Fill the window.
+            while todo and len(outstanding) < depth:
+                i = todo.popleft()
+                try:
+                    rid = submits[i](client)
+                except ReproError as exc:
+                    if not is_transport_error(exc):
+                        raise
+                    on_transport(exc, submitted_i=i)
+                    break
+                outstanding.append((i, rid))
+            if not outstanding:
+                continue
+            # Collect the oldest submitted request.
+            i, rid = outstanding.popleft()
+            try:
+                results[i] = collects[i](client, rid)
+            except BusyError as exc:
+                backoff(i, "busy", exc)
+            except QuotaExceededError as exc:
+                backoff(i, "quota", exc)
+            except ReproError as exc:
+                if not is_transport_error(exc):
+                    raise
+                on_transport(exc, submitted_i=i)
+        return results
+
+    def compress_many(
+        self, items, codec: str | None = None, *, depth: int = 8
+    ) -> list[bytes]:
+        """Pipelined :meth:`compress` over ``items``, order-preserving."""
+        items = list(items)
+        return self._pipelined(
+            [
+                (lambda c, item=item: c.submit_compress(item, codec))
+                for item in items
+            ],
+            [(lambda c, rid: c.collect(rid))] * len(items),
+            depth=depth,
+        )
+
+    def decompress_many(self, blobs, *, depth: int = 8) -> list:
+        """Pipelined :meth:`decompress` over ``blobs``, order-preserving."""
+        blobs = [bytes(b) for b in blobs]
+        return self._pipelined(
+            [(lambda c, blob=blob: c.submit_decompress(blob)) for blob in blobs],
+            [(lambda c, rid: c.collect_decompress(rid))] * len(blobs),
+            depth=depth,
+        )
+
     # -- operations (all idempotent: pure functions of their body) ----
 
     def compress(self, data, codec: str | None = None) -> bytes:
@@ -286,6 +412,20 @@ class ResilientClient:
 
     def decompress(self, blob: bytes) -> np.ndarray | bytes:
         return self.call(lambda c: c.decompress(blob))
+
+    def compress_streamed(self, data, codec: str | None = None) -> bytes:
+        """Streamed :meth:`compress` with the half-sent stream guard.
+
+        Compression is a pure function of its payload, so a stream that
+        failed mid-flight is safe to re-run *on a fresh connection* —
+        but a half-sent stream is never resumed or re-sent on the same
+        connection (its correlation id is dead server-side).  The
+        reconnect inside :meth:`call` guarantees that.
+        """
+        return self.call(lambda c: c.compress_streamed(data, codec))
+
+    def decompress_streamed(self, blob: bytes) -> np.ndarray | bytes:
+        return self.call(lambda c: c.decompress_streamed(blob))
 
     def inspect(self, blob: bytes) -> dict:
         return self.call(lambda c: c.inspect(blob))

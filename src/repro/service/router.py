@@ -94,6 +94,12 @@ class RouterConfig:
     vnodes: int = 32
     #: Idle pooled connections kept per backend.
     pool_size: int = 4
+    #: Bytes of stream frames the router keeps buffered for replay.  A
+    #: stream whose backend fails *before any response frame reached the
+    #: client* is replayed — BEGIN plus any buffered DATA — onto the
+    #: next ring candidate; once the buffer overflows (or a response has
+    #: been relayed) failover is off and a failure surfaces instead.
+    stream_replay_buffer: int = 1024 * 1024
 
 
 class CircuitBreaker:
@@ -184,6 +190,84 @@ class _ClientConn:
 
     writer: asyncio.StreamWriter
     write_lock: asyncio.Lock = field(default_factory=asyncio.Lock)
+    #: Quota identity from PING negotiation, forwarded per stream.
+    tenant: str | None = None
+    #: Live stream relays by client correlation id.
+    streams: dict = field(default_factory=dict)
+    #: Ids of failed streams whose in-flight frames are tolerated.
+    dead_streams: set = field(default_factory=set)
+
+
+class _StreamRelay:
+    """Forwarding state for one client stream (one correlation id).
+
+    Client frames land in an append-only frame log (BEGIN first); the
+    relay task forwards them to the backend in order, tracking its
+    position in ``forwarded``.  Until a response frame has been relayed
+    to the client the whole log is retained (bounded by
+    ``stream_replay_buffer``), so a failed backend attempt can be
+    replayed from index 0 on another backend — indistinguishable from a
+    first attempt as long as the client has observed nothing.  Once
+    replay is off (a response was relayed, or the log outgrew the cap)
+    the forwarded prefix is trimmed, keeping router memory bounded by
+    the uplink backlog — itself bounded by the backend's credit window,
+    since the client only sends within granted credit.
+    """
+
+    __slots__ = (
+        "begin_body", "_frames", "_base", "log_bytes", "buffer_ok",
+        "forwarded", "responded", "saw_end", "task", "wakeup",
+    )
+
+    def __init__(self, begin_body: bytes) -> None:
+        self.begin_body = begin_body
+        self._frames: list[tuple[int, bytes]] = [
+            (proto.OP_STREAM_BEGIN, begin_body)
+        ]
+        self._base = 0  # logical index of _frames[0]
+        self.log_bytes = len(begin_body)
+        self.buffer_ok = True
+        self.forwarded = 0  # logical index the active attempt sends next
+        self.responded = False
+        self.saw_end = False
+        self.task: asyncio.Task | None = None
+        self.wakeup = asyncio.Event()
+
+    def __len__(self) -> int:
+        return self._base + len(self._frames)
+
+    def frame(self, index: int) -> tuple[int, bytes]:
+        return self._frames[index - self._base]
+
+    def push(self, opcode: int, body: bytes, *, replay_cap: int) -> None:
+        """Append one client frame to the log and wake the relay task."""
+        if opcode == proto.OP_STREAM_END:
+            self.saw_end = True
+        self._frames.append((opcode, body))
+        self.log_bytes += len(body)
+        if self.buffer_ok and self.log_bytes > replay_cap:
+            self.buffer_ok = False
+        self.trim()
+        self.wakeup.set()
+
+    def mark_responded(self) -> None:
+        self.responded = True
+        self.trim()
+
+    def trim(self) -> None:
+        """Drop forwarded frames once replay is no longer possible."""
+        if self.replayable:
+            return
+        drop = self.forwarded - self._base
+        if drop > 0:
+            for _, body in self._frames[:drop]:
+                self.log_bytes -= len(body)
+            del self._frames[:drop]
+            self._base += drop
+
+    @property
+    def replayable(self) -> bool:
+        return self.buffer_ok and not self.responded
 
 
 class ShardRouter:
@@ -550,8 +634,12 @@ class ShardRouter:
                     body = await reader.readexactly(body_len)
                 except (asyncio.IncompleteReadError, ConnectionError):
                     break
-                await self._admit(conn, opcode, request_id, body)
+                if await self._admit(conn, opcode, request_id, body) is False:
+                    break
         finally:
+            for relay in tuple(conn.streams.values()):
+                if relay.task is not None:
+                    relay.task.cancel()
             self._conns.discard(conn)
             self.registry.gauge("connections").dec()
             writer.close()
@@ -560,15 +648,19 @@ class ShardRouter:
 
     async def _admit(
         self, conn: _ClientConn, opcode: int, request_id: int, body: bytes
-    ) -> None:
+    ) -> bool | None:
         cfg = self.config
         if opcode == proto.OP_PING:
-            await self._send(conn, proto.OP_RESULT, request_id)
-            return
+            await self._send(
+                conn, proto.OP_RESULT, request_id, self._negotiate(conn, body)
+            )
+            return None
         if opcode == proto.OP_STATS:
             payload = json.dumps(self._stats()).encode("utf-8")
             await self._send(conn, proto.OP_RESULT, request_id, payload)
-            return
+            return None
+        if opcode in (proto.OP_STREAM_DATA, proto.OP_STREAM_END):
+            return await self._admit_stream_frame(conn, opcode, request_id, body)
         if self._draining:
             await self._send(
                 conn, proto.OP_ERROR, request_id,
@@ -576,7 +668,7 @@ class ShardRouter:
                     proto.ERR_SHUTTING_DOWN, "router is draining"
                 ),
             )
-            return
+            return None
         if self._inflight >= cfg.inflight_high_water:
             # Shed at the front door: cheaper than queueing work the
             # fleet cannot absorb, and the hint spaces out the retries.
@@ -585,7 +677,9 @@ class ShardRouter:
                 conn, proto.OP_BUSY, request_id,
                 proto.encode_busy_body(cfg.busy_retry_ms),
             )
-            return
+            return None
+        if opcode == proto.OP_STREAM_BEGIN:
+            return self._admit_stream_begin(conn, request_id, body)
         self._inflight += 1
         self.registry.gauge("inflight").set(self._inflight)
         task = asyncio.ensure_future(
@@ -593,6 +687,268 @@ class ShardRouter:
         )
         self._jobs.add(task)
         task.add_done_callback(self._jobs.discard)
+        return None
+
+    def _negotiate(self, conn: _ClientConn, body: bytes) -> bytes:
+        """Mirror the server's PING negotiation (fail-open to v1)."""
+        if not body:
+            return b""
+        try:
+            doc = proto.decode_ping_body(body)
+        except ProtocolError:
+            self.registry.counter("ping_negotiation_failures_total").inc()
+            return b""
+        tenant = doc.get("tenant")
+        if isinstance(tenant, str) and tenant:
+            conn.tenant = tenant
+        if not doc.get("features"):
+            return b""
+        # The router relays streams transparently, so it advertises the
+        # full feature set; the window is each backend's to grant.
+        return proto.encode_ping_body(proto.FEATURES)
+
+    # -- stream relaying ----------------------------------------------
+
+    def _admit_stream_begin(
+        self, conn: _ClientConn, request_id: int, body: bytes
+    ) -> bool | None:
+        conn.dead_streams.discard(request_id)
+        if request_id in conn.streams:
+            return None  # duplicate BEGIN: let the backend's ledger rule
+        relay = _StreamRelay(body)
+        conn.streams[request_id] = relay
+        self._inflight += 1
+        self.registry.gauge("inflight").set(self._inflight)
+        self.registry.gauge("streams_in_flight").inc()
+        relay.task = asyncio.ensure_future(
+            self._run_stream_relay(conn, request_id, relay)
+        )
+        self._jobs.add(relay.task)
+        relay.task.add_done_callback(self._jobs.discard)
+        return None
+
+    async def _admit_stream_frame(
+        self, conn: _ClientConn, opcode: int, request_id: int, body: bytes
+    ) -> bool | None:
+        relay = conn.streams.get(request_id)
+        if relay is not None:
+            relay.push(opcode, body, replay_cap=self.config.stream_replay_buffer)
+            return None
+        if request_id in conn.dead_streams:
+            # The stream already failed; frames the client had in flight
+            # are tolerated, and END retires the tombstone.
+            if opcode == proto.OP_STREAM_END:
+                conn.dead_streams.discard(request_id)
+            return None
+        self.registry.counter("protocol_errors_total").inc()
+        await self._send(
+            conn, proto.OP_ERROR, request_id,
+            proto.encode_error_body(
+                proto.ERR_PROTOCOL,
+                f"{proto.REQUEST_OPCODES[opcode].upper()} for correlation id "
+                f"{request_id} with no preceding STREAM-BEGIN",
+            ),
+        )
+        return False
+
+    async def _run_stream_relay(
+        self, conn: _ClientConn, request_id: int, relay: _StreamRelay
+    ) -> None:
+        """Place a stream on the ring and relay it end to end."""
+        cfg = self.config
+        start = self._clock()
+        outcome = "error"
+        try:
+            candidates = [
+                b for b in self._candidates(relay.begin_body)
+                if b.breaker.allows()
+            ]
+            busy_hints: list[int] = []
+            for nth, backend in enumerate(candidates[: cfg.dispatch_attempts]):
+                if not relay.replayable:
+                    break
+                if nth:
+                    self.registry.counter("failovers_total", kind="stream").inc()
+                backend.inflight += 1
+                try:
+                    verdict = await self._relay_stream_on(
+                        backend, conn, request_id, relay
+                    )
+                except _BackendFailure:
+                    backend.breaker.record_failure()
+                    self._count_backend(
+                        backend, proto.OP_STREAM_BEGIN, "transport-failure"
+                    )
+                    continue
+                finally:
+                    backend.inflight -= 1
+                if verdict == "busy":
+                    backend.breaker.record_success()
+                    self._count_backend(backend, proto.OP_STREAM_BEGIN, "busy")
+                    busy_hints.append(cfg.busy_retry_ms)
+                    continue
+                if verdict == "draining":
+                    self._count_backend(backend, proto.OP_STREAM_BEGIN, "draining")
+                    continue
+                backend.breaker.record_success()
+                self._count_backend(
+                    backend, proto.OP_STREAM_BEGIN,
+                    "ok" if verdict == "done" else "error",
+                )
+                outcome = verdict
+                return
+            # No backend completed the stream.
+            if relay.responded:
+                # The client has seen frames from a dead attempt; a
+                # replay would duplicate them, so the honest answer is
+                # a terminal error.
+                await self._send(
+                    conn, proto.OP_ERROR, request_id,
+                    proto.encode_error_body(
+                        proto.ERR_INTERNAL,
+                        "backend failed mid-stream after frames were relayed",
+                    ),
+                )
+                outcome = "mid-stream-failure"
+            elif busy_hints:
+                await self._send(
+                    conn, proto.OP_BUSY, request_id,
+                    proto.encode_busy_body(max(busy_hints)),
+                )
+                outcome = "all-busy"
+            else:
+                self.registry.counter("unroutable_total").inc()
+                await self._send(
+                    conn, proto.OP_BUSY, request_id,
+                    proto.encode_busy_body(cfg.busy_retry_ms),
+                )
+                outcome = "unroutable"
+        finally:
+            conn.streams.pop(request_id, None)
+            if outcome != "done" and not relay.saw_end:
+                # The client may still have DATA in flight for this id;
+                # tolerate it until END retires the tombstone.
+                conn.dead_streams.add(request_id)
+            self._inflight -= 1
+            self.registry.gauge("inflight").set(self._inflight)
+            self.registry.gauge("streams_in_flight").dec()
+            self.registry.histogram(
+                "route_seconds", buckets=LATENCY_BUCKETS, opcode="stream",
+            ).observe(self._clock() - start)
+
+    async def _relay_stream_on(
+        self,
+        backend: _Backend,
+        conn: _ClientConn,
+        request_id: int,
+        relay: _StreamRelay,
+    ) -> str:
+        """Run (or replay) one stream against one backend.
+
+        Returns ``"done"`` (trailer or terminal error relayed),
+        ``"busy"`` / ``"draining"`` (backend declined before anything
+        was relayed; failover is safe), or raises :class:`_BackendFailure`.
+        """
+        cfg = self.config
+        try:
+            reader, writer = await asyncio.wait_for(
+                self._acquire(backend), cfg.backend_timeout
+            )
+        except asyncio.TimeoutError as exc:
+            raise _BackendFailure(
+                f"connect to {backend.label}: timed out"
+            ) from exc
+        backend_rid = next(self._backend_rids)
+        uplink: asyncio.Task | None = None
+        try:
+            if conn.tenant:
+                # Dedicated connection: propagate the tenant so backend
+                # quota accounting attributes the stream correctly.
+                writer.write(proto.encode_frame(
+                    proto.OP_PING, backend_rid,
+                    proto.encode_ping_body(proto.FEATURES, tenant=conn.tenant),
+                ))
+                await asyncio.wait_for(writer.drain(), cfg.backend_timeout)
+                header = await asyncio.wait_for(
+                    reader.readexactly(proto.HEADER_SIZE), cfg.backend_timeout
+                )
+                op, _, blen = proto.parse_header(
+                    header, max_frame=cfg.max_frame
+                )
+                await asyncio.wait_for(
+                    reader.readexactly(blen), cfg.backend_timeout
+                )
+                if op != proto.OP_RESULT:
+                    raise ProtocolError(f"negotiation answered 0x{op:02x}")
+            # (Re)play the frame log from the top and follow it live; a
+            # replay is byte-identical to a first attempt.
+            relay.forwarded = 0
+
+            async def pump_uplink() -> None:
+                while True:
+                    while relay.forwarded >= len(relay):
+                        relay.wakeup.clear()
+                        await relay.wakeup.wait()
+                    op, frame_body = relay.frame(relay.forwarded)
+                    writer.write(proto.encode_frame(op, backend_rid, frame_body))
+                    await writer.drain()
+                    relay.forwarded += 1
+                    relay.trim()
+                    if op == proto.OP_STREAM_END:
+                        return
+
+            uplink = asyncio.ensure_future(pump_uplink())
+            first = True
+            while True:
+                timeout = cfg.backend_timeout if first else None
+                read = reader.readexactly(proto.HEADER_SIZE)
+                header = await (
+                    asyncio.wait_for(read, timeout) if timeout else read
+                )
+                resp_op, resp_rid, body_len = proto.parse_header(
+                    header, max_frame=cfg.max_frame
+                )
+                resp_body = await reader.readexactly(body_len)
+                if resp_rid != backend_rid:
+                    raise ProtocolError(
+                        f"backend answered stream {resp_rid}, "
+                        f"expected {backend_rid}"
+                    )
+                first = False
+                if resp_op == proto.OP_BUSY and not relay.responded:
+                    return "busy"
+                if self._is_draining_error(resp_op, resp_body) and not relay.responded:
+                    return "draining"
+                relay.mark_responded()
+                await self._send(conn, resp_op, request_id, resp_body)
+                if resp_op == proto.OP_STREAM_DONE:
+                    self._release(backend, (reader, writer))
+                    writer = None
+                    return "done"
+                if resp_op in (proto.OP_ERROR, proto.OP_BUSY):
+                    # Terminal for the stream; the backend tombstones
+                    # the id, so its connection stays frame-aligned.
+                    self._release(backend, (reader, writer))
+                    writer = None
+                    return "backend-error"
+        except (
+            OSError,
+            EOFError,
+            asyncio.IncompleteReadError,
+            asyncio.TimeoutError,
+            ProtocolError,
+            ConnectionError,
+        ) as exc:
+            raise _BackendFailure(
+                f"{backend.label}: {type(exc).__name__}: {exc}"
+            ) from exc
+        finally:
+            if uplink is not None:
+                uplink.cancel()
+                with contextlib.suppress(asyncio.CancelledError, Exception):
+                    await uplink
+            if writer is not None:
+                writer.close()
 
     async def _run_request(
         self, conn: _ClientConn, opcode: int, request_id: int, body: bytes

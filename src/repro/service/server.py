@@ -50,6 +50,7 @@ from repro.api import compress as api_compress
 from repro.bitpack import backend as kernel_backend
 from repro.core import codec_by_id
 from repro.core import container as fmt
+from repro.core.codecs import codec_for, get_codec
 from repro.core.compressor import decompress_bytes
 from repro.core.executors import (
     Executor,
@@ -57,9 +58,17 @@ from repro.core.executors import (
     SharedMemoryProcessExecutor,
     normalize_policy,
 )
-from repro.errors import ReproError, ServiceError, traceback_summary
+from repro.core.incremental import StreamingCompressor, StreamingDecompressor
+from repro.errors import (
+    FormatError,
+    ProtocolError,
+    ReproError,
+    ServiceError,
+    traceback_summary,
+)
 from repro.service import protocol as proto
 from repro.service.metrics import (
+    DEPTH_BUCKETS,
     LATENCY_BUCKETS,
     RATIO_BUCKETS,
     SIZE_BUCKETS,
@@ -85,6 +94,18 @@ class ServiceConfig:
     queue_high_water: int = 32
     #: Per-connection cap on admitted-but-unfinished request bytes.
     conn_bytes_in_flight: int = 256 * 1024 * 1024
+    #: Per-stream byte window for STREAM-DATA flow control.  The server
+    #: never buffers more than this many unprocessed payload bytes per
+    #: stream — credit is granted back to the sender only as buffered
+    #: bytes are consumed — so memory for a streamed transfer is bounded
+    #: by the window no matter how large the declared payload.
+    stream_window: int = 4 * 1024 * 1024
+    #: Per-tenant admission quota in payload bytes per second (token
+    #: bucket, refilled continuously).  0 disables quota enforcement.
+    quota_rate: float = 0.0
+    #: Token-bucket burst capacity in bytes; 0 defaults to one second of
+    #: ``quota_rate``.
+    quota_burst: int = 0
     #: Per-request deadline in seconds.
     request_timeout: float = 30.0
     #: Seconds ``stop(drain=True)`` waits for in-flight jobs.
@@ -114,14 +135,68 @@ class ServiceConfig:
     kernel_backend: str | None = None
 
 
+class _TokenBucket:
+    """Per-tenant byte-rate admission quota (continuously refilled)."""
+
+    __slots__ = ("rate", "burst", "tokens", "_last")
+
+    def __init__(self, rate: float, burst: float) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self._last = time.monotonic()
+
+    def admit(self, n_bytes: int) -> tuple[bool, int]:
+        """Try to spend ``n_bytes``; returns ``(admitted, retry_ms)``.
+
+        ``retry_ms`` is the earliest time (in milliseconds) at which the
+        deficit will have refilled — the hint carried in the QUOTA error.
+        """
+        now = time.monotonic()
+        self.tokens = min(self.burst, self.tokens + (now - self._last) * self.rate)
+        self._last = now
+        if n_bytes <= self.tokens:
+            self.tokens -= n_bytes
+            return True, 0
+        deficit = min(n_bytes, self.burst) - self.tokens
+        retry_ms = int(deficit * 1000.0 / self.rate) + 1
+        return False, retry_ms
+
+
+class _StreamJob:
+    """Server-side state of one in-flight stream (the ledger attachment)."""
+
+    __slots__ = (
+        "engine", "opname", "codec_label", "queue", "start", "bytes_in",
+    )
+
+    def __init__(self, engine, opname: str, codec_label: str) -> None:
+        self.engine = engine
+        self.opname = opname
+        self.codec_label = codec_label
+        #: Frames handed from the read loop to the stream task:
+        #: ``("data", payload)`` / ``("end", b"")`` / ``("abort", b"")``.
+        self.queue: asyncio.Queue = asyncio.Queue()
+        self.start = time.perf_counter()
+        self.bytes_in = 0
+
+
 @dataclass(eq=False)
 class _Connection:
     """Per-connection state (identity-hashed: every connection is unique)."""
 
     writer: asyncio.StreamWriter
+    ledger: proto.StreamLedger
     write_lock: asyncio.Lock = field(default_factory=asyncio.Lock)
     bytes_in_flight: int = 0
     tasks: set = field(default_factory=set)
+    #: Quota accounting identity, set by PING negotiation.
+    tenant: str = "default"
+    #: Live stream jobs by correlation id.
+    streams: dict = field(default_factory=dict)
+    #: Correlation ids of streams aborted server-side whose in-flight
+    #: frames are tolerated (dropped) until their STREAM-END arrives.
+    dead_streams: set = field(default_factory=set)
 
 
 class CompressionServer:
@@ -142,6 +217,12 @@ class CompressionServer:
         self._conns: set[_Connection] = set()
         self._jobs: set[asyncio.Task] = set()
         self._queue_depth = 0
+        #: Per-tenant admission buckets (created lazily; quota_rate > 0).
+        self._buckets: dict[str, _TokenBucket] = {}
+        #: Unprocessed STREAM-DATA bytes held across all streams; its
+        #: high-water mark is the ``stream_buffered_watermark`` gauge the
+        #: bounded-memory tests assert against.
+        self._stream_buffered = 0
         self._draining = False
         self._stopped: asyncio.Event | None = None
         self._started_at = 0.0
@@ -244,7 +325,10 @@ class CompressionServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         cfg = self.config
-        conn = _Connection(writer=writer)
+        conn = _Connection(
+            writer=writer,
+            ledger=proto.StreamLedger(window=cfg.stream_window),
+        )
         self._conns.add(conn)
         self.registry.gauge("connections").inc()
         self.registry.counter("connections_total").inc()
@@ -276,8 +360,14 @@ class CompressionServer:
                     body = await reader.readexactly(body_len)
                 except (asyncio.IncompleteReadError, ConnectionError):
                     break
-                await self._dispatch(conn, opcode, request_id, body)
+                if await self._dispatch(conn, opcode, request_id, body) is False:
+                    # A stream-level protocol violation leaves the
+                    # per-connection stream state untrustworthy: the
+                    # typed error has been sent; drop the connection.
+                    break
         finally:
+            for job in tuple(conn.streams.values()):
+                job.queue.put_nowait(("abort", b""))
             self._conns.discard(conn)
             self.registry.gauge("connections").dec()
             writer.close()
@@ -304,20 +394,28 @@ class CompressionServer:
 
     async def _dispatch(
         self, conn: _Connection, opcode: int, request_id: int, body: bytes
-    ) -> None:
+    ) -> bool | None:
+        """Route one request frame.  Returns ``False`` when the
+        connection must be closed (stream-level protocol violation)."""
+        cfg = self.config
         opname = proto.REQUEST_OPCODES[opcode]
         self.registry.counter("bytes_in_total", opcode=opname).inc(len(body))
         if opcode == proto.OP_PING:
-            await self._send(conn, proto.OP_RESULT, request_id)
+            reply = self._negotiate(conn, body)
+            await self._send(conn, proto.OP_RESULT, request_id, reply)
             self._count(opname, "-", "ok")
-            return
+            return None
         if opcode == proto.OP_STATS:
             payload = json.dumps(self._stats()).encode("utf-8")
             await self._send(conn, proto.OP_RESULT, request_id, payload)
             self.registry.counter("bytes_out_total", opcode=opname).inc(len(payload))
             self._count(opname, "-", "ok")
-            return
-        # Codec work: admission control, then offload.
+            return None
+        if opcode in (proto.OP_STREAM_DATA, proto.OP_STREAM_END):
+            return await self._dispatch_stream_frame(
+                conn, opcode, request_id, body
+            )
+        # Admission-controlled work (unary codec jobs and STREAM-BEGIN).
         if self._draining:
             await self._send(
                 conn, proto.OP_ERROR, request_id,
@@ -326,19 +424,25 @@ class CompressionServer:
                 ),
             )
             self._count(opname, "-", "shutdown")
-            return
-        cfg = self.config
+            return None
+        if opcode == proto.OP_STREAM_BEGIN:
+            return await self._dispatch_stream_begin(conn, request_id, body)
         busy_hint = proto.encode_busy_body(cfg.busy_retry_ms or None)
         if self._queue_depth >= cfg.queue_high_water:
             self.registry.counter("busy_rejections_total", reason="queue").inc()
             await self._send(conn, proto.OP_BUSY, request_id, busy_hint)
             self._count(opname, "-", "busy")
-            return
+            return None
         if conn.bytes_in_flight + len(body) > cfg.conn_bytes_in_flight:
             self.registry.counter("busy_rejections_total", reason="conn-bytes").inc()
             await self._send(conn, proto.OP_BUSY, request_id, busy_hint)
             self._count(opname, "-", "busy")
-            return
+            return None
+        if not await self._admit_quota(conn, opname, request_id, len(body)):
+            return None
+        self.registry.histogram(
+            "pipeline_depth", buckets=DEPTH_BUCKETS
+        ).observe(len(conn.tasks) + 1)
         self._queue_depth += 1
         conn.bytes_in_flight += len(body)
         self.registry.gauge("queue_depth").set(self._queue_depth)
@@ -350,6 +454,321 @@ class CompressionServer:
         conn.tasks.add(task)
         task.add_done_callback(self._jobs.discard)
         task.add_done_callback(conn.tasks.discard)
+        return None
+
+    # -- feature negotiation and quotas --------------------------------
+
+    def _negotiate(self, conn: _Connection, body: bytes) -> bytes:
+        """PING body in, PING reply body out (see ``decode_ping_body``).
+
+        An empty request body is a protocol-v1 peer and gets the v1
+        empty reply, byte for byte.  A malformed body fails *open* to the
+        same v1 semantics — negotiation is an optimisation, never a
+        reason to reject an old client.
+        """
+        if not body:
+            return b""
+        try:
+            doc = proto.decode_ping_body(body)
+        except ProtocolError:
+            self.registry.counter("ping_negotiation_failures_total").inc()
+            return b""
+        tenant = doc.get("tenant")
+        if isinstance(tenant, str) and tenant:
+            conn.tenant = tenant
+        if not doc.get("features"):
+            return b""
+        return proto.encode_ping_body(
+            proto.FEATURES, stream_window=self.config.stream_window
+        )
+
+    async def _admit_quota(
+        self, conn: _Connection, opname: str, request_id: int, n_bytes: int
+    ) -> bool:
+        """Charge ``n_bytes`` against the connection's tenant bucket.
+
+        On rejection the typed QUOTA error (with its refill hint) has
+        already been sent when this returns ``False``.
+        """
+        cfg = self.config
+        if cfg.quota_rate <= 0:
+            return True
+        bucket = self._buckets.get(conn.tenant)
+        if bucket is None:
+            burst = cfg.quota_burst or max(int(cfg.quota_rate), 1)
+            bucket = self._buckets[conn.tenant] = _TokenBucket(
+                cfg.quota_rate, burst
+            )
+        admitted, retry_ms = bucket.admit(n_bytes)
+        if admitted:
+            self.registry.counter(
+                "quota_admitted_total", tenant=conn.tenant
+            ).inc()
+            self.registry.counter(
+                "quota_admitted_bytes_total", tenant=conn.tenant
+            ).inc(n_bytes)
+            return True
+        self.registry.counter(
+            "quota_rejected_total", tenant=conn.tenant
+        ).inc()
+        await self._send(
+            conn, proto.OP_ERROR, request_id,
+            proto.encode_error_body(
+                proto.ERR_QUOTA,
+                f"tenant {conn.tenant!r} exceeded its "
+                f"{cfg.quota_rate:g} byte/s quota; retry_after_ms={retry_ms}",
+            ),
+        )
+        self._count(opname, "-", "quota")
+        return False
+
+    # -- streamed transfers --------------------------------------------
+
+    def _stream_engine(self, begin: proto.StreamBegin):
+        """Build the incremental engine for a STREAM-BEGIN (pool-thread
+        safe, raises typed errors)."""
+        if begin.mode == proto.STREAM_DECOMPRESS:
+            return StreamingDecompressor(total_len=begin.total_len), "-"
+        if begin.codec:
+            codec = get_codec(begin.codec)
+        elif begin.dtype_code in _DTYPE_BY_CODE:
+            codec = codec_for(_DTYPE_BY_CODE[begin.dtype_code], "ratio")
+        else:
+            raise FormatError(
+                "streamed compression of raw bytes needs an explicit codec "
+                "(no dtype to infer one from)"
+            )
+        engine = StreamingCompressor(
+            codec,
+            total_len=begin.total_len,
+            dtype_code=begin.dtype_code,
+            shape=begin.shape,
+        )
+        return engine, engine.codec.name
+
+    async def _dispatch_stream_begin(
+        self, conn: _Connection, request_id: int, body: bytes
+    ) -> bool | None:
+        cfg = self.config
+        # A fresh BEGIN supersedes any tombstone left by an earlier
+        # aborted stream that reused this correlation id.
+        conn.dead_streams.discard(request_id)
+        try:
+            state = conn.ledger.on_begin(request_id, body)
+        except ProtocolError as exc:
+            self.registry.counter("protocol_errors_total").inc()
+            await self._send(
+                conn, proto.OP_ERROR, request_id,
+                proto.encode_error_body(proto.ERR_PROTOCOL, str(exc)),
+            )
+            self._count("stream-begin", "-", "protocol")
+            return False
+        begin = state.begin
+        opname = (
+            "stream-compress" if begin.mode == proto.STREAM_COMPRESS
+            else "stream-decompress"
+        )
+        busy_hint = proto.encode_busy_body(cfg.busy_retry_ms or None)
+        if self._queue_depth >= cfg.queue_high_water:
+            conn.ledger.close(request_id)
+            conn.dead_streams.add(request_id)
+            self.registry.counter("busy_rejections_total", reason="queue").inc()
+            await self._send(conn, proto.OP_BUSY, request_id, busy_hint)
+            self._count(opname, "-", "busy")
+            return None
+        if not await self._admit_quota(
+            conn, opname, request_id, begin.total_len
+        ):
+            conn.ledger.close(request_id)
+            conn.dead_streams.add(request_id)
+            return None
+        try:
+            engine, codec_label = self._stream_engine(begin)
+        except ReproError as exc:
+            conn.ledger.close(request_id)
+            conn.dead_streams.add(request_id)
+            await self._send(
+                conn, proto.OP_ERROR, request_id,
+                proto.encode_error_body(proto.error_code_for(exc), str(exc)),
+            )
+            self._count(opname, "-", "error")
+            return None
+        job = _StreamJob(engine, opname, codec_label)
+        state.attachment = job
+        conn.streams[request_id] = job
+        self.registry.histogram(
+            "pipeline_depth", buckets=DEPTH_BUCKETS
+        ).observe(len(conn.tasks) + 1)
+        self._queue_depth += 1
+        self.registry.gauge("queue_depth").set(self._queue_depth)
+        self.registry.gauge("streams_in_flight").inc()
+        self.registry.counter("streams_total", opcode=opname).inc()
+        task = asyncio.ensure_future(self._run_stream(conn, request_id, job))
+        self._jobs.add(task)
+        conn.tasks.add(task)
+        task.add_done_callback(self._jobs.discard)
+        task.add_done_callback(conn.tasks.discard)
+        # The opening credit grant: the ledger has already reserved it,
+        # so the client may send this many DATA bytes immediately.
+        await self._send(
+            conn, proto.OP_STREAM_ACK, request_id,
+            proto.encode_stream_ack(state.credit),
+        )
+        return None
+
+    async def _dispatch_stream_frame(
+        self, conn: _Connection, opcode: int, request_id: int, body: bytes
+    ) -> bool | None:
+        """Route a STREAM-DATA / STREAM-END frame through the ledger."""
+        if request_id in conn.dead_streams:
+            # The stream was aborted server-side (or rejected at BEGIN)
+            # after the client may already have frames in flight within
+            # its granted credit: tolerate and drop them.  END retires
+            # the tombstone.
+            if opcode == proto.OP_STREAM_END:
+                conn.dead_streams.discard(request_id)
+            return None
+        try:
+            if opcode == proto.OP_STREAM_DATA:
+                state = conn.ledger.on_data(request_id, len(body))
+            else:
+                state = conn.ledger.on_end(request_id)
+        except ProtocolError as exc:
+            self.registry.counter("protocol_errors_total").inc()
+            await self._send(
+                conn, proto.OP_ERROR, request_id,
+                proto.encode_error_body(proto.ERR_PROTOCOL, str(exc)),
+            )
+            self._count(proto.REQUEST_OPCODES[opcode], "-", "protocol")
+            return False
+        job: _StreamJob = state.attachment
+        if opcode == proto.OP_STREAM_DATA:
+            job.bytes_in += len(body)
+            self._track_stream_buffered(len(body))
+            if state.credit == 0:
+                self.registry.counter("window_stalls_total").inc()
+            job.queue.put_nowait(("data", body))
+        else:
+            job.queue.put_nowait(("end", b""))
+        return None
+
+    def _track_stream_buffered(self, delta: int) -> None:
+        self._stream_buffered += delta
+        gauge = self.registry.gauge("stream_buffered_bytes")
+        gauge.set(self._stream_buffered)
+        watermark = self.registry.gauge("stream_buffered_watermark")
+        if self._stream_buffered > watermark.value:
+            watermark.set(self._stream_buffered)
+
+    async def _run_stream(
+        self, conn: _Connection, request_id: int, job: _StreamJob
+    ) -> None:
+        """The per-stream task: consume queued frames, run the
+        incremental engine in the worker pool, emit RESULT/ACK/DONE."""
+        cfg = self.config
+        loop = asyncio.get_running_loop()
+        outcome = "ok"
+        try:
+            while True:
+                kind, payload = await job.queue.get()
+                if kind == "abort":
+                    outcome = "cancelled"
+                    return
+                if kind == "data":
+                    results = await asyncio.wait_for(
+                        loop.run_in_executor(
+                            self._pool, job.engine.feed, payload
+                        ),
+                        cfg.request_timeout,
+                    )
+                    self._track_stream_buffered(-len(payload))
+                    grant = conn.ledger.consume(request_id, len(payload))
+                    await self._send_stream_results(conn, request_id, job, results)
+                    if grant:
+                        await self._send(
+                            conn, proto.OP_STREAM_ACK, request_id,
+                            proto.encode_stream_ack(grant),
+                        )
+                    continue
+                # STREAM-END: flush / finish, then the trailer.
+                engine = job.engine
+                if isinstance(engine, StreamingCompressor):
+                    results = await asyncio.wait_for(
+                        loop.run_in_executor(self._pool, engine.flush),
+                        cfg.request_timeout,
+                    )
+                    await self._send_stream_results(conn, request_id, job, results)
+                    trailer = proto.encode_stream_trailer(
+                        engine.dtype_code, engine.shape, engine.prefix()
+                    )
+                else:
+                    dtype_code, shape = engine.finish()
+                    trailer = proto.encode_stream_trailer(dtype_code, shape)
+                await self._send(
+                    conn, proto.OP_STREAM_DONE, request_id, trailer
+                )
+                self.registry.counter(
+                    "bytes_out_total", opcode=job.opname
+                ).inc(len(trailer))
+                return
+        except asyncio.TimeoutError:
+            outcome = "deadline"
+            await self._abort_stream(
+                conn, request_id, proto.ERR_DEADLINE,
+                f"stream chunk exceeded the {cfg.request_timeout:g}s deadline",
+            )
+        except ReproError as exc:
+            outcome = "error"
+            await self._abort_stream(
+                conn, request_id, proto.error_code_for(exc), str(exc)
+            )
+        except asyncio.CancelledError:
+            outcome = "cancelled"
+            raise
+        except Exception as exc:  # unexpected: typed INTERNAL, never a hang
+            outcome = "internal"
+            await self._abort_stream(
+                conn, request_id, proto.ERR_INTERNAL, traceback_summary(exc)
+            )
+        finally:
+            if request_id in conn.ledger:
+                # Return any still-buffered bytes to the global gauge
+                # before forgetting the stream.
+                state = conn.ledger.get(request_id)
+                self._track_stream_buffered(-state.buffered)
+                conn.ledger.close(request_id)
+            conn.streams.pop(request_id, None)
+            self._queue_depth -= 1
+            self.registry.gauge("queue_depth").set(self._queue_depth)
+            self.registry.gauge("streams_in_flight").dec()
+            self._count(job.opname, job.codec_label, outcome)
+            self.registry.histogram(
+                "request_seconds", buckets=LATENCY_BUCKETS, opcode=job.opname
+            ).observe(time.perf_counter() - job.start)
+            self.registry.histogram(
+                "request_bytes", buckets=SIZE_BUCKETS, opcode=job.opname
+            ).observe(job.bytes_in)
+
+    async def _send_stream_results(
+        self, conn: _Connection, request_id: int, job: _StreamJob, results
+    ) -> None:
+        for index, chunk in results:
+            body = proto.encode_stream_result(index, chunk)
+            await self._send(conn, proto.OP_STREAM_RESULT, request_id, body)
+            self.registry.counter(
+                "bytes_out_total", opcode=job.opname
+            ).inc(len(body))
+
+    async def _abort_stream(
+        self, conn: _Connection, request_id: int, code: int, message: str
+    ) -> None:
+        """Fail a stream mid-flight: typed error out, tombstone so the
+        client's already-in-flight frames are tolerated."""
+        conn.dead_streams.add(request_id)
+        await self._send(
+            conn, proto.OP_ERROR, request_id,
+            proto.encode_error_body(code, message),
+        )
 
     # -- job execution ------------------------------------------------
 
@@ -500,6 +919,11 @@ class CompressionServer:
                 "queue_depth": self._queue_depth,
                 "queue_high_water": cfg.queue_high_water,
                 "max_frame": cfg.max_frame,
+                "stream_window": cfg.stream_window,
+                "open_streams": sum(len(c.streams) for c in self._conns),
+                "quota_rate": cfg.quota_rate,
+                "quota_burst": cfg.quota_burst,
+                "features": list(proto.FEATURES),
                 "request_timeout": cfg.request_timeout,
                 "job_threads": cfg.job_threads,
                 "codec_workers": cfg.codec_workers,

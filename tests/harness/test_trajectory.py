@@ -208,3 +208,52 @@ class TestFormat:
         assert "dpratio/slice4096" in text
         assert "range read" in text
         assert "serial" in text and "global" in text
+
+
+def _saturation_derived(pipelined=2.5, router=3.5):
+    return {"derived": {"pipelined_speedup": pipelined,
+                        "router_scaling": router,
+                        "job_delay_ms": 3.0}}
+
+
+class TestSaturationGate:
+    def test_ratio_drop_past_threshold_gates(self):
+        base, cur = _point(), _point()
+        base["service_saturation"] = _saturation_derived(pipelined=2.5)
+        cur["service_saturation"] = _saturation_derived(pipelined=1.2)
+        regs = compare_trajectories(base, cur)
+        assert len(regs) == 1
+        reg = regs[0]
+        assert (reg.section, reg.metric) == (
+            "service_saturation", "pipelined_speedup",
+        )
+        assert reg.unit == "x"
+
+    def test_both_saturation_ratios_gate(self):
+        base, cur = _point(), _point()
+        base["service_saturation"] = _saturation_derived(2.5, 3.5)
+        cur["service_saturation"] = _saturation_derived(1.0, 1.0)
+        regs = compare_trajectories(base, cur)
+        assert {r.metric for r in regs} == {
+            "pipelined_speedup", "router_scaling",
+        }
+
+    def test_ratio_within_threshold_passes(self):
+        base, cur = _point(), _point()
+        base["service_saturation"] = _saturation_derived(2.5, 3.5)
+        cur["service_saturation"] = _saturation_derived(2.0, 2.8)  # -20%
+        assert compare_trajectories(base, cur) == []
+
+    def test_missing_saturation_section_is_skipped(self):
+        base, cur = _point(), _point()
+        base["service_saturation"] = _saturation_derived()
+        assert compare_trajectories(base, cur) == []
+
+    def test_ratio_regression_renders_raw_values_not_mbs(self):
+        reg = Regression(
+            "service_saturation", "derived", "router_scaling",
+            3.5, 1.4, unit="x",
+        )
+        text = reg.render()
+        assert "3.50 -> 1.40 x" in text
+        assert "MB/s" not in text

@@ -26,7 +26,12 @@ from repro.service import (
     ServiceClient,
     ServiceConfig,
 )
-from repro.service.faults import _CORRUPTIBLE_OFFSETS, _draw, schedule_preview
+from repro.service.faults import (
+    _CORRUPTIBLE_OFFSETS,
+    _draw,
+    schedule_preview,
+    stream_schedule_preview,
+)
 
 
 class TestChaosConfig:
@@ -212,3 +217,82 @@ class TestChaosAcceptance:
                 assert proxy.proxy.frames_observed >= 40
                 counters = proxy.proxy.registry.snapshot()["counters"]
                 assert counters.get("chaos_kills_total", 0) >= 1
+
+
+class TestStreamAwareness:
+    """The proxy's stream-aware satellite: per-frame schedule preview
+    and the live per-stream event log."""
+
+    def test_preview_walks_the_canonical_ladder(self):
+        rows = stream_schedule_preview(
+            ChaosConfig(seed=0), streams=1, data_frames=2
+        )
+        kinds = [kind for _, _, kind, _, _ in rows]
+        assert kinds == [
+            "stream-begin", "stream-ack",
+            "stream-data", "stream-ack",
+            "stream-data", "stream-ack",
+            "stream-end",
+            "stream-result", "stream-result",
+            "stream-done",
+        ]
+        # Event indices advance monotonically across streams.
+        indices = [index for index, *_ in rows]
+        assert indices == list(range(len(rows)))
+
+    def test_preview_is_deterministic_in_seed(self):
+        config = ChaosConfig(seed=42, delay_rate=0.3, reset_rate=0.2)
+        assert stream_schedule_preview(
+            config, streams=3, data_frames=4
+        ) == stream_schedule_preview(config, streams=3, data_frames=4)
+
+    def test_preview_matches_the_frame_schedule(self):
+        # The per-stream preview and the flat schedule draw from the
+        # same (seed, event_index) convention: actions must agree.
+        config = ChaosConfig(seed=9, delay_rate=0.5, corrupt_rate=0.3)
+        flat = dict(schedule_preview(config, 40))
+        for index, _, _, _, action in stream_schedule_preview(
+            config, streams=2, data_frames=3
+        ):
+            assert action == flat[index]
+
+    def test_unfaulted_direction_passes_but_still_counts(self):
+        config = ChaosConfig(seed=9, reset_rate=1.0, direction="request")
+        rows = stream_schedule_preview(config, streams=1, data_frames=2)
+        for _, _, _, direction, action in rows:
+            if direction == "response":
+                assert action == "pass"
+            else:
+                assert action == "reset"
+        # The counter advanced through the passed frames too.
+        assert [i for i, *_ in rows] == list(range(len(rows)))
+
+    def test_live_stream_events_are_recorded(self, rng):
+        data = _walk(rng, 40_000)
+        with ServerThread(ServiceConfig(port=0)) as srv:
+            with _proxy_for(srv.port) as proxy:
+                with ServiceClient(port=proxy.port) as client:
+                    blob = client.compress_streamed(data, "spspeed")
+                    assert blob == repro.compress(data, "spspeed",
+                                                  fcm="restart")
+                events = proxy.proxy.stream_events
+                kinds = {kind for _, _, kind, _, _ in events}
+                assert kinds >= {
+                    "stream-begin", "stream-ack", "stream-data",
+                    "stream-end", "stream-result", "stream-done",
+                }
+                # Every frame of the stream shares one correlation id.
+                assert len({rid for _, _, _, rid, _ in events}) == 1
+                # Requests and responses are both observed.
+                assert {d for _, d, _, _, _ in events} == {
+                    "request", "response",
+                }
+
+    def test_unary_traffic_does_not_pollute_the_stream_log(self, rng):
+        data = _walk(rng, 1_000)
+        with ServerThread(ServiceConfig(port=0)) as srv:
+            with _proxy_for(srv.port) as proxy:
+                with ServiceClient(port=proxy.port) as client:
+                    client.compress(data, "spspeed")
+                    assert client.ping()
+                assert proxy.proxy.stream_events == []

@@ -263,6 +263,148 @@ class TestResilientClientUnit:
             client.call(lambda c: (_ for _ in ()).throw(BusyError("busy")))
 
 
+class TestPipelinedRetrySemantics:
+    """The pipelined batch guard rails (`_pipelined` via *_many).
+
+    Three contracts: BUSY backoff applies per correlation id (one hot
+    request cannot charge its neighbours' budgets), provably-unsent ids
+    are re-submitted after a reconnect even in non-idempotent batches,
+    and ambiguous in-flight ids are never re-sent when the batch is
+    non-idempotent.
+    """
+
+    def _client(self, script=None, **kwargs):
+        log: list = []
+        client = ResilientClient(
+            [("127.0.0.1", 1), ("127.0.0.1", 2)],
+            policy=kwargs.pop("policy", RetryPolicy(attempts=6, base_ms=1.0)),
+            client_factory=_factory(script or {}, log),
+            sleep=lambda s: log.append(("slept", s)),
+            seed=0,
+            **kwargs,
+        )
+        return client, log
+
+    def test_busy_hint_applies_per_request_not_per_connection(self):
+        # Two requests on ONE connection, each BUSY once with a
+        # different hint: each backoff must honor its own request's
+        # hint, not a per-connection latch of the first one seen.
+        client, log = self._client()
+        hints = {0: 100, 1: 400}
+        rejected: set[int] = set()
+
+        def collect(i):
+            def inner(c, rid):
+                if i not in rejected:
+                    rejected.add(i)
+                    raise BusyError("busy", retry_after_ms=hints[i])
+                return f"r{i}"
+            return inner
+
+        results = client._pipelined(
+            [lambda c: 10, lambda c: 11],
+            [collect(0), collect(1)],
+            depth=2,
+        )
+        assert results == ["r0", "r1"]
+        sleeps = sorted(s for kind, s in log if kind == "slept")
+        assert len(sleeps) == 2
+        assert sleeps[0] >= 0.1 and sleeps[1] >= 0.4
+        assert client.registry.counter(
+            "client_retries_total", reason="busy"
+        ).value == 2
+
+    def test_unsent_ids_are_resubmitted_after_reconnect(self):
+        # The submit itself fails provably before the wire: even a
+        # non-idempotent batch re-sends it on the fresh connection.
+        client, log = self._client()
+        submits: list[int] = []
+
+        def submit(c):
+            submits.append(1)
+            if len(submits) == 1:
+                raise _transport_error(False)
+            return 7
+
+        results = client._pipelined(
+            [submit], [lambda c, rid: "done"], depth=1, idempotent=False
+        )
+        assert results == ["done"]
+        assert len(submits) == 2
+        connects = [port for kind, port in log if kind == "connected"]
+        assert len(connects) == 2  # the failure forced a reconnect
+
+    def test_non_idempotent_batch_never_resends_ambiguous_ids(self):
+        # One id submitted, then the connection dies collecting it: the
+        # request may have been applied, so a non-idempotent batch must
+        # surface the ambiguity instead of re-sending.
+        client, _ = self._client()
+        submits: list[int] = []
+
+        def submit(c):
+            submits.append(1)
+            return 7
+
+        def collect(c, rid):
+            c.broken = "poisoned"
+            raise _transport_error(True)
+
+        with pytest.raises(ServiceError):
+            client._pipelined([submit], [collect], depth=1, idempotent=False)
+        assert len(submits) == 1  # THE guard: no duplicate side effects
+
+    def test_idempotent_batch_resends_ambiguous_ids(self):
+        client, _ = self._client()
+        attempts: list[int] = []
+
+        def collect(c, rid):
+            attempts.append(1)
+            if len(attempts) == 1:
+                c.broken = "poisoned"
+                raise _transport_error(True)
+            return "done"
+
+        results = client._pipelined(
+            [lambda c: 7], [collect], depth=1, idempotent=True
+        )
+        assert results == ["done"]
+        assert len(attempts) == 2
+
+    def test_half_sent_stream_is_never_resent_non_idempotent(self):
+        # The streamed analogue of the unary guard: a stream that moved
+        # DATA frames before dying carries request_sent=True, so a
+        # non-idempotent call must not re-run it.
+        client, _ = self._client()
+        attempts: list[int] = []
+
+        def stream_fn(c):
+            attempts.append(1)
+            c.broken = "stream abandoned mid-flight"
+            raise _transport_error(True)  # sent > 0 on the real client
+
+        with pytest.raises(ServiceError):
+            client.call(stream_fn, idempotent=False)
+        assert len(attempts) == 1
+
+    def test_streamed_retry_runs_on_a_fresh_connection(self):
+        # compress_streamed is idempotent: after a mid-stream transport
+        # failure it retries, but only ever on a new connection — the
+        # old correlation id is dead server-side.
+        client, log = self._client()
+        seen_clients: list[object] = []
+
+        def stream_fn(c):
+            seen_clients.append(c)
+            if len(seen_clients) == 1:
+                c.broken = "stream abandoned mid-flight"
+                raise _transport_error(True)
+            return b"container"
+
+        assert client.call(stream_fn) == b"container"
+        assert seen_clients[0] is not seen_clients[1]
+        assert seen_clients[0].closed  # the poisoned connection was dropped
+
+
 class TestResilientClientLive:
     def test_survives_backend_death_mid_run(self, rng):
         """Failover across two real servers while one dies mid-batch."""
@@ -283,6 +425,20 @@ class TestResilientClientLive:
                     assert client.registry.counter(
                         "client_reconnects_total"
                     ).value >= 1
+
+    def test_pipelined_batches_round_trip_in_order(self, rng):
+        arrays = [
+            np.cumsum(rng.normal(size=1_000 + 300 * i)).astype(np.float32)
+            for i in range(9)
+        ]
+        expected = [repro.compress(a, "spspeed") for a in arrays]
+        with ServerThread(ServiceConfig(port=0)) as srv:
+            with ResilientClient(f"127.0.0.1:{srv.port}") as client:
+                blobs = client.compress_many(arrays, "spspeed", depth=4)
+                assert blobs == expected
+                restored = client.decompress_many(blobs, depth=4)
+                for out, original in zip(restored, arrays):
+                    assert np.array_equal(out, original)
 
     def test_reuses_one_connection_while_healthy(self, rng):
         data = np.cumsum(rng.normal(size=2_000)).astype(np.float32)

@@ -1,0 +1,457 @@
+"""Protocol v2 on the wire: streams, pipelining, quotas, v1 interop.
+
+The contracts under test, in the order the PR's acceptance criteria
+state them:
+
+* **Golden frames** — the version-1 frame bytes are pinned literally;
+  any layout drift (field order, widths, endianness) fails here before
+  it can silently break cross-version peers.
+* **v1 interop** — a client that never negotiates speaks pure v1
+  against the v2 server and passes the full operation matrix, and a v2
+  client against a v1 server transparently falls back to unary frames.
+* **Bounded memory** — a streamed COMPRESS of a payload ≥ 8× the
+  per-connection stream window round-trips byte-identically to the
+  local API while the server's buffered-bytes watermark never exceeds
+  the window (asserted via live STATS).
+* **Pipelining** — responses collected out of submission order.
+* **Quotas** — per-tenant token buckets reject with a typed
+  :class:`QuotaExceededError` carrying a refill hint.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import container as fmt
+from repro.errors import ProtocolError, QuotaExceededError, ReproError
+from repro.service import ServerThread, ServiceClient, ServiceConfig
+from repro.service import protocol as proto
+from repro.service.server import CompressionServer
+
+
+def _walk(rng, n, dtype=np.float32):
+    return np.cumsum(rng.normal(scale=0.01, size=n)).astype(dtype)
+
+
+# ---------------------------------------------------------------------------
+# Golden v1 frame bytes
+# ---------------------------------------------------------------------------
+
+#: Pinned wire bytes.  These are the protocol-v1 frames (and the v2
+#: stream extension frames) exactly as they leave ``encode_frame``;
+#: they must NEVER change — v1 peers in the field parse them.
+GOLDEN_FRAMES = {
+    "ping": (
+        (proto.OP_PING, 7, b""),
+        "4650525701050000070000000000000000000000",
+    ),
+    "compress": (
+        (
+            proto.OP_COMPRESS,
+            0x1122334455667788,
+            proto.encode_compress_body(
+                b"\x00\x00\x80\x3f\x00\x00\x00\x40",
+                codec="spspeed", dtype_code=fmt.DTYPE_F32, shape=(2,),
+            ),
+        ),
+        "465052570101000088776655443322111a00000007737073706565640101"
+        "02000000000000000000803f00000040",
+    ),
+    "decompress": (
+        (proto.OP_DECOMPRESS, 2, b"FPRZ"),
+        "46505257010200000200000000000000040000004650525a",
+    ),
+    "result": (
+        (proto.OP_RESULT, 5, b"ok"),
+        "46505257018000000500000000000000020000006f6b",
+    ),
+    "error": (
+        (proto.OP_ERROR, 3, proto.encode_error_body(proto.ERR_FORMAT, "bad")),
+        "465052570181000003000000000000000400000002626164",
+    ),
+    "busy": (
+        (proto.OP_BUSY, 4, proto.encode_busy_body(50)),
+        "465052570182000004000000000000000400000032000000",
+    ),
+    "stream-begin": (
+        (
+            proto.OP_STREAM_BEGIN,
+            6,
+            proto.encode_stream_begin(
+                proto.STREAM_COMPRESS, total_len=8, codec="spspeed",
+                dtype_code=fmt.DTYPE_F32, shape=(2,),
+            ),
+        ),
+        "465052570106000006000000000000001b0000000107737073706565640101"
+        "02000000000000000800000000000000",
+    ),
+    "stream-ack": (
+        (proto.OP_STREAM_ACK, 6, proto.encode_stream_ack(65536)),
+        "465052570183000006000000000000000400000000000100",
+    ),
+}
+
+
+class TestGoldenFrames:
+    @pytest.mark.parametrize("name", sorted(GOLDEN_FRAMES))
+    def test_encoded_bytes_are_pinned(self, name):
+        (opcode, rid, body), golden = GOLDEN_FRAMES[name]
+        assert proto.encode_frame(opcode, rid, body).hex() == golden
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN_FRAMES))
+    def test_golden_bytes_parse_back(self, name):
+        (opcode, rid, body), golden = GOLDEN_FRAMES[name]
+        frame = proto.parse_frame(bytes.fromhex(golden))
+        assert (frame.opcode, frame.request_id, frame.body) == (
+            opcode, rid, body,
+        )
+
+    def test_header_is_twenty_bytes(self):
+        # The fixed prelude every peer ever shipped reads first.
+        assert proto.HEADER_SIZE == 20
+
+    def test_version_byte_is_still_one(self):
+        # Streams/pipelining/quotas are negotiated features, not a
+        # version bump: every frame stays version 1 on the wire.
+        assert proto.VERSION == 1
+        for (opcode, rid, body), golden in GOLDEN_FRAMES.values():
+            assert bytes.fromhex(golden)[4] == 1
+
+
+# ---------------------------------------------------------------------------
+# v1 x v2 interop
+# ---------------------------------------------------------------------------
+
+
+class TestV1ClientAgainstV2Server:
+    """A never-negotiating client is a v1 peer; the full matrix must pass."""
+
+    def test_full_operation_matrix(self, rng):
+        data = _walk(rng, 8_000)
+        expected = repro.compress(data, "spspeed")
+        with ServerThread(ServiceConfig(port=0)) as srv:
+            with ServiceClient(port=srv.port) as client:
+                # v1 clients never send a PING body and never negotiate.
+                assert client.server_features is None
+                blob = client.compress(data, "spspeed")
+                assert blob == expected
+                assert np.array_equal(client.decompress(blob), data)
+                assert client.inspect(blob)["codec"] == "spspeed"
+                assert "metrics" in client.stats()
+                assert client.ping()
+                assert client.server_features is None  # still never negotiated
+
+    def test_empty_ping_gets_the_empty_v1_reply(self):
+        # Byte-for-byte v1 semantics: empty body in, empty body out.
+        with ServerThread(ServiceConfig(port=0)) as srv:
+            with ServiceClient(port=srv.port) as client:
+                assert client._request(proto.OP_PING) == b""
+
+    def test_malformed_ping_body_fails_open_to_v1(self):
+        # An old client with junk in its PING body must not be rejected.
+        with ServerThread(ServiceConfig(port=0)) as srv:
+            with ServiceClient(port=srv.port) as client:
+                assert client._request(proto.OP_PING, b"\xff\xfejunk") == b""
+
+
+class TestV2ClientAgainstV1Server:
+    """Against a v1 peer the streamed methods fall back to unary frames."""
+
+    @pytest.fixture()
+    def v1_server(self, monkeypatch):
+        # A v1 server is one that answers every PING with an empty body.
+        monkeypatch.setattr(
+            CompressionServer, "_negotiate", lambda self, conn, body: b""
+        )
+        with ServerThread(ServiceConfig(port=0)) as srv:
+            yield srv
+
+    def test_streamed_methods_fall_back_to_unary(self, rng, v1_server):
+        data = _walk(rng, 8_000)
+        with ServiceClient(port=v1_server.port) as client:
+            blob = client.compress_streamed(data, "spspeed")
+            assert client.server_features == ()  # negotiation saw a v1 peer
+            assert blob == repro.compress(data, "spspeed")
+            assert np.array_equal(client.decompress_streamed(blob), data)
+
+    def test_iter_decompress_degrades_to_unary_chunks(self, rng, v1_server):
+        data = _walk(rng, 4_000)
+        blob = repro.compress(data, "spspeed")
+        with ServiceClient(port=v1_server.port) as client:
+            raw = b"".join(client.iter_decompress_streamed(blob))
+            assert raw == data.tobytes()
+
+
+# ---------------------------------------------------------------------------
+# Streamed transfers: bounded memory and byte identity
+# ---------------------------------------------------------------------------
+
+WINDOW = 64 * 1024
+
+
+class TestStreamedTransfers:
+    @pytest.mark.parametrize("codec,dtype", [
+        ("spspeed", np.float32), ("spratio", np.float32),
+        ("dpspeed", np.float64), ("dpratio", np.float64),
+    ])
+    def test_streamed_compress_matches_restart_framed_api(
+        self, rng, codec, dtype
+    ):
+        data = _walk(rng, 20_000, dtype)
+        expected = repro.compress(data, codec, fcm="restart")
+        with ServerThread(ServiceConfig(port=0)) as srv:
+            with ServiceClient(port=srv.port) as client:
+                blob = client.compress_streamed(data, codec)
+                assert blob == expected
+                assert np.array_equal(client.decompress_streamed(blob), data)
+
+    def test_bounded_memory_at_eight_times_the_window(self, rng):
+        """The acceptance criterion: payload >= 8x the stream window
+        round-trips byte-identically while the server's buffered-bytes
+        watermark never exceeds the window."""
+        data = _walk(rng, 160_000)  # 640 KiB of f32 = 10x the window
+        assert data.nbytes >= 8 * WINDOW
+        expected = repro.compress(data, "spspeed", fcm="restart")
+        with ServerThread(
+            ServiceConfig(port=0, stream_window=WINDOW)
+        ) as srv:
+            with ServiceClient(port=srv.port) as client:
+                blob = client.compress_streamed(
+                    data, "spspeed", piece_size=16 * 1024
+                )
+                assert blob == expected
+                assert np.array_equal(client.decompress_streamed(blob), data)
+                gauges = client.stats()["metrics"]["gauges"]
+                watermark = gauges["stream_buffered_watermark"]
+                assert 0 < watermark <= WINDOW
+                assert gauges["streams_in_flight"] == 0  # all torn down
+
+    def test_iter_decompress_yields_ordered_chunks(self, rng):
+        data = _walk(rng, 120_000)
+        blob = repro.compress(data, "spspeed", fcm="restart")
+        with ServerThread(
+            ServiceConfig(port=0, stream_window=WINDOW)
+        ) as srv:
+            with ServiceClient(port=srv.port) as client:
+                pieces = list(client.iter_decompress_streamed(blob))
+                assert len(pieces) > 1  # actually chunked, not one blob
+                assert b"".join(pieces) == data.tobytes()
+
+    def test_negotiation_reports_the_server_window(self):
+        with ServerThread(
+            ServiceConfig(port=0, stream_window=WINDOW)
+        ) as srv:
+            with ServiceClient(port=srv.port) as client:
+                doc = client.negotiate()
+                assert set(proto.FEATURES) <= set(doc["features"])
+                assert client.server_stream_window == WINDOW
+
+    def test_connection_stays_usable_after_stream_error(self, rng):
+        # A typed stream failure tombstones the id, not the connection.
+        data = _walk(rng, 2_000)
+        with ServerThread(ServiceConfig(port=0)) as srv:
+            with ServiceClient(port=srv.port) as client:
+                with pytest.raises(ReproError):
+                    client.decompress_streamed(b"not a container" * 10)
+                assert client.broken is None
+                blob = client.compress_streamed(data, "spspeed")
+                assert np.array_equal(client.decompress(blob), data)
+
+
+# ---------------------------------------------------------------------------
+# Pipelining: out-of-order collection over correlation ids
+# ---------------------------------------------------------------------------
+
+
+class TestPipelining:
+    def test_collect_out_of_submission_order(self, rng):
+        arrays = [_walk(rng, 1_000 + 500 * i) for i in range(6)]
+        expected = [repro.compress(a, "spspeed") for a in arrays]
+        with ServerThread(ServiceConfig(port=0)) as srv:
+            with ServiceClient(port=srv.port) as client:
+                rids = [client.submit_compress(a, "spspeed") for a in arrays]
+                assert client.in_flight == len(rids)
+                collected = {
+                    rid: client.collect(rid) for rid in reversed(rids)
+                }
+                assert client.in_flight == 0
+                assert [collected[r] for r in rids] == expected
+
+    def test_mixed_opcodes_interleave_on_one_connection(self, rng):
+        data = _walk(rng, 3_000)
+        blob = repro.compress(data, "spspeed")
+        with ServerThread(ServiceConfig(port=0)) as srv:
+            with ServiceClient(port=srv.port) as client:
+                rid_c = client.submit_compress(data, "spspeed")
+                rid_d = client.submit_decompress(blob)
+                rid_p = client.submit(proto.OP_PING)
+                assert client.collect(rid_p) == b""
+                assert np.array_equal(client.collect_decompress(rid_d), data)
+                assert client.collect(rid_c) == blob
+
+    def test_depth_histogram_observes_the_burst(self, rng):
+        data = _walk(rng, 1_000)
+        with ServerThread(ServiceConfig(port=0)) as srv:
+            with ServiceClient(port=srv.port) as client:
+                rids = [client.submit_compress(data, "spspeed")
+                        for _ in range(4)]
+                for rid in rids:
+                    client.collect(rid)
+                histograms = client.stats()["metrics"]["histograms"]
+                depth = next(v for k, v in histograms.items()
+                             if k.startswith("pipeline_depth"))
+                assert depth["count"] >= 4
+
+
+# ---------------------------------------------------------------------------
+# Per-tenant admission quotas
+# ---------------------------------------------------------------------------
+
+
+def _quota_config() -> ServiceConfig:
+    # 1 byte/s refill with a burst that covers exactly one ~40 KiB
+    # request: the first request is admitted, the second rejected with
+    # an hours-long refill hint.
+    return ServiceConfig(port=0, quota_rate=1.0, quota_burst=64 * 1024)
+
+
+class TestQuotas:
+    def test_second_request_is_rejected_with_refill_hint(self, rng):
+        data = _walk(rng, 10_000)  # 40 KiB payload
+        with ServerThread(_quota_config()) as srv:
+            with ServiceClient(port=srv.port) as client:
+                client.compress(data, "spspeed")  # burst covers this
+                with pytest.raises(QuotaExceededError) as info:
+                    client.compress(data, "spspeed")
+                assert info.value.retry_after_ms > 0
+
+    def test_buckets_are_per_tenant(self, rng):
+        data = _walk(rng, 10_000)
+        with ServerThread(_quota_config()) as srv:
+            with ServiceClient(port=srv.port) as alice:
+                alice.negotiate(tenant="alice")
+                alice.compress(data, "spspeed")
+                with pytest.raises(QuotaExceededError):
+                    alice.compress(data, "spspeed")
+                # A different tenant draws from its own fresh bucket.
+                with ServiceClient(port=srv.port) as bob:
+                    bob.negotiate(tenant="bob")
+                    assert bob.compress(data, "spspeed") == repro.compress(
+                        data, "spspeed"
+                    )
+
+    def test_streams_are_charged_at_admission(self, rng):
+        data = _walk(rng, 10_000)
+        with ServerThread(_quota_config()) as srv:
+            with ServiceClient(port=srv.port) as client:
+                client.compress_streamed(data, "spspeed")
+                with pytest.raises(QuotaExceededError):
+                    client.compress_streamed(data, "spspeed")
+                assert client.broken is None  # rejection, not poisoning
+
+    def test_rejections_are_counted_per_tenant(self, rng):
+        data = _walk(rng, 10_000)
+        with ServerThread(_quota_config()) as srv:
+            with ServiceClient(port=srv.port) as client:
+                client.negotiate(tenant="alice")
+                client.compress(data, "spspeed")
+                with pytest.raises(QuotaExceededError):
+                    client.compress(data, "spspeed")
+                counters = client.stats()["metrics"]["counters"]
+                assert counters.get(
+                    "quota_rejected_total{tenant=alice}", 0
+                ) == 1
+
+    def test_zero_rate_disables_enforcement(self, rng):
+        data = _walk(rng, 2_000)
+        with ServerThread(ServiceConfig(port=0)) as srv:
+            with ServiceClient(port=srv.port) as client:
+                for _ in range(5):
+                    client.compress(data, "spspeed")
+
+
+# ---------------------------------------------------------------------------
+# The stream ledger: every must-reject invariant, in-process
+# ---------------------------------------------------------------------------
+
+
+def _begin_body(total_len: int, window_codec: str = "spspeed") -> bytes:
+    return proto.encode_stream_begin(
+        proto.STREAM_COMPRESS, total_len=total_len, codec=window_codec,
+        dtype_code=fmt.DTYPE_BYTES, shape=None,
+    )
+
+
+class TestStreamLedger:
+    def test_data_without_begin_is_rejected(self):
+        ledger = proto.StreamLedger(window=1024)
+        with pytest.raises(ProtocolError, match="no preceding STREAM-BEGIN"):
+            ledger.on_data(9, 10)
+
+    def test_overlapping_stream_ids_are_rejected(self):
+        ledger = proto.StreamLedger(window=1024)
+        ledger.on_begin(1, _begin_body(100))
+        with pytest.raises(ProtocolError, match="overlapping stream ids"):
+            ledger.on_begin(1, _begin_body(100))
+
+    def test_window_violation_is_rejected(self):
+        ledger = proto.StreamLedger(window=64)
+        state = ledger.on_begin(1, _begin_body(1000))
+        assert state.credit == 64  # initial credit = min(window, total)
+        with pytest.raises(ProtocolError, match="window violation"):
+            ledger.on_data(1, 65)
+
+    def test_credit_never_exceeds_the_declared_total(self):
+        # Overrunning total_len is impossible through granted credit:
+        # the initial grant and every regrant are capped at the bytes
+        # still owed, so an overrun always trips the window check first.
+        ledger = proto.StreamLedger(window=1024)
+        state = ledger.on_begin(1, _begin_body(10))
+        assert state.credit == 10
+        with pytest.raises(ProtocolError, match="window violation"):
+            ledger.on_data(1, 11)
+
+    def test_truncated_end_is_rejected(self):
+        ledger = proto.StreamLedger(window=1024)
+        ledger.on_begin(1, _begin_body(100))
+        ledger.on_data(1, 40)
+        with pytest.raises(ProtocolError, match="truncated stream"):
+            ledger.on_end(1)
+
+    def test_data_after_end_is_rejected(self):
+        ledger = proto.StreamLedger(window=1024)
+        ledger.on_begin(1, _begin_body(10))
+        ledger.on_data(1, 10)
+        ledger.on_end(1)
+        with pytest.raises(ProtocolError, match="after STREAM-END"):
+            ledger.on_data(1, 1)
+
+    def test_stream_cap_is_enforced(self):
+        ledger = proto.StreamLedger(window=1024, max_streams=2)
+        ledger.on_begin(1, _begin_body(10))
+        ledger.on_begin(2, _begin_body(10))
+        with pytest.raises(ProtocolError, match="open streams"):
+            ledger.on_begin(3, _begin_body(10))
+
+    def test_consume_never_grants_beyond_the_window(self):
+        ledger = proto.StreamLedger(window=64)
+        ledger.on_begin(1, _begin_body(1000))
+        state = ledger.get(1)
+        total_granted = state.credit
+        sent = 0
+        while sent < 1000:
+            n = min(state.credit, 1000 - sent)
+            ledger.on_data(1, n)
+            sent += n
+            total_granted += ledger.consume(1, n)
+            # Credit plus buffered bytes can never exceed the window.
+            assert state.credit + state.buffered <= 64
+        assert total_granted <= 1000  # never over-granted vs the payload
+
+    def test_violations_carry_the_correlation_id(self):
+        ledger = proto.StreamLedger(window=64)
+        with pytest.raises(ProtocolError) as info:
+            ledger.on_data(42, 1)
+        assert info.value.request_id == 42
